@@ -1,0 +1,427 @@
+package ftbarrier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/rbtree"
+	"repro/internal/topo"
+)
+
+// The benchmarks below regenerate every figure and table of the paper's
+// evaluation (Section 6) plus the ablations called out in DESIGN.md. Each
+// figure benchmark reports the figure's y-axis value for a representative
+// grid point via b.ReportMetric; cmd/experiments prints the full series.
+
+// --- Figure 3: analytical — expected instances per successful phase vs
+// fault frequency, for several latencies, 32 processes (h = 5). ---
+
+func BenchmarkFig3AnalyticalInstances(b *testing.B) {
+	for _, c := range []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05} {
+		for _, f := range []float64{0, 0.001, 0.01, 0.05, 0.1} {
+			c, f := c, f
+			b.Run(fmt.Sprintf("c=%g/f=%g", c, f), func(b *testing.B) {
+				m := AnalyticalModel{H: 5, C: c, F: f}
+				var v float64
+				for i := 0; i < b.N; i++ {
+					v = m.ExpectedInstances()
+				}
+				b.ReportMetric(v, "instances/phase")
+			})
+		}
+	}
+}
+
+// --- Figure 4: analytical — overhead of fault-tolerance vs latency, for
+// several fault frequencies (spot values 4.5%, 5.7%, 10.8% at c=0.01). ---
+
+func BenchmarkFig4AnalyticalOverhead(b *testing.B) {
+	for _, f := range []float64{0, 0.01, 0.05} {
+		for _, c := range []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05} {
+			c, f := c, f
+			b.Run(fmt.Sprintf("f=%g/c=%g", f, c), func(b *testing.B) {
+				m := AnalyticalModel{H: 5, C: c, F: f}
+				var v float64
+				for i := 0; i < b.N; i++ {
+					v = m.Overhead()
+				}
+				b.ReportMetric(v*100, "overhead-%")
+			})
+		}
+	}
+}
+
+// --- Figure 5: simulated — instances per successful phase vs fault
+// frequency (tree program under the timed maximal parallel semantics). ---
+
+func BenchmarkFig5SimulatedInstances(b *testing.B) {
+	for _, c := range []float64{0, 0.01, 0.05} {
+		for _, f := range []float64{0, 0.01, 0.05, 0.1} {
+			c, f := c, f
+			b.Run(fmt.Sprintf("c=%g/f=%g", c, f), func(b *testing.B) {
+				var last SimResult
+				for i := 0; i < b.N; i++ {
+					res, err := SimulateDetectable(SimConfig{
+						Procs: 32, C: c, F: f, Seed: int64(i), Phases: 100,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.InstancesPerPhase, "instances/phase")
+			})
+		}
+	}
+}
+
+// --- Figure 6: simulated — overhead of fault-tolerance vs latency
+// (relative to the intolerant 1+2hc baseline). ---
+
+func BenchmarkFig6SimulatedOverhead(b *testing.B) {
+	for _, f := range []float64{0, 0.01, 0.05} {
+		for _, c := range []float64{0.01, 0.03, 0.05} {
+			c, f := c, f
+			b.Run(fmt.Sprintf("f=%g/c=%g", f, c), func(b *testing.B) {
+				var last SimResult
+				for i := 0; i < b.N; i++ {
+					res, err := SimulateDetectable(SimConfig{
+						Procs: 32, C: c, F: f, Seed: int64(i), Phases: 100,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(last.Overhead*100, "overhead-%")
+			})
+		}
+	}
+}
+
+// --- Figure 7: simulated — recovery time from an arbitrary state vs
+// latency, for tree heights h = 1..7 (2..128 processes). ---
+
+func BenchmarkFig7Recovery(b *testing.B) {
+	for _, procs := range []int{2, 7, 32, 128} {
+		for _, c := range []float64{0.01, 0.03, 0.05} {
+			procs, c := procs, c
+			b.Run(fmt.Sprintf("procs=%d/c=%g", procs, c), func(b *testing.B) {
+				sum := 0.0
+				for i := 0; i < b.N; i++ {
+					r, err := SimulateRecovery(SimConfig{Procs: procs, C: c, Seed: int64(i)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					sum += r.Time
+				}
+				b.ReportMetric(sum/float64(b.N), "recovery-time")
+			})
+		}
+	}
+}
+
+// --- Table 1: the cost of each tolerance mechanism on the runtime
+// barrier: fault-free pass, masking a detectable reset, stabilizing an
+// undetectable scramble. (Fail-safe halt and trivially-masked faults have
+// no per-pass protocol cost; they are validated in the test suite.) ---
+
+func benchRuntimePasses(b *testing.B, n int, disturb func(*Barrier, int)) {
+	bar, err := New(Config{Participants: n, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bar.Stop()
+
+	// Workers keep participating until EVERY worker has reached b.N passes:
+	// under injected faults (especially undetectable scrambles) individual
+	// pass counts may transiently skew, and a worker that stopped arriving
+	// at its own target would stall the rest forever.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	passes := make([]atomic.Int64, n)
+	allDone := func() bool {
+		for i := range passes {
+			if passes[i].Load() < int64(b.N) {
+				return false
+			}
+		}
+		return true
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if id == 0 && disturb != nil {
+					disturb(bar, int(passes[0].Load()))
+				}
+				_, err := bar.Await(ctx, id)
+				switch {
+				case err == nil:
+					passes[id].Add(1)
+					if allDone() {
+						cancel()
+						return
+					}
+				case errors.Is(err, ErrReset):
+					// redo the phase
+				default:
+					return // ctx canceled: the collective is done
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkTable1ToleranceCost(b *testing.B) {
+	b.Run("masking/fault-free", func(b *testing.B) {
+		benchRuntimePasses(b, 4, nil)
+	})
+	b.Run("masking/detectable-reset-every-8", func(b *testing.B) {
+		benchRuntimePasses(b, 4, func(bar *Barrier, i int) {
+			if i%8 == 3 {
+				bar.Reset(1)
+			}
+		})
+	})
+	b.Run("stabilizing/scramble-every-16", func(b *testing.B) {
+		benchRuntimePasses(b, 4, func(bar *Barrier, i int) {
+			if i%16 == 5 {
+				bar.Scramble(2, int64(i))
+			}
+		})
+	})
+}
+
+// --- Ablation: ring (O(N)) vs tree (O(h)) synchronization rounds. ---
+
+func BenchmarkAblationRingVsTree(b *testing.B) {
+	roundsPerBarrier := func(parent []int) float64 {
+		rng := rand.New(rand.NewSource(1))
+		n := len(parent)
+		checker := core.NewSpecChecker(n, 2)
+		p, err := rbtree.New(parent, 2, n+1, rng, checker.Observe)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds := 0
+		for checker.SuccessfulBarriers() < 20 {
+			if p.Guarded().StepMaxParallel(nil) == 0 {
+				b.Fatal("deadlock")
+			}
+			rounds++
+		}
+		return float64(rounds) / 20
+	}
+	for _, n := range []int{8, 32, 128} {
+		n := n
+		b.Run(fmt.Sprintf("ring/n=%d", n), func(b *testing.B) {
+			parent := make([]int, n)
+			parent[0] = -1
+			for i := 1; i < n; i++ {
+				parent[i] = i - 1
+			}
+			var v float64
+			for i := 0; i < b.N; i++ {
+				v = roundsPerBarrier(parent)
+			}
+			b.ReportMetric(v, "rounds/barrier")
+		})
+		b.Run(fmt.Sprintf("tree/n=%d", n), func(b *testing.B) {
+			tr, err := topo.NewBinaryTree(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var v float64
+			for i := 0; i < b.N; i++ {
+				v = roundsPerBarrier(tr.Parent)
+			}
+			b.ReportMetric(v, "rounds/barrier")
+		})
+	}
+}
+
+// --- Ablation: sequence-number domain size K (K > N required; larger K
+// buys nothing — the paper's O(log N) state claim depends on K = N+1). ---
+
+func BenchmarkAblationSequenceDomain(b *testing.B) {
+	const n = 32
+	for _, k := range []int{n + 1, 2 * n, 4 * n} {
+		k := k
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			tr, err := topo.NewBinaryTree(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				checker := core.NewSpecChecker(n, 2)
+				p, err := rbtree.New(tr.Parent, 2, k, rng, checker.Observe)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = 0
+				for checker.SuccessfulBarriers() < 10 {
+					if p.Guarded().StepMaxParallel(nil) == 0 {
+						b.Fatal("deadlock")
+					}
+					rounds++
+				}
+			}
+			b.ReportMetric(float64(rounds)/10, "rounds/barrier")
+		})
+	}
+}
+
+// --- Ablation: the runtime fault-tolerant barrier vs a plain centralized
+// (fault-intolerant) barrier built from sync primitives — the cost of
+// tolerance in a real goroutine system. ---
+
+// centralBarrier is the classic two-phase counter barrier: no fault
+// tolerance whatsoever.
+type centralBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int
+	phase int
+	n     int
+}
+
+func newCentralBarrier(n int) *centralBarrier {
+	cb := &centralBarrier{n: n}
+	cb.cond = sync.NewCond(&cb.mu)
+	return cb
+}
+
+func (c *centralBarrier) await() {
+	c.mu.Lock()
+	phase := c.phase
+	c.count++
+	if c.count == c.n {
+		c.count = 0
+		c.phase++
+		c.cond.Broadcast()
+	} else {
+		for c.phase == phase {
+			c.cond.Wait()
+		}
+	}
+	c.mu.Unlock()
+}
+
+func BenchmarkAblationRuntimeVsCentral(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("ft-barrier/n=%d", n), func(b *testing.B) {
+			benchRuntimePasses(b, n, nil)
+		})
+		b.Run(fmt.Sprintf("central-intolerant/n=%d", n), func(b *testing.B) {
+			cb := newCentralBarrier(n)
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for id := 0; id < n; id++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						cb.await()
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// --- Ablation: guarded-engine scheduler throughput (steps/sec for the
+// tree protocol under interleaving vs maximal parallelism). ---
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	build := func() *rbtree.Program {
+		rng := rand.New(rand.NewSource(1))
+		tr, _ := topo.NewBinaryTree(32)
+		p, err := rbtree.New(tr.Parent, 2, 33, rng, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	b.Run("roundRobin", func(b *testing.B) {
+		p := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Guarded().StepRoundRobin()
+		}
+	})
+	b.Run("maxParallel", func(b *testing.B) {
+		p := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Guarded().StepMaxParallel(nil)
+		}
+	})
+}
+
+// --- Reference: the intolerant baseline under the timed semantics (used
+// by Figure 6's denominator). ---
+
+func BenchmarkIntolerantBaselineSim(b *testing.B) {
+	for _, c := range []float64{0, 0.01, 0.05} {
+		c := c
+		b.Run(fmt.Sprintf("c=%g", c), func(b *testing.B) {
+			var last SimResult
+			for i := 0; i < b.N; i++ {
+				res, err := SimulateIntolerant(SimConfig{Procs: 32, C: c, Seed: 1, Phases: 100})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.TimePerPhase, "time/phase")
+			b.ReportMetric(baseline.AnalyticPhaseTime(5, c), "analytic-1+2hc")
+		})
+	}
+}
+
+// --- Ablation: Fig 2(c) leaf→root wires vs Fig 2(d) convergecast — the
+// topology trade-off of Section 4.2. ---
+
+func BenchmarkAblationTopologyFig2cVsFig2d(b *testing.B) {
+	for _, cfg := range []struct {
+		name         string
+		convergecast bool
+	}{
+		{"fig2c-leaf-wires", false},
+		{"fig2d-convergecast", true},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			var last SimResult
+			for i := 0; i < b.N; i++ {
+				res, err := SimulateDetectable(SimConfig{
+					Procs: 32, C: 0.02, F: 0.01, Seed: int64(i), Phases: 100,
+					Convergecast: cfg.convergecast,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.TimePerPhase, "time/phase")
+		})
+	}
+}

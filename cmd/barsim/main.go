@@ -1,0 +1,201 @@
+// Command barsim runs any of the paper's barrier-synchronization programs
+// (CB, RB, TB-on-a-tree, MB) under a chosen scheduler, with optional fault
+// injection, printing the event trace and checking the barrier
+// specification throughout.
+//
+// Examples:
+//
+//	barsim -program rb -procs 6 -barriers 5 -trace
+//	barsim -program cb -procs 4 -fault-rate 0.02 -barriers 20
+//	barsim -program tree -procs 32 -scheduler maxparallel -barriers 10
+//	barsim -program mb -procs 5 -scramble -barriers 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/cb"
+	"repro/internal/core"
+	"repro/internal/dtree"
+	"repro/internal/faults"
+	"repro/internal/guarded"
+	"repro/internal/mb"
+	"repro/internal/rb"
+	"repro/internal/rbtree"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+var (
+	programFlag   = flag.String("program", "rb", "program to run: cb, rb, tree, dtree, mb")
+	procsFlag     = flag.Int("procs", 6, "number of processes")
+	nPhasesFlag   = flag.Int("nphases", 4, "phase-counter modulus")
+	arityFlag     = flag.Int("arity", 2, "tree arity (tree program only)")
+	schedulerFlag = flag.String("scheduler", "roundrobin", "scheduler: roundrobin, random, maxparallel")
+	barriersFlag  = flag.Int("barriers", 10, "stop after this many successful barriers")
+	maxStepsFlag  = flag.Int("maxsteps", 10_000_000, "step budget")
+	faultRateFlag = flag.Float64("fault-rate", 0, "per-step probability of a detectable fault")
+	scrambleFlag  = flag.Bool("scramble", false, "perturb every process to an arbitrary state first")
+	seedFlag      = flag.Int64("seed", 1, "random seed")
+	traceFlag     = flag.Bool("trace", false, "print every begin/complete/reset event")
+	timelineFlag  = flag.Bool("timeline", false, "render a per-process event timeline at the end")
+)
+
+// program is the common surface of the four protocol engines.
+type program interface {
+	Guarded() *guarded.Program
+	N() int
+	InjectDetectable(j int)
+	InjectUndetectable(j int)
+	Corrupted(j int) bool
+	InStartState() bool
+	String() string
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "barsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(*seedFlag))
+	checker := core.NewSpecChecker(*procsFlag, *nPhasesFlag)
+	recorder := trace.NewRecorder(*procsFlag, 100000)
+	events := 0
+	sink := func(e core.Event) {
+		events++
+		recorder.Observe(e)
+		if *traceFlag {
+			fmt.Printf("  %v\n", e)
+		}
+		if checker != nil {
+			checker.Observe(e)
+		}
+	}
+
+	var prog program
+	var err error
+	switch *programFlag {
+	case "cb":
+		prog, err = cb.New(*procsFlag, *nPhasesFlag, rng, sink)
+	case "rb":
+		prog, err = rb.New(*procsFlag, *nPhasesFlag, *procsFlag+1, rng, sink)
+	case "tree":
+		var tr *topo.Tree
+		tr, err = topo.NewKAryTree(*procsFlag, *arityFlag)
+		if err == nil {
+			prog, err = rbtree.New(tr.Parent, *nPhasesFlag, *procsFlag+1, rng, sink)
+		}
+	case "dtree":
+		var tr *topo.Tree
+		tr, err = topo.NewKAryTree(*procsFlag, *arityFlag)
+		if err == nil {
+			prog, err = dtree.New(tr.Parent, *nPhasesFlag, *procsFlag+1, rng, sink)
+		}
+	case "mb":
+		prog, err = mb.New(*procsFlag, *nPhasesFlag, 2**procsFlag+2, rng, sink)
+	default:
+		return fmt.Errorf("unknown program %q (want cb, rb, tree, dtree or mb)", *programFlag)
+	}
+	if err != nil {
+		return err
+	}
+
+	var step func() bool
+	switch *schedulerFlag {
+	case "roundrobin":
+		step = func() bool { _, ok := prog.Guarded().StepRoundRobin(); return ok }
+	case "random":
+		step = func() bool { _, ok := prog.Guarded().StepRandom(rng); return ok }
+	case "maxparallel":
+		step = func() bool { return prog.Guarded().StepMaxParallel(rng) > 0 }
+	default:
+		return fmt.Errorf("unknown scheduler %q", *schedulerFlag)
+	}
+
+	fmt.Printf("program=%s procs=%d scheduler=%s fault-rate=%g\n",
+		*programFlag, *procsFlag, *schedulerFlag, *faultRateFlag)
+
+	if *scrambleFlag {
+		// An undetectable perturbation voids the specification until the
+		// program stabilizes; silence the checker, run to a start state,
+		// then re-attach a fresh checker and count barriers from there.
+		checker = nil
+		for j := 0; j < prog.N(); j++ {
+			prog.InjectUndetectable(j)
+		}
+		fmt.Printf("scrambled state: %v\n", prog)
+		recoverySteps := 0
+		for !prog.InStartState() {
+			if recoverySteps >= *maxStepsFlag {
+				return fmt.Errorf("no stabilization within %d steps: %v", recoverySteps, prog)
+			}
+			if !step() {
+				return fmt.Errorf("deadlock during recovery in state %v", prog)
+			}
+			recoverySteps++
+		}
+		fmt.Printf("stabilized after %d steps: %v\n", recoverySteps, prog)
+		checker = core.NewSpecCheckerAt(*procsFlag, *nPhasesFlag, phaseOf(prog))
+	}
+
+	injected := 0
+	steps := 0
+	for steps = 0; steps < *maxStepsFlag; steps++ {
+		if err := checker.Violation(); err != nil {
+			return fmt.Errorf("after %d steps: %w", steps, err)
+		}
+		if checker.SuccessfulBarriers() >= *barriersFlag {
+			break
+		}
+		if *faultRateFlag > 0 && rng.Float64() < *faultRateFlag {
+			if faults.ApplyDetectableSafe(prog, prog, 1, rng) > 0 {
+				injected++
+			}
+		}
+		if !step() {
+			return fmt.Errorf("deadlock after %d steps in state %v", steps, prog)
+		}
+	}
+
+	if *timelineFlag {
+		fmt.Println("timeline:")
+		fmt.Print(recorder.Timeline())
+		fmt.Print(recorder.Summary())
+	}
+	fmt.Printf("final state: %v\n", prog)
+	fmt.Printf("steps=%d events=%d instances=%d successful-barriers=%d detectable-faults=%d\n",
+		steps, events, checker.Instances(), checker.SuccessfulBarriers(), injected)
+	if err := checker.Violation(); err != nil {
+		return err
+	}
+	if *scrambleFlag {
+		fmt.Println("barrier specification: satisfied after stabilization")
+	} else {
+		fmt.Println("barrier specification: satisfied")
+	}
+	return nil
+}
+
+// phaseOf returns the phase the stabilized program will execute next.
+func phaseOf(p program) int {
+	switch v := p.(type) {
+	case *cb.Program:
+		return v.Phase(0)
+	case *rb.Program:
+		return v.Phase(0)
+	case *rbtree.Program:
+		return v.Phase(0)
+	case *dtree.Program:
+		return v.Phase(0)
+	case *mb.Program:
+		return v.Phase(0)
+	}
+	return 0
+}

@@ -1,0 +1,341 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 6 and Table 1) and prints paper-vs-measured rows.
+//
+// Usage:
+//
+//	experiments            # all figures and tables
+//	experiments -fig 5     # just Figure 5
+//	experiments -table 1   # just Table 1
+//	experiments -phases 500 -trials 50   # heavier sampling
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/analytical"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/rbtree"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+var (
+	figFlag       = flag.Int("fig", 0, "figure to regenerate (3-7); 0 = all")
+	tableFlag     = flag.Int("table", 0, "table to regenerate (1); 0 = all")
+	ablationsFlag = flag.Bool("ablations", false, "run only the design ablations")
+	phasesFlag    = flag.Int("phases", 300, "successful phases per simulated grid point")
+	trialsFlag    = flag.Int("trials", 40, "trials per recovery grid point (figure 7)")
+	seedFlag      = flag.Int64("seed", 1998, "base random seed")
+)
+
+func main() {
+	flag.Parse()
+	if *ablationsFlag {
+		if err := ablations(); err != nil {
+			fail(err)
+		}
+		return
+	}
+	all := *figFlag == 0 && *tableFlag == 0
+
+	runFig := func(n int) bool { return all || *figFlag == n }
+	runTable := func(n int) bool { return all || *tableFlag == n }
+
+	if runFig(3) {
+		figure3()
+	}
+	if runFig(4) {
+		figure4()
+	}
+	if runFig(5) {
+		if err := figure5(); err != nil {
+			fail(err)
+		}
+	}
+	if runFig(6) {
+		if err := figure6(); err != nil {
+			fail(err)
+		}
+	}
+	if runFig(7) {
+		if err := figure7(); err != nil {
+			fail(err)
+		}
+	}
+	if runTable(1) {
+		table1()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+var (
+	latencies   = []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05}
+	frequencies = []float64{0, 0.001, 0.01, 0.02, 0.05, 0.1}
+)
+
+// figure3 prints the analytical expected-instances series (32 processes,
+// h = 5), exactly the curves of the paper's Figure 3.
+func figure3() {
+	fmt.Println("== Figure 3 — analytical: instances per successful phase (32 procs, h=5) ==")
+	fmt.Println("   paper anchors: ≤1.6% re-execution for f ≤ 0.01 at c=0.01;")
+	fmt.Println("   ≈1.7% at f=0.01, c=0.05")
+	cols := []string{"f \\ c"}
+	for _, c := range latencies {
+		cols = append(cols, fmt.Sprintf("c=%.2f", c))
+	}
+	tab := stats.NewTable("", cols...)
+	for _, f := range frequencies {
+		row := []string{fmt.Sprintf("%.3f", f)}
+		for _, c := range latencies {
+			m := analytical.Model{H: 5, C: c, F: f}
+			row = append(row, fmt.Sprintf("%.4f", m.ExpectedInstances()))
+		}
+		tab.AddRow(row...)
+	}
+	fmt.Println(tab)
+}
+
+// figure4 prints the analytical overhead series, the paper's Figure 4,
+// including its quoted spot values.
+func figure4() {
+	fmt.Println("== Figure 4 — analytical: overhead of fault-tolerance (32 procs, h=5) ==")
+	fmt.Println("   paper anchors at c=0.01: 4.5% (f=0), 5.7% (f=0.01), ≤10.8% (f=0.05)")
+	cols := []string{"f \\ c"}
+	for _, c := range latencies {
+		cols = append(cols, fmt.Sprintf("c=%.2f", c))
+	}
+	tab := stats.NewTable("", cols...)
+	for _, f := range []float64{0, 0.01, 0.05} {
+		row := []string{fmt.Sprintf("%.2f", f)}
+		for _, c := range latencies {
+			m := analytical.Model{H: 5, C: c, F: f}
+			row = append(row, fmt.Sprintf("%5.2f%%", 100*m.Overhead()))
+		}
+		tab.AddRow(row...)
+	}
+	fmt.Println(tab)
+}
+
+// figure5 runs the timed simulation grid for instances per phase and prints
+// it against the analytical prediction.
+func figure5() error {
+	fmt.Println("== Figure 5 — simulated: instances per successful phase (32 procs, h=5) ==")
+	fmt.Println("   paper finding: simulation matches the analytical prediction")
+	tab := stats.NewTable("", "c", "f", "simulated", "analytical")
+	for _, c := range []float64{0, 0.01, 0.02, 0.03, 0.04, 0.05} {
+		for _, f := range frequencies {
+			res, err := sim.RunDetectable(sim.Config{
+				Procs: 32, C: c, F: f, Seed: *seedFlag, Phases: *phasesFlag,
+			})
+			if err != nil {
+				return fmt.Errorf("figure 5 (c=%g, f=%g): %w", c, f, err)
+			}
+			ana := analytical.Model{H: 5, C: c, F: f}.ExpectedInstances()
+			tab.AddRow(
+				fmt.Sprintf("%.2f", c),
+				fmt.Sprintf("%.3f", f),
+				fmt.Sprintf("%.4f", res.InstancesPerPhase),
+				fmt.Sprintf("%.4f", ana),
+			)
+		}
+	}
+	fmt.Println(tab)
+	return nil
+}
+
+// figure6 runs the timed simulation grid for fault-tolerance overhead and
+// prints it against the analytical worst case and the simulated intolerant
+// baseline.
+func figure6() error {
+	fmt.Println("== Figure 6 — simulated: overhead of fault-tolerance (32 procs, h=5) ==")
+	fmt.Println("   paper finding: simulated overhead is below the analytical worst case")
+	tab := stats.NewTable("", "c", "f", "sim time/phase", "intol 1+2hc", "sim overhead", "analytical")
+	for _, f := range []float64{0, 0.01, 0.05} {
+		for _, c := range latencies {
+			res, err := sim.RunDetectable(sim.Config{
+				Procs: 32, C: c, F: f, Seed: *seedFlag, Phases: *phasesFlag,
+			})
+			if err != nil {
+				return fmt.Errorf("figure 6 (c=%g, f=%g): %w", c, f, err)
+			}
+			ana := analytical.Model{H: 5, C: c, F: f}.Overhead()
+			tab.AddRow(
+				fmt.Sprintf("%.2f", c),
+				fmt.Sprintf("%.2f", f),
+				fmt.Sprintf("%.4f", res.TimePerPhase),
+				fmt.Sprintf("%.4f", baseline.AnalyticPhaseTime(5, c)),
+				fmt.Sprintf("%5.2f%%", 100*res.Overhead),
+				fmt.Sprintf("%5.2f%%", 100*ana),
+			)
+		}
+	}
+	fmt.Println(tab)
+	return nil
+}
+
+// figure7 measures recovery from whole-system undetectable perturbation for
+// trees of heights 1..7 (the paper's 2..128 processes).
+func figure7() error {
+	fmt.Println("== Figure 7 — simulated: recovery from undetectable faults ==")
+	fmt.Println("   paper anchors: 32 procs @ c=0.01 ≈ 0.56 units; 128 procs @ c=0.05 < 1 unit;")
+	fmt.Println("   analytical bound 5hc (≤1.25 for 2hc ≤ 0.5)")
+	tab := stats.NewTable("", "procs", "h", "c", "mean recovery", "p95", "bound 5hc")
+	sizes := []int{2, 4, 7, 15, 32, 64, 128} // heights 1..7 as binary trees
+	for _, procs := range sizes {
+		for _, c := range []float64{0.01, 0.03, 0.05} {
+			var s stats.Sample
+			h := 0
+			for trial := 0; trial < *trialsFlag; trial++ {
+				r, err := sim.RunRecovery(sim.Config{
+					Procs: procs, C: c, Seed: *seedFlag + int64(trial),
+				})
+				if err != nil {
+					return fmt.Errorf("figure 7 (procs=%d, c=%g): %w", procs, c, err)
+				}
+				s.Add(r.Time)
+				h = r.Height
+			}
+			tab.AddRow(
+				fmt.Sprintf("%d", procs),
+				fmt.Sprintf("%d", h),
+				fmt.Sprintf("%.2f", c),
+				fmt.Sprintf("%.4f", s.Mean()),
+				fmt.Sprintf("%.4f", s.Quantile(0.95)),
+				fmt.Sprintf("%.4f", 5*float64(h)*c),
+			)
+		}
+	}
+	fmt.Println(tab)
+	return nil
+}
+
+// ablations prints the design-choice ablations DESIGN.md calls out:
+// ring vs tree synchronization cost, Fig 2(c) leaf wires vs Fig 2(d)
+// convergecast, and the effect of the sequence-number modulus K.
+func ablations() error {
+	fmt.Println("== Ablation — Fig 2(c) leaf wires vs Fig 2(d) convergecast (32 procs) ==")
+	tab := stats.NewTable("", "c", "f", "fig2c time/phase", "fig2d time/phase", "ratio")
+	for _, c := range []float64{0.01, 0.03, 0.05} {
+		for _, f := range []float64{0, 0.02} {
+			r2c, err := sim.RunDetectable(sim.Config{Procs: 32, C: c, F: f, Seed: *seedFlag, Phases: *phasesFlag})
+			if err != nil {
+				return err
+			}
+			r2d, err := sim.RunDetectable(sim.Config{Procs: 32, C: c, F: f, Seed: *seedFlag, Phases: *phasesFlag, Convergecast: true})
+			if err != nil {
+				return err
+			}
+			tab.AddRow(
+				fmt.Sprintf("%.2f", c),
+				fmt.Sprintf("%.2f", f),
+				fmt.Sprintf("%.4f", r2c.TimePerPhase),
+				fmt.Sprintf("%.4f", r2d.TimePerPhase),
+				fmt.Sprintf("%.2f", r2d.TimePerPhase/r2c.TimePerPhase),
+			)
+		}
+	}
+	fmt.Println(tab)
+
+	fmt.Println("== Ablation — ring O(N) vs binary tree O(log N) (maximal-parallel rounds per barrier) ==")
+	rvt := stats.NewTable("", "procs", "ring rounds/barrier", "tree rounds/barrier")
+	for _, n := range []int{8, 32, 128} {
+		ringRounds, err := roundsPerBarrier(pathParent(n))
+		if err != nil {
+			return err
+		}
+		tr, err := topo.NewBinaryTree(n)
+		if err != nil {
+			return err
+		}
+		treeRounds, err := roundsPerBarrier(tr.Parent)
+		if err != nil {
+			return err
+		}
+		rvt.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.1f", ringRounds),
+			fmt.Sprintf("%.1f", treeRounds))
+	}
+	fmt.Println(rvt)
+
+	fmt.Println("== Ablation — sequence-number modulus K (32 procs, rounds/barrier) ==")
+	kt := stats.NewTable("", "K", "rounds/barrier")
+	tr, err := topo.NewBinaryTree(32)
+	if err != nil {
+		return err
+	}
+	for _, k := range []int{33, 64, 128} {
+		r, err := roundsPerBarrierK(tr.Parent, k)
+		if err != nil {
+			return err
+		}
+		kt.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%.1f", r))
+	}
+	fmt.Println(kt)
+	return nil
+}
+
+func pathParent(n int) []int {
+	parent := make([]int, n)
+	parent[0] = -1
+	for i := 1; i < n; i++ {
+		parent[i] = i - 1
+	}
+	return parent
+}
+
+func roundsPerBarrier(parent []int) (float64, error) {
+	return roundsPerBarrierK(parent, len(parent)+1)
+}
+
+func roundsPerBarrierK(parent []int, k int) (float64, error) {
+	rng := rand.New(rand.NewSource(*seedFlag))
+	n := len(parent)
+	checker := core.NewSpecChecker(n, 2)
+	p, err := rbtree.New(parent, 2, k, rng, checker.Observe)
+	if err != nil {
+		return 0, err
+	}
+	rounds := 0
+	for checker.SuccessfulBarriers() < 20 {
+		if p.Guarded().StepMaxParallel(nil) == 0 {
+			return 0, fmt.Errorf("deadlock")
+		}
+		rounds++
+		if rounds > 10_000_000 {
+			return 0, fmt.Errorf("no progress")
+		}
+	}
+	return float64(rounds) / 20, nil
+}
+
+// table1 prints the fault-classification table with the tolerance each
+// fault kind receives in this implementation.
+func table1() {
+	fmt.Println("== Table 1 — fault classes and appropriate tolerances ==")
+	tab := stats.NewTable("", "correctability", "detectable", "undetectable")
+	for _, corr := range []faults.Correctability{faults.Immediate, faults.Eventual, faults.Uncorrectable} {
+		tab.AddRow(
+			corr.String(),
+			faults.AppropriateTolerance(corr, faults.Detectable).String(),
+			faults.AppropriateTolerance(corr, faults.Undetectable).String(),
+		)
+	}
+	fmt.Println(tab)
+
+	fmt.Println("Fault catalog (Section 1 fault types, classified per Section 2):")
+	cat := stats.NewTable("", "fault", "class", "correctability", "tolerance provided")
+	for _, k := range faults.Catalog {
+		cat.AddRow(k.Name, k.Class.String(), k.Correctability.String(), k.Tolerance().String())
+	}
+	fmt.Println(cat)
+}

@@ -1,0 +1,79 @@
+// Atomic commitment: the Section 7 instantiation of the barrier program.
+// Three participants execute a sequence of distributed transactions; a
+// transaction commits only if every participant's subtransaction succeeds,
+// and failed subtransactions force the whole transaction to be re-executed
+// before the next one starts. One participant's subtransactions fail
+// intermittently — watch the retries.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apps/commit"
+)
+
+const (
+	participants = 3
+	transactions = 5
+)
+
+var errFlaky = errors.New("subtransaction failed (simulated I/O error)")
+
+func main() {
+	coord, err := commit.New(participants)
+	if err != nil {
+		panic(err)
+	}
+	defer coord.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		fmt.Printf(format+"\n", args...)
+		mu.Unlock()
+	}
+
+	// Participant 2's first attempt of every even transaction fails.
+	var committed atomic.Int32
+
+	var wg sync.WaitGroup
+	for id := 0; id < participants; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for txn := 0; txn < transactions; txn++ {
+				err := coord.Execute(ctx, id, func(attempt int) error {
+					if id == 2 && txn%2 == 0 && attempt == 0 {
+						logf("participant %d: txn %d attempt %d → ABORT", id, txn, attempt)
+						return errFlaky
+					}
+					logf("participant %d: txn %d attempt %d → ok", id, txn, attempt)
+					return nil
+				})
+				if err != nil {
+					logf("participant %d: txn %d failed: %v", id, txn, err)
+					return
+				}
+				logf("participant %d: txn %d COMMITTED", id, txn)
+				committed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	fmt.Printf("\n%d/%d subtransaction commits; every transaction required all "+
+		"participants, and aborted transactions were transparently retried.\n",
+		committed.Load(), participants*transactions)
+	if committed.Load() != participants*transactions {
+		panic("not all transactions committed")
+	}
+}

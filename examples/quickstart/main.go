@@ -1,0 +1,72 @@
+// Quickstart: four goroutines synchronize through the fault-tolerant
+// barrier while one of them is periodically reset (a detectable fault,
+// e.g. a process fail-stop + restart). Every barrier still executes
+// correctly: the reset worker redoes its lost phase and nobody races ahead.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	ftbarrier "repro"
+)
+
+const (
+	workers = 4
+	rounds  = 6
+)
+
+func main() {
+	b, err := ftbarrier.New(ftbarrier.Config{Participants: workers})
+	if err != nil {
+		panic(err)
+	}
+	defer b.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		fmt.Printf(format+"\n", args...)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < rounds; {
+				// ... phase work would happen here ...
+				logf("worker %d: finished phase work for round %d", id, round)
+				_, err := b.Await(ctx, id)
+				switch {
+				case err == nil:
+					logf("worker %d: passed barrier %d", id, round)
+					round++
+				case errors.Is(err, ftbarrier.ErrReset):
+					logf("worker %d: my process was reset — redoing round %d", id, round)
+				default:
+					logf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Meanwhile, fail-stop worker 2's protocol process a couple of times.
+	for i := 0; i < 2; i++ {
+		time.Sleep(3 * time.Millisecond)
+		fmt.Println("-- injecting detectable fault: resetting worker 2's process --")
+		b.Reset(2)
+	}
+
+	wg.Wait()
+	fmt.Println("all workers completed every round; every barrier executed correctly")
+}

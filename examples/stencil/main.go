@@ -1,0 +1,112 @@
+// Stencil: a 1-D Jacobi heat-diffusion iteration partitioned across
+// goroutines — the classic phased computation the paper's introduction
+// motivates. Each sweep is one barrier phase; workers exchange halo cells
+// between sweeps. Detectable faults (worker process resets) are injected
+// mid-run: thanks to the barrier's masking tolerance and the double
+// buffering of the grid, the final temperatures are bit-identical to a
+// fault-free run.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	ftbarrier "repro"
+)
+
+const (
+	workers = 4
+	cells   = 64 // grid cells per worker
+	sweeps  = 40
+)
+
+// jacobi runs the phased computation and returns the final grid. If
+// injectFaults is set, worker processes are reset while the computation
+// runs.
+func jacobi(injectFaults bool) []float64 {
+	n := workers * cells
+	cur := make([]float64, n+2)  // +2 boundary cells
+	next := make([]float64, n+2) // double buffer
+	cur[0], cur[n+1] = 100, -100 // fixed boundary temperatures
+	next[0], next[n+1] = 100, -100
+
+	b, err := ftbarrier.New(ftbarrier.Config{Participants: workers})
+	if err != nil {
+		panic(err)
+	}
+	defer b.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lo, hi := id*cells+1, (id+1)*cells // [lo, hi] in the grid
+			// Each worker tracks the double-buffer roles locally; the
+			// barrier keeps all workers' views in lockstep.
+			src, dst := cur, next
+			for sweep := 0; sweep < sweeps; {
+				// Phase work: relax our slice from src into dst. Reads
+				// touch neighbor slices' halo cells of src — safe because
+				// the previous barrier guaranteed everyone finished writing
+				// src, and redoing this loop after a reset is idempotent.
+				for i := lo; i <= hi; i++ {
+					dst[i] = (src[i-1] + src[i+1]) / 2
+				}
+				_, err := b.Await(ctx, id)
+				switch {
+				case err == nil:
+					sweep++
+					src, dst = dst, src
+				case errors.Is(err, ftbarrier.ErrReset):
+					// Our process restarted: redo this sweep (idempotent).
+				default:
+					panic(err)
+				}
+			}
+		}()
+	}
+
+	if injectFaults {
+		for i := 0; i < 6; i++ {
+			time.Sleep(2 * time.Millisecond)
+			b.Reset(i % workers)
+		}
+	}
+	wg.Wait()
+	// Sweep k writes the buffer that started as `next` when k is odd and
+	// `cur` when k is even (1-based), so after an even number of sweeps the
+	// final temperatures are in `cur`.
+	if sweeps%2 == 1 {
+		return next
+	}
+	return cur
+}
+
+func main() {
+	fmt.Println("running fault-free Jacobi reference...")
+	ref := jacobi(false)
+	fmt.Println("running Jacobi with injected process resets...")
+	faulty := jacobi(true)
+
+	maxDiff := 0.0
+	for i := range ref {
+		if d := math.Abs(ref[i] - faulty[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("max |fault-free - faulty| = %g\n", maxDiff)
+	if maxDiff != 0 {
+		panic("faulty run diverged from the fault-free reference")
+	}
+	fmt.Printf("grids identical after %d sweeps; sample temps: left=%.3f mid=%.3f right=%.3f\n",
+		sweeps, ref[1], ref[len(ref)/2], ref[len(ref)-2])
+}

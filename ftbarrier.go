@@ -1,0 +1,162 @@
+// Package ftbarrier is a fault-tolerant barrier-synchronization library, a
+// full reproduction of Kulkarni & Arora, "Low-cost Fault-tolerance in
+// Barrier Synchronizations" (ICPP 1998).
+//
+// The package offers three layers:
+//
+//  1. A practical runtime barrier for Go programs (New/Barrier.Await): a
+//     goroutine-and-channel implementation of the paper's message-passing
+//     program MB. Detectable faults — message loss, duplication, detected
+//     corruption, process reset — are masked (every barrier executes
+//     correctly); undetectable faults — state corruption — are stabilized;
+//     uncorrectable faults are handled fail-safe (Halt).
+//
+//  2. The paper's protocol stack as executable guarded-command programs,
+//     for simulation and verification: NewCB (coarse grain, Section 3),
+//     NewRB (token ring, Section 4.1), NewTreeBarrier (tree topologies,
+//     Section 4.2), NewMB (message passing, Section 5), each with
+//     detectable/undetectable fault injection and barrier-specification
+//     trace checking.
+//
+//  3. The Section 6 evaluation: the closed-form analytical model
+//     (AnalyticalModel) and the timed maximal-parallel simulator
+//     (SimulateDetectable, SimulateIntolerant, SimulateRecovery) that
+//     regenerate Figures 3–7; see also cmd/experiments.
+package ftbarrier
+
+import (
+	"math/rand"
+
+	"repro/internal/analytical"
+	"repro/internal/cb"
+	"repro/internal/core"
+	"repro/internal/dtree"
+	"repro/internal/faults"
+	"repro/internal/mb"
+	"repro/internal/rb"
+	"repro/internal/rbtree"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// --- Layer 1: the runtime barrier ---
+
+// Barrier is the fault-tolerant runtime barrier; see internal/runtime for
+// the protocol details. Create one with New and synchronize with Await.
+type Barrier = runtime.Barrier
+
+// Config parameterizes a runtime Barrier.
+type Config = runtime.Config
+
+// Errors returned by Barrier.Await.
+var (
+	ErrReset   = runtime.ErrReset
+	ErrHalted  = runtime.ErrHalted
+	ErrStopped = runtime.ErrStopped
+)
+
+// New creates and starts a runtime Barrier for cfg.Participants goroutines.
+func New(cfg Config) (*Barrier, error) { return runtime.New(cfg) }
+
+// --- Layer 2: the protocol stack ---
+
+// Event and EventSink expose the barrier-specification trace events that
+// every protocol engine emits; SpecChecker validates a trace against the
+// Section 2 specification.
+type (
+	// Event is one observable protocol step (begin/complete/reset).
+	Event = core.Event
+	// EventSink consumes protocol events.
+	EventSink = core.EventSink
+	// SpecChecker validates event traces against the barrier spec.
+	SpecChecker = core.SpecChecker
+)
+
+// NewSpecChecker returns a checker for n processes and nPhases phases.
+func NewSpecChecker(n, nPhases int) *SpecChecker { return core.NewSpecChecker(n, nPhases) }
+
+// NewCB builds the coarse-grain program CB of Section 3.
+func NewCB(nProcs, nPhases int, rng *rand.Rand, sink EventSink) (*cb.Program, error) {
+	return cb.New(nProcs, nPhases, rng, sink)
+}
+
+// NewRB builds the ring program RB of Section 4.1 with sequence numbers
+// modulo k (K > N).
+func NewRB(nProcs, nPhases, k int, rng *rand.Rand, sink EventSink) (*rb.Program, error) {
+	return rb.New(nProcs, nPhases, k, rng, sink)
+}
+
+// NewTreeBarrier builds the Section 4.2 tree program over the k-ary tree
+// with nProcs processes (Fig 2c) — the program the paper evaluates.
+func NewTreeBarrier(nProcs, arity, nPhases int, rng *rand.Rand, sink EventSink) (*rbtree.Program, error) {
+	tr, err := topo.NewKAryTree(nProcs, arity)
+	if err != nil {
+		return nil, err
+	}
+	return rbtree.New(tr.Parent, nPhases, nProcs+1, rng, sink)
+}
+
+// NewDoubleTreeBarrier builds the Figure 2(d) double-tree program over the
+// k-ary tree with nProcs processes: dissemination down the tree, detection
+// by convergecast back up it — the construction that embeds in arbitrary
+// connected graphs.
+func NewDoubleTreeBarrier(nProcs, arity, nPhases int, rng *rand.Rand, sink EventSink) (*dtree.Program, error) {
+	tr, err := topo.NewKAryTree(nProcs, arity)
+	if err != nil {
+		return nil, err
+	}
+	return dtree.New(tr.Parent, nPhases, nProcs+1, rng, sink)
+}
+
+// NewMB builds the message-passing program MB of Section 5 with sequence
+// numbers modulo l (L > 2N+1).
+func NewMB(nProcs, nPhases, l int, rng *rand.Rand, sink EventSink) (*mb.Program, error) {
+	return mb.New(nProcs, nPhases, l, rng, sink)
+}
+
+// FaultKind and the fault catalog expose the paper's Table 1 taxonomy.
+type (
+	// FaultKind is a concrete, classified fault type.
+	FaultKind = faults.Kind
+	// FaultClass is detectable or undetectable.
+	FaultClass = faults.Class
+	// Tolerance is the appropriate tolerance per Table 1.
+	Tolerance = faults.Tolerance
+)
+
+// FaultCatalog lists the paper's fault types with their classification.
+func FaultCatalog() []FaultKind { return faults.Catalog }
+
+// AppropriateTolerance is Table 1: the tolerance a barrier synchronization
+// should provide for a (correctability, class) pair.
+func AppropriateTolerance(corr faults.Correctability, class faults.Class) Tolerance {
+	return faults.AppropriateTolerance(corr, class)
+}
+
+// --- Layer 3: the Section 6 evaluation ---
+
+// AnalyticalModel is the Section 6.1 closed-form model; zero value is not
+// useful — set H (tree height), C (latency) and F (fault frequency).
+type AnalyticalModel = analytical.Model
+
+// SimConfig parameterizes a timed simulation (Section 6.2).
+type SimConfig = sim.Config
+
+// SimResult is a detectable-fault simulation outcome (Figures 5 and 6).
+type SimResult = sim.Result
+
+// RecoveryResult is an undetectable-fault recovery outcome (Figure 7).
+type RecoveryResult = sim.RecoveryResult
+
+// SimulateDetectable reproduces the Figure 5/6 measurements: the tree
+// protocol under detectable faults, with spec checking throughout.
+func SimulateDetectable(cfg SimConfig) (SimResult, error) { return sim.RunDetectable(cfg) }
+
+// SimulateIntolerant measures the fault-intolerant combining-tree baseline
+// under the same timed semantics.
+func SimulateIntolerant(cfg SimConfig) (SimResult, error) { return sim.RunIntolerant(cfg) }
+
+// SimulateRecovery reproduces the Figure 7 measurement: time to recover
+// from a whole-system undetectable perturbation.
+func SimulateRecovery(cfg SimConfig) (RecoveryResult, error) { return sim.RunRecovery(cfg) }

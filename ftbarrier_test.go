@@ -1,0 +1,119 @@
+package ftbarrier
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// The quickstart flow: goroutines synchronize through the runtime barrier.
+func TestRuntimeBarrierQuickstart(t *testing.T) {
+	b, err := New(Config{Participants: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 5; round++ {
+				if _, err := b.Await(ctx, id); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// All four protocol layers construct and run through the facade.
+func TestProtocolConstructors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	checker := NewSpecChecker(4, 3)
+
+	cbProg, err := NewCB(4, 3, rng, checker.Observe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		cbProg.Guarded().StepRoundRobin()
+	}
+	if err := checker.Violation(); err != nil {
+		t.Fatal(err)
+	}
+
+	rbProg, err := NewRB(4, 3, 5, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		rbProg.Guarded().StepRoundRobin()
+	}
+
+	tbProg, err := NewTreeBarrier(15, 2, 3, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		tbProg.Guarded().StepRoundRobin()
+	}
+
+	mbProg, err := NewMB(4, 3, 10, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		mbProg.Guarded().StepRoundRobin()
+	}
+}
+
+func TestAnalyticalFacade(t *testing.T) {
+	m := AnalyticalModel{H: 5, C: 0.01, F: 0}
+	if got := m.Overhead(); got < 0.044 || got > 0.046 {
+		t.Errorf("paper's 4.5%% overhead spot value: got %.4f", got)
+	}
+}
+
+func TestSimulationFacade(t *testing.T) {
+	res, err := SimulateDetectable(SimConfig{Procs: 16, C: 0.01, F: 0.02, Seed: 1, Phases: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InstancesPerPhase < 1 {
+		t.Errorf("instances per phase %v < 1", res.InstancesPerPhase)
+	}
+	intol, err := SimulateIntolerant(SimConfig{Procs: 16, C: 0.01, Seed: 1, Phases: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intol.TimePerPhase <= 0 {
+		t.Error("intolerant baseline time must be positive")
+	}
+	rec, err := SimulateRecovery(SimConfig{Procs: 16, C: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Time < 0 {
+		t.Error("negative recovery time")
+	}
+}
+
+func TestFaultCatalogFacade(t *testing.T) {
+	if len(FaultCatalog()) == 0 {
+		t.Fatal("empty fault catalog")
+	}
+	if AppropriateTolerance(faults.Eventual, faults.Detectable) != faults.Masking {
+		t.Error("Table 1 mapping broken")
+	}
+}

@@ -1,0 +1,111 @@
+// Package analytical implements the closed-form performance model of
+// Section 6.1 of the paper, for the barrier program running on a tree of
+// height h under the maximal parallel semantics.
+//
+// Conventions (all times in units of the phase execution time):
+//
+//   - c is the communication latency (e.g. c = 0.01 means a 10µs message
+//     latency against a 1ms phase).
+//   - f is the fault frequency: the probability that no fault occurs in a
+//     window of duration d is (1−f)^d, so f = 0.01 with a 1ms phase time
+//     means 10 faults per second.
+//   - The fault-tolerant program synchronizes with three waves over the
+//     tree, so a successful fault-free phase takes 1 + 3hc.
+//   - The fault-intolerant baseline needs only two waves (detect
+//     completion, announce the next phase): 1 + 2hc.
+package analytical
+
+import (
+	"errors"
+	"math"
+)
+
+// Model is a parameterization of the analytical formulas.
+type Model struct {
+	H int     // tree height (32 processes in a binary tree → h = 5)
+	C float64 // communication latency in phase-time units, c ≥ 0
+	F float64 // fault frequency, 0 ≤ f < 1
+}
+
+// Validate reports whether the parameters are in the model's domain.
+func (m Model) Validate() error {
+	if m.H < 0 {
+		return errors.New("analytical: h must be non-negative")
+	}
+	if m.C < 0 {
+		return errors.New("analytical: c must be non-negative")
+	}
+	if m.F < 0 || m.F >= 1 {
+		return errors.New("analytical: f must be in [0, 1)")
+	}
+	return nil
+}
+
+// FaultFreePhaseTime returns the maximum time to execute a phase
+// successfully in the absence of faults: 1 + 3hc (one wave per control
+// position change: execute, success, ready).
+func (m Model) FaultFreePhaseTime() float64 {
+	return 1 + 3*float64(m.H)*m.C
+}
+
+// IntolerantPhaseTime returns the phase time of the fault-intolerant
+// baseline: 1 + 2hc (one communication over the tree to detect that all
+// processes completed, another to start the next phase).
+func (m Model) IntolerantPhaseTime() float64 {
+	return 1 + 2*float64(m.H)*m.C
+}
+
+// PFaultDuringPhase returns the probability that at least one fault occurs
+// during an instance of a phase: 1 − (1−f)^(1+3hc). The paper calls this
+// f_freq.
+func (m Model) PFaultDuringPhase() float64 {
+	return 1 - math.Pow(1-m.F, m.FaultFreePhaseTime())
+}
+
+// PExactlyKInstances returns the probability that exactly k instances of a
+// phase are executed before one succeeds: faults hit the first k−1
+// instances and spare the k-th, i.e. f_freq^(k−1)·(1−f_freq).
+func (m Model) PExactlyKInstances(k int) float64 {
+	if k < 1 {
+		return 0
+	}
+	ff := m.PFaultDuringPhase()
+	return math.Pow(ff, float64(k-1)) * (1 - ff)
+}
+
+// ExpectedInstances returns the expected number of instances executed per
+// successfully executed phase in the presence of detectable faults:
+// 1/(1−f)^(1+3hc) (the mean of the geometric distribution above).
+func (m Model) ExpectedInstances() float64 {
+	return 1 / math.Pow(1-m.F, m.FaultFreePhaseTime())
+}
+
+// PhaseTime returns the expected time to execute a phase successfully in
+// the presence of detectable faults: (1+3hc)/(1−f)^(1+3hc). This is the
+// paper's worst-case model: a faulty instance is charged the full 1+3hc.
+func (m Model) PhaseTime() float64 {
+	return m.FaultFreePhaseTime() * m.ExpectedInstances()
+}
+
+// Overhead returns the fractional overhead of fault-tolerance relative to
+// the fault-intolerant baseline: PhaseTime/IntolerantPhaseTime − 1.
+// At h=5, c=0.01 this yields the paper's spot values: 4.5% (f=0),
+// 5.7% (f=0.01), 10.8% (f=0.05).
+func (m Model) Overhead() float64 {
+	return m.PhaseTime()/m.IntolerantPhaseTime() - 1
+}
+
+// RecoveryBound returns the Section 6.1 worst-case bound on the time to
+// recover from an arbitrary state (undetectable faults): hc to correct the
+// sequence numbers, hc for the root to receive the token, and at most 3hc
+// to reach a start state — 5hc in total. Under the paper's operating
+// assumption 2hc ≤ 0.5 this is at most 1.25 time units.
+func (m Model) RecoveryBound() float64 {
+	return 5 * float64(m.H) * m.C
+}
+
+// SyncAssumptionHolds reports the paper's operating assumption that barrier
+// synchronization takes at most half a phase time: 2hc ≤ 0.5.
+func (m Model) SyncAssumptionHolds() bool {
+	return 2*float64(m.H)*m.C <= 0.5
+}

@@ -1,0 +1,164 @@
+package analytical
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestValidate(t *testing.T) {
+	if err := (Model{H: 5, C: 0.01, F: 0.01}).Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, m := range []Model{
+		{H: -1, C: 0, F: 0},
+		{H: 1, C: -0.1, F: 0},
+		{H: 1, C: 0, F: -0.1},
+		{H: 1, C: 0, F: 1},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %+v should be invalid", m)
+		}
+	}
+}
+
+// Paper, Section 6.1 / Figure 4: at 32 processes (h=5) and c=0.01, the
+// overhead of fault-tolerance is 4.5% with no faults, 5.7% at f=0.01
+// (10 faults/second) and ≤10.8% at f=0.05 (50 faults/second).
+func TestPaperOverheadSpotValues(t *testing.T) {
+	cases := []struct {
+		f    float64
+		want float64
+	}{
+		{0, 0.045},
+		{0.01, 0.057},
+		{0.05, 0.108},
+	}
+	for _, tc := range cases {
+		m := Model{H: 5, C: 0.01, F: tc.f}
+		got := m.Overhead()
+		if !approx(got, tc.want, 0.002) {
+			t.Errorf("overhead(h=5,c=0.01,f=%g) = %.4f, want ≈ %.3f", tc.f, got, tc.want)
+		}
+	}
+}
+
+// Paper, Section 6.1 / Figure 3: at high latency c=0.05 and f=0.01 the
+// probability of re-execution is as low as ≈1.7%.
+func TestPaperReexecutionSpotValue(t *testing.T) {
+	m := Model{H: 5, C: 0.05, F: 0.01}
+	extra := m.ExpectedInstances() - 1
+	if !approx(extra, 0.017, 0.002) {
+		t.Errorf("re-execution fraction = %.4f, want ≈ 0.017", extra)
+	}
+	// And for f ≤ 0.01 at c = 0.01 it stays below 1.6%.
+	m = Model{H: 5, C: 0.01, F: 0.01}
+	if got := m.ExpectedInstances() - 1; got >= 0.016 {
+		t.Errorf("re-execution fraction at c=0.01 = %.4f, want < 0.016", got)
+	}
+}
+
+func TestFaultFreeTimes(t *testing.T) {
+	m := Model{H: 5, C: 0.01, F: 0}
+	if got := m.FaultFreePhaseTime(); !approx(got, 1.15, 1e-12) {
+		t.Errorf("fault-free phase time = %v, want 1.15", got)
+	}
+	if got := m.IntolerantPhaseTime(); !approx(got, 1.10, 1e-12) {
+		t.Errorf("intolerant phase time = %v, want 1.10", got)
+	}
+	if got := m.PhaseTime(); !approx(got, 1.15, 1e-12) {
+		t.Errorf("phase time at f=0 = %v, want 1.15", got)
+	}
+	if m.PFaultDuringPhase() != 0 {
+		t.Error("no faults means no fault during phase")
+	}
+}
+
+func TestRecoveryBound(t *testing.T) {
+	m := Model{H: 5, C: 0.01}
+	if got := m.RecoveryBound(); !approx(got, 0.25, 1e-12) {
+		t.Errorf("recovery bound = %v, want 0.25", got)
+	}
+	// Under the 2hc ≤ 0.5 assumption the bound is at most 1.25.
+	m = Model{H: 5, C: 0.05}
+	if !m.SyncAssumptionHolds() {
+		t.Error("2hc = 0.5 satisfies the assumption")
+	}
+	if got := m.RecoveryBound(); got > 1.25+1e-12 {
+		t.Errorf("recovery bound = %v, want ≤ 1.25", got)
+	}
+	if (Model{H: 6, C: 0.05}).SyncAssumptionHolds() {
+		t.Error("2hc = 0.6 violates the assumption")
+	}
+}
+
+// Property: the instance-count distribution is a proper geometric
+// distribution whose mean matches the closed form.
+func TestInstanceDistributionProperties(t *testing.T) {
+	f := func(hRaw, cRaw, fRaw uint8) bool {
+		m := Model{
+			H: int(hRaw % 8),
+			C: float64(cRaw%6) / 100,
+			F: float64(fRaw%10) / 100,
+		}
+		sum, mean := 0.0, 0.0
+		for k := 1; k < 4000; k++ {
+			p := m.PExactlyKInstances(k)
+			if p < 0 || p > 1 {
+				return false
+			}
+			sum += p
+			mean += float64(k) * p
+		}
+		if !approx(sum, 1, 1e-6) {
+			return false
+		}
+		return approx(mean, m.ExpectedInstances(), 1e-4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: monotonicity — more faults or more latency never speeds the
+// program up, and overhead is non-negative.
+func TestMonotonicityProperties(t *testing.T) {
+	f := func(hRaw, cRaw, fRaw uint8) bool {
+		h := int(hRaw%8) + 1
+		c := float64(cRaw%6) / 100
+		fv := float64(fRaw%20) / 100
+		m := Model{H: h, C: c, F: fv}
+		mMoreFaults := Model{H: h, C: c, F: fv + 0.05}
+		mMoreLatency := Model{H: h, C: c + 0.01, F: fv}
+		if m.PhaseTime() > mMoreFaults.PhaseTime()+1e-12 {
+			return false
+		}
+		if m.PhaseTime() > mMoreLatency.PhaseTime()+1e-12 {
+			return false
+		}
+		if m.Overhead() < -1e-12 {
+			return false
+		}
+		return m.ExpectedInstances() >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPExactlyKInstancesEdge(t *testing.T) {
+	m := Model{H: 5, C: 0.01, F: 0.1}
+	if m.PExactlyKInstances(0) != 0 {
+		t.Error("k=0 has probability 0")
+	}
+	if got := m.PExactlyKInstances(1); !approx(got, 1-m.PFaultDuringPhase(), 1e-12) {
+		t.Errorf("P(k=1) = %v", got)
+	}
+	// With f=0, exactly one instance with probability 1.
+	m0 := Model{H: 5, C: 0.01, F: 0}
+	if m0.PExactlyKInstances(1) != 1 || m0.PExactlyKInstances(2) != 0 {
+		t.Error("f=0 must execute exactly one instance")
+	}
+}

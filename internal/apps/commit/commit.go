@@ -1,0 +1,83 @@
+// Package commit instantiates the barrier-synchronization program as an
+// atomic-commitment protocol, per Section 7 of the paper: a transaction
+// completes successfully only if all of its subtransactions complete
+// successfully, and transaction j+1 is executed only after transaction j
+// completes.
+//
+// The mapping follows the paper exactly: each subtransaction changes its
+// control position from execute to success if it completed successfully,
+// and to error otherwise — here, a failed subtransaction resets its own
+// protocol process (a detectable fault), which forces the whole transaction
+// to be re-executed before the system can move on.
+package commit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/runtime"
+)
+
+// Coordinator runs transactions over a fault-tolerant barrier: one barrier
+// pass per committed transaction.
+type Coordinator struct {
+	b *runtime.Barrier
+}
+
+// New creates a coordinator for the given number of participants.
+func New(participants int) (*Coordinator, error) {
+	b, err := runtime.New(runtime.Config{Participants: participants})
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{b: b}, nil
+}
+
+// NewWithBarrier wraps an existing barrier (useful for tests that inject
+// additional faults).
+func NewWithBarrier(b *runtime.Barrier) *Coordinator {
+	return &Coordinator{b: b}
+}
+
+// Barrier exposes the underlying barrier (e.g. for fault injection).
+func (c *Coordinator) Barrier() *runtime.Barrier { return c.b }
+
+// Close shuts the coordinator down.
+func (c *Coordinator) Close() { c.b.Stop() }
+
+// Execute runs participant id's subtransaction of the current transaction.
+// The subtransaction is retried until an attempt succeeds, and Execute
+// returns only once every participant's subtransaction has succeeded — the
+// transaction is then committed everywhere. Attempt numbers are passed to
+// sub so callers can observe retries.
+//
+// A subtransaction failure is the paper's error control position: the
+// participant resets its own protocol process (aborting the transaction
+// instance, which the other participants' processes re-execute with their
+// completed votes standing) and withholds its barrier arrival until a
+// retry succeeds — so no participant can ever observe a commit of a
+// transaction in which some subtransaction's final attempt failed.
+func (c *Coordinator) Execute(ctx context.Context, id int, sub func(attempt int) error) error {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := sub(attempt); err != nil {
+			// Vote abort: reset our own process (cp := error) and retry the
+			// subtransaction before arriving at the barrier. The commit
+			// cannot proceed meanwhile — it needs our arrival.
+			c.b.Reset(id)
+			continue
+		}
+		_, err := c.b.Await(ctx, id)
+		switch {
+		case err == nil:
+			return nil // all subtransactions succeeded: committed
+		case errors.Is(err, runtime.ErrReset):
+			continue // our abort (or an external reset) voided this attempt
+		default:
+			return fmt.Errorf("commit: %w", err)
+		}
+	}
+}

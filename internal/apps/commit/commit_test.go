@@ -1,0 +1,221 @@
+package commit
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCommitAllSucceed(t *testing.T) {
+	const n = 4
+	c, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var committed atomic.Int32
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for txn := 0; txn < 5; txn++ {
+				if err := c.Execute(ctx, id, func(int) error { return nil }); err != nil {
+					t.Errorf("participant %d txn %d: %v", id, txn, err)
+					return
+				}
+				committed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := committed.Load(); got != 5*n {
+		t.Errorf("committed %d subtransactions, want %d", got, 5*n)
+	}
+}
+
+// A transaction whose subtransaction fails is retried until every
+// subtransaction succeeds; no participant returns before that.
+func TestAbortRetriesTransaction(t *testing.T) {
+	const n = 3
+	c, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	var failuresLeft atomic.Int32
+	failuresLeft.Store(3) // participant 0's subtransaction fails 3 times
+
+	attempts := make([]int, n)
+	var wg sync.WaitGroup
+	errFail := context.DeadlineExceeded // any sentinel
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := c.Execute(ctx, id, func(attempt int) error {
+				attempts[id] = attempt
+				if id == 0 && failuresLeft.Add(-1) >= 0 {
+					return errFail
+				}
+				return nil
+			})
+			if err != nil {
+				t.Errorf("participant %d: %v", id, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if attempts[0] < 3 {
+		t.Errorf("participant 0 retried %d times, want ≥ 3 (one per failure)", attempts[0])
+	}
+}
+
+// Sequencing: transaction k+1 is executed only after transaction k
+// committed everywhere.
+func TestTransactionSequencing(t *testing.T) {
+	const n, txns = 3, 8
+	c, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	current := make([]int, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for txn := 0; txn < txns; txn++ {
+				err := c.Execute(ctx, id, func(int) error {
+					mu.Lock()
+					current[id] = txn
+					for _, o := range current {
+						if o < txn-1 || o > txn+1 {
+							t.Errorf("participant %d executing txn %d while another is on %d",
+								id, txn, o)
+						}
+					}
+					mu.Unlock()
+					return nil
+				})
+				if err != nil {
+					t.Errorf("participant %d: %v", id, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestContextCancellation(t *testing.T) {
+	c, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// Participant 1 never arrives, so participant 0 blocks until cancel.
+		done <- c.Execute(ctx, 0, func(int) error { return nil })
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("Execute should fail after context cancellation")
+	}
+}
+
+func TestNewWithBarrierAndAccessors(t *testing.T) {
+	c, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Barrier() == nil {
+		t.Fatal("Barrier() is nil")
+	}
+	c2 := NewWithBarrier(c.Barrier())
+	if c2.Barrier() != c.Barrier() {
+		t.Error("NewWithBarrier should wrap the given barrier")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("single participant should be rejected")
+	}
+}
+
+// External detectable faults (process resets injected by the environment,
+// not by subtransaction failures) also just retry transactions: atomicity
+// holds and all transactions eventually commit.
+func TestCommitUnderExternalResets(t *testing.T) {
+	const n, txns = 3, 6
+	c, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	stop := make(chan struct{})
+	var injector sync.WaitGroup
+	injector.Add(1)
+	go func() {
+		defer injector.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(3 * time.Millisecond):
+				c.Barrier().Reset(i % n)
+			}
+		}
+	}()
+
+	var committed atomic.Int32
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for txn := 0; txn < txns; txn++ {
+				if err := c.Execute(ctx, id, func(int) error { return nil }); err != nil {
+					t.Errorf("participant %d txn %d: %v", id, txn, err)
+					return
+				}
+				committed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	injector.Wait()
+	if got := committed.Load(); got != n*txns {
+		t.Errorf("committed %d, want %d", got, n*txns)
+	}
+}

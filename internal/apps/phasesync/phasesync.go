@@ -1,0 +1,72 @@
+// Package phasesync instantiates the barrier as a phase-synchronization
+// primitive, per Section 7 of the paper: each process executes a
+// (potentially infinite) sequence of phases and executes phase i only when
+// all processes have completed phase i−1. Each application phase maps onto
+// an instance of a barrier phase; the barrier's masking tolerance covers
+// the detectable corruption of the synchronization variables that the
+// phase-synchronization literature traditionally considers.
+package phasesync
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/runtime"
+)
+
+// Synchronizer runs phased computations over a fault-tolerant barrier.
+type Synchronizer struct {
+	b *runtime.Barrier
+}
+
+// New creates a synchronizer for the given number of participants.
+func New(participants int) (*Synchronizer, error) {
+	b, err := runtime.New(runtime.Config{Participants: participants})
+	if err != nil {
+		return nil, err
+	}
+	return &Synchronizer{b: b}, nil
+}
+
+// NewWithBarrier wraps an existing barrier (useful for fault injection).
+func NewWithBarrier(b *runtime.Barrier) *Synchronizer { return &Synchronizer{b: b} }
+
+// Barrier exposes the underlying barrier.
+func (s *Synchronizer) Barrier() *runtime.Barrier { return s.b }
+
+// Close shuts the synchronizer down.
+func (s *Synchronizer) Close() { s.b.Stop() }
+
+// Run executes `phases` phases of work as participant id, synchronizing
+// after each phase. work receives the phase index and the attempt number
+// (> 0 when the phase is re-executed after a detectable fault reset this
+// participant). The phase-synchronization property — no participant starts
+// phase i+1 before every participant completed phase i — is inherited from
+// the barrier's Safety.
+func (s *Synchronizer) Run(ctx context.Context, id, phases int, work func(phase, attempt int) error) error {
+	for phase := 0; phase < phases; {
+		attempt := 0
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if work != nil {
+				if err := work(phase, attempt); err != nil {
+					return fmt.Errorf("phasesync: phase %d failed: %w", phase, err)
+				}
+			}
+			_, err := s.b.Await(ctx, id)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, runtime.ErrReset) {
+				attempt++ // this participant's work was lost: redo the phase
+				continue
+			}
+			return err
+		}
+		phase++
+	}
+	return nil
+}

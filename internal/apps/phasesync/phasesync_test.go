@@ -1,0 +1,132 @@
+package phasesync
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1); err == nil {
+		t.Error("single participant should be rejected")
+	}
+}
+
+// Phase synchronization: no participant starts phase i+1 before every
+// participant completed phase i.
+func TestPhaseSynchronization(t *testing.T) {
+	const n, phases = 4, 10
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	completed := make([]int, n) // highest phase completed per participant
+	for i := range completed {
+		completed[i] = -1
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := s.Run(ctx, id, phases, func(phase, attempt int) error {
+				mu.Lock()
+				defer mu.Unlock()
+				// Everyone must have completed phase-1 before we run phase.
+				for other, c := range completed {
+					if c < phase-1 {
+						t.Errorf("participant %d runs phase %d before %d completed %d",
+							id, phase, other, phase-1)
+					}
+				}
+				completed[id] = phase
+				return nil
+			})
+			if err != nil {
+				t.Errorf("participant %d: %v", id, err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Resets re-execute only the lost phase work, and the run still completes.
+func TestRunSurvivesResets(t *testing.T) {
+	const n, phases = 3, 12
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	stop := make(chan struct{})
+	var injector sync.WaitGroup
+	injector.Add(1)
+	go func() {
+		defer injector.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				s.Barrier().Reset(i % n)
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	executions := 0
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := s.Run(ctx, id, phases, func(phase, attempt int) error {
+				mu.Lock()
+				executions++
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Errorf("participant %d: %v", id, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	injector.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if executions < n*phases {
+		t.Errorf("executed %d phase-works, want ≥ %d", executions, n*phases)
+	}
+}
+
+func TestWorkErrorPropagates(t *testing.T) {
+	s, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	wantErr := context.DeadlineExceeded // arbitrary sentinel
+	err = s.Run(ctx, 0, 3, func(phase, attempt int) error { return wantErr })
+	if err == nil {
+		t.Fatal("work error should propagate")
+	}
+}

@@ -1,0 +1,100 @@
+// Package unison instantiates the barrier-synchronization program as a
+// self-stabilizing bounded clock-unison protocol, per Section 7 of the
+// paper: every process maintains a bounded counter (clock) such that at all
+// times the counters of any two processes differ by at most one (cyclically)
+// and the counters are incremented infinitely often.
+//
+// The mapping is the paper's: phase i of the barrier computation is the
+// i-th clock value, and since the barrier program keeps all phases within
+// one of each other and is stabilizing tolerant to undetectable faults, it
+// meets clock unison's requirements.
+package unison
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/cb"
+)
+
+// Clock is a bounded-domain unison clock over n processes.
+type Clock struct {
+	prog    *cb.Program
+	n       int
+	modulus int
+	rng     *rand.Rand
+}
+
+// New creates a unison clock with values in {0..modulus-1}. modulus must be
+// at least 3 so that cyclic skew is well defined.
+func New(nProcs, modulus int, seed int64) (*Clock, error) {
+	if modulus < 3 {
+		return nil, errors.New("unison: modulus must be at least 3")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prog, err := cb.New(nProcs, modulus, rng, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Clock{prog: prog, n: nProcs, modulus: modulus, rng: rng}, nil
+}
+
+// N returns the number of processes.
+func (c *Clock) N() int { return c.n }
+
+// Modulus returns the clock domain size.
+func (c *Clock) Modulus() int { return c.modulus }
+
+// Value returns process j's clock.
+func (c *Clock) Value(j int) int { return c.prog.Phase(j) }
+
+// Step executes one protocol step (a fair interleaving step); it reports
+// whether any action was enabled.
+func (c *Clock) Step() bool {
+	_, ok := c.prog.Guarded().StepRandom(c.rng)
+	return ok
+}
+
+// Scramble perturbs every process to an arbitrary state — the undetectable
+// fault model of clock unison. The protocol re-stabilizes: eventually skew
+// stays within one and clocks keep advancing.
+func (c *Clock) Scramble() {
+	for j := 0; j < c.n; j++ {
+		c.prog.InjectUndetectable(j)
+	}
+}
+
+// cyclicDiff returns the cyclic distance between clock values a and b.
+func (c *Clock) cyclicDiff(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if alt := c.modulus - d; alt < d {
+		d = alt
+	}
+	return d
+}
+
+// MaxSkew returns the maximum pairwise cyclic difference between clocks.
+// Unison requires MaxSkew ≤ 1. (During stabilization after undetectable
+// faults it may transiently exceed 1.)
+func (c *Clock) MaxSkew() int {
+	max := 0
+	for i := 0; i < c.n; i++ {
+		for j := i + 1; j < c.n; j++ {
+			if d := c.cyclicDiff(c.prog.Phase(i), c.prog.Phase(j)); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// InUnison reports whether all clocks are within one of each other and the
+// underlying program is in a consistent protocol state.
+func (c *Clock) InUnison() bool { return c.MaxSkew() <= 1 }
+
+// Stabilized reports whether the program reached a start state (from which
+// unison holds forever).
+func (c *Clock) Stabilized() bool { return c.prog.InStartState() }

@@ -1,0 +1,133 @@
+package unison
+
+import (
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3, 2, 1); err == nil {
+		t.Error("modulus 2 should be rejected")
+	}
+	if _, err := New(1, 4, 1); err == nil {
+		t.Error("single process should be rejected")
+	}
+	c, err := New(4, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 4 || c.Modulus() != 5 {
+		t.Error("accessors wrong")
+	}
+}
+
+// Unison safety: in the absence of faults, the pairwise cyclic skew never
+// exceeds 1.
+func TestSkewBoundedFaultFree(t *testing.T) {
+	c, err := New(5, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if !c.Step() {
+			t.Fatal("clock deadlocked")
+		}
+		if skew := c.MaxSkew(); skew > 1 {
+			t.Fatalf("step %d: skew %d exceeds 1 (values %v)", i, skew, values(c))
+		}
+	}
+}
+
+// Unison liveness: clocks are incremented infinitely often.
+func TestClocksAdvance(t *testing.T) {
+	c, err := New(4, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	increments := 0
+	last := c.Value(0)
+	for i := 0; i < 50000 && increments < 20; i++ {
+		if !c.Step() {
+			t.Fatal("clock deadlocked")
+		}
+		if v := c.Value(0); v != last {
+			increments++
+			last = v
+		}
+	}
+	if increments < 20 {
+		t.Fatalf("clock 0 advanced only %d times", increments)
+	}
+}
+
+// Stabilization: from arbitrary clock values (undetectable faults) the
+// protocol reaches unison and keeps it forever after.
+func TestStabilizesFromArbitraryState(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		c, err := New(4, 6, 100+seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Scramble()
+		stabilized := false
+		for i := 0; i < 50000; i++ {
+			if c.Stabilized() {
+				stabilized = true
+				break
+			}
+			if !c.Step() {
+				t.Fatal("clock deadlocked during stabilization")
+			}
+		}
+		if !stabilized {
+			t.Fatalf("seed %d: no stabilization (values %v)", seed, values(c))
+		}
+		// Closure: unison holds on every subsequent step.
+		for i := 0; i < 5000; i++ {
+			if !c.Step() {
+				t.Fatal("clock deadlocked after stabilization")
+			}
+			if !c.InUnison() {
+				t.Fatalf("seed %d: unison violated after stabilization (values %v)",
+					seed, values(c))
+			}
+		}
+	}
+}
+
+func values(c *Clock) []int {
+	vs := make([]int, c.N())
+	for j := range vs {
+		vs[j] = c.Value(j)
+	}
+	return vs
+}
+
+// Property over random seeds: unison safety (skew ≤ 1) and liveness hold
+// for arbitrary process counts and moduli.
+func TestUnisonProperty(t *testing.T) {
+	for seed := int64(200); seed < 230; seed++ {
+		n := 2 + int(seed%5)
+		mod := 3 + int(seed%6)
+		c, err := New(n, mod, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		advanced := 0
+		last := c.Value(0)
+		for i := 0; i < 5000; i++ {
+			if !c.Step() {
+				t.Fatalf("seed %d: deadlock", seed)
+			}
+			if c.MaxSkew() > 1 {
+				t.Fatalf("seed %d: skew %d (values %v)", seed, c.MaxSkew(), values(c))
+			}
+			if v := c.Value(0); v != last {
+				advanced++
+				last = v
+			}
+		}
+		if advanced == 0 {
+			t.Fatalf("seed %d: clock never advanced", seed)
+		}
+	}
+}

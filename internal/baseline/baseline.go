@@ -1,0 +1,202 @@
+// Package baseline implements the fault-intolerant barrier the paper
+// compares against in its overhead analysis (Section 6): a classic
+// combining-tree barrier that detects completion with one communication
+// over the tree and announces the next phase with another, achieving the
+// 1 + 2hc phase time of the paper's intolerant model.
+//
+// The baseline is expressed as a guarded-command program over the same
+// tree, driven by the same timed scheduler as the fault-tolerant program,
+// so overhead comparisons are apples-to-apples. It has no fault-handling
+// actions whatsoever: injecting a fault demonstrates the failure modes that
+// motivate the paper (a crashed process deadlocks every other process; a
+// corrupted phase counter desynchronizes the computation permanently).
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/guarded"
+)
+
+// EventSink receives Begin/Complete events (the baseline never emits
+// resets: it has no notion of faults).
+type EventSink = core.EventSink
+
+// Program is a fault-intolerant combining-tree barrier.
+//
+// Each process j keeps an announced phase ann.j and a finished phase fin.j:
+//
+//	A.j (j≠0) :: ann.parent ≠ ann.j                 → ann.j := ann.parent   (begin work)
+//	F.j       :: ann.j ≠ fin.j ∧ work done ∧
+//	             ∀child c: fin.c = ann.j            → fin.j := ann.j        (combine up)
+//	R.0       :: fin.0 = ann.0                      → ann.0 := ann.0+1      (release)
+type Program struct {
+	n       int
+	nPhases int
+
+	parent   []int
+	children [][]int
+
+	ann []int
+	fin []int
+
+	prog *guarded.Program
+	sink EventSink
+	gate func(j int) bool
+
+	halted []bool // a crashed process executes no actions (up = false)
+}
+
+// New builds the baseline over the tree described by parent (parent[0] =
+// -1). Phases count modulo nPhases ≥ 2.
+func New(parent []int, nPhases int, sink EventSink) (*Program, error) {
+	n := len(parent)
+	if n < 2 {
+		return nil, errors.New("baseline: need at least 2 processes")
+	}
+	if parent[0] != -1 {
+		return nil, errors.New("baseline: parent[0] must be -1")
+	}
+	if nPhases < 2 {
+		return nil, errors.New("baseline: need at least 2 phases")
+	}
+	p := &Program{
+		n:        n,
+		nPhases:  nPhases,
+		parent:   append([]int(nil), parent...),
+		children: make([][]int, n),
+		ann:      make([]int, n),
+		fin:      make([]int, n),
+		halted:   make([]bool, n),
+	}
+	for j := 1; j < n; j++ {
+		pr := parent[j]
+		if pr < 0 || pr >= j {
+			return nil, fmt.Errorf("baseline: parent[%d] = %d must reference an earlier node", j, pr)
+		}
+		p.children[pr] = append(p.children[pr], j)
+	}
+	// ann and fin are monotone counters (exposed modulo nPhases by Phase):
+	// initially phase 0 is announced everywhere and not yet finished
+	// anywhere, so every process is implicitly executing phase 0.
+	for j := range p.fin {
+		p.fin[j] = -1
+	}
+	p.sink = sink
+	p.prog = guarded.NewProgram()
+	p.addActions()
+	return p, nil
+}
+
+// Guarded returns the underlying guarded-command program.
+func (p *Program) Guarded() *guarded.Program { return p.prog }
+
+// N returns the number of processes.
+func (p *Program) N() int { return p.n }
+
+// SetWorkGate installs the phase-execution gate (see rbtree.SetWorkGate).
+func (p *Program) SetWorkGate(gate func(j int) bool) { p.gate = gate }
+
+// SetSink replaces the event sink.
+func (p *Program) SetSink(sink EventSink) { p.sink = sink }
+
+func (p *Program) workReady(j int) bool { return p.gate == nil || p.gate(j) }
+
+// Phase returns the phase process j is currently in (modulo the cycle).
+func (p *Program) Phase(j int) int { return p.ann[j] % p.nPhases }
+
+// Barriers returns the number of completed barriers (phases the root has
+// released past).
+func (p *Program) Barriers() int { return p.ann[0] }
+
+func (p *Program) emit(e core.Event) {
+	if p.sink != nil {
+		p.sink(e)
+	}
+}
+
+func (p *Program) addActions() {
+	for j := 0; j < p.n; j++ {
+		j := j
+		if j != 0 {
+			parent := p.parent[j]
+			// A.j: adopt the parent's announced phase and begin working.
+			p.prog.Add(guarded.Action{
+				Name: fmt.Sprintf("A.%d", j),
+				Proc: j,
+				Guard: func() bool {
+					return !p.halted[j] && p.ann[parent] != p.ann[j]
+				},
+				Body: func() func() {
+					v := p.ann[parent]
+					return func() {
+						p.ann[j] = v
+						p.emit(core.Event{Kind: core.EvBegin, Proc: j, Phase: v % p.nPhases})
+					}
+				},
+			})
+		}
+		kids := p.children[j]
+		// F.j: report the phase finished once own work and all children are
+		// done.
+		p.prog.Add(guarded.Action{
+			Name: fmt.Sprintf("F.%d", j),
+			Proc: j,
+			Guard: func() bool {
+				if p.halted[j] || p.fin[j] == p.ann[j] || !p.workReady(j) {
+					return false
+				}
+				for _, c := range kids {
+					if p.fin[c] != p.ann[j] {
+						return false
+					}
+				}
+				return true
+			},
+			Body: func() func() {
+				v := p.ann[j]
+				return func() {
+					p.fin[j] = v
+					p.emit(core.Event{Kind: core.EvComplete, Proc: j, Phase: v % p.nPhases})
+				}
+			},
+		})
+	}
+	// R.0: all done — release the next phase.
+	p.prog.Add(guarded.Action{
+		Name: "R.0",
+		Proc: 0,
+		Guard: func() bool {
+			return !p.halted[0] && p.fin[0] == p.ann[0]
+		},
+		Body: func() func() {
+			v := p.ann[0] + 1
+			return func() {
+				p.ann[0] = v
+				p.emit(core.Event{Kind: core.EvBegin, Proc: 0, Phase: v % p.nPhases})
+			}
+		},
+	})
+}
+
+// Crash halts process j permanently (models fail-stop without the
+// restart the fault-tolerant program provides). The baseline then
+// deadlocks — the behavior the paper's introduction motivates against.
+func (p *Program) Crash(j int) { p.halted[j] = true }
+
+// CorruptPhase overwrites process j's announced-phase counter with a random
+// value — an undetectable fault. The baseline has no stabilization
+// mechanism, so the computation stays desynchronized.
+func (p *Program) CorruptPhase(j int, rng *rand.Rand) {
+	p.ann[j] = rng.Intn(1 << 20)
+	p.fin[j] = p.ann[j] - 1 - rng.Intn(2)
+}
+
+// AnalyticPhaseTime is the paper's closed form for the intolerant barrier:
+// 1 + 2hc.
+func AnalyticPhaseTime(h int, c float64) float64 {
+	return 1 + 2*float64(h)*c
+}

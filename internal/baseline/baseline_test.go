@@ -1,0 +1,152 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+func binParent(t *testing.T, n int) []int {
+	t.Helper()
+	tr, err := topo.NewBinaryTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Parent
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]int{-1}, 2, nil); err == nil {
+		t.Error("single process should be rejected")
+	}
+	if _, err := New([]int{0, -1}, 2, nil); err == nil {
+		t.Error("parent[0] != -1 should be rejected")
+	}
+	if _, err := New([]int{-1, 0}, 1, nil); err == nil {
+		t.Error("single phase should be rejected")
+	}
+	if _, err := New([]int{-1, 2, 1}, 2, nil); err == nil {
+		t.Error("forward parent reference should be rejected")
+	}
+}
+
+func TestBarriersAdvanceFaultFree(t *testing.T) {
+	p, err := New(binParent(t, 15), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000 && p.Barriers() < 20; i++ {
+		if _, ok := p.Guarded().StepRoundRobin(); !ok {
+			t.Fatal("baseline deadlocked fault-free")
+		}
+	}
+	if p.Barriers() < 20 {
+		t.Fatalf("only %d barriers", p.Barriers())
+	}
+	if p.N() != 15 {
+		t.Error("N wrong")
+	}
+	if p.Phase(0) != p.Barriers()%4 {
+		t.Error("Phase should be the announced counter modulo the cycle")
+	}
+}
+
+// The paper's motivation: without fault-tolerance, one crashed process
+// deadlocks the whole computation.
+func TestCrashDeadlocksBaseline(t *testing.T) {
+	p, err := New(binParent(t, 7), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run a few barriers, then crash a leaf.
+	for p.Barriers() < 3 {
+		if _, ok := p.Guarded().StepRoundRobin(); !ok {
+			t.Fatal("deadlock before crash")
+		}
+	}
+	p.Crash(5)
+	before := p.Barriers()
+	quiescent := false
+	for i := 0; i < 10000; i++ {
+		if _, ok := p.Guarded().StepRoundRobin(); !ok {
+			quiescent = true
+			break
+		}
+	}
+	if !quiescent {
+		t.Fatal("baseline kept executing forever after a crash")
+	}
+	if p.Barriers() > before+1 {
+		t.Errorf("baseline passed %d more barriers after the crash",
+			p.Barriers()-before)
+	}
+}
+
+// Undetectable corruption of the root's phase counter makes the intolerant
+// baseline silently skip a huge range of phases — an undetected Safety
+// violation, where the fault-tolerant program stabilizes with bounded
+// damage.
+func TestCorruptionSkipsPhasesSilently(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p, err := New(binParent(t, 7), 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p.Barriers() < 3 {
+		p.Guarded().StepRoundRobin()
+	}
+	p.CorruptPhase(0, rng) // corrupt the root's announced counter
+	corrupted := p.Barriers()
+	if corrupted < 1000 {
+		t.Fatalf("corruption did not perturb the counter: %d", corrupted)
+	}
+	// The computation continues from the corrupted counter as if nothing
+	// happened: every phase between 3 and the corrupted value was skipped,
+	// and no process can tell.
+	for i := 0; i < 20000 && p.Barriers() < corrupted+3; i++ {
+		if _, ok := p.Guarded().StepRoundRobin(); !ok {
+			break
+		}
+	}
+	if p.Barriers() < corrupted+1 {
+		t.Errorf("baseline stopped at %d; expected it to keep running from the "+
+			"corrupted counter %d without detecting the skip", p.Barriers(), corrupted)
+	}
+}
+
+func TestEventsEmitted(t *testing.T) {
+	var begins, completes int
+	sink := func(e core.Event) {
+		switch e.Kind {
+		case core.EvBegin:
+			begins++
+		case core.EvComplete:
+			completes++
+		}
+	}
+	p, err := New(binParent(t, 7), 4, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetSink(sink)
+	for p.Barriers() < 5 {
+		if _, ok := p.Guarded().StepRoundRobin(); !ok {
+			t.Fatal("deadlock")
+		}
+	}
+	if begins == 0 || completes == 0 {
+		t.Errorf("no events emitted: begins=%d completes=%d", begins, completes)
+	}
+}
+
+func TestAnalyticPhaseTime(t *testing.T) {
+	if got := AnalyticPhaseTime(5, 0.01); math.Abs(got-1.10) > 1e-12 {
+		t.Errorf("1+2hc = %v, want 1.10", got)
+	}
+	if got := AnalyticPhaseTime(0, 0.05); got != 1 {
+		t.Errorf("h=0 should give 1, got %v", got)
+	}
+}

@@ -1,0 +1,284 @@
+// Package cb implements program CB, the coarse-grain barrier
+// synchronization solution of Section 3 of the paper: the process graph is
+// fully connected and each action may instantaneously read the state of all
+// other processes while updating its own.
+//
+// Each process j maintains a control position cp.j and a phase number ph.j
+// and executes four actions:
+//
+//	CB1 :: cp.j=ready ∧ ((∀k: cp.k=ready) ∨ (∃k: cp.k=execute))   → cp.j := execute
+//	CB2 :: cp.j=execute ∧ ((∀k: cp.k≠ready) ∨ (∃k: cp.k=success)) → cp.j := success
+//	CB3 :: cp.j=success ∧ (∀k: cp.k≠execute) →
+//	         if ∃k: cp.k=ready        then ph.j := ph.(any ready k)
+//	         elseif ∀k: cp.k=success  then ph.j := ph.j+1
+//	         cp.j := ready
+//	CB4 :: cp.j=error ∧ (∀k: cp.k≠execute) →
+//	         if ∃k: cp.k=ready        then ph.j := ph.(any ready k)
+//	         elseif ∃k: cp.k=success  then ph.j := ph.(any success k)
+//	         else                     ph.j := arbitrary
+//	         cp.j := ready
+//
+// CB is masking tolerant to detectable faults (ph,cp := ?,error) and
+// stabilizing tolerant to undetectable faults (ph,cp := ?,?).
+package cb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/guarded"
+)
+
+// EventSink receives the Begin/Complete/Reset events of a computation, in
+// execution order, e.g. a core.SpecChecker's Observe method.
+type EventSink = core.EventSink
+
+// Program is an instance of CB over n processes and nPhases cyclic phases.
+type Program struct {
+	n       int
+	nPhases int
+	cp      []core.CP
+	ph      []int
+	prog    *guarded.Program
+	rng     *rand.Rand
+	sink    EventSink
+}
+
+// New builds a CB instance. rng resolves the protocol's nondeterministic
+// choices ("any k", "an arbitrary number") and must not be nil. sink may be
+// nil. Following the paper's exposition, nPhases must be at least 2 (see
+// the Section 3 remark for the single-phase case, implemented by
+// NewSinglePhase via phase replication).
+func New(nProcs, nPhases int, rng *rand.Rand, sink EventSink) (*Program, error) {
+	if nProcs < 2 {
+		return nil, errors.New("cb: need at least 2 processes")
+	}
+	if nPhases < 2 {
+		return nil, errors.New("cb: need at least 2 phases (see NewSinglePhase)")
+	}
+	if rng == nil {
+		return nil, errors.New("cb: rng must not be nil")
+	}
+	p := &Program{
+		n:       nProcs,
+		nPhases: nPhases,
+		cp:      make([]core.CP, nProcs),
+		ph:      make([]int, nProcs),
+		rng:     rng,
+		sink:    sink,
+	}
+	p.prog = guarded.NewProgram()
+	for j := 0; j < nProcs; j++ {
+		p.addActions(j)
+	}
+	return p, nil
+}
+
+// NewSinglePhase maps the single-phase case onto the multi-phase case by
+// replicating the phase, per the Section 3 remark.
+func NewSinglePhase(nProcs int, rng *rand.Rand, sink EventSink) (*Program, error) {
+	return New(nProcs, 2, rng, sink)
+}
+
+// Guarded returns the underlying guarded-command program for scheduling.
+func (p *Program) Guarded() *guarded.Program { return p.prog }
+
+// N returns the number of processes.
+func (p *Program) N() int { return p.n }
+
+// NumPhases returns the length of the cyclic phase sequence.
+func (p *Program) NumPhases() int { return p.nPhases }
+
+// CP returns process j's control position.
+func (p *Program) CP(j int) core.CP { return p.cp[j] }
+
+// Phase returns process j's phase number.
+func (p *Program) Phase(j int) int { return p.ph[j] }
+
+func (p *Program) emit(e core.Event) {
+	if p.sink != nil {
+		p.sink(e)
+	}
+}
+
+// quantifiers over the (fully connected) global state
+
+func (p *Program) all(c core.CP) bool {
+	for _, v := range p.cp {
+		if v != c {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Program) none(c core.CP) bool {
+	for _, v := range p.cp {
+		if v == c {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Program) exists(c core.CP) bool { return !p.none(c) }
+
+// anyPhaseWith returns the phase of a process whose control position is c,
+// chosen uniformly among candidates, and whether one exists.
+func (p *Program) anyPhaseWith(c core.CP) (int, bool) {
+	count := 0
+	pick := 0
+	for k, v := range p.cp {
+		if v == c {
+			count++
+			if p.rng.Intn(count) == 0 {
+				pick = k
+			}
+		}
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return p.ph[pick], true
+}
+
+func (p *Program) addActions(j int) {
+	// CB1: ready → execute.
+	p.prog.Add(guarded.Action{
+		Name: fmt.Sprintf("CB1.%d", j),
+		Proc: j,
+		Guard: func() bool {
+			return p.cp[j] == core.Ready && (p.all(core.Ready) || p.exists(core.Execute))
+		},
+		Body: func() func() {
+			phase := p.ph[j]
+			return func() {
+				p.cp[j] = core.Execute
+				p.emit(core.Event{Kind: core.EvBegin, Proc: j, Phase: phase})
+			}
+		},
+	})
+
+	// CB2: execute → success.
+	p.prog.Add(guarded.Action{
+		Name: fmt.Sprintf("CB2.%d", j),
+		Proc: j,
+		Guard: func() bool {
+			return p.cp[j] == core.Execute && (p.none(core.Ready) || p.exists(core.Success))
+		},
+		Body: func() func() {
+			phase := p.ph[j]
+			return func() {
+				p.cp[j] = core.Success
+				p.emit(core.Event{Kind: core.EvComplete, Proc: j, Phase: phase})
+			}
+		},
+	})
+
+	// CB3: success → ready, choosing the next phase.
+	p.prog.Add(guarded.Action{
+		Name: fmt.Sprintf("CB3.%d", j),
+		Proc: j,
+		Guard: func() bool {
+			return p.cp[j] == core.Success && p.none(core.Execute)
+		},
+		Body: func() func() {
+			next := p.ph[j]
+			if phR, ok := p.anyPhaseWith(core.Ready); ok {
+				next = phR
+			} else if p.all(core.Success) {
+				next = core.NextPhase(p.ph[j], p.nPhases)
+			}
+			return func() {
+				p.ph[j] = next
+				p.cp[j] = core.Ready
+			}
+		},
+	})
+
+	// CB4: error → ready, recovering the phase.
+	p.prog.Add(guarded.Action{
+		Name: fmt.Sprintf("CB4.%d", j),
+		Proc: j,
+		Guard: func() bool {
+			return p.cp[j] == core.Error && p.none(core.Execute)
+		},
+		Body: func() func() {
+			var next int
+			if phR, ok := p.anyPhaseWith(core.Ready); ok {
+				next = phR
+			} else if phS, ok := p.anyPhaseWith(core.Success); ok {
+				next = phS
+			} else {
+				// The phase of all processes is corrupted: choose arbitrarily.
+				next = p.rng.Intn(p.nPhases)
+			}
+			return func() {
+				p.ph[j] = next
+				p.cp[j] = core.Ready
+			}
+		},
+	})
+}
+
+// InjectDetectable applies the detectable fault action to process j:
+// ph.j, cp.j := ?, error.
+func (p *Program) InjectDetectable(j int) {
+	p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: p.ph[j]})
+	p.ph[j] = p.rng.Intn(p.nPhases)
+	p.cp[j] = core.Error
+}
+
+// InjectUndetectable applies the undetectable fault action to process j:
+// ph.j, cp.j := ?, ? with values drawn uniformly from the domains. CB does
+// not use the Repeat control position, so cp ranges over the other four.
+func (p *Program) InjectUndetectable(j int) {
+	p.ph[j] = p.rng.Intn(p.nPhases)
+	p.cp[j] = core.CP(p.rng.Intn(4)) // Ready, Execute, Success, Error
+}
+
+// InStartState reports whether all processes are ready and in one phase —
+// the start states from which the paper's Lemma 3.3 guarantees every
+// computation satisfies the specification.
+func (p *Program) InStartState() bool {
+	for j := 0; j < p.n; j++ {
+		if p.cp[j] != core.Ready || p.ph[j] != p.ph[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns copies of the cp and ph vectors.
+func (p *Program) Snapshot() ([]core.CP, []int) {
+	return append([]core.CP(nil), p.cp...), append([]int(nil), p.ph...)
+}
+
+// String renders the global state compactly, e.g. "[r0 e0 s1]".
+func (p *Program) String() string {
+	s := "["
+	for j := 0; j < p.n; j++ {
+		if j > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%c%d", p.cp[j].Letter(), p.ph[j])
+	}
+	return s + "]"
+}
+
+// Corrupted reports whether process j is in a detectably corrupted state.
+func (p *Program) Corrupted(j int) bool { return p.cp[j] == core.Error }
+
+// SetSink replaces the event sink (used by harnesses that attach metrics
+// or checkers after construction).
+func (p *Program) SetSink(sink EventSink) { p.sink = sink }
+
+// SetState overwrites process j's state. It exists for exhaustive
+// state-space exploration in tests (model checking); protocol and fault
+// actions never use it.
+func (p *Program) SetState(j int, cp core.CP, ph int) {
+	p.cp[j] = cp
+	p.ph[j] = ph
+}

@@ -1,0 +1,324 @@
+package cb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(1, 2, rng, nil); err == nil {
+		t.Error("single process should be rejected")
+	}
+	if _, err := New(3, 1, rng, nil); err == nil {
+		t.Error("single phase should be rejected by New (use NewSinglePhase)")
+	}
+	if _, err := New(3, 2, nil, nil); err == nil {
+		t.Error("nil rng should be rejected")
+	}
+	if _, err := NewSinglePhase(3, rng, nil); err != nil {
+		t.Errorf("NewSinglePhase: %v", err)
+	}
+}
+
+// Lemma 3.1: in the absence of faults CB satisfies the barrier
+// specification, under every scheduler.
+func TestFaultFreeBarriers(t *testing.T) {
+	type stepper func(p *Program, rng *rand.Rand) bool
+	steppers := map[string]stepper{
+		"roundRobin": func(p *Program, _ *rand.Rand) bool {
+			_, ok := p.Guarded().StepRoundRobin()
+			return ok
+		},
+		"random": func(p *Program, rng *rand.Rand) bool {
+			_, ok := p.Guarded().StepRandom(rng)
+			return ok
+		},
+		"maxParallel": func(p *Program, rng *rand.Rand) bool {
+			return p.Guarded().StepMaxParallel(rng) > 0
+		},
+	}
+	for name, step := range steppers {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			const n, nPhases, wantBarriers = 5, 3, 20
+			checker := core.NewSpecChecker(n, nPhases)
+			p, err := New(n, nPhases, rng, checker.Observe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 100000 && checker.SuccessfulBarriers() < wantBarriers; i++ {
+				if !step(p, rng) {
+					t.Fatalf("deadlock in state %v", p)
+				}
+			}
+			if err := checker.Violation(); err != nil {
+				t.Fatal(err)
+			}
+			if got := checker.SuccessfulBarriers(); got < wantBarriers {
+				t.Fatalf("only %d successful barriers", got)
+			}
+			// In the absence of faults every instance is successful: any
+			// reasonable implementation executes each phase exactly once.
+			if checker.Instances() != checker.SuccessfulBarriers() &&
+				checker.Instances() != checker.SuccessfulBarriers()+1 {
+				t.Errorf("instances=%d successes=%d: fault-free run re-executed phases",
+					checker.Instances(), checker.SuccessfulBarriers())
+			}
+		})
+	}
+}
+
+// Lemma 3.2: CB is masking tolerant to detectable faults — Safety holds
+// throughout and Progress resumes between faults.
+func TestDetectableFaultsMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		nPhases := 2 + rng.Intn(3)
+		checker := core.NewSpecChecker(n, nPhases)
+		p, err := New(n, nPhases, rng, checker.Observe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interleave protocol steps with detectable faults. Footnote 2 of
+		// the paper: a fault that detectably corrupts *all* processes is
+		// classified as undetectable (the current phase becomes
+		// inaccessible), so the detectable-fault model keeps at least one
+		// process uncorrupted at all times.
+		for i := 0; i < 3000; i++ {
+			if rng.Intn(40) == 0 {
+				j := rng.Intn(n)
+				othersAlive := false
+				for k := 0; k < n; k++ {
+					if k != j && p.CP(k) != core.Error {
+						othersAlive = true
+					}
+				}
+				if othersAlive {
+					p.InjectDetectable(j)
+				}
+			}
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock in state %v", trial, p)
+			}
+			if err := checker.Violation(); err != nil {
+				t.Fatalf("trial %d: safety violated with detectable faults: %v (state %v)",
+					trial, err, p)
+			}
+		}
+		// Faults stop; progress must resume.
+		before := checker.SuccessfulBarriers()
+		for i := 0; i < 20000 && checker.SuccessfulBarriers() < before+3; i++ {
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock after faults stopped: %v", trial, p)
+			}
+		}
+		if err := checker.Violation(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if checker.SuccessfulBarriers() < before+3 {
+			t.Fatalf("trial %d: no progress after faults stopped (state %v, %d barriers)",
+				trial, p, checker.SuccessfulBarriers())
+		}
+	}
+}
+
+// Lemma 3.3: CB is stabilizing tolerant to undetectable faults — from an
+// arbitrary state it reaches a start state, after which the specification
+// is satisfied.
+func TestUndetectableFaultsStabilize(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(5)
+		nPhases := 2 + rng.Intn(4)
+		p, err := New(n, nPhases, rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			p.InjectUndetectable(j)
+		}
+		reached := false
+		for i := 0; i < 5000; i++ {
+			if p.InStartState() {
+				reached = true
+				break
+			}
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock in state %v", trial, p)
+			}
+		}
+		if !reached {
+			t.Fatalf("trial %d: no start state reached from %v", trial, p)
+		}
+		// From the start state, the specification holds.
+		checker := core.NewSpecCheckerAt(n, nPhases, p.Phase(0))
+		p.sink = checker.Observe
+		for i := 0; i < 20000 && checker.SuccessfulBarriers() < 3; i++ {
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock after stabilization", trial)
+			}
+		}
+		if err := checker.Violation(); err != nil {
+			t.Fatalf("trial %d: spec violated after stabilization: %v", trial, err)
+		}
+		if checker.SuccessfulBarriers() < 3 {
+			t.Fatalf("trial %d: no progress after stabilization", trial)
+		}
+	}
+}
+
+// Lemma 3.4: if undetectable faults perturb processes into m distinct
+// phases, at most m phases execute incorrectly before correct execution
+// resumes. We verify the stronger observable consequence: once a process
+// increments into a fresh phase via CB3 (all processes in success), that
+// phase executes correctly — so the number of incorrectly executed phases
+// is bounded by the number of distinct phases in the perturbed state.
+func TestBoundedDamageAfterUndetectableFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(4)
+		const nPhases = 8
+		p, err := New(n, nPhases, rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			p.InjectUndetectable(j)
+		}
+		distinct := map[int]bool{}
+		for j := 0; j < n; j++ {
+			distinct[p.Phase(j)] = true
+		}
+		m := len(distinct)
+
+		// Count phases whose execution (begin..all-complete cycle) could
+		// have been incorrect before the first start state: they can only
+		// be among the phases present at perturbation time, so at most m.
+		seen := map[int]bool{}
+		sink := func(e core.Event) {
+			if e.Kind == core.EvBegin {
+				seen[e.Phase] = true
+			}
+		}
+		p.sink = sink
+		for i := 0; i < 5000 && !p.InStartState(); i++ {
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock", trial)
+			}
+		}
+		if !p.InStartState() {
+			t.Fatalf("trial %d: did not stabilize", trial)
+		}
+		// Phases begun before stabilization must be among the perturbed
+		// phases (no *new* phase gets damaged), giving the ≤ m bound.
+		for ph := range seen {
+			if !distinct[ph] {
+				t.Fatalf("trial %d: phase %d executed during recovery but was not "+
+					"among the %d perturbed phases %v", trial, ph, m, distinct)
+			}
+		}
+	}
+}
+
+// The transition structure of Figure 1: control positions only move along
+// the edges ready→execute→success→ready, error→ready (and faults → error).
+func TestFigure1Transitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const n, nPhases = 4, 3
+	p, err := New(n, nPhases, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legal := map[core.CP][]core.CP{
+		core.Ready:   {core.Ready, core.Execute},
+		core.Execute: {core.Execute, core.Success},
+		core.Success: {core.Success, core.Ready},
+		core.Error:   {core.Error, core.Ready},
+	}
+	prev, _ := p.Snapshot()
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(100) == 0 {
+			p.InjectDetectable(rng.Intn(n))
+			prev, _ = p.Snapshot()
+			continue
+		}
+		if _, ok := p.Guarded().StepRandom(rng); !ok {
+			t.Fatal("deadlock")
+		}
+		cur, _ := p.Snapshot()
+		for j := 0; j < n; j++ {
+			ok := false
+			for _, c := range legal[prev[j]] {
+				if cur[j] == c {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("illegal transition %v → %v at process %d", prev[j], cur[j], j)
+			}
+		}
+		prev = cur
+	}
+}
+
+// Under detectable faults, phases are never skipped: the begun phase only
+// repeats or advances by exactly 1 (mod n) across the run.
+func TestPhaseMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const n, nPhases = 3, 5
+	checker := core.NewSpecChecker(n, nPhases)
+	p, err := New(n, nPhases, rng, checker.Observe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastBegun := -1
+	for i := 0; i < 20000; i++ {
+		if rng.Intn(60) == 0 {
+			j := rng.Intn(n)
+			othersAlive := false
+			for k := 0; k < n; k++ {
+				if k != j && p.CP(k) != core.Error {
+					othersAlive = true
+				}
+			}
+			if othersAlive {
+				p.InjectDetectable(j)
+			}
+		}
+		if _, ok := p.Guarded().StepRandom(rng); !ok {
+			t.Fatal("deadlock")
+		}
+		cur, begun := checker.CurrentPhase()
+		if begun {
+			if lastBegun >= 0 && cur != lastBegun && cur != core.NextPhase(lastBegun, nPhases) {
+				t.Fatalf("phase jumped from %d to %d", lastBegun, cur)
+			}
+			lastBegun = cur
+		}
+	}
+	if err := checker.Violation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotAndString(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, _ := New(3, 2, rng, nil)
+	cp, ph := p.Snapshot()
+	if len(cp) != 3 || len(ph) != 3 {
+		t.Fatal("snapshot sizes wrong")
+	}
+	if p.String() != "[r0 r0 r0]" {
+		t.Errorf("start state rendering = %q", p.String())
+	}
+	if p.N() != 3 || p.NumPhases() != 2 {
+		t.Error("accessors wrong")
+	}
+	if p.CP(0) != core.Ready || p.Phase(0) != 0 {
+		t.Error("initial state wrong")
+	}
+}

@@ -1,0 +1,321 @@
+package cb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Exhaustive model checking of program CB on small instances. Unlike the
+// distributed programs, CB's actions make nondeterministic choices ("any
+// k", "an arbitrary number"), so the transition relation is reconstructed
+// here with ALL choices enumerated — and, as a conformance check, every
+// transition the implementation takes (with its random resolution) must be
+// one of the model's transitions.
+//
+// Over the FULL state space (every (cp, ph) vector, i.e. any state
+// undetectable faults can produce), we verify:
+//
+//  1. no deadlock;
+//  2. stabilization (Lemma 3.3): from every state a start state is
+//     reachable;
+//  3. Safety structure of the fault-free-reachable set: phases span at most
+//     two cyclically adjacent values, and all processes in execute share
+//     one phase — also with detectable-fault transitions added, restricted
+//     to non-corrupting-everyone per footnote 2 (Lemma 3.2's masking).
+func TestModelCheckCB(t *testing.T) {
+	const n, nPhases = 3, 3
+	cpDomain := 4 // CB uses ready, execute, success, error (no repeat)
+	perProc := cpDomain * nPhases
+	total := 1
+	for j := 0; j < n; j++ {
+		total *= perProc
+	}
+
+	type state struct {
+		cp [n]core.CP
+		ph [n]int
+	}
+	encode := func(s state) int {
+		code := 0
+		for j := 0; j < n; j++ {
+			code = code*perProc + int(s.cp[j])*nPhases + s.ph[j]
+		}
+		return code
+	}
+	decode := func(code int) state {
+		var s state
+		for j := n - 1; j >= 0; j-- {
+			pj := code % perProc
+			code /= perProc
+			s.ph[j] = pj % nPhases
+			s.cp[j] = core.CP(pj / nPhases)
+		}
+		return s
+	}
+
+	all := func(s state, c core.CP) bool {
+		for j := 0; j < n; j++ {
+			if s.cp[j] != c {
+				return false
+			}
+		}
+		return true
+	}
+	exists := func(s state, c core.CP) bool {
+		for j := 0; j < n; j++ {
+			if s.cp[j] == c {
+				return true
+			}
+		}
+		return false
+	}
+	phasesWith := func(s state, c core.CP) []int {
+		seen := map[int]bool{}
+		var phs []int
+		for j := 0; j < n; j++ {
+			if s.cp[j] == c && !seen[s.ph[j]] {
+				seen[s.ph[j]] = true
+				phs = append(phs, s.ph[j])
+			}
+		}
+		return phs
+	}
+
+	// successors enumerates every CB transition from s, resolving all
+	// nondeterministic choices.
+	successors := func(s state) []state {
+		var succ []state
+		for j := 0; j < n; j++ {
+			switch s.cp[j] {
+			case core.Ready: // CB1
+				if all(s, core.Ready) || exists(s, core.Execute) {
+					ns := s
+					ns.cp[j] = core.Execute
+					succ = append(succ, ns)
+				}
+			case core.Execute: // CB2
+				if !exists(s, core.Ready) || exists(s, core.Success) {
+					ns := s
+					ns.cp[j] = core.Success
+					succ = append(succ, ns)
+				}
+			case core.Success: // CB3
+				if !exists(s, core.Execute) {
+					if phs := phasesWith(s, core.Ready); len(phs) > 0 {
+						for _, ph := range phs {
+							ns := s
+							ns.cp[j] = core.Ready
+							ns.ph[j] = ph
+							succ = append(succ, ns)
+						}
+					} else if all(s, core.Success) {
+						ns := s
+						ns.cp[j] = core.Ready
+						ns.ph[j] = core.NextPhase(s.ph[j], nPhases)
+						succ = append(succ, ns)
+					} else {
+						ns := s
+						ns.cp[j] = core.Ready
+						succ = append(succ, ns)
+					}
+				}
+			case core.Error: // CB4
+				if !exists(s, core.Execute) {
+					if phs := phasesWith(s, core.Ready); len(phs) > 0 {
+						for _, ph := range phs {
+							ns := s
+							ns.cp[j] = core.Ready
+							ns.ph[j] = ph
+							succ = append(succ, ns)
+						}
+					} else if phs := phasesWith(s, core.Success); len(phs) > 0 {
+						for _, ph := range phs {
+							ns := s
+							ns.cp[j] = core.Ready
+							ns.ph[j] = ph
+							succ = append(succ, ns)
+						}
+					} else {
+						for ph := 0; ph < nPhases; ph++ {
+							ns := s
+							ns.cp[j] = core.Ready
+							ns.ph[j] = ph
+							succ = append(succ, ns)
+						}
+					}
+				}
+			}
+		}
+		return succ
+	}
+
+	isStart := func(s state) bool {
+		for j := 0; j < n; j++ {
+			if s.cp[j] != core.Ready || s.ph[j] != s.ph[0] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// (1) + successor map.
+	succs := make([][]int32, total)
+	for code := 0; code < total; code++ {
+		s := decode(code)
+		ss := successors(s)
+		if len(ss) == 0 {
+			t.Fatalf("deadlock in state %+v", s)
+		}
+		arr := make([]int32, len(ss))
+		for i, ns := range ss {
+			arr[i] = int32(encode(ns))
+		}
+		succs[code] = arr
+	}
+
+	// (2) Backward reachability from start states covers everything.
+	pred := make([][]int32, total)
+	for code := 0; code < total; code++ {
+		for _, nxt := range succs[code] {
+			pred[nxt] = append(pred[nxt], int32(code))
+		}
+	}
+	canReach := make([]bool, total)
+	var queue []int32
+	for code := 0; code < total; code++ {
+		if isStart(decode(code)) {
+			canReach[code] = true
+			queue = append(queue, int32(code))
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, p := range pred[cur] {
+			if !canReach[p] {
+				canReach[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	for code := 0; code < total; code++ {
+		if !canReach[code] {
+			t.Fatalf("state %+v cannot reach a start state (Lemma 3.3 violated)", decode(code))
+		}
+	}
+
+	// (3) Forward closure from start states under protocol + detectable
+	// faults that keep at least one process uncorrupted (footnote 2);
+	// structural safety invariants must hold throughout, and every state
+	// must still be able to recover.
+	visited := make([]bool, total)
+	queue = queue[:0]
+	for code := 0; code < total; code++ {
+		if isStart(decode(code)) {
+			visited[code] = true
+			queue = append(queue, int32(code))
+		}
+	}
+	checked := 0
+	for len(queue) > 0 {
+		cur := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		s := decode(int(cur))
+		checked++
+
+		// Invariants of the detectable-fault-reachable set.
+		if !canReach[cur] {
+			t.Fatalf("reachable state %+v cannot recover", s)
+		}
+		if phs := phasesWith(s, core.Execute); len(phs) > 1 {
+			t.Fatalf("state %+v has executing processes in two phases", s)
+		}
+		// Phases of non-corrupted processes span ≤ 2 adjacent values.
+		span := map[int]bool{}
+		for j := 0; j < n; j++ {
+			if s.cp[j] != core.Error {
+				span[s.ph[j]] = true
+			}
+		}
+		if len(span) > 2 {
+			t.Fatalf("state %+v has non-corrupted phases %v (span > 2)", s, span)
+		}
+		if len(span) == 2 {
+			var a, b int
+			first := true
+			for ph := range span {
+				if first {
+					a, first = ph, false
+				} else {
+					b = ph
+				}
+			}
+			if core.NextPhase(a, nPhases) != b && core.NextPhase(b, nPhases) != a {
+				t.Fatalf("state %+v has non-adjacent phases %d and %d", s, a, b)
+			}
+		}
+
+		next := append([]int32(nil), succs[cur]...)
+		// Detectable faults: any process, any resulting phase, as long as
+		// some other process stays uncorrupted.
+		for j := 0; j < n; j++ {
+			othersAlive := false
+			for k := 0; k < n; k++ {
+				if k != j && s.cp[k] != core.Error {
+					othersAlive = true
+				}
+			}
+			if !othersAlive {
+				continue
+			}
+			for ph := 0; ph < nPhases; ph++ {
+				ns := s
+				ns.cp[j] = core.Error
+				ns.ph[j] = ph
+				next = append(next, int32(encode(ns)))
+			}
+		}
+		for _, nxt := range next {
+			if !visited[nxt] {
+				visited[nxt] = true
+				queue = append(queue, nxt)
+			}
+		}
+	}
+	t.Logf("verified %d detectable-fault-reachable states of %d total", checked, total)
+
+	// Conformance: the implementation's transitions (with random choice
+	// resolution) are always among the model's transitions.
+	rng := rand.New(rand.NewSource(99))
+	impl, err := New(n, nPhases, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20000; trial++ {
+		code := rng.Intn(total)
+		s := decode(code)
+		for j := 0; j < n; j++ {
+			impl.SetState(j, s.cp[j], s.ph[j])
+		}
+		if _, ok := impl.Guarded().StepRandom(rng); !ok {
+			t.Fatalf("implementation deadlocked in %+v where the model does not", s)
+		}
+		cps, phs := impl.Snapshot()
+		var ns state
+		copy(ns.cp[:], cps)
+		copy(ns.ph[:], phs)
+		got := encode(ns)
+		found := false
+		for _, m := range succs[code] {
+			if int(m) == got {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("implementation stepped %+v → %+v, not a model transition", s, ns)
+		}
+	}
+}

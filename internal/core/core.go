@@ -1,0 +1,83 @@
+// Package core defines the shared vocabulary of the barrier-synchronization
+// programs from Kulkarni & Arora, "Low-cost Fault-tolerance in Barrier
+// Synchronizations" (ICPP 1998): control positions, phase arithmetic, and a
+// trace checker for the barrier specification (Safety and Progress) of
+// Section 2 of the paper.
+package core
+
+import "fmt"
+
+// CP is a control position of a process. Figure 1 of the paper defines the
+// fault-free cycle ready → execute → success → ready; Error is entered when
+// a detectable fault resets a process, and Repeat is the extra control
+// position introduced by the ring refinement RB (Section 4.1) to propagate
+// "some process was detectably corrupted" to process 0.
+type CP uint8
+
+// Control positions.
+const (
+	Ready CP = iota
+	Execute
+	Success
+	Error
+	Repeat
+
+	numCP
+)
+
+// NumCP is the number of distinct control positions, for use by fault
+// injectors that pick arbitrary domain values.
+const NumCP = int(numCP)
+
+var cpNames = [...]string{"ready", "execute", "success", "error", "repeat"}
+
+// String returns the paper's name for the control position.
+func (c CP) String() string {
+	if int(c) < len(cpNames) {
+		return cpNames[c]
+	}
+	return fmt.Sprintf("cp(%d)", uint8(c))
+}
+
+// Valid reports whether c is one of the defined control positions. Values
+// outside the domain can only be produced by buggy fault injectors; the
+// protocols themselves treat every in-domain value.
+func (c CP) Valid() bool { return c < numCP }
+
+// NextPhase returns phase+1 in modulo-n arithmetic, the "+" of the paper's
+// notational remark. n must be positive.
+func NextPhase(phase, n int) int {
+	if n <= 0 {
+		panic("core: NextPhase requires n > 0")
+	}
+	return (phase + 1) % n
+}
+
+// PrevPhase returns phase-1 in modulo-n arithmetic.
+func PrevPhase(phase, n int) int {
+	if n <= 0 {
+		panic("core: PrevPhase requires n > 0")
+	}
+	return (phase - 1 + n) % n
+}
+
+// ValidPhase reports whether phase is in {0..n-1}.
+func ValidPhase(phase, n int) bool { return phase >= 0 && phase < n }
+
+// Letter returns a one-character code for compact state rendering:
+// r(eady), x(=execute), s(uccess), !(=error), *(=repeat).
+func (c CP) Letter() byte {
+	switch c {
+	case Ready:
+		return 'r'
+	case Execute:
+		return 'x'
+	case Success:
+		return 's'
+	case Error:
+		return '!'
+	case Repeat:
+		return '*'
+	}
+	return '?'
+}

@@ -1,0 +1,524 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCPString(t *testing.T) {
+	cases := map[CP]string{
+		Ready:   "ready",
+		Execute: "execute",
+		Success: "success",
+		Error:   "error",
+		Repeat:  "repeat",
+	}
+	for cp, want := range cases {
+		if got := cp.String(); got != want {
+			t.Errorf("CP(%d).String() = %q, want %q", cp, got, want)
+		}
+	}
+	if got := CP(99).String(); got != "cp(99)" {
+		t.Errorf("out-of-domain CP string = %q", got)
+	}
+}
+
+func TestCPValid(t *testing.T) {
+	for cp := CP(0); cp < CP(NumCP); cp++ {
+		if !cp.Valid() {
+			t.Errorf("CP %v should be valid", cp)
+		}
+	}
+	if CP(NumCP).Valid() {
+		t.Error("CP(NumCP) should be invalid")
+	}
+}
+
+func TestNumCP(t *testing.T) {
+	if NumCP != 5 {
+		t.Fatalf("NumCP = %d, want 5 (ready, execute, success, error, repeat)", NumCP)
+	}
+}
+
+func TestNextPrevPhase(t *testing.T) {
+	if got := NextPhase(4, 5); got != 0 {
+		t.Errorf("NextPhase(4,5) = %d, want 0", got)
+	}
+	if got := PrevPhase(0, 5); got != 4 {
+		t.Errorf("PrevPhase(0,5) = %d, want 4", got)
+	}
+	if got := NextPhase(2, 5); got != 3 {
+		t.Errorf("NextPhase(2,5) = %d, want 3", got)
+	}
+}
+
+// Property: PrevPhase inverts NextPhase and both stay in range.
+func TestPhaseArithmeticProperties(t *testing.T) {
+	f := func(phaseRaw, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		phase := int(phaseRaw) % n
+		next := NextPhase(phase, n)
+		if !ValidPhase(next, n) {
+			return false
+		}
+		return PrevPhase(next, n) == phase && NextPhase(PrevPhase(phase, n), n) == phase
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: iterating NextPhase n times returns to the start (cyclicity).
+func TestPhaseCycleProperty(t *testing.T) {
+	f := func(phaseRaw, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		p := int(phaseRaw) % n
+		q := p
+		for i := 0; i < n; i++ {
+			q = NextPhase(q, n)
+		}
+		return q == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NextPhase(0, 0) should panic")
+		}
+	}()
+	NextPhase(0, 0)
+}
+
+func TestPrevPhasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PrevPhase(0, 0) should panic")
+		}
+	}()
+	PrevPhase(0, 0)
+}
+
+// --- Transition function tests (Figure 1 + the RB refinement rules) ---
+
+func TestFollowerUpdateFaultFreeWaves(t *testing.T) {
+	// Execute wave: a ready process whose predecessor is executing begins.
+	cp, ph, out := FollowerUpdate(Ready, 3, Execute, 3)
+	if cp != Execute || ph != 3 || out != OutBegin {
+		t.Errorf("ready/execute: got (%v,%d,%v)", cp, ph, out)
+	}
+	// Success wave: an executing process whose predecessor succeeded completes.
+	cp, ph, out = FollowerUpdate(Execute, 3, Success, 3)
+	if cp != Success || ph != 3 || out != OutComplete {
+		t.Errorf("execute/success: got (%v,%d,%v)", cp, ph, out)
+	}
+	// Ready wave: a succeeded process whose predecessor is ready follows into
+	// the next phase.
+	cp, ph, out = FollowerUpdate(Success, 3, Ready, 4)
+	if cp != Ready || ph != 4 || out != OutNone {
+		t.Errorf("success/ready: got (%v,%d,%v)", cp, ph, out)
+	}
+	// Stutter: same control position as predecessor keeps state (phase copies).
+	for _, c := range []CP{Ready, Execute, Success, Repeat} {
+		cp, ph, out = FollowerUpdate(c, 1, c, 2)
+		if cp != c || ph != 2 || out != OutNone {
+			t.Errorf("stutter %v: got (%v,%d,%v)", c, cp, ph, out)
+		}
+	}
+}
+
+func TestFollowerUpdateFaultPaths(t *testing.T) {
+	// A detectably corrupted process turns the token into a repeat marker.
+	cp, _, out := FollowerUpdate(Error, 0, Execute, 5)
+	if cp != Repeat || out != OutNone {
+		t.Errorf("error/execute: got (%v,%v)", cp, out)
+	}
+	cp, _, out = FollowerUpdate(Error, 0, Success, 5)
+	if cp != Repeat || out != OutNone {
+		t.Errorf("error/success: got (%v,%v)", cp, out)
+	}
+	// But an error process whose predecessor is ready rejoins directly.
+	cp, ph, out := FollowerUpdate(Error, 0, Ready, 5)
+	if cp != Ready || ph != 5 || out != OutNone {
+		t.Errorf("error/ready: got (%v,%d,%v)", cp, ph, out)
+	}
+	// Repeat propagates and aborts executions downstream.
+	cp, _, out = FollowerUpdate(Execute, 5, Repeat, 5)
+	if cp != Repeat || out != OutAbandon {
+		t.Errorf("execute/repeat: got (%v,%v)", cp, out)
+	}
+	cp, _, out = FollowerUpdate(Success, 5, Repeat, 5)
+	if cp != Repeat || out != OutNone {
+		t.Errorf("success/repeat: got (%v,%v)", cp, out)
+	}
+	// A process pulled into a restart while executing abandons its phase.
+	cp, _, out = FollowerUpdate(Execute, 5, Ready, 5)
+	if cp != Repeat || out != OutAbandon {
+		t.Errorf("execute/ready: got (%v,%v)", cp, out)
+	}
+}
+
+// Property: FollowerUpdate always adopts the predecessor's phase unless it
+// keeps executing, and never invents control positions outside the domain.
+func TestFollowerUpdateProperties(t *testing.T) {
+	f := func(cpRaw, cpPrevRaw, phRaw, phPrevRaw uint8) bool {
+		cp := CP(cpRaw % uint8(NumCP))
+		cpPrev := CP(cpPrevRaw % uint8(NumCP))
+		ph := int(phRaw % 8)
+		phPrev := int(phPrevRaw % 8)
+		newCP, newPH, out := FollowerUpdate(cp, ph, cpPrev, phPrev)
+		if !newCP.Valid() {
+			return false
+		}
+		if out == OutBegin && !(cp == Ready && cpPrev == Execute) {
+			return false
+		}
+		if out == OutComplete && !(cp == Execute && cpPrev == Success) {
+			return false
+		}
+		// The phase travels with the token except while execution continues.
+		if newCP == Execute && cp == Execute {
+			return newPH == phPrev // stutter case copies phase too
+		}
+		return newPH == phPrev
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeaderUpdateFaultFree(t *testing.T) {
+	const n = 4
+	// All ready in one phase: 0 begins.
+	cp, ph, out := LeaderUpdate(Ready, 2, Ready, 2, n)
+	if cp != Execute || ph != 2 || out != OutBegin {
+		t.Errorf("ready/ready same phase: got (%v,%d,%v)", cp, ph, out)
+	}
+	// Executing 0 completes on its next token receipt.
+	cp, ph, out = LeaderUpdate(Execute, 2, Execute, 2, n)
+	if cp != Success || ph != 2 || out != OutComplete {
+		t.Errorf("execute: got (%v,%d,%v)", cp, ph, out)
+	}
+	// All succeeded: 0 increments the phase.
+	cp, ph, out = LeaderUpdate(Success, 2, Success, 2, n)
+	if cp != Ready || ph != 3 || out != OutNone {
+		t.Errorf("success/success: got (%v,%d,%v)", cp, ph, out)
+	}
+	// Phase increment wraps.
+	_, ph, _ = LeaderUpdate(Success, n-1, Success, n-1, n)
+	if ph != 0 {
+		t.Errorf("phase wrap: got %d, want 0", ph)
+	}
+}
+
+func TestLeaderUpdateFaultPaths(t *testing.T) {
+	const n = 4
+	// N reported repeat: 0 re-executes the current phase.
+	cp, ph, out := LeaderUpdate(Success, 2, Repeat, 2, n)
+	if cp != Ready || ph != 2 || out != OutNone {
+		t.Errorf("success/repeat: got (%v,%d,%v)", cp, ph, out)
+	}
+	// 0 itself was detectably corrupted: recover to ready with N's phase.
+	cp, ph, out = LeaderUpdate(Error, 0, Success, 2, n)
+	if cp != Ready || ph != 2 || out != OutNone {
+		t.Errorf("error: got (%v,%d,%v)", cp, ph, out)
+	}
+	cp, ph, out = LeaderUpdate(Repeat, 0, Execute, 2, n)
+	if cp != Ready || ph != 2 || out != OutNone {
+		t.Errorf("repeat: got (%v,%d,%v)", cp, ph, out)
+	}
+	// 0 ready but N not caught up: keep circulating, change nothing.
+	cp, ph, out = LeaderUpdate(Ready, 2, Success, 1, n)
+	if cp != Ready || ph != 2 || out != OutNone {
+		t.Errorf("ready waiting: got (%v,%d,%v)", cp, ph, out)
+	}
+	cp, ph, out = LeaderUpdate(Ready, 2, Ready, 1, n)
+	if cp != Ready || ph != 2 || out != OutNone {
+		t.Errorf("ready phase mismatch: got (%v,%d,%v)", cp, ph, out)
+	}
+}
+
+// Property: LeaderUpdate keeps phases in range and only begins from
+// a proper start condition.
+func TestLeaderUpdateProperties(t *testing.T) {
+	f := func(cpRaw, cpNRaw, phRaw, phNRaw uint8) bool {
+		const nPhases = 6
+		cp0 := CP(cpRaw % uint8(NumCP))
+		cpN := CP(cpNRaw % uint8(NumCP))
+		ph0 := int(phRaw % nPhases)
+		phN := int(phNRaw % nPhases)
+		newCP, newPH, out := LeaderUpdate(cp0, ph0, cpN, phN, nPhases)
+		if !newCP.Valid() || !ValidPhase(newPH, nPhases) {
+			return false
+		}
+		if out == OutBegin && !(cp0 == Ready && cpN == Ready && ph0 == phN) {
+			return false
+		}
+		if out == OutComplete && cp0 != Execute {
+			return false
+		}
+		// The leader never ends in error or repeat.
+		return newCP != Error && newCP != Repeat
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- SpecChecker tests ---
+
+func barrierRound(t *testing.T, s *SpecChecker, n, phase int) {
+	t.Helper()
+	for j := 0; j < n; j++ {
+		s.Observe(Event{Kind: EvBegin, Proc: j, Phase: phase})
+	}
+	for j := 0; j < n; j++ {
+		s.Observe(Event{Kind: EvComplete, Proc: j, Phase: phase})
+	}
+}
+
+func TestSpecCheckerFaultFree(t *testing.T) {
+	const n, nPhases = 4, 3
+	s := NewSpecChecker(n, nPhases)
+	for r := 0; r < 7; r++ {
+		barrierRound(t, s, n, r%nPhases)
+	}
+	if err := s.Violation(); err != nil {
+		t.Fatalf("fault-free trace flagged: %v", err)
+	}
+	if s.SuccessfulBarriers() != 7 {
+		t.Errorf("successes = %d, want 7", s.SuccessfulBarriers())
+	}
+	if s.Instances() != 7 {
+		t.Errorf("instances = %d, want 7", s.Instances())
+	}
+}
+
+func TestSpecCheckerInterleavedJoin(t *testing.T) {
+	s := NewSpecChecker(3, 2)
+	// Processes may begin while others are already executing (CB1's second
+	// disjunct) and complete in any order.
+	s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvBegin, Proc: 2, Phase: 0})
+	s.Observe(Event{Kind: EvComplete, Proc: 2, Phase: 0})
+	s.Observe(Event{Kind: EvBegin, Proc: 1, Phase: 0})
+	s.Observe(Event{Kind: EvComplete, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvComplete, Proc: 1, Phase: 0})
+	if err := s.Violation(); err != nil {
+		t.Fatalf("legal interleaving flagged: %v", err)
+	}
+	if s.SuccessfulBarriers() != 1 {
+		t.Errorf("successes = %d, want 1", s.SuccessfulBarriers())
+	}
+}
+
+func TestSpecCheckerOverlapViolation(t *testing.T) {
+	s := NewSpecChecker(2, 3)
+	s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvBegin, Proc: 1, Phase: 0})
+	s.Observe(Event{Kind: EvComplete, Proc: 0, Phase: 0})
+	// Process 0 starts phase 1 while process 1 is still executing phase 0.
+	s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 1})
+	if s.Violation() == nil {
+		t.Fatal("overlapping instances not detected")
+	}
+}
+
+func TestSpecCheckerSkipPhaseViolation(t *testing.T) {
+	s := NewSpecChecker(2, 4)
+	barrierRound(t, s, 2, 0)
+	s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 2}) // skips phase 1
+	if s.Violation() == nil {
+		t.Fatal("phase skip not detected")
+	}
+}
+
+func TestSpecCheckerAdvanceAfterFailedInstance(t *testing.T) {
+	s := NewSpecChecker(2, 3)
+	s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvBegin, Proc: 1, Phase: 0})
+	s.Observe(Event{Kind: EvComplete, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvReset, Proc: 1, Phase: 0}) // instance fails
+	// Advancing to phase 1 without re-executing phase 0 violates Safety.
+	s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 1})
+	if s.Violation() == nil {
+		t.Fatal("advance past failed instance not detected")
+	}
+}
+
+func TestSpecCheckerReexecutionAfterFault(t *testing.T) {
+	s := NewSpecChecker(2, 3)
+	s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvBegin, Proc: 1, Phase: 0})
+	s.Observe(Event{Kind: EvComplete, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvReset, Proc: 1, Phase: 0})
+	// Re-executing phase 0 is the required recovery.
+	barrierRound(t, s, 2, 0)
+	barrierRound(t, s, 2, 1)
+	if err := s.Violation(); err != nil {
+		t.Fatalf("legal recovery flagged: %v", err)
+	}
+	if s.SuccessfulBarriers() != 2 {
+		t.Errorf("successes = %d, want 2", s.SuccessfulBarriers())
+	}
+	if s.Instances() != 3 {
+		t.Errorf("instances = %d, want 3 (one failed + two successful)", s.Instances())
+	}
+}
+
+func TestSpecCheckerResetProcessCannotRejoinOpenInstance(t *testing.T) {
+	s := NewSpecChecker(3, 2)
+	s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvBegin, Proc: 1, Phase: 0})
+	s.Observe(Event{Kind: EvReset, Proc: 1, Phase: 0})
+	// Process 1 restarts its execution while process 0 is still executing:
+	// a new instance overlapping the previous one.
+	s.Observe(Event{Kind: EvBegin, Proc: 1, Phase: 0})
+	if s.Violation() == nil {
+		t.Fatal("reset process rejoining open instance not detected")
+	}
+}
+
+func TestSpecCheckerDoubleCompleteViolation(t *testing.T) {
+	s := NewSpecChecker(2, 2)
+	s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvBegin, Proc: 1, Phase: 0})
+	s.Observe(Event{Kind: EvComplete, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvComplete, Proc: 0, Phase: 0})
+	if s.Violation() == nil {
+		t.Fatal("double completion not detected")
+	}
+}
+
+func TestSpecCheckerCompleteWithoutBegin(t *testing.T) {
+	s := NewSpecChecker(2, 2)
+	s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvComplete, Proc: 1, Phase: 0})
+	if s.Violation() == nil {
+		t.Fatal("completion without begin not detected")
+	}
+}
+
+func TestSpecCheckerCompletedThenResetStaysSuccessful(t *testing.T) {
+	s := NewSpecChecker(2, 3)
+	s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvBegin, Proc: 1, Phase: 0})
+	s.Observe(Event{Kind: EvComplete, Proc: 0, Phase: 0})
+	s.Observe(Event{Kind: EvReset, Proc: 0, Phase: 0}) // state lost after completing
+	s.Observe(Event{Kind: EvComplete, Proc: 1, Phase: 0})
+	if err := s.Violation(); err != nil {
+		t.Fatalf("completed-then-reset flagged: %v", err)
+	}
+	if s.SuccessfulBarriers() != 1 {
+		t.Errorf("successes = %d, want 1 (everyone executed the phase fully)",
+			s.SuccessfulBarriers())
+	}
+	// The conservative protocol may re-execute phase 0; that must be legal.
+	barrierRound(t, s, 2, 0)
+	if err := s.Violation(); err != nil {
+		t.Fatalf("conservative re-execution flagged: %v", err)
+	}
+}
+
+func TestSpecCheckerRangeErrors(t *testing.T) {
+	s := NewSpecChecker(2, 2)
+	s.Observe(Event{Kind: EvBegin, Proc: 7, Phase: 0})
+	if s.Violation() == nil {
+		t.Fatal("out-of-range process not detected")
+	}
+	s = NewSpecChecker(2, 2)
+	s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 5})
+	if s.Violation() == nil {
+		t.Fatal("out-of-range phase not detected")
+	}
+}
+
+// Property: randomly generated *legal* traces — barriers with random join
+// orders, random completion orders, and occasional faults followed by
+// re-execution — never trip the checker.
+func TestSpecCheckerRandomLegalTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		n := 2 + rng.Intn(5)
+		nPhases := 2 + rng.Intn(4)
+		s := NewSpecChecker(n, nPhases)
+		phase := 0
+		for round := 0; round < 10; round++ {
+			order := rng.Perm(n)
+			faultAt := -1
+			if rng.Intn(3) == 0 {
+				faultAt = rng.Intn(n) // this process is reset mid-execution
+			}
+			for _, j := range order {
+				s.Observe(Event{Kind: EvBegin, Proc: j, Phase: phase})
+			}
+			failed := false
+			for _, j := range rng.Perm(n) {
+				if j == faultAt {
+					s.Observe(Event{Kind: EvReset, Proc: j, Phase: phase})
+					failed = true
+				} else {
+					s.Observe(Event{Kind: EvComplete, Proc: j, Phase: phase})
+				}
+			}
+			if !failed {
+				phase = NextPhase(phase, nPhases)
+			}
+			// After a failed instance the same phase is re-executed in the
+			// next round.
+		}
+		if err := s.Violation(); err != nil {
+			t.Fatalf("iter %d: legal trace flagged: %v", iter, err)
+		}
+	}
+}
+
+// Fuzz-style property: the checker must never panic and must stay
+// internally consistent (successes ≤ instances, executing ≥ 0 implicitly)
+// on completely arbitrary event streams.
+func TestSpecCheckerArbitraryStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for iter := 0; iter < 500; iter++ {
+		n := 1 + rng.Intn(5)
+		nPhases := 1 + rng.Intn(5)
+		s := NewSpecChecker(n, nPhases)
+		for i := 0; i < 200; i++ {
+			e := Event{
+				Kind:  EventKind(rng.Intn(4)), // includes one invalid kind
+				Proc:  rng.Intn(n+2) - 1,      // includes out-of-range ids
+				Phase: rng.Intn(nPhases+2) - 1,
+			}
+			s.Observe(e)
+			if s.SuccessfulBarriers() > s.Instances() {
+				t.Fatalf("iter %d: successes %d exceed instances %d",
+					iter, s.SuccessfulBarriers(), s.Instances())
+			}
+		}
+		// Violation (if any) must render.
+		if err := s.Violation(); err != nil && err.Error() == "" {
+			t.Fatal("empty violation message")
+		}
+	}
+}
+
+// Property: feeding the canonical fault-free trace after any prefix that
+// did NOT trip the checker keeps it untripped only if the prefix left a
+// consistent instance; conversely a tripped checker stays tripped.
+func TestSpecCheckerViolationIsSticky(t *testing.T) {
+	s := NewSpecChecker(2, 2)
+	s.Observe(Event{Kind: EvComplete, Proc: 0, Phase: 0}) // trip it
+	if s.Violation() == nil {
+		t.Fatal("checker should have tripped")
+	}
+	first := s.Violation().Error()
+	for i := 0; i < 10; i++ {
+		s.Observe(Event{Kind: EvBegin, Proc: 0, Phase: 0})
+	}
+	if got := s.Violation().Error(); got != first {
+		t.Fatalf("violation changed from %q to %q", first, got)
+	}
+}

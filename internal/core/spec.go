@@ -1,0 +1,301 @@
+package core
+
+import "fmt"
+
+// EventKind classifies the observable events of a barrier-synchronization
+// computation that the specification of Section 2 constrains.
+type EventKind uint8
+
+const (
+	// EvBegin is emitted when a process starts executing its phase
+	// (transition ready → execute).
+	EvBegin EventKind = iota
+	// EvComplete is emitted when a process finishes executing its phase
+	// fully (transition execute → success).
+	EvComplete
+	// EvReset is emitted when a detectable fault resets a process (its
+	// control position becomes error), aborting any partial execution.
+	EvReset
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvBegin:
+		return "begin"
+	case EvComplete:
+		return "complete"
+	case EvReset:
+		return "reset"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one observable step of a computation, fed to SpecChecker.
+type Event struct {
+	Kind  EventKind
+	Proc  int
+	Phase int
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s(proc=%d, phase=%d)", e.Kind, e.Proc, e.Phase)
+}
+
+// SpecViolation describes how a trace violated the barrier specification.
+type SpecViolation struct {
+	Event  Event
+	Reason string
+}
+
+func (v *SpecViolation) Error() string {
+	return fmt.Sprintf("barrier spec violated at %v: %s", v.Event, v.Reason)
+}
+
+// SpecChecker validates a trace of Begin/Complete/Reset events against the
+// barrier-synchronization specification of Section 2:
+//
+//	Safety:   (i) no two instances of a phase overlap — a new instance
+//	          begins only when no process is executing in the previous one;
+//	          (ii) an instance of phase i+1 begins only after a successful
+//	          instance of phase i (one in which all processes executed the
+//	          phase fully);
+//	          (iii) within one instance each process executes the phase at
+//	          most once.
+//	Progress: tracked via SuccessfulBarriers; tests assert it increases
+//	          once faults stop.
+//
+// The checker is deliberately operational: protocols under test emit events
+// at their ready→execute and execute→success transitions and at detectable
+// resets, and the checker maintains the instance structure that the paper's
+// definitions induce.
+type SpecChecker struct {
+	n       int // number of processes
+	nPhases int // number of phases in the cyclic sequence
+
+	// Current instance state.
+	open      bool
+	phase     int // phase of the current (or last) instance
+	began     []bool
+	completed []bool
+	resetHere []bool // reset by a detectable fault during this instance
+	executing int    // processes with began && !completed && !reset
+	nComplete int
+	failed    bool // a reset aborted some execution in this instance
+
+	// Outcome of the last closed instance.
+	haveLast    bool
+	lastPhase   int
+	lastSuccess bool
+
+	successes int // number of successful instances observed
+	instances int // total instances observed (successful or not)
+
+	violation *SpecViolation
+}
+
+// NewSpecChecker returns a checker for n processes cycling through nPhases
+// phases. The initial condition of the specification is that phase
+// nPhases-1 has executed successfully, so the first instance must be of
+// phase 0.
+func NewSpecChecker(n, nPhases int) *SpecChecker {
+	return NewSpecCheckerAt(n, nPhases, 0)
+}
+
+// NewSpecCheckerAt returns a checker whose first expected instance is of
+// phase nextPhase — used when attaching a checker to a computation that has
+// already stabilized at an arbitrary phase.
+func NewSpecCheckerAt(n, nPhases, nextPhase int) *SpecChecker {
+	if n <= 0 || nPhases <= 0 {
+		panic("core: SpecChecker requires n > 0 and nPhases > 0")
+	}
+	if !ValidPhase(nextPhase, nPhases) {
+		panic("core: SpecChecker nextPhase out of range")
+	}
+	return &SpecChecker{
+		n:           n,
+		nPhases:     nPhases,
+		began:       make([]bool, n),
+		completed:   make([]bool, n),
+		resetHere:   make([]bool, n),
+		haveLast:    true,
+		lastPhase:   PrevPhase(nextPhase, nPhases),
+		lastSuccess: true,
+	}
+}
+
+// Violation returns the first specification violation observed, or nil.
+func (s *SpecChecker) Violation() error {
+	if s.violation == nil {
+		return nil
+	}
+	return s.violation
+}
+
+// SuccessfulBarriers returns the number of instances in which every process
+// completed the phase — i.e., the number of barriers passed correctly.
+func (s *SpecChecker) SuccessfulBarriers() int { return s.successes }
+
+// Instances returns the total number of phase instances begun.
+func (s *SpecChecker) Instances() int { return s.instances }
+
+// CurrentPhase returns the phase of the instance currently open (or most
+// recently open) and whether any instance has begun at all.
+func (s *SpecChecker) CurrentPhase() (phase int, begun bool) {
+	return s.phase, s.instances > 0
+}
+
+func (s *SpecChecker) fail(e Event, format string, args ...any) {
+	if s.violation == nil {
+		s.violation = &SpecViolation{Event: e, Reason: fmt.Sprintf(format, args...)}
+	}
+}
+
+// Observe feeds one event to the checker. Events arriving after the first
+// violation are ignored (the trace is already condemned).
+func (s *SpecChecker) Observe(e Event) {
+	if s.violation != nil {
+		return
+	}
+	if e.Proc < 0 || e.Proc >= s.n {
+		s.fail(e, "process id out of range [0,%d)", s.n)
+		return
+	}
+	switch e.Kind {
+	case EvBegin:
+		s.observeBegin(e)
+	case EvComplete:
+		s.observeComplete(e)
+	case EvReset:
+		s.observeReset(e)
+	default:
+		s.fail(e, "unknown event kind")
+	}
+}
+
+// closeInstance records the outcome of the open instance.
+func (s *SpecChecker) closeInstance() {
+	s.haveLast = true
+	s.lastPhase = s.phase
+	s.lastSuccess = s.nComplete == s.n && !s.failed
+	if s.lastSuccess {
+		s.successes++
+	}
+	s.open = false
+}
+
+func (s *SpecChecker) observeBegin(e Event) {
+	if !ValidPhase(e.Phase, s.nPhases) {
+		s.fail(e, "phase out of range [0,%d)", s.nPhases)
+		return
+	}
+	// A process may join the instance in progress if it has not executed in
+	// it (partially or fully) and some process is still executing: CB1's
+	// second disjunct only lets a ready process join while another is in
+	// execute. Once the instance has drained, further begins belong to the
+	// next instance.
+	join := s.open && e.Phase == s.phase && !s.began[e.Proc] && !s.resetHere[e.Proc] &&
+		s.executing > 0
+	if join {
+		s.began[e.Proc] = true
+		s.executing++
+		return
+	}
+
+	// Otherwise this event starts a new instance.
+	if s.open {
+		// Safety (i): a new instance may begin only when no process is
+		// executing in the current one.
+		if s.executing > 0 {
+			s.fail(e, "new instance of phase %d while %d process(es) still executing phase %d",
+				e.Phase, s.executing, s.phase)
+			return
+		}
+		s.closeInstance()
+	}
+
+	// Safety (ii): legality of the new instance's phase.
+	switch {
+	case !s.haveLast:
+		s.fail(e, "internal: no prior instance outcome")
+		return
+	case s.lastSuccess && e.Phase == NextPhase(s.lastPhase, s.nPhases):
+		// Normal progress to the next phase.
+	case e.Phase == s.lastPhase:
+		// Re-execution of the current phase: required after an
+		// unsuccessful instance, and harmless (though wasteful) after a
+		// successful one — the last instance in the sequence decides.
+	default:
+		s.fail(e, "instance of phase %d begun, but last instance was phase %d (success=%v)",
+			e.Phase, s.lastPhase, s.lastSuccess)
+		return
+	}
+
+	s.open = true
+	s.phase = e.Phase
+	s.failed = false
+	s.nComplete = 0
+	s.executing = 1
+	for i := range s.began {
+		s.began[i] = false
+		s.completed[i] = false
+		s.resetHere[i] = false
+	}
+	s.began[e.Proc] = true
+	s.instances++
+}
+
+func (s *SpecChecker) observeComplete(e Event) {
+	if !s.open {
+		s.fail(e, "complete with no instance open")
+		return
+	}
+	if e.Phase != s.phase {
+		s.fail(e, "complete for phase %d but open instance is phase %d", e.Phase, s.phase)
+		return
+	}
+	if !s.began[e.Proc] {
+		s.fail(e, "process completed a phase it never began in this instance")
+		return
+	}
+	if s.completed[e.Proc] {
+		// Safety (iii): each process executes the phase at most once per
+		// instance.
+		s.fail(e, "process completed the phase twice in one instance")
+		return
+	}
+	s.completed[e.Proc] = true
+	s.executing--
+	s.nComplete++
+	if s.nComplete == s.n {
+		s.closeInstance()
+	}
+}
+
+func (s *SpecChecker) observeReset(e Event) {
+	if !s.open {
+		return // a reset between instances aborts nothing
+	}
+	// Only a process that already executed in this instance (partially or
+	// fully) is barred from executing in it again; a process reset while it
+	// was still ready may later join the instance for its first and only
+	// execution.
+	if s.began[e.Proc] {
+		s.resetHere[e.Proc] = true
+	}
+	if s.began[e.Proc] && !s.completed[e.Proc] {
+		// The process's partial execution is abandoned; the instance can no
+		// longer have all processes execute the phase fully.
+		s.executing--
+		s.began[e.Proc] = false
+		s.failed = true
+	}
+	// A reset of a process that already completed does not undo its
+	// completion: the paper's definition of a successful instance only
+	// requires that all processes executed the phase fully in it. The
+	// protocol will conservatively re-execute the phase (its state is
+	// lost), which the checker permits as a repeat instance.
+}
+
+// EventSink consumes trace events; SpecChecker.Observe is the canonical
+// implementation.
+type EventSink func(Event)

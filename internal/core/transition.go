@@ -1,0 +1,77 @@
+package core
+
+// Outcome classifies what a control-position update means for the barrier
+// specification, so that engines can emit the corresponding trace events.
+type Outcome uint8
+
+const (
+	// OutNone: no specification-relevant event.
+	OutNone Outcome = iota
+	// OutBegin: the process started executing its phase (ready → execute).
+	OutBegin
+	// OutComplete: the process finished its phase (execute → success).
+	OutComplete
+	// OutAbandon: the process abandoned a partial execution (execute →
+	// repeat, when pulled into a re-execution after a fault elsewhere).
+	OutAbandon
+)
+
+// LeaderUpdate computes the superposed statement of process 0 in programs
+// RB and MB, evaluated when 0 receives the token, given 0's own state and
+// the (possibly locally copied) state of its ring predecessor N:
+//
+//	if cp.0=ready ∧ cp.0=cp.N ∧ ph.0=ph.N then cp.0 := execute
+//	elseif cp.0=execute                    then cp.0 := success
+//	elseif cp.0=success then
+//	    if cp.0=cp.N ∧ ph.0=ph.N then ph.0 := ph.0+1; cp.0 := ready
+//	    else                          ph.0 := ph.N;   cp.0 := ready
+//	elseif cp.0∈{error,repeat}        then ph.0 := ph.N;   cp.0 := ready
+//
+// The final branch realizes the recovery noted in the paper's proof of
+// Lemma 4.1.2 (a corrupted process 0 changes its control position to ready,
+// copying N's phase); repeat is included because an undetectable fault can
+// leave cp.0 = repeat, from which the program must stabilize.
+func LeaderUpdate(cp0 CP, ph0 int, cpN CP, phN int, nPhases int) (CP, int, Outcome) {
+	switch {
+	case cp0 == Ready && cpN == Ready && ph0 == phN:
+		return Execute, ph0, OutBegin
+	case cp0 == Execute:
+		return Success, ph0, OutComplete
+	case cp0 == Success:
+		if cpN == Success && ph0 == phN {
+			return Ready, NextPhase(ph0, nPhases), OutNone
+		}
+		return Ready, phN, OutNone
+	case cp0 == Error || cp0 == Repeat:
+		return Ready, phN, OutNone
+	}
+	// cp.0 = ready but N is not ready in the same phase: keep circulating.
+	return cp0, ph0, OutNone
+}
+
+// FollowerUpdate computes the superposed statement of a process j≠0 in
+// programs RB and MB, evaluated when j receives the token, given j's state
+// and the (possibly locally copied) state of its ring predecessor:
+//
+//	ph.j := ph.(j−1)
+//	if     cp.j=ready   ∧ cp.(j−1)=execute then cp.j := execute
+//	elseif cp.j=execute ∧ cp.(j−1)=success then cp.j := success
+//	elseif cp.j≠execute ∧ cp.(j−1)=ready   then cp.j := ready
+//	elseif cp.j=error   ∨ cp.(j−1)≠cp.j    then cp.j := repeat
+func FollowerUpdate(cp CP, ph int, cpPrev CP, phPrev int) (CP, int, Outcome) {
+	switch {
+	case cp == Ready && cpPrev == Execute:
+		return Execute, phPrev, OutBegin
+	case cp == Execute && cpPrev == Success:
+		return Success, phPrev, OutComplete
+	case cp != Execute && cpPrev == Ready:
+		return Ready, phPrev, OutNone
+	case cp == Error || cpPrev != cp:
+		if cp == Execute {
+			return Repeat, phPrev, OutAbandon
+		}
+		return Repeat, phPrev, OutNone
+	}
+	// Control position unchanged; the phase still travels with the token.
+	return cp, phPrev, OutNone
+}

@@ -1,0 +1,482 @@
+// Package dtree implements program DT, the Figure 2(d) refinement of the
+// barrier-synchronization program: the same tree is used twice — once as
+// the top tree, disseminating waves from the root toward the leaves, and
+// once as the bottom tree, detecting completion by a convergecast from the
+// leaves back to the root. Unlike the Figure 2(c) program (package
+// rbtree), the root reads only its children, so the construction embeds in
+// any connected graph via a spanning tree (topo.NewDoubleTreeFromGraph)
+// with no long leaf-to-root wires; the price is a 2h-hop wave instead of
+// h+1.
+//
+// Each process j maintains the usual (sn.j, cp.j, ph.j) plus an
+// acknowledgment triple (ack.j = ackSN, ackCP, ackPH) summarizing its
+// entire subtree after processing wave ackSN:
+//
+//	D.j (j≠0) :: sn.parent∉{⊥,⊤} ∧ sn.j ≠ sn.parent →
+//	             sn.j := sn.parent ; follower-update          (down wave)
+//	U.j       :: sn.j∉{⊥,⊤} ∧ ackSN.j ≠ sn.j ∧
+//	             ∀child c: ackSN.c = sn.j →
+//	             ack.j := (sn.j, fold(cp.j, ph.j, ack.c…))    (convergecast)
+//	R.0       :: sn.0∉{⊥,⊤} ∧ ackSN.0 = sn.0 →
+//	             sn.0 := sn.0+1 ; leader-update from ack-fold of children
+//	          ∨  sn.0∈{⊥,⊤} ∧ ∃child: ackSN.c ordinary → resynchronize
+//	T3.l, T4.j, T5.0 : the whole-tree-corruption restart wave, as in rbtree.
+//
+// fold merges subtree summaries: agreement on (cp, ph) is preserved, any
+// disagreement reads as repeat (forcing the root to re-execute), exactly as
+// a detectably corrupted process on the ring turns the token into repeat.
+package dtree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/guarded"
+	"repro/internal/tokenring"
+)
+
+// SN aliases the token-ring sequence-number type.
+type SN = tokenring.SN
+
+// Special sequence-number values, re-exported for convenience.
+const (
+	Bot = tokenring.Bot
+	Top = tokenring.Top
+)
+
+// EventSink receives the Begin/Complete/Reset events of a computation.
+type EventSink = core.EventSink
+
+// Program is an instance of DT over a rooted tree.
+type Program struct {
+	n       int
+	nPhases int
+	k       int
+
+	parent   []int
+	children [][]int
+
+	sn []SN
+	cp []core.CP
+	ph []int
+
+	ackSN []SN
+	ackCP []core.CP
+	ackPH []int
+
+	prog *guarded.Program
+	rng  *rand.Rand
+	sink EventSink
+	gate func(j int) bool
+}
+
+// New builds a DT instance over the tree described by the parent vector
+// (parent[0] = -1, parents precede children), with sequence numbers modulo
+// k (k > number of processes − 1).
+func New(parent []int, nPhases, k int, rng *rand.Rand, sink EventSink) (*Program, error) {
+	n := len(parent)
+	if n < 2 {
+		return nil, errors.New("dtree: need at least 2 processes")
+	}
+	if parent[0] != -1 {
+		return nil, errors.New("dtree: parent[0] must be -1")
+	}
+	if nPhases < 2 {
+		return nil, errors.New("dtree: need at least 2 phases")
+	}
+	if k < n {
+		return nil, fmt.Errorf("dtree: need K > N, got K=%d with N=%d", k, n-1)
+	}
+	if rng == nil {
+		return nil, errors.New("dtree: rng must not be nil")
+	}
+	p := &Program{
+		n:        n,
+		nPhases:  nPhases,
+		k:        k,
+		parent:   append([]int(nil), parent...),
+		children: make([][]int, n),
+		sn:       make([]SN, n),
+		cp:       make([]core.CP, n),
+		ph:       make([]int, n),
+		ackSN:    make([]SN, n),
+		ackCP:    make([]core.CP, n),
+		ackPH:    make([]int, n),
+		rng:      rng,
+		sink:     sink,
+	}
+	for j := 1; j < n; j++ {
+		pr := parent[j]
+		if pr < 0 || pr >= j {
+			return nil, fmt.Errorf("dtree: parent[%d] = %d must reference an earlier node", j, pr)
+		}
+		p.children[pr] = append(p.children[pr], j)
+	}
+	// Initially wave 0 has been fully disseminated and acknowledged with
+	// everyone ready in phase 0, so the root's next increment starts the
+	// first execute wave.
+	p.prog = guarded.NewProgram()
+	p.addActions()
+	return p, nil
+}
+
+// Guarded returns the underlying guarded-command program for scheduling.
+func (p *Program) Guarded() *guarded.Program { return p.prog }
+
+// N returns the number of processes.
+func (p *Program) N() int { return p.n }
+
+// NumPhases returns the length of the cyclic phase sequence.
+func (p *Program) NumPhases() int { return p.nPhases }
+
+// CP returns process j's control position.
+func (p *Program) CP(j int) core.CP { return p.cp[j] }
+
+// Phase returns process j's phase number.
+func (p *Program) Phase(j int) int { return p.ph[j] }
+
+// SN returns process j's sequence number.
+func (p *Program) SN(j int) SN { return p.sn[j] }
+
+func (p *Program) emit(e core.Event) {
+	if p.sink != nil {
+		p.sink(e)
+	}
+}
+
+// SetSink replaces the event sink.
+func (p *Program) SetSink(sink EventSink) { p.sink = sink }
+
+// SetWorkGate installs the phase-execution gate (see rbtree.SetWorkGate).
+func (p *Program) SetWorkGate(gate func(j int) bool) { p.gate = gate }
+
+func (p *Program) workReady(j int) bool { return p.gate == nil || p.gate(j) }
+
+// foldChildren merges j's own post-wave state with its children's subtree
+// summaries.
+func (p *Program) foldChildren(j int) (core.CP, int) {
+	cp, ph := p.cp[j], p.ph[j]
+	for _, c := range p.children[j] {
+		if p.ackCP[c] != cp || p.ackPH[c] != ph {
+			cp = core.Repeat
+		}
+	}
+	return cp, ph
+}
+
+// foldChildrenOnly merges only the children's summaries (what the root
+// passes to the leader update: the state of all non-root processes).
+func (p *Program) foldChildrenOnly(j int) (core.CP, int) {
+	kids := p.children[j]
+	cp, ph := p.ackCP[kids[0]], p.ackPH[kids[0]]
+	for _, c := range kids[1:] {
+		if p.ackCP[c] != cp || p.ackPH[c] != ph {
+			cp = core.Repeat
+		}
+	}
+	return cp, ph
+}
+
+func (p *Program) addActions() {
+	// R.0: the root advances the wave when its whole tree has acknowledged.
+	// A detectably corrupted root (sn.0 = ⊥) resynchronizes from the LIVE
+	// state of a non-corrupted child — never from an acknowledgment
+	// summary, which may describe an older wave. This is the tree analogue
+	// of the ring's T1-with-⊥ guarded by sn.N ∉ {⊥,⊤}: the phase must be
+	// copied from a neighbor whose state is known to be uncorrupted
+	// (Lemma 4.1.2), and the post-recovery wave carries repeat so the
+	// current phase is re-executed.
+	p.prog.Add(guarded.Action{
+		Name: "R.0",
+		Proc: 0,
+		Guard: func() bool {
+			if p.sn[0].Ordinary() {
+				if p.ackSN[0] != p.sn[0] {
+					return false
+				}
+				if p.cp[0] == core.Execute && !p.workReady(0) {
+					return false
+				}
+				return true
+			}
+			if p.sn[0] == Bot {
+				for _, c := range p.children[0] {
+					if p.sn[c].Ordinary() {
+						return true
+					}
+				}
+			}
+			return false
+		},
+		Body: func() func() {
+			if !p.sn[0].Ordinary() {
+				// Resynchronize: adopt a fresh wave past a live child's,
+				// marked repeat, with that child's (valid) phase.
+				for _, c := range p.children[0] {
+					if p.sn[c].Ordinary() {
+						next := SN((int(p.sn[c]) + 1) % p.k)
+						ph := p.ph[c]
+						return func() {
+							p.sn[0] = next
+							p.cp[0] = core.Repeat
+							p.ph[0] = ph
+						}
+					}
+				}
+				return nil
+			}
+			next := SN((int(p.sn[0]) + 1) % p.k)
+			cpN, phN := p.foldChildrenOnly(0)
+			if p.cp[0] == core.Error || p.cp[0] == core.Repeat {
+				// The root lost its own phase: recover it from a live,
+				// non-corrupted neighbor rather than a possibly stale
+				// summary.
+				for _, c := range p.children[0] {
+					if p.sn[c].Ordinary() {
+						phN = p.ph[c]
+						break
+					}
+				}
+			}
+			newCP, newPH, out := core.LeaderUpdate(p.cp[0], p.ph[0], cpN, phN, p.nPhases)
+			phase := p.ph[0]
+			return func() {
+				p.sn[0] = next
+				p.cp[0] = newCP
+				p.ph[0] = newPH
+				p.emitOutcome(0, out, phase, newPH)
+			}
+		},
+	})
+
+	// B.j: bottom-up resynchronization for internal non-root processes
+	// whose sequence number was corrupted while their parent is also
+	// corrupted (so the down wave cannot repair them): adopt a live child's
+	// wave and phase, marked repeat. Without this, a simultaneous
+	// detectable corruption of a whole root-path (but not the subtrees
+	// below) would deadlock: D needs an ordinary parent and the ⊤ wave
+	// needs fully-⊥ subtrees.
+	for j := 1; j < p.n; j++ {
+		j := j
+		kids := p.children[j]
+		if len(kids) == 0 {
+			continue
+		}
+		p.prog.Add(guarded.Action{
+			Name: fmt.Sprintf("B.%d", j),
+			Proc: j,
+			Guard: func() bool {
+				if p.sn[j].Ordinary() || p.sn[p.parent[j]].Ordinary() {
+					return false
+				}
+				for _, c := range kids {
+					if p.sn[c].Ordinary() {
+						return true
+					}
+				}
+				return false
+			},
+			Body: func() func() {
+				for _, c := range kids {
+					if p.sn[c].Ordinary() {
+						sn := p.sn[c]
+						ph := p.ph[c]
+						return func() {
+							p.sn[j] = sn
+							p.cp[j] = core.Repeat
+							p.ph[j] = ph
+						}
+					}
+				}
+				return nil
+			},
+		})
+	}
+
+	for j := 1; j < p.n; j++ {
+		j := j
+		parent := p.parent[j]
+		// D.j: the down wave.
+		p.prog.Add(guarded.Action{
+			Name: fmt.Sprintf("D.%d", j),
+			Proc: j,
+			Guard: func() bool {
+				if !p.sn[parent].Ordinary() || p.sn[j] == p.sn[parent] {
+					return false
+				}
+				if p.cp[j] == core.Execute && p.cp[parent] == core.Success && !p.workReady(j) {
+					return false
+				}
+				return true
+			},
+			Body: func() func() {
+				sn := p.sn[parent]
+				newCP, newPH, out := core.FollowerUpdate(p.cp[j], p.ph[j], p.cp[parent], p.ph[parent])
+				phase := p.ph[j]
+				return func() {
+					p.sn[j] = sn
+					p.cp[j] = newCP
+					p.ph[j] = newPH
+					p.emitOutcome(j, out, phase, newPH)
+				}
+			},
+		})
+	}
+
+	// U.j: the convergecast, at every process (at the root it closes the
+	// wave; R.0's guard reads ackSN.0).
+	for j := 0; j < p.n; j++ {
+		j := j
+		kids := p.children[j]
+		p.prog.Add(guarded.Action{
+			Name: fmt.Sprintf("U.%d", j),
+			Proc: j,
+			Guard: func() bool {
+				if !p.sn[j].Ordinary() || p.ackSN[j] == p.sn[j] {
+					return false
+				}
+				for _, c := range kids {
+					if p.ackSN[c] != p.sn[j] {
+						return false
+					}
+				}
+				// A process still executing must not acknowledge the wave
+				// that would complete it — but execution state is folded by
+				// cp, so acknowledging an execute wave while in execute is
+				// correct; no work gating needed here (completion is gated
+				// at D.j/R.0).
+				return true
+			},
+			Body: func() func() {
+				sn := p.sn[j]
+				cp, ph := p.foldChildren(j)
+				return func() {
+					p.ackSN[j] = sn
+					p.ackCP[j] = cp
+					p.ackPH[j] = ph
+				}
+			},
+		})
+	}
+
+	// The whole-tree-corruption restart wave.
+	for j := 0; j < p.n; j++ {
+		j := j
+		kids := p.children[j]
+		if len(kids) == 0 {
+			p.prog.Add(guarded.Action{
+				Name:  fmt.Sprintf("T3.%d", j),
+				Proc:  j,
+				Guard: func() bool { return p.sn[j] == Bot },
+				Body:  func() func() { return func() { p.sn[j] = Top } },
+			})
+			continue
+		}
+		p.prog.Add(guarded.Action{
+			Name: fmt.Sprintf("T4.%d", j),
+			Proc: j,
+			Guard: func() bool {
+				if p.sn[j] != Bot {
+					return false
+				}
+				for _, c := range kids {
+					if p.sn[c] != Top {
+						return false
+					}
+				}
+				return true
+			},
+			Body: func() func() { return func() { p.sn[j] = Top } },
+		})
+	}
+	p.prog.Add(guarded.Action{
+		Name:  "T5.0",
+		Proc:  0,
+		Guard: func() bool { return p.sn[0] == Top },
+		Body:  func() func() { return func() { p.sn[0] = 0 } },
+	})
+}
+
+func (p *Program) emitOutcome(j int, out core.Outcome, oldPhase, newPhase int) {
+	switch out {
+	case core.OutBegin:
+		p.emit(core.Event{Kind: core.EvBegin, Proc: j, Phase: newPhase})
+	case core.OutComplete:
+		p.emit(core.Event{Kind: core.EvComplete, Proc: j, Phase: oldPhase})
+	case core.OutAbandon:
+		p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: oldPhase})
+	}
+}
+
+// InjectDetectable applies the detectable fault action to process j: its
+// state and its subtree summary are reset.
+func (p *Program) InjectDetectable(j int) {
+	if p.cp[j] != core.Error {
+		p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: p.ph[j]})
+	}
+	p.ph[j] = p.rng.Intn(p.nPhases)
+	p.cp[j] = core.Error
+	p.sn[j] = Bot
+	p.ackSN[j] = Bot
+	p.ackCP[j] = core.Error
+	p.ackPH[j] = p.rng.Intn(p.nPhases)
+}
+
+// InjectUndetectable applies the undetectable fault action to process j.
+func (p *Program) InjectUndetectable(j int) {
+	randomSN := func() SN {
+		v := p.rng.Intn(p.k + 2)
+		switch v {
+		case p.k:
+			return Bot
+		case p.k + 1:
+			return Top
+		default:
+			return SN(v)
+		}
+	}
+	p.ph[j] = p.rng.Intn(p.nPhases)
+	p.cp[j] = core.CP(p.rng.Intn(core.NumCP))
+	p.sn[j] = randomSN()
+	p.ackSN[j] = randomSN()
+	p.ackCP[j] = core.CP(p.rng.Intn(core.NumCP))
+	p.ackPH[j] = p.rng.Intn(p.nPhases)
+}
+
+// Corrupted reports whether process j is in a detectably corrupted state.
+func (p *Program) Corrupted(j int) bool {
+	return p.cp[j] == core.Error || !p.sn[j].Ordinary()
+}
+
+// InStartState reports whether the program is in a start state: one fully
+// acknowledged wave, everyone ready in one phase.
+func (p *Program) InStartState() bool {
+	for j := 0; j < p.n; j++ {
+		if !p.sn[j].Ordinary() || p.sn[j] != p.sn[0] || p.ackSN[j] != p.sn[j] {
+			return false
+		}
+		if p.cp[j] != core.Ready || p.ph[j] != p.ph[0] {
+			return false
+		}
+		if p.ackCP[j] != core.Ready || p.ackPH[j] != p.ph[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the global state compactly: own state then ack summary.
+func (p *Program) String() string {
+	s := "["
+	for j := 0; j < p.n; j++ {
+		if j > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%c%d/%v^%c%d/%v",
+			p.cp[j].Letter(), p.ph[j], p.sn[j],
+			p.ackCP[j].Letter(), p.ackPH[j], p.ackSN[j])
+	}
+	return s + "]"
+}

@@ -1,0 +1,315 @@
+package dtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rbtree"
+	"repro/internal/topo"
+)
+
+func binParent(t *testing.T, n int) []int {
+	t.Helper()
+	tr, err := topo.NewBinaryTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Parent
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New([]int{-1}, 2, 5, rng, nil); err == nil {
+		t.Error("single process should be rejected")
+	}
+	if _, err := New([]int{0, -1}, 2, 5, rng, nil); err == nil {
+		t.Error("parent[0] != -1 should be rejected")
+	}
+	if _, err := New([]int{-1, 0}, 1, 5, rng, nil); err == nil {
+		t.Error("single phase should be rejected")
+	}
+	if _, err := New([]int{-1, 0, 1}, 2, 2, rng, nil); err == nil {
+		t.Error("K ≤ N should be rejected")
+	}
+	if _, err := New([]int{-1, 0}, 2, 5, nil, nil); err == nil {
+		t.Error("nil rng should be rejected")
+	}
+	if _, err := New([]int{-1, 0, 5}, 2, 7, rng, nil); err == nil {
+		t.Error("forward parent reference should be rejected")
+	}
+}
+
+// Fault-free barriers on binary trees under all schedulers, spec-checked.
+func TestFaultFreeBarriers(t *testing.T) {
+	for _, n := range []int{7, 15, 32} {
+		for _, sched := range []string{"roundRobin", "random", "maxParallel"} {
+			rng := rand.New(rand.NewSource(5))
+			const nPhases, wantBarriers = 3, 8
+			checker := core.NewSpecChecker(n, nPhases)
+			p, err := New(binParent(t, n), nPhases, n+1, rng, checker.Observe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			step := func() bool {
+				switch sched {
+				case "roundRobin":
+					_, ok := p.Guarded().StepRoundRobin()
+					return ok
+				case "random":
+					_, ok := p.Guarded().StepRandom(rng)
+					return ok
+				default:
+					return p.Guarded().StepMaxParallel(nil) > 0
+				}
+			}
+			for i := 0; i < 1000000 && checker.SuccessfulBarriers() < wantBarriers; i++ {
+				if !step() {
+					t.Fatalf("n=%d %s: deadlock in state %v", n, sched, p)
+				}
+			}
+			if err := checker.Violation(); err != nil {
+				t.Fatalf("n=%d %s: %v", n, sched, err)
+			}
+			if got := checker.SuccessfulBarriers(); got < wantBarriers {
+				t.Fatalf("n=%d %s: only %d successful barriers", n, sched, got)
+			}
+		}
+	}
+}
+
+func injectDetectableIfSafe(p *Program, rng *rand.Rand) {
+	j := rng.Intn(p.N())
+	for k := 0; k < p.N(); k++ {
+		if k != j && p.CP(k) != core.Error {
+			p.InjectDetectable(j)
+			return
+		}
+	}
+}
+
+// Masking tolerance to detectable faults.
+func TestDetectableFaultsMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(12)
+		nPhases := 2 + rng.Intn(3)
+		checker := core.NewSpecChecker(n, nPhases)
+		p, err := New(binParent(t, n), nPhases, n+1, rng, checker.Observe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6000; i++ {
+			if rng.Intn(80) == 0 {
+				injectDetectableIfSafe(p, rng)
+			}
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock in state %v", trial, p)
+			}
+			if err := checker.Violation(); err != nil {
+				t.Fatalf("trial %d: safety violated: %v (state %v)", trial, err, p)
+			}
+		}
+		before := checker.SuccessfulBarriers()
+		for i := 0; i < 600000 && checker.SuccessfulBarriers() < before+3; i++ {
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock after faults stopped: %v", trial, p)
+			}
+		}
+		if err := checker.Violation(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if checker.SuccessfulBarriers() < before+3 {
+			t.Fatalf("trial %d: no progress after faults stopped (state %v)", trial, p)
+		}
+	}
+}
+
+// Stabilizing tolerance to undetectable faults, including corrupted
+// acknowledgment summaries.
+func TestUndetectableFaultsStabilize(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(12)
+		nPhases := 2 + rng.Intn(3)
+		p, err := New(binParent(t, n), nPhases, n+2, rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			p.InjectUndetectable(j)
+		}
+		reached := false
+		for i := 0; i < 500000; i++ {
+			if p.InStartState() {
+				reached = true
+				break
+			}
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock in state %v", trial, p)
+			}
+		}
+		if !reached {
+			t.Fatalf("trial %d: no start state reached from %v", trial, p)
+		}
+		checker := core.NewSpecCheckerAt(n, nPhases, p.Phase(0))
+		p.SetSink(checker.Observe)
+		for i := 0; i < 600000 && checker.SuccessfulBarriers() < 3; i++ {
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock after stabilization", trial)
+			}
+		}
+		if err := checker.Violation(); err != nil {
+			t.Fatalf("trial %d: spec violated after stabilization: %v", trial, err)
+		}
+		if checker.SuccessfulBarriers() < 3 {
+			t.Fatalf("trial %d: no progress after stabilization (state %v)", trial, p)
+		}
+	}
+}
+
+// Whole-tree detectable corruption restarts through the ⊤ wave.
+func TestWholeTreeCorruptionRestarts(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p, err := New(binParent(t, 15), 2, 16, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < p.N(); j++ {
+		p.InjectDetectable(j)
+	}
+	for i := 0; i < 500000; i++ {
+		if p.InStartState() {
+			return
+		}
+		if _, ok := p.Guarded().StepRoundRobin(); !ok {
+			t.Fatalf("deadlock in state %v", p)
+		}
+	}
+	t.Fatalf("no restart from whole-tree corruption: %v", p)
+}
+
+// The Fig 2(d) construction pays ≈2h rounds per wave versus Fig 2(c)'s
+// ≈h+1 (the leaf→root wires): DT needs more rounds per barrier than TB on
+// the same tree, but still far fewer than a ring.
+func TestConvergecastCostsMoreThanLeafWires(t *testing.T) {
+	const n = 32
+	parent := binParent(t, n)
+	rounds := func(build func(checker *core.SpecChecker) interface {
+		Guarded() interface{ StepMaxParallel(*rand.Rand) int }
+	}) int {
+		checker := core.NewSpecChecker(n, 2)
+		prog := build(checker)
+		r := 0
+		for checker.SuccessfulBarriers() < 10 {
+			if prog.Guarded().StepMaxParallel(nil) == 0 {
+				t.Fatal("deadlock")
+			}
+			r++
+			if r > 1000000 {
+				t.Fatal("too slow")
+			}
+		}
+		return r
+	}
+
+	dtRounds := rounds(func(checker *core.SpecChecker) interface {
+		Guarded() interface{ StepMaxParallel(*rand.Rand) int }
+	} {
+		rng := rand.New(rand.NewSource(1))
+		p, err := New(parent, 2, n+1, rng, checker.Observe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return progAdapter{p.Guarded()}
+	})
+	tbRounds := rounds(func(checker *core.SpecChecker) interface {
+		Guarded() interface{ StepMaxParallel(*rand.Rand) int }
+	} {
+		rng := rand.New(rand.NewSource(1))
+		p, err := rbtree.New(parent, 2, n+1, rng, checker.Observe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return progAdapter{p.Guarded()}
+	})
+
+	if dtRounds <= tbRounds {
+		t.Errorf("convergecast (%d rounds) should cost more than leaf wires (%d rounds)",
+			dtRounds, tbRounds)
+	}
+	if dtRounds > 3*tbRounds {
+		t.Errorf("convergecast cost %d rounds vs %d — more than the ≈2x expected",
+			dtRounds, tbRounds)
+	}
+}
+
+type progAdapter struct {
+	g interface{ StepMaxParallel(*rand.Rand) int }
+}
+
+func (a progAdapter) Guarded() interface{ StepMaxParallel(*rand.Rand) int } { return a.g }
+
+// DT embeds in an arbitrary connected graph via a spanning tree.
+func TestGraphEmbedding(t *testing.T) {
+	// Random connected graph.
+	rng := rand.New(rand.NewSource(23))
+	const n = 12
+	adj := make([][]int, n)
+	addEdge := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for v := 1; v < n; v++ {
+		addEdge(v, rng.Intn(v))
+	}
+	for e := 0; e < n; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			addEdge(a, b)
+		}
+	}
+	dt, err := topo.NewDoubleTreeFromGraph(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := core.NewSpecChecker(n, 2)
+	p, err := New(dt.Down.Parent, 2, n+1, rng, checker.Observe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000000 && checker.SuccessfulBarriers() < 5; i++ {
+		if _, ok := p.Guarded().StepRoundRobin(); !ok {
+			t.Fatal("deadlock")
+		}
+	}
+	if err := checker.Violation(); err != nil {
+		t.Fatal(err)
+	}
+	if checker.SuccessfulBarriers() < 5 {
+		t.Fatal("no barriers on graph embedding")
+	}
+}
+
+func TestAccessorsAndString(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, err := New(binParent(t, 7), 3, 8, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 7 || p.NumPhases() != 3 {
+		t.Error("accessors wrong")
+	}
+	if p.CP(3) != core.Ready || p.Phase(3) != 0 || p.SN(3) != 0 {
+		t.Error("initial state wrong")
+	}
+	if !p.InStartState() {
+		t.Error("fresh program should be in a start state")
+	}
+	if p.Corrupted(1) {
+		t.Error("fresh process should not be corrupted")
+	}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}

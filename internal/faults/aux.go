@@ -1,0 +1,93 @@
+package faults
+
+import "math/rand"
+
+// Crasher realizes the paper's Section 7 auxiliary-variable modeling of
+// processor crashes: "the crash of a process can be captured by
+// introducing an auxiliary variable up for that process … Each action of
+// that process is to be executed only if up is true. The crash itself is
+// modeled as the occurrence of a fault that corrupts up, by setting it to
+// false."
+//
+// Install Gate as the guarded program's process gate. Crash(j) halts j;
+// Restart(j) brings it back — and, because restarting loses the process's
+// state, the caller must apply the detectable fault action (Injector's
+// InjectDetectable) at the same time, mirroring the paper's "restart all
+// fail-stopped processes … albeit with different states".
+type Crasher struct {
+	up []bool
+}
+
+// NewCrasher returns a controller for n processes, all up.
+func NewCrasher(n int) *Crasher {
+	up := make([]bool, n)
+	for i := range up {
+		up[i] = true
+	}
+	return &Crasher{up: up}
+}
+
+// Gate is the process gate: a crashed process executes no actions.
+func (c *Crasher) Gate(proc int) bool { return c.up[proc] }
+
+// Crash sets up.j := false.
+func (c *Crasher) Crash(j int) { c.up[j] = false }
+
+// Restart sets up.j := true. Combine with InjectDetectable(j): the
+// restarted process resumes with a reset (not its pre-crash) state.
+func (c *Crasher) Restart(j int) { c.up[j] = true }
+
+// Up reports whether process j is up.
+func (c *Crasher) Up(j int) bool { return c.up[j] }
+
+// AnyDown reports whether some process is crashed.
+func (c *Crasher) AnyDown() bool {
+	for _, u := range c.up {
+		if !u {
+			return true
+		}
+	}
+	return false
+}
+
+// Byzantiner realizes the paper's auxiliary variable good: "If the
+// variable good is true, then the process executes its normal actions.
+// When a fault action corrupts good to false, the process executes actions
+// whose behavior is nondeterministic." The nondeterministic behavior is
+// modeled, per Section 2's fault representation, as repeatedly assigning
+// arbitrary domain values to the process's variables — i.e. undetectable
+// faults fired on every scheduling opportunity.
+type Byzantiner struct {
+	good []bool
+	rng  *rand.Rand
+}
+
+// NewByzantiner returns a controller for n processes, all good.
+func NewByzantiner(n int, rng *rand.Rand) *Byzantiner {
+	good := make([]bool, n)
+	for i := range good {
+		good[i] = true
+	}
+	return &Byzantiner{good: good, rng: rng}
+}
+
+// Corrupt sets good.j := false.
+func (b *Byzantiner) Corrupt(j int) { b.good[j] = false }
+
+// Repair sets good.j := true (the eventually-correctable case; a
+// permanently Byzantine process is the paper's intolerant cell).
+func (b *Byzantiner) Repair(j int) { b.good[j] = true }
+
+// Good reports whether process j behaves normally.
+func (b *Byzantiner) Good(j int) bool { return b.good[j] }
+
+// Step fires the nondeterministic behavior of every bad process once:
+// each assigns arbitrary values to its variables via the injector. Call
+// between scheduler steps.
+func (b *Byzantiner) Step(inj Injector) {
+	for j := 0; j < inj.N() && j < len(b.good); j++ {
+		if !b.good[j] {
+			inj.InjectUndetectable(j)
+		}
+	}
+}

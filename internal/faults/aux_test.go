@@ -1,0 +1,155 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cb"
+	"repro/internal/core"
+)
+
+// A crashed process blocks Progress but never Safety: the barrier simply
+// stops completing — the fail-safe flavor of Table 1's bottom-left cell
+// when the crash is permanent.
+func TestCrashBlocksProgressSafely(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, nPhases = 4, 3
+	checker := core.NewSpecChecker(n, nPhases)
+	p, err := cb.New(n, nPhases, rng, checker.Observe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := NewCrasher(n)
+	p.Guarded().SetProcessGate(crash.Gate)
+
+	// Run a few barriers, then crash process 2.
+	for i := 0; i < 100000 && checker.SuccessfulBarriers() < 3; i++ {
+		if _, ok := p.Guarded().StepRandom(rng); !ok {
+			t.Fatal("deadlock before crash")
+		}
+	}
+	crash.Crash(2)
+	before := checker.SuccessfulBarriers()
+	for i := 0; i < 20000; i++ {
+		if _, ok := p.Guarded().StepRandom(rng); !ok {
+			break // quiescence is expected: nothing can proceed
+		}
+		if err := checker.Violation(); err != nil {
+			t.Fatalf("safety violated while process crashed: %v", err)
+		}
+	}
+	if got := checker.SuccessfulBarriers(); got > before+1 {
+		t.Errorf("barriers advanced from %d to %d despite a crashed participant",
+			before, got)
+	}
+}
+
+// Crash + restart is the paper's fail-stop/repair fault: the restarted
+// process comes back with a reset state (a detectable fault), the barrier
+// masks it, and progress resumes.
+func TestCrashRestartMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n, nPhases = 4, 3
+	checker := core.NewSpecChecker(n, nPhases)
+	p, err := cb.New(n, nPhases, rng, checker.Observe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := NewCrasher(n)
+	p.Guarded().SetProcessGate(crash.Gate)
+
+	for round := 0; round < 5; round++ {
+		// Crash a process mid-computation...
+		victim := rng.Intn(n)
+		crash.Crash(victim)
+		for i := 0; i < 200; i++ {
+			p.Guarded().StepRandom(rng)
+		}
+		// ...then restart it with a reset state.
+		crash.Restart(victim)
+		p.InjectDetectable(victim)
+
+		before := checker.SuccessfulBarriers()
+		for i := 0; i < 100000 && checker.SuccessfulBarriers() < before+2; i++ {
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("round %d: deadlock after restart", round)
+			}
+		}
+		if err := checker.Violation(); err != nil {
+			t.Fatalf("round %d: safety violated across crash/restart: %v", round, err)
+		}
+		if checker.SuccessfulBarriers() < before+2 {
+			t.Fatalf("round %d: no progress after restart", round)
+		}
+	}
+}
+
+func TestCrasherAccessors(t *testing.T) {
+	c := NewCrasher(3)
+	if !c.Up(0) || c.AnyDown() {
+		t.Error("all processes should start up")
+	}
+	c.Crash(1)
+	if c.Up(1) || !c.AnyDown() || !c.Gate(0) || c.Gate(1) {
+		t.Error("crash bookkeeping wrong")
+	}
+	c.Restart(1)
+	if !c.Up(1) || c.AnyDown() {
+		t.Error("restart bookkeeping wrong")
+	}
+}
+
+// A transiently Byzantine process (good eventually restored) is just a
+// source of undetectable faults: the program stabilizes afterwards.
+func TestTransientByzantineStabilizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, nPhases = 4, 3
+	p, err := cb.New(n, nPhases, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := NewByzantiner(n, rng)
+	byz.Corrupt(2)
+	if byz.Good(2) {
+		t.Fatal("corrupt bookkeeping wrong")
+	}
+
+	// Byzantine period: process 2 trashes its state at every opportunity.
+	for i := 0; i < 1000; i++ {
+		byz.Step(p)
+		p.Guarded().StepRandom(rng)
+	}
+	byz.Repair(2)
+	if !byz.Good(2) {
+		t.Fatal("repair bookkeeping wrong")
+	}
+
+	// Stabilization after the Byzantine behavior stops.
+	reached := false
+	for i := 0; i < 100000; i++ {
+		if p.InStartState() {
+			reached = true
+			break
+		}
+		if _, ok := p.Guarded().StepRandom(rng); !ok {
+			t.Fatal("deadlock during stabilization")
+		}
+	}
+	if !reached {
+		t.Fatalf("no stabilization after Byzantine period (state %v)", p)
+	}
+	// From the start state, the specification holds again.
+	checker := core.NewSpecCheckerAt(n, nPhases, p.Phase(0))
+	p.SetSink(checker.Observe)
+	for i := 0; i < 100000 && checker.SuccessfulBarriers() < 3; i++ {
+		if _, ok := p.Guarded().StepRandom(rng); !ok {
+			t.Fatal("deadlock after stabilization")
+		}
+	}
+	if err := checker.Violation(); err != nil {
+		t.Fatalf("spec violated after Byzantine repair: %v", err)
+	}
+	if checker.SuccessfulBarriers() < 3 {
+		t.Fatal("no progress after stabilization")
+	}
+}

@@ -1,0 +1,284 @@
+// Package faults models the paper's fault classification and injection
+// machinery: the detectable/undetectable dichotomy of Section 2, the
+// correctability dimension and appropriate-tolerance mapping of Table 1
+// (Section 7), a catalog of the concrete fault types listed in the
+// introduction, and the fault-arrival schedules used by the simulations of
+// Section 6.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Class is the paper's primary fault dichotomy.
+type Class uint8
+
+const (
+	// Detectable: the state of the faulted process can be reset before any
+	// process accesses it (message loss, fail-stop, reboot, I/O errors,
+	// detected corruption, …).
+	Detectable Class = iota
+	// Undetectable: the corrupted state may be accessed without detection
+	// (design errors, hanging processes, undetected corruption, memory
+	// leaks, transient state corruption, …).
+	Undetectable
+)
+
+func (c Class) String() string {
+	if c == Detectable {
+		return "detectable"
+	}
+	return "undetectable"
+}
+
+// Correctability is the second dimension of Table 1.
+type Correctability uint8
+
+const (
+	// Immediate: the fault can be corrected at occurrence (e.g. ECC-style
+	// message corruption with enough redundancy to correct).
+	Immediate Correctability = iota
+	// Eventual: no part of the program is permanently affected; the fault
+	// is eventually corrected (the Section 2 assumption).
+	Eventual
+	// Uncorrectable: some part of the program is permanently affected
+	// (permanent crash without restart, persistent Byzantine behavior).
+	Uncorrectable
+)
+
+func (c Correctability) String() string {
+	switch c {
+	case Immediate:
+		return "immediately correctable"
+	case Eventual:
+		return "eventually correctable"
+	default:
+		return "uncorrectable"
+	}
+}
+
+// Tolerance is the type of tolerance a barrier-synchronization program can
+// appropriately provide for a fault class (Table 1).
+type Tolerance uint8
+
+const (
+	// TriviallyMasking: the fault can be modeled away entirely.
+	TriviallyMasking Tolerance = iota
+	// Masking: every barrier is executed correctly despite the faults.
+	Masking
+	// Stabilizing: eventually every barrier is executed correctly, with the
+	// number of incorrect phases kept to a minimum.
+	Stabilizing
+	// FailSafe: the program never reports a barrier completion incorrectly,
+	// but may stop reporting completions.
+	FailSafe
+	// Intolerant: no tolerance whatsoever can be guaranteed.
+	Intolerant
+)
+
+func (t Tolerance) String() string {
+	switch t {
+	case TriviallyMasking:
+		return "trivially masking"
+	case Masking:
+		return "masking"
+	case Stabilizing:
+		return "stabilizing"
+	case FailSafe:
+		return "fail-safe"
+	default:
+		return "intolerant"
+	}
+}
+
+// AppropriateTolerance is Table 1 of the paper: the tolerance a barrier
+// synchronization should provide for each (correctability, class) cell.
+func AppropriateTolerance(corr Correctability, class Class) Tolerance {
+	switch corr {
+	case Immediate:
+		return TriviallyMasking
+	case Eventual:
+		if class == Detectable {
+			return Masking
+		}
+		return Stabilizing
+	default: // Uncorrectable
+		if class == Detectable {
+			return FailSafe
+		}
+		return Intolerant
+	}
+}
+
+// Kind is a concrete fault type from the paper's introduction, classified.
+type Kind struct {
+	Name           string
+	Class          Class
+	Correctability Correctability
+}
+
+func (k Kind) String() string {
+	return fmt.Sprintf("%s (%s, %s)", k.Name, k.Class, k.Correctability)
+}
+
+// Tolerance returns the appropriate tolerance for this fault kind.
+func (k Kind) Tolerance() Tolerance {
+	return AppropriateTolerance(k.Correctability, k.Class)
+}
+
+// Catalog lists the standard fault types enumerated in Section 1 of the
+// paper, with the classification Section 2 assigns them.
+var Catalog = []Kind{
+	// Communication faults.
+	{"message loss", Detectable, Eventual},
+	{"detectable message corruption", Detectable, Eventual},
+	{"correctable message corruption (ECC)", Detectable, Immediate},
+	{"message duplication", Detectable, Eventual},
+	{"detectable message reorder", Detectable, Eventual},
+	{"unexpected message reception", Detectable, Eventual},
+	{"undetectable message corruption", Undetectable, Eventual},
+	{"undetectable message reorder", Undetectable, Eventual},
+	{"channel failure and repair", Detectable, Eventual},
+	// Processor faults.
+	{"processor fail-stop with restart", Detectable, Eventual},
+	{"processor reboot", Detectable, Eventual},
+	{"permanent processor crash", Detectable, Uncorrectable},
+	// Process faults.
+	{"internal/design error", Undetectable, Eventual},
+	{"hanging process", Undetectable, Eventual},
+	{"Byzantine process", Undetectable, Uncorrectable},
+	// System faults.
+	{"system reconfiguration", Detectable, Eventual},
+	{"memory leak", Undetectable, Eventual},
+	{"transient memory corruption", Undetectable, Eventual},
+	{"I/O fault", Detectable, Eventual},
+	{"buffer exhaustion", Detectable, Eventual},
+	// Performance faults.
+	{"floating point exception", Detectable, Eventual},
+	{"access violation", Detectable, Eventual},
+}
+
+// Injector is the fault-application interface every protocol engine in
+// this repository implements (programs CB, RB, TB, MB and the runtime
+// barrier all satisfy it).
+type Injector interface {
+	N() int
+	InjectDetectable(j int)
+	InjectUndetectable(j int)
+}
+
+// Schedule decides how many faults arrive in a window of simulated time.
+type Schedule interface {
+	// Arrivals returns how many faults occur in a window of duration dt
+	// (in phase-time units).
+	Arrivals(dt float64) int
+}
+
+// None is the empty schedule: no faults ever.
+type None struct{}
+
+// Arrivals always returns 0.
+func (None) Arrivals(float64) int { return 0 }
+
+// Frequency is the paper's fault-frequency model: the probability that no
+// fault occurs in a window of duration d is (1−f)^d. Arrival counts are
+// drawn from the equivalent Poisson process with rate −ln(1−f).
+type Frequency struct {
+	F   float64
+	Rng *rand.Rand
+
+	rate float64 // cached −ln(1−f)
+}
+
+// NewFrequency returns a schedule with fault frequency f ∈ [0, 1).
+func NewFrequency(f float64, rng *rand.Rand) *Frequency {
+	if f < 0 || f >= 1 {
+		panic("faults: frequency must be in [0, 1)")
+	}
+	if rng == nil {
+		panic("faults: rng must not be nil")
+	}
+	return &Frequency{F: f, Rng: rng, rate: -math.Log(1 - f)}
+}
+
+// Arrivals samples the number of faults in a window of duration dt.
+func (s *Frequency) Arrivals(dt float64) int {
+	if s.F == 0 || dt <= 0 {
+		return 0
+	}
+	// Sample a Poisson(rate·dt) count by multiplying exponentials.
+	lambda := s.rate * dt
+	limit := math.Exp(-lambda)
+	count := 0
+	prod := s.Rng.Float64()
+	for prod > limit {
+		count++
+		prod *= s.Rng.Float64()
+	}
+	return count
+}
+
+// Burst fires a fixed number of faults at or after a given time, once.
+type Burst struct {
+	At    float64
+	Count int
+
+	now   float64
+	fired bool
+}
+
+// Arrivals advances the burst's clock and releases the burst when crossed.
+func (b *Burst) Arrivals(dt float64) int {
+	b.now += dt
+	if !b.fired && b.now >= b.At {
+		b.fired = true
+		return b.Count
+	}
+	return 0
+}
+
+// Apply injects n faults of the given class at uniformly random processes.
+// Per footnote 2 of the paper, a detectable fault is only injected while it
+// leaves at least one process uncorrupted is not enforced here — engines or
+// callers that need that discipline must arrange it (see ApplyDetectableSafe).
+func Apply(inj Injector, class Class, n int, rng *rand.Rand) {
+	for i := 0; i < n; i++ {
+		j := rng.Intn(inj.N())
+		if class == Detectable {
+			inj.InjectDetectable(j)
+		} else {
+			inj.InjectUndetectable(j)
+		}
+	}
+}
+
+// Corruptible is implemented by engines that can report whether a process
+// is currently in a detectably corrupted state.
+type Corruptible interface {
+	Corrupted(j int) bool
+}
+
+// ApplyDetectableSafe injects up to n detectable faults at random
+// processes, skipping injections that would leave every process corrupted
+// (which the paper reclassifies as an undetectable whole-system fault). It
+// returns the number of faults actually injected.
+func ApplyDetectableSafe(inj Injector, c Corruptible, n int, rng *rand.Rand) int {
+	applied := 0
+	for i := 0; i < n; i++ {
+		j := rng.Intn(inj.N())
+		othersAlive := false
+		for k := 0; k < inj.N(); k++ {
+			if k != j && !c.Corrupted(k) {
+				othersAlive = true
+				break
+			}
+		}
+		if othersAlive {
+			inj.InjectDetectable(j)
+			applied++
+		}
+	}
+	return applied
+}

@@ -1,0 +1,253 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cb"
+	"repro/internal/mb"
+	"repro/internal/rb"
+	"repro/internal/rbtree"
+)
+
+// Compile-time checks: every protocol engine implements Injector, and the
+// distributed ones implement Corruptible.
+var (
+	_ Injector    = (*cb.Program)(nil)
+	_ Injector    = (*rb.Program)(nil)
+	_ Injector    = (*mb.Program)(nil)
+	_ Injector    = (*rbtree.Program)(nil)
+	_ Corruptible = (*cb.Program)(nil)
+	_ Corruptible = (*rb.Program)(nil)
+	_ Corruptible = (*mb.Program)(nil)
+	_ Corruptible = (*rbtree.Program)(nil)
+)
+
+// Table 1 of the paper, cell by cell.
+func TestTable1(t *testing.T) {
+	cases := []struct {
+		corr  Correctability
+		class Class
+		want  Tolerance
+	}{
+		{Immediate, Detectable, TriviallyMasking},
+		{Immediate, Undetectable, TriviallyMasking},
+		{Eventual, Detectable, Masking},
+		{Eventual, Undetectable, Stabilizing},
+		{Uncorrectable, Detectable, FailSafe},
+		{Uncorrectable, Undetectable, Intolerant},
+	}
+	for _, tc := range cases {
+		if got := AppropriateTolerance(tc.corr, tc.class); got != tc.want {
+			t.Errorf("AppropriateTolerance(%v, %v) = %v, want %v",
+				tc.corr, tc.class, got, tc.want)
+		}
+	}
+}
+
+func TestCatalogClassification(t *testing.T) {
+	if len(Catalog) < 20 {
+		t.Errorf("catalog has %d kinds; the paper lists more fault types", len(Catalog))
+	}
+	byName := map[string]Kind{}
+	for _, k := range Catalog {
+		if k.Name == "" {
+			t.Error("unnamed fault kind")
+		}
+		byName[k.Name] = k
+	}
+	// Spot-check classifications stated explicitly in the paper.
+	checks := []struct {
+		name  string
+		class Class
+		tol   Tolerance
+	}{
+		{"message loss", Detectable, Masking},
+		{"processor fail-stop with restart", Detectable, Masking},
+		{"internal/design error", Undetectable, Stabilizing},
+		{"hanging process", Undetectable, Stabilizing},
+		{"transient memory corruption", Undetectable, Stabilizing},
+		{"correctable message corruption (ECC)", Detectable, TriviallyMasking},
+		{"permanent processor crash", Detectable, FailSafe},
+		{"Byzantine process", Undetectable, Intolerant},
+	}
+	for _, c := range checks {
+		k, ok := byName[c.name]
+		if !ok {
+			t.Errorf("catalog is missing %q", c.name)
+			continue
+		}
+		if k.Class != c.class || k.Tolerance() != c.tol {
+			t.Errorf("%q classified as (%v, %v), want (%v, %v)",
+				c.name, k.Class, k.Tolerance(), c.class, c.tol)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, s := range []string{
+		Detectable.String(), Undetectable.String(),
+		Immediate.String(), Eventual.String(), Uncorrectable.String(),
+		TriviallyMasking.String(), Masking.String(), Stabilizing.String(),
+		FailSafe.String(), Intolerant.String(),
+		Catalog[0].String(),
+	} {
+		if s == "" {
+			t.Error("empty string rendering")
+		}
+	}
+}
+
+func TestNoneSchedule(t *testing.T) {
+	var s None
+	if s.Arrivals(100) != 0 {
+		t.Error("None schedule must never fire")
+	}
+}
+
+func TestFrequencyValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []float64{-0.1, 1.0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("f=%v should panic", f)
+				}
+			}()
+			NewFrequency(f, rng)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil rng should panic")
+			}
+		}()
+		NewFrequency(0.1, nil)
+	}()
+}
+
+// The Frequency schedule matches the paper's model: P(no fault in d) =
+// (1−f)^d, hence the expected arrival count over duration d is −ln(1−f)·d.
+func TestFrequencyStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const f, d, windows = 0.05, 0.5, 40000
+	s := NewFrequency(f, rng)
+	total := 0
+	zero := 0
+	for i := 0; i < windows; i++ {
+		a := s.Arrivals(d)
+		total += a
+		if a == 0 {
+			zero++
+		}
+	}
+	wantMean := -math.Log(1-f) * d
+	gotMean := float64(total) / windows
+	if math.Abs(gotMean-wantMean) > 0.05*wantMean+0.001 {
+		t.Errorf("mean arrivals = %.5f, want ≈ %.5f", gotMean, wantMean)
+	}
+	wantZero := math.Pow(1-f, d)
+	gotZero := float64(zero) / windows
+	if math.Abs(gotZero-wantZero) > 0.01 {
+		t.Errorf("P(no fault in %.2f) = %.4f, want ≈ %.4f", d, gotZero, wantZero)
+	}
+}
+
+func TestFrequencyZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewFrequency(0, rng)
+	for i := 0; i < 100; i++ {
+		if s.Arrivals(10) != 0 {
+			t.Fatal("f=0 must never fire")
+		}
+	}
+	if s.Arrivals(0) != 0 || s.Arrivals(-1) != 0 {
+		t.Error("empty window must not fire")
+	}
+}
+
+// Property: arrivals are non-negative and f=0 windows are always empty.
+func TestFrequencyProperty(t *testing.T) {
+	check := func(seed int64, fRaw, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := float64(fRaw%90) / 100
+		d := float64(dRaw%50) / 10
+		s := NewFrequency(f, rng)
+		a := s.Arrivals(d)
+		if a < 0 {
+			return false
+		}
+		if f == 0 && a != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBurst(t *testing.T) {
+	b := &Burst{At: 1.0, Count: 3}
+	if b.Arrivals(0.5) != 0 {
+		t.Error("burst fired early")
+	}
+	if b.Arrivals(0.6) != 3 {
+		t.Error("burst did not fire at its time")
+	}
+	if b.Arrivals(10) != 0 {
+		t.Error("burst fired twice")
+	}
+}
+
+func TestApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p, err := cb.New(4, 2, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Apply(p, Undetectable, 10, rng)
+	// Undetectable faults leave arbitrary values; nothing to assert except
+	// no panic and state in domain.
+	for j := 0; j < 4; j++ {
+		if !p.CP(j).Valid() {
+			t.Error("fault left control position outside the domain")
+		}
+	}
+	Apply(p, Detectable, 2, rng)
+	corrupted := 0
+	for j := 0; j < 4; j++ {
+		if p.Corrupted(j) {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Error("detectable faults should corrupt some process")
+	}
+}
+
+func TestApplyDetectableSafeNeverCorruptsEveryone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		p, err := rb.New(3, 2, 4, rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied := ApplyDetectableSafe(p, p, 20, rng)
+		if applied >= 20 {
+			t.Error("safe injection should have skipped some of 20 faults on 3 processes")
+		}
+		alive := 0
+		for j := 0; j < 3; j++ {
+			if !p.Corrupted(j) {
+				alive++
+			}
+		}
+		if alive == 0 {
+			t.Fatal("safe injection corrupted every process")
+		}
+	}
+}

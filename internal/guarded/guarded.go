@@ -1,0 +1,268 @@
+// Package guarded is an execution engine for guarded-command programs in
+// the style used by Kulkarni & Arora (ICPP 1998) and by their SIEFAST
+// simulation environment: a program is a finite set of actions
+//
+//	(name) :: (guard) → (statement)
+//
+// per process, a computation is a fair interleaving of atomically executed
+// enabled actions, and — for performance evaluation — the maximal parallel
+// semantics executes, in every step, one enabled action at every process
+// that has one.
+//
+// Statements are represented in two phases (evaluate against the pre-state,
+// then commit) so that the maximal parallel semantics can execute all
+// selected actions simultaneously: every statement reads the state as it
+// was at the start of the step, exactly as the paper's "true concurrency"
+// model requires.
+package guarded
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Action is one guarded command of a process.
+//
+// Guard is a side-effect-free predicate over the current state. Body is
+// evaluated against the pre-state and returns a commit function that
+// applies the statement's updates; the commit must only write variables of
+// the action's own process (the paper's model: "the statement updates zero
+// or more variables of that process"). Body may return nil to indicate that
+// re-examination of the state showed nothing to do.
+type Action struct {
+	Name  string
+	Proc  int
+	Guard func() bool
+	Body  func() func()
+}
+
+// Program is a set of actions over externally owned state, plus the
+// schedulers that drive them.
+type Program struct {
+	actions []Action
+	byProc  map[int][]int // action indices per process, in insertion order
+	procs   []int         // distinct process ids, in first-appearance order
+
+	cursor int // round-robin cursor for deterministic interleaving
+
+	// procGate, when set, must hold for a process before any of its
+	// actions is considered enabled — the paper's Section 7 auxiliary
+	// variable "up": a crashed process (up = false) executes no actions.
+	procGate func(proc int) bool
+
+	// scratch buffers reused across steps
+	enabledIdx []int
+	commits    []func()
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{byProc: make(map[int][]int)}
+}
+
+// Add appends an action to the program. Actions of the same process are
+// kept in insertion order, which serves as the deterministic priority used
+// when a scheduler must pick one of several enabled actions of a process.
+func (p *Program) Add(a Action) {
+	if a.Guard == nil || a.Body == nil {
+		panic("guarded: action needs both Guard and Body")
+	}
+	if _, seen := p.byProc[a.Proc]; !seen {
+		p.procs = append(p.procs, a.Proc)
+	}
+	p.byProc[a.Proc] = append(p.byProc[a.Proc], len(p.actions))
+	p.actions = append(p.actions, a)
+}
+
+// NumActions returns the number of actions in the program.
+func (p *Program) NumActions() int { return len(p.actions) }
+
+// SetProcessGate installs a per-process enablement gate, realizing the
+// paper's auxiliary-variable modeling of crashes and hangs (Section 7):
+// while gate(proc) is false, no action of proc is enabled. A nil gate
+// (the default) enables all processes.
+func (p *Program) SetProcessGate(gate func(proc int) bool) { p.procGate = gate }
+
+// enabled reports whether action i is enabled, honoring the process gate.
+func (p *Program) enabled(i int) bool {
+	if p.procGate != nil && !p.procGate(p.actions[i].Proc) {
+		return false
+	}
+	return p.actions[i].Guard()
+}
+
+// Processes returns the distinct process ids, in first-appearance order.
+// The returned slice is shared; callers must not modify it.
+func (p *Program) Processes() []int { return p.procs }
+
+// Enabled returns the names of all currently enabled actions, primarily for
+// debugging and tests.
+func (p *Program) Enabled() []string {
+	var names []string
+	for i := range p.actions {
+		if p.enabled(i) {
+			names = append(names, p.actions[i].Name)
+		}
+	}
+	return names
+}
+
+// AnyEnabled reports whether at least one action is enabled.
+func (p *Program) AnyEnabled() bool {
+	for i := range p.actions {
+		if p.enabled(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// StepRandom executes one enabled action chosen uniformly at random — a
+// probabilistically fair interleaving. It reports whether any action was
+// enabled, and the name of the executed action.
+func (p *Program) StepRandom(rng *rand.Rand) (name string, ok bool) {
+	p.enabledIdx = p.enabledIdx[:0]
+	for i := range p.actions {
+		if p.enabled(i) {
+			p.enabledIdx = append(p.enabledIdx, i)
+		}
+	}
+	if len(p.enabledIdx) == 0 {
+		return "", false
+	}
+	i := p.enabledIdx[rng.Intn(len(p.enabledIdx))]
+	if commit := p.actions[i].Body(); commit != nil {
+		commit()
+	}
+	return p.actions[i].Name, true
+}
+
+// StepRoundRobin executes the first enabled action at or after the internal
+// cursor, then advances the cursor past it — a deterministic weakly fair
+// interleaving (every continuously enabled action is executed within one
+// full sweep). It reports whether any action was enabled.
+func (p *Program) StepRoundRobin() (name string, ok bool) {
+	n := len(p.actions)
+	for off := 0; off < n; off++ {
+		i := (p.cursor + off) % n
+		if p.enabled(i) {
+			if commit := p.actions[i].Body(); commit != nil {
+				commit()
+			}
+			p.cursor = (i + 1) % n
+			return p.actions[i].Name, true
+		}
+	}
+	return "", false
+}
+
+// StepMaxParallel executes one step of the maximal parallel semantics: for
+// every process with at least one enabled action, one enabled action is
+// selected (the first in insertion order, or a uniformly random one if rng
+// is non-nil) and all selected actions are executed simultaneously — every
+// Body is evaluated against the pre-state before any commit is applied.
+// It returns the number of actions executed.
+func (p *Program) StepMaxParallel(rng *rand.Rand) int {
+	p.commits = p.commits[:0]
+	for _, proc := range p.procs {
+		if p.procGate != nil && !p.procGate(proc) {
+			continue
+		}
+		idxs := p.byProc[proc]
+		p.enabledIdx = p.enabledIdx[:0]
+		for _, i := range idxs {
+			if p.actions[i].Guard() {
+				if rng == nil {
+					p.enabledIdx = append(p.enabledIdx[:0], i)
+					break
+				}
+				p.enabledIdx = append(p.enabledIdx, i)
+			}
+		}
+		if len(p.enabledIdx) == 0 {
+			continue
+		}
+		pick := p.enabledIdx[0]
+		if rng != nil && len(p.enabledIdx) > 1 {
+			pick = p.enabledIdx[rng.Intn(len(p.enabledIdx))]
+		}
+		if commit := p.actions[pick].Body(); commit != nil {
+			p.commits = append(p.commits, commit)
+		}
+	}
+	for _, c := range p.commits {
+		c()
+	}
+	return len(p.commits)
+}
+
+// RunResult summarizes a scheduler run.
+type RunResult struct {
+	Steps     int  // scheduler steps taken (interleaving: actions; maximal parallel: rounds)
+	Quiescent bool // the run ended because no action was enabled
+	Stopped   bool // the run ended because the stop predicate held
+}
+
+func (r RunResult) String() string {
+	switch {
+	case r.Stopped:
+		return fmt.Sprintf("stopped after %d step(s)", r.Steps)
+	case r.Quiescent:
+		return fmt.Sprintf("quiescent after %d step(s)", r.Steps)
+	default:
+		return fmt.Sprintf("step budget exhausted after %d step(s)", r.Steps)
+	}
+}
+
+// Run drives the program with the given single-step function until the stop
+// predicate holds (checked before every step), the program is quiescent, or
+// maxSteps steps have been taken. step must report whether it executed
+// anything. Either stop or after may be nil.
+//
+//	res := prog.Run(maxSteps, stop, func() bool { _, ok := prog.StepRoundRobin(); return ok }, after)
+func (p *Program) Run(maxSteps int, stop func() bool, step func() bool, after func()) RunResult {
+	for n := 0; n < maxSteps; n++ {
+		if stop != nil && stop() {
+			return RunResult{Steps: n, Stopped: true}
+		}
+		if !step() {
+			return RunResult{Steps: n, Quiescent: true}
+		}
+		if after != nil {
+			after()
+		}
+	}
+	return RunResult{Steps: maxSteps, Stopped: stop != nil && stop()}
+}
+
+// RunRandom runs the probabilistically fair interleaving scheduler.
+func (p *Program) RunRandom(rng *rand.Rand, maxSteps int, stop func() bool, after func()) RunResult {
+	return p.Run(maxSteps, stop, func() bool { _, ok := p.StepRandom(rng); return ok }, after)
+}
+
+// RunRoundRobin runs the deterministic weakly fair interleaving scheduler.
+func (p *Program) RunRoundRobin(maxSteps int, stop func() bool, after func()) RunResult {
+	return p.Run(maxSteps, stop, func() bool { _, ok := p.StepRoundRobin(); return ok }, after)
+}
+
+// RunMaxParallel runs the maximal parallel scheduler for at most maxRounds
+// rounds.
+func (p *Program) RunMaxParallel(rng *rand.Rand, maxRounds int, stop func() bool, after func()) RunResult {
+	return p.Run(maxRounds, stop, func() bool { return p.StepMaxParallel(rng) > 0 }, after)
+}
+
+// StepIndex executes exactly the i-th action (in insertion order) if its
+// guard holds, and reports whether it executed. It gives model checkers
+// and tests precise control over the transition relation.
+func (p *Program) StepIndex(i int) bool {
+	if i < 0 || i >= len(p.actions) {
+		return false
+	}
+	if !p.enabled(i) {
+		return false
+	}
+	if commit := p.actions[i].Body(); commit != nil {
+		commit()
+	}
+	return true
+}

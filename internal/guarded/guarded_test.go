@@ -1,0 +1,255 @@
+package guarded
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// counterProgram builds a program where each of n processes increments its
+// own counter while it is below limit.
+func counterProgram(n, limit int) (*Program, []int) {
+	p := NewProgram()
+	counts := make([]int, n)
+	for j := 0; j < n; j++ {
+		j := j
+		p.Add(Action{
+			Name:  "inc",
+			Proc:  j,
+			Guard: func() bool { return counts[j] < limit },
+			Body: func() func() {
+				return func() { counts[j]++ }
+			},
+		})
+	}
+	return p, counts
+}
+
+func TestAddValidation(t *testing.T) {
+	p := NewProgram()
+	defer func() {
+		if recover() == nil {
+			t.Error("Add without Guard/Body should panic")
+		}
+	}()
+	p.Add(Action{Name: "bad"})
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	p, counts := counterProgram(5, 10)
+	res := p.RunRoundRobin(1000, nil, nil)
+	if !res.Quiescent {
+		t.Fatalf("expected quiescence, got %v", res)
+	}
+	if res.Steps != 50 {
+		t.Errorf("steps = %d, want 50", res.Steps)
+	}
+	for j, c := range counts {
+		if c != 10 {
+			t.Errorf("counter %d = %d, want 10 (round robin is weakly fair)", j, c)
+		}
+	}
+}
+
+func TestRandomSchedulerReachesQuiescence(t *testing.T) {
+	p, counts := counterProgram(4, 25)
+	rng := rand.New(rand.NewSource(1))
+	res := p.RunRandom(rng, 10000, nil, nil)
+	if !res.Quiescent {
+		t.Fatalf("expected quiescence, got %v", res)
+	}
+	for j, c := range counts {
+		if c != 25 {
+			t.Errorf("counter %d = %d, want 25", j, c)
+		}
+	}
+}
+
+func TestMaxParallelExecutesOnePerProcess(t *testing.T) {
+	p, counts := counterProgram(8, 3)
+	executed := p.StepMaxParallel(nil)
+	if executed != 8 {
+		t.Fatalf("round executed %d actions, want 8 (one per process)", executed)
+	}
+	for j, c := range counts {
+		if c != 1 {
+			t.Errorf("counter %d = %d after one round, want 1", j, c)
+		}
+	}
+	res := p.RunMaxParallel(nil, 100, nil, nil)
+	if !res.Quiescent || res.Steps != 2 {
+		t.Fatalf("expected quiescence after 2 more rounds, got %v", res)
+	}
+}
+
+// The defining property of the maximal parallel semantics: all statements
+// read the pre-state of the round. Two processes swapping values must end
+// up exchanged, not aliased.
+func TestMaxParallelReadsPreState(t *testing.T) {
+	x, y := 1, 2
+	p := NewProgram()
+	p.Add(Action{
+		Name:  "copyY",
+		Proc:  0,
+		Guard: func() bool { return x != y },
+		Body: func() func() {
+			v := y
+			return func() { x = v }
+		},
+	})
+	p.Add(Action{
+		Name:  "copyX",
+		Proc:  1,
+		Guard: func() bool { return x != y },
+		Body: func() func() {
+			v := x
+			return func() { y = v }
+		},
+	})
+	if n := p.StepMaxParallel(nil); n != 2 {
+		t.Fatalf("executed %d, want 2", n)
+	}
+	if x != 2 || y != 1 {
+		t.Fatalf("after simultaneous swap x=%d y=%d, want x=2 y=1", x, y)
+	}
+}
+
+func TestMaxParallelPicksOneActionPerProcess(t *testing.T) {
+	fired := make([]int, 2)
+	total := 0
+	p := NewProgram()
+	for a := 0; a < 2; a++ {
+		a := a
+		p.Add(Action{
+			Name:  "a",
+			Proc:  0,
+			Guard: func() bool { return total < 1 },
+			Body: func() func() {
+				return func() { fired[a]++; total++ }
+			},
+		})
+	}
+	if n := p.StepMaxParallel(nil); n != 1 {
+		t.Fatalf("executed %d actions for one process, want 1", n)
+	}
+	// Deterministic selection picks the first in insertion order.
+	if fired[0] != 1 || fired[1] != 0 {
+		t.Errorf("deterministic pick fired %v, want [1 0]", fired)
+	}
+}
+
+func TestMaxParallelRandomPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := make(map[int]bool)
+	for trial := 0; trial < 100; trial++ {
+		choice := -1
+		p := NewProgram()
+		for a := 0; a < 3; a++ {
+			a := a
+			p.Add(Action{
+				Name:  "a",
+				Proc:  0,
+				Guard: func() bool { return choice == -1 },
+				Body: func() func() {
+					return func() { choice = a }
+				},
+			})
+		}
+		p.StepMaxParallel(rng)
+		seen[choice] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("random pick over 100 trials chose %v, want all 3 actions", seen)
+	}
+}
+
+func TestRunStopPredicate(t *testing.T) {
+	p, counts := counterProgram(1, 100)
+	res := p.RunRoundRobin(1000, func() bool { return counts[0] >= 7 }, nil)
+	if !res.Stopped {
+		t.Fatalf("expected stop, got %v", res)
+	}
+	if counts[0] != 7 {
+		t.Errorf("stopped at %d, want 7", counts[0])
+	}
+}
+
+func TestRunAfterHook(t *testing.T) {
+	p, _ := counterProgram(2, 5)
+	calls := 0
+	res := p.RunRoundRobin(1000, nil, func() { calls++ })
+	if calls != res.Steps {
+		t.Errorf("after hook called %d times over %d steps", calls, res.Steps)
+	}
+}
+
+func TestRunBudgetExhausted(t *testing.T) {
+	p, _ := counterProgram(1, 1<<30)
+	res := p.RunRoundRobin(10, nil, nil)
+	if res.Quiescent || res.Stopped || res.Steps != 10 {
+		t.Errorf("expected budget exhaustion at 10 steps, got %v", res)
+	}
+}
+
+func TestEnabledNames(t *testing.T) {
+	p, counts := counterProgram(3, 1)
+	if got := len(p.Enabled()); got != 3 {
+		t.Errorf("enabled = %d, want 3", got)
+	}
+	counts[0] = 1
+	counts[1] = 1
+	counts[2] = 1
+	if p.AnyEnabled() {
+		t.Error("no action should be enabled at the limit")
+	}
+}
+
+func TestProcesses(t *testing.T) {
+	p, _ := counterProgram(4, 1)
+	procs := p.Processes()
+	if len(procs) != 4 {
+		t.Fatalf("processes = %v", procs)
+	}
+	for i, pr := range procs {
+		if pr != i {
+			t.Errorf("process order %v, want insertion order", procs)
+			break
+		}
+	}
+	if p.NumActions() != 4 {
+		t.Errorf("NumActions = %d, want 4", p.NumActions())
+	}
+}
+
+func TestRunResultString(t *testing.T) {
+	for _, r := range []RunResult{
+		{Steps: 3, Stopped: true},
+		{Steps: 4, Quiescent: true},
+		{Steps: 5},
+	} {
+		if r.String() == "" {
+			t.Errorf("empty String for %#v", r)
+		}
+	}
+}
+
+// Property-style test: interleaving and maximal parallel schedulers agree
+// on the final state of a confluent program (independent counters).
+func TestSchedulerConfluence(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		limit := 1 + rng.Intn(20)
+
+		p1, c1 := counterProgram(n, limit)
+		p1.RunRandom(rng, 100000, nil, nil)
+
+		p2, c2 := counterProgram(n, limit)
+		p2.RunMaxParallel(rng, 100000, nil, nil)
+
+		for j := 0; j < n; j++ {
+			if c1[j] != limit || c2[j] != limit {
+				t.Fatalf("seed %d: schedulers disagree: %v vs %v", seed, c1, c2)
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package hw realizes the paper's hardware-implementation claim (Sections
+// 1 and 8): "our program is concise and can be implemented as a simple
+// table lookup … the state maintained at each process is at most O(log N)."
+//
+// The package compiles the leader and follower transition functions of
+// package core into flat lookup tables indexed by packed control-position
+// pairs, and packs a process's entire protocol state — sequence number in
+// {0..K−1, ⊥, ⊤}, control position, phase — into a single machine word
+// with ⌈log₂(K+2)⌉ + 3 + ⌈log₂ n⌉ bits, exactly the O(log N) the paper
+// states. Exhaustive tests check the tables against the reference
+// functions over the full input domain.
+package hw
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/tokenring"
+)
+
+// entry is one row of a transition table: the next control position, how
+// the phase is obtained, and the event outcome, packed into one byte:
+//
+//	bits 0-2: next control position
+//	bits 3-4: phase source (0 = keep own, 1 = copy predecessor's, 2 = increment own)
+//	bits 5-6: outcome (core.Outcome)
+type entry uint8
+
+const (
+	phaseKeep = iota
+	phaseCopy
+	phaseIncrement
+)
+
+func pack(cp core.CP, phaseSrc int, out core.Outcome) entry {
+	return entry(uint8(cp) | uint8(phaseSrc)<<3 | uint8(out)<<5)
+}
+
+func (e entry) cp() core.CP           { return core.CP(e & 0x7) }
+func (e entry) phaseSrc() int         { return int(e>>3) & 0x3 }
+func (e entry) outcome() core.Outcome { return core.Outcome(e >> 5) }
+
+// Tables is the compiled transition unit. Follower and Leader are indexed
+// by own-cp × other-cp (5×5 = 25 entries each — 50 bytes of combinational
+// "ROM" in a hardware realization). The leader table additionally needs
+// the phase-equality bit, so it is indexed by (own-cp × other-cp × phEq).
+type Tables struct {
+	Follower [core.NumCP * core.NumCP]entry
+	Leader   [core.NumCP * core.NumCP * 2]entry
+}
+
+// Compile builds the tables from the reference transition functions by
+// probing them with phase values chosen so that every phase source —
+// keep own, copy the other's, increment own — is distinguishable: own = 0,
+// other = 2, increment = 1, under a probe modulus of 4. The compiled
+// tables are modulus-independent (phase arithmetic happens at lookup
+// time).
+func Compile() *Tables {
+	const nPhases = 4
+	t := &Tables{}
+	const own, other = 0, 2 // probe phases: own, other and own+1 all distinct
+	for cp := 0; cp < core.NumCP; cp++ {
+		for cpPrev := 0; cpPrev < core.NumCP; cpPrev++ {
+			newCP, newPH, out := core.FollowerUpdate(core.CP(cp), own, core.CP(cpPrev), other)
+			src := phaseKeep
+			switch newPH {
+			case other:
+				src = phaseCopy
+			case own:
+				src = phaseKeep
+			default:
+				panic("hw: follower produced a phase from nowhere")
+			}
+
+			t.Follower[cp*core.NumCP+cpPrev] = pack(newCP, src, out)
+
+			for _, phEq := range []bool{false, true} {
+				probeN := other
+				if phEq {
+					probeN = own
+				}
+				newCP, newPH, out := core.LeaderUpdate(core.CP(cp), own, core.CP(cpPrev), probeN, nPhases)
+				src := phaseKeep
+				switch newPH {
+				case own:
+					src = phaseKeep
+				case (own + 1) % nPhases:
+					src = phaseIncrement
+				case probeN:
+					src = phaseCopy
+				default:
+					panic("hw: leader produced a phase from nowhere")
+				}
+				idx := (cp*core.NumCP+cpPrev)*2 + boolBit(phEq)
+				t.Leader[idx] = pack(newCP, src, out)
+			}
+		}
+	}
+	return t
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// FollowerStep evaluates the follower transition by table lookup.
+func (t *Tables) FollowerStep(cp core.CP, ph int, cpPrev core.CP, phPrev, nPhases int) (core.CP, int, core.Outcome) {
+	e := t.Follower[int(cp)*core.NumCP+int(cpPrev)]
+	return e.cp(), t.phase(e, ph, phPrev, nPhases), e.outcome()
+}
+
+// LeaderStep evaluates the leader transition by table lookup.
+func (t *Tables) LeaderStep(cp core.CP, ph int, cpN core.CP, phN, nPhases int) (core.CP, int, core.Outcome) {
+	idx := (int(cp)*core.NumCP+int(cpN))*2 + boolBit(ph == phN)
+	e := t.Leader[idx]
+	return e.cp(), t.phase(e, ph, phN, nPhases), e.outcome()
+}
+
+func (t *Tables) phase(e entry, own, other, nPhases int) int {
+	switch e.phaseSrc() {
+	case phaseCopy:
+		return other
+	case phaseIncrement:
+		return core.NextPhase(own, nPhases)
+	default:
+		return own
+	}
+}
+
+// Word is a process's complete protocol state packed into one machine
+// word: the paper's O(log N) state claim made concrete.
+type Word uint32
+
+// Layout parameterizes the packing for a given K (sequence modulus) and
+// phase modulus.
+type Layout struct {
+	K       int
+	NPhases int
+
+	snBits int
+	cpBits int
+	phBits int
+}
+
+// NewLayout computes the bit layout. Total bits must fit a Word.
+func NewLayout(k, nPhases int) (Layout, error) {
+	l := Layout{
+		K:       k,
+		NPhases: nPhases,
+		snBits:  bits.Len(uint(k + 1)), // values 0..K+1 (⊥ = K, ⊤ = K+1)
+		cpBits:  3,                     // 5 control positions
+		phBits:  bits.Len(uint(nPhases - 1)),
+	}
+	if l.phBits == 0 {
+		l.phBits = 1
+	}
+	if total := l.snBits + l.cpBits + l.phBits; total > 32 {
+		return Layout{}, fmt.Errorf("hw: state needs %d bits, exceeds the word", total)
+	}
+	return l, nil
+}
+
+// Bits returns the number of state bits per process: ⌈log₂(K+2)⌉ + 3 +
+// ⌈log₂ nPhases⌉, which is O(log N) for K = N+1.
+func (l Layout) Bits() int { return l.snBits + l.cpBits + l.phBits }
+
+// Pack encodes (sn, cp, ph) into a Word.
+func (l Layout) Pack(sn tokenring.SN, cp core.CP, ph int) Word {
+	var snIdx uint32
+	switch sn {
+	case tokenring.Bot:
+		snIdx = uint32(l.K)
+	case tokenring.Top:
+		snIdx = uint32(l.K + 1)
+	default:
+		snIdx = uint32(sn)
+	}
+	w := snIdx
+	w = w<<l.cpBits | uint32(cp)
+	w = w<<l.phBits | uint32(ph)
+	return Word(w)
+}
+
+// Unpack decodes a Word back into (sn, cp, ph).
+func (l Layout) Unpack(w Word) (tokenring.SN, core.CP, int) {
+	ph := int(uint32(w) & (1<<l.phBits - 1))
+	w >>= Word(l.phBits)
+	cp := core.CP(uint32(w) & (1<<l.cpBits - 1))
+	w >>= Word(l.cpBits)
+	snIdx := int(w)
+	var sn tokenring.SN
+	switch snIdx {
+	case l.K:
+		sn = tokenring.Bot
+	case l.K + 1:
+		sn = tokenring.Top
+	default:
+		sn = tokenring.SN(snIdx)
+	}
+	return sn, cp, ph
+}

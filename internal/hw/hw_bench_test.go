@@ -1,0 +1,38 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The table lookup against the branching reference implementation — the
+// "simple table lookup" the paper argues makes hardware realization easy.
+func BenchmarkFollowerTableVsReference(b *testing.B) {
+	tables := Compile()
+	b.Run("table", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cp := core.CP(i % core.NumCP)
+			cpO := core.CP((i / core.NumCP) % core.NumCP)
+			tables.FollowerStep(cp, i%4, cpO, (i+1)%4, 4)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cp := core.CP(i % core.NumCP)
+			cpO := core.CP((i / core.NumCP) % core.NumCP)
+			core.FollowerUpdate(cp, i%4, cpO, (i+1)%4)
+		}
+	})
+}
+
+func BenchmarkPackUnpack(b *testing.B) {
+	l, err := NewLayout(33, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		w := l.Pack(3, core.Execute, i%8)
+		l.Unpack(w)
+	}
+}

@@ -1,0 +1,120 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/tokenring"
+)
+
+// The compiled tables must agree with the reference transition functions
+// over the entire input domain, for several phase moduli.
+func TestTablesMatchReferenceExhaustively(t *testing.T) {
+	tables := Compile()
+	for _, nPhases := range []int{2, 3, 4, 7, 16} {
+		for cp := 0; cp < core.NumCP; cp++ {
+			for cpO := 0; cpO < core.NumCP; cpO++ {
+				for ph := 0; ph < nPhases; ph++ {
+					for phO := 0; phO < nPhases; phO++ {
+						wantCP, wantPH, wantOut := core.FollowerUpdate(core.CP(cp), ph, core.CP(cpO), phO)
+						gotCP, gotPH, gotOut := tables.FollowerStep(core.CP(cp), ph, core.CP(cpO), phO, nPhases)
+						if gotCP != wantCP || gotPH != wantPH || gotOut != wantOut {
+							t.Fatalf("follower(%v,%d,%v,%d) table=(%v,%d,%d) ref=(%v,%d,%d)",
+								core.CP(cp), ph, core.CP(cpO), phO,
+								gotCP, gotPH, gotOut, wantCP, wantPH, wantOut)
+						}
+
+						wantCP, wantPH, wantOut = core.LeaderUpdate(core.CP(cp), ph, core.CP(cpO), phO, nPhases)
+						gotCP, gotPH, gotOut = tables.LeaderStep(core.CP(cp), ph, core.CP(cpO), phO, nPhases)
+						if gotCP != wantCP || gotPH != wantPH || gotOut != wantOut {
+							t.Fatalf("leader(%v,%d,%v,%d,%d) table=(%v,%d,%d) ref=(%v,%d,%d)",
+								core.CP(cp), ph, core.CP(cpO), phO, nPhases,
+								gotCP, gotPH, gotOut, wantCP, wantPH, wantOut)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The table "ROM" is as small as the paper promises: 75 bytes total.
+func TestTableSize(t *testing.T) {
+	tables := Compile()
+	total := len(tables.Follower) + len(tables.Leader)
+	if total != 25+50 {
+		t.Errorf("table ROM is %d entries, want 75", total)
+	}
+}
+
+func TestLayoutBits(t *testing.T) {
+	// The paper: 32 processes → K = N+1 = 32, a handful of phases.
+	l, err := NewLayout(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sn ∈ {0..33} → 6 bits; cp → 3 bits; ph ∈ {0..7} → 3 bits.
+	if l.Bits() != 12 {
+		t.Errorf("state bits = %d, want 12", l.Bits())
+	}
+	// O(log N): doubling the process count adds one sequence bit.
+	l2, err := NewLayout(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Bits() != l.Bits()+1 {
+		t.Errorf("64-process layout uses %d bits, want %d", l2.Bits(), l.Bits()+1)
+	}
+}
+
+func TestLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(1<<30, 1<<20); err == nil {
+		t.Error("oversized layout should be rejected")
+	}
+}
+
+// Property: Pack/Unpack round-trips over the full domain.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	l, err := NewLayout(33, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(snRaw uint8, cpRaw uint8, phRaw uint8) bool {
+		var sn tokenring.SN
+		switch v := int(snRaw) % 35; v {
+		case 33:
+			sn = tokenring.Bot
+		case 34:
+			sn = tokenring.Top
+		default:
+			sn = tokenring.SN(v)
+		}
+		cp := core.CP(cpRaw % uint8(core.NumCP))
+		ph := int(phRaw % 8)
+		gotSN, gotCP, gotPH := l.Unpack(l.Pack(sn, cp, ph))
+		return gotSN == sn && gotCP == cp && gotPH == ph
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Exhaustive round-trip, small layout.
+func TestPackUnpackExhaustive(t *testing.T) {
+	l, err := NewLayout(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sns := []tokenring.SN{0, 1, 2, 3, 4, tokenring.Bot, tokenring.Top}
+	for _, sn := range sns {
+		for cp := 0; cp < core.NumCP; cp++ {
+			for ph := 0; ph < 3; ph++ {
+				g1, g2, g3 := l.Unpack(l.Pack(sn, core.CP(cp), ph))
+				if g1 != sn || g2 != core.CP(cp) || g3 != ph {
+					t.Fatalf("round trip (%v,%v,%d) → (%v,%v,%d)", sn, core.CP(cp), ph, g1, g2, g3)
+				}
+			}
+		}
+	}
+}

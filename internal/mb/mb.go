@@ -1,0 +1,381 @@
+// Package mb implements program MB, the Section 5 message-passing
+// refinement of RB: every action either communicates with one neighbor or
+// updates the process's own state, but not both, so the program can be
+// implemented with messages.
+//
+// Each process j additionally maintains local copies of its predecessor's
+// variables — snL.j, cpL.j, phL.j mirroring sn.(j−1), cp.(j−1), ph.(j−1) —
+// and a local copy snR.j of its successor's sequence number (used only to
+// propagate ⊤). The sequence-number domain is widened from K > N to
+// L > 2N+1, because the local copies effectively double the ring: the
+// paper proves MB's computations equivalent to RB's on a ring of 2(N+1)
+// processes, alternating copy-cells and real processes.
+//
+// The actions are the RB actions rewritten to read local copies:
+//
+//	C.j  (copy) :: sn.(j−1)∉{⊥,⊤} ∧ snL.j≠sn.(j−1) →
+//	               snL.j := sn.(j−1); (cpL.j,phL.j) := follower-update from (cp.(j−1),ph.(j−1))
+//	T1'.0       :: snL.0∉{⊥,⊤} ∧ (sn.0=snL.0 ∨ sn.0∈{⊥,⊤}) →
+//	               sn.0 := snL.0+1; (cp.0,ph.0) := leader-update from (cpL.0,phL.0)
+//	T2'.j (j≠0) :: snL.j∉{⊥,⊤} ∧ sn.j≠snL.j →
+//	               sn.j := snL.j;   (cp.j,ph.j) := follower-update from (cpL.j,phL.j)
+//	T3.N        :: sn.N=⊥ → sn.N := ⊤
+//	R.j  (j≠N)  :: sn.(j+1)=⊤ ∧ snR.j≠⊤ → snR.j := ⊤
+//	T4'.j (j≠N) :: sn.j=⊥ ∧ snR.j=⊤ → sn.j := ⊤
+//	T5.0        :: sn.0=⊤ → sn.0 := 0
+//
+// Note the copy-update action C.j is "identical to the superposed action T2
+// at a non-0 process" (the copy cell behaves like a ring process), and the
+// events of the barrier specification are emitted by the real processes
+// only (actions T1'/T2').
+package mb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/guarded"
+	"repro/internal/tokenring"
+)
+
+// SN aliases the token-ring sequence-number type.
+type SN = tokenring.SN
+
+// Special sequence-number values, re-exported for convenience.
+const (
+	Bot = tokenring.Bot
+	Top = tokenring.Top
+)
+
+// EventSink receives the Begin/Complete/Reset events of a computation.
+type EventSink = core.EventSink
+
+// Program is an instance of MB over a ring of n processes.
+type Program struct {
+	n       int
+	nPhases int
+	l       int // sequence-number modulus, L > 2N+1
+
+	// Own variables of process j.
+	sn []SN
+	cp []core.CP
+	ph []int
+
+	// Local copies at process j of predecessor j−1's variables, and of
+	// successor j+1's sequence number.
+	snL []SN
+	cpL []core.CP
+	phL []int
+	snR []SN
+
+	prog *guarded.Program
+	rng  *rand.Rand
+	sink EventSink
+}
+
+// New builds an MB instance with sequence numbers modulo l. The refinement
+// requires L > 2N+1, i.e. l ≥ 2*nProcs. rng must not be nil; sink may be
+// nil.
+func New(nProcs, nPhases, l int, rng *rand.Rand, sink EventSink) (*Program, error) {
+	if nProcs < 2 {
+		return nil, errors.New("mb: need at least 2 processes")
+	}
+	if nPhases < 2 {
+		return nil, errors.New("mb: need at least 2 phases")
+	}
+	if l < 2*nProcs {
+		return nil, fmt.Errorf("mb: need L > 2N+1, got L=%d with N=%d", l, nProcs-1)
+	}
+	if rng == nil {
+		return nil, errors.New("mb: rng must not be nil")
+	}
+	p := &Program{
+		n:       nProcs,
+		nPhases: nPhases,
+		l:       l,
+		sn:      make([]SN, nProcs),
+		cp:      make([]core.CP, nProcs),
+		ph:      make([]int, nProcs),
+		snL:     make([]SN, nProcs),
+		cpL:     make([]core.CP, nProcs),
+		phL:     make([]int, nProcs),
+		snR:     make([]SN, nProcs),
+	}
+	p.rng = rng
+	p.sink = sink
+	p.prog = guarded.NewProgram()
+	p.addActions()
+	return p, nil
+}
+
+// Guarded returns the underlying guarded-command program for scheduling.
+func (p *Program) Guarded() *guarded.Program { return p.prog }
+
+// N returns the number of processes.
+func (p *Program) N() int { return p.n }
+
+// NumPhases returns the length of the cyclic phase sequence.
+func (p *Program) NumPhases() int { return p.nPhases }
+
+// L returns the sequence-number modulus.
+func (p *Program) L() int { return p.l }
+
+// CP returns process j's control position.
+func (p *Program) CP(j int) core.CP { return p.cp[j] }
+
+// Phase returns process j's phase number.
+func (p *Program) Phase(j int) int { return p.ph[j] }
+
+// SN returns process j's own sequence number.
+func (p *Program) SN(j int) SN { return p.sn[j] }
+
+func (p *Program) emit(e core.Event) {
+	if p.sink != nil {
+		p.sink(e)
+	}
+}
+
+func (p *Program) succSN(s SN) SN { return SN((int(s) + 1) % p.l) }
+
+func (p *Program) pred(j int) int { return (j - 1 + p.n) % p.n }
+func (p *Program) succ(j int) int { return (j + 1) % p.n }
+
+func (p *Program) addActions() {
+	last := p.n - 1
+
+	for j := 0; j < p.n; j++ {
+		j := j
+		prev := p.pred(j)
+
+		// C.j: update the local copies of the predecessor's variables.
+		// This is a pure communication action: it reads (j−1)'s state and
+		// writes only j's copy variables. The copy cell evolves by the
+		// same follower statement as a real non-0 process.
+		p.prog.Add(guarded.Action{
+			Name: fmt.Sprintf("C.%d", j),
+			Proc: j,
+			Guard: func() bool {
+				return p.sn[prev].Ordinary() && p.snL[j] != p.sn[prev]
+			},
+			Body: func() func() {
+				sn := p.sn[prev]
+				newCP, newPH, _ := core.FollowerUpdate(p.cpL[j], p.phL[j], p.cp[prev], p.ph[prev])
+				return func() {
+					p.snL[j] = sn
+					p.cpL[j] = newCP
+					p.phL[j] = newPH
+				}
+			},
+		})
+
+		if j == 0 {
+			// T1'.0: receive the token from the local copy of N.
+			p.prog.Add(guarded.Action{
+				Name: "T1'.0",
+				Proc: 0,
+				Guard: func() bool {
+					return p.snL[0].Ordinary() &&
+						(p.sn[0] == p.snL[0] || !p.sn[0].Ordinary())
+				},
+				Body: func() func() {
+					next := p.succSN(p.snL[0])
+					newCP, newPH, out := core.LeaderUpdate(p.cp[0], p.ph[0], p.cpL[0], p.phL[0], p.nPhases)
+					phase := p.ph[0]
+					return func() {
+						p.sn[0] = next
+						p.cp[0] = newCP
+						p.ph[0] = newPH
+						p.emitOutcome(0, out, phase, newPH)
+					}
+				},
+			})
+		} else {
+			// T2'.j: receive the token from the local copy of j−1.
+			p.prog.Add(guarded.Action{
+				Name: fmt.Sprintf("T2'.%d", j),
+				Proc: j,
+				Guard: func() bool {
+					return p.snL[j].Ordinary() && p.sn[j] != p.snL[j]
+				},
+				Body: func() func() {
+					sn := p.snL[j]
+					newCP, newPH, out := core.FollowerUpdate(p.cp[j], p.ph[j], p.cpL[j], p.phL[j])
+					phase := p.ph[j]
+					return func() {
+						p.sn[j] = sn
+						p.cp[j] = newCP
+						p.ph[j] = newPH
+						p.emitOutcome(j, out, phase, newPH)
+					}
+				},
+			})
+		}
+
+		if j != last {
+			next := p.succ(j)
+			// R.j: learn that the successor's sequence number is ⊤.
+			p.prog.Add(guarded.Action{
+				Name:  fmt.Sprintf("R.%d", j),
+				Proc:  j,
+				Guard: func() bool { return p.sn[next] == Top && p.snR[j] != Top },
+				Body:  func() func() { return func() { p.snR[j] = Top } },
+			})
+			// T4'.j: propagate ⊤ backward using the local copy.
+			p.prog.Add(guarded.Action{
+				Name:  fmt.Sprintf("T4'.%d", j),
+				Proc:  j,
+				Guard: func() bool { return p.sn[j] == Bot && p.snR[j] == Top },
+				Body:  func() func() { return func() { p.sn[j] = Top } },
+			})
+		}
+	}
+
+	// T3.N: a ⊥ at the end of the ring turns into ⊤.
+	p.prog.Add(guarded.Action{
+		Name:  fmt.Sprintf("T3.%d", last),
+		Proc:  last,
+		Guard: func() bool { return p.sn[last] == Bot },
+		Body:  func() func() { return func() { p.sn[last] = Top } },
+	})
+
+	// T5.0: ⊤ at process 0 restarts a fully corrupted ring.
+	p.prog.Add(guarded.Action{
+		Name:  "T5.0",
+		Proc:  0,
+		Guard: func() bool { return p.sn[0] == Top },
+		Body:  func() func() { return func() { p.sn[0] = 0 } },
+	})
+}
+
+func (p *Program) emitOutcome(j int, out core.Outcome, oldPhase, newPhase int) {
+	switch out {
+	case core.OutBegin:
+		p.emit(core.Event{Kind: core.EvBegin, Proc: j, Phase: newPhase})
+	case core.OutComplete:
+		p.emit(core.Event{Kind: core.EvComplete, Proc: j, Phase: oldPhase})
+	case core.OutAbandon:
+		p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: oldPhase})
+	}
+}
+
+// randomSN returns a uniformly random value of the sn domain
+// ({0..L−1} ∪ {⊥,⊤}).
+func (p *Program) randomSN() SN {
+	v := p.rng.Intn(p.l + 2)
+	switch v {
+	case p.l:
+		return Bot
+	case p.l + 1:
+		return Top
+	default:
+		return SN(v)
+	}
+}
+
+// InjectDetectable applies MB's detectable fault action to process j: its
+// own variables become (?, error, ⊥) and, per Section 5, its local copies
+// of sn.(j−1) and sn.(j+1) become ⊥, its copy of cp.(j−1) becomes error,
+// and its copy of ph.(j−1) becomes arbitrary.
+func (p *Program) InjectDetectable(j int) {
+	if p.cp[j] != core.Error {
+		p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: p.ph[j]})
+	}
+	p.ph[j] = p.rng.Intn(p.nPhases)
+	p.cp[j] = core.Error
+	p.sn[j] = Bot
+	p.snL[j] = Bot
+	p.cpL[j] = core.Error
+	p.phL[j] = p.rng.Intn(p.nPhases)
+	p.snR[j] = Bot
+}
+
+// InjectUndetectable applies MB's undetectable fault action to process j:
+// all variables of j, including the local copies, are set to arbitrary
+// values from their domains.
+func (p *Program) InjectUndetectable(j int) {
+	p.ph[j] = p.rng.Intn(p.nPhases)
+	p.cp[j] = core.CP(p.rng.Intn(core.NumCP))
+	p.sn[j] = p.randomSN()
+	p.snL[j] = p.randomSN()
+	p.cpL[j] = core.CP(p.rng.Intn(core.NumCP))
+	p.phL[j] = p.rng.Intn(p.nPhases)
+	p.snR[j] = p.randomSN()
+}
+
+// InStartState reports whether all processes (and their copy cells) are
+// ready in one phase with consistent ordinary sequence numbers — a state
+// from which the next token circulation starts a fresh instance.
+func (p *Program) InStartState() bool {
+	for j := 0; j < p.n; j++ {
+		if p.cp[j] != core.Ready || p.ph[j] != p.ph[0] {
+			return false
+		}
+		if p.cpL[j] != core.Ready || p.phL[j] != p.ph[0] {
+			return false
+		}
+		if !p.sn[j].Ordinary() || !p.snL[j].Ordinary() {
+			return false
+		}
+	}
+	return p.tokenCount() == 1
+}
+
+// tokenCount counts tokens over the doubled ring of 2(N+1) cells
+// (…, copy@j, j, copy@j+1, j+1, …): cell x holds a token iff its sequence
+// number differs from its successor cell's (with 0's increment closing the
+// ring), all values ordinary.
+func (p *Program) tokenCount() int {
+	c := 0
+	for j := 0; j < p.n; j++ {
+		// Token between copy@j and j.
+		if p.snL[j].Ordinary() && p.sn[j].Ordinary() {
+			if j == 0 {
+				if p.sn[0] == p.snL[0] {
+					c++ // T1' enabled: 0 is about to receive
+				}
+			} else if p.sn[j] != p.snL[j] {
+				c++
+			}
+		}
+		// Token between j and copy@succ(j).
+		next := p.succ(j)
+		if p.sn[j].Ordinary() && p.snL[next].Ordinary() && p.snL[next] != p.sn[j] {
+			c++
+		}
+	}
+	return c
+}
+
+// TokenCount exposes the doubled-ring token count for tests.
+func (p *Program) TokenCount() int { return p.tokenCount() }
+
+// Snapshot returns copies of the cp and ph vectors of the real processes.
+func (p *Program) Snapshot() ([]core.CP, []int) {
+	return append([]core.CP(nil), p.cp...), append([]int(nil), p.ph...)
+}
+
+// String renders the global state compactly: for each process, its copy
+// cell then its own state.
+func (p *Program) String() string {
+	s := "["
+	for j := 0; j < p.n; j++ {
+		if j > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("(%c%d/%v)%c%d/%v",
+			p.cpL[j].Letter(), p.phL[j], p.snL[j],
+			p.cp[j].Letter(), p.ph[j], p.sn[j])
+	}
+	return s + "]"
+}
+
+// Corrupted reports whether process j is in a detectably corrupted state.
+func (p *Program) Corrupted(j int) bool {
+	return p.cp[j] == core.Error || !p.sn[j].Ordinary()
+}
+
+// SetSink replaces the event sink (used by harnesses that attach metrics
+// or checkers after construction).
+func (p *Program) SetSink(sink EventSink) { p.sink = sink }

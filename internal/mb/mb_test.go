@@ -1,0 +1,249 @@
+package mb
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rb"
+)
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(1, 2, 10, rng, nil); err == nil {
+		t.Error("single process should be rejected")
+	}
+	if _, err := New(3, 1, 10, rng, nil); err == nil {
+		t.Error("single phase should be rejected")
+	}
+	if _, err := New(4, 2, 7, rng, nil); err == nil {
+		t.Error("L ≤ 2N+1 should be rejected")
+	}
+	if _, err := New(4, 2, 8, rng, nil); err != nil {
+		t.Errorf("L = 2N+2 is legal: %v", err)
+	}
+	if _, err := New(3, 2, 10, nil, nil); err == nil {
+		t.Error("nil rng should be rejected")
+	}
+}
+
+// MB satisfies the barrier specification in the absence of faults.
+func TestFaultFreeBarriers(t *testing.T) {
+	type stepper func(p *Program, rng *rand.Rand) bool
+	steppers := map[string]stepper{
+		"roundRobin": func(p *Program, _ *rand.Rand) bool {
+			_, ok := p.Guarded().StepRoundRobin()
+			return ok
+		},
+		"random": func(p *Program, rng *rand.Rand) bool {
+			_, ok := p.Guarded().StepRandom(rng)
+			return ok
+		},
+		"maxParallel": func(p *Program, rng *rand.Rand) bool {
+			return p.Guarded().StepMaxParallel(rng) > 0
+		},
+	}
+	for name, step := range steppers {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			const n, nPhases, wantBarriers = 5, 3, 12
+			checker := core.NewSpecChecker(n, nPhases)
+			p, err := New(n, nPhases, 2*n+2, rng, checker.Observe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 400000 && checker.SuccessfulBarriers() < wantBarriers; i++ {
+				if !step(p, rng) {
+					t.Fatalf("deadlock in state %v", p)
+				}
+			}
+			if err := checker.Violation(); err != nil {
+				t.Fatal(err)
+			}
+			if got := checker.SuccessfulBarriers(); got < wantBarriers {
+				t.Fatalf("only %d successful barriers (state %v)", got, p)
+			}
+			if checker.Instances() > checker.SuccessfulBarriers()+1 {
+				t.Errorf("instances=%d successes=%d: fault-free run re-executed phases",
+					checker.Instances(), checker.SuccessfulBarriers())
+			}
+		})
+	}
+}
+
+// The doubled-ring equivalence (property ⋆ of the appendix): fault-free,
+// MB circulates exactly one token over the 2(N+1) cells.
+func TestDoubledRingSingleToken(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 4
+	p, err := New(n, 2, 2*n+2, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if c := p.TokenCount(); c != 1 {
+			t.Fatalf("step %d: doubled-ring token count = %d, want 1 (state %v)",
+				i, c, p)
+		}
+		if _, ok := p.Guarded().StepRoundRobin(); !ok {
+			t.Fatal("deadlock")
+		}
+	}
+}
+
+func injectDetectableIfSafe(p *Program, rng *rand.Rand) {
+	j := rng.Intn(p.N())
+	for k := 0; k < p.N(); k++ {
+		if k != j && p.CP(k) != core.Error {
+			p.InjectDetectable(j)
+			return
+		}
+	}
+}
+
+// MB is masking tolerant to detectable faults (appendix proof).
+func TestDetectableFaultsMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		nPhases := 2 + rng.Intn(3)
+		checker := core.NewSpecChecker(n, nPhases)
+		p, err := New(n, nPhases, 2*n+2, rng, checker.Observe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5000; i++ {
+			if rng.Intn(60) == 0 {
+				injectDetectableIfSafe(p, rng)
+			}
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock in state %v", trial, p)
+			}
+			if err := checker.Violation(); err != nil {
+				t.Fatalf("trial %d: safety violated with detectable faults: %v (state %v)",
+					trial, err, p)
+			}
+		}
+		before := checker.SuccessfulBarriers()
+		for i := 0; i < 300000 && checker.SuccessfulBarriers() < before+3; i++ {
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock after faults stopped: %v", trial, p)
+			}
+		}
+		if err := checker.Violation(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if checker.SuccessfulBarriers() < before+3 {
+			t.Fatalf("trial %d: no progress after faults stopped (state %v)", trial, p)
+		}
+	}
+}
+
+// MB is stabilizing tolerant to undetectable faults, including corruption
+// of the local copies.
+func TestUndetectableFaultsStabilize(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(4)
+		nPhases := 2 + rng.Intn(3)
+		p, err := New(n, nPhases, 2*n+2, rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			p.InjectUndetectable(j)
+		}
+		reached := false
+		for i := 0; i < 200000; i++ {
+			if p.InStartState() {
+				reached = true
+				break
+			}
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock in state %v", trial, p)
+			}
+		}
+		if !reached {
+			t.Fatalf("trial %d: no start state reached from %v", trial, p)
+		}
+		checker := core.NewSpecCheckerAt(n, nPhases, p.Phase(0))
+		p.sink = checker.Observe
+		for i := 0; i < 400000 && checker.SuccessfulBarriers() < 3; i++ {
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock after stabilization", trial)
+			}
+		}
+		if err := checker.Violation(); err != nil {
+			t.Fatalf("trial %d: spec violated after stabilization: %v", trial, err)
+		}
+		if checker.SuccessfulBarriers() < 3 {
+			t.Fatalf("trial %d: no progress after stabilization (state %v)", trial, p)
+		}
+	}
+}
+
+// Refinement check: fault-free MB and RB produce identical sequences of
+// (proc, phase, kind) events — MB refines RB (which refines CB).
+func TestRefinesRB(t *testing.T) {
+	const n, nPhases, events = 5, 3, 120
+	collect := func(step func() bool, sink *[]core.Event) {
+		for len(*sink) < events {
+			if !step() {
+				break
+			}
+		}
+	}
+
+	var rbEvents []core.Event
+	rngRB := rand.New(rand.NewSource(21))
+	rbProg, err := rb.New(n, nPhases, n+1, rngRB, func(e core.Event) {
+		rbEvents = append(rbEvents, e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(func() bool { _, ok := rbProg.Guarded().StepRoundRobin(); return ok }, &rbEvents)
+
+	var mbEvents []core.Event
+	rngMB := rand.New(rand.NewSource(22))
+	mbProg, err := New(n, nPhases, 2*n+2, rngMB, func(e core.Event) {
+		mbEvents = append(mbEvents, e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(func() bool { _, ok := mbProg.Guarded().StepRoundRobin(); return ok }, &mbEvents)
+
+	if len(rbEvents) < events || len(mbEvents) < events {
+		t.Fatalf("too few events: rb=%d mb=%d", len(rbEvents), len(mbEvents))
+	}
+	for i := 0; i < events; i++ {
+		if rbEvents[i] != mbEvents[i] {
+			t.Fatalf("event %d differs: RB %v, MB %v", i, rbEvents[i], mbEvents[i])
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, err := New(4, 3, 10, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 4 || p.NumPhases() != 3 || p.L() != 10 {
+		t.Error("accessors wrong")
+	}
+	if p.CP(1) != core.Ready || p.Phase(1) != 0 || p.SN(1) != 0 {
+		t.Error("initial state wrong")
+	}
+	cp, ph := p.Snapshot()
+	if len(cp) != 4 || len(ph) != 4 {
+		t.Error("snapshot sizes wrong")
+	}
+	if !p.InStartState() {
+		t.Error("fresh program should be in a start state")
+	}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,207 @@
+// Package rb implements program RB, the Section 4.1 refinement of CB for a
+// ring of processes 0..N: a multitolerant token ring (package tokenring)
+// circulates a token, and each process updates its phase ph.j and control
+// position cp.j exactly when it receives the token (actions T1 at process 0
+// and T2 elsewhere), so that every action communicates with one neighbor
+// only.
+//
+// Process 0 detects the global conditions of CB locally, using one full
+// token circulation per control-position wave; the control position repeat
+// (propagated towards N) tells 0 that some process was detectably corrupted
+// during the current phase, in which case 0 re-executes the current phase
+// instead of incrementing.
+package rb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/guarded"
+	"repro/internal/tokenring"
+)
+
+// EventSink receives the Begin/Complete/Reset events of a computation.
+type EventSink = core.EventSink
+
+// Program is an instance of RB over a ring of n processes.
+type Program struct {
+	n       int // number of processes (ids 0..n-1; the paper's N is n-1)
+	nPhases int
+	cp      []core.CP
+	ph      []int
+	ring    *tokenring.Ring
+	prog    *guarded.Program
+	rng     *rand.Rand
+	sink    EventSink
+}
+
+// New builds an RB instance with sequence numbers modulo k (k > nProcs-1,
+// i.e. K > N). rng must not be nil; sink may be nil.
+func New(nProcs, nPhases, k int, rng *rand.Rand, sink EventSink) (*Program, error) {
+	if nProcs < 2 {
+		return nil, errors.New("rb: need at least 2 processes")
+	}
+	if nPhases < 2 {
+		return nil, errors.New("rb: need at least 2 phases")
+	}
+	if rng == nil {
+		return nil, errors.New("rb: rng must not be nil")
+	}
+	ring, err := tokenring.New(nProcs, k)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{
+		n:       nProcs,
+		nPhases: nPhases,
+		cp:      make([]core.CP, nProcs),
+		ph:      make([]int, nProcs),
+		ring:    ring,
+		rng:     rng,
+		sink:    sink,
+	}
+	p.prog = guarded.NewProgram()
+	for _, a := range ring.Actions(p.onToken) {
+		p.prog.Add(a)
+	}
+	return p, nil
+}
+
+// Guarded returns the underlying guarded-command program for scheduling.
+func (p *Program) Guarded() *guarded.Program { return p.prog }
+
+// Ring exposes the underlying token ring (for invariant checks in tests).
+func (p *Program) Ring() *tokenring.Ring { return p.ring }
+
+// N returns the number of processes.
+func (p *Program) N() int { return p.n }
+
+// NumPhases returns the length of the cyclic phase sequence.
+func (p *Program) NumPhases() int { return p.nPhases }
+
+// CP returns process j's control position.
+func (p *Program) CP(j int) core.CP { return p.cp[j] }
+
+// Phase returns process j's phase number.
+func (p *Program) Phase(j int) int { return p.ph[j] }
+
+func (p *Program) emit(e core.Event) {
+	if p.sink != nil {
+		p.sink(e)
+	}
+}
+
+// onToken is the superposition hook: it is invoked against the pre-state
+// when process j is about to receive the token, and returns the commit that
+// updates ph.j and cp.j atomically with the sequence-number update.
+func (p *Program) onToken(j int) func() {
+	if j == 0 {
+		return p.updateZero()
+	}
+	return p.updateNonZero(j)
+}
+
+// updateZero implements the superposed statement of process 0 (executed in
+// parallel with T1); see core.LeaderUpdate.
+func (p *Program) updateZero() func() {
+	last := p.n - 1
+	newCP, newPH, out := core.LeaderUpdate(p.cp[0], p.ph[0], p.cp[last], p.ph[last], p.nPhases)
+	phase := p.ph[0]
+	return func() {
+		p.cp[0] = newCP
+		p.ph[0] = newPH
+		p.emitOutcome(0, out, phase, newPH)
+	}
+}
+
+// updateNonZero implements the superposed statement of process j≠0
+// (executed in parallel with T2); see core.FollowerUpdate.
+func (p *Program) updateNonZero(j int) func() {
+	newCP, newPH, out := core.FollowerUpdate(p.cp[j], p.ph[j], p.cp[j-1], p.ph[j-1])
+	phase := p.ph[j]
+	return func() {
+		p.cp[j] = newCP
+		p.ph[j] = newPH
+		p.emitOutcome(j, out, phase, newPH)
+	}
+}
+
+// emitOutcome translates a transition outcome into a trace event. Begin
+// events carry the phase being entered; Complete and Abandon events carry
+// the phase that was being executed.
+func (p *Program) emitOutcome(j int, out core.Outcome, oldPhase, newPhase int) {
+	switch out {
+	case core.OutBegin:
+		p.emit(core.Event{Kind: core.EvBegin, Proc: j, Phase: newPhase})
+	case core.OutComplete:
+		p.emit(core.Event{Kind: core.EvComplete, Proc: j, Phase: oldPhase})
+	case core.OutAbandon:
+		// An executing process pulled into repeat abandons its partial
+		// execution; the instance will be re-executed.
+		p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: oldPhase})
+	}
+}
+
+// InjectDetectable applies the detectable fault action to process j:
+// ph.j, cp.j, sn.j := ?, error, ⊥.
+func (p *Program) InjectDetectable(j int) {
+	if p.cp[j] != core.Error { // a second hit on an already-reset process aborts nothing new
+		p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: p.ph[j]})
+	}
+	p.ph[j] = p.rng.Intn(p.nPhases)
+	p.cp[j] = core.Error
+	p.ring.SetSN(j, tokenring.Bot)
+}
+
+// InjectUndetectable applies the undetectable fault action to process j:
+// ph.j, cp.j, sn.j := ?, ?, ? with values drawn uniformly from the domains.
+func (p *Program) InjectUndetectable(j int) {
+	p.ph[j] = p.rng.Intn(p.nPhases)
+	p.cp[j] = core.CP(p.rng.Intn(core.NumCP))
+	p.ring.SetSN(j, p.ring.RandomSN(p.rng))
+}
+
+// InStartState reports whether the program is in a start state: the ring is
+// legitimate and all processes are ready in one phase.
+func (p *Program) InStartState() bool {
+	if !p.ring.Legitimate() {
+		return false
+	}
+	for j := 0; j < p.n; j++ {
+		if p.cp[j] != core.Ready || p.ph[j] != p.ph[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns copies of the cp and ph vectors.
+func (p *Program) Snapshot() ([]core.CP, []int) {
+	return append([]core.CP(nil), p.cp...), append([]int(nil), p.ph...)
+}
+
+// String renders the global state compactly, e.g. "[r0/3 e0/3 s1/4]" where
+// each entry is cp, ph and sn.
+func (p *Program) String() string {
+	s := "["
+	for j := 0; j < p.n; j++ {
+		if j > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%c%d/%v", p.cp[j].Letter(), p.ph[j], p.ring.SN(j))
+	}
+	return s + "]"
+}
+
+// Corrupted reports whether process j is in a detectably corrupted state.
+// Property (b) of the token ring: the control position of a process is
+// error iff its sequence number is ⊥ or ⊤.
+func (p *Program) Corrupted(j int) bool {
+	return p.cp[j] == core.Error || !p.ring.SN(j).Ordinary()
+}
+
+// SetSink replaces the event sink (used by harnesses that attach metrics
+// or checkers after construction).
+func (p *Program) SetSink(sink EventSink) { p.sink = sink }

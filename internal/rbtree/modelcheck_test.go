@@ -1,0 +1,251 @@
+package rbtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Exhaustive model checking of the tree barrier program on 3-process
+// topologies. TB's actions are deterministic, so the complete transition
+// system over the full cross product of sequence numbers, control
+// positions and phases — every state an undetectable fault can produce —
+// can be explored. Verified:
+//
+//  1. no deadlock: every one of the states has an enabled action;
+//  2. stabilization (Lemma 4.2.1): from every state a start state is
+//     reachable;
+//  3. closure: the set reachable from start states keeps all phases within
+//     two cyclically adjacent values (the clock-unison property of
+//     Section 7) and never revisits unreachable garbage;
+//  4. masked faults: the closure of the start-reachable set under
+//     detectable faults (cp := error, sn := ⊥, any phase) still reaches a
+//     start state from everywhere.
+type treeModel struct {
+	n, k, nPhases int
+	prog          *Program
+	perProc       int
+}
+
+func newTreeModel(t *testing.T, parent []int, nPhases, k int) *treeModel {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1)) // unused by deterministic actions
+	p, err := New(parent, nPhases, k, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &treeModel{
+		n:       len(parent),
+		k:       k,
+		nPhases: nPhases,
+		prog:    p,
+		perProc: (k + 2) * core.NumCP * nPhases,
+	}
+}
+
+func (m *treeModel) snFromIndex(i int) SN {
+	switch i {
+	case m.k:
+		return Bot
+	case m.k + 1:
+		return Top
+	default:
+		return SN(i)
+	}
+}
+
+func (m *treeModel) snIndex(s SN) int {
+	switch s {
+	case Bot:
+		return m.k
+	case Top:
+		return m.k + 1
+	default:
+		return int(s)
+	}
+}
+
+func (m *treeModel) encode() int {
+	code := 0
+	for j := 0; j < m.n; j++ {
+		pj := (m.snIndex(m.prog.SN(j))*core.NumCP+int(m.prog.CP(j)))*m.nPhases + m.prog.Phase(j)
+		code = code*m.perProc + pj
+	}
+	return code
+}
+
+func (m *treeModel) decode(code int) {
+	for j := m.n - 1; j >= 0; j-- {
+		pj := code % m.perProc
+		code /= m.perProc
+		ph := pj % m.nPhases
+		pj /= m.nPhases
+		cp := core.CP(pj % core.NumCP)
+		pj /= core.NumCP
+		m.prog.SetState(j, m.snFromIndex(pj), cp, ph)
+	}
+}
+
+func TestModelCheckTreeBarrier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive model check")
+	}
+	topologies := map[string][]int{
+		"path3": {-1, 0, 1}, // the ring RB
+		"star3": {-1, 0, 0}, // root with two leaves (two-ring RB′ degenerate)
+	}
+	for name, parent := range topologies {
+		name, parent := name, parent
+		t.Run(name, func(t *testing.T) {
+			const nPhases, k = 2, 4
+			m := newTreeModel(t, parent, nPhases, k)
+			total := 1
+			for j := 0; j < m.n; j++ {
+				total *= m.perProc
+			}
+
+			// Enumerate successors via the program's action list.
+			actions := m.prog.Guarded()
+			succOf := func(code int) []int {
+				var succ []int
+				for i := 0; i < actions.NumActions(); i++ {
+					m.decode(code)
+					if actions.StepIndex(i) {
+						succ = append(succ, m.encode())
+					}
+				}
+				return succ
+			}
+
+			// (1)+(2): forward successor map + backward reachability from
+			// start states.
+			succs := make([][]int32, total)
+			isStart := make([]bool, total)
+			for code := 0; code < total; code++ {
+				m.decode(code)
+				isStart[code] = m.prog.InStartState()
+				ss := succOf(code)
+				if len(ss) == 0 {
+					m.decode(code)
+					t.Fatalf("deadlock in state %v", m.prog)
+				}
+				s32 := make([]int32, len(ss))
+				for i, s := range ss {
+					s32[i] = int32(s)
+				}
+				succs[code] = s32
+			}
+
+			pred := make([][]int32, total)
+			for code := 0; code < total; code++ {
+				for _, s := range succs[code] {
+					pred[s] = append(pred[s], int32(code))
+				}
+			}
+			canReach := make([]bool, total)
+			queue := make([]int32, 0, total)
+			for code := 0; code < total; code++ {
+				if isStart[code] {
+					canReach[code] = true
+					queue = append(queue, int32(code))
+				}
+			}
+			for len(queue) > 0 {
+				s := queue[0]
+				queue = queue[1:]
+				for _, p := range pred[s] {
+					if !canReach[p] {
+						canReach[p] = true
+						queue = append(queue, p)
+					}
+				}
+			}
+			for code := 0; code < total; code++ {
+				if !canReach[code] {
+					m.decode(code)
+					t.Fatalf("state %v cannot reach a start state", m.prog)
+				}
+			}
+
+			// (3) Closure of the start-reachable set: phases stay within
+			// two adjacent values (with nPhases=2 this is trivially true,
+			// so check a sharper invariant instead: among non-corrupted
+			// processes in {execute, success}, all phases agree with some
+			// wavefront — here simply: the reachable set never contains a
+			// state where two processes both in execute disagree on the
+			// phase).
+			visited := make([]bool, total)
+			var frontier []int32
+			for code := 0; code < total; code++ {
+				if isStart[code] {
+					visited[code] = true
+					frontier = append(frontier, int32(code))
+				}
+			}
+			for len(frontier) > 0 {
+				cur := frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+				m.decode(int(cur))
+				phase := -1
+				for j := 0; j < m.n; j++ {
+					if m.prog.CP(j) == core.Execute {
+						if phase == -1 {
+							phase = m.prog.Phase(j)
+						} else if m.prog.Phase(j) != phase {
+							t.Fatalf("fault-free reachable state %v has two executing "+
+								"processes in different phases", m.prog)
+						}
+					}
+				}
+				for _, s := range succs[cur] {
+					if !visited[s] {
+						visited[s] = true
+						frontier = append(frontier, s)
+					}
+				}
+			}
+
+			// (4) Detectable-fault closure: add fault transitions
+			// (cp := error, sn := ⊥, every possible phase) at every
+			// process of every visited state; everything must still reach
+			// a start state (masking implies recovery is always possible).
+			frontier = frontier[:0]
+			faultVisited := make([]bool, total)
+			for code := 0; code < total; code++ {
+				if visited[code] {
+					faultVisited[code] = true
+					frontier = append(frontier, int32(code))
+				}
+			}
+			for len(frontier) > 0 {
+				cur := frontier[len(frontier)-1]
+				frontier = frontier[:len(frontier)-1]
+				if !canReach[cur] {
+					m.decode(int(cur))
+					t.Fatalf("detectable-fault-reachable state %v cannot recover", m.prog)
+				}
+				var next []int
+				for _, s := range succs[cur] {
+					next = append(next, int(s))
+				}
+				for j := 0; j < m.n; j++ {
+					for ph := 0; ph < m.nPhases; ph++ {
+						m.decode(int(cur))
+						m.prog.SetState(j, Bot, core.Error, ph)
+						next = append(next, m.encode())
+					}
+				}
+				for _, s := range next {
+					if !faultVisited[s] {
+						faultVisited[s] = true
+						frontier = append(frontier, int32(s))
+					}
+				}
+			}
+
+			t.Logf("%s: verified all %d states (deadlock-freedom, stabilization, "+
+				"wavefront phase agreement, recovery under detectable faults)", name, total)
+		})
+	}
+}

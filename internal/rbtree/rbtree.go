@@ -1,0 +1,393 @@
+// Package rbtree implements program TB, the Section 4.2 refinement of the
+// barrier-synchronization program for tree topologies (Figures 2b and 2c of
+// the paper): process 0 is the root, every other process updates its state
+// from its tree parent, and the leaves are connected back to the root, so
+// that detection and dissemination both take O(h) where h is the tree
+// height.
+//
+// A ring is the degenerate tree in which every node has one child (the
+// single leaf is the paper's process N), so TB instantiated on a path is
+// exactly program RB; instantiated on a root with two chains it is RB′
+// (Fig 2b); on a k-ary tree it is the Fig 2c program evaluated in
+// Section 6.
+//
+// The token-ring actions generalize as follows (cf. package tokenring):
+//
+//	R1.0 :: (sn.0 ordinary ∧ ∀leaf l: sn.l = sn.0)
+//	        ∨ (sn.0∈{⊥,⊤} ∧ ∃leaf l: sn.l ordinary)
+//	        → sn.0 := sn.l+1 ; leader-update from the combined leaf state
+//	T2.j :: sn.parent(j)∉{⊥,⊤} ∧ sn.j ≠ sn.parent(j)
+//	        → sn.j := sn.parent(j) ; follower-update from parent state
+//	T3.l :: leaf l ∧ sn.l = ⊥            → sn.l := ⊤
+//	T4.j :: sn.j = ⊥ ∧ ∀child c: sn.c = ⊤ → sn.j := ⊤
+//	T5.0 :: sn.0 = ⊤                      → sn.0 := 0
+//
+// As in RB′ (paper, Section 4.2 item 1), the root executes its T1
+// equivalent only when all its ring-predecessors — the leaves — agree, and
+// the re-execution phase is chosen from any leaf.
+package rbtree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/guarded"
+	"repro/internal/tokenring"
+)
+
+// SN aliases the token-ring sequence-number type.
+type SN = tokenring.SN
+
+// Special sequence-number values, re-exported for convenience.
+const (
+	Bot = tokenring.Bot
+	Top = tokenring.Top
+)
+
+// EventSink receives the Begin/Complete/Reset events of a computation.
+type EventSink = core.EventSink
+
+// Tree is the minimal topology interface TB needs. *topo.Tree satisfies it.
+type Tree interface {
+	Size() int
+	IsLeaf(v int) bool
+}
+
+// Program is an instance of TB over a rooted tree.
+type Program struct {
+	n       int
+	nPhases int
+	k       int // sequence-number modulus, K > N
+
+	parent   []int
+	children [][]int
+	leaves   []int
+
+	sn []SN
+	cp []core.CP
+	ph []int
+
+	prog *guarded.Program
+	rng  *rand.Rand
+	sink EventSink
+	gate func(j int) bool
+}
+
+// New builds a TB instance over the tree described by the parent vector
+// (parent[0] = -1, parents precede children), with sequence numbers modulo
+// k (k > number of processes - 1). rng must not be nil; sink may be nil.
+func New(parent []int, nPhases, k int, rng *rand.Rand, sink EventSink) (*Program, error) {
+	n := len(parent)
+	if n < 2 {
+		return nil, errors.New("rbtree: need at least 2 processes")
+	}
+	if parent[0] != -1 {
+		return nil, errors.New("rbtree: parent[0] must be -1")
+	}
+	if nPhases < 2 {
+		return nil, errors.New("rbtree: need at least 2 phases")
+	}
+	if k < n {
+		return nil, fmt.Errorf("rbtree: need K > N, got K=%d with N=%d", k, n-1)
+	}
+	if rng == nil {
+		return nil, errors.New("rbtree: rng must not be nil")
+	}
+	p := &Program{
+		n:        n,
+		nPhases:  nPhases,
+		k:        k,
+		parent:   append([]int(nil), parent...),
+		children: make([][]int, n),
+		sn:       make([]SN, n),
+		cp:       make([]core.CP, n),
+		ph:       make([]int, n),
+		rng:      rng,
+		sink:     sink,
+	}
+	for j := 1; j < n; j++ {
+		pr := parent[j]
+		if pr < 0 || pr >= j {
+			return nil, fmt.Errorf("rbtree: parent[%d] = %d must reference an earlier node", j, pr)
+		}
+		p.children[pr] = append(p.children[pr], j)
+	}
+	for j := 0; j < n; j++ {
+		if len(p.children[j]) == 0 {
+			p.leaves = append(p.leaves, j)
+		}
+	}
+	p.prog = guarded.NewProgram()
+	p.addActions()
+	return p, nil
+}
+
+// Guarded returns the underlying guarded-command program for scheduling.
+func (p *Program) Guarded() *guarded.Program { return p.prog }
+
+// N returns the number of processes.
+func (p *Program) N() int { return p.n }
+
+// NumPhases returns the length of the cyclic phase sequence.
+func (p *Program) NumPhases() int { return p.nPhases }
+
+// CP returns process j's control position.
+func (p *Program) CP(j int) core.CP { return p.cp[j] }
+
+// Phase returns process j's phase number.
+func (p *Program) Phase(j int) int { return p.ph[j] }
+
+// SN returns process j's sequence number.
+func (p *Program) SN(j int) SN { return p.sn[j] }
+
+// Leaves returns the leaf processes (the root's ring-predecessors).
+func (p *Program) Leaves() []int { return p.leaves }
+
+func (p *Program) emit(e core.Event) {
+	if p.sink != nil {
+		p.sink(e)
+	}
+}
+
+// SetWorkGate installs a predicate consulted before a process may take its
+// completion transition (execute → success): while gate(j) is false,
+// process j is still executing its phase and does not consume the success
+// wave. Timed simulators use this to charge the paper's unit phase
+// execution time; a nil gate (the default) completes immediately.
+func (p *Program) SetWorkGate(gate func(j int) bool) { p.gate = gate }
+
+// SetSink replaces the event sink (used by simulators that attach metrics
+// after construction).
+func (p *Program) SetSink(sink EventSink) { p.sink = sink }
+
+// workReady reports whether process j may take a completion transition.
+func (p *Program) workReady(j int) bool { return p.gate == nil || p.gate(j) }
+
+// combinedLeafState merges the leaves into the single "process N" view the
+// leader update expects: if the leaves agree on (cp, ph) that is the view;
+// any disagreement reads as repeat (forcing a re-execution), with the phase
+// taken from the first leaf.
+func (p *Program) combinedLeafState() (core.CP, int) {
+	cpN := p.cp[p.leaves[0]]
+	phN := p.ph[p.leaves[0]]
+	for _, l := range p.leaves[1:] {
+		if p.cp[l] != cpN || p.ph[l] != phN {
+			return core.Repeat, phN
+		}
+	}
+	return cpN, phN
+}
+
+func (p *Program) addActions() {
+	// R1.0: the root receives the token when all leaves caught up (or when
+	// the root itself is corrupted and can resynchronize from any ordinary
+	// leaf).
+	p.prog.Add(guarded.Action{
+		Name: "R1.0",
+		Proc: 0,
+		Guard: func() bool {
+			if p.sn[0].Ordinary() {
+				for _, l := range p.leaves {
+					if p.sn[l] != p.sn[0] {
+						return false
+					}
+				}
+				// The root may not consume the success wave while still
+				// executing its phase.
+				if p.cp[0] == core.Execute && !p.workReady(0) {
+					return false
+				}
+				return true
+			}
+			if p.sn[0] == Bot || p.sn[0] == Top {
+				for _, l := range p.leaves {
+					if p.sn[l].Ordinary() {
+						return true
+					}
+				}
+			}
+			return false
+		},
+		Body: func() func() {
+			// Base the increment on an ordinary leaf (they all agree in the
+			// normal case).
+			base := p.sn[0]
+			for _, l := range p.leaves {
+				if p.sn[l].Ordinary() {
+					base = p.sn[l]
+					break
+				}
+			}
+			next := SN((int(base) + 1) % p.k)
+			cpN, phN := p.combinedLeafState()
+			newCP, newPH, out := core.LeaderUpdate(p.cp[0], p.ph[0], cpN, phN, p.nPhases)
+			phase := p.ph[0]
+			return func() {
+				p.sn[0] = next
+				p.cp[0] = newCP
+				p.ph[0] = newPH
+				p.emitOutcome(0, out, phase, newPH)
+			}
+		},
+	})
+
+	for j := 1; j < p.n; j++ {
+		j := j
+		parent := p.parent[j]
+		// T2.j: copy the token (and the superposed wave) from the parent.
+		p.prog.Add(guarded.Action{
+			Name: fmt.Sprintf("T2.%d", j),
+			Proc: j,
+			Guard: func() bool {
+				if !p.sn[parent].Ordinary() || p.sn[j] == p.sn[parent] {
+					return false
+				}
+				// A process still executing its phase does not consume the
+				// success wave (it completes only once its work is done);
+				// being pulled into a repeat/restart is not gated — that
+				// abandons the work.
+				if p.cp[j] == core.Execute && p.cp[parent] == core.Success && !p.workReady(j) {
+					return false
+				}
+				return true
+			},
+			Body: func() func() {
+				sn := p.sn[parent]
+				newCP, newPH, out := core.FollowerUpdate(p.cp[j], p.ph[j], p.cp[parent], p.ph[parent])
+				phase := p.ph[j]
+				return func() {
+					p.sn[j] = sn
+					p.cp[j] = newCP
+					p.ph[j] = newPH
+					p.emitOutcome(j, out, phase, newPH)
+				}
+			},
+		})
+	}
+
+	// T3 at leaves, T4 at internal nodes (children must all be ⊤), T5 at
+	// the root: the whole-tree-corruption restart wave.
+	for j := 0; j < p.n; j++ {
+		j := j
+		if len(p.children[j]) == 0 {
+			if j == 0 {
+				continue // degenerate single-node tree is rejected by New
+			}
+			p.prog.Add(guarded.Action{
+				Name:  fmt.Sprintf("T3.%d", j),
+				Proc:  j,
+				Guard: func() bool { return p.sn[j] == Bot },
+				Body:  func() func() { return func() { p.sn[j] = Top } },
+			})
+			continue
+		}
+		kids := p.children[j]
+		p.prog.Add(guarded.Action{
+			Name: fmt.Sprintf("T4.%d", j),
+			Proc: j,
+			Guard: func() bool {
+				if p.sn[j] != Bot {
+					return false
+				}
+				for _, c := range kids {
+					if p.sn[c] != Top {
+						return false
+					}
+				}
+				return true
+			},
+			Body: func() func() { return func() { p.sn[j] = Top } },
+		})
+	}
+	p.prog.Add(guarded.Action{
+		Name:  "T5.0",
+		Proc:  0,
+		Guard: func() bool { return p.sn[0] == Top },
+		Body:  func() func() { return func() { p.sn[0] = 0 } },
+	})
+}
+
+func (p *Program) emitOutcome(j int, out core.Outcome, oldPhase, newPhase int) {
+	switch out {
+	case core.OutBegin:
+		p.emit(core.Event{Kind: core.EvBegin, Proc: j, Phase: newPhase})
+	case core.OutComplete:
+		p.emit(core.Event{Kind: core.EvComplete, Proc: j, Phase: oldPhase})
+	case core.OutAbandon:
+		p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: oldPhase})
+	}
+}
+
+// InjectDetectable applies the detectable fault action to process j:
+// ph.j, cp.j, sn.j := ?, error, ⊥.
+func (p *Program) InjectDetectable(j int) {
+	if p.cp[j] != core.Error {
+		p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: p.ph[j]})
+	}
+	p.ph[j] = p.rng.Intn(p.nPhases)
+	p.cp[j] = core.Error
+	p.sn[j] = Bot
+}
+
+// InjectUndetectable applies the undetectable fault action to process j.
+func (p *Program) InjectUndetectable(j int) {
+	p.ph[j] = p.rng.Intn(p.nPhases)
+	p.cp[j] = core.CP(p.rng.Intn(core.NumCP))
+	v := p.rng.Intn(p.k + 2)
+	switch v {
+	case p.k:
+		p.sn[j] = Bot
+	case p.k + 1:
+		p.sn[j] = Top
+	default:
+		p.sn[j] = SN(v)
+	}
+}
+
+// InStartState reports whether the program is in a start state: all
+// sequence numbers ordinary and equal (so the root holds the unique token)
+// and all processes ready in one phase.
+func (p *Program) InStartState() bool {
+	for j := 0; j < p.n; j++ {
+		if !p.sn[j].Ordinary() || p.sn[j] != p.sn[0] {
+			return false
+		}
+		if p.cp[j] != core.Ready || p.ph[j] != p.ph[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns copies of the cp and ph vectors.
+func (p *Program) Snapshot() ([]core.CP, []int) {
+	return append([]core.CP(nil), p.cp...), append([]int(nil), p.ph...)
+}
+
+// String renders the global state compactly.
+func (p *Program) String() string {
+	s := "["
+	for j := 0; j < p.n; j++ {
+		if j > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%c%d/%v", p.cp[j].Letter(), p.ph[j], p.sn[j])
+	}
+	return s + "]"
+}
+
+// Corrupted reports whether process j is in a detectably corrupted state.
+func (p *Program) Corrupted(j int) bool {
+	return p.cp[j] == core.Error || !p.sn[j].Ordinary()
+}
+
+// SetState overwrites process j's complete protocol state. It exists for
+// exhaustive state-space exploration in tests (model checking); protocol
+// and fault actions never use it.
+func (p *Program) SetState(j int, sn SN, cp core.CP, ph int) {
+	p.sn[j] = sn
+	p.cp[j] = cp
+	p.ph[j] = ph
+}

@@ -1,0 +1,322 @@
+package rbtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rb"
+	"repro/internal/topo"
+)
+
+func pathParent(n int) []int {
+	parent := make([]int, n)
+	parent[0] = -1
+	for i := 1; i < n; i++ {
+		parent[i] = i - 1
+	}
+	return parent
+}
+
+func binParent(t *testing.T, n int) []int {
+	t.Helper()
+	tr, err := topo.NewBinaryTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Parent
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New([]int{-1}, 2, 5, rng, nil); err == nil {
+		t.Error("single process should be rejected")
+	}
+	if _, err := New([]int{0, -1}, 2, 5, rng, nil); err == nil {
+		t.Error("parent[0] != -1 should be rejected")
+	}
+	if _, err := New(pathParent(3), 1, 5, rng, nil); err == nil {
+		t.Error("single phase should be rejected")
+	}
+	if _, err := New(pathParent(3), 2, 2, rng, nil); err == nil {
+		t.Error("K ≤ N should be rejected")
+	}
+	if _, err := New(pathParent(3), 2, 5, nil, nil); err == nil {
+		t.Error("nil rng should be rejected")
+	}
+	if _, err := New([]int{-1, 0, 5}, 2, 7, rng, nil); err == nil {
+		t.Error("forward parent reference should be rejected")
+	}
+}
+
+// TB on a path is exactly RB: identical fault-free event sequences.
+func TestPathDegeneratesToRB(t *testing.T) {
+	const n, nPhases, events = 6, 3, 150
+
+	var rbEvents []core.Event
+	rngRB := rand.New(rand.NewSource(3))
+	rbProg, err := rb.New(n, nPhases, n+1, rngRB, func(e core.Event) {
+		rbEvents = append(rbEvents, e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(rbEvents) < events {
+		if _, ok := rbProg.Guarded().StepRoundRobin(); !ok {
+			t.Fatal("rb deadlock")
+		}
+	}
+
+	var tbEvents []core.Event
+	rngTB := rand.New(rand.NewSource(4))
+	tbProg, err := New(pathParent(n), nPhases, n+1, rngTB, func(e core.Event) {
+		tbEvents = append(tbEvents, e)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(tbEvents) < events {
+		if _, ok := tbProg.Guarded().StepRoundRobin(); !ok {
+			t.Fatal("tb deadlock")
+		}
+	}
+
+	for i := 0; i < events; i++ {
+		if rbEvents[i] != tbEvents[i] {
+			t.Fatalf("event %d differs: RB %v, TB-on-path %v", i, rbEvents[i], tbEvents[i])
+		}
+	}
+}
+
+// Fault-free barriers on a binary tree, an RB′-style two-chain topology,
+// and a wide 4-ary tree, under all schedulers.
+func TestFaultFreeBarriersOnTrees(t *testing.T) {
+	twoChains := []int{-1, 0, 0, 1, 2, 3, 4} // root with two chains (Fig 2b)
+	shapes := map[string][]int{
+		"binary15":  binParent(t, 15),
+		"binary32":  binParent(t, 32),
+		"twoChains": twoChains,
+		"kary4":     mustParent(t, 21, 4),
+	}
+	for name, parent := range shapes {
+		t.Run(name, func(t *testing.T) {
+			for _, sched := range []string{"roundRobin", "maxParallel"} {
+				rng := rand.New(rand.NewSource(7))
+				n := len(parent)
+				const nPhases, wantBarriers = 3, 8
+				checker := core.NewSpecChecker(n, nPhases)
+				p, err := New(parent, nPhases, n+1, rng, checker.Observe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				step := func() bool {
+					if sched == "roundRobin" {
+						_, ok := p.Guarded().StepRoundRobin()
+						return ok
+					}
+					return p.Guarded().StepMaxParallel(nil) > 0
+				}
+				for i := 0; i < 500000 && checker.SuccessfulBarriers() < wantBarriers; i++ {
+					if !step() {
+						t.Fatalf("%s: deadlock in state %v", sched, p)
+					}
+				}
+				if err := checker.Violation(); err != nil {
+					t.Fatalf("%s: %v", sched, err)
+				}
+				if got := checker.SuccessfulBarriers(); got < wantBarriers {
+					t.Fatalf("%s: only %d successful barriers", sched, got)
+				}
+			}
+		})
+	}
+}
+
+func mustParent(t *testing.T, n, k int) []int {
+	t.Helper()
+	tr, err := topo.NewKAryTree(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Parent
+}
+
+// O(h) wave structure: under maximal parallelism, a fault-free barrier on a
+// binary tree of 32 processes (h=5) takes Θ(h) rounds per wave, far fewer
+// than the Θ(N) a ring would need.
+func TestLogarithmicRounds(t *testing.T) {
+	countRounds := func(parent []int) int {
+		rng := rand.New(rand.NewSource(9))
+		n := len(parent)
+		checker := core.NewSpecChecker(n, 2)
+		p, err := New(parent, 2, n+1, rng, checker.Observe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := 0
+		for checker.SuccessfulBarriers() < 10 {
+			if p.Guarded().StepMaxParallel(nil) == 0 {
+				t.Fatal("deadlock")
+			}
+			rounds++
+			if rounds > 100000 {
+				t.Fatal("too slow")
+			}
+		}
+		return rounds
+	}
+	treeRounds := countRounds(binParent(t, 32))
+	ringRounds := countRounds(pathParent(32))
+	if treeRounds*2 >= ringRounds {
+		t.Errorf("tree rounds %d not significantly below ring rounds %d", treeRounds, ringRounds)
+	}
+	// 3 waves of ≈(h+1) rounds per barrier on the tree.
+	perBarrier := treeRounds / 10
+	if perBarrier < 3*5 || perBarrier > 3*(5+2) {
+		t.Errorf("tree rounds per barrier = %d, want ≈ 3(h+1) = 18", perBarrier)
+	}
+}
+
+func injectDetectableIfSafe(p *Program, rng *rand.Rand) {
+	j := rng.Intn(p.N())
+	for k := 0; k < p.N(); k++ {
+		if k != j && p.CP(k) != core.Error {
+			p.InjectDetectable(j)
+			return
+		}
+	}
+}
+
+// Masking tolerance to detectable faults on trees (Lemma 4.2.1).
+func TestDetectableFaultsMaskedOnTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(12)
+		k := 2 + rng.Intn(3)
+		parent := mustParent(t, n, k)
+		nPhases := 2 + rng.Intn(3)
+		checker := core.NewSpecChecker(n, nPhases)
+		p, err := New(parent, nPhases, n+1, rng, checker.Observe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6000; i++ {
+			if rng.Intn(70) == 0 {
+				injectDetectableIfSafe(p, rng)
+			}
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock in state %v", trial, p)
+			}
+			if err := checker.Violation(); err != nil {
+				t.Fatalf("trial %d: safety violated: %v (state %v)", trial, err, p)
+			}
+		}
+		before := checker.SuccessfulBarriers()
+		for i := 0; i < 400000 && checker.SuccessfulBarriers() < before+3; i++ {
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock after faults stopped: %v", trial, p)
+			}
+		}
+		if err := checker.Violation(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if checker.SuccessfulBarriers() < before+3 {
+			t.Fatalf("trial %d: no progress after faults stopped (state %v)", trial, p)
+		}
+	}
+}
+
+// Stabilizing tolerance to undetectable faults on trees (Lemma 4.2.1).
+func TestUndetectableFaultsStabilizeOnTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(12)
+		parent := mustParent(t, n, 2)
+		nPhases := 2 + rng.Intn(3)
+		p, err := New(parent, nPhases, n+2, rng, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			p.InjectUndetectable(j)
+		}
+		reached := false
+		for i := 0; i < 300000; i++ {
+			if p.InStartState() {
+				reached = true
+				break
+			}
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock in state %v", trial, p)
+			}
+		}
+		if !reached {
+			t.Fatalf("trial %d: no start state reached from %v", trial, p)
+		}
+		checker := core.NewSpecCheckerAt(n, nPhases, p.Phase(0))
+		p.sink = checker.Observe
+		for i := 0; i < 500000 && checker.SuccessfulBarriers() < 3; i++ {
+			if _, ok := p.Guarded().StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock after stabilization", trial)
+			}
+		}
+		if err := checker.Violation(); err != nil {
+			t.Fatalf("trial %d: spec violated after stabilization: %v", trial, err)
+		}
+		if checker.SuccessfulBarriers() < 3 {
+			t.Fatalf("trial %d: no progress after stabilization", trial)
+		}
+	}
+}
+
+// Whole-tree detectable corruption restarts through the ⊤ wave (T3→T4→T5).
+func TestWholeTreeCorruptionRestarts(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	parent := binParent(t, 15)
+	p, err := New(parent, 2, 16, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < p.N(); j++ {
+		p.ph[j] = rng.Intn(2)
+		p.cp[j] = core.Error
+		p.sn[j] = Bot
+	}
+	for i := 0; i < 100000; i++ {
+		if p.InStartState() {
+			return
+		}
+		if _, ok := p.Guarded().StepRoundRobin(); !ok {
+			t.Fatalf("deadlock in state %v", p)
+		}
+	}
+	t.Fatalf("no restart from whole-tree corruption: %v", p)
+}
+
+func TestAccessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	parent := binParent(t, 7)
+	p, err := New(parent, 3, 8, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 7 || p.NumPhases() != 3 {
+		t.Error("accessors wrong")
+	}
+	if len(p.Leaves()) != 4 {
+		t.Errorf("leaves = %v", p.Leaves())
+	}
+	if p.CP(3) != core.Ready || p.Phase(3) != 0 || p.SN(3) != 0 {
+		t.Error("initial state wrong")
+	}
+	if !p.InStartState() {
+		t.Error("fresh program should be in a start state")
+	}
+	cp, ph := p.Snapshot()
+	if len(cp) != 7 || len(ph) != 7 {
+		t.Error("snapshot sizes wrong")
+	}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,723 @@
+// Package runtime is a working fault-tolerant barrier for Go programs: a
+// message-passing implementation of program MB (Section 5 of the paper)
+// in which every protocol process is a goroutine and every ring link is a
+// channel. It is the library a systems programmer would embed — the
+// paper's "third alternative" to MPI's abort-or-error-code fault handling.
+//
+// Each participant goroutine calls Await after finishing its phase work.
+// Await returns when the barrier has been passed and the next phase may
+// begin. The tolerance guarantees follow the paper:
+//
+//   - Detectable faults (message loss, duplication, detected corruption,
+//     process reset/restart) are masked: every barrier is executed
+//     correctly. A reset that voids a participant's in-flight phase work
+//     surfaces as ErrReset (redo the phase); a reset that only destroys
+//     protocol state is recovered transparently by re-executing the
+//     barrier instance with the participant's completed work standing.
+//   - Undetectable faults (state scrambling) are stabilized: after faults
+//     stop, the barrier eventually behaves correctly again.
+//   - Uncorrectable faults (permanent halt) are handled fail-safe when
+//     configured (Table 1): the barrier never reports a completion
+//     incorrectly — outstanding and future Awaits return ErrHalted.
+//
+// The protocol state per process is exactly MB's: own (sn, cp, ph), local
+// copies (snL, cpL, phL) of the predecessor's variables, and a local copy
+// snR of the successor's sequence number for the whole-ring-corruption
+// restart wave. Messages carry the sender's (sn, cp, ph); channels are
+// FIFO, and the periodic retransmission of the current state makes loss,
+// duplication and detected corruption equivalent to delay.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tokenring"
+)
+
+// Errors returned by Await.
+var (
+	// ErrReset reports that the participant's process was reset by a
+	// detectable fault while its current phase work was still needed: the
+	// work is void and must be redone before the next Await.
+	ErrReset = errors.New("ftbarrier: process was reset; redo the current phase")
+	// ErrHalted reports that the barrier has entered fail-safe mode after
+	// an uncorrectable fault: no completion will ever be reported again.
+	ErrHalted = errors.New("ftbarrier: barrier halted fail-safe after an uncorrectable fault")
+	// ErrStopped reports that the barrier was shut down.
+	ErrStopped = errors.New("ftbarrier: barrier stopped")
+)
+
+// Config parameterizes a Barrier.
+type Config struct {
+	// Participants is the number of synchronizing goroutines (≥ 2).
+	Participants int
+	// NPhases is the phase-counter modulus (default 8; any value ≥ 2).
+	NPhases int
+	// L is the sequence-number modulus; the MB refinement requires
+	// L > 2N+1. Default 2*Participants + 2.
+	L int
+	// Resend is the retransmission period that masks message loss
+	// (default 200µs).
+	Resend time.Duration
+	// LossRate drops each protocol message with this probability — a
+	// built-in detectable communication fault for tests and demos.
+	LossRate float64
+	// CorruptRate garbles each protocol message with this probability. A
+	// garbled message fails its integrity check at the receiver and is
+	// dropped — detectable corruption is equivalent to loss (the paper's
+	// classification), and retransmission masks it.
+	CorruptRate float64
+	// Seed drives the protocol's internal randomness (loss, resets).
+	Seed int64
+	// EventSink, if non-nil, receives the barrier-specification events of
+	// the run (serialized). Intended for tests.
+	EventSink core.EventSink
+}
+
+type stateMsg struct {
+	sn tokenring.SN
+	cp core.CP
+	ph int
+
+	sum uint32 // integrity check; mismatch = detected corruption
+}
+
+// checksum computes the message integrity check (an FNV-style mix; a real
+// deployment would use a CRC).
+func (m stateMsg) checksum() uint32 {
+	h := uint32(2166136261)
+	mix := func(v uint32) {
+		h ^= v
+		h *= 16777619
+	}
+	mix(uint32(int32(m.sn)))
+	mix(uint32(m.cp))
+	mix(uint32(int32(m.ph)))
+	return h
+}
+
+type ctrlKind uint8
+
+const (
+	ctrlArrive ctrlKind = iota
+	ctrlReset
+	ctrlScramble
+)
+
+type ctrlMsg struct {
+	kind   ctrlKind
+	seed   int64
+	ticket uint64
+}
+
+// Barrier is a fault-tolerant barrier over a ring of protocol goroutines.
+type Barrier struct {
+	n       int
+	nPhases int
+	l       int
+
+	procs []*proc
+
+	haltOnce sync.Once
+	halted   chan struct{}
+	stopOnce sync.Once
+	stopped  chan struct{}
+	wg       sync.WaitGroup
+
+	sinkMu sync.Mutex
+	sink   core.EventSink
+
+	// Statistics (atomic).
+	statPasses   atomic.Int64 // barrier passes delivered to participants
+	statResets   atomic.Int64 // ErrReset results delivered
+	statSends    atomic.Int64 // protocol messages sent
+	statDrops    atomic.Int64 // messages lost or detected-corrupt-dropped
+	statSpurious atomic.Int64 // injected spurious messages
+}
+
+// proc is one MB process: a goroutine owning its protocol state.
+type proc struct {
+	b  *Barrier
+	id int
+
+	// Protocol state (MB, Section 5).
+	sn, snL, snR tokenring.SN
+	cp, cpL      core.CP
+	ph, phL      int
+
+	arrived    bool   // an unconsumed participant arrival (the work gate)
+	appWaiting bool   // an Await is outstanding
+	curTicket  uint64 // ticket of the outstanding Await
+	lastDonePh int    // phase of the last completion that consumed an arrival
+
+	fromPred chan stateMsg // predecessor's state announcements
+	fromSucc chan tokenring.SN
+	ctrl     chan ctrlMsg
+
+	toSucc     chan stateMsg // successor's fromPred
+	toPred     chan tokenring.SN
+	lastSent   stateMsg
+	haveSent   bool
+	pendingErr error // delivered on the next Await (e.g. ErrReset)
+
+	// signal to a waiting Await: the phase that just began, or an error.
+	wake    chan awaitResult
+	tickets uint64 // Await ticket source (accessed only by the participant)
+
+	rng *rand.Rand
+}
+
+type awaitResult struct {
+	phase  int
+	err    error
+	ticket uint64
+}
+
+// New creates and starts a Barrier.
+func New(cfg Config) (*Barrier, error) {
+	if cfg.Participants < 2 {
+		return nil, errors.New("ftbarrier: need at least 2 participants")
+	}
+	if cfg.NPhases == 0 {
+		cfg.NPhases = 8
+	}
+	if cfg.NPhases < 2 {
+		return nil, errors.New("ftbarrier: need at least 2 phases")
+	}
+	if cfg.L == 0 {
+		cfg.L = 2*cfg.Participants + 2
+	}
+	if cfg.L < 2*cfg.Participants {
+		return nil, fmt.Errorf("ftbarrier: need L > 2N+1, got L=%d with N=%d",
+			cfg.L, cfg.Participants-1)
+	}
+	if cfg.Resend == 0 {
+		cfg.Resend = 200 * time.Microsecond
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		return nil, errors.New("ftbarrier: loss rate must be in [0, 1)")
+	}
+	if cfg.CorruptRate < 0 || cfg.CorruptRate >= 1 {
+		return nil, errors.New("ftbarrier: corrupt rate must be in [0, 1)")
+	}
+
+	b := &Barrier{
+		n:       cfg.Participants,
+		nPhases: cfg.NPhases,
+		l:       cfg.L,
+		halted:  make(chan struct{}),
+		stopped: make(chan struct{}),
+		sink:    cfg.EventSink,
+	}
+	b.procs = make([]*proc, b.n)
+	for j := 0; j < b.n; j++ {
+		b.procs[j] = &proc{
+			b:          b,
+			id:         j,
+			cp:         core.Execute, // everyone starts executing phase 0
+			cpL:        core.Execute,
+			lastDonePh: -1,
+			fromPred:   make(chan stateMsg, 1),
+			fromSucc:   make(chan tokenring.SN, 1),
+			ctrl:       make(chan ctrlMsg, b.n+4),
+			wake:       make(chan awaitResult, 1),
+			rng:        rand.New(rand.NewSource(cfg.Seed + int64(j)*7919)),
+		}
+	}
+	for j := 0; j < b.n; j++ {
+		succ := b.procs[(j+1)%b.n]
+		pred := b.procs[(j-1+b.n)%b.n]
+		b.procs[j].toSucc = succ.fromPred
+		b.procs[j].toPred = pred.fromSucc
+	}
+	// Every process starts out executing phase 0: record the implicit
+	// begins so the event trace forms complete instances.
+	for j := 0; j < b.n; j++ {
+		b.emit(core.Event{Kind: core.EvBegin, Proc: j, Phase: 0})
+	}
+	lossRate, corruptRate := cfg.LossRate, cfg.CorruptRate
+	for _, p := range b.procs {
+		p := p
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			p.run(cfg.Resend, lossRate, corruptRate)
+		}()
+	}
+	return b, nil
+}
+
+// Stats is a snapshot of the barrier's internal counters.
+type Stats struct {
+	Passes   int64 // barrier passes delivered to participants
+	Resets   int64 // ErrReset results delivered to participants
+	Sends    int64 // protocol messages sent
+	Drops    int64 // messages lost, or corrupted and dropped at the receiver
+	Spurious int64 // spurious messages injected
+}
+
+// Stats returns a snapshot of the barrier's counters.
+func (b *Barrier) Stats() Stats {
+	return Stats{
+		Passes:   b.statPasses.Load(),
+		Resets:   b.statResets.Load(),
+		Sends:    b.statSends.Load(),
+		Drops:    b.statDrops.Load(),
+		Spurious: b.statSpurious.Load(),
+	}
+}
+
+// InjectSpurious delivers an arbitrary, well-formed protocol message to
+// participant id's process, as if a stray sender existed — the paper's
+// "unexpected message reception" fault. The state machine absorbs it: a
+// stale or nonsensical state is overridden by the predecessor's next
+// (re)transmission.
+func (b *Barrier) InjectSpurious(id int, seed int64) {
+	if id < 0 || id >= b.n {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := stateMsg{
+		sn: tokenring.SN(rng.Intn(b.l)),
+		cp: core.CP(rng.Intn(core.NumCP)),
+		ph: rng.Intn(b.nPhases),
+	}
+	m.sum = m.checksum()
+	b.statSpurious.Add(1)
+	p := b.procs[id]
+	select {
+	case <-p.fromPred:
+	default:
+	}
+	select {
+	case p.fromPred <- m:
+	default:
+	}
+}
+
+// N returns the number of participants.
+func (b *Barrier) N() int { return b.n }
+
+// NumPhases returns the phase-counter modulus.
+func (b *Barrier) NumPhases() int { return b.nPhases }
+
+func (b *Barrier) emit(e core.Event) {
+	b.sinkMu.Lock()
+	if b.sink != nil {
+		b.sink(e)
+	}
+	b.sinkMu.Unlock()
+}
+
+// Await reports that participant id has finished its current phase work and
+// blocks until the barrier is passed. Each participant id must be driven by
+// at most one goroutine at a time (the usual collective-operation
+// contract). Await returns the phase index (modulo NumPhases) that the
+// barrier just released, or:
+//
+//   - ErrReset if the participant's process was reset by a detectable
+//     fault: the phase work was lost; redo it and call Await again;
+//   - ErrHalted if the barrier is fail-safe halted;
+//   - ErrStopped if the barrier was stopped;
+//   - ctx.Err() if the context ends first.
+func (b *Barrier) Await(ctx context.Context, id int) (int, error) {
+	if id < 0 || id >= b.n {
+		return 0, fmt.Errorf("ftbarrier: participant %d out of range [0,%d)", id, b.n)
+	}
+	if err := b.Enter(ctx, id); err != nil {
+		return 0, err
+	}
+	return b.Leave(ctx, id)
+}
+
+// Enter is the first half of a fuzzy barrier (the paper's Section 8
+// extension of Gupta's fuzzy barriers): it reports that participant id has
+// finished the phase work that the barrier orders — the execute→success
+// transition — and returns without waiting. The participant may then
+// perform work that needs no ordering, and must call Leave before starting
+// the next ordered phase.
+func (b *Barrier) Enter(ctx context.Context, id int) error {
+	if id < 0 || id >= b.n {
+		return fmt.Errorf("ftbarrier: participant %d out of range [0,%d)", id, b.n)
+	}
+	p := b.procs[id]
+	p.tickets++
+	select {
+	case p.ctrl <- ctrlMsg{kind: ctrlArrive, ticket: p.tickets}:
+		return nil
+	case <-b.halted:
+		return ErrHalted
+	case <-b.stopped:
+		return ErrStopped
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Leave is the second half of a fuzzy barrier: it blocks until the barrier
+// entered with Enter has been passed — the ready→execute transition — and
+// returns the phase now beginning. Leave without a prior Enter blocks
+// until the participant's next barrier pass or error; the Await
+// documentation describes the error contract.
+func (b *Barrier) Leave(ctx context.Context, id int) (int, error) {
+	if id < 0 || id >= b.n {
+		return 0, fmt.Errorf("ftbarrier: participant %d out of range [0,%d)", id, b.n)
+	}
+	p := b.procs[id]
+	ticket := p.tickets
+	for {
+		select {
+		case r := <-p.wake:
+			if r.ticket != ticket {
+				continue // stale wake from an abandoned Await/Leave
+			}
+			return r.phase, r.err
+		case <-b.halted:
+			return 0, ErrHalted
+		case <-b.stopped:
+			return 0, ErrStopped
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+}
+
+// Reset injects a detectable fault at participant id's process: its state
+// is lost (sn := ⊥, cp := error, copies reset), as if the process
+// fail-stopped and restarted. The protocol masks the fault. If the reset
+// voids phase work the current barrier instance still needed, the
+// participant's next (or pending) Await returns ErrReset and it must redo
+// the phase; if the work had already been consumed, the barrier re-executes
+// the instance transparently and the participant just passes normally.
+func (b *Barrier) Reset(id int) {
+	if id < 0 || id >= b.n {
+		return
+	}
+	select {
+	case b.procs[id].ctrl <- ctrlMsg{kind: ctrlReset}:
+	case <-b.stopped:
+	}
+}
+
+// Scramble injects an undetectable fault at participant id's process: all
+// protocol variables are overwritten with arbitrary domain values. The
+// protocol stabilizes once faults stop.
+func (b *Barrier) Scramble(id int, seed int64) {
+	if id < 0 || id >= b.n {
+		return
+	}
+	select {
+	case b.procs[id].ctrl <- ctrlMsg{kind: ctrlScramble, seed: seed}:
+	case <-b.stopped:
+	}
+}
+
+// Halt puts the barrier into fail-safe mode (Table 1, uncorrectable +
+// detectable): no barrier completion will ever be reported again;
+// outstanding and future Awaits return ErrHalted.
+func (b *Barrier) Halt() {
+	b.haltOnce.Do(func() { close(b.halted) })
+}
+
+// Halted reports whether the barrier is fail-safe halted.
+func (b *Barrier) Halted() bool {
+	select {
+	case <-b.halted:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stop shuts the protocol goroutines down. Outstanding Awaits return
+// ErrStopped.
+func (b *Barrier) Stop() {
+	b.stopOnce.Do(func() { close(b.stopped) })
+	b.wg.Wait()
+}
+
+// --- protocol goroutine ---
+
+func (p *proc) run(resend time.Duration, lossRate, corruptRate float64) {
+	ticker := time.NewTicker(resend)
+	defer ticker.Stop()
+
+	p.announce(lossRate, corruptRate) // prime the ring
+	for {
+		select {
+		case <-p.b.stopped:
+			return
+		case msg := <-p.fromPred:
+			p.onPredState(msg)
+		case sn := <-p.fromSucc:
+			if sn == tokenring.Top {
+				p.snR = tokenring.Top
+			}
+		case c := <-p.ctrl:
+			p.onCtrl(c)
+		case <-ticker.C:
+			// Retransmit the current state: masks lost, dropped and
+			// detectably corrupted messages.
+			p.haveSent = false
+		}
+		p.step()
+		p.announce(lossRate, corruptRate)
+	}
+}
+
+// onPredState is action C.j: update the local copies of the predecessor's
+// variables. The copy cell evolves by the same follower statement as a real
+// process (Section 5: "identical to the superposed action T2").
+func (p *proc) onPredState(m stateMsg) {
+	if m.sum != m.checksum() {
+		// Detected corruption: drop; the retransmission masks it.
+		p.b.statDrops.Add(1)
+		return
+	}
+	if !m.sn.Ordinary() || p.snL == m.sn {
+		return
+	}
+	newCP, newPH, _ := core.FollowerUpdate(p.cpL, p.phL, m.cp, m.ph)
+	p.snL = m.sn
+	p.cpL = newCP
+	p.phL = newPH
+}
+
+func (p *proc) onCtrl(c ctrlMsg) {
+	switch c.kind {
+	case ctrlArrive:
+		p.appWaiting = true
+		p.curTicket = c.ticket
+		p.arrived = true
+		if p.pendingErr != nil {
+			// The process was reset while the participant was working: the
+			// work belongs to an aborted instance and must be redone.
+			p.deliver(awaitResult{err: p.pendingErr, ticket: p.curTicket})
+			p.pendingErr = nil
+			p.arrived = false
+			p.appWaiting = false
+		}
+	case ctrlReset:
+		// MB's detectable fault action. The participant is told to redo
+		// its phase (ErrReset) only if the reset voids work the current
+		// instance still needed: cp = execute means the completion had not
+		// been consumed yet (the instance aborts before succeeding, so no
+		// participant passes and everyone stays aligned), and cp = error
+		// means a previous reset's redo is still outstanding. A reset that
+		// lands after the completion was consumed (success/repeat) or
+		// between instances (ready) loses only protocol state — the
+		// protocol re-executes the instance with the participant's work
+		// standing, and reporting ErrReset then would desynchronize the
+		// participant's round counter from the collective (it would redo a
+		// phase whose barrier already passed and fall one pass behind).
+		workVoided := p.cp == core.Execute || p.cp == core.Error
+		if p.cp != core.Error {
+			p.b.emit(core.Event{Kind: core.EvReset, Proc: p.id, Phase: p.ph})
+		}
+		p.sn = tokenring.Bot
+		p.cp = core.Error
+		p.ph = p.rng.Intn(p.b.nPhases)
+		p.snL = tokenring.Bot
+		p.cpL = core.Error
+		p.phL = p.rng.Intn(p.b.nPhases)
+		p.snR = tokenring.Bot
+		if workVoided {
+			p.failPending(ErrReset)
+		}
+	case ctrlScramble:
+		rng := rand.New(rand.NewSource(c.seed))
+		randomSN := func() tokenring.SN {
+			v := rng.Intn(p.b.l + 2)
+			switch v {
+			case p.b.l:
+				return tokenring.Bot
+			case p.b.l + 1:
+				return tokenring.Top
+			default:
+				return tokenring.SN(v)
+			}
+		}
+		p.sn = randomSN()
+		p.snL = randomSN()
+		p.snR = randomSN()
+		p.cp = core.CP(rng.Intn(core.NumCP))
+		p.cpL = core.CP(rng.Intn(core.NumCP))
+		p.ph = rng.Intn(p.b.nPhases)
+		p.phL = rng.Intn(p.b.nPhases)
+	}
+}
+
+// failPending wakes a waiting participant with err, or stores it for the
+// next Await.
+func (p *proc) failPending(err error) {
+	p.b.statResets.Add(1)
+	if p.appWaiting {
+		p.appWaiting = false
+		p.arrived = false
+		p.deliver(awaitResult{err: err, ticket: p.curTicket})
+	} else {
+		p.pendingErr = err
+	}
+}
+
+func (p *proc) deliver(r awaitResult) {
+	select {
+	case p.wake <- r:
+	default:
+		// The participant abandoned its Await (context cancellation); the
+		// stale result is dropped when the buffer is reused.
+		select {
+		case <-p.wake:
+		default:
+		}
+		p.wake <- r
+	}
+}
+
+// step applies every enabled local action to quiescence: T1'/T2' (token
+// receipt, gated on the participant's arrival for the completion
+// transition), T3, T4', T5.
+func (p *proc) step() {
+	for {
+		changed := false
+
+		// T1' at 0 / T2' elsewhere.
+		if p.snL.Ordinary() {
+			enabled := false
+			if p.id == 0 {
+				enabled = p.sn == p.snL || !p.sn.Ordinary()
+			} else {
+				enabled = p.sn != p.snL
+			}
+			if enabled {
+				var newCP core.CP
+				var newPH int
+				var out core.Outcome
+				if p.id == 0 {
+					newCP, newPH, out = core.LeaderUpdate(p.cp, p.ph, p.cpL, p.phL, p.b.nPhases)
+				} else {
+					newCP, newPH, out = core.FollowerUpdate(p.cp, p.ph, p.cpL, p.phL)
+				}
+				// The work gate: the completion transition waits for the
+				// participant to arrive at the barrier.
+				if out == core.OutComplete && !p.arrived {
+					// blocked — nothing else can change until arrival or
+					// another message.
+				} else {
+					oldPH := p.ph
+					if p.id == 0 {
+						p.sn = tokenring.SN((int(p.snL) + 1) % p.b.l)
+					} else {
+						p.sn = p.snL
+					}
+					p.cp = newCP
+					p.ph = newPH
+					switch out {
+					case core.OutBegin:
+						p.b.emit(core.Event{Kind: core.EvBegin, Proc: p.id, Phase: newPH})
+						if p.appWaiting {
+							switch {
+							case p.arrived:
+								// The participant's work has not been
+								// consumed yet: this begin (re)starts an
+								// instance that will consume it. Not a pass.
+							case newPH == p.lastDonePh:
+								// Re-execution of the phase whose work was
+								// already consumed (a fault forced a repeat
+								// instance): the work stands — re-arm the
+								// gate silently instead of waking.
+								p.arrived = true
+							default:
+								// A genuinely new phase begins: the barrier
+								// is passed; wake the waiting participant.
+								p.appWaiting = false
+								p.b.statPasses.Add(1)
+								p.deliver(awaitResult{phase: newPH, ticket: p.curTicket})
+							}
+						}
+					case core.OutComplete:
+						p.arrived = false
+						p.lastDonePh = oldPH
+						p.b.emit(core.Event{Kind: core.EvComplete, Proc: p.id, Phase: oldPH})
+					case core.OutAbandon:
+						// Pulled into a re-execution while mid-phase: the
+						// instance aborts, but this participant's work (in
+						// progress or gated) remains valid for the repeat
+						// instance — no error is surfaced.
+						p.b.emit(core.Event{Kind: core.EvReset, Proc: p.id, Phase: oldPH})
+					}
+					changed = true
+				}
+			}
+		}
+
+		// T3 at the last process: ⊥ → ⊤.
+		if p.id == p.b.n-1 && p.sn == tokenring.Bot {
+			p.sn = tokenring.Top
+			changed = true
+		}
+		// T4' elsewhere: propagate ⊤ backward via the local copy snR.
+		if p.id != p.b.n-1 && p.sn == tokenring.Bot && p.snR == tokenring.Top {
+			p.sn = tokenring.Top
+			changed = true
+		}
+		// T5 at 0: restart a fully corrupted ring.
+		if p.id == 0 && p.sn == tokenring.Top {
+			p.sn = 0
+			changed = true
+		}
+
+		if !changed {
+			return
+		}
+	}
+}
+
+// announce sends the current state to the successor (and the ⊤ marker to
+// the predecessor) if it changed since the last send, subject to the
+// configured loss and corruption rates.
+func (p *proc) announce(lossRate, corruptRate float64) {
+	m := stateMsg{sn: p.sn, cp: p.cp, ph: p.ph}
+	m.sum = m.checksum()
+	if p.haveSent && m == p.lastSent {
+		return
+	}
+	p.lastSent = m
+	p.haveSent = true
+
+	p.b.statSends.Add(1)
+	if lossRate > 0 && p.rng.Float64() < lossRate {
+		p.b.statDrops.Add(1)
+		return // the message is lost; the resend ticker will mask it
+	}
+	if corruptRate > 0 && p.rng.Float64() < corruptRate {
+		// Bit-flip in flight: the receiver's integrity check will reject it.
+		m.sum ^= 0xdeadbeef
+	}
+	// Latest-state-wins mailbox: drain a stale message, then send.
+	select {
+	case <-p.toSucc:
+	default:
+	}
+	select {
+	case p.toSucc <- m:
+	default:
+	}
+	if p.sn == tokenring.Top {
+		select {
+		case <-p.toPred:
+		default:
+		}
+		select {
+		case p.toPred <- tokenring.Top:
+		default:
+		}
+	}
+}

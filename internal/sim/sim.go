@@ -1,0 +1,406 @@
+// Package sim is the timed simulator behind the paper's Section 6.2
+// experiments (Figures 5, 6 and 7). Like the authors' SIEFAST environment,
+// it executes the exact guarded-command protocol (program TB of package
+// rbtree, the Fig 2c tree refinement evaluated in the paper) under the
+// maximal parallel semantics, with a real-time value attached to execution:
+//
+//   - every maximal-parallel step in which at least one action executes
+//     takes one communication latency, c;
+//   - a process that begins a phase works on it for 1 time unit (the
+//     paper's unit phase-execution time) and does not take its completion
+//     transition before the work is done (the protocol's work gate);
+//   - detectable faults arrive with the paper's frequency model — the
+//     probability of no fault in a window of length d is (1−f)^d — each
+//     hitting a uniformly random process.
+//
+// The paper's analytical model charges worst-case, non-overlapped wave
+// times (1+3hc per instance); the simulator executes the real protocol, in
+// which phase work overlaps the execute wave, so simulated times sit below
+// the analytical curve — the same relationship the paper reports ("the
+// overhead in the simulated program is less than that predicted by the
+// analytical results", Section 6.2).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dtree"
+	"repro/internal/faults"
+	"repro/internal/guarded"
+	"repro/internal/rbtree"
+	"repro/internal/topo"
+)
+
+// Protocol is the surface the timed driver needs from a barrier program.
+// Both rbtree.Program (fault-tolerant) and baseline.Program (intolerant)
+// implement it.
+type Protocol interface {
+	Guarded() *guarded.Program
+	N() int
+	SetWorkGate(func(j int) bool)
+	SetSink(core.EventSink)
+}
+
+var (
+	_ Protocol = (*rbtree.Program)(nil)
+	_ Protocol = (*dtree.Program)(nil)
+	_ Protocol = (*baseline.Program)(nil)
+)
+
+// Timed drives a Protocol under the timed maximal parallel semantics.
+type Timed struct {
+	proto Protocol
+	prog  *guarded.Program
+	c     float64
+
+	now      float64
+	working  []bool
+	workDone []float64
+
+	extraSink  core.EventSink // metrics sink, after driver bookkeeping
+	zeroRounds int            // consecutive zero-latency rounds, runaway guard
+}
+
+const eps = 1e-9
+
+// NewTimed wraps proto with the timed driver. The caller's sink (if any)
+// should be installed via OnEvent after construction, not via proto
+// directly — the driver owns proto's sink.
+func NewTimed(proto Protocol, c float64) *Timed {
+	t := &Timed{
+		proto:    proto,
+		prog:     proto.Guarded(),
+		c:        c,
+		working:  make([]bool, proto.N()),
+		workDone: make([]float64, proto.N()),
+	}
+	proto.SetWorkGate(func(j int) bool {
+		return !t.working[j] || t.workDone[j] <= t.now+eps
+	})
+	proto.SetSink(t.observe)
+	return t
+}
+
+func (t *Timed) observe(e core.Event) {
+	switch e.Kind {
+	case core.EvBegin:
+		// The begin lands at the end of the current round; the unit of
+		// phase work starts then.
+		t.working[e.Proc] = true
+		t.workDone[e.Proc] = t.now + t.c + 1
+	case core.EvComplete, core.EvReset:
+		t.working[e.Proc] = false
+	}
+	if t.extraSink != nil {
+		t.extraSink(e)
+	}
+}
+
+// OnEvent installs a metrics sink that sees every protocol event.
+func (t *Timed) OnEvent(sink core.EventSink) { t.extraSink = sink }
+
+// Now returns the current simulated time, in phase-time units.
+func (t *Timed) Now() float64 { return t.now }
+
+// ResetClock restarts time at zero (after a warmup) without touching
+// protocol state; pending work deadlines are shifted accordingly.
+func (t *Timed) ResetClock() {
+	for j := range t.workDone {
+		if t.working[j] {
+			t.workDone[j] -= t.now
+		} else {
+			t.workDone[j] = 0
+		}
+	}
+	t.now = 0
+}
+
+// ClearWork abandons all pending phase work (used when scrambling the state
+// for recovery experiments: the perturbed processes have no coherent work
+// in progress).
+func (t *Timed) ClearWork() {
+	for j := range t.working {
+		t.working[j] = false
+	}
+}
+
+// Step executes one timed step: a maximal-parallel round costing c if any
+// action executes, or a jump to the earliest pending work deadline if every
+// enabled action is gated. It returns false only when the system can make
+// no step at all (true quiescence — a deadlock for these protocols).
+func (t *Timed) Step(rng *rand.Rand) (bool, error) {
+	if t.prog.StepMaxParallel(rng) > 0 {
+		t.now += t.c
+		if t.c == 0 {
+			t.zeroRounds++
+			if t.zeroRounds > 10_000_000 {
+				return false, errors.New("sim: runaway zero-latency execution (livelock?)")
+			}
+		} else {
+			t.zeroRounds = 0
+		}
+		return true, nil
+	}
+	// No action executed: if some process is still mid-work (deadline in
+	// the future), advance to the earliest completion and retry. Processes
+	// whose work is done but whose completion waits on others contribute no
+	// deadline — they will fire once the others catch up.
+	earliest := -1.0
+	for j, w := range t.working {
+		if w && t.workDone[j] > t.now+eps && (earliest < 0 || t.workDone[j] < earliest) {
+			earliest = t.workDone[j]
+		}
+	}
+	if earliest < 0 {
+		// Nothing executes and no work is pending: genuine deadlock.
+		return false, nil
+	}
+	t.now = earliest
+	t.zeroRounds = 0
+	return true, nil
+}
+
+// Config parameterizes a Section 6.2 simulation run.
+type Config struct {
+	Procs   int     // number of processes (default 32, the paper's setting)
+	Arity   int     // tree arity (default 2: binary tree, h = 5 at 32 procs)
+	NPhases int     // cyclic phase count (default 4)
+	C       float64 // communication latency in phase-time units
+	F       float64 // detectable fault frequency
+	Seed    int64
+	Phases  int // successful phases to measure over (default 200)
+	Warmup  int // successful phases to discard first (default 5)
+
+	// Convergecast selects the Figure 2(d) double-tree program (package
+	// dtree, detection up the tree) instead of the default Figure 2(c)
+	// program (package rbtree, leaves wired to the root) — an ablation of
+	// the topology choice.
+	Convergecast bool
+}
+
+func (c *Config) fill() {
+	if c.Procs == 0 {
+		c.Procs = 32
+	}
+	if c.Arity == 0 {
+		c.Arity = 2
+	}
+	if c.NPhases == 0 {
+		c.NPhases = 4
+	}
+	if c.Phases == 0 {
+		c.Phases = 200
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 5
+	}
+}
+
+// Result summarizes a detectable-fault run (Figures 5 and 6).
+type Result struct {
+	Height            int     // tree height h
+	Phases            int     // successful phases measured
+	Instances         int     // instances executed for those phases
+	Time              float64 // simulated time for those phases
+	InstancesPerPhase float64 // Figure 5's y-axis
+	TimePerPhase      float64
+	Overhead          float64 // Figure 6's y-axis: vs the intolerant 1+2hc
+}
+
+// tree builds the simulation tree for cfg.
+func buildTree(cfg Config) (*topo.Tree, error) {
+	return topo.NewKAryTree(cfg.Procs, cfg.Arity)
+}
+
+// ftProtocol is the full surface of a fault-tolerant tree program; both
+// rbtree.Program (Fig 2c) and dtree.Program (Fig 2d) implement it.
+type ftProtocol interface {
+	Protocol
+	InjectDetectable(j int)
+	InjectUndetectable(j int)
+	Corrupted(j int) bool
+	InStartState() bool
+}
+
+// buildProtocol constructs the configured fault-tolerant program.
+func buildProtocol(cfg Config, tr *topo.Tree, rng *rand.Rand) (ftProtocol, error) {
+	if cfg.Convergecast {
+		return dtree.New(tr.Parent, cfg.NPhases, cfg.Procs+1, rng, nil)
+	}
+	return rbtree.New(tr.Parent, cfg.NPhases, cfg.Procs+1, rng, nil)
+}
+
+// RunDetectable executes the Figure 5/6 experiment: the fault-tolerant tree
+// program under detectable faults of frequency F, measuring instances per
+// successful phase and time per successful phase. The run is validated
+// against the barrier specification throughout; a violation is returned as
+// an error.
+func RunDetectable(cfg Config) (Result, error) {
+	cfg.fill()
+	tr, err := buildTree(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	prog, err := buildProtocol(cfg, tr, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	t := NewTimed(prog, cfg.C)
+
+	checker := core.NewSpecChecker(cfg.Procs, cfg.NPhases)
+	instances := 0
+	t.OnEvent(func(e core.Event) {
+		if e.Kind == core.EvBegin && e.Proc == 0 {
+			instances++ // the root begins every instance on this topology
+		}
+		checker.Observe(e)
+	})
+	sched := faults.NewFrequency(cfg.F, rng)
+
+	// Warmup.
+	for checker.SuccessfulBarriers() < cfg.Warmup {
+		if err := stepWithFaults(t, prog, sched, rng); err != nil {
+			return Result{}, err
+		}
+		if err := checker.Violation(); err != nil {
+			return Result{}, err
+		}
+	}
+	baseInstances := instances
+	baseSuccess := checker.SuccessfulBarriers()
+	t.ResetClock()
+
+	for checker.SuccessfulBarriers() < baseSuccess+cfg.Phases {
+		if err := stepWithFaults(t, prog, sched, rng); err != nil {
+			return Result{}, err
+		}
+		if err := checker.Violation(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{
+		Height:    tr.Height,
+		Phases:    checker.SuccessfulBarriers() - baseSuccess,
+		Instances: instances - baseInstances,
+		Time:      t.Now(),
+	}
+	res.InstancesPerPhase = float64(res.Instances) / float64(res.Phases)
+	res.TimePerPhase = res.Time / float64(res.Phases)
+	res.Overhead = res.TimePerPhase/baseline.AnalyticPhaseTime(tr.Height, cfg.C) - 1
+	return res, nil
+}
+
+func stepWithFaults(t *Timed, prog ftProtocol, sched faults.Schedule, rng *rand.Rand) error {
+	before := t.Now()
+	ok, err := t.Step(rng)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("sim: protocol deadlocked")
+	}
+	if dt := t.Now() - before; dt > 0 {
+		if n := sched.Arrivals(dt); n > 0 {
+			faults.ApplyDetectableSafe(prog, prog, n, rng)
+		}
+	}
+	return nil
+}
+
+// RunIntolerant executes the fault-intolerant baseline under the same timed
+// semantics with no faults, returning its time per phase. It is the
+// simulated counterpart of the 1+2hc closed form.
+func RunIntolerant(cfg Config) (Result, error) {
+	cfg.fill()
+	tr, err := buildTree(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	prog, err := baseline.New(tr.Parent, cfg.NPhases, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	t := NewTimed(prog, cfg.C)
+
+	for prog.Barriers() < cfg.Warmup {
+		if ok, err := t.Step(rng); err != nil || !ok {
+			return Result{}, fmt.Errorf("sim: baseline stalled during warmup: %v", err)
+		}
+	}
+	base := prog.Barriers()
+	t.ResetClock()
+	for prog.Barriers() < base+cfg.Phases {
+		if ok, err := t.Step(rng); err != nil || !ok {
+			return Result{}, fmt.Errorf("sim: baseline stalled: %v", err)
+		}
+	}
+	res := Result{
+		Height:    tr.Height,
+		Phases:    cfg.Phases,
+		Instances: cfg.Phases,
+		Time:      t.Now(),
+	}
+	res.InstancesPerPhase = 1
+	res.TimePerPhase = res.Time / float64(res.Phases)
+	res.Overhead = 0
+	return res, nil
+}
+
+// RecoveryResult summarizes a Figure 7 run.
+type RecoveryResult struct {
+	Height int
+	Time   float64 // time from the scrambled state to the first start state
+}
+
+// RunRecovery executes the Figure 7 experiment: every process is perturbed
+// to an arbitrary state (an undetectable whole-system fault) and the
+// simulator measures the time until the program reaches a start state, from
+// which every subsequent computation satisfies the barrier specification.
+func RunRecovery(cfg Config) (RecoveryResult, error) {
+	cfg.fill()
+	tr, err := buildTree(cfg)
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	prog, err := buildProtocol(cfg, tr, rng)
+	if err != nil {
+		return RecoveryResult{}, err
+	}
+	t := NewTimed(prog, cfg.C)
+
+	// Let the system run a few phases so the scramble hits a "typical"
+	// mid-protocol state, then perturb everything.
+	warmSteps := 10 * (tr.Height + 1) * 3
+	for i := 0; i < warmSteps; i++ {
+		if ok, err := t.Step(rng); err != nil || !ok {
+			return RecoveryResult{}, fmt.Errorf("sim: stalled during warmup: %v", err)
+		}
+	}
+	for j := 0; j < cfg.Procs; j++ {
+		prog.InjectUndetectable(j)
+	}
+	t.ClearWork()
+	t.ResetClock()
+
+	for !prog.InStartState() {
+		ok, err := t.Step(rng)
+		if err != nil {
+			return RecoveryResult{}, err
+		}
+		if !ok {
+			return RecoveryResult{}, errors.New("sim: deadlock during recovery")
+		}
+		if t.Now() > 1000 {
+			return RecoveryResult{}, errors.New("sim: recovery did not converge")
+		}
+	}
+	return RecoveryResult{Height: tr.Height, Time: t.Now()}, nil
+}

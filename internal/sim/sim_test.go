@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analytical"
+	"repro/internal/baseline"
+	"repro/internal/topo"
+)
+
+func TestFaultFreeInstancesExactlyOne(t *testing.T) {
+	res, err := RunDetectable(Config{Procs: 32, C: 0.01, F: 0, Seed: 1, Phases: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Height != 5 {
+		t.Errorf("height = %d, want 5 for 32 processes", res.Height)
+	}
+	if res.InstancesPerPhase != 1 {
+		t.Errorf("fault-free instances per phase = %v, want exactly 1", res.InstancesPerPhase)
+	}
+}
+
+// The simulated fault-free phase time must sit between the intolerant
+// closed form (1+2hc, a lower bound: the FT program does strictly more
+// communication) and the paper's worst-case analytical time (1+3hc plus the
+// root hop, an upper bound).
+func TestFaultFreeTimeBounds(t *testing.T) {
+	for _, c := range []float64{0, 0.01, 0.03, 0.05} {
+		res, err := RunDetectable(Config{Procs: 32, C: c, F: 0, Seed: 2, Phases: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lower := baseline.AnalyticPhaseTime(5, c)
+		upper := 1 + 3*float64(5+1)*c + 3*c // worst case with per-wave root hop
+		if res.TimePerPhase < lower-1e-9 {
+			t.Errorf("c=%v: time per phase %.4f below intolerant bound %.4f",
+				c, res.TimePerPhase, lower)
+		}
+		if res.TimePerPhase > upper+1e-9 {
+			t.Errorf("c=%v: time per phase %.4f above analytical worst case %.4f",
+				c, res.TimePerPhase, upper)
+		}
+	}
+}
+
+// Figure 5's shape: instances per successful phase grow with the fault
+// frequency and with the communication latency, and track the analytical
+// prediction (the simulated exposure window is slightly shorter than the
+// analytical worst case, so simulated ≤ analytical + noise).
+func TestInstancesGrowWithFaultFrequency(t *testing.T) {
+	prev := 0.0
+	for _, f := range []float64{0, 0.02, 0.05, 0.1} {
+		res, err := RunDetectable(Config{Procs: 32, C: 0.02, F: f, Seed: 3, Phases: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.InstancesPerPhase < prev-0.01 {
+			t.Errorf("instances per phase decreased: f=%v gives %v after %v",
+				f, res.InstancesPerPhase, prev)
+		}
+		prev = res.InstancesPerPhase
+		ana := analytical.Model{H: 5, C: 0.02, F: f}.ExpectedInstances()
+		if res.InstancesPerPhase > ana*1.15+0.05 {
+			t.Errorf("f=%v: simulated instances %.4f far above analytical %.4f",
+				f, res.InstancesPerPhase, ana)
+		}
+	}
+	if prev < 1.05 {
+		t.Errorf("instances per phase at f=0.1 = %v, expected visible re-execution", prev)
+	}
+}
+
+// Figure 6's shape: overhead grows with latency and fault frequency, and
+// the simulated overhead is below the analytical worst case (Section 6.2).
+func TestOverheadShape(t *testing.T) {
+	prevByF := map[float64]float64{}
+	for _, c := range []float64{0.01, 0.03, 0.05} {
+		for _, f := range []float64{0, 0.05} {
+			res, err := RunDetectable(Config{Procs: 32, C: c, F: f, Seed: 4, Phases: 300})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Overhead < -0.02 {
+				t.Errorf("c=%v f=%v: overhead %.4f negative beyond noise", c, f, res.Overhead)
+			}
+			ana := analytical.Model{H: 5, C: c, F: f}.Overhead()
+			if res.Overhead > ana+0.03 {
+				t.Errorf("c=%v f=%v: simulated overhead %.4f exceeds analytical %.4f",
+					c, f, res.Overhead, ana)
+			}
+			if prev, ok := prevByF[f]; ok && res.Overhead < prev-0.02 {
+				t.Errorf("f=%v: overhead decreased with latency: c=%v gives %.4f after %.4f",
+					f, c, res.Overhead, prev)
+			}
+			prevByF[f] = res.Overhead
+		}
+	}
+}
+
+// Higher fault frequency must cost more time per phase at fixed latency.
+func TestOverheadGrowsWithFaults(t *testing.T) {
+	lo, err := RunDetectable(Config{Procs: 32, C: 0.02, F: 0, Seed: 5, Phases: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := RunDetectable(Config{Procs: 32, C: 0.02, F: 0.1, Seed: 5, Phases: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.TimePerPhase <= lo.TimePerPhase {
+		t.Errorf("time per phase with f=0.1 (%.4f) not above f=0 (%.4f)",
+			hi.TimePerPhase, lo.TimePerPhase)
+	}
+}
+
+// The intolerant baseline matches its closed form 1+2hc under the same
+// timed semantics, up to the root's release round.
+func TestIntolerantBaselineMatchesClosedForm(t *testing.T) {
+	for _, c := range []float64{0, 0.01, 0.05} {
+		res, err := RunIntolerant(Config{Procs: 32, C: c, Seed: 6, Phases: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := baseline.AnalyticPhaseTime(5, c)
+		// Allow the root's own release/report rounds (up to 2 extra hops).
+		if res.TimePerPhase < want-1e-9 || res.TimePerPhase > want+2*c+1e-9 {
+			t.Errorf("c=%v: intolerant time per phase %.4f, want within [%v, %v]",
+				c, res.TimePerPhase, want, want+2*c)
+		}
+	}
+}
+
+// Figure 7's shape: recovery time grows with communication latency and with
+// tree height, and stays within the paper's envelope (≈1.25 time units in
+// the 2hc ≤ 0.5 operating region, plus at most one unit of abandoned phase
+// work).
+func TestRecoveryShape(t *testing.T) {
+	mean := func(procs int, c float64) float64 {
+		sum := 0.0
+		const trials = 30
+		for s := int64(0); s < trials; s++ {
+			r, err := RunRecovery(Config{Procs: procs, C: c, Seed: 100 + s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += r.Time
+		}
+		return sum / trials
+	}
+
+	// Growth in c at fixed size.
+	t32c001 := mean(32, 0.01)
+	t32c005 := mean(32, 0.05)
+	if t32c005 <= t32c001 {
+		t.Errorf("recovery time did not grow with latency: c=0.05 → %.3f, c=0.01 → %.3f",
+			t32c005, t32c001)
+	}
+
+	// Growth in height at fixed latency (h=2 → 7 procs, h=5 → 32 procs).
+	t7 := mean(7, 0.05)
+	if t32c005 <= t7 {
+		t.Errorf("recovery time did not grow with height: 32 procs → %.3f, 7 procs → %.3f",
+			t32c005, t7)
+	}
+
+	// The paper's envelope: with 2hc ≤ 0.5 the protocol recovers in about a
+	// time unit; allow one additional unit for abandoned phase work that
+	// the analytical model ignores.
+	for name, v := range map[string]float64{"32@0.01": t32c001, "32@0.05": t32c005, "7@0.05": t7} {
+		if v > 2.25 {
+			t.Errorf("mean recovery time %s = %.3f, want ≤ 2.25", name, v)
+		}
+		if v <= 0 {
+			t.Errorf("mean recovery time %s = %.3f, want positive", name, v)
+		}
+	}
+}
+
+func TestRecoveryZeroLatency(t *testing.T) {
+	r, err := RunRecovery(Config{Procs: 32, C: 0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With free communication, recovery costs at most abandoned phase work.
+	if r.Time > 1+1e-9 {
+		t.Errorf("recovery at c=0 took %.3f, want ≤ 1", r.Time)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}
+	cfg.fill()
+	if cfg.Procs != 32 || cfg.Arity != 2 || cfg.NPhases != 4 || cfg.Phases != 200 || cfg.Warmup != 5 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := RunDetectable(Config{Procs: 16, C: 0.02, F: 0.05, Seed: 11, Phases: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDetectable(Config{Procs: 16, C: 0.02, F: 0.05, Seed: 11, Phases: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Time-b.Time) > 1e-12 || a.Instances != b.Instances {
+		t.Errorf("same seed produced different results: %+v vs %+v", a, b)
+	}
+}
+
+// Topology ablation: the Figure 2(d) convergecast program pays roughly one
+// extra tree traversal per phase relative to Figure 2(c)'s leaf→root
+// wires, and still satisfies the specification under faults.
+func TestConvergecastAblation(t *testing.T) {
+	fig2c, err := RunDetectable(Config{Procs: 32, C: 0.02, F: 0.02, Seed: 7, Phases: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig2d, err := RunDetectable(Config{Procs: 32, C: 0.02, F: 0.02, Seed: 7, Phases: 200, Convergecast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig2d.TimePerPhase <= fig2c.TimePerPhase {
+		t.Errorf("convergecast time/phase %.4f should exceed leaf-wire %.4f",
+			fig2d.TimePerPhase, fig2c.TimePerPhase)
+	}
+	if fig2d.TimePerPhase > 2*fig2c.TimePerPhase {
+		t.Errorf("convergecast time/phase %.4f more than 2x leaf-wire %.4f",
+			fig2d.TimePerPhase, fig2c.TimePerPhase)
+	}
+}
+
+// Recovery also works on the Fig 2(d) topology.
+func TestConvergecastRecovery(t *testing.T) {
+	for s := int64(0); s < 10; s++ {
+		r, err := RunRecovery(Config{Procs: 15, C: 0.02, Seed: s, Convergecast: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		if r.Time < 0 || r.Time > 3 {
+			t.Errorf("seed %d: recovery time %.3f out of envelope", s, r.Time)
+		}
+	}
+}
+
+// The motivation experiment under the timed driver: crash one process of
+// the intolerant baseline and the simulation deadlocks (Step reports no
+// progress), while the fault-tolerant program with the same crash modeled
+// as a detectable reset keeps completing phases.
+func TestIntolerantCrashDeadlocksUnderTimedDriver(t *testing.T) {
+	tr, err := topo.NewBinaryTree(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := baseline.New(tr.Parent, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := NewTimed(prog, 0.01)
+	rng := rand.New(rand.NewSource(1))
+	for prog.Barriers() < 3 {
+		if ok, err := tm.Step(rng); err != nil || !ok {
+			t.Fatalf("baseline stalled before the crash: %v", err)
+		}
+	}
+	prog.Crash(5)
+	deadlocked := false
+	for i := 0; i < 100000; i++ {
+		ok, err := tm.Step(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			deadlocked = true
+			break
+		}
+	}
+	if !deadlocked {
+		t.Fatal("intolerant baseline kept running after a crash")
+	}
+}

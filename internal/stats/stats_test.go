@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample should summarize to zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	// Unbiased variance of that classic sample is 32/7.
+	if got := s.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("var = %v, want %v", got, 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.CI95() <= 0 {
+		t.Error("CI95 should be positive for a spread sample")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 5; i++ {
+		s.Add(float64(i))
+	}
+	cases := map[float64]float64{0: 1, 0.25: 2, 0.5: 3, 0.75: 4, 1: 5}
+	for q, want := range cases {
+		if got := s.Quantile(q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	var empty Sample
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+// Property: mean is within [min, max]; stddev is non-negative; quantiles
+// are monotone.
+func TestSampleProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%50) + 1
+		var s Sample
+		for i := 0; i < n; i++ {
+			s.Add(rng.NormFloat64() * 10)
+		}
+		if s.Mean() < s.Min()-1e-9 || s.Mean() > s.Max()+1e-9 {
+			return false
+		}
+		if s.Stddev() < 0 {
+			return false
+		}
+		last := s.Quantile(0)
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			v := s.Quantile(q)
+			if v < last-1e-9 {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Figure X", "f", "instances")
+	tab.AddFloats("%.3f", 0.01, 1.012)
+	tab.AddRow("0.050", "1.061")
+	out := tab.String()
+	if !strings.Contains(out, "Figure X") || !strings.Contains(out, "instances") {
+		t.Errorf("table missing header: %q", out)
+	}
+	if !strings.Contains(out, "1.012") || !strings.Contains(out, "1.061") {
+		t.Errorf("table missing rows: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("table has %d lines: %q", len(lines), out)
+	}
+}
+
+func TestTableCellCountPanics(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched cell count should panic")
+		}
+	}()
+	tab.AddRow("only-one")
+}

@@ -1,0 +1,240 @@
+// Package tokenring implements the multitolerant token ring that Section
+// 4.1 of the paper superposes barrier synchronization upon (derived by the
+// authors in their multitolerance work, cited as [10]).
+//
+// Each process j of the ring 0..N maintains a sequence number sn.j in
+// {0..K−1} for K > N, extended with two special values: ⊥ (the sequence
+// number was detectably corrupted) and ⊤ (used to detect whether the whole
+// ring was corrupted). The five actions are:
+//
+//	T1 :: j=0 ∧ sn.N∉{⊥,⊤} ∧ (sn.0=sn.N ∨ sn.0=⊥ ∨ sn.0=⊤) → sn.0 := sn.N+1
+//	T2 :: j≠0 ∧ sn.(j−1)∉{⊥,⊤} ∧ sn.j≠sn.(j−1)            → sn.j := sn.(j−1)
+//	T3 :: sn.N = ⊥                                          → sn.N := ⊤
+//	T4 :: j≠N ∧ sn.j=⊥ ∧ sn.(j+1)=⊤                         → sn.j := ⊤
+//	T5 :: sn.0 = ⊤                                          → sn.0 := 0
+//
+// Process j≠N holds the token iff sn.j ≠ sn.(j+1) with both ordinary;
+// process N holds the token iff sn.N = sn.0 with both ordinary.
+package tokenring
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/guarded"
+)
+
+// SN is a sequence number: a value in {0..K−1}, or Bot (⊥), or Top (⊤).
+type SN int
+
+// Special sequence-number values.
+const (
+	Bot SN = -1 // ⊥: detectably corrupted
+	Top SN = -2 // ⊤: whole-ring corruption probe
+)
+
+// Ordinary reports whether s is an ordinary sequence number (neither ⊥ nor ⊤).
+func (s SN) Ordinary() bool { return s >= 0 }
+
+func (s SN) String() string {
+	switch s {
+	case Bot:
+		return "⊥"
+	case Top:
+		return "⊤"
+	default:
+		return fmt.Sprintf("%d", int(s))
+	}
+}
+
+// Ring is the token-ring state for processes 0..N.
+type Ring struct {
+	n  int // highest process id; ring size is n+1
+	k  int // sequence numbers live in {0..k−1}
+	sn []SN
+}
+
+// New creates a ring of nProcs processes (ids 0..nProcs−1) with sequence
+// numbers modulo k. The paper requires K > N, i.e. k ≥ nProcs; the
+// message-passing refinement MB widens this to L > 2N+1.
+func New(nProcs, k int) (*Ring, error) {
+	if nProcs < 2 {
+		return nil, errors.New("tokenring: need at least 2 processes")
+	}
+	if k < nProcs {
+		return nil, fmt.Errorf("tokenring: need K > N, got K=%d with N=%d", k, nProcs-1)
+	}
+	r := &Ring{n: nProcs - 1, k: k, sn: make([]SN, nProcs)}
+	// Start state: all sequence numbers equal, so process N holds the token
+	// and process 0's T1 is enabled.
+	return r, nil
+}
+
+// Size returns the number of processes, N+1.
+func (r *Ring) Size() int { return r.n + 1 }
+
+// N returns the highest process id.
+func (r *Ring) N() int { return r.n }
+
+// K returns the sequence-number modulus.
+func (r *Ring) K() int { return r.k }
+
+// SN returns process j's sequence number.
+func (r *Ring) SN(j int) SN { return r.sn[j] }
+
+// SetSN overwrites process j's sequence number. It is the hook used by
+// fault actions: a detectable fault sets ⊥, an undetectable fault sets an
+// arbitrary domain value.
+func (r *Ring) SetSN(j int, v SN) { r.sn[j] = v }
+
+// RandomSN returns a uniformly random value of the full sn domain
+// ({0..K−1} ∪ {⊥,⊤}), for undetectable-fault injection.
+func (r *Ring) RandomSN(rng *rand.Rand) SN {
+	v := rng.Intn(r.k + 2)
+	switch v {
+	case r.k:
+		return Bot
+	case r.k + 1:
+		return Top
+	default:
+		return SN(v)
+	}
+}
+
+// succ returns sn+1 modulo K (only defined for ordinary values).
+func (r *Ring) succ(s SN) SN { return SN((int(s) + 1) % r.k) }
+
+// HasToken reports whether process j currently holds the token.
+func (r *Ring) HasToken(j int) bool {
+	if j == r.n {
+		return r.sn[r.n] == r.sn[0] && r.sn[r.n].Ordinary() && r.sn[0].Ordinary()
+	}
+	return r.sn[j] != r.sn[j+1] && r.sn[j].Ordinary() && r.sn[j+1].Ordinary()
+}
+
+// TokenCount returns the number of processes currently holding a token. In
+// a legitimate state it is exactly 1; detectable faults keep it ≤ 1, and
+// undetectable faults may transiently push it higher before the ring
+// stabilizes.
+func (r *Ring) TokenCount() int {
+	c := 0
+	for j := 0; j <= r.n; j++ {
+		if r.HasToken(j) {
+			c++
+		}
+	}
+	return c
+}
+
+// Corrupted reports whether process j can locally detect that it was
+// detectably corrupted (property (b) of the paper: sn is ⊥ or ⊤).
+func (r *Ring) Corrupted(j int) bool { return !r.sn[j].Ordinary() }
+
+// Legitimate reports whether the ring is in a legitimate state: no special
+// values and exactly one token.
+func (r *Ring) Legitimate() bool {
+	for j := 0; j <= r.n; j++ {
+		if !r.sn[j].Ordinary() {
+			return false
+		}
+	}
+	return r.TokenCount() == 1
+}
+
+// Superposition is the hook by which program RB rides on the ring: when
+// process j is about to receive the token (execute T1 or T2), the hook is
+// invoked against the pre-state and the commit it returns is applied
+// atomically with the sequence-number update. A nil hook, or a nil commit,
+// superposes nothing.
+type Superposition func(j int) func()
+
+// Actions returns the five guarded actions of the token ring, with onToken
+// superposed on T1 and T2. The returned actions reference the ring state
+// directly and may be added to a guarded.Program together with actions of
+// other protocol layers.
+func (r *Ring) Actions(onToken Superposition) []guarded.Action {
+	var acts []guarded.Action
+
+	// T1 at process 0.
+	acts = append(acts, guarded.Action{
+		Name: "T1.0",
+		Proc: 0,
+		Guard: func() bool {
+			last := r.sn[r.n]
+			me := r.sn[0]
+			return last.Ordinary() && (me == last || me == Bot || me == Top)
+		},
+		Body: func() func() {
+			next := r.succ(r.sn[r.n])
+			var super func()
+			if onToken != nil {
+				super = onToken(0)
+			}
+			return func() {
+				r.sn[0] = next
+				if super != nil {
+					super()
+				}
+			}
+		},
+	})
+
+	// T2 at processes 1..N.
+	for j := 1; j <= r.n; j++ {
+		j := j
+		acts = append(acts, guarded.Action{
+			Name: fmt.Sprintf("T2.%d", j),
+			Proc: j,
+			Guard: func() bool {
+				prev := r.sn[j-1]
+				return prev.Ordinary() && r.sn[j] != prev
+			},
+			Body: func() func() {
+				v := r.sn[j-1]
+				var super func()
+				if onToken != nil {
+					super = onToken(j)
+				}
+				return func() {
+					r.sn[j] = v
+					if super != nil {
+						super()
+					}
+				}
+			},
+		})
+	}
+
+	// T3 at process N: ⊥ → ⊤.
+	acts = append(acts, guarded.Action{
+		Name:  fmt.Sprintf("T3.%d", r.n),
+		Proc:  r.n,
+		Guard: func() bool { return r.sn[r.n] == Bot },
+		Body:  func() func() { return func() { r.sn[r.n] = Top } },
+	})
+
+	// T4 at processes j≠N: propagate ⊤ backward through ⊥s.
+	for j := 0; j < r.n; j++ {
+		j := j
+		acts = append(acts, guarded.Action{
+			Name:  fmt.Sprintf("T4.%d", j),
+			Proc:  j,
+			Guard: func() bool { return r.sn[j] == Bot && r.sn[j+1] == Top },
+			Body:  func() func() { return func() { r.sn[j] = Top } },
+		})
+	}
+
+	// T5 at process 0: ⊤ → 0 restarts a fully corrupted ring.
+	acts = append(acts, guarded.Action{
+		Name:  "T5.0",
+		Proc:  0,
+		Guard: func() bool { return r.sn[0] == Top },
+		Body:  func() func() { return func() { r.sn[0] = 0 } },
+	})
+
+	return acts
+}
+
+// Snapshot returns a copy of the sequence numbers, for tests and traces.
+func (r *Ring) Snapshot() []SN { return append([]SN(nil), r.sn...) }

@@ -1,0 +1,275 @@
+package tokenring
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/guarded"
+)
+
+func newRing(t *testing.T, n, k int) *Ring {
+	t.Helper()
+	r, err := New(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 5); err == nil {
+		t.Error("single-process ring should be rejected")
+	}
+	if _, err := New(5, 4); err == nil {
+		t.Error("K ≤ N should be rejected")
+	}
+	if _, err := New(5, 5); err != nil {
+		t.Errorf("K = N+1 is legal: %v", err)
+	}
+}
+
+func TestSNString(t *testing.T) {
+	if Bot.String() != "⊥" || Top.String() != "⊤" || SN(3).String() != "3" {
+		t.Error("SN string rendering broken")
+	}
+	if Bot.Ordinary() || Top.Ordinary() || !SN(0).Ordinary() {
+		t.Error("Ordinary misclassifies")
+	}
+}
+
+func TestStartStateHasOneToken(t *testing.T) {
+	r := newRing(t, 5, 6)
+	if r.TokenCount() != 1 {
+		t.Fatalf("start state token count = %d, want 1", r.TokenCount())
+	}
+	if !r.HasToken(r.N()) {
+		t.Error("in the all-equal start state process N holds the token")
+	}
+	if !r.Legitimate() {
+		t.Error("start state should be legitimate")
+	}
+}
+
+// In the absence of faults the ring circulates exactly one token, visiting
+// processes in order 0, 1, …, N, 0, 1, …
+func TestFaultFreeCirculation(t *testing.T) {
+	const n = 6
+	r := newRing(t, n, n+2)
+	prog := guarded.NewProgram()
+	var receipts []int
+	for _, a := range r.Actions(func(j int) func() {
+		return func() { receipts = append(receipts, j) }
+	}) {
+		prog.Add(a)
+	}
+	for step := 0; step < 4*n; step++ {
+		if r.TokenCount() != 1 {
+			t.Fatalf("step %d: token count = %d, want 1", step, r.TokenCount())
+		}
+		if _, ok := prog.StepRoundRobin(); !ok {
+			t.Fatalf("step %d: ring quiescent", step)
+		}
+	}
+	for i, j := range receipts {
+		if j != i%n {
+			t.Fatalf("receipt order %v, want cyclic 0..%d", receipts, n-1)
+		}
+	}
+}
+
+// Detectable faults (sn := ⊥) never create a second token, each corrupted
+// process can locally detect its corruption, and the ring converges back to
+// exactly one token. Process 0 never executes T4 or T5.
+func TestDetectableFaultRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(6)
+		r := newRing(t, n, n+1+rng.Intn(4))
+		prog := guarded.NewProgram()
+		for _, a := range r.Actions(nil) {
+			prog.Add(a)
+		}
+		// Warm the ring up, then corrupt a strict subset of processes
+		// (the fault model guarantees some process stays uncorrupted;
+		// corrupting everyone detectably is classified undetectable).
+		prog.RunRoundRobin(rng.Intn(3*n), func() bool { return false }, nil)
+		nFaults := 1 + rng.Intn(n-1)
+		for _, j := range rng.Perm(n)[:nFaults] {
+			r.SetSN(j, Bot)
+			if !r.Corrupted(j) {
+				t.Fatal("corrupted process must detect its corruption locally")
+			}
+		}
+		for step := 0; step < 10*n*n; step++ {
+			if c := r.TokenCount(); c > 1 {
+				t.Fatalf("trial %d: %d tokens after detectable faults (state %v)",
+					trial, c, r.Snapshot())
+			}
+			if r.Legitimate() {
+				break
+			}
+			name, ok := prog.StepRoundRobin()
+			if !ok {
+				t.Fatalf("trial %d: ring deadlocked in state %v", trial, r.Snapshot())
+			}
+			if strings.HasSuffix(name, ".0") && (strings.HasPrefix(name, "T4") || strings.HasPrefix(name, "T5")) {
+				t.Fatalf("trial %d: process 0 executed %s under detectable faults", trial, name)
+			}
+		}
+		if !r.Legitimate() {
+			t.Fatalf("trial %d: ring did not stabilize: %v", trial, r.Snapshot())
+		}
+	}
+}
+
+// When every process is detectably corrupted at once (classified as an
+// undetectable fault by the paper), the ⊤ wave restarts the ring via T3,
+// T4 and T5.
+func TestWholeRingCorruption(t *testing.T) {
+	const n = 5
+	r := newRing(t, n, n+1)
+	prog := guarded.NewProgram()
+	for _, a := range r.Actions(nil) {
+		prog.Add(a)
+	}
+	for j := 0; j < n; j++ {
+		r.SetSN(j, Bot)
+	}
+	for step := 0; step < 100*n; step++ {
+		if r.Legitimate() {
+			return
+		}
+		if _, ok := prog.StepRoundRobin(); !ok {
+			t.Fatalf("deadlock in state %v", r.Snapshot())
+		}
+	}
+	t.Fatalf("ring did not restart from whole-ring corruption: %v", r.Snapshot())
+}
+
+// Stabilization from arbitrary states (undetectable faults): the ring
+// reaches a legitimate state and stays there.
+func TestUndetectableFaultStabilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(7)
+		k := n + 1 + rng.Intn(4)
+		r := newRing(t, n, k)
+		prog := guarded.NewProgram()
+		for _, a := range r.Actions(nil) {
+			prog.Add(a)
+		}
+		for j := 0; j < n; j++ {
+			r.SetSN(j, r.RandomSN(rng))
+		}
+		stabilized := -1
+		for step := 0; step < 20*n*n; step++ {
+			if r.Legitimate() {
+				stabilized = step
+				break
+			}
+			if _, ok := prog.StepRandom(rng); !ok {
+				t.Fatalf("trial %d: deadlock in state %v", trial, r.Snapshot())
+			}
+		}
+		if stabilized < 0 {
+			t.Fatalf("trial %d: no stabilization from %v", trial, r.Snapshot())
+		}
+		// Closure: legitimacy is preserved by every subsequent step.
+		for step := 0; step < 4*n; step++ {
+			if _, ok := prog.StepRandom(rng); !ok {
+				t.Fatalf("trial %d: legitimate ring deadlocked", trial)
+			}
+			if !r.Legitimate() {
+				t.Fatalf("trial %d: legitimacy not closed under execution: %v",
+					trial, r.Snapshot())
+			}
+		}
+	}
+}
+
+// Same stabilization property under the maximal parallel semantics used by
+// the paper's performance evaluation.
+func TestStabilizationUnderMaxParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(7)
+		r := newRing(t, n, 2*n)
+		prog := guarded.NewProgram()
+		for _, a := range r.Actions(nil) {
+			prog.Add(a)
+		}
+		for j := 0; j < n; j++ {
+			r.SetSN(j, r.RandomSN(rng))
+		}
+		ok := false
+		for round := 0; round < 10*n; round++ {
+			if r.Legitimate() {
+				ok = true
+				break
+			}
+			if prog.StepMaxParallel(rng) == 0 {
+				t.Fatalf("trial %d: deadlock in state %v", trial, r.Snapshot())
+			}
+		}
+		if !ok {
+			t.Fatalf("trial %d: no stabilization under maximal parallelism: %v",
+				trial, r.Snapshot())
+		}
+	}
+}
+
+// Property: the token predicate marks at most one holder in any state
+// reachable from a legitimate state by detectable faults.
+func TestAtMostOneTokenProperty(t *testing.T) {
+	f := func(seed int64, faultsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		r, err := New(n, n+2)
+		if err != nil {
+			return false
+		}
+		prog := guarded.NewProgram()
+		for _, a := range r.Actions(nil) {
+			prog.Add(a)
+		}
+		for i := 0; i < 50; i++ {
+			if int(faultsRaw) > 0 && rng.Intn(5) == 0 {
+				r.SetSN(rng.Intn(n-1)+1, Bot) // keep process 0 clean
+			}
+			prog.StepRandom(rng)
+			if r.TokenCount() > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuperpositionCommitsAtomically(t *testing.T) {
+	const n = 4
+	r := newRing(t, n, n+1)
+	prog := guarded.NewProgram()
+	snAtReceipt := make(map[int][]SN)
+	for _, a := range r.Actions(func(j int) func() {
+		return func() {
+			// By the time the superposed statement runs, the sequence
+			// number update of the same action must already be visible.
+			snAtReceipt[j] = append(snAtReceipt[j], r.SN(j))
+		}
+	}) {
+		prog.Add(a)
+	}
+	prog.RunRoundRobin(3*n, func() bool { return false }, nil)
+	for j, sns := range snAtReceipt {
+		for i := 1; i < len(sns); i++ {
+			if sns[i] == sns[i-1] {
+				t.Errorf("process %d saw stale sn at receipt: %v", j, sns)
+			}
+		}
+	}
+}

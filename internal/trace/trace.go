@@ -1,0 +1,124 @@
+// Package trace records protocol event streams and renders them as
+// per-process timelines — the debugging view used by cmd/barsim's
+// -timeline flag. Each process gets a row; columns are events in global
+// order:
+//
+//	proc 0  ──B0────────C0──────B1─…
+//	proc 1  ────B0────C0──────────B1─…
+//	proc 2  ──────B0!───────B0─C0─…
+//
+// where Bp = begin(phase p), Cp = complete(phase p), ! = reset/abandon.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Recorder accumulates events.
+type Recorder struct {
+	n      int
+	events []core.Event
+	max    int
+}
+
+// NewRecorder returns a recorder for n processes keeping at most maxEvents
+// (0 = unbounded).
+func NewRecorder(n, maxEvents int) *Recorder {
+	return &Recorder{n: n, max: maxEvents}
+}
+
+// Observe appends an event; it satisfies core.EventSink.
+func (r *Recorder) Observe(e core.Event) {
+	if r.max > 0 && len(r.events) >= r.max {
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns the recorded events. The slice is shared; callers must
+// not modify it.
+func (r *Recorder) Events() []core.Event { return r.events }
+
+// Tee returns a sink that records and forwards to next (which may be nil).
+func (r *Recorder) Tee(next core.EventSink) core.EventSink {
+	return func(e core.Event) {
+		r.Observe(e)
+		if next != nil {
+			next(e)
+		}
+	}
+}
+
+// cell renders one event's mark.
+func cell(e core.Event) string {
+	switch e.Kind {
+	case core.EvBegin:
+		return fmt.Sprintf("B%d", e.Phase)
+	case core.EvComplete:
+		return fmt.Sprintf("C%d", e.Phase)
+	case core.EvReset:
+		return fmt.Sprintf("!%d", e.Phase)
+	}
+	return "??"
+}
+
+// Timeline renders the recorded events as one row per process, with each
+// event in its global-order column. Events of other processes appear as
+// dashes in a process's row, so vertical alignment shows the interleaving.
+func (r *Recorder) Timeline() string {
+	if len(r.events) == 0 {
+		return "(no events)\n"
+	}
+	// Column widths: the widest mark in that column.
+	width := make([]int, len(r.events))
+	for i, e := range r.events {
+		width[i] = len(cell(e))
+	}
+	var b strings.Builder
+	for proc := 0; proc < r.n; proc++ {
+		fmt.Fprintf(&b, "proc %2d  ", proc)
+		for i, e := range r.events {
+			if e.Proc == proc {
+				mark := cell(e)
+				b.WriteString(mark)
+				b.WriteString(strings.Repeat("─", width[i]-len(mark)+1))
+			} else {
+				b.WriteString(strings.Repeat("─", width[i]+1))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary renders per-process event counts.
+func (r *Recorder) Summary() string {
+	begins := make([]int, r.n)
+	completes := make([]int, r.n)
+	resets := make([]int, r.n)
+	for _, e := range r.events {
+		if e.Proc < 0 || e.Proc >= r.n {
+			continue
+		}
+		switch e.Kind {
+		case core.EvBegin:
+			begins[e.Proc]++
+		case core.EvComplete:
+			completes[e.Proc]++
+		case core.EvReset:
+			resets[e.Proc]++
+		}
+	}
+	var b strings.Builder
+	for proc := 0; proc < r.n; proc++ {
+		fmt.Fprintf(&b, "proc %2d: %d begins, %d completes, %d resets\n",
+			proc, begins[proc], completes[proc], resets[proc])
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/cb"
+	"repro/internal/core"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(2, 0)
+	if r.Len() != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	r.Observe(core.Event{Kind: core.EvBegin, Proc: 0, Phase: 0})
+	r.Observe(core.Event{Kind: core.EvBegin, Proc: 1, Phase: 0})
+	r.Observe(core.Event{Kind: core.EvComplete, Proc: 1, Phase: 0})
+	r.Observe(core.Event{Kind: core.EvReset, Proc: 0, Phase: 0})
+	if r.Len() != 4 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if len(r.Events()) != 4 {
+		t.Fatal("Events length mismatch")
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r := NewRecorder(1, 2)
+	for i := 0; i < 5; i++ {
+		r.Observe(core.Event{Kind: core.EvBegin, Proc: 0, Phase: 0})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("capped recorder kept %d events, want 2", r.Len())
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r := NewRecorder(2, 0)
+	if got := r.Timeline(); got != "(no events)\n" {
+		t.Errorf("empty timeline = %q", got)
+	}
+	r.Observe(core.Event{Kind: core.EvBegin, Proc: 0, Phase: 3})
+	r.Observe(core.Event{Kind: core.EvBegin, Proc: 1, Phase: 3})
+	r.Observe(core.Event{Kind: core.EvComplete, Proc: 0, Phase: 3})
+	out := r.Timeline()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("timeline has %d rows, want 2:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "B3") || !strings.Contains(lines[0], "C3") {
+		t.Errorf("proc 0 row missing marks: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "B3") || strings.Contains(lines[1], "C3") {
+		t.Errorf("proc 1 row wrong: %q", lines[1])
+	}
+	// Vertical alignment: both rows render the same display width (the
+	// dash is a multi-byte rune, so count runes, not bytes).
+	if utf8.RuneCountInString(lines[0]) != utf8.RuneCountInString(lines[1]) {
+		t.Errorf("rows misaligned: %d vs %d runes",
+			utf8.RuneCountInString(lines[0]), utf8.RuneCountInString(lines[1]))
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder(2, 0)
+	r.Observe(core.Event{Kind: core.EvBegin, Proc: 0, Phase: 0})
+	r.Observe(core.Event{Kind: core.EvReset, Proc: 0, Phase: 0})
+	r.Observe(core.Event{Kind: core.EvBegin, Proc: 7, Phase: 0}) // out of range: ignored
+	s := r.Summary()
+	if !strings.Contains(s, "proc  0: 1 begins, 0 completes, 1 resets") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+func TestTeeForwards(t *testing.T) {
+	r := NewRecorder(2, 0)
+	var forwarded int
+	sink := r.Tee(func(core.Event) { forwarded++ })
+	sink(core.Event{Kind: core.EvBegin, Proc: 0, Phase: 0})
+	if r.Len() != 1 || forwarded != 1 {
+		t.Fatalf("tee: recorded %d, forwarded %d", r.Len(), forwarded)
+	}
+	// Nil next is allowed.
+	r.Tee(nil)(core.Event{Kind: core.EvBegin, Proc: 1, Phase: 0})
+	if r.Len() != 2 {
+		t.Fatal("nil-next tee did not record")
+	}
+}
+
+// End-to-end: record a real protocol run and render it.
+func TestTimelineOfRealRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewRecorder(3, 0)
+	checker := core.NewSpecChecker(3, 2)
+	p, err := cb.New(3, 2, rng, r.Tee(checker.Observe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for checker.SuccessfulBarriers() < 3 {
+		if _, ok := p.Guarded().StepRoundRobin(); !ok {
+			t.Fatal("deadlock")
+		}
+	}
+	out := r.Timeline()
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("want 3 rows:\n%s", out)
+	}
+	if !strings.Contains(out, "B0") || !strings.Contains(out, "C0") ||
+		!strings.Contains(out, "B1") {
+		t.Errorf("timeline missing expected marks:\n%s", out)
+	}
+}
