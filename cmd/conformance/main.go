@@ -1,0 +1,141 @@
+// Command conformance soaks the barrier refinements under randomized fault
+// schedules and replays failing schedules deterministically.
+//
+// Soak mode generates -runs schedules per target from consecutive seeds,
+// runs each against the shared specification checker, and prints a summary
+// table. Any failure is shrunk to a minimal counterexample and printed with
+// the replay command that reproduces it.
+//
+// Examples:
+//
+//	conformance -target all -runs 200
+//	conformance -target tb -runs 1000 -scrambles=false -fault-rate 0.2
+//	conformance -target runtime -runs 20 -loss 0.05 -corrupt 0.05
+//	conformance -replay 'tb:n=4:ph=3:seed=2:sched=random:ops=r2,r0'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/conformance"
+	"repro/internal/stats"
+)
+
+var (
+	targetFlag    = flag.String("target", "all", "target: cb, rb, tb, dt, mb, runtime, or all")
+	procsFlag     = flag.Int("procs", 4, "number of processes")
+	nPhasesFlag   = flag.Int("nphases", 3, "phase-counter modulus")
+	runsFlag      = flag.Int("runs", 100, "schedules per target")
+	seedFlag      = flag.Int64("seed", 1, "first schedule seed (consecutive seeds follow)")
+	schedFlag     = flag.String("sched", "random", "scheduler: random, roundrobin, maxparallel, pick")
+	opsFlag       = flag.Int("ops", 200, "approximate ops per schedule (runtime target: wall-clock paced)")
+	faultRateFlag = flag.Float64("fault-rate", 0.12, "per-op probability of a fault")
+	scramblesFlag = flag.Bool("scrambles", true, "include undetectable faults (stabilizing tolerance)")
+	crashesFlag   = flag.Bool("crashes", true, "include crash/restart gates (engine targets)")
+	spuriousFlag  = flag.Bool("spurious", true, "include spurious messages (runtime target)")
+	lossFlag      = flag.Float64("loss", 0.03, "per-message loss rate (runtime target)")
+	corruptFlag   = flag.Float64("corrupt", 0.03, "per-message corruption rate (runtime target)")
+	replayFlag    = flag.String("replay", "", "replay one schedule string and exit")
+	shrinkFlag    = flag.Bool("shrink", true, "shrink failing schedules to minimal counterexamples")
+)
+
+func main() {
+	flag.Parse()
+	if *replayFlag != "" {
+		os.Exit(replay(*replayFlag))
+	}
+
+	targets := strings.Split(*targetFlag, ",")
+	if *targetFlag == "all" {
+		targets = conformance.Targets()
+	}
+	sched, err := conformance.ParseSchedKind(*schedFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	table := stats.NewTable("conformance soak",
+		"target", "runs", "ok", "fail", "barriers", "steps", "skipped", "stabilized")
+	failed := false
+	for _, tgt := range targets {
+		cfg := conformance.GenConfig{
+			Target:    tgt,
+			NProcs:    *procsFlag,
+			NPhases:   *nPhasesFlag,
+			Sched:     sched,
+			Ops:       *opsFlag,
+			FaultRate: *faultRateFlag,
+			Scrambles: *scramblesFlag,
+			Crashes:   *crashesFlag,
+			Spurious:  *spuriousFlag,
+		}
+		if tgt == conformance.TargetRuntime {
+			cfg.Loss = *lossFlag
+			cfg.Corrupt = *corruptFlag
+			// Runtime schedules are wall-clock paced; keep them shorter so a
+			// soak finishes in reasonable time.
+			if cfg.Ops > 80 {
+				cfg.Ops = 80
+			}
+		}
+		var ok, fail, barriers, steps, skipped, stabilized int
+		for i := 0; i < *runsFlag; i++ {
+			s := conformance.Generate(cfg, *seedFlag+int64(i))
+			v := conformance.Run(s)
+			barriers += v.Barriers
+			steps += v.Steps
+			skipped += v.SkippedFaults
+			if v.Stabilized {
+				stabilized++
+			}
+			if v.OK {
+				ok++
+				continue
+			}
+			fail++
+			failed = true
+			report(s, v)
+		}
+		table.AddRow(tgt,
+			fmt.Sprint(*runsFlag), fmt.Sprint(ok), fmt.Sprint(fail),
+			fmt.Sprint(barriers), fmt.Sprint(steps), fmt.Sprint(skipped),
+			fmt.Sprint(stabilized))
+	}
+	fmt.Println(table)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// report prints a failing schedule and, unless disabled, its shrunk minimal
+// counterexample with the command line that replays it.
+func report(s conformance.Schedule, v conformance.Verdict) {
+	fmt.Printf("FAIL %s\n  %v\n", s.String(), v)
+	if !*shrinkFlag {
+		return
+	}
+	m := conformance.Shrink(s, func(c conformance.Schedule) bool { return !conformance.Run(c).OK })
+	fmt.Printf("  shrunk (%d -> %d ops): %s\n  replay: go run ./cmd/conformance -replay '%s'\n",
+		len(s.Ops), len(m.Ops), m.String(), m.String())
+}
+
+func replay(text string) int {
+	s, err := conformance.Parse(text)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	v := conformance.Run(s)
+	fmt.Printf("%s\n%v\n", s.String(), v)
+	if !v.OK {
+		if *shrinkFlag {
+			report(s, v)
+		}
+		return 1
+	}
+	return 0
+}

@@ -226,6 +226,9 @@ func (p *Program) addActions(j int) {
 // InjectDetectable applies the detectable fault action to process j:
 // ph.j, cp.j := ?, error.
 func (p *Program) InjectDetectable(j int) {
+	if j < 0 || j >= p.n {
+		return
+	}
 	p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: p.ph[j]})
 	p.ph[j] = p.rng.Intn(p.nPhases)
 	p.cp[j] = core.Error
@@ -235,6 +238,9 @@ func (p *Program) InjectDetectable(j int) {
 // ph.j, cp.j := ?, ? with values drawn uniformly from the domains. CB does
 // not use the Repeat control position, so cp ranges over the other four.
 func (p *Program) InjectUndetectable(j int) {
+	if j < 0 || j >= p.n {
+		return
+	}
 	p.ph[j] = p.rng.Intn(p.nPhases)
 	p.cp[j] = core.CP(p.rng.Intn(4)) // Ready, Execute, Success, Error
 }

@@ -1,0 +1,78 @@
+package conformance
+
+import (
+	"testing"
+)
+
+// fuzzEngine drives one guarded-engine target with byte-derived schedules.
+// Any failing input is reported with its replay string and the shrunk
+// minimal counterexample, so the failure reproduces outside the fuzzer:
+//
+//	go run ./cmd/conformance -replay '<schedule>'
+func fuzzEngine(f *testing.F, target string) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(2), []byte{3, 1, 200, 200, 10, 20, 30, 0xB2, 1, 5, 40, 50})
+	f.Add(int64(3), []byte{0, 2, 0xB0, 0, 0, 1, 2, 3, 0xB4, 2, 9, 7, 7, 7, 0xB3, 0, 1})
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		s := FromBytes(target, seed, data)
+		v := Run(s)
+		if v.OK {
+			return
+		}
+		m := Shrink(s, func(c Schedule) bool { return !Run(c).OK })
+		t.Fatalf("%v\n  schedule: %s\n  shrunk:   %s\n  replay: go run ./cmd/conformance -replay '%s'",
+			v, s.String(), m.String(), m.String())
+	})
+}
+
+func FuzzCB(f *testing.F) { fuzzEngine(f, "cb") }
+func FuzzRB(f *testing.F) { fuzzEngine(f, "rb") }
+func FuzzTB(f *testing.F) { fuzzEngine(f, "tb") }
+func FuzzDT(f *testing.F) { fuzzEngine(f, "dt") }
+func FuzzMB(f *testing.F) { fuzzEngine(f, "mb") }
+
+// FuzzRuntime drives the live goroutine barrier. Its interleavings are not
+// replayable step-for-step, so a failure report includes the schedule but
+// shrinking is left to the CLI (re-running a wall-clock schedule thousands
+// of times inside the fuzz worker would stall the fuzzer).
+func FuzzRuntime(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(2), []byte{1, 1, 2, 3, 10, 20, 0xB2, 1, 5, 40})
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		// Keep per-case wall-clock small: byte-derived runtime schedules are
+		// already capped, but drop the per-message fault rates further so the
+		// verification tail converges quickly.
+		s := FromBytes(TargetRuntime, seed, data)
+		if s.Loss > 0.05 {
+			s.Loss = 0.05
+		}
+		if s.Corrupt > 0.05 {
+			s.Corrupt = 0.05
+		}
+		if v := Run(s); !v.OK {
+			t.Fatalf("%v\n  schedule: %s\n  replay: go run ./cmd/conformance -replay '%s'",
+				v, s.String(), s.String())
+		}
+	})
+}
+
+// FuzzScheduleParse checks that Parse never panics and that accepted inputs
+// are fixed points of the String/Parse round trip.
+func FuzzScheduleParse(f *testing.F) {
+	f.Add("cb:n=4:ph=3:seed=17:sched=random:ops=12s,r2,3s,u1:99,c0,2s,R0,5s")
+	f.Add("runtime:n=3:ph=2:seed=-5:sched=random:loss=0.1:corrupt=0.05:ops=p1:42,8s,u0:7")
+	f.Add("mb:n=2:ph=2:seed=0:sched=pick:ops=s:19,s:3")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := Parse(text)
+		if err != nil {
+			return
+		}
+		again, err := Parse(s.String())
+		if err != nil {
+			t.Fatalf("rendered schedule rejected: %v (%q -> %q)", err, text, s.String())
+		}
+		if again.String() != s.String() {
+			t.Fatalf("String/Parse not a fixed point: %q -> %q", s.String(), again.String())
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// Budgets for the verification phases. The engines execute hundreds of
+// thousands of micro-steps per millisecond, so these are generous without
+// being slow; the runtime target uses wall-clock deadlines instead.
+const (
+	// tailBarriers successful barriers must be observed after the fault
+	// schedule ends (the Progress half of the specification).
+	tailBarriers = 3
+	// tailBudget bounds the scheduler steps spent hunting for them.
+	tailBudget = 400_000
+	// stabilizeBudget bounds the steps allowed to reach a start state
+	// after undetectable faults.
+	stabilizeBudget = 400_000
+)
+
+// Verdict is the outcome of running one schedule.
+type Verdict struct {
+	OK bool
+	// Reason is empty when OK; otherwise a stable, human-readable failure
+	// class ("spec violation during fault schedule", "no progress after
+	// faults stopped", …).
+	Reason string
+	// Violation carries the core.SpecChecker violation, if any.
+	Violation error
+	// FailOpIndex is the index of the schedule op at which the failure was
+	// detected, or -1 (failure in the verification tail, or none).
+	FailOpIndex int
+	// Barriers counts the successful barriers observed by the checker.
+	Barriers int
+	// Steps counts scheduler steps executed (engine targets).
+	Steps int
+	// SkippedFaults counts detectable injections suppressed by the
+	// not-all-corrupted discipline.
+	SkippedFaults int
+	// Stabilized reports whether a start state was reached after
+	// undetectable faults (stabilizing runs only).
+	Stabilized bool
+}
+
+func (v Verdict) String() string {
+	if v.OK {
+		return fmt.Sprintf("ok (barriers=%d steps=%d skipped=%d)", v.Barriers, v.Steps, v.SkippedFaults)
+	}
+	s := fmt.Sprintf("FAIL: %s", v.Reason)
+	if v.Violation != nil {
+		s += fmt.Sprintf(" (%v)", v.Violation)
+	}
+	if v.FailOpIndex >= 0 {
+		s += fmt.Sprintf(" at op %d", v.FailOpIndex)
+	}
+	return s
+}
+
+// Run executes a schedule and judges it against the barrier specification
+// under the tolerance the paper promises for its fault mix:
+//
+//   - detectable faults only (resets, crashes, message loss and detected
+//     corruption): masking — the specification must hold at every prefix
+//     of the computation, and progress must resume after the schedule
+//     ends;
+//   - any undetectable fault (scrambled state, or a spurious well-formed
+//     message, which the receiver cannot distinguish from a genuine one):
+//     stabilizing — after the schedule ends the program must reach a
+//     legitimate state from which the specification holds with fresh
+//     progress.
+//
+// For guarded-engine targets Run is a pure function of the schedule; call
+// it twice and the verdicts are identical.
+func Run(s Schedule) Verdict {
+	if s.Target == TargetRuntime {
+		return runRuntime(s)
+	}
+	return runEngine(s)
+}
+
+// runEngine executes a schedule on a guarded-engine target.
+func runEngine(s Schedule) Verdict {
+	v := Verdict{FailOpIndex: -1}
+	progRng := rand.New(rand.NewSource(s.Seed))
+	tgt, err := NewTarget(s.Target, s.NProcs, s.NPhases, progRng)
+	if err != nil {
+		v.Reason = fmt.Sprintf("invalid schedule: %v", err)
+		return v
+	}
+	// The scheduler's own choices are resolved by an independent stream so
+	// that shrinking fault ops does not perturb the program's draws.
+	schedRng := rand.New(rand.NewSource(s.Seed ^ int64(0x9e3779b97f4a7c15&^(1<<63))))
+
+	masking := !s.HasUndetectable()
+	checker := core.NewSpecChecker(s.NProcs, s.NPhases)
+	if masking {
+		tgt.SetSink(checker.Observe)
+	}
+	crash := faults.NewCrasher(s.NProcs)
+	tgt.SetGate(crash.Gate)
+
+	clampProc := func(j int) int {
+		j %= s.NProcs
+		if j < 0 {
+			j += s.NProcs
+		}
+		return j
+	}
+	// safeToCorrupt implements footnote 2's discipline: a detectable fault
+	// may not corrupt the last detectably clean process, because that is a
+	// whole-system fault and only stabilizing tolerance applies to it.
+	safeToCorrupt := func(j int) bool {
+		for k := 0; k < s.NProcs; k++ {
+			if k != j && !tgt.Corrupted(k) {
+				return true
+			}
+		}
+		return false
+	}
+	reset := func(j int) {
+		if masking && !safeToCorrupt(j) {
+			v.SkippedFaults++
+			return
+		}
+		tgt.InjectDetectable(j)
+	}
+
+	fail := func(i int, reason string) Verdict {
+		v.OK = false
+		v.Reason = reason
+		v.FailOpIndex = i
+		v.Violation = checker.Violation()
+		v.Barriers = checker.SuccessfulBarriers()
+		return v
+	}
+
+	for i, op := range s.Ops {
+		switch op.Kind {
+		case OpStep:
+			if tgt.Step(s.Sched, schedRng, int(op.Arg)) {
+				v.Steps++
+			}
+		case OpReset:
+			reset(clampProc(op.Proc))
+		case OpScramble:
+			tgt.InjectUndetectable(clampProc(op.Proc))
+		case OpCrash:
+			crash.Crash(clampProc(op.Proc))
+		case OpRestart:
+			j := clampProc(op.Proc)
+			if !crash.Up(j) {
+				crash.Restart(j)
+				// Section 7: a restarted process resumes with a reset, not
+				// its pre-crash, state — where the discipline allows the
+				// corruption. Otherwise the crash degrades to a pause
+				// (state preserved), which is also masking-safe.
+				reset(j)
+			}
+		case OpSpurious:
+			// Engines have no message channels; spurious reception is a
+			// runtime-target fault.
+		}
+		if masking && checker.Violation() != nil {
+			return fail(i, "spec violation during fault schedule")
+		}
+	}
+
+	// End of schedule: revive whatever is still crashed so progress is
+	// possible, then verify the tolerance's aftermath.
+	for j := 0; j < s.NProcs; j++ {
+		if !crash.Up(j) {
+			crash.Restart(j)
+			reset(j)
+		}
+	}
+
+	// The verification phases always run the probabilistically fair random
+	// scheduler: safety must hold under any interleaving (and is checked
+	// under the schedule's own, possibly adversarial, scheduler above),
+	// but the paper's progress and stabilization guarantees are promised
+	// only for fair computations.
+	if masking {
+		base := checker.SuccessfulBarriers()
+		for i := 0; i < tailBudget && checker.SuccessfulBarriers() < base+tailBarriers; i++ {
+			if !tgt.Step(SchedRandom, schedRng, 0) {
+				return fail(-1, "deadlock in verification tail")
+			}
+			v.Steps++
+			if checker.Violation() != nil {
+				return fail(-1, "spec violation in verification tail")
+			}
+		}
+		if checker.SuccessfulBarriers() < base+tailBarriers {
+			return fail(-1, "no progress after faults stopped")
+		}
+		v.OK = true
+		v.Barriers = checker.SuccessfulBarriers()
+		return v
+	}
+
+	// Stabilizing: run detached until a legitimate start state, then attach
+	// a fresh checker aligned to the stabilized phase and demand fresh
+	// correct barriers.
+	tgt.SetSink(nil)
+	stabilized := false
+	for i := 0; i < stabilizeBudget; i++ {
+		if tgt.InStartState() {
+			stabilized = true
+			break
+		}
+		if !tgt.Step(SchedRandom, schedRng, 0) {
+			return fail(-1, "deadlock before stabilization")
+		}
+		v.Steps++
+	}
+	if !stabilized {
+		return fail(-1, "did not stabilize to a start state")
+	}
+	v.Stabilized = true
+	checker = core.NewSpecCheckerAt(s.NProcs, s.NPhases, tgt.Phase(0))
+	tgt.SetSink(checker.Observe)
+	for i := 0; i < tailBudget && checker.SuccessfulBarriers() < tailBarriers; i++ {
+		if !tgt.Step(SchedRandom, schedRng, 0) {
+			return fail(-1, "deadlock after stabilization")
+		}
+		v.Steps++
+		if checker.Violation() != nil {
+			return fail(-1, "spec violation after stabilization")
+		}
+	}
+	if checker.SuccessfulBarriers() < tailBarriers {
+		return fail(-1, "no progress after stabilization")
+	}
+	v.OK = true
+	v.Barriers = checker.SuccessfulBarriers()
+	return v
+}

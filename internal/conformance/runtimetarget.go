@@ -1,0 +1,175 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+)
+
+// Runtime-target pacing and deadlines. The runtime barrier is real
+// goroutines exchanging real messages, so the harness shapes time rather
+// than steps: an OpStep is a slice of wall-clock during which the ring
+// runs freely, and the verification tail is a liveness deadline.
+const (
+	runtimeStepPacing   = 200 * time.Microsecond
+	runtimeResend       = 50 * time.Microsecond
+	runtimeTailDeadline = 20 * time.Second
+	// runtimeTraceCap bounds the recorded event trace used for the
+	// stabilization suffix check; the newest events win.
+	runtimeTraceCap = 1 << 16
+)
+
+// runtimeCollector records the serialized event stream: a bounded trace
+// (for suffix-stabilization analysis) plus an online checker (for masking
+// runs). The barrier serializes sink calls, but the final read happens on
+// the harness goroutine after Stop, so a mutex keeps the race detector —
+// and the memory model — satisfied.
+type runtimeCollector struct {
+	mu      sync.Mutex
+	checker *core.SpecChecker
+	trace   []core.Event
+}
+
+func (c *runtimeCollector) sink(e core.Event) {
+	c.mu.Lock()
+	c.checker.Observe(e)
+	if len(c.trace) == runtimeTraceCap {
+		// Drop the oldest half in one block; the stabilization check only
+		// needs a suffix, and block moves keep the sink O(1) amortized.
+		c.trace = append(c.trace[:0], c.trace[runtimeTraceCap/2:]...)
+	}
+	c.trace = append(c.trace, e)
+	c.mu.Unlock()
+}
+
+// runRuntime executes a schedule against the live goroutine barrier.
+//
+// Verdict semantics mirror runEngine: masking schedules (no scrambles)
+// must keep the specification clean for the whole run and deliver
+// tailBarriers fresh passes to every participant after faults stop;
+// stabilizing schedules must deliver the passes and exhibit a trace
+// suffix satisfying the specification (core.SuffixSatisfying — the
+// harness cannot peek at goroutine-private state to detect a start state,
+// so stabilization is judged from the observable trace alone).
+func runRuntime(s Schedule) Verdict {
+	v := Verdict{FailOpIndex: -1}
+	masking := !s.HasUndetectable()
+	col := &runtimeCollector{checker: core.NewSpecChecker(s.NProcs, s.NPhases)}
+	b, err := runtime.New(runtime.Config{
+		Participants: s.NProcs,
+		NPhases:      s.NPhases,
+		Resend:       runtimeResend,
+		LossRate:     s.Loss,
+		CorruptRate:  s.Corrupt,
+		Seed:         s.Seed,
+		EventSink:    col.sink,
+	})
+	if err != nil {
+		v.Reason = "invalid schedule: " + err.Error()
+		return v
+	}
+	defer b.Stop()
+
+	// Participants loop Await, redoing reset phases, until cancelled.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	passes := make([]atomic.Int64, s.NProcs)
+	var wg sync.WaitGroup
+	for id := 0; id < s.NProcs; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, err := b.Await(ctx, id)
+				switch {
+				case err == nil:
+					passes[id].Add(1)
+				case errors.Is(err, runtime.ErrReset):
+					// Phase work lost: redo.
+				default:
+					return
+				}
+			}
+		}()
+	}
+
+	clampProc := func(j int) int {
+		j %= s.NProcs
+		if j < 0 {
+			j += s.NProcs
+		}
+		return j
+	}
+	for _, op := range s.Ops {
+		switch op.Kind {
+		case OpStep:
+			time.Sleep(runtimeStepPacing)
+		case OpReset:
+			b.Reset(clampProc(op.Proc))
+		case OpScramble:
+			b.Scramble(clampProc(op.Proc), op.Arg)
+		case OpSpurious:
+			b.InjectSpurious(clampProc(op.Proc), op.Arg)
+		case OpCrash, OpRestart:
+			// The runtime has no crash gate (Halt is terminal fail-safe,
+			// which no liveness-checked schedule may contain).
+		}
+	}
+
+	// Verification tail: every participant must gain tailBarriers fresh
+	// passes now that faults have stopped.
+	base := make([]int64, s.NProcs)
+	for id := range base {
+		base[id] = passes[id].Load()
+	}
+	deadline := time.Now().Add(runtimeTailDeadline)
+	for {
+		done := true
+		for id := range base {
+			if passes[id].Load() < base[id]+tailBarriers {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			v.Reason = "no progress after faults stopped"
+			if masking {
+				v.Violation = func() error { col.mu.Lock(); defer col.mu.Unlock(); return col.checker.Violation() }()
+			}
+			return v
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	b.Stop()
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	v.Barriers = col.checker.SuccessfulBarriers()
+	if masking {
+		if err := col.checker.Violation(); err != nil {
+			v.Reason = "spec violation under detectable faults"
+			v.Violation = err
+			return v
+		}
+		v.OK = true
+		return v
+	}
+	if _, ok := core.SuffixSatisfying(col.trace, s.NProcs, s.NPhases, tailBarriers); !ok {
+		v.Reason = "no stabilizing trace suffix"
+		return v
+	}
+	v.Stabilized = true
+	v.OK = true
+	return v
+}

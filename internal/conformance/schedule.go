@@ -1,0 +1,504 @@
+// Package conformance is a randomized fault-schedule fuzzer for every
+// refinement of the barrier-synchronization specification in this
+// repository: programs CB, RB, TB (ring-reading tree), DT (double tree)
+// and MB on the guarded-command engine, and the goroutine runtime barrier.
+//
+// The harness closes the gap between the paper's refinement chain and the
+// per-package tests: each program is only as trustworthy as the fault
+// schedules it has been exercised under, and hand-picked schedules miss
+// exactly the interleavings where refinement bugs hide. Here a schedule —
+// scheduler steps interleaved with detectable resets, undetectable
+// scrambles, crash/restart gates and (for the runtime) spurious messages —
+// is an explicit, serializable value:
+//
+//   - Generate derives a schedule deterministically from a seed;
+//   - FromBytes derives one from fuzzer-provided bytes (go test -fuzz);
+//   - Run executes a schedule against its target and returns a Verdict,
+//     judged by the shared core.SpecChecker under the tolerance the paper
+//     promises for the schedule's fault mix (masking for detectable-only,
+//     stabilizing once undetectable faults appear);
+//   - Shrink reduces a failing schedule to a minimal counterexample;
+//   - Schedule.String / Parse round-trip a schedule through a compact
+//     text form, so any failure is replayed bit-for-bit from one line.
+//
+// Determinism contract: for the guarded-engine targets, Run is a pure
+// function of the Schedule value — the program's internal randomness and
+// the scheduler's choices are both derived from Schedule.Seed. The
+// runtime target executes real goroutines against wall-clock pacing, so
+// its schedule derivation is deterministic while its interleavings are
+// not; its verdict therefore uses liveness deadlines and trace-suffix
+// stabilization checks rather than step-exact replay.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// OpKind enumerates the operations a fault schedule is made of.
+type OpKind uint8
+
+const (
+	// OpStep executes one scheduler step. Arg selects the action when the
+	// schedule uses the adversarial SchedPick scheduler; the other
+	// schedulers ignore it. The runtime target interprets a step as a
+	// pacing delay (real time during which the ring runs freely).
+	OpStep OpKind = iota
+	// OpReset injects a detectable fault (the paper's ph,cp := ?,error) at
+	// process Proc.
+	OpReset
+	// OpScramble injects an undetectable fault (all protocol variables :=
+	// arbitrary domain values) at process Proc. Arg seeds the runtime
+	// barrier's scramble; engines draw from the program rng.
+	OpScramble
+	// OpCrash takes process Proc's crash gate down (the paper's auxiliary
+	// variable up := false): the process executes no actions. Engine
+	// targets only.
+	OpCrash
+	// OpRestart brings process Proc back up. Per Section 7, a restarted
+	// process resumes with a reset state, so the runner applies a
+	// detectable fault alongside wherever the not-all-corrupted discipline
+	// allows it.
+	OpRestart
+	// OpSpurious delivers an arbitrary well-formed protocol message to
+	// process Proc ("unexpected message reception"). Runtime target only;
+	// Arg seeds the message content. A well-formed forgery passes the
+	// receiver's integrity check, so this is an undetectable fault: fuzzing
+	// showed a single spurious message can propagate a forged state through
+	// the ring and transiently complete a barrier at the wrong phase before
+	// the genuine retransmission overrides it.
+	OpSpurious
+
+	numOpKinds
+)
+
+var opLetters = [numOpKinds]byte{'s', 'r', 'u', 'c', 'R', 'p'}
+
+// Op is one operation of a fault schedule.
+type Op struct {
+	Kind OpKind
+	Proc int
+	Arg  int64
+}
+
+// SchedKind selects how OpStep is executed on the guarded engine.
+type SchedKind uint8
+
+const (
+	// SchedRandom executes a uniformly random enabled action.
+	SchedRandom SchedKind = iota
+	// SchedRoundRobin executes the deterministic weakly fair interleaving.
+	SchedRoundRobin
+	// SchedMaxParallel executes one maximal-parallel round.
+	SchedMaxParallel
+	// SchedPick executes the (Arg mod enabled)-th enabled action — the
+	// fully adversarial scheduler, driven by the schedule itself.
+	SchedPick
+
+	numSchedKinds
+)
+
+var schedNames = [numSchedKinds]string{"random", "roundrobin", "maxparallel", "pick"}
+
+func (k SchedKind) String() string {
+	if int(k) < len(schedNames) {
+		return schedNames[k]
+	}
+	return fmt.Sprintf("sched(%d)", uint8(k))
+}
+
+// ParseSchedKind is the inverse of SchedKind.String.
+func ParseSchedKind(s string) (SchedKind, error) {
+	for i, name := range schedNames {
+		if s == name {
+			return SchedKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("conformance: unknown scheduler %q", s)
+}
+
+// Schedule is a complete, replayable conformance run: a target, its
+// configuration, a seed resolving all residual randomness, and the
+// operation sequence.
+type Schedule struct {
+	Target  string
+	NProcs  int
+	NPhases int
+	Seed    int64
+	Sched   SchedKind
+
+	// Loss and Corrupt are per-message fault rates, used by the runtime
+	// target only (the engines model message faults as state faults).
+	Loss    float64
+	Corrupt float64
+
+	Ops []Op
+}
+
+// HasUndetectable reports whether the schedule contains undetectable
+// faults, which lowers the promised tolerance from masking to stabilizing
+// (Table 1). Scrambled state is undetectable by definition; a spurious
+// message counts too, because a well-formed forgery is indistinguishable
+// from a genuine announcement at the receiver.
+func (s *Schedule) HasUndetectable() bool {
+	for _, op := range s.Ops {
+		if op.Kind == OpScramble || op.Kind == OpSpurious {
+			return true
+		}
+	}
+	return false
+}
+
+// CountKind returns the number of ops of the given kind.
+func (s *Schedule) CountKind(k OpKind) int {
+	c := 0
+	for _, op := range s.Ops {
+		if op.Kind == k {
+			c++
+		}
+	}
+	return c
+}
+
+// String renders the schedule in the compact replayable form accepted by
+// Parse and by `conformance -replay`, e.g.
+//
+//	rb:n=4:ph=3:seed=17:sched=random:ops=12s,r2,3s,u1,c0,2s,R0,5s
+//
+// Runs of plain steps compress to `<count>s`; a step with a pick argument
+// renders as `s:<arg>`; fault ops render as `<letter><proc>` with an
+// optional `:<arg>`.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:n=%d:ph=%d:seed=%d:sched=%s", s.Target, s.NProcs, s.NPhases, s.Seed, s.Sched)
+	if s.Loss != 0 {
+		fmt.Fprintf(&b, ":loss=%g", s.Loss)
+	}
+	if s.Corrupt != 0 {
+		fmt.Fprintf(&b, ":corrupt=%g", s.Corrupt)
+	}
+	b.WriteString(":ops=")
+	for i := 0; i < len(s.Ops); {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		op := s.Ops[i]
+		if op.Kind == OpStep && op.Arg == 0 {
+			runLen := 1
+			for i+runLen < len(s.Ops) && s.Ops[i+runLen].Kind == OpStep && s.Ops[i+runLen].Arg == 0 {
+				runLen++
+			}
+			if runLen > 1 {
+				fmt.Fprintf(&b, "%ds", runLen)
+			} else {
+				b.WriteByte('s')
+			}
+			i += runLen
+			continue
+		}
+		if op.Kind == OpStep {
+			fmt.Fprintf(&b, "s:%d", op.Arg)
+		} else {
+			fmt.Fprintf(&b, "%c%d", opLetters[op.Kind], op.Proc)
+			if op.Arg != 0 {
+				fmt.Fprintf(&b, ":%d", op.Arg)
+			}
+		}
+		i++
+	}
+	return b.String()
+}
+
+// Parse is the inverse of Schedule.String.
+func Parse(text string) (Schedule, error) {
+	var s Schedule
+	fields := strings.Split(strings.TrimSpace(text), ":")
+	if len(fields) < 2 {
+		return s, fmt.Errorf("conformance: malformed schedule %q", text)
+	}
+	s.Target = fields[0]
+	// The ops field may itself contain ':' (pick/seed args), so rejoin
+	// everything after "ops=".
+	rest := fields[1:]
+	for i := 0; i < len(rest); i++ {
+		f := rest[i]
+		if opsText, found := strings.CutPrefix(f, "ops="); found {
+			opsText = strings.Join(append([]string{opsText}, rest[i+1:]...), ":")
+			ops, err := parseOps(opsText)
+			if err != nil {
+				return s, err
+			}
+			s.Ops = ops
+			break
+		}
+		key, val, found := strings.Cut(f, "=")
+		if !found {
+			return s, fmt.Errorf("conformance: malformed field %q", f)
+		}
+		var err error
+		switch key {
+		case "n":
+			s.NProcs, err = strconv.Atoi(val)
+		case "ph":
+			s.NPhases, err = strconv.Atoi(val)
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "sched":
+			s.Sched, err = ParseSchedKind(val)
+		case "loss":
+			s.Loss, err = strconv.ParseFloat(val, 64)
+		case "corrupt":
+			s.Corrupt, err = strconv.ParseFloat(val, 64)
+		default:
+			err = fmt.Errorf("conformance: unknown field %q", key)
+		}
+		if err != nil {
+			return s, err
+		}
+	}
+	if s.NProcs < 2 || s.NPhases < 2 {
+		return s, fmt.Errorf("conformance: schedule needs n ≥ 2 and ph ≥ 2, got n=%d ph=%d", s.NProcs, s.NPhases)
+	}
+	return s, nil
+}
+
+func parseOps(text string) ([]Op, error) {
+	if text == "" {
+		return nil, nil
+	}
+	var ops []Op
+	for _, tok := range strings.Split(text, ",") {
+		if tok == "" {
+			return nil, fmt.Errorf("conformance: empty op token")
+		}
+		// `<count>s`: a run of plain steps.
+		if tok[len(tok)-1] == 's' {
+			count := 1
+			if len(tok) > 1 {
+				c, err := strconv.Atoi(tok[:len(tok)-1])
+				if err != nil {
+					return nil, fmt.Errorf("conformance: bad step run %q", tok)
+				}
+				count = c
+			}
+			for i := 0; i < count; i++ {
+				ops = append(ops, Op{Kind: OpStep})
+			}
+			continue
+		}
+		body, argText, hasArg := strings.Cut(tok, ":")
+		if body == "" {
+			return nil, fmt.Errorf("conformance: empty op body in %q", tok)
+		}
+		var arg int64
+		if hasArg {
+			a, err := strconv.ParseInt(argText, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("conformance: bad op arg %q", tok)
+			}
+			arg = a
+		}
+		if body == "s" {
+			ops = append(ops, Op{Kind: OpStep, Arg: arg})
+			continue
+		}
+		kind := OpKind(numOpKinds)
+		for k, letter := range opLetters {
+			if body[0] == letter {
+				kind = OpKind(k)
+				break
+			}
+		}
+		if kind == numOpKinds {
+			return nil, fmt.Errorf("conformance: unknown op %q", tok)
+		}
+		proc, err := strconv.Atoi(body[1:])
+		if err != nil {
+			return nil, fmt.Errorf("conformance: bad op process %q", tok)
+		}
+		ops = append(ops, Op{Kind: kind, Proc: proc, Arg: arg})
+	}
+	return ops, nil
+}
+
+// GenConfig parameterizes schedule generation.
+type GenConfig struct {
+	Target  string
+	NProcs  int
+	NPhases int
+	Sched   SchedKind
+
+	// Ops is the approximate schedule length (steps plus faults).
+	Ops int
+	// FaultRate is the per-op probability of injecting a fault instead of
+	// stepping.
+	FaultRate float64
+	// Scrambles permits undetectable faults (lowering the checked
+	// tolerance from masking to stabilizing).
+	Scrambles bool
+	// Crashes permits crash/restart gate faults (engine targets).
+	Crashes bool
+	// Spurious permits spurious-message injection (runtime target).
+	Spurious bool
+	// Loss and Corrupt set the runtime target's per-message fault rates.
+	Loss    float64
+	Corrupt float64
+}
+
+// Generate derives a schedule deterministically from the seed: the same
+// (cfg, seed) pair always yields the identical schedule, and running it
+// yields the identical verdict on the engine targets.
+func Generate(cfg GenConfig, seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{
+		Target:  cfg.Target,
+		NProcs:  cfg.NProcs,
+		NPhases: cfg.NPhases,
+		Seed:    seed,
+		Sched:   cfg.Sched,
+		Loss:    cfg.Loss,
+		Corrupt: cfg.Corrupt,
+	}
+	crashed := make([]bool, cfg.NProcs)
+	nCrashed := 0
+	runtimeTarget := cfg.Target == TargetRuntime
+	for len(s.Ops) < cfg.Ops {
+		if rng.Float64() >= cfg.FaultRate {
+			op := Op{Kind: OpStep}
+			if cfg.Sched == SchedPick {
+				op.Arg = int64(rng.Intn(1 << 16))
+			}
+			s.Ops = append(s.Ops, op)
+			continue
+		}
+		j := rng.Intn(cfg.NProcs)
+		roll := rng.Intn(100)
+		switch {
+		case cfg.Crashes && !runtimeTarget && roll < 15:
+			if crashed[j] {
+				s.Ops = append(s.Ops, Op{Kind: OpRestart, Proc: j})
+				crashed[j] = false
+				nCrashed--
+			} else if nCrashed < cfg.NProcs-1 {
+				// Keep one process up so recovery always has a driver.
+				s.Ops = append(s.Ops, Op{Kind: OpCrash, Proc: j})
+				crashed[j] = true
+				nCrashed++
+			}
+		case cfg.Scrambles && roll < 30:
+			s.Ops = append(s.Ops, Op{Kind: OpScramble, Proc: j, Arg: rng.Int63()})
+		case cfg.Spurious && runtimeTarget && roll < 55:
+			s.Ops = append(s.Ops, Op{Kind: OpSpurious, Proc: j, Arg: rng.Int63()})
+		default:
+			s.Ops = append(s.Ops, Op{Kind: OpReset, Proc: j})
+			if runtimeTarget {
+				// Pace resets on the live ring: give the protocol real time
+				// to re-integrate the reset process, so that bursts cannot
+				// detectably corrupt every process at once (which the paper
+				// reclassifies as a whole-system undetectable fault).
+				s.Ops = append(s.Ops, Op{Kind: OpStep}, Op{Kind: OpStep})
+			}
+		}
+	}
+	// Restart everything the schedule left crashed: the verification tail
+	// requires the program to be able to make progress.
+	for j, down := range crashed {
+		if down {
+			s.Ops = append(s.Ops, Op{Kind: OpRestart, Proc: j})
+		}
+	}
+	return s
+}
+
+// maxFuzzOps bounds byte-derived schedules so a single fuzz case stays
+// fast; the soak CLI is the tool for long schedules.
+const maxFuzzOps = 256
+
+// maxRuntimeFuzzOps bounds runtime schedules harder: every step is real
+// wall-clock pacing.
+const maxRuntimeFuzzOps = 96
+
+// FromBytes derives a schedule from fuzzer-provided bytes. The mapping is
+// total (any byte string yields a valid schedule) and deterministic, so
+// the fuzzer's corpus is a corpus of schedules. The target's structural
+// parameters are also drawn from the data, widening the searched space to
+// ring sizes and phase moduli.
+func FromBytes(target string, seed int64, data []byte) Schedule {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	runtimeTarget := target == TargetRuntime
+	s := Schedule{
+		Target:  target,
+		NProcs:  2 + int(next())%4, // 2..5
+		NPhases: 2 + int(next())%3, // 2..4
+		Seed:    seed,
+	}
+	maxOps := maxFuzzOps
+	if runtimeTarget {
+		maxOps = maxRuntimeFuzzOps
+		s.NProcs = 3 + int(next())%3 // 3..5
+		// Small per-message fault rates keep each case inside the fuzz
+		// time budget while still exercising the loss/corruption paths.
+		s.Loss = float64(next()%16) / 100
+		s.Corrupt = float64(next()%16) / 100
+	} else {
+		s.Sched = SchedKind(next()) % numSchedKinds
+	}
+	sinceFault := 2
+	for len(data) > 0 && len(s.Ops) < maxOps {
+		b := next()
+		if b < 0xB0 || sinceFault < 2 {
+			s.Ops = append(s.Ops, Op{Kind: OpStep, Arg: int64(b)})
+			sinceFault++
+			continue
+		}
+		j := int(next()) % s.NProcs
+		arg := int64(next())
+		switch b % 5 {
+		case 0, 1:
+			s.Ops = append(s.Ops, Op{Kind: OpReset, Proc: j})
+		case 2:
+			s.Ops = append(s.Ops, Op{Kind: OpScramble, Proc: j, Arg: arg})
+		case 3:
+			if runtimeTarget {
+				s.Ops = append(s.Ops, Op{Kind: OpSpurious, Proc: j, Arg: arg})
+			} else {
+				s.Ops = append(s.Ops, Op{Kind: OpCrash, Proc: j})
+			}
+		case 4:
+			if runtimeTarget {
+				s.Ops = append(s.Ops, Op{Kind: OpReset, Proc: j})
+			} else {
+				s.Ops = append(s.Ops, Op{Kind: OpRestart, Proc: j})
+			}
+		}
+		sinceFault = 0
+	}
+	if !runtimeTarget {
+		// Balance the crash gates (the runner restarts leftovers too, but a
+		// balanced schedule shrinks better).
+		down := map[int]bool{}
+		for _, op := range s.Ops {
+			switch op.Kind {
+			case OpCrash:
+				down[op.Proc] = true
+			case OpRestart:
+				delete(down, op.Proc)
+			}
+		}
+		for j := 0; j < s.NProcs; j++ {
+			if down[j] {
+				s.Ops = append(s.Ops, Op{Kind: OpRestart, Proc: j})
+			}
+		}
+	}
+	return s
+}

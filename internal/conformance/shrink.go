@@ -1,0 +1,48 @@
+package conformance
+
+// Shrink reduces a failing schedule to a (locally) minimal counterexample:
+// no single remaining op can be removed without the failure disappearing.
+// fails must report whether a candidate schedule still fails; for
+// guarded-engine targets Run is deterministic, so the obvious
+//
+//	func(c Schedule) bool { return !Run(c).OK }
+//
+// predicate makes shrinking itself fully deterministic.
+//
+// The strategy is ddmin-style greedy chunk deletion: try removing blocks
+// of ops, halving the block size down to 1, restarting from the largest
+// size whenever a removal sticks. shrinkBudget caps the total predicate
+// evaluations so adversarial inputs cannot stall a fuzz run.
+func Shrink(s Schedule, fails func(Schedule) bool) Schedule {
+	const shrinkBudget = 2000
+	evals := 0
+	try := func(c Schedule) bool {
+		if evals >= shrinkBudget {
+			return false
+		}
+		evals++
+		return fails(c)
+	}
+
+	best := s
+	improved := true
+	for improved && evals < shrinkBudget {
+		improved = false
+		for chunk := len(best.Ops) / 2; chunk >= 1; chunk /= 2 {
+			for start := 0; start+chunk <= len(best.Ops); {
+				c := best
+				c.Ops = make([]Op, 0, len(best.Ops)-chunk)
+				c.Ops = append(c.Ops, best.Ops[:start]...)
+				c.Ops = append(c.Ops, best.Ops[start+chunk:]...)
+				if try(c) {
+					best = c
+					improved = true
+					// Same start now addresses the next ops; don't advance.
+				} else {
+					start++
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,176 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cb"
+	"repro/internal/core"
+	"repro/internal/dtree"
+	"repro/internal/guarded"
+	"repro/internal/mb"
+	"repro/internal/rb"
+	"repro/internal/rbtree"
+)
+
+// TargetRuntime names the goroutine runtime-barrier target, which runs
+// live goroutines rather than the guarded engine (see runtimetarget.go).
+const TargetRuntime = "runtime"
+
+// Target is the conformance harness's view of a guarded-engine barrier
+// program: every refinement exposes this identical surface, which is
+// itself a small conformance statement — a program that cannot be wired
+// in here cannot be checked against the others.
+type Target interface {
+	N() int
+	NumPhases() int
+	// Step executes one scheduler step; pick selects the action under
+	// SchedPick. It reports whether any action was enabled.
+	Step(kind SchedKind, rng *rand.Rand, pick int) bool
+	InjectDetectable(j int)
+	InjectUndetectable(j int)
+	// Corrupted reports whether process j is in a detectably corrupted
+	// state, for the not-all-corrupted injection discipline (footnote 2 of
+	// the paper: a detectable fault that corrupts the last clean process
+	// is reclassified as a whole-system undetectable fault).
+	Corrupted(j int) bool
+	// InStartState reports whether the program reached a legitimate start
+	// state, the stabilization criterion after undetectable faults.
+	InStartState() bool
+	Phase(j int) int
+	SetSink(core.EventSink)
+	// SetGate installs the crash gate (the paper's auxiliary variable up).
+	SetGate(up func(j int) bool)
+	fmt.Stringer
+}
+
+// engineProgram is the method set shared by the five guarded-engine
+// refinements (cb, rb, rbtree, dtree, mb).
+type engineProgram interface {
+	Guarded() *guarded.Program
+	N() int
+	NumPhases() int
+	Phase(j int) int
+	InjectDetectable(j int)
+	InjectUndetectable(j int)
+	Corrupted(j int) bool
+	InStartState() bool
+	SetSink(core.EventSink)
+	fmt.Stringer
+}
+
+// engineTarget adapts an engineProgram to the Target interface.
+type engineTarget struct {
+	engineProgram
+	g *guarded.Program
+}
+
+func newEngineTarget(p engineProgram) Target {
+	return &engineTarget{engineProgram: p, g: p.Guarded()}
+}
+
+func (t *engineTarget) Step(kind SchedKind, rng *rand.Rand, pick int) bool {
+	switch kind {
+	case SchedRoundRobin:
+		_, ok := t.g.StepRoundRobin()
+		return ok
+	case SchedMaxParallel:
+		return t.g.StepMaxParallel(rng) > 0
+	case SchedPick:
+		_, ok := t.g.StepEnabled(pick)
+		return ok
+	default:
+		_, ok := t.g.StepRandom(rng)
+		return ok
+	}
+}
+
+func (t *engineTarget) SetGate(up func(j int) bool) {
+	if up == nil {
+		t.g.SetProcessGate(nil)
+		return
+	}
+	t.g.SetProcessGate(up)
+}
+
+// Builder constructs a target instance. All randomness the program needs
+// (its internal nondeterministic choices and its fault-value draws) must
+// come from rng, so that a schedule replays deterministically.
+type Builder func(nProcs, nPhases int, rng *rand.Rand) (Target, error)
+
+var builders = map[string]Builder{}
+
+// Register adds a named target. The built-in refinements register
+// themselves in init; tests register deliberately broken targets to prove
+// the harness catches and shrinks real violations.
+func Register(name string, b Builder) { builders[name] = b }
+
+// Targets returns the registered guarded-engine target names, sorted,
+// with the runtime target appended last.
+func Targets() []string {
+	names := make([]string, 0, len(builders)+1)
+	for name := range builders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return append(names, TargetRuntime)
+}
+
+// NewTarget builds the named target with its randomness rooted at rng.
+func NewTarget(name string, nProcs, nPhases int, rng *rand.Rand) (Target, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("conformance: unknown target %q (have %v)", name, Targets())
+	}
+	return b(nProcs, nPhases, rng)
+}
+
+// binaryTreeParents returns the heap-shaped parent vector used for the
+// tree targets: parent[0] = -1, parent[j] = (j-1)/2.
+func binaryTreeParents(n int) []int {
+	parent := make([]int, n)
+	parent[0] = -1
+	for j := 1; j < n; j++ {
+		parent[j] = (j - 1) / 2
+	}
+	return parent
+}
+
+func init() {
+	Register("cb", func(n, nPhases int, rng *rand.Rand) (Target, error) {
+		p, err := cb.New(n, nPhases, rng, nil)
+		if err != nil {
+			return nil, err
+		}
+		return newEngineTarget(p), nil
+	})
+	Register("rb", func(n, nPhases int, rng *rand.Rand) (Target, error) {
+		p, err := rb.New(n, nPhases, n+1, rng, nil)
+		if err != nil {
+			return nil, err
+		}
+		return newEngineTarget(p), nil
+	})
+	Register("tb", func(n, nPhases int, rng *rand.Rand) (Target, error) {
+		p, err := rbtree.New(binaryTreeParents(n), nPhases, n+1, rng, nil)
+		if err != nil {
+			return nil, err
+		}
+		return newEngineTarget(p), nil
+	})
+	Register("dt", func(n, nPhases int, rng *rand.Rand) (Target, error) {
+		p, err := dtree.New(binaryTreeParents(n), nPhases, n+1, rng, nil)
+		if err != nil {
+			return nil, err
+		}
+		return newEngineTarget(p), nil
+	})
+	Register("mb", func(n, nPhases int, rng *rand.Rand) (Target, error) {
+		p, err := mb.New(n, nPhases, 2*n+2, rng, nil)
+		if err != nil {
+			return nil, err
+		}
+		return newEngineTarget(p), nil
+	})
+}

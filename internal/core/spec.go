@@ -87,8 +87,9 @@ type SpecChecker struct {
 	lastPhase   int
 	lastSuccess bool
 
-	successes int // number of successful instances observed
-	instances int // total instances observed (successful or not)
+	successes     int   // number of successful instances observed
+	instances     int   // total instances observed (successful or not)
+	successPhases []int // phases of the successful instances, in order
 
 	violation *SpecViolation
 }
@@ -138,6 +139,15 @@ func (s *SpecChecker) SuccessfulBarriers() int { return s.successes }
 // Instances returns the total number of phase instances begun.
 func (s *SpecChecker) Instances() int { return s.instances }
 
+// SuccessPhaseHistory returns the phases of the successful instances, in
+// the order the barriers were passed. Because the specification admits
+// exactly one observable behavior modulo fault-induced repeats — the
+// cyclic phase sequence — this history is the canonical trace against
+// which the refinements (CB, RB, TB, DT, MB, runtime) are compared for
+// trace equivalence. The returned slice is shared; callers must not
+// modify it.
+func (s *SpecChecker) SuccessPhaseHistory() []int { return s.successPhases }
+
 // CurrentPhase returns the phase of the instance currently open (or most
 // recently open) and whether any instance has begun at all.
 func (s *SpecChecker) CurrentPhase() (phase int, begun bool) {
@@ -179,6 +189,7 @@ func (s *SpecChecker) closeInstance() {
 	s.lastSuccess = s.nComplete == s.n && !s.failed
 	if s.lastSuccess {
 		s.successes++
+		s.successPhases = append(s.successPhases, s.phase)
 	}
 	s.open = false
 }

@@ -1,0 +1,53 @@
+package core
+
+// This file implements the trace-level formulation of stabilizing
+// tolerance (Section 2): a computation with undetectable faults satisfies
+// the specification *eventually*, i.e. some suffix of its trace is a legal
+// barrier computation. Harnesses that attach to a running system after
+// faults (the conformance fuzzer, the runtime barrier's chaos tests) use
+// SuffixSatisfying to decide the verdict without knowing the phase the
+// system stabilized at: every possible re-alignment is tried mechanically.
+
+// SuffixSatisfying reports whether some suffix of the trace, starting at a
+// Begin event, satisfies the barrier specification with at least
+// minSuccesses successful instances and no violation. It returns the index
+// of the earliest such suffix start, or -1.
+//
+// The search is quadratic in the trace length in the worst case, but each
+// candidate is abandoned at its first violation, so for traces that do
+// stabilize the cost is dominated by the one full replay of the stabilized
+// suffix.
+func SuffixSatisfying(trace []Event, n, nPhases, minSuccesses int) (start int, ok bool) {
+	for i, e := range trace {
+		if e.Kind != EvBegin || !ValidPhase(e.Phase, nPhases) {
+			continue
+		}
+		checker := NewSpecCheckerAt(n, nPhases, e.Phase)
+		good := true
+		for _, ev := range trace[i:] {
+			checker.Observe(ev)
+			if checker.Violation() != nil {
+				good = false
+				break
+			}
+		}
+		if good && checker.SuccessfulBarriers() >= minSuccesses {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// SuccessPhases replays a trace from the initial condition (first instance
+// of phase 0) and returns the phases of the successful instances together
+// with any specification violation. It is the cross-program trace
+// equivalence probe: two refinements of the barrier specification are
+// observably equivalent iff, run fault-free from the initial state, they
+// produce the same success-phase history.
+func SuccessPhases(trace []Event, n, nPhases int) ([]int, error) {
+	checker := NewSpecChecker(n, nPhases)
+	for _, e := range trace {
+		checker.Observe(e)
+	}
+	return checker.SuccessPhaseHistory(), checker.Violation()
+}

@@ -413,6 +413,9 @@ func (p *Program) emitOutcome(j int, out core.Outcome, oldPhase, newPhase int) {
 // InjectDetectable applies the detectable fault action to process j: its
 // state and its subtree summary are reset.
 func (p *Program) InjectDetectable(j int) {
+	if j < 0 || j >= p.n {
+		return
+	}
 	if p.cp[j] != core.Error {
 		p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: p.ph[j]})
 	}
@@ -426,6 +429,9 @@ func (p *Program) InjectDetectable(j int) {
 
 // InjectUndetectable applies the undetectable fault action to process j.
 func (p *Program) InjectUndetectable(j int) {
+	if j < 0 || j >= p.n {
+		return
+	}
 	randomSN := func() SN {
 		v := p.rng.Intn(p.k + 2)
 		switch v {

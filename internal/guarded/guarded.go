@@ -196,6 +196,34 @@ func (p *Program) StepMaxParallel(rng *rand.Rand) int {
 	return len(p.commits)
 }
 
+// StepEnabled executes the (k mod count)-th currently enabled action, in
+// insertion order, where count is the number of enabled actions. It is the
+// adversarial-scheduling hook used by the conformance fuzzer: an external
+// choice sequence (e.g. fuzzer-provided bytes) selects exactly which
+// enabled action fires, reaching interleavings that the uniform and
+// round-robin schedulers sample only with low probability. It reports
+// whether any action was enabled, and the name of the executed action.
+func (p *Program) StepEnabled(k int) (name string, ok bool) {
+	p.enabledIdx = p.enabledIdx[:0]
+	for i := range p.actions {
+		if p.enabled(i) {
+			p.enabledIdx = append(p.enabledIdx, i)
+		}
+	}
+	if len(p.enabledIdx) == 0 {
+		return "", false
+	}
+	k %= len(p.enabledIdx)
+	if k < 0 {
+		k += len(p.enabledIdx)
+	}
+	i := p.enabledIdx[k]
+	if commit := p.actions[i].Body(); commit != nil {
+		commit()
+	}
+	return p.actions[i].Name, true
+}
+
 // RunResult summarizes a scheduler run.
 type RunResult struct {
 	Steps     int  // scheduler steps taken (interleaving: actions; maximal parallel: rounds)

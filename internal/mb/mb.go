@@ -279,6 +279,9 @@ func (p *Program) randomSN() SN {
 // of sn.(j−1) and sn.(j+1) become ⊥, its copy of cp.(j−1) becomes error,
 // and its copy of ph.(j−1) becomes arbitrary.
 func (p *Program) InjectDetectable(j int) {
+	if j < 0 || j >= p.n {
+		return
+	}
 	if p.cp[j] != core.Error {
 		p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: p.ph[j]})
 	}
@@ -295,6 +298,9 @@ func (p *Program) InjectDetectable(j int) {
 // all variables of j, including the local copies, are set to arbitrary
 // values from their domains.
 func (p *Program) InjectUndetectable(j int) {
+	if j < 0 || j >= p.n {
+		return
+	}
 	p.ph[j] = p.rng.Intn(p.nPhases)
 	p.cp[j] = core.CP(p.rng.Intn(core.NumCP))
 	p.sn[j] = p.randomSN()

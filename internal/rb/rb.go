@@ -147,6 +147,9 @@ func (p *Program) emitOutcome(j int, out core.Outcome, oldPhase, newPhase int) {
 // InjectDetectable applies the detectable fault action to process j:
 // ph.j, cp.j, sn.j := ?, error, ⊥.
 func (p *Program) InjectDetectable(j int) {
+	if j < 0 || j >= p.n {
+		return
+	}
 	if p.cp[j] != core.Error { // a second hit on an already-reset process aborts nothing new
 		p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: p.ph[j]})
 	}
@@ -158,6 +161,9 @@ func (p *Program) InjectDetectable(j int) {
 // InjectUndetectable applies the undetectable fault action to process j:
 // ph.j, cp.j, sn.j := ?, ?, ? with values drawn uniformly from the domains.
 func (p *Program) InjectUndetectable(j int) {
+	if j < 0 || j >= p.n {
+		return
+	}
 	p.ph[j] = p.rng.Intn(p.nPhases)
 	p.cp[j] = core.CP(p.rng.Intn(core.NumCP))
 	p.ring.SetSN(j, p.ring.RandomSN(p.rng))

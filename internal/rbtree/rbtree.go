@@ -167,13 +167,30 @@ func (p *Program) workReady(j int) bool { return p.gate == nil || p.gate(j) }
 
 // combinedLeafState merges the leaves into the single "process N" view the
 // leader update expects: if the leaves agree on (cp, ph) that is the view;
-// any disagreement reads as repeat (forcing a re-execution), with the phase
-// taken from the first leaf.
+// any disagreement reads as repeat (forcing a re-execution).
+//
+// The re-execution phase is taken from the first detectably clean leaf, not
+// blindly from the first leaf: the root's recovery branch of R1.0 reads the
+// leaves before the token has healed them, and a corrupted leaf (sn = ⊥,
+// cp = error) holds an arbitrary phase — adopting it would turn a local
+// detectable fault into a global phase skip, violating masking tolerance.
+// If no leaf is clean the corruption is whole-system and only stabilizing
+// tolerance applies, so any phase serves.
 func (p *Program) combinedLeafState() (core.CP, int) {
-	cpN := p.cp[p.leaves[0]]
-	phN := p.ph[p.leaves[0]]
-	for _, l := range p.leaves[1:] {
-		if p.cp[l] != cpN || p.ph[l] != phN {
+	first := -1
+	for _, l := range p.leaves {
+		if p.sn[l].Ordinary() && p.cp[l] != core.Error {
+			first = l
+			break
+		}
+	}
+	if first == -1 {
+		return core.Repeat, p.ph[p.leaves[0]]
+	}
+	cpN := p.cp[first]
+	phN := p.ph[first]
+	for _, l := range p.leaves {
+		if l != first && (p.cp[l] != cpN || p.ph[l] != phN) {
 			return core.Repeat, phN
 		}
 	}
@@ -323,6 +340,9 @@ func (p *Program) emitOutcome(j int, out core.Outcome, oldPhase, newPhase int) {
 // InjectDetectable applies the detectable fault action to process j:
 // ph.j, cp.j, sn.j := ?, error, ⊥.
 func (p *Program) InjectDetectable(j int) {
+	if j < 0 || j >= p.n {
+		return
+	}
 	if p.cp[j] != core.Error {
 		p.emit(core.Event{Kind: core.EvReset, Proc: j, Phase: p.ph[j]})
 	}
@@ -333,6 +353,9 @@ func (p *Program) InjectDetectable(j int) {
 
 // InjectUndetectable applies the undetectable fault action to process j.
 func (p *Program) InjectUndetectable(j int) {
+	if j < 0 || j >= p.n {
+		return
+	}
 	p.ph[j] = p.rng.Intn(p.nPhases)
 	p.cp[j] = core.CP(p.rng.Intn(core.NumCP))
 	v := p.rng.Intn(p.k + 2)

@@ -135,11 +135,12 @@ type Barrier struct {
 	sink   core.EventSink
 
 	// Statistics (atomic).
-	statPasses   atomic.Int64 // barrier passes delivered to participants
-	statResets   atomic.Int64 // ErrReset results delivered
-	statSends    atomic.Int64 // protocol messages sent
-	statDrops    atomic.Int64 // messages lost or detected-corrupt-dropped
-	statSpurious atomic.Int64 // injected spurious messages
+	statPasses     atomic.Int64 // barrier passes delivered to participants
+	statResets     atomic.Int64 // ErrReset results delivered
+	statSends      atomic.Int64 // protocol messages sent
+	statDrops      atomic.Int64 // messages lost or detected-corrupt-dropped
+	statSpurious   atomic.Int64 // injected spurious messages
+	statInjDropped atomic.Int64 // fault injections discarded (ctrl buffer full)
 }
 
 // proc is one MB process: a goroutine owning its protocol state.
@@ -261,24 +262,33 @@ type Stats struct {
 	Sends    int64 // protocol messages sent
 	Drops    int64 // messages lost, or corrupted and dropped at the receiver
 	Spurious int64 // spurious messages injected
+	// DroppedInjections counts Reset/Scramble calls discarded because the
+	// target process's control buffer was full (injection bursts faster
+	// than the process drains them). A dropped injection is equivalent to
+	// the fault not occurring; the caller observes the count here instead
+	// of blocking.
+	DroppedInjections int64
 }
 
 // Stats returns a snapshot of the barrier's counters.
 func (b *Barrier) Stats() Stats {
 	return Stats{
-		Passes:   b.statPasses.Load(),
-		Resets:   b.statResets.Load(),
-		Sends:    b.statSends.Load(),
-		Drops:    b.statDrops.Load(),
-		Spurious: b.statSpurious.Load(),
+		Passes:            b.statPasses.Load(),
+		Resets:            b.statResets.Load(),
+		Sends:             b.statSends.Load(),
+		Drops:             b.statDrops.Load(),
+		Spurious:          b.statSpurious.Load(),
+		DroppedInjections: b.statInjDropped.Load(),
 	}
 }
 
 // InjectSpurious delivers an arbitrary, well-formed protocol message to
 // participant id's process, as if a stray sender existed — the paper's
-// "unexpected message reception" fault. The state machine absorbs it: a
-// stale or nonsensical state is overridden by the predecessor's next
-// (re)transmission.
+// "unexpected message reception" fault. Because the forgery carries a
+// valid checksum it is undetectable at the receiver, so the tolerance is
+// stabilizing, not masking: a forged state can propagate transiently (even
+// completing a barrier at the wrong phase) until the predecessor's next
+// genuine (re)transmission overrides it and the ring re-converges.
 func (b *Barrier) InjectSpurious(id int, seed int64) {
 	if id < 0 || id >= b.n {
 		return
@@ -293,12 +303,13 @@ func (b *Barrier) InjectSpurious(id int, seed int64) {
 	b.statSpurious.Add(1)
 	p := b.procs[id]
 	select {
-	case <-p.fromPred:
-	default:
-	}
-	select {
 	case p.fromPred <- m:
 	default:
+		// The mailbox holds a genuine in-flight announcement. Displacing
+		// it would silently void a message already counted as sent; the
+		// spurious message loses the race instead, and the discard is
+		// accounted as a drop.
+		b.statDrops.Add(1)
 	}
 }
 
@@ -397,31 +408,37 @@ func (b *Barrier) Leave(ctx context.Context, id int) (int, error) {
 // the phase; if the work had already been consumed, the barrier re-executes
 // the instance transparently and the participant just passes normally.
 func (b *Barrier) Reset(id int) {
-	if id < 0 || id >= b.n {
-		return
-	}
-	select {
-	case b.procs[id].ctrl <- ctrlMsg{kind: ctrlReset}:
-	case <-b.stopped:
-	}
+	b.inject(id, ctrlMsg{kind: ctrlReset})
 }
 
 // Scramble injects an undetectable fault at participant id's process: all
 // protocol variables are overwritten with arbitrary domain values. The
 // protocol stabilizes once faults stop.
 func (b *Barrier) Scramble(id int, seed int64) {
+	b.inject(id, ctrlMsg{kind: ctrlScramble, seed: seed})
+}
+
+// inject delivers a fault-injection control message without ever blocking
+// the caller: a fault injector racing ahead of the process's drain rate
+// must not deadlock with it. If the control buffer is full the injection
+// is discarded (the fault simply does not occur) and counted in
+// Stats.DroppedInjections.
+func (b *Barrier) inject(id int, m ctrlMsg) {
 	if id < 0 || id >= b.n {
 		return
 	}
 	select {
-	case b.procs[id].ctrl <- ctrlMsg{kind: ctrlScramble, seed: seed}:
-	case <-b.stopped:
+	case b.procs[id].ctrl <- m:
+	default:
+		b.statInjDropped.Add(1)
 	}
 }
 
 // Halt puts the barrier into fail-safe mode (Table 1, uncorrectable +
 // detectable): no barrier completion will ever be reported again;
-// outstanding and future Awaits return ErrHalted.
+// outstanding and future Awaits return ErrHalted. The protocol goroutines
+// quiesce — the ring stops circulating and retransmitting — so a halted
+// barrier consumes no CPU while it waits to be Stopped.
 func (b *Barrier) Halt() {
 	b.haltOnce.Do(func() { close(b.halted) })
 }
@@ -453,6 +470,12 @@ func (p *proc) run(resend time.Duration, lossRate, corruptRate float64) {
 	for {
 		select {
 		case <-p.b.stopped:
+			return
+		case <-p.b.halted:
+			// Fail-safe halt: quiesce. No completion may ever be reported
+			// again, so circulating the token or retransmitting state is
+			// pure waste; the goroutine exits and the ring falls silent.
+			// Await/Enter/Leave keep returning ErrHalted via b.halted.
 			return
 		case msg := <-p.fromPred:
 			p.onPredState(msg)
@@ -610,6 +633,19 @@ func (p *proc) step() {
 				if out == core.OutComplete && !p.arrived {
 					// blocked — nothing else can change until arrival or
 					// another message.
+					if p.appWaiting {
+						// Gate and participant disagree: the participant is
+						// waiting to be woken, yet the gate shows no work. In
+						// a fault-free computation a second completion never
+						// occurs without an intervening begin, so this state
+						// only arises when a fault teleported the protocol
+						// back into an executing state, skipping the begin
+						// that would have re-armed the gate. Left alone the
+						// two wait on each other forever; reconcile with the
+						// redo mechanism — the participant re-executes its
+						// phase, and its re-arrival unblocks the completion.
+						p.failPending(ErrReset)
+					}
 				} else {
 					oldPH := p.ph
 					if p.id == 0 {
