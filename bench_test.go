@@ -134,7 +134,12 @@ func BenchmarkFig7Recovery(b *testing.B) {
 // no per-pass protocol cost; they are validated in the test suite.) ---
 
 func benchRuntimePasses(b *testing.B, n int, disturb func(*Barrier, int)) {
-	bar, err := New(Config{Participants: n, Seed: 1})
+	benchRuntimePassesCfg(b, Config{Participants: n, Seed: 1}, disturb)
+}
+
+func benchRuntimePassesCfg(b *testing.B, cfg Config, disturb func(*Barrier, int)) {
+	n := cfg.Participants
+	bar, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -204,6 +209,34 @@ func BenchmarkTable1ToleranceCost(b *testing.B) {
 			}
 		})
 	})
+}
+
+// --- Transport comparison: a full barrier pass over the in-process
+// channel transport vs the loopback TCP transport. The delta is the cost
+// of real sockets — framing, checksums, kernel round trips — for the
+// identical protocol; EXPERIMENTS.md records representative numbers. ---
+
+func BenchmarkAwaitChannel(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRuntimePassesCfg(b, Config{Participants: n, Seed: 1}, nil)
+		})
+	}
+}
+
+func BenchmarkAwaitTCPLoopback(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			tr, err := NewLoopbackRing(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+			benchRuntimePassesCfg(b, Config{Participants: n, Seed: 1, Transport: tr}, nil)
+		})
+	}
 }
 
 // --- Ablation: ring (O(N)) vs tree (O(h)) synchronization rounds. ---

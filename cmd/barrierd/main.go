@@ -1,0 +1,142 @@
+// Command barrierd hosts one member of a distributed fault-tolerant
+// barrier: each ring member runs as its own OS process, connected to its
+// neighbors over TCP (internal/transport). Together the processes realize
+// the same MB protocol instance the in-process runtime runs over channels.
+//
+// A four-member loopback ring:
+//
+//	barrierd -id 0 -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 &
+//	barrierd -id 1 -peers ... &
+//	barrierd -id 2 -peers ... &
+//	barrierd -id 3 -peers ... &
+//
+// Each process loops Await, printing one "pass" line per completed
+// barrier and checking its per-member projection of the specification:
+// successive passes must cycle through the phases in order. (The full
+// specification checker needs a totally ordered event stream, which does
+// not exist across processes; the in-process conformance targets provide
+// that stronger check.)
+//
+// After -passes successful passes the process prints "DONE n" but keeps
+// participating — a barrier member that simply exits would break the ring
+// for everyone else — until SIGTERM/SIGINT, which shuts it down cleanly.
+// A member restarted into a live ring should be given -rejoin, which
+// starts the protocol in the reset state (sn ⊥), so rejoining is masked
+// exactly like a detectable fault (Section 7 of the paper).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+var (
+	idFlag      = flag.Int("id", -1, "this member's ring position (0-based)")
+	peersFlag   = flag.String("peers", "", "comma-separated host:port of every member, in ring order")
+	passesFlag  = flag.Int("passes", 100, "print DONE after this many successful passes (0: unlimited)")
+	nPhasesFlag = flag.Int("nphases", 4, "phase-counter modulus")
+	resendFlag  = flag.Duration("resend", 500*time.Microsecond, "state retransmission period")
+	lossFlag    = flag.Float64("loss", 0, "per-message send-loss probability (fault injection)")
+	corruptFlag = flag.Float64("corrupt", 0, "per-message corruption probability (fault injection)")
+	seedFlag    = flag.Int64("seed", 1, "random seed for fault injection draws")
+	rejoinFlag  = flag.Bool("rejoin", false, "start in the reset protocol state (restarting into a live ring)")
+	quietFlag   = flag.Bool("quiet", false, "suppress per-pass output")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "barrierd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	peers := strings.Split(*peersFlag, ",")
+	if len(peers) < 2 || (len(peers) == 1 && peers[0] == "") {
+		return errors.New("-peers must list at least 2 members")
+	}
+	id := *idFlag
+	if id < 0 || id >= len(peers) {
+		return fmt.Errorf("-id %d out of range for %d peers", id, len(peers))
+	}
+
+	tr, err := transport.NewTCP(transport.TCPConfig{Peers: peers})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	b, err := runtime.New(runtime.Config{
+		Participants: len(peers),
+		NPhases:      *nPhasesFlag,
+		Transport:    tr,
+		Members:      []int{id},
+		Rejoin:       *rejoinFlag,
+		Resend:       *resendFlag,
+		LossRate:     *lossFlag,
+		CorruptRate:  *corruptFlag,
+		Seed:         *seedFlag + int64(id), // decorrelate the members' fault draws
+	})
+	if err != nil {
+		return err
+	}
+	defer b.Stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigs
+		cancel()
+	}()
+
+	// Per-member spec projection: successive passes must cycle through the
+	// phases in order. The first pass synchronizes the expectation (a
+	// -rejoin member comes up mid-cycle).
+	var (
+		passes   int
+		expected = -1
+		doneSaid bool
+	)
+	for {
+		ph, err := b.Await(ctx, id)
+		switch {
+		case err == nil:
+			if expected != -1 && ph != expected {
+				fmt.Printf("VIOLATION member %d: pass %d phase %d, expected %d\n", id, passes, ph, expected)
+				return fmt.Errorf("phase order violated: got %d, expected %d", ph, expected)
+			}
+			expected = (ph + 1) % *nPhasesFlag
+			passes++
+			if !*quietFlag {
+				fmt.Printf("pass %d phase %d\n", passes, ph)
+			}
+			if *passesFlag > 0 && passes == *passesFlag && !doneSaid {
+				// Quota reached: announce it, then keep participating until
+				// signalled — exiting here would break the ring for members
+				// still short of their quota.
+				fmt.Printf("DONE %d\n", passes)
+				doneSaid = true
+			}
+		case errors.Is(err, runtime.ErrReset):
+			// Detectable fault consumed the phase work: redo. The phase
+			// expectation survives — a reset must not skip or repeat a
+			// barrier this member already observed.
+		case errors.Is(err, context.Canceled):
+			fmt.Printf("EXIT member %d: %d passes, clean\n", id, passes)
+			return nil
+		default:
+			return fmt.Errorf("await: %w", err)
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/topo"
+	"repro/internal/transport"
 )
 
 // --- Layer 1: the runtime barrier ---
@@ -58,6 +59,50 @@ var (
 
 // New creates and starts a runtime Barrier for cfg.Participants goroutines.
 func New(cfg Config) (*Barrier, error) { return runtime.New(cfg) }
+
+// --- Layer 1, distributed: pluggable ring transports ---
+
+// Transport supplies the barrier's ring links (Config.Transport); Link is
+// one member's attachment to its neighbors, and Message is the MB wire
+// triple (sn, cp, ph) with its end-to-end checksum. The in-process channel
+// transport is the default; NewTCPTransport carries the same protocol
+// across OS processes and machines.
+type (
+	// Transport supplies one Link per ring member.
+	Transport = runtime.Transport
+	// Link carries state announcements forward and ⊤ markers backward.
+	Link = runtime.Link
+	// Message is the protocol's wire triple plus checksum.
+	Message = runtime.Message
+)
+
+// NewChanTransport returns the in-process channel transport for an
+// all-local ring of n members — the default when Config.Transport is nil,
+// exported for explicit side-by-side configuration with network
+// transports.
+func NewChanTransport(n int) Transport { return runtime.NewChanTransport(n) }
+
+// TCPConfig parameterizes a TCP ring transport; TCPTransport implements
+// Transport over per-edge TCP connections with automatic reconnect
+// (capped exponential backoff with jitter). Every socket failure is
+// mapped onto a fault class the protocol already masks — see
+// internal/transport for the policy.
+type (
+	// TCPConfig configures a TCP ring transport.
+	TCPConfig = transport.TCPConfig
+	// TCPTransport is the TCP implementation of Transport.
+	TCPTransport = transport.TCP
+)
+
+// NewTCPTransport creates a TCP transport for the ring described by
+// cfg.Peers. Each participating process calls Open for the member ids it
+// hosts (one per OS process in the usual deployment; cmd/barrierd is the
+// ready-made single-member host).
+func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) { return transport.NewTCP(cfg) }
+
+// NewLoopbackRing binds n ephemeral loopback listeners and returns a TCP
+// transport for an all-local ring — the test and benchmark configuration.
+func NewLoopbackRing(n int) (*TCPTransport, error) { return transport.NewLoopbackRing(n) }
 
 // --- Layer 2: the protocol stack ---
 

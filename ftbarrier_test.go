@@ -37,6 +37,50 @@ func TestRuntimeBarrierQuickstart(t *testing.T) {
 	wg.Wait()
 }
 
+// The distributed flow through the public facade: the same barrier over a
+// loopback TCP ring transport, including an explicit channel transport for
+// comparison.
+func TestTCPTransportQuickstart(t *testing.T) {
+	run := func(t *testing.T, tr Transport) {
+		b, err := New(Config{Participants: 3, Transport: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Stop()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		var wg sync.WaitGroup
+		for id := 0; id < 3; id++ {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for round := 0; round < 5; round++ {
+					if _, err := b.Await(ctx, id); err != nil {
+						t.Errorf("worker %d: %v", id, err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	t.Run("tcp-loopback", func(t *testing.T) {
+		tr, err := NewLoopbackRing(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		run(t, tr)
+		if st := tr.Stats(); st.FramesRecv == 0 {
+			t.Error("barrier passed without TCP frames — transport unused")
+		}
+	})
+	t.Run("explicit-channel", func(t *testing.T) {
+		run(t, NewChanTransport(3))
+	})
+}
+
 // All four protocol layers construct and run through the facade.
 func TestProtocolConstructors(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))

@@ -119,6 +119,43 @@ func TestRuntimeTarget(t *testing.T) {
 	}
 }
 
+// The tcp target runs the identical protocol over loopback sockets: a
+// schedule ported between the channel and TCP transports must produce the
+// same verdict — including a schedule drawn exactly as FuzzRuntime draws
+// it, so any corpus entry is portable between the two fuzz targets.
+func TestTCPTargetMatchesChannelTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock paced")
+	}
+	schedules := []Schedule{
+		// Masking mix: resets over lossy, corrupting links.
+		Generate(GenConfig{Target: TargetRuntime, NProcs: 4, NPhases: 3, Ops: 40,
+			FaultRate: 0.15, Loss: 0.05, Corrupt: 0.05}, 11),
+		// Stabilizing mix: scrambles and spurious messages on top.
+		Generate(GenConfig{Target: TargetRuntime, NProcs: 3, NPhases: 2, Ops: 40,
+			FaultRate: 0.15, Scrambles: true, Spurious: true, Loss: 0.05, Corrupt: 0.05}, 12),
+		// A byte-derived schedule, as the fuzzers construct them.
+		FromBytes(TargetRuntime, 13, []byte{1, 1, 2, 3, 10, 20, 0xB2, 1, 5, 40}),
+	}
+	for i, s := range schedules {
+		s.Target = TargetRuntime
+		vChan := Run(s)
+		s.Target = TargetTCP
+		vTCP := Run(s)
+		if vChan.OK != vTCP.OK || vChan.Reason != vTCP.Reason {
+			t.Errorf("schedule %d: verdicts diverge across transports:\n  channel: %v\n  tcp:     %v\n  replay: %s",
+				i, vChan, vTCP, s.String())
+		}
+		if !vChan.OK {
+			t.Errorf("schedule %d: expected OK on both transports, got %v", i, vChan)
+		}
+		if s.HasUndetectable() && (vChan.Stabilized != vTCP.Stabilized) {
+			t.Errorf("schedule %d: stabilization verdicts diverge: channel=%v tcp=%v",
+				i, vChan.Stabilized, vTCP.Stabilized)
+		}
+	}
+}
+
 // All five refinements are observationally equivalent on fault-free
 // computations: the same sequence of successful barrier phases.
 func TestRefinementTraceEquivalence(t *testing.T) {

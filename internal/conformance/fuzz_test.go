@@ -31,18 +31,19 @@ func FuzzTB(f *testing.F) { fuzzEngine(f, "tb") }
 func FuzzDT(f *testing.F) { fuzzEngine(f, "dt") }
 func FuzzMB(f *testing.F) { fuzzEngine(f, "mb") }
 
-// FuzzRuntime drives the live goroutine barrier. Its interleavings are not
-// replayable step-for-step, so a failure report includes the schedule but
-// shrinking is left to the CLI (re-running a wall-clock schedule thousands
-// of times inside the fuzz worker would stall the fuzzer).
-func FuzzRuntime(f *testing.F) {
+// fuzzLiveBarrier drives the live goroutine barrier over the given
+// transport target. Its interleavings are not replayable step-for-step, so
+// a failure report includes the schedule but shrinking is left to the CLI
+// (re-running a wall-clock schedule thousands of times inside the fuzz
+// worker would stall the fuzzer).
+func fuzzLiveBarrier(f *testing.F, target string) {
 	f.Add(int64(1), []byte{})
 	f.Add(int64(2), []byte{1, 1, 2, 3, 10, 20, 0xB2, 1, 5, 40})
 	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
 		// Keep per-case wall-clock small: byte-derived runtime schedules are
 		// already capped, but drop the per-message fault rates further so the
 		// verification tail converges quickly.
-		s := FromBytes(TargetRuntime, seed, data)
+		s := FromBytes(target, seed, data)
 		if s.Loss > 0.05 {
 			s.Loss = 0.05
 		}
@@ -56,11 +57,19 @@ func FuzzRuntime(f *testing.F) {
 	})
 }
 
+func FuzzRuntime(f *testing.F) { fuzzLiveBarrier(f, TargetRuntime) }
+
+// FuzzRuntimeTCP runs the identical schedule space over loopback TCP
+// links: the protocol result must not depend on the transport, and every
+// case additionally exercises framing and the socket-failure→loss mapping.
+func FuzzRuntimeTCP(f *testing.F) { fuzzLiveBarrier(f, TargetTCP) }
+
 // FuzzScheduleParse checks that Parse never panics and that accepted inputs
 // are fixed points of the String/Parse round trip.
 func FuzzScheduleParse(f *testing.F) {
 	f.Add("cb:n=4:ph=3:seed=17:sched=random:ops=12s,r2,3s,u1:99,c0,2s,R0,5s")
 	f.Add("runtime:n=3:ph=2:seed=-5:sched=random:loss=0.1:corrupt=0.05:ops=p1:42,8s,u0:7")
+	f.Add("tcp:n=3:ph=2:seed=9:sched=random:loss=0.05:corrupt=0.05:ops=6s,r1,6s")
 	f.Add("mb:n=2:ph=2:seed=0:sched=pick:ops=s:19,s:3")
 	f.Fuzz(func(t *testing.T, text string) {
 		s, err := Parse(text)

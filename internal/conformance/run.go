@@ -76,7 +76,7 @@ func (v Verdict) String() string {
 // For guarded-engine targets Run is a pure function of the schedule; call
 // it twice and the verdicts are identical.
 func Run(s Schedule) Verdict {
-	if s.Target == TargetRuntime {
+	if IsRuntimeTarget(s.Target) {
 		return runRuntime(s)
 	}
 	return runEngine(s)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/runtime"
+	"repro/internal/transport"
 )
 
 // Runtime-target pacing and deadlines. The runtime barrier is real
@@ -60,9 +61,22 @@ func runRuntime(s Schedule) Verdict {
 	v := Verdict{FailOpIndex: -1}
 	masking := !s.HasUndetectable()
 	col := &runtimeCollector{checker: core.NewSpecChecker(s.NProcs, s.NPhases)}
+	// The tcp target runs the identical protocol over loopback sockets:
+	// the verdict must not depend on which transport carries the ring.
+	var tr runtime.Transport
+	if s.Target == TargetTCP {
+		tcp, err := transport.NewLoopbackRing(s.NProcs)
+		if err != nil {
+			v.Reason = "loopback transport: " + err.Error()
+			return v
+		}
+		defer tcp.Close()
+		tr = tcp
+	}
 	b, err := runtime.New(runtime.Config{
 		Participants: s.NProcs,
 		NPhases:      s.NPhases,
+		Transport:    tr,
 		Resend:       runtimeResend,
 		LossRate:     s.Loss,
 		CorruptRate:  s.Corrupt,
@@ -123,12 +137,18 @@ func runRuntime(s Schedule) Verdict {
 	}
 
 	// Verification tail: every participant must gain tailBarriers fresh
-	// passes now that faults have stopped.
+	// passes now that faults have stopped. For stabilizing schedules the
+	// trace must additionally end in a spec-satisfying suffix — and because
+	// fault injection is asynchronous, a fault queued by the schedule's last
+	// ops may corrupt barriers inside the tail window; stabilization is an
+	// "eventually" property, so the suffix is re-checked while the ring
+	// keeps running until it holds or the deadline expires.
 	base := make([]int64, s.NProcs)
 	for id := range base {
 		base[id] = passes[id].Load()
 	}
 	deadline := time.Now().Add(runtimeTailDeadline)
+	stabilized := false
 	for {
 		done := true
 		for id := range base {
@@ -138,10 +158,22 @@ func runRuntime(s Schedule) Verdict {
 			}
 		}
 		if done {
-			break
+			if masking {
+				break
+			}
+			col.mu.Lock()
+			_, stabilized = core.SuffixSatisfying(col.trace, s.NProcs, s.NPhases, tailBarriers)
+			col.mu.Unlock()
+			if stabilized {
+				break
+			}
 		}
 		if time.Now().After(deadline) {
-			v.Reason = "no progress after faults stopped"
+			if done {
+				v.Reason = "no stabilizing trace suffix"
+			} else {
+				v.Reason = "no progress after faults stopped"
+			}
 			if masking {
 				v.Violation = func() error { col.mu.Lock(); defer col.mu.Unlock(); return col.checker.Violation() }()
 			}
@@ -165,6 +197,9 @@ func runRuntime(s Schedule) Verdict {
 		v.OK = true
 		return v
 	}
+	// The suffix held while the ring was live; with no further faults the
+	// events appended since can only extend it, but re-verify on the final
+	// trace for the verdict's Barriers-independent integrity.
 	if _, ok := core.SuffixSatisfying(col.trace, s.NProcs, s.NPhases, tailBarriers); !ok {
 		v.Reason = "no stabilizing trace suffix"
 		return v

@@ -363,7 +363,7 @@ func Generate(cfg GenConfig, seed int64) Schedule {
 	}
 	crashed := make([]bool, cfg.NProcs)
 	nCrashed := 0
-	runtimeTarget := cfg.Target == TargetRuntime
+	runtimeTarget := IsRuntimeTarget(cfg.Target)
 	for len(s.Ops) < cfg.Ops {
 		if rng.Float64() >= cfg.FaultRate {
 			op := Op{Kind: OpStep}
@@ -434,7 +434,7 @@ func FromBytes(target string, seed int64, data []byte) Schedule {
 		data = data[1:]
 		return b
 	}
-	runtimeTarget := target == TargetRuntime
+	runtimeTarget := IsRuntimeTarget(target)
 	s := Schedule{
 		Target:  target,
 		NProcs:  2 + int(next())%4, // 2..5

@@ -18,6 +18,21 @@ import (
 // live goroutines rather than the guarded engine (see runtimetarget.go).
 const TargetRuntime = "runtime"
 
+// TargetTCP names the runtime barrier over the loopback TCP transport:
+// the same live-goroutine protocol engine as TargetRuntime, but every ring
+// link is a real socket (internal/transport), so a schedule additionally
+// exercises framing, reconnection and the socket-failure→loss mapping. A
+// schedule is portable between the two targets and must produce the same
+// verdict on both.
+const TargetTCP = "tcp"
+
+// IsRuntimeTarget reports whether the named target runs the live goroutine
+// barrier (wall-clock pacing, message-rate faults, spurious injection)
+// rather than a guarded-engine refinement.
+func IsRuntimeTarget(name string) bool {
+	return name == TargetRuntime || name == TargetTCP
+}
+
 // Target is the conformance harness's view of a guarded-engine barrier
 // program: every refinement exposes this identical surface, which is
 // itself a small conformance statement — a program that cannot be wired
@@ -107,14 +122,14 @@ var builders = map[string]Builder{}
 func Register(name string, b Builder) { builders[name] = b }
 
 // Targets returns the registered guarded-engine target names, sorted,
-// with the runtime target appended last.
+// with the runtime targets appended last.
 func Targets() []string {
-	names := make([]string, 0, len(builders)+1)
+	names := make([]string, 0, len(builders)+2)
 	for name := range builders {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	return append(names, TargetRuntime)
+	return append(names, TargetRuntime, TargetTCP)
 }
 
 // NewTarget builds the named target with its randomness rooted at rng.

@@ -65,12 +65,19 @@ func TestSpuriousDoesNotDisplaceGenuine(t *testing.T) {
 	waitQuiesced(t, b)
 
 	p := b.procs[1]
-	for len(p.fromPred) > 0 {
-		<-p.fromPred
+	for {
+		select {
+		case <-p.state:
+			continue
+		default:
+		}
+		break
 	}
-	genuine := stateMsg{sn: 2, cp: core.Execute, ph: 1}
-	genuine.sum = genuine.checksum()
-	p.fromPred <- genuine
+	genuine := Message{SN: 2, CP: core.Execute, PH: 1}
+	genuine.Sum = genuine.Checksum()
+	if !p.link.InjectState(genuine) {
+		t.Fatal("drained mailbox rejected the genuine announcement")
+	}
 
 	dropsBefore := b.Stats().Drops
 	b.InjectSpurious(1, 12345)
@@ -82,7 +89,7 @@ func TestSpuriousDoesNotDisplaceGenuine(t *testing.T) {
 		t.Errorf("losing spurious message not accounted: drops %d, want %d", got, dropsBefore+1)
 	}
 	select {
-	case m := <-p.fromPred:
+	case m := <-p.state:
 		if m != genuine {
 			t.Errorf("mailbox holds %+v, want the genuine announcement %+v", m, genuine)
 		}

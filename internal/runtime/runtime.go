@@ -58,6 +58,23 @@ var (
 type Config struct {
 	// Participants is the number of synchronizing goroutines (≥ 2).
 	Participants int
+	// Transport supplies the ring links (nil: the in-process channel
+	// transport). A network transport (internal/transport) lets the ring
+	// span OS processes; the Barrier closes the links it opens on Stop,
+	// but an explicitly supplied Transport is closed by its creator.
+	Transport Transport
+	// Members lists the ring members hosted by this process (nil: all of
+	// them). A distributed deployment runs one process per member over a
+	// network transport; Await and the fault-injection methods accept only
+	// local member ids. Members requires an explicit Transport.
+	Members []int
+	// Rejoin starts the local members in the detectably-reset state (sn ⊥,
+	// cp error) instead of the phase-0 start state — the Section 7 restart
+	// semantics. Use it when a member process is restarted into a ring
+	// that is already running, so the rejoin is masked like any other
+	// detectable fault rather than perturbing the ring with a stale
+	// phase-0 state.
+	Rejoin bool
 	// NPhases is the phase-counter modulus (default 8; any value ≥ 2).
 	NPhases int
 	// L is the sequence-number modulus; the MB refinement requires
@@ -81,28 +98,6 @@ type Config struct {
 	EventSink core.EventSink
 }
 
-type stateMsg struct {
-	sn tokenring.SN
-	cp core.CP
-	ph int
-
-	sum uint32 // integrity check; mismatch = detected corruption
-}
-
-// checksum computes the message integrity check (an FNV-style mix; a real
-// deployment would use a CRC).
-func (m stateMsg) checksum() uint32 {
-	h := uint32(2166136261)
-	mix := func(v uint32) {
-		h ^= v
-		h *= 16777619
-	}
-	mix(uint32(int32(m.sn)))
-	mix(uint32(m.cp))
-	mix(uint32(int32(m.ph)))
-	return h
-}
-
 type ctrlKind uint8
 
 const (
@@ -123,13 +118,21 @@ type Barrier struct {
 	nPhases int
 	l       int
 
+	// procs is indexed by member id; entries for members hosted by other
+	// processes (distributed deployments) are nil.
 	procs []*proc
+	// links are the transport links this barrier opened, closed on Stop.
+	links []Link
+	// ownTransport is the internally created default transport, if any;
+	// Stop closes it too.
+	ownTransport Transport
 
-	haltOnce sync.Once
-	halted   chan struct{}
-	stopOnce sync.Once
-	stopped  chan struct{}
-	wg       sync.WaitGroup
+	haltOnce  sync.Once
+	halted    chan struct{}
+	stopOnce  sync.Once
+	stopped   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 
 	sinkMu sync.Mutex
 	sink   core.EventSink
@@ -158,13 +161,12 @@ type proc struct {
 	curTicket  uint64 // ticket of the outstanding Await
 	lastDonePh int    // phase of the last completion that consumed an arrival
 
-	fromPred chan stateMsg // predecessor's state announcements
-	fromSucc chan tokenring.SN
-	ctrl     chan ctrlMsg
+	link  Link
+	state <-chan Message // predecessor's state announcements, via the link
+	top   <-chan struct{}
+	ctrl  chan ctrlMsg
 
-	toSucc     chan stateMsg // successor's fromPred
-	toPred     chan tokenring.SN
-	lastSent   stateMsg
+	lastSent   Message
 	haveSent   bool
 	pendingErr error // delivered on the next Await (e.g. ErrReset)
 
@@ -208,6 +210,26 @@ func New(cfg Config) (*Barrier, error) {
 	if cfg.CorruptRate < 0 || cfg.CorruptRate >= 1 {
 		return nil, errors.New("ftbarrier: corrupt rate must be in [0, 1)")
 	}
+	if cfg.Members != nil && cfg.Transport == nil {
+		return nil, errors.New("ftbarrier: Members requires an explicit Transport")
+	}
+	members := cfg.Members
+	if members == nil {
+		members = make([]int, cfg.Participants)
+		for j := range members {
+			members[j] = j
+		}
+	}
+	seen := make(map[int]bool, len(members))
+	for _, j := range members {
+		if j < 0 || j >= cfg.Participants {
+			return nil, fmt.Errorf("ftbarrier: member %d out of range [0,%d)", j, cfg.Participants)
+		}
+		if seen[j] {
+			return nil, fmt.Errorf("ftbarrier: duplicate member %d", j)
+		}
+		seen[j] = true
+	}
 
 	b := &Barrier{
 		n:       cfg.Participants,
@@ -217,34 +239,58 @@ func New(cfg Config) (*Barrier, error) {
 		stopped: make(chan struct{}),
 		sink:    cfg.EventSink,
 	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = NewChanTransport(b.n)
+		b.ownTransport = tr
+	}
 	b.procs = make([]*proc, b.n)
-	for j := 0; j < b.n; j++ {
-		b.procs[j] = &proc{
+	for _, j := range members {
+		link, err := tr.Open(j)
+		if err != nil {
+			for _, l := range b.links {
+				l.Close()
+			}
+			if b.ownTransport != nil {
+				b.ownTransport.Close()
+			}
+			return nil, fmt.Errorf("ftbarrier: open link for member %d: %w", j, err)
+		}
+		b.links = append(b.links, link)
+		p := &proc{
 			b:          b,
 			id:         j,
 			cp:         core.Execute, // everyone starts executing phase 0
 			cpL:        core.Execute,
 			lastDonePh: -1,
-			fromPred:   make(chan stateMsg, 1),
-			fromSucc:   make(chan tokenring.SN, 1),
+			link:       link,
+			state:      link.State(),
+			top:        link.Top(),
 			ctrl:       make(chan ctrlMsg, b.n+4),
 			wake:       make(chan awaitResult, 1),
 			rng:        rand.New(rand.NewSource(cfg.Seed + int64(j)*7919)),
 		}
+		if cfg.Rejoin {
+			// The Section 7 restart state: identical to the aftermath of a
+			// detectable reset, so the ring masks the (re)join.
+			p.sn, p.cp, p.ph = tokenring.Bot, core.Error, p.rng.Intn(b.nPhases)
+			p.snL, p.cpL, p.phL = tokenring.Bot, core.Error, p.rng.Intn(b.nPhases)
+			p.snR = tokenring.Bot
+		}
+		b.procs[j] = p
 	}
-	for j := 0; j < b.n; j++ {
-		succ := b.procs[(j+1)%b.n]
-		pred := b.procs[(j-1+b.n)%b.n]
-		b.procs[j].toSucc = succ.fromPred
-		b.procs[j].toPred = pred.fromSucc
-	}
-	// Every process starts out executing phase 0: record the implicit
-	// begins so the event trace forms complete instances.
-	for j := 0; j < b.n; j++ {
-		b.emit(core.Event{Kind: core.EvBegin, Proc: j, Phase: 0})
+	if !cfg.Rejoin {
+		// Every local process starts out executing phase 0: record the
+		// implicit begins so the event trace forms complete instances.
+		for _, j := range members {
+			b.emit(core.Event{Kind: core.EvBegin, Proc: j, Phase: 0})
+		}
 	}
 	lossRate, corruptRate := cfg.LossRate, cfg.CorruptRate
 	for _, p := range b.procs {
+		if p == nil {
+			continue
+		}
 		p := p
 		b.wg.Add(1)
 		go func() {
@@ -290,21 +336,18 @@ func (b *Barrier) Stats() Stats {
 // completing a barrier at the wrong phase) until the predecessor's next
 // genuine (re)transmission overrides it and the ring re-converges.
 func (b *Barrier) InjectSpurious(id int, seed int64) {
-	if id < 0 || id >= b.n {
+	if id < 0 || id >= b.n || b.procs[id] == nil {
 		return
 	}
 	rng := rand.New(rand.NewSource(seed))
-	m := stateMsg{
-		sn: tokenring.SN(rng.Intn(b.l)),
-		cp: core.CP(rng.Intn(core.NumCP)),
-		ph: rng.Intn(b.nPhases),
+	m := Message{
+		SN: tokenring.SN(rng.Intn(b.l)),
+		CP: core.CP(rng.Intn(core.NumCP)),
+		PH: rng.Intn(b.nPhases),
 	}
-	m.sum = m.checksum()
+	m.Sum = m.Checksum()
 	b.statSpurious.Add(1)
-	p := b.procs[id]
-	select {
-	case p.fromPred <- m:
-	default:
+	if !b.procs[id].link.InjectState(m) {
 		// The mailbox holds a genuine in-flight announcement. Displacing
 		// it would silently void a message already counted as sent; the
 		// spurious message loses the race instead, and the discard is
@@ -359,6 +402,9 @@ func (b *Barrier) Enter(ctx context.Context, id int) error {
 		return fmt.Errorf("ftbarrier: participant %d out of range [0,%d)", id, b.n)
 	}
 	p := b.procs[id]
+	if p == nil {
+		return fmt.Errorf("ftbarrier: member %d is not hosted by this process", id)
+	}
 	p.tickets++
 	select {
 	case p.ctrl <- ctrlMsg{kind: ctrlArrive, ticket: p.tickets}:
@@ -382,6 +428,9 @@ func (b *Barrier) Leave(ctx context.Context, id int) (int, error) {
 		return 0, fmt.Errorf("ftbarrier: participant %d out of range [0,%d)", id, b.n)
 	}
 	p := b.procs[id]
+	if p == nil {
+		return 0, fmt.Errorf("ftbarrier: member %d is not hosted by this process", id)
+	}
 	ticket := p.tickets
 	for {
 		select {
@@ -424,7 +473,7 @@ func (b *Barrier) Scramble(id int, seed int64) {
 // is discarded (the fault simply does not occur) and counted in
 // Stats.DroppedInjections.
 func (b *Barrier) inject(id int, m ctrlMsg) {
-	if id < 0 || id >= b.n {
+	if id < 0 || id >= b.n || b.procs[id] == nil {
 		return
 	}
 	select {
@@ -453,11 +502,26 @@ func (b *Barrier) Halted() bool {
 	}
 }
 
-// Stop shuts the protocol goroutines down. Outstanding Awaits return
-// ErrStopped.
+// Stop shuts the barrier down: the protocol goroutines exit, then the
+// transport links they used (dialer and connection goroutines included)
+// are closed. Outstanding Awaits and Awaits racing Stop return ErrStopped.
+//
+// Stop is idempotent and safe to call concurrently — with itself, with
+// Halt, and with outstanding Awaits. Every call blocks until the shutdown
+// is complete; a second Stop returns once the first finishes, without
+// re-closing anything. An internally created default transport is closed
+// too; an explicitly supplied Config.Transport is left for its creator.
 func (b *Barrier) Stop() {
 	b.stopOnce.Do(func() { close(b.stopped) })
 	b.wg.Wait()
+	b.closeOnce.Do(func() {
+		for _, l := range b.links {
+			l.Close()
+		}
+		if b.ownTransport != nil {
+			b.ownTransport.Close()
+		}
+	})
 }
 
 // --- protocol goroutine ---
@@ -477,12 +541,10 @@ func (p *proc) run(resend time.Duration, lossRate, corruptRate float64) {
 			// pure waste; the goroutine exits and the ring falls silent.
 			// Await/Enter/Leave keep returning ErrHalted via b.halted.
 			return
-		case msg := <-p.fromPred:
+		case msg := <-p.state:
 			p.onPredState(msg)
-		case sn := <-p.fromSucc:
-			if sn == tokenring.Top {
-				p.snR = tokenring.Top
-			}
+		case <-p.top:
+			p.snR = tokenring.Top
 		case c := <-p.ctrl:
 			p.onCtrl(c)
 		case <-ticker.C:
@@ -498,17 +560,17 @@ func (p *proc) run(resend time.Duration, lossRate, corruptRate float64) {
 // onPredState is action C.j: update the local copies of the predecessor's
 // variables. The copy cell evolves by the same follower statement as a real
 // process (Section 5: "identical to the superposed action T2").
-func (p *proc) onPredState(m stateMsg) {
-	if m.sum != m.checksum() {
+func (p *proc) onPredState(m Message) {
+	if m.Sum != m.Checksum() {
 		// Detected corruption: drop; the retransmission masks it.
 		p.b.statDrops.Add(1)
 		return
 	}
-	if !m.sn.Ordinary() || p.snL == m.sn {
+	if !m.SN.Ordinary() || p.snL == m.SN {
 		return
 	}
-	newCP, newPH, _ := core.FollowerUpdate(p.cpL, p.phL, m.cp, m.ph)
-	p.snL = m.sn
+	newCP, newPH, _ := core.FollowerUpdate(p.cpL, p.phL, m.CP, m.PH)
+	p.snL = m.SN
 	p.cpL = newCP
 	p.phL = newPH
 }
@@ -718,10 +780,12 @@ func (p *proc) step() {
 
 // announce sends the current state to the successor (and the ⊤ marker to
 // the predecessor) if it changed since the last send, subject to the
-// configured loss and corruption rates.
+// configured loss and corruption rates. The fault injection sits above the
+// transport so that loss and detected corruption exercise identical
+// protocol paths over channels and over sockets.
 func (p *proc) announce(lossRate, corruptRate float64) {
-	m := stateMsg{sn: p.sn, cp: p.cp, ph: p.ph}
-	m.sum = m.checksum()
+	m := Message{SN: p.sn, CP: p.cp, PH: p.ph}
+	m.Sum = m.Checksum()
 	if p.haveSent && m == p.lastSent {
 		return
 	}
@@ -735,25 +799,10 @@ func (p *proc) announce(lossRate, corruptRate float64) {
 	}
 	if corruptRate > 0 && p.rng.Float64() < corruptRate {
 		// Bit-flip in flight: the receiver's integrity check will reject it.
-		m.sum ^= 0xdeadbeef
+		m.Sum ^= 0xdeadbeef
 	}
-	// Latest-state-wins mailbox: drain a stale message, then send.
-	select {
-	case <-p.toSucc:
-	default:
-	}
-	select {
-	case p.toSucc <- m:
-	default:
-	}
+	p.link.SendState(m)
 	if p.sn == tokenring.Top {
-		select {
-		case <-p.toPred:
-		default:
-		}
-		select {
-		case p.toPred <- tokenring.Top:
-		default:
-		}
+		p.link.SendTop()
 	}
 }

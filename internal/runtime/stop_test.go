@@ -1,0 +1,130 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Stop is idempotent: a second (and hundredth) Stop returns without
+// deadlock or panic, with the transport torn down exactly once.
+func TestStopIdempotent(t *testing.T) {
+	b, err := New(Config{Participants: 3, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		done := make(chan struct{})
+		go func() {
+			b.Stop()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("Stop call %d did not return", i)
+		}
+	}
+}
+
+// Concurrent Stops from many goroutines all return; none panics on a
+// doubly-closed channel or link.
+func TestStopConcurrent(t *testing.T) {
+	b, err := New(Config{Participants: 3, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Stop()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent Stops did not all return")
+	}
+}
+
+// An Await racing Stop returns ErrStopped (or completes a pass that was
+// already finishing); it never deadlocks and never reports success for a
+// barrier that can no longer complete.
+func TestStopRacingAwait(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		b, err := New(Config{Participants: 3, Resend: 50 * time.Microsecond, Seed: int64(43 + trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		errs := make(chan error, 3)
+		for id := 0; id < 3; id++ {
+			id := id
+			go func() {
+				for {
+					_, err := b.Await(ctx, id)
+					if err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		// Let some passes happen, then stop mid-flight.
+		time.Sleep(time.Duration(trial%5) * 100 * time.Microsecond)
+		b.Stop()
+		for i := 0; i < 3; i++ {
+			select {
+			case err := <-errs:
+				if !errors.Is(err, ErrStopped) {
+					t.Fatalf("trial %d: Await returned %v, want ErrStopped", trial, err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("trial %d: Await deadlocked against Stop", trial)
+			}
+		}
+		cancel()
+		b.Stop() // second Stop after the race: still fine
+	}
+}
+
+// Stop and Halt interleaved from concurrent goroutines: both quiesce the
+// ring, neither panics, and subsequent Awaits fail fast with the
+// corresponding sentinel.
+func TestStopHaltInterleaved(t *testing.T) {
+	b, err := New(Config{Participants: 3, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if i%2 == 0 {
+				b.Stop()
+			} else {
+				b.Halt()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("interleaved Stop/Halt did not all return")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := b.Await(ctx, 0); !errors.Is(err, ErrStopped) && !errors.Is(err, ErrHalted) {
+		t.Errorf("Await after Stop+Halt returned %v, want ErrStopped or ErrHalted", err)
+	}
+}

@@ -1,0 +1,150 @@
+// Wire codec: length-prefixed, CRC-checksummed frames. The framing is
+// deliberately rigid — fixed magic, bounded payload, trailing CRC32 — and
+// every violation is handled the same way: the frame is rejected and the
+// connection dropped, which the protocol layer experiences as message
+// loss. Resynchronizing a desynchronized byte stream is never attempted;
+// the dialer's reconnect and the barrier's retransmission are the repair.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/tokenring"
+)
+
+// Frame layout:
+//
+//	magic(1) | type(1) | payload len uint16 BE (2) | payload | crc32 IEEE BE (4)
+//
+// The CRC covers magic through payload.
+const (
+	magicByte    = 0xB7
+	helloVersion = 1
+
+	headerLen  = 4
+	trailerLen = 4
+
+	// MaxPayload bounds a frame payload. An advertised length beyond it is
+	// a codec error — a reader never allocates attacker-controlled sizes.
+	MaxPayload = 64
+)
+
+// Frame types.
+const (
+	// FrameHello opens a connection: payload = version(1) | member id
+	// uint32 BE. The acceptor verifies the dialer is its ring predecessor.
+	FrameHello byte = 1
+	// FrameState carries the MB triple forward (dialer → acceptor):
+	// payload = sn int32 BE | cp(1) | ph int32 BE | sum uint32 BE.
+	FrameState byte = 2
+	// FrameTop carries the ⊤ restart marker backward (acceptor → dialer);
+	// empty payload.
+	FrameTop byte = 3
+)
+
+// ErrCodec is wrapped by every framing and payload decode error; a codec
+// error is permanent for its connection.
+var ErrCodec = errors.New("transport: codec error")
+
+const statePayloadLen = 13
+
+// AppendFrame appends one encoded frame to dst and returns the extended
+// slice. The payload must fit MaxPayload (internal callers only ever
+// encode fixed, small payloads).
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	if len(payload) > MaxPayload {
+		panic(fmt.Sprintf("transport: payload %d exceeds MaxPayload", len(payload)))
+	}
+	start := len(dst)
+	dst = append(dst, magicByte, typ, byte(len(payload)>>8), byte(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.BigEndian.AppendUint32(dst, crc)
+}
+
+// ReadFrame reads one frame from br and returns its type and payload (a
+// fresh slice). Any violation — bad magic, oversized length, truncated
+// frame, CRC mismatch — is a codec error wrapping ErrCodec; the caller
+// must drop the connection, mapping the failure onto message loss.
+func ReadFrame(br *bufio.Reader) (typ byte, payload []byte, err error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err // connection-level error (EOF, reset, timeout)
+	}
+	if hdr[0] != magicByte {
+		return 0, nil, fmt.Errorf("%w: bad magic 0x%02x", ErrCodec, hdr[0])
+	}
+	n := int(hdr[2])<<8 | int(hdr[3])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: oversized payload length %d", ErrCodec, n)
+	}
+	body := make([]byte, n+trailerLen)
+	if _, err := io.ReadFull(br, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("%w: truncated frame: %v", ErrCodec, err)
+	}
+	crc := crc32.ChecksumIEEE(hdr[:])
+	crc = crc32.Update(crc, crc32.IEEETable, body[:n])
+	if got := binary.BigEndian.Uint32(body[n:]); got != crc {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrCodec, got, crc)
+	}
+	return hdr[1], body[:n:n], nil
+}
+
+// AppendState appends a FrameState carrying m.
+func AppendState(dst []byte, m runtime.Message) []byte {
+	var p [statePayloadLen]byte
+	binary.BigEndian.PutUint32(p[0:4], uint32(int32(m.SN)))
+	p[4] = byte(m.CP)
+	binary.BigEndian.PutUint32(p[5:9], uint32(int32(m.PH)))
+	binary.BigEndian.PutUint32(p[9:13], m.Sum)
+	return AppendFrame(dst, FrameState, p[:])
+}
+
+// DecodeState decodes a FrameState payload. The control position is
+// range-checked here (a malformed cp could confuse the protocol engine);
+// the end-to-end Message.Sum is verified by the receiver's protocol layer,
+// not here, so that injected corruption travels the wire like real damage.
+func DecodeState(payload []byte) (runtime.Message, error) {
+	if len(payload) != statePayloadLen {
+		return runtime.Message{}, fmt.Errorf("%w: state payload length %d, want %d", ErrCodec, len(payload), statePayloadLen)
+	}
+	m := runtime.Message{
+		SN:  tokenring.SN(int32(binary.BigEndian.Uint32(payload[0:4]))),
+		CP:  core.CP(payload[4]),
+		PH:  int(int32(binary.BigEndian.Uint32(payload[5:9]))),
+		Sum: binary.BigEndian.Uint32(payload[9:13]),
+	}
+	if int(m.CP) >= core.NumCP {
+		return runtime.Message{}, fmt.Errorf("%w: control position %d out of range", ErrCodec, m.CP)
+	}
+	return m, nil
+}
+
+// AppendHello appends a FrameHello announcing the dialer's member id.
+func AppendHello(dst []byte, id int) []byte {
+	var p [5]byte
+	p[0] = helloVersion
+	binary.BigEndian.PutUint32(p[1:5], uint32(id))
+	return AppendFrame(dst, FrameHello, p[:])
+}
+
+// DecodeHello decodes a FrameHello payload into the dialer's member id.
+func DecodeHello(payload []byte) (int, error) {
+	if len(payload) != 5 {
+		return 0, fmt.Errorf("%w: hello payload length %d, want 5", ErrCodec, len(payload))
+	}
+	if payload[0] != helloVersion {
+		return 0, fmt.Errorf("%w: hello version %d, want %d", ErrCodec, payload[0], helloVersion)
+	}
+	return int(binary.BigEndian.Uint32(payload[1:5])), nil
+}

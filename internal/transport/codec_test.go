@@ -1,0 +1,242 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/tokenring"
+)
+
+func readOne(t *testing.T, b []byte) (byte, []byte, error) {
+	t.Helper()
+	return ReadFrame(bufio.NewReader(bytes.NewReader(b)))
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	msgs := []runtime.Message{
+		{SN: 0, CP: core.Execute, PH: 0},
+		{SN: 7, CP: core.Error, PH: 2},
+		{SN: tokenring.Bot, CP: core.Error, PH: 1},
+		{SN: tokenring.Top, CP: core.Execute, PH: 3},
+	}
+	for i := range msgs {
+		msgs[i].Sum = msgs[i].Checksum()
+	}
+	// Also a deliberately corrupted Sum: the codec must carry it verbatim
+	// (the protocol layer, not the transport, verifies the end-to-end sum).
+	bad := runtime.Message{SN: 3, CP: core.Execute, PH: 1}
+	bad.Sum = bad.Checksum() ^ 0xdeadbeef
+	msgs = append(msgs, bad)
+
+	for _, m := range msgs {
+		frame := AppendState(nil, m)
+		typ, payload, err := readOne(t, frame)
+		if err != nil {
+			t.Fatalf("ReadFrame(%+v): %v", m, err)
+		}
+		if typ != FrameState {
+			t.Fatalf("frame type = %d, want FrameState", typ)
+		}
+		got, err := DecodeState(payload)
+		if err != nil {
+			t.Fatalf("DecodeState(%+v): %v", m, err)
+		}
+		if got != m {
+			t.Errorf("round trip: got %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, id := range []int{0, 1, 3, 1 << 20} {
+		frame := AppendHello(nil, id)
+		typ, payload, err := readOne(t, frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != FrameHello {
+			t.Fatalf("frame type = %d, want FrameHello", typ)
+		}
+		got, err := DecodeHello(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != id {
+			t.Errorf("hello round trip: got %d, want %d", got, id)
+		}
+	}
+}
+
+func TestTopRoundTrip(t *testing.T) {
+	frame := AppendFrame(nil, FrameTop, nil)
+	typ, payload, err := readOne(t, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != FrameTop || len(payload) != 0 {
+		t.Errorf("got type %d payload %v, want empty FrameTop", typ, payload)
+	}
+}
+
+// Several frames back to back decode in order — the reader never consumes
+// past a frame boundary.
+func TestFrameStream(t *testing.T) {
+	m := runtime.Message{SN: 5, CP: core.Execute, PH: 2}
+	m.Sum = m.Checksum()
+	var buf []byte
+	buf = AppendHello(buf, 3)
+	buf = AppendState(buf, m)
+	buf = AppendFrame(buf, FrameTop, nil)
+	br := bufio.NewReader(bytes.NewReader(buf))
+	wantTypes := []byte{FrameHello, FrameState, FrameTop}
+	for i, want := range wantTypes {
+		typ, _, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != want {
+			t.Fatalf("frame %d: type %d, want %d", i, typ, want)
+		}
+	}
+	if _, _, err := ReadFrame(br); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// Every framing violation is a codec error: the caller must drop the
+// connection rather than resynchronize.
+func TestFrameViolations(t *testing.T) {
+	good := AppendState(nil, runtime.Message{SN: 1, CP: core.Execute, PH: 0})
+
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"bad magic", append([]byte{0x00}, good[1:]...)},
+		{"oversized length", func() []byte {
+			b := append([]byte(nil), good...)
+			b[2], b[3] = 0xff, 0xff
+			return b
+		}()},
+		{"truncated payload", good[:len(good)-6]},
+		{"truncated crc", good[:len(good)-1]},
+		{"flipped payload bit", func() []byte {
+			b := append([]byte(nil), good...)
+			b[headerLen] ^= 0x01
+			return b
+		}()},
+		{"flipped crc bit", func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(b)-1] ^= 0x01
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := readOne(t, tc.b)
+			if err == nil {
+				t.Fatal("malformed frame accepted")
+			}
+			if tc.name != "truncated payload" && tc.name != "truncated crc" && !errors.Is(err, ErrCodec) {
+				t.Errorf("err = %v, does not wrap ErrCodec", err)
+			}
+		})
+	}
+	// Truncation specifically must also wrap ErrCodec (partial frame, not
+	// a clean EOF between frames).
+	if _, _, err := readOne(t, good[:len(good)-1]); !errors.Is(err, ErrCodec) {
+		t.Errorf("truncated frame: err = %v, want ErrCodec", err)
+	}
+}
+
+// Payload-level violations.
+func TestPayloadViolations(t *testing.T) {
+	if _, err := DecodeState(make([]byte, statePayloadLen-1)); !errors.Is(err, ErrCodec) {
+		t.Errorf("short state payload: %v, want ErrCodec", err)
+	}
+	badCP := make([]byte, statePayloadLen)
+	badCP[4] = byte(core.NumCP)
+	if _, err := DecodeState(badCP); !errors.Is(err, ErrCodec) {
+		t.Errorf("out-of-range cp: %v, want ErrCodec", err)
+	}
+	if _, err := DecodeHello([]byte{99, 0, 0, 0, 1}); !errors.Is(err, ErrCodec) {
+		t.Errorf("bad hello version: %v, want ErrCodec", err)
+	}
+	if _, err := DecodeHello([]byte{helloVersion}); !errors.Is(err, ErrCodec) {
+		t.Errorf("short hello: %v, want ErrCodec", err)
+	}
+}
+
+func TestAppendFramePanicsOnOversizedPayload(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendFrame accepted an oversized payload")
+		}
+	}()
+	AppendFrame(nil, FrameState, make([]byte, MaxPayload+1))
+}
+
+// FuzzTransport feeds arbitrary bytes to the frame reader. Invariants: the
+// reader never panics, never allocates beyond MaxPayload, and accepts a
+// frame only if re-encoding the decoded content reproduces the exact input
+// bytes it consumed — so truncated frames, bad checksums and oversized
+// lengths can never be accepted.
+func FuzzTransport(f *testing.F) {
+	m := runtime.Message{SN: 4, CP: core.Execute, PH: 1}
+	m.Sum = m.Checksum()
+	good := AppendState(nil, m)
+
+	f.Add([]byte{})
+	f.Add(good)
+	f.Add(AppendHello(nil, 2))
+	f.Add(AppendFrame(nil, FrameTop, nil))
+	f.Add(good[:3])                    // truncated header
+	f.Add(good[:len(good)-2])          // truncated trailer
+	f.Add(append([]byte{0x00}, good...)) // garbage before a frame
+	corrupt := append([]byte(nil), good...)
+	corrupt[5] ^= 0x40
+	f.Add(corrupt) // checksum mismatch
+	oversize := append([]byte(nil), good...)
+	oversize[2], oversize[3] = 0x7f, 0xff
+	f.Add(oversize) // advertised length beyond MaxPayload
+	f.Add(bytes.Repeat(good, 3))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		consumed := 0
+		for {
+			typ, payload, err := ReadFrame(br)
+			if err != nil {
+				return // rejection is always a safe outcome
+			}
+			if len(payload) > MaxPayload {
+				t.Fatalf("accepted payload of %d bytes > MaxPayload", len(payload))
+			}
+			// An accepted frame must be bit-identical to its re-encoding:
+			// the CRC makes accepting a damaged frame astronomically
+			// unlikely, and this catches any codec asymmetry.
+			reenc := AppendFrame(nil, typ, payload)
+			end := consumed + len(reenc)
+			if end > len(data) || !bytes.Equal(data[consumed:end], reenc) {
+				t.Fatalf("accepted frame does not round-trip: type %d payload %x", typ, payload)
+			}
+			consumed = end
+			// Typed payloads must decode or reject cleanly, never panic.
+			switch typ {
+			case FrameState:
+				if sm, err := DecodeState(payload); err == nil {
+					AppendState(nil, sm)
+				}
+			case FrameHello:
+				if id, err := DecodeHello(payload); err == nil {
+					AppendHello(nil, id)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,594 @@
+// Package transport provides network ring links for the runtime barrier:
+// an implementation of runtime.Transport over TCP connections, so a
+// fault-tolerant barrier can span OS processes and machines.
+//
+// Topology: ring edge (j, j+1) is one TCP connection, dialed by j to
+// j+1's listener and opened with a hello frame naming the dialer. On that
+// connection j writes state frames (the MB (sn, cp, ph) wire triple) and
+// j+1 writes ⊤ restart markers back, matching the protocol's two message
+// flows. Each member therefore maintains one outgoing connection (to its
+// successor, re-dialed forever with capped exponential backoff plus
+// jitter) and accepts one incoming connection (from its predecessor; a
+// newly accepted connection replaces the old one, which is how a
+// restarted predecessor reattaches).
+//
+// Fault mapping: the transport adds no recovery logic of its own. Every
+// socket failure is translated into a fault class the barrier protocol
+// already masks (see Table 1 of the paper):
+//
+//   - connection reset, partial write, dial failure → message loss: the
+//     damaged connection is dropped and redialed; the barrier's periodic
+//     retransmission re-delivers current state;
+//   - frame decode error (bad magic, truncated frame, CRC mismatch,
+//     oversized length) → detected corruption, which the paper reduces to
+//     loss: the frame is discarded and the connection dropped rather than
+//     attempting to resynchronize the byte stream;
+//   - a slow or dead peer → delay: sends are latest-state-wins mailboxes
+//     and never block a protocol goroutine.
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// TCPConfig parameterizes a TCP transport.
+type TCPConfig struct {
+	// Peers[j] is member j's listen address (host:port); the ring size is
+	// len(Peers).
+	Peers []string
+	// BaseBackoff and MaxBackoff bound the reconnect backoff (defaults
+	// 10ms and 1s). Each failed dial doubles the delay up to MaxBackoff,
+	// with up to 50% random jitter subtracted so that members restarting
+	// together do not reconnect in lockstep.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// DialTimeout bounds one dial attempt (default 2s).
+	DialTimeout time.Duration
+	// HandshakeTimeout bounds the wait for a dialer's hello frame
+	// (default 5s).
+	HandshakeTimeout time.Duration
+	// Logf, if non-nil, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Option mutates a TCPConfig (used by NewLoopbackRing).
+type Option func(*TCPConfig)
+
+// TCPStats is a snapshot of a transport's counters.
+type TCPStats struct {
+	Dials            int64 // successful outgoing connections
+	FailedDials      int64 // dial attempts that ended in backoff
+	Accepts          int64 // accepted incoming connections
+	HandshakeRejects int64 // incoming connections rejected at hello
+	ConnDrops        int64 // established connections dropped after an error
+	DecodeErrors     int64 // frames rejected by the codec
+	FramesSent       int64
+	FramesRecv       int64
+}
+
+// TCP implements runtime.Transport over TCP ring links.
+type TCP struct {
+	cfg TCPConfig
+
+	mu        sync.Mutex
+	links     []*tcpLink
+	listeners []net.Listener // pre-bound by NewLoopbackRing, else nil
+	closed    bool
+
+	stats struct {
+		dials, failedDials, accepts, handshakeRejects atomic.Int64
+		connDrops, decodeErrors                       atomic.Int64
+		framesSent, framesRecv                        atomic.Int64
+	}
+}
+
+// NewTCP creates a TCP transport for the given ring. Nothing is bound or
+// dialed until Open.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	if len(cfg.Peers) < 2 {
+		return nil, errors.New("transport: need at least 2 peers")
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 10 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &TCP{
+		cfg:       cfg,
+		links:     make([]*tcpLink, len(cfg.Peers)),
+		listeners: make([]net.Listener, len(cfg.Peers)),
+	}, nil
+}
+
+// NewLoopbackRing binds n ephemeral loopback listeners and returns a TCP
+// transport for an all-local ring — the test, benchmark and conformance
+// configuration. The backoff defaults are lowered (2ms base, 100ms cap) so
+// in-process reconnect tests converge quickly; opts may override any
+// field.
+func NewLoopbackRing(n int, opts ...Option) (*TCP, error) {
+	if n < 2 {
+		return nil, errors.New("transport: need at least 2 members")
+	}
+	listeners := make([]net.Listener, n)
+	peers := make([]string, n)
+	for j := 0; j < n; j++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:j] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("transport: bind loopback member %d: %w", j, err)
+		}
+		listeners[j] = ln
+		peers[j] = ln.Addr().String()
+	}
+	cfg := TCPConfig{Peers: peers, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 100 * time.Millisecond}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	t, err := NewTCP(cfg)
+	if err != nil {
+		for _, l := range listeners {
+			l.Close()
+		}
+		return nil, err
+	}
+	t.listeners = listeners
+	return t, nil
+}
+
+// Open binds member id's listener (unless pre-bound), starts its accept
+// loop and its dialer to the ring successor, and returns the link.
+func (t *TCP) Open(id int) (runtime.Link, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("transport: closed")
+	}
+	if id < 0 || id >= len(t.cfg.Peers) {
+		return nil, fmt.Errorf("transport: member %d out of range [0,%d)", id, len(t.cfg.Peers))
+	}
+	if t.links[id] != nil {
+		return nil, fmt.Errorf("transport: member %d already open", id)
+	}
+	ln := t.listeners[id]
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", t.cfg.Peers[id])
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", t.cfg.Peers[id], err)
+		}
+		t.listeners[id] = ln
+	}
+	dialCtx, dialCancel := context.WithCancel(context.Background())
+	l := &tcpLink{
+		t:          t,
+		id:         id,
+		ln:         ln,
+		state:      make(chan runtime.Message, 1),
+		top:        make(chan struct{}, 1),
+		outState:   make(chan runtime.Message, 1),
+		outTop:     make(chan struct{}, 1),
+		done:       make(chan struct{}),
+		dialCtx:    dialCtx,
+		dialCancel: dialCancel,
+	}
+	t.links[id] = l
+	l.wg.Add(2)
+	go l.acceptLoop()
+	go l.dialLoop()
+	return l, nil
+}
+
+// Close tears down every link, listener and connection.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	links := append([]*tcpLink(nil), t.links...)
+	listeners := append([]net.Listener(nil), t.listeners...)
+	t.mu.Unlock()
+	for _, l := range links {
+		if l != nil {
+			l.Close()
+		}
+	}
+	for _, ln := range listeners {
+		if ln != nil {
+			ln.Close() // pre-bound listeners of never-opened members
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the transport's counters.
+func (t *TCP) Stats() TCPStats {
+	return TCPStats{
+		Dials:            t.stats.dials.Load(),
+		FailedDials:      t.stats.failedDials.Load(),
+		Accepts:          t.stats.accepts.Load(),
+		HandshakeRejects: t.stats.handshakeRejects.Load(),
+		ConnDrops:        t.stats.connDrops.Load(),
+		DecodeErrors:     t.stats.decodeErrors.Load(),
+		FramesSent:       t.stats.framesSent.Load(),
+		FramesRecv:       t.stats.framesRecv.Load(),
+	}
+}
+
+// BreakLinks force-closes member id's current connections (incoming and
+// outgoing), simulating a network blip. The dialer redials with backoff;
+// in-flight frames are lost and masked by retransmission. Test hook.
+func (t *TCP) BreakLinks(id int) {
+	t.mu.Lock()
+	var l *tcpLink
+	if id >= 0 && id < len(t.links) {
+		l = t.links[id]
+	}
+	t.mu.Unlock()
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.inConn != nil {
+		l.inConn.Close()
+	}
+	if l.outConn != nil {
+		l.outConn.Close()
+	}
+	l.mu.Unlock()
+}
+
+// tcpLink is one member's attachment to the ring over sockets.
+type tcpLink struct {
+	t  *TCP
+	id int
+	ln net.Listener
+
+	state    chan runtime.Message // from predecessor, latest wins
+	top      chan struct{}        // from successor
+	outState chan runtime.Message // to successor, latest wins
+	outTop   chan struct{}        // to predecessor, pending-⊤ flag
+
+	mu      sync.Mutex
+	inConn  net.Conn // accepted, from predecessor
+	outConn net.Conn // dialed, to successor
+
+	done       chan struct{}
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+	closeOnce  sync.Once
+	wg         sync.WaitGroup
+}
+
+func (l *tcpLink) SendState(m runtime.Message) {
+	// Latest-state-wins mailbox: the writer goroutine picks up whatever is
+	// newest once the connection is up; anything superseded in between is
+	// indistinguishable from loss.
+	select {
+	case <-l.outState:
+	default:
+	}
+	select {
+	case l.outState <- m:
+	default:
+	}
+}
+
+func (l *tcpLink) SendTop() {
+	select {
+	case l.outTop <- struct{}{}:
+	default: // a ⊤ is already pending; it is idempotent
+	}
+}
+
+func (l *tcpLink) State() <-chan runtime.Message { return l.state }
+func (l *tcpLink) Top() <-chan struct{}          { return l.top }
+
+func (l *tcpLink) InjectState(m runtime.Message) bool {
+	select {
+	case l.state <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *tcpLink) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.dialCancel()
+		l.ln.Close()
+		l.mu.Lock()
+		if l.inConn != nil {
+			l.inConn.Close()
+		}
+		if l.outConn != nil {
+			l.outConn.Close()
+		}
+		l.mu.Unlock()
+	})
+	l.wg.Wait()
+	return nil
+}
+
+func (l *tcpLink) closedNow() bool {
+	select {
+	case <-l.done:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *tcpLink) ringSize() int { return len(l.t.cfg.Peers) }
+
+// --- incoming side: the predecessor's connection ---
+
+// acceptLoop owns the listener: every accepted connection is handled in
+// its own goroutine so the hello handshake can reject strangers (and admit
+// a restarted predecessor's replacement connection) even while an older
+// connection still looks alive.
+func (l *tcpLink) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		c, err := l.ln.Accept()
+		if err != nil {
+			if l.closedNow() {
+				return
+			}
+			// Transient accept failure (e.g. EMFILE): brief pause, retry.
+			select {
+			case <-l.done:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		l.wg.Add(1)
+		go l.handleIn(c)
+	}
+}
+
+// handleIn verifies the hello handshake, then serves state frames from the
+// predecessor until the connection dies. A successfully verified connection
+// replaces (closes) the previous one, which is how a restarted predecessor
+// reattaches without waiting for the stale connection to time out.
+func (l *tcpLink) handleIn(c net.Conn) {
+	defer l.wg.Done()
+	expectPred := (l.id - 1 + l.ringSize()) % l.ringSize()
+	br := bufio.NewReaderSize(c, 256)
+	c.SetReadDeadline(time.Now().Add(l.t.cfg.HandshakeTimeout))
+	typ, payload, err := ReadFrame(br)
+	var from int
+	if err == nil && typ == FrameHello {
+		from, err = DecodeHello(payload)
+	} else if err == nil {
+		err = fmt.Errorf("%w: first frame type %d, want hello", ErrCodec, typ)
+	}
+	if err != nil || from != expectPred {
+		l.t.stats.handshakeRejects.Add(1)
+		l.t.cfg.Logf("transport: member %d rejected connection from %v: from=%d err=%v", l.id, c.RemoteAddr(), from, err)
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(15 * time.Second)
+	}
+	l.t.stats.accepts.Add(1)
+	l.setInConn(c)
+	dead := make(chan struct{})
+	l.wg.Add(1)
+	go l.inWriter(c, dead)
+	l.serveIn(c, br, dead) // returns when the connection dies
+}
+
+func (l *tcpLink) setInConn(c net.Conn) {
+	l.mu.Lock()
+	if l.inConn != nil {
+		l.inConn.Close() // replaced by the newer connection
+	}
+	l.inConn = c
+	l.mu.Unlock()
+}
+
+// serveIn reads state frames from the predecessor until the connection
+// errors, then closes it (dead tells the ⊤ writer to stop).
+func (l *tcpLink) serveIn(c net.Conn, br *bufio.Reader, dead chan struct{}) {
+	defer close(dead)
+	defer c.Close()
+	for {
+		typ, payload, err := ReadFrame(br)
+		if err != nil {
+			l.connFailed("read from predecessor", err)
+			return
+		}
+		switch typ {
+		case FrameState:
+			m, err := DecodeState(payload)
+			if err != nil {
+				l.connFailed("decode state", err)
+				return
+			}
+			l.t.stats.framesRecv.Add(1)
+			// Latest-state-wins delivery into the protocol mailbox.
+			select {
+			case <-l.state:
+			default:
+			}
+			select {
+			case l.state <- m:
+			default:
+			}
+		case FrameHello:
+			// Redundant hello: harmless, ignore.
+		default:
+			l.connFailed("unexpected frame", fmt.Errorf("%w: type %d from predecessor", ErrCodec, typ))
+			return
+		}
+	}
+}
+
+// inWriter writes pending ⊤ markers back to the predecessor.
+func (l *tcpLink) inWriter(c net.Conn, dead chan struct{}) {
+	defer l.wg.Done()
+	var buf []byte
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-dead:
+			return
+		case <-l.outTop:
+			buf = AppendFrame(buf[:0], FrameTop, nil)
+			if _, err := c.Write(buf); err != nil {
+				l.connFailed("write ⊤ to predecessor", err)
+				c.Close()
+				return
+			}
+			l.t.stats.framesSent.Add(1)
+		}
+	}
+}
+
+// --- outgoing side: the connection to the successor ---
+
+// dialLoop maintains the connection to the ring successor: dial, hello,
+// serve until it dies, then redial with capped exponential backoff plus
+// jitter. The backoff resets after every successful dial.
+func (l *tcpLink) dialLoop() {
+	defer l.wg.Done()
+	succ := l.t.cfg.Peers[(l.id+1)%l.ringSize()]
+	rng := rand.New(rand.NewSource(int64(l.id)*1315423911 + 17))
+	backoff := l.t.cfg.BaseBackoff
+	for {
+		if l.closedNow() {
+			return
+		}
+		d := net.Dialer{Timeout: l.t.cfg.DialTimeout}
+		c, err := d.DialContext(l.dialCtx, "tcp", succ)
+		if err != nil {
+			if l.closedNow() {
+				return
+			}
+			l.t.stats.failedDials.Add(1)
+			// Full jitter on the upper half of the window: sleep in
+			// [backoff/2, backoff), then double up to the cap.
+			sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+			select {
+			case <-l.done:
+				return
+			case <-time.After(sleep):
+			}
+			if backoff *= 2; backoff > l.t.cfg.MaxBackoff {
+				backoff = l.t.cfg.MaxBackoff
+			}
+			continue
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetKeepAlive(true)
+			tc.SetKeepAlivePeriod(15 * time.Second)
+		}
+		if _, err := c.Write(AppendHello(nil, l.id)); err != nil {
+			l.connFailed("write hello", err)
+			c.Close()
+			continue
+		}
+		l.t.stats.dials.Add(1)
+		backoff = l.t.cfg.BaseBackoff
+		l.mu.Lock()
+		l.outConn = c
+		l.mu.Unlock()
+		dead := make(chan struct{})
+		l.wg.Add(1)
+		go l.outReader(c, dead)
+		l.outWriter(c, dead) // returns when the connection dies or the link closes
+		c.Close()
+	}
+}
+
+// outWriter streams the latest pending state to the successor.
+func (l *tcpLink) outWriter(c net.Conn, dead chan struct{}) {
+	var buf []byte
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-dead:
+			return
+		case m := <-l.outState:
+			buf = AppendState(buf[:0], m)
+			if _, err := c.Write(buf); err != nil {
+				l.connFailed("write state to successor", err)
+				return
+			}
+			l.t.stats.framesSent.Add(1)
+		}
+	}
+}
+
+// outReader receives ⊤ markers from the successor; its exit (on any read
+// error) marks the connection dead.
+func (l *tcpLink) outReader(c net.Conn, dead chan struct{}) {
+	defer l.wg.Done()
+	defer close(dead)
+	br := bufio.NewReaderSize(c, 64)
+	for {
+		typ, _, err := ReadFrame(br)
+		if err != nil {
+			l.connFailed("read from successor", err)
+			return
+		}
+		switch typ {
+		case FrameTop:
+			l.t.stats.framesRecv.Add(1)
+			select {
+			case l.top <- struct{}{}:
+			default:
+			}
+		case FrameHello:
+			// Harmless, ignore.
+		default:
+			l.connFailed("unexpected frame", fmt.Errorf("%w: type %d from successor", ErrCodec, typ))
+			return
+		}
+	}
+}
+
+// connFailed accounts one connection failure. Decode errors are counted
+// separately from plain connection drops, but both end the connection:
+// the reconnect plus the barrier's retransmission are the only recovery.
+func (l *tcpLink) connFailed(what string, err error) {
+	if l.closedNow() {
+		return
+	}
+	if errors.Is(err, ErrCodec) {
+		l.t.stats.decodeErrors.Add(1)
+	}
+	l.t.stats.connDrops.Add(1)
+	l.t.cfg.Logf("transport: member %d: %s: %v", l.id, what, err)
+}
