@@ -212,15 +212,28 @@ func BenchmarkTable1ToleranceCost(b *testing.B) {
 }
 
 // --- Transport comparison: a full barrier pass over the in-process
-// channel transport vs the loopback TCP transport. The delta is the cost
-// of real sockets — framing, checksums, kernel round trips — for the
-// identical protocol; EXPERIMENTS.md records representative numbers. ---
+// channel transport vs the loopback TCP transport, for both the ring and
+// the tree topology. The channel/TCP delta is the cost of real sockets —
+// framing, checksums, kernel round trips — for the identical protocol;
+// the ring/tree delta is the O(N) vs O(log N) token path. BENCH_runtime.json
+// and EXPERIMENTS.md record representative numbers. ---
 
 func BenchmarkAwaitChannel(b *testing.B) {
-	for _, n := range []int{2, 4, 8} {
+	for _, n := range []int{2, 4, 8, 16, 32} {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			benchRuntimePassesCfg(b, Config{Participants: n, Seed: 1}, nil)
+		})
+	}
+}
+
+func BenchmarkAwaitTree(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			benchRuntimePassesCfg(b, Config{Participants: n, Seed: 1, Topology: TopologyTree}, nil)
 		})
 	}
 }
@@ -229,12 +242,30 @@ func BenchmarkAwaitTCPLoopback(b *testing.B) {
 	for _, n := range []int{2, 4, 8} {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			tr, err := NewLoopbackRing(n)
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer tr.Close()
 			benchRuntimePassesCfg(b, Config{Participants: n, Seed: 1, Transport: tr}, nil)
+		})
+	}
+}
+
+func BenchmarkAwaitTCPLoopbackTree(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			tr, err := NewLoopbackTree(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+			benchRuntimePassesCfg(b, Config{
+				Participants: n, Seed: 1, Topology: TopologyTree, Transport: tr,
+			}, nil)
 		})
 	}
 }

@@ -32,8 +32,9 @@ type member struct {
 	logPath string
 }
 
-// start launches one barrierd member writing to its own log file.
-func start(t *testing.T, bin, peers string, id, quota int, dir string, rejoin bool) *member {
+// start launches one barrierd member writing to its own log file. extra
+// flags (e.g. -topology tree) are appended to the common argument set.
+func start(t *testing.T, bin, peers string, id, quota int, dir string, rejoin bool, extra ...string) *member {
 	t.Helper()
 	logPath := filepath.Join(dir, fmt.Sprintf("member%d.run%d.log", id, time.Now().UnixNano()))
 	logFile, err := os.Create(logPath)
@@ -50,6 +51,7 @@ func start(t *testing.T, bin, peers string, id, quota int, dir string, rejoin bo
 	if rejoin {
 		args = append(args, "-rejoin")
 	}
+	args = append(args, extra...)
 	cmd := exec.Command(bin, args...)
 	cmd.Stdout = logFile
 	cmd.Stderr = logFile
@@ -92,17 +94,24 @@ func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool)
 	}
 }
 
-func TestLoopbackRingKillRestart(t *testing.T) {
-	dir := t.TempDir()
+// buildBarrierd compiles the daemon once into dir and returns the binary
+// path.
+func buildBarrierd(t *testing.T, dir string) string {
+	t.Helper()
 	bin := filepath.Join(dir, "barrierd")
 	build := exec.Command("go", "build", "-o", bin, ".")
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("building barrierd: %v\n%s", err, out)
 	}
+	return bin
+}
 
-	// Reserve a loopback port per member by binding and releasing ephemeral
-	// listeners; barrierd then binds the same addresses itself.
-	addrs := make([]string, ringSize)
+// reservePeers reserves one loopback port per member by binding and
+// releasing ephemeral listeners; barrierd then binds the same addresses
+// itself.
+func reservePeers(t *testing.T, n int) string {
+	t.Helper()
+	addrs := make([]string, n)
 	for i := range addrs {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -111,7 +120,13 @@ func TestLoopbackRingKillRestart(t *testing.T) {
 		addrs[i] = ln.Addr().String()
 		ln.Close()
 	}
-	peers := strings.Join(addrs, ",")
+	return strings.Join(addrs, ",")
+}
+
+func TestLoopbackRingKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	bin := buildBarrierd(t, dir)
+	peers := reservePeers(t, ringSize)
 
 	members := make([]*member, ringSize)
 	for id := 0; id < ringSize; id++ {
@@ -185,6 +200,92 @@ func TestLoopbackRingKillRestart(t *testing.T) {
 	}
 	t.Logf("survivor passes: m0=%d m1=%d m3=%d; rejoined m2=%d",
 		passCount(members[0]), passCount(members[1]), passCount(members[3]), passCount(members[2]))
+}
+
+// The tree-topology deployment: a 7-process loopback binary-heap tree must
+// complete 100+ barrier phases spec-clean with 1% injected corruption,
+// with one leaf SIGKILLed mid-run and restarted with -rejoin.
+func TestLoopbackTreeKillRestart(t *testing.T) {
+	const (
+		treeSize   = 7
+		treeVictim = 5 // a leaf of the 7-member binary heap (leaves: 3,4,5,6)
+	)
+	dir := t.TempDir()
+	bin := buildBarrierd(t, dir)
+	peers := reservePeers(t, treeSize)
+
+	members := make([]*member, treeSize)
+	for id := 0; id < treeSize; id++ {
+		members[id] = start(t, bin, peers, id, survivorQuota, dir, false, "-topology", "tree")
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			if m.cmd.ProcessState == nil {
+				m.cmd.Process.Kill()
+				m.cmd.Wait()
+			}
+		}
+	})
+
+	// Let the tree make real progress, then fail-stop a leaf mid-run.
+	waitFor(t, "initial tree progress", time.Minute, func() bool {
+		return passCount(members[0]) >= killAfterPass
+	})
+	victim := members[treeVictim]
+	if err := victim.cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup, no goodbye
+		t.Fatal(err)
+	}
+	victim.cmd.Wait()
+	t.Logf("killed member %d at root pass %d", treeVictim, passCount(members[0]))
+
+	// The root's convergecast cannot complete without the leaf's subtree
+	// acknowledgment; restart it into the live tree in the reset state.
+	time.Sleep(50 * time.Millisecond)
+	members[treeVictim] = start(t, bin, peers, treeVictim, restartQuota, dir, true, "-topology", "tree")
+
+	for _, m := range members {
+		m := m
+		waitFor(t, fmt.Sprintf("member %d DONE", m.id), 2*time.Minute, func() bool {
+			if logged(m, "VIOLATION") {
+				data, _ := os.ReadFile(m.logPath)
+				lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+				t.Fatalf("member %d spec violation: %s", m.id, lines[len(lines)-1])
+			}
+			return logged(m, "DONE ")
+		})
+	}
+
+	// Graceful shutdown: SIGTERM each member; all must exit 0 with a clean
+	// summary and no violations anywhere in their logs.
+	for _, m := range members {
+		if err := m.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Errorf("signalling member %d: %v", m.id, err)
+		}
+	}
+	for _, m := range members {
+		if err := m.cmd.Wait(); err != nil {
+			data, _ := os.ReadFile(m.logPath)
+			t.Errorf("member %d exited uncleanly: %v\n%s", m.id, err, tailLines(string(data), 5))
+		}
+		if logged(m, "VIOLATION") {
+			t.Errorf("member %d logged a spec violation", m.id)
+		}
+		if !logged(m, "EXIT ") {
+			t.Errorf("member %d exited without a clean summary", m.id)
+		}
+	}
+
+	// The acceptance bar: ≥100 phases completed spec-clean around the kill.
+	for _, m := range members {
+		if m.id == treeVictim {
+			continue
+		}
+		if got := passCount(m); got < 100 {
+			t.Errorf("member %d completed %d passes, want ≥ 100", m.id, got)
+		}
+	}
+	t.Logf("root passes: %d; rejoined leaf m%d passes: %d",
+		passCount(members[0]), treeVictim, passCount(members[treeVictim]))
 }
 
 func tailLines(s string, n int) string {

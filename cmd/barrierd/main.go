@@ -1,7 +1,13 @@
 // Command barrierd hosts one member of a distributed fault-tolerant
-// barrier: each ring member runs as its own OS process, connected to its
+// barrier: each member runs as its own OS process, connected to its
 // neighbors over TCP (internal/transport). Together the processes realize
-// the same MB protocol instance the in-process runtime runs over channels.
+// the same protocol instance the in-process runtime runs over channels.
+//
+// -topology selects the refinement: "ring" (default) is the MB token ring,
+// "tree" the double-tree broadcast/convergecast over a binary heap of the
+// member indices — O(log N) barrier latency instead of O(N), at the price
+// of the root being a hub. Every member of one barrier must agree on the
+// topology.
 //
 // A four-member loopback ring:
 //
@@ -37,20 +43,22 @@ import (
 	"time"
 
 	"repro/internal/runtime"
+	"repro/internal/topo"
 	"repro/internal/transport"
 )
 
 var (
-	idFlag      = flag.Int("id", -1, "this member's ring position (0-based)")
-	peersFlag   = flag.String("peers", "", "comma-separated host:port of every member, in ring order")
-	passesFlag  = flag.Int("passes", 100, "print DONE after this many successful passes (0: unlimited)")
-	nPhasesFlag = flag.Int("nphases", 4, "phase-counter modulus")
-	resendFlag  = flag.Duration("resend", 500*time.Microsecond, "state retransmission period")
-	lossFlag    = flag.Float64("loss", 0, "per-message send-loss probability (fault injection)")
-	corruptFlag = flag.Float64("corrupt", 0, "per-message corruption probability (fault injection)")
-	seedFlag    = flag.Int64("seed", 1, "random seed for fault injection draws")
-	rejoinFlag  = flag.Bool("rejoin", false, "start in the reset protocol state (restarting into a live ring)")
-	quietFlag   = flag.Bool("quiet", false, "suppress per-pass output")
+	idFlag       = flag.Int("id", -1, "this member's position (0-based)")
+	peersFlag    = flag.String("peers", "", "comma-separated host:port of every member, in member order")
+	topologyFlag = flag.String("topology", "ring", `barrier topology: "ring" or "tree" (binary heap by member index)`)
+	passesFlag   = flag.Int("passes", 100, "print DONE after this many successful passes (0: unlimited)")
+	nPhasesFlag  = flag.Int("nphases", 4, "phase-counter modulus")
+	resendFlag   = flag.Duration("resend", 500*time.Microsecond, "state retransmission period")
+	lossFlag     = flag.Float64("loss", 0, "per-message send-loss probability (fault injection)")
+	corruptFlag  = flag.Float64("corrupt", 0, "per-message corruption probability (fault injection)")
+	seedFlag     = flag.Int64("seed", 1, "random seed for fault injection draws")
+	rejoinFlag   = flag.Bool("rejoin", false, "start in the reset protocol state (restarting into a live ring)")
+	quietFlag    = flag.Bool("quiet", false, "suppress per-pass output")
 )
 
 func main() {
@@ -71,14 +79,40 @@ func run() error {
 		return fmt.Errorf("-id %d out of range for %d peers", id, len(peers))
 	}
 
-	tr, err := transport.NewTCP(transport.TCPConfig{Peers: peers})
-	if err != nil {
-		return err
+	// The transport must realize the same topology the protocol runs: ring
+	// links for MB, tree edges (matching the runtime's default binary-heap
+	// shape) for the double-tree refinement.
+	var (
+		tr       runtime.Transport
+		topology runtime.Topology
+	)
+	switch *topologyFlag {
+	case "ring":
+		topology = runtime.TopologyRing
+		t, err := transport.NewTCP(transport.TCPConfig{Peers: peers})
+		if err != nil {
+			return err
+		}
+		tr = t
+	case "tree":
+		topology = runtime.TopologyTree
+		shape, err := topo.NewKAryTree(len(peers), 2)
+		if err != nil {
+			return err
+		}
+		t, err := transport.NewTCPTree(transport.TCPConfig{Peers: peers}, shape.Parent)
+		if err != nil {
+			return err
+		}
+		tr = t
+	default:
+		return fmt.Errorf("-topology %q: want ring or tree", *topologyFlag)
 	}
 	defer tr.Close()
 	b, err := runtime.New(runtime.Config{
 		Participants: len(peers),
 		NPhases:      *nPhasesFlag,
+		Topology:     topology,
 		Transport:    tr,
 		Members:      []int{id},
 		Rejoin:       *rejoinFlag,

@@ -73,7 +73,7 @@ func main() {
 			Crashes:   *crashesFlag,
 			Spurious:  *spuriousFlag,
 		}
-		if tgt == conformance.TargetRuntime {
+		if conformance.IsRuntimeTarget(tgt) {
 			cfg.Loss = *lossFlag
 			cfg.Corrupt = *corruptFlag
 			// Runtime schedules are wall-clock paced; keep them shorter so a

@@ -60,6 +60,18 @@ var (
 // New creates and starts a runtime Barrier for cfg.Participants goroutines.
 func New(cfg Config) (*Barrier, error) { return runtime.New(cfg) }
 
+// Topology selects the runtime barrier's refinement (Config.Topology): the
+// MB token ring (O(N) latency, the default) or the double-tree
+// broadcast/convergecast of Fig 2(d) (O(log N) latency over a k-ary heap,
+// arity Config.TreeArity).
+type Topology = runtime.Topology
+
+// The available topologies.
+const (
+	TopologyRing = runtime.TopologyRing
+	TopologyTree = runtime.TopologyTree
+)
+
 // --- Layer 1, distributed: pluggable ring transports ---
 
 // Transport supplies the barrier's ring links (Config.Transport); Link is
@@ -82,6 +94,12 @@ type (
 // transports.
 func NewChanTransport(n int) Transport { return runtime.NewChanTransport(n) }
 
+// NewChanTreeTransport returns the in-process channel transport for the
+// tree described by the parent vector (parent[root] == -1) — the default
+// for TopologyTree when Config.Transport is nil. The tree must match the
+// shape the barrier derives from Config.TreeArity.
+func NewChanTreeTransport(parent []int) Transport { return runtime.NewChanTreeTransport(parent) }
+
 // TCPConfig parameterizes a TCP ring transport; TCPTransport implements
 // Transport over per-edge TCP connections with automatic reconnect
 // (capped exponential backoff with jitter). Every socket failure is
@@ -103,6 +121,24 @@ func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) { return transport.Ne
 // NewLoopbackRing binds n ephemeral loopback listeners and returns a TCP
 // transport for an all-local ring — the test and benchmark configuration.
 func NewLoopbackRing(n int) (*TCPTransport, error) { return transport.NewLoopbackRing(n) }
+
+// TCPTreeTransport is the TCP implementation of the tree topology's
+// transport: one connection per tree edge, dialed child → parent, carrying
+// convergecast reports up and state broadcasts down.
+type TCPTreeTransport = transport.TCPTree
+
+// NewTCPTreeTransport creates a TCP transport for the tree described by
+// the parent vector over the members listed in cfg.Peers. Pair it with
+// Config.Topology == TopologyTree; the parent vector must match the shape
+// the barrier derives from Config.TreeArity (topo.NewKAryTree).
+func NewTCPTreeTransport(cfg TCPConfig, parent []int) (*TCPTreeTransport, error) {
+	return transport.NewTCPTree(cfg, parent)
+}
+
+// NewLoopbackTree binds n ephemeral loopback listeners and returns a TCP
+// transport for an all-local binary-heap tree — the test and benchmark
+// configuration for TopologyTree.
+func NewLoopbackTree(n int) (*TCPTreeTransport, error) { return transport.NewLoopbackTree(n) }
 
 // --- Layer 2: the protocol stack ---
 

@@ -156,6 +156,63 @@ func TestTCPTargetMatchesChannelTarget(t *testing.T) {
 	}
 }
 
+// The tree topology passes both tolerance checks, like the ring.
+func TestTreeTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock paced")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		// Resets plus message loss and detected corruption: masking.
+		s := Generate(GenConfig{Target: TargetTree, NProcs: 5, NPhases: 3, Ops: 60,
+			FaultRate: 0.15, Loss: 0.05, Corrupt: 0.05}, seed)
+		if v := Run(s); !v.OK {
+			t.Errorf("masking seed=%d: %v\n  replay: %s", seed, v, s.String())
+		}
+		s = Generate(GenConfig{Target: TargetTree, NProcs: 5, NPhases: 3, Ops: 60,
+			FaultRate: 0.15, Scrambles: true, Spurious: true, Loss: 0.05, Corrupt: 0.05}, seed)
+		if v := Run(s); !v.OK {
+			t.Errorf("stabilizing seed=%d: %v\n  replay: %s", seed, v, s.String())
+		}
+	}
+}
+
+// A schedule ported between the ring and tree topologies must produce the
+// same verdict: the topology is a refinement choice, not an observable.
+// Fault-free schedules check pure barrier equivalence; the masking and
+// byte-derived mixes check that the tree masks the same fault classes.
+func TestTreeTargetMatchesChannelTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock paced")
+	}
+	schedules := []Schedule{
+		// Fault-free: both topologies must run spec-clean barriers.
+		Generate(GenConfig{Target: TargetRuntime, NProcs: 4, NPhases: 3, Ops: 40}, 10),
+		Generate(GenConfig{Target: TargetRuntime, NProcs: 7, NPhases: 2, Ops: 40}, 11),
+		// Masking mix: resets over lossy, corrupting links.
+		Generate(GenConfig{Target: TargetRuntime, NProcs: 4, NPhases: 3, Ops: 40,
+			FaultRate: 0.15, Loss: 0.05, Corrupt: 0.05}, 12),
+		// A byte-derived schedule, as the fuzzers construct them.
+		FromBytes(TargetRuntime, 13, []byte{1, 1, 2, 3, 10, 20, 0xB2, 1, 5, 40}),
+	}
+	for i, s := range schedules {
+		s.Target = TargetRuntime
+		vRing := Run(s)
+		s.Target = TargetTree
+		vTree := Run(s)
+		if vRing.OK != vTree.OK || vRing.Reason != vTree.Reason {
+			t.Errorf("schedule %d: verdicts diverge across topologies:\n  ring: %v\n  tree: %v\n  replay: %s",
+				i, vRing, vTree, s.String())
+		}
+		if !vRing.OK {
+			t.Errorf("schedule %d: expected OK on both topologies, got %v", i, vRing)
+		}
+		if s.HasUndetectable() && (vRing.Stabilized != vTree.Stabilized) {
+			t.Errorf("schedule %d: stabilization verdicts diverge: ring=%v tree=%v",
+				i, vRing.Stabilized, vTree.Stabilized)
+		}
+	}
+}
+
 // All five refinements are observationally equivalent on fault-free
 // computations: the same sequence of successful barrier phases.
 func TestRefinementTraceEquivalence(t *testing.T) {

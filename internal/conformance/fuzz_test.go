@@ -64,6 +64,12 @@ func FuzzRuntime(f *testing.F) { fuzzLiveBarrier(f, TargetRuntime) }
 // case additionally exercises framing and the socket-failure→loss mapping.
 func FuzzRuntimeTCP(f *testing.F) { fuzzLiveBarrier(f, TargetTCP) }
 
+// FuzzRuntimeTree runs the identical schedule space through the tree
+// topology: the protocol result must not depend on whether the barrier is
+// the ring or the double-tree refinement, and every case exercises the
+// broadcast/convergecast engine under the same fault mix.
+func FuzzRuntimeTree(f *testing.F) { fuzzLiveBarrier(f, TargetTree) }
+
 // FuzzScheduleParse checks that Parse never panics and that accepted inputs
 // are fixed points of the String/Parse round trip.
 func FuzzScheduleParse(f *testing.F) {

@@ -73,9 +73,17 @@ func runRuntime(s Schedule) Verdict {
 		defer tcp.Close()
 		tr = tcp
 	}
+	// The tree target swaps the ring refinement for the double-tree one;
+	// everything else — pacing, fault rates, verdict — is unchanged, which
+	// is the conformance statement: the topology must not be observable.
+	topology := runtime.TopologyRing
+	if s.Target == TargetTree {
+		topology = runtime.TopologyTree
+	}
 	b, err := runtime.New(runtime.Config{
 		Participants: s.NProcs,
 		NPhases:      s.NPhases,
+		Topology:     topology,
 		Transport:    tr,
 		Resend:       runtimeResend,
 		LossRate:     s.Loss,

@@ -26,11 +26,18 @@ const TargetRuntime = "runtime"
 // verdict on both.
 const TargetTCP = "tcp"
 
+// TargetTree names the runtime barrier in its tree topology: the same live
+// protocol engine, but running the double-tree refinement (broadcast wave
+// down, acknowledgment convergecast up) over in-process tree links instead
+// of the ring. A schedule is portable between the ring and tree topologies
+// and must produce the same verdict on both.
+const TargetTree = "tree"
+
 // IsRuntimeTarget reports whether the named target runs the live goroutine
 // barrier (wall-clock pacing, message-rate faults, spurious injection)
 // rather than a guarded-engine refinement.
 func IsRuntimeTarget(name string) bool {
-	return name == TargetRuntime || name == TargetTCP
+	return name == TargetRuntime || name == TargetTCP || name == TargetTree
 }
 
 // Target is the conformance harness's view of a guarded-engine barrier
@@ -124,12 +131,12 @@ func Register(name string, b Builder) { builders[name] = b }
 // Targets returns the registered guarded-engine target names, sorted,
 // with the runtime targets appended last.
 func Targets() []string {
-	names := make([]string, 0, len(builders)+2)
+	names := make([]string, 0, len(builders)+3)
 	for name := range builders {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	return append(names, TargetRuntime, TargetTCP)
+	return append(names, TargetRuntime, TargetTCP, TargetTree)
 }
 
 // NewTarget builds the named target with its randomness rooted at rng.

@@ -243,9 +243,9 @@ func TestCombinedFaultChaosAgainstSpec(t *testing.T) {
 		case 0:
 			b.Reset(i % n)
 		case 1:
-			b.InjectSpurious((i + 1) % n, int64(i))
+			b.InjectSpurious((i+1)%n, int64(i))
 		case 2:
-			b.Scramble((i + 2) % n, int64(1000+i))
+			b.Scramble((i+2)%n, int64(1000+i))
 		case 3:
 			// Let the ring breathe between fault bursts.
 		}

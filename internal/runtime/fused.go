@@ -1,0 +1,279 @@
+// Fused execution of the tree runtime: when a TopologyTree barrier hosts
+// every member in this process and no explicit transport was supplied, the
+// members do not need a goroutine (and two channel hops) per tree edge —
+// the whole collective runs on ONE scheduler goroutine, and an
+// announcement is delivered by refreshing the receiver's local copy
+// directly and queueing the receiver for its next step. A wave then
+// ripples through the entire tree inside a single wakeup instead of
+// paying a park/unpark cycle per node, which on the in-process hot path
+// is most of the cost of a pass.
+//
+// The protocol is unchanged: the scheduler runs the same treeProc state
+// machines, the same guarded actions (step), and the same announcement
+// discipline (announce, including the configured loss/corruption draws
+// and the checksum verification at the receiver) as the goroutine-per-
+// member mode, which remains in use whenever an explicit transport is
+// configured — in particular for every distributed deployment. What the
+// fusion changes is only the schedule: actions interleave at step
+// granularity under a deterministic work queue, one of the legal
+// schedules of the asynchronous protocol (compare the guarded engine's
+// maximal-parallel scheduler).
+//
+// Asynchronous inputs still arrive over channels, because their senders
+// are other goroutines: participant arrivals and fault injections on a
+// control channel shared by all members, and spurious-message injections
+// in per-link mailboxes flagged by a nudge channel.
+package runtime
+
+import (
+	"time"
+
+	"repro/internal/topo"
+)
+
+// startFusedTree wires the single-goroutine tree: every member is local,
+// links deliver by direct copy refresh.
+func (b *Barrier) startFusedTree(cfg Config, tree *topo.Tree) error {
+	f := &fusedTree{
+		b:     b,
+		procs: make([]*treeProc, b.n),
+		// The shared control channel: at most one outstanding arrival per
+		// participant, plus headroom for fault-injection bursts (inject
+		// drops on overflow, as in the per-member mode).
+		ctrl:  make(chan ctrlMsg, 4*b.n+16),
+		nudge: make(chan struct{}, 1),
+		dirty: make([]bool, b.n),
+		queue: make([]int, 0, b.n),
+	}
+	for id := 0; id < b.n; id++ {
+		link := &fusedTreeLink{
+			f:       f,
+			id:      id,
+			injDown: make(chan Message, 1),
+			injUp:   make(chan UpMessage, 2),
+		}
+		b.links = append(b.links, link)
+		tp := newTreeProc(b, id, tree.Parent[id], tree.Children[id], link, cfg)
+		tp.gate.ctrl = f.ctrl // all gates feed the one scheduler
+		f.procs[id] = tp
+		b.tprocs[id] = tp
+		b.gates[id] = tp.gate
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		f.run(cfg.Resend, cfg.LossRate, cfg.CorruptRate)
+	}()
+	return nil
+}
+
+// fusedTree is the scheduler: a work queue of members with unprocessed
+// input or unapplied enabled actions. All proc and gate state is owned by
+// the scheduler goroutine; only the channels are shared.
+type fusedTree struct {
+	b     *Barrier
+	procs []*treeProc
+
+	ctrl  chan ctrlMsg
+	nudge chan struct{}
+
+	dirty []bool
+	queue []int
+	head  int
+}
+
+// mark queues member id for a step unless it is already queued.
+func (f *fusedTree) mark(id int) {
+	if !f.dirty[id] {
+		f.dirty[id] = true
+		f.queue = append(f.queue, id)
+	}
+}
+
+// drain steps queued members to quiescence. Announcements made during a
+// step deliver immediately and re-queue their receivers, so one drain
+// carries a wave as far as the protocol allows.
+func (f *fusedTree) drain(lossRate, corruptRate float64) {
+	for f.head < len(f.queue) {
+		id := f.queue[f.head]
+		f.head++
+		f.dirty[id] = false
+		tp := f.procs[id]
+		tp.step()
+		tp.announce(lossRate, corruptRate)
+	}
+	f.queue = f.queue[:0]
+	f.head = 0
+}
+
+// onCtrl dispatches a control message to its target member.
+func (f *fusedTree) onCtrl(c ctrlMsg) {
+	if c.id < 0 || c.id >= len(f.procs) {
+		return
+	}
+	f.procs[c.id].onCtrl(c)
+	f.mark(c.id)
+}
+
+// sweepInjections drains every link's spurious-injection mailboxes.
+func (f *fusedTree) sweepInjections() {
+	for _, tp := range f.procs {
+		l := tp.link.(*fusedTreeLink)
+		for {
+			select {
+			case m := <-l.injDown:
+				tp.onDown(m)
+				f.mark(tp.id)
+				continue
+			default:
+			}
+			select {
+			case m := <-l.injUp:
+				tp.onUp(m)
+				f.mark(tp.id)
+				continue
+			default:
+			}
+			break
+		}
+	}
+}
+
+// onTick applies the quiet-edge retransmission policy to every member
+// (see the per-member run loops) and queues them so the resends go out.
+func (f *fusedTree) onTick() {
+	for _, tp := range f.procs {
+		if tp.sentSinceTick {
+			tp.sentSinceTick = false
+		} else {
+			tp.haveSentDown = false
+			tp.haveSentUp = false
+		}
+		f.mark(tp.id)
+	}
+}
+
+func (f *fusedTree) run(resend time.Duration, lossRate, corruptRate float64) {
+	ticker := time.NewTicker(resend)
+	defer ticker.Stop()
+
+	for _, tp := range f.procs {
+		f.mark(tp.id) // prime the tree
+	}
+	f.drain(lossRate, corruptRate)
+	for {
+		// Fast path: consume already-queued input without a blocking
+		// select (an empty-channel poll is lock-free).
+		busy := false
+		for {
+			progressed := false
+			select {
+			case c := <-f.ctrl:
+				f.onCtrl(c)
+				progressed = true
+			default:
+			}
+			select {
+			case <-f.nudge:
+				f.sweepInjections()
+				progressed = true
+			default:
+			}
+			if !progressed {
+				break
+			}
+			busy = true
+			f.drain(lossRate, corruptRate)
+		}
+		if busy {
+			select {
+			case <-f.b.stopped:
+				return
+			case <-f.b.halted:
+				return // fail-safe halt: quiesce
+			default:
+			}
+			continue
+		}
+
+		// Idle: the whole collective is quiescent; park.
+		select {
+		case <-f.b.stopped:
+			return
+		case <-f.b.halted:
+			return
+		case c := <-f.ctrl:
+			f.onCtrl(c)
+		case <-f.nudge:
+			f.sweepInjections()
+		case <-ticker.C:
+			f.onTick()
+		}
+		f.drain(lossRate, corruptRate)
+	}
+}
+
+// fusedTreeLink is a member's tree link in fused mode: sends refresh the
+// receiving member's copies directly (the caller is always the scheduler
+// goroutine); the channels exist only for spurious-message injection,
+// whose senders are participant goroutines.
+type fusedTreeLink struct {
+	f  *fusedTree
+	id int
+
+	injDown chan Message
+	injUp   chan UpMessage
+}
+
+func (l *fusedTreeLink) SendDown(child int, m Message) {
+	if child < 0 || child >= len(l.f.procs) {
+		return
+	}
+	tp := l.f.procs[child]
+	if tp.parentID != l.id {
+		return
+	}
+	tp.onDown(m)
+	l.f.mark(child)
+}
+
+func (l *fusedTreeLink) SendUp(m UpMessage) {
+	p := l.f.procs[l.id].parentID
+	if p < 0 {
+		return
+	}
+	l.f.procs[p].onUp(m)
+	l.f.mark(p)
+}
+
+func (l *fusedTreeLink) Down() <-chan Message { return l.injDown }
+func (l *fusedTreeLink) Up() <-chan UpMessage { return l.injUp }
+
+func (l *fusedTreeLink) InjectDown(m Message) bool {
+	select {
+	case l.injDown <- m:
+		l.nudgeSched()
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *fusedTreeLink) InjectUp(m UpMessage) bool {
+	select {
+	case l.injUp <- m:
+		l.nudgeSched()
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *fusedTreeLink) nudgeSched() {
+	select {
+	case l.f.nudge <- struct{}{}:
+	default:
+	}
+}
+
+func (l *fusedTreeLink) Close() error { return nil }

@@ -54,14 +54,39 @@ var (
 	ErrStopped = errors.New("ftbarrier: barrier stopped")
 )
 
+// Topology selects the communication structure of the runtime protocol.
+type Topology int
+
+const (
+	// TopologyRing is the MB ring of Section 5 (the default): one token
+	// circulates, a pass costs O(N) sequential hops.
+	TopologyRing Topology = iota
+	// TopologyTree is the double-tree refinement of Figure 2(d): waves
+	// disseminate down a tree and a convergecast detects completion back
+	// up it, so a pass costs O(h) = O(log N) sequential hops.
+	TopologyTree
+)
+
 // Config parameterizes a Barrier.
 type Config struct {
 	// Participants is the number of synchronizing goroutines (≥ 2).
 	Participants int
+	// Topology selects the protocol's communication structure: the MB
+	// ring (default) or the Figure 2(d) double tree. Both provide the
+	// same guarantees (masking for detectable faults, stabilization for
+	// undetectable ones, fail-safe Halt); the tree trades O(N) for
+	// O(log N) sequential hops per pass.
+	Topology Topology
+	// TreeArity is the branching factor of the TopologyTree tree
+	// (default 2; heap-shaped, node i's parent is (i-1)/TreeArity).
+	// Ignored for TopologyRing.
+	TreeArity int
 	// Transport supplies the ring links (nil: the in-process channel
 	// transport). A network transport (internal/transport) lets the ring
 	// span OS processes; the Barrier closes the links it opens on Stop,
 	// but an explicitly supplied Transport is closed by its creator.
+	// With Topology == TopologyTree the transport must additionally
+	// implement TreeTransport (NewChanTreeTransport, transport.NewTCPTree).
 	Transport Transport
 	// Members lists the ring members hosted by this process (nil: all of
 	// them). A distributed deployment runs one process per member over a
@@ -107,25 +132,36 @@ const (
 )
 
 type ctrlMsg struct {
+	id     int // target member (used by shared control channels)
 	kind   ctrlKind
 	seed   int64
 	ticket uint64
 }
 
-// Barrier is a fault-tolerant barrier over a ring of protocol goroutines.
+// closer is the teardown half shared by ring and tree links/transports.
+type closer interface{ Close() error }
+
+// Barrier is a fault-tolerant barrier over a ring or tree of protocol
+// goroutines.
 type Barrier struct {
 	n       int
 	nPhases int
 	l       int
 
 	// procs is indexed by member id; entries for members hosted by other
-	// processes (distributed deployments) are nil.
+	// processes (distributed deployments) — or running the tree protocol —
+	// are nil.
 	procs []*proc
+	// tprocs is the tree-topology counterpart of procs.
+	tprocs []*treeProc
+	// gates is the topology-independent participant interface, indexed by
+	// member id (nil for members hosted elsewhere).
+	gates []*gate
 	// links are the transport links this barrier opened, closed on Stop.
-	links []Link
+	links []closer
 	// ownTransport is the internally created default transport, if any;
 	// Stop closes it too.
-	ownTransport Transport
+	ownTransport closer
 
 	haltOnce  sync.Once
 	halted    chan struct{}
@@ -146,33 +182,53 @@ type Barrier struct {
 	statInjDropped atomic.Int64 // fault injections discarded (ctrl buffer full)
 }
 
-// proc is one MB process: a goroutine owning its protocol state.
-type proc struct {
+// gate is the participant-facing half of a protocol process, shared by the
+// ring and tree topologies: the work gate (has the participant arrived at
+// the barrier?), the outstanding-Await bookkeeping, and the wake channel.
+// Only the owning protocol goroutine touches the mutable fields; the
+// participant goroutine interacts through ctrl/wake/tickets.
+type gate struct {
 	b  *Barrier
 	id int
+
+	arrived    bool   // an unconsumed participant arrival (the work gate)
+	appWaiting bool   // an Await is outstanding
+	curTicket  uint64 // ticket of the outstanding Await
+	lastDonePh int    // phase of the last completion that consumed an arrival
+	pendingErr error  // delivered on the next Await (e.g. ErrReset)
+
+	ctrl chan ctrlMsg
+	// signal to a waiting Await: the phase that just began, or an error.
+	wake    chan awaitResult
+	tickets uint64 // Await ticket source (accessed only by the participant)
+}
+
+func newGate(b *Barrier, id int) *gate {
+	return &gate{
+		b:          b,
+		id:         id,
+		lastDonePh: -1,
+		ctrl:       make(chan ctrlMsg, b.n+4),
+		wake:       make(chan awaitResult, 1),
+	}
+}
+
+// proc is one MB process: a goroutine owning its protocol state.
+type proc struct {
+	*gate
 
 	// Protocol state (MB, Section 5).
 	sn, snL, snR tokenring.SN
 	cp, cpL      core.CP
 	ph, phL      int
 
-	arrived    bool   // an unconsumed participant arrival (the work gate)
-	appWaiting bool   // an Await is outstanding
-	curTicket  uint64 // ticket of the outstanding Await
-	lastDonePh int    // phase of the last completion that consumed an arrival
-
 	link  Link
 	state <-chan Message // predecessor's state announcements, via the link
 	top   <-chan struct{}
-	ctrl  chan ctrlMsg
 
-	lastSent   Message
-	haveSent   bool
-	pendingErr error // delivered on the next Await (e.g. ErrReset)
-
-	// signal to a waiting Await: the phase that just began, or an error.
-	wake    chan awaitResult
-	tickets uint64 // Await ticket source (accessed only by the participant)
+	lastSent      Message
+	haveSent      bool
+	sentSinceTick bool // a send happened since the last resend tick
 
 	rng *rand.Rand
 }
@@ -239,36 +295,49 @@ func New(cfg Config) (*Barrier, error) {
 		stopped: make(chan struct{}),
 		sink:    cfg.EventSink,
 	}
+	b.procs = make([]*proc, b.n)
+	b.tprocs = make([]*treeProc, b.n)
+	b.gates = make([]*gate, b.n)
+	var err error
+	if cfg.Topology == TopologyTree {
+		err = b.startTree(cfg, members)
+	} else {
+		err = b.startRing(cfg, members)
+	}
+	if err != nil {
+		for _, l := range b.links {
+			l.Close()
+		}
+		if b.ownTransport != nil {
+			b.ownTransport.Close()
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
+// startRing wires the MB ring: one proc per hosted member, links from the
+// ring transport.
+func (b *Barrier) startRing(cfg Config, members []int) error {
 	tr := cfg.Transport
 	if tr == nil {
 		tr = NewChanTransport(b.n)
 		b.ownTransport = tr
 	}
-	b.procs = make([]*proc, b.n)
 	for _, j := range members {
 		link, err := tr.Open(j)
 		if err != nil {
-			for _, l := range b.links {
-				l.Close()
-			}
-			if b.ownTransport != nil {
-				b.ownTransport.Close()
-			}
-			return nil, fmt.Errorf("ftbarrier: open link for member %d: %w", j, err)
+			return fmt.Errorf("ftbarrier: open link for member %d: %w", j, err)
 		}
 		b.links = append(b.links, link)
 		p := &proc{
-			b:          b,
-			id:         j,
-			cp:         core.Execute, // everyone starts executing phase 0
-			cpL:        core.Execute,
-			lastDonePh: -1,
-			link:       link,
-			state:      link.State(),
-			top:        link.Top(),
-			ctrl:       make(chan ctrlMsg, b.n+4),
-			wake:       make(chan awaitResult, 1),
-			rng:        rand.New(rand.NewSource(cfg.Seed + int64(j)*7919)),
+			gate:  newGate(b, j),
+			cp:    core.Execute, // everyone starts executing phase 0
+			cpL:   core.Execute,
+			link:  link,
+			state: link.State(),
+			top:   link.Top(),
+			rng:   rand.New(rand.NewSource(cfg.Seed + int64(j)*7919)),
 		}
 		if cfg.Rejoin {
 			// The Section 7 restart state: identical to the aftermath of a
@@ -278,6 +347,7 @@ func New(cfg Config) (*Barrier, error) {
 			p.snR = tokenring.Bot
 		}
 		b.procs[j] = p
+		b.gates[j] = p.gate
 	}
 	if !cfg.Rejoin {
 		// Every local process starts out executing phase 0: record the
@@ -298,7 +368,7 @@ func New(cfg Config) (*Barrier, error) {
 			p.run(cfg.Resend, lossRate, corruptRate)
 		}()
 	}
-	return b, nil
+	return nil
 }
 
 // Stats is a snapshot of the barrier's internal counters.
@@ -336,7 +406,14 @@ func (b *Barrier) Stats() Stats {
 // completing a barrier at the wrong phase) until the predecessor's next
 // genuine (re)transmission overrides it and the ring re-converges.
 func (b *Barrier) InjectSpurious(id int, seed int64) {
-	if id < 0 || id >= b.n || b.procs[id] == nil {
+	if id < 0 || id >= b.n {
+		return
+	}
+	if tp := b.tprocs[id]; tp != nil {
+		tp.injectSpurious(seed)
+		return
+	}
+	if b.procs[id] == nil {
 		return
 	}
 	rng := rand.New(rand.NewSource(seed))
@@ -401,13 +478,13 @@ func (b *Barrier) Enter(ctx context.Context, id int) error {
 	if id < 0 || id >= b.n {
 		return fmt.Errorf("ftbarrier: participant %d out of range [0,%d)", id, b.n)
 	}
-	p := b.procs[id]
-	if p == nil {
+	g := b.gates[id]
+	if g == nil {
 		return fmt.Errorf("ftbarrier: member %d is not hosted by this process", id)
 	}
-	p.tickets++
+	g.tickets++
 	select {
-	case p.ctrl <- ctrlMsg{kind: ctrlArrive, ticket: p.tickets}:
+	case g.ctrl <- ctrlMsg{id: g.id, kind: ctrlArrive, ticket: g.tickets}:
 		return nil
 	case <-b.halted:
 		return ErrHalted
@@ -427,14 +504,14 @@ func (b *Barrier) Leave(ctx context.Context, id int) (int, error) {
 	if id < 0 || id >= b.n {
 		return 0, fmt.Errorf("ftbarrier: participant %d out of range [0,%d)", id, b.n)
 	}
-	p := b.procs[id]
-	if p == nil {
+	g := b.gates[id]
+	if g == nil {
 		return 0, fmt.Errorf("ftbarrier: member %d is not hosted by this process", id)
 	}
-	ticket := p.tickets
+	ticket := g.tickets
 	for {
 		select {
-		case r := <-p.wake:
+		case r := <-g.wake:
 			if r.ticket != ticket {
 				continue // stale wake from an abandoned Await/Leave
 			}
@@ -473,11 +550,12 @@ func (b *Barrier) Scramble(id int, seed int64) {
 // is discarded (the fault simply does not occur) and counted in
 // Stats.DroppedInjections.
 func (b *Barrier) inject(id int, m ctrlMsg) {
-	if id < 0 || id >= b.n || b.procs[id] == nil {
+	if id < 0 || id >= b.n || b.gates[id] == nil {
 		return
 	}
+	m.id = id
 	select {
-	case b.procs[id].ctrl <- m:
+	case b.gates[id].ctrl <- m:
 	default:
 		b.statInjDropped.Add(1)
 	}
@@ -524,7 +602,108 @@ func (b *Barrier) Stop() {
 	})
 }
 
-// --- protocol goroutine ---
+// --- the participant gate (topology-independent) ---
+
+// onArrive records a participant arrival (Enter), surfacing a pending
+// error from an earlier reset instead if one is stored.
+func (g *gate) onArrive(c ctrlMsg) {
+	g.appWaiting = true
+	g.curTicket = c.ticket
+	g.arrived = true
+	if g.pendingErr != nil {
+		// The process was reset while the participant was working: the
+		// work belongs to an aborted instance and must be redone.
+		g.deliver(awaitResult{err: g.pendingErr, ticket: g.curTicket})
+		g.pendingErr = nil
+		g.arrived = false
+		g.appWaiting = false
+	}
+}
+
+// completionBlocked implements the work gate for the completion transition:
+// it reports whether the transition must wait for the participant's
+// arrival. If the participant is already waiting to be woken while the gate
+// shows no work, the two would wait on each other forever — in a fault-free
+// computation a second completion never occurs without an intervening
+// begin, so this state only arises when a fault teleported the protocol
+// back into an executing state, skipping the begin that would have re-armed
+// the gate. Reconcile with the redo mechanism: the participant re-executes
+// its phase, and its re-arrival unblocks the completion.
+func (g *gate) completionBlocked() bool {
+	if g.arrived {
+		return false
+	}
+	if g.appWaiting {
+		g.failPending(ErrReset)
+	}
+	return true
+}
+
+// applyOutcome performs the begin/complete/abandon bookkeeping after a
+// state update changed the control position from (oldPH) to (newPH).
+func (g *gate) applyOutcome(out core.Outcome, oldPH, newPH int) {
+	switch out {
+	case core.OutBegin:
+		g.b.emit(core.Event{Kind: core.EvBegin, Proc: g.id, Phase: newPH})
+		if g.appWaiting {
+			switch {
+			case g.arrived:
+				// The participant's work has not been consumed yet: this
+				// begin (re)starts an instance that will consume it. Not a
+				// pass.
+			case newPH == g.lastDonePh:
+				// Re-execution of the phase whose work was already consumed
+				// (a fault forced a repeat instance): the work stands —
+				// re-arm the gate silently instead of waking.
+				g.arrived = true
+			default:
+				// A genuinely new phase begins: the barrier is passed; wake
+				// the waiting participant.
+				g.appWaiting = false
+				g.b.statPasses.Add(1)
+				g.deliver(awaitResult{phase: newPH, ticket: g.curTicket})
+			}
+		}
+	case core.OutComplete:
+		g.arrived = false
+		g.lastDonePh = oldPH
+		g.b.emit(core.Event{Kind: core.EvComplete, Proc: g.id, Phase: oldPH})
+	case core.OutAbandon:
+		// Pulled into a re-execution while mid-phase: the instance aborts,
+		// but this participant's work (in progress or gated) remains valid
+		// for the repeat instance — no error is surfaced.
+		g.b.emit(core.Event{Kind: core.EvReset, Proc: g.id, Phase: oldPH})
+	}
+}
+
+// failPending wakes a waiting participant with err, or stores it for the
+// next Await.
+func (g *gate) failPending(err error) {
+	g.b.statResets.Add(1)
+	if g.appWaiting {
+		g.appWaiting = false
+		g.arrived = false
+		g.deliver(awaitResult{err: err, ticket: g.curTicket})
+	} else {
+		g.pendingErr = err
+	}
+}
+
+func (g *gate) deliver(r awaitResult) {
+	select {
+	case g.wake <- r:
+	default:
+		// The participant abandoned its Await (context cancellation); the
+		// stale result is dropped when the buffer is reused.
+		select {
+		case <-g.wake:
+		default:
+		}
+		g.wake <- r
+	}
+}
+
+// --- protocol goroutine (ring) ---
 
 func (p *proc) run(resend time.Duration, lossRate, corruptRate float64) {
 	ticker := time.NewTicker(resend)
@@ -532,6 +711,51 @@ func (p *proc) run(resend time.Duration, lossRate, corruptRate float64) {
 
 	p.announce(lossRate, corruptRate) // prime the ring
 	for {
+		// Fast path: drain everything already queued with non-blocking
+		// single-channel polls before stepping. Polling an empty channel is
+		// a lock-free check, where the blocking select below locks every
+		// case's channel on entry and exit — with the token hot that
+		// difference dominates the cost of a hop.
+		busy := false
+		for {
+			progressed := false
+			select {
+			case msg := <-p.state:
+				p.onPredState(msg)
+				progressed = true
+			default:
+			}
+			select {
+			case <-p.top:
+				p.snR = tokenring.Top
+				progressed = true
+			default:
+			}
+			select {
+			case c := <-p.ctrl:
+				p.onCtrl(c)
+				progressed = true
+			default:
+			}
+			if !progressed {
+				break
+			}
+			busy = true
+		}
+		if busy {
+			select {
+			case <-p.b.stopped:
+				return
+			case <-p.b.halted:
+				return
+			default:
+			}
+			p.step()
+			p.announce(lossRate, corruptRate)
+			continue
+		}
+
+		// Idle: park until something arrives or the resend period elapses.
 		select {
 		case <-p.b.stopped:
 			return
@@ -548,9 +772,18 @@ func (p *proc) run(resend time.Duration, lossRate, corruptRate float64) {
 		case c := <-p.ctrl:
 			p.onCtrl(c)
 		case <-ticker.C:
-			// Retransmit the current state: masks lost, dropped and
-			// detectably corrupted messages.
-			p.haveSent = false
+			// Retransmit the current state — it masks lost, dropped and
+			// detectably corrupted messages — but only on a quiet edge: if
+			// an announcement already went out since the previous tick, the
+			// successor has fresh state and the retransmission would be
+			// redundant traffic on the hot path. A message lost right after
+			// a tick is still retransmitted by the tick after it, so the
+			// masking delay is at most doubled.
+			if p.sentSinceTick {
+				p.sentSinceTick = false
+			} else {
+				p.haveSent = false
+			}
 		}
 		p.step()
 		p.announce(lossRate, corruptRate)
@@ -578,17 +811,7 @@ func (p *proc) onPredState(m Message) {
 func (p *proc) onCtrl(c ctrlMsg) {
 	switch c.kind {
 	case ctrlArrive:
-		p.appWaiting = true
-		p.curTicket = c.ticket
-		p.arrived = true
-		if p.pendingErr != nil {
-			// The process was reset while the participant was working: the
-			// work belongs to an aborted instance and must be redone.
-			p.deliver(awaitResult{err: p.pendingErr, ticket: p.curTicket})
-			p.pendingErr = nil
-			p.arrived = false
-			p.appWaiting = false
-		}
+		p.onArrive(c)
 	case ctrlReset:
 		// MB's detectable fault action. The participant is told to redo
 		// its phase (ErrReset) only if the reset voids work the current
@@ -639,33 +862,6 @@ func (p *proc) onCtrl(c ctrlMsg) {
 	}
 }
 
-// failPending wakes a waiting participant with err, or stores it for the
-// next Await.
-func (p *proc) failPending(err error) {
-	p.b.statResets.Add(1)
-	if p.appWaiting {
-		p.appWaiting = false
-		p.arrived = false
-		p.deliver(awaitResult{err: err, ticket: p.curTicket})
-	} else {
-		p.pendingErr = err
-	}
-}
-
-func (p *proc) deliver(r awaitResult) {
-	select {
-	case p.wake <- r:
-	default:
-		// The participant abandoned its Await (context cancellation); the
-		// stale result is dropped when the buffer is reused.
-		select {
-		case <-p.wake:
-		default:
-		}
-		p.wake <- r
-	}
-}
-
 // step applies every enabled local action to quiescence: T1'/T2' (token
 // receipt, gated on the participant's arrival for the completion
 // transition), T3, T4', T5.
@@ -692,22 +888,9 @@ func (p *proc) step() {
 				}
 				// The work gate: the completion transition waits for the
 				// participant to arrive at the barrier.
-				if out == core.OutComplete && !p.arrived {
+				if out == core.OutComplete && p.completionBlocked() {
 					// blocked — nothing else can change until arrival or
 					// another message.
-					if p.appWaiting {
-						// Gate and participant disagree: the participant is
-						// waiting to be woken, yet the gate shows no work. In
-						// a fault-free computation a second completion never
-						// occurs without an intervening begin, so this state
-						// only arises when a fault teleported the protocol
-						// back into an executing state, skipping the begin
-						// that would have re-armed the gate. Left alone the
-						// two wait on each other forever; reconcile with the
-						// redo mechanism — the participant re-executes its
-						// phase, and its re-arrival unblocks the completion.
-						p.failPending(ErrReset)
-					}
 				} else {
 					oldPH := p.ph
 					if p.id == 0 {
@@ -717,40 +900,7 @@ func (p *proc) step() {
 					}
 					p.cp = newCP
 					p.ph = newPH
-					switch out {
-					case core.OutBegin:
-						p.b.emit(core.Event{Kind: core.EvBegin, Proc: p.id, Phase: newPH})
-						if p.appWaiting {
-							switch {
-							case p.arrived:
-								// The participant's work has not been
-								// consumed yet: this begin (re)starts an
-								// instance that will consume it. Not a pass.
-							case newPH == p.lastDonePh:
-								// Re-execution of the phase whose work was
-								// already consumed (a fault forced a repeat
-								// instance): the work stands — re-arm the
-								// gate silently instead of waking.
-								p.arrived = true
-							default:
-								// A genuinely new phase begins: the barrier
-								// is passed; wake the waiting participant.
-								p.appWaiting = false
-								p.b.statPasses.Add(1)
-								p.deliver(awaitResult{phase: newPH, ticket: p.curTicket})
-							}
-						}
-					case core.OutComplete:
-						p.arrived = false
-						p.lastDonePh = oldPH
-						p.b.emit(core.Event{Kind: core.EvComplete, Proc: p.id, Phase: oldPH})
-					case core.OutAbandon:
-						// Pulled into a re-execution while mid-phase: the
-						// instance aborts, but this participant's work (in
-						// progress or gated) remains valid for the repeat
-						// instance — no error is surfaced.
-						p.b.emit(core.Event{Kind: core.EvReset, Proc: p.id, Phase: oldPH})
-					}
+					p.applyOutcome(out, oldPH, newPH)
 					changed = true
 				}
 			}
@@ -791,6 +941,7 @@ func (p *proc) announce(lossRate, corruptRate float64) {
 	}
 	p.lastSent = m
 	p.haveSent = true
+	p.sentSinceTick = true
 
 	p.b.statSends.Add(1)
 	if lossRate > 0 && p.rng.Float64() < lossRate {

@@ -1,0 +1,590 @@
+// The double-tree runtime: a message-passing refinement of program DT
+// (Figure 2d; package dtree is the guarded-command original) in the same
+// way the ring runtime refines MB from RB. One tree is used twice — down
+// it, waves disseminate from the root toward the leaves (action D.j); up
+// it, a convergecast detects completion from the leaves back to the root
+// (action U.j); the root closes the cycle by advancing the wave when its
+// whole tree has acknowledged (action R.0). A barrier pass costs three
+// waves of 2h hops each, h = O(log N), against the ring's 3N.
+//
+// The superposition discipline is MB's: each node keeps local copies of
+// its parent's announced (sn, cp, ph) and, per child, of the child's
+// announced live state and acknowledgment summary. Copies are refreshed by
+// per-edge announcements — retransmitted periodically, so message loss,
+// duplication and detected corruption are equivalent to delay — and every
+// guarded action reads only the node's own state and its copies. The
+// convergecast keeps every copy at most one wave stale in fault-free runs
+// (the root cannot advance past a wave its whole tree has not
+// acknowledged), and the fault branches (the root and bottom-up
+// resynchronizations, the ⊤ restart wave) mark recovery waves repeat so
+// the interrupted phase is re-executed, exactly as in DT.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tokenring"
+	"repro/internal/topo"
+)
+
+// startTree wires the double-tree topology: one treeProc per hosted
+// member, links from the tree transport.
+func (b *Barrier) startTree(cfg Config, members []int) error {
+	arity := cfg.TreeArity
+	if arity == 0 {
+		arity = 2
+	}
+	tree, err := topo.NewKAryTree(b.n, arity)
+	if err != nil {
+		return fmt.Errorf("ftbarrier: %w", err)
+	}
+	if cfg.Transport == nil {
+		// Every member is local (Members requires an explicit Transport):
+		// run the whole collective fused on one scheduler goroutine, with
+		// direct in-memory delivery instead of channel hops per edge.
+		return b.startFusedTree(cfg, tree)
+	}
+	tt, ok := cfg.Transport.(TreeTransport)
+	if !ok {
+		return errors.New("ftbarrier: Topology == TopologyTree requires a tree transport (NewChanTreeTransport, transport.NewTCPTree)")
+	}
+	for _, j := range members {
+		link, err := tt.OpenTree(j)
+		if err != nil {
+			return fmt.Errorf("ftbarrier: open tree link for member %d: %w", j, err)
+		}
+		b.links = append(b.links, link)
+		tp := newTreeProc(b, j, tree.Parent[j], tree.Children[j], link, cfg)
+		b.tprocs[j] = tp
+		b.gates[j] = tp.gate
+	}
+	// Unlike the ring procs (which start mid-phase, in execute), tree procs
+	// start in DT's start state — wave 0 fully acknowledged, everyone ready
+	// in phase 0 — so the begins of phase 0 are emitted by the protocol
+	// itself when the first wave rolls; no implicit events are needed here.
+	lossRate, corruptRate := cfg.LossRate, cfg.CorruptRate
+	for _, tp := range b.tprocs {
+		if tp == nil {
+			continue
+		}
+		tp := tp
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			tp.run(cfg.Resend, lossRate, corruptRate)
+		}()
+	}
+	return nil
+}
+
+// treeProc is one DT process: a goroutine owning its protocol state.
+type treeProc struct {
+	*gate
+
+	parentID int   // -1 at the root
+	kids     []int // child member ids, increasing
+
+	// Protocol state (DT): own triple and subtree acknowledgment.
+	sn tokenring.SN
+	cp core.CP
+	ph int
+
+	ackSN tokenring.SN
+	ackCP core.CP
+	ackPH int
+
+	// Local copy of the parent's announced state (meaningless at the root).
+	pSN tokenring.SN
+	pCP core.CP
+	pPH int
+
+	// Local copies of each child's announced live state and summary,
+	// indexed like kids.
+	kidSN    []tokenring.SN
+	kidCP    []core.CP
+	kidPH    []int
+	kidAckSN []tokenring.SN
+	kidAckCP []core.CP
+	kidAckPH []int
+
+	link TreeLink
+	down <-chan Message
+	up   <-chan UpMessage
+
+	lastDown      Message
+	haveSentDown  bool
+	lastUp        UpMessage
+	haveSentUp    bool
+	sentSinceTick bool
+
+	rng *rand.Rand
+}
+
+func newTreeProc(b *Barrier, id, parentID int, kids []int, link TreeLink, cfg Config) *treeProc {
+	tp := &treeProc{
+		gate:     newGate(b, id),
+		parentID: parentID,
+		kids:     append([]int(nil), kids...),
+		kidSN:    make([]tokenring.SN, len(kids)),
+		kidCP:    make([]core.CP, len(kids)),
+		kidPH:    make([]int, len(kids)),
+		kidAckSN: make([]tokenring.SN, len(kids)),
+		kidAckCP: make([]core.CP, len(kids)),
+		kidAckPH: make([]int, len(kids)),
+		link:     link,
+		down:     link.Down(),
+		up:       link.Up(),
+		rng:      rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+	}
+	// DT's start state: wave 0 disseminated and acknowledged, everyone
+	// ready in phase 0 — the root's first increment begins phase 0.
+	tp.cp, tp.ackCP, tp.pCP = core.Ready, core.Ready, core.Ready
+	for i := range tp.kidCP {
+		tp.kidCP[i], tp.kidAckCP[i] = core.Ready, core.Ready
+	}
+	if cfg.Rejoin {
+		tp.resetState()
+	}
+	return tp
+}
+
+// resetState puts the proc in the detectably-reset state (DT's detectable
+// fault action plus the loss of every local copy): sn ⊥, cp error, phases
+// arbitrary. Used for Rejoin and for the Reset fault injection.
+func (tp *treeProc) resetState() {
+	tp.sn, tp.cp, tp.ph = tokenring.Bot, core.Error, tp.rng.Intn(tp.b.nPhases)
+	tp.ackSN, tp.ackCP, tp.ackPH = tokenring.Bot, core.Error, tp.rng.Intn(tp.b.nPhases)
+	tp.pSN, tp.pCP, tp.pPH = tokenring.Bot, core.Error, tp.rng.Intn(tp.b.nPhases)
+	for i := range tp.kids {
+		tp.kidSN[i], tp.kidCP[i], tp.kidPH[i] = tokenring.Bot, core.Error, tp.rng.Intn(tp.b.nPhases)
+		tp.kidAckSN[i], tp.kidAckCP[i], tp.kidAckPH[i] = tokenring.Bot, core.Error, tp.rng.Intn(tp.b.nPhases)
+	}
+}
+
+func (tp *treeProc) run(resend time.Duration, lossRate, corruptRate float64) {
+	ticker := time.NewTicker(resend)
+	defer ticker.Stop()
+
+	tp.announce(lossRate, corruptRate) // prime the tree
+	for {
+		// Fast path: drain everything already queued with non-blocking
+		// single-channel polls, then step once on the freshest copies. An
+		// empty-channel poll is a lock-free check, where entering the
+		// blocking select locks every case's channel — on the hot path
+		// (waves rippling with no idle time) that difference dominates the
+		// cost of a pass.
+		busy := false
+		for {
+			progressed := false
+			select {
+			case m := <-tp.down:
+				tp.onDown(m)
+				progressed = true
+			default:
+			}
+			for drained := false; !drained; {
+				select {
+				case m := <-tp.up:
+					tp.onUp(m)
+					progressed = true
+				default:
+					drained = true
+				}
+			}
+			select {
+			case c := <-tp.ctrl:
+				tp.onCtrl(c)
+				progressed = true
+			default:
+			}
+			if !progressed {
+				break
+			}
+			busy = true
+		}
+		if busy {
+			select {
+			case <-tp.b.stopped:
+				return
+			case <-tp.b.halted:
+				return
+			default:
+			}
+			tp.step()
+			tp.announce(lossRate, corruptRate)
+			continue
+		}
+
+		// Idle: park until something arrives or the resend period elapses.
+		select {
+		case <-tp.b.stopped:
+			return
+		case <-tp.b.halted:
+			return // fail-safe halt: quiesce (see the ring run loop)
+		case m := <-tp.down:
+			tp.onDown(m)
+		case m := <-tp.up:
+			tp.onUp(m)
+		case c := <-tp.ctrl:
+			tp.onCtrl(c)
+		case <-ticker.C:
+			// Per-edge retransmission with the quiet-edge optimization of
+			// the ring loop: only retransmit when nothing went out since
+			// the previous tick.
+			if tp.sentSinceTick {
+				tp.sentSinceTick = false
+			} else {
+				tp.haveSentDown = false
+				tp.haveSentUp = false
+			}
+		}
+		tp.step()
+		tp.announce(lossRate, corruptRate)
+	}
+}
+
+// onDown refreshes the local copy of the parent's state — including ⊥/⊤,
+// which the bottom-up resynchronization must observe.
+func (tp *treeProc) onDown(m Message) {
+	if m.Sum != m.Checksum() {
+		tp.b.statDrops.Add(1) // detected corruption: drop; retransmission masks it
+		return
+	}
+	tp.pSN, tp.pCP, tp.pPH = m.SN, m.CP, m.PH
+}
+
+// onUp refreshes the local copies of one child's live state and summary.
+func (tp *treeProc) onUp(m UpMessage) {
+	if m.Sum != m.Checksum() {
+		tp.b.statDrops.Add(1)
+		return
+	}
+	for i, c := range tp.kids {
+		if c == m.Child {
+			tp.kidSN[i], tp.kidCP[i], tp.kidPH[i] = m.SN, m.CP, m.PH
+			tp.kidAckSN[i], tp.kidAckCP[i], tp.kidAckPH[i] = m.AckSN, m.AckCP, m.AckPH
+			return
+		}
+	}
+	// A child id this node does not have: a forgery that survived the
+	// checksum cannot be attributed, so it is dropped.
+	tp.b.statDrops.Add(1)
+}
+
+func (tp *treeProc) onCtrl(c ctrlMsg) {
+	switch c.kind {
+	case ctrlArrive:
+		tp.onArrive(c)
+	case ctrlReset:
+		// See the ring onCtrl for the workVoided rationale: only a reset
+		// that voids work the current instance still needs surfaces
+		// ErrReset.
+		workVoided := tp.cp == core.Execute || tp.cp == core.Error
+		if tp.cp != core.Error {
+			tp.b.emit(core.Event{Kind: core.EvReset, Proc: tp.id, Phase: tp.ph})
+		}
+		tp.resetState()
+		if workVoided {
+			tp.failPending(ErrReset)
+		}
+	case ctrlScramble:
+		rng := rand.New(rand.NewSource(c.seed))
+		randomSN := func() tokenring.SN {
+			v := rng.Intn(tp.b.l + 2)
+			switch v {
+			case tp.b.l:
+				return tokenring.Bot
+			case tp.b.l + 1:
+				return tokenring.Top
+			default:
+				return tokenring.SN(v)
+			}
+		}
+		randomCP := func() core.CP { return core.CP(rng.Intn(core.NumCP)) }
+		randomPH := func() int { return rng.Intn(tp.b.nPhases) }
+		tp.sn, tp.cp, tp.ph = randomSN(), randomCP(), randomPH()
+		tp.ackSN, tp.ackCP, tp.ackPH = randomSN(), randomCP(), randomPH()
+		tp.pSN, tp.pCP, tp.pPH = randomSN(), randomCP(), randomPH()
+		for i := range tp.kids {
+			tp.kidSN[i], tp.kidCP[i], tp.kidPH[i] = randomSN(), randomCP(), randomPH()
+			tp.kidAckSN[i], tp.kidAckCP[i], tp.kidAckPH[i] = randomSN(), randomCP(), randomPH()
+		}
+	}
+}
+
+// injectSpurious delivers a forged, well-formed announcement to this node:
+// a parent announcement for non-roots, a child announcement at the root.
+func (tp *treeProc) injectSpurious(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	randomSN := func() tokenring.SN {
+		v := rng.Intn(tp.b.l + 2)
+		switch v {
+		case tp.b.l:
+			return tokenring.Bot
+		case tp.b.l + 1:
+			return tokenring.Top
+		default:
+			return tokenring.SN(v)
+		}
+	}
+	tp.b.statSpurious.Add(1)
+	if tp.parentID < 0 {
+		m := UpMessage{
+			Child: tp.kids[rng.Intn(len(tp.kids))],
+			SN:    randomSN(),
+			CP:    core.CP(rng.Intn(core.NumCP)),
+			PH:    rng.Intn(tp.b.nPhases),
+			AckSN: randomSN(),
+			AckCP: core.CP(rng.Intn(core.NumCP)),
+			AckPH: rng.Intn(tp.b.nPhases),
+		}
+		m.Sum = m.Checksum()
+		if !tp.link.InjectUp(m) {
+			tp.b.statDrops.Add(1)
+		}
+		return
+	}
+	m := Message{
+		SN: randomSN(),
+		CP: core.CP(rng.Intn(core.NumCP)),
+		PH: rng.Intn(tp.b.nPhases),
+	}
+	m.Sum = m.Checksum()
+	if !tp.link.InjectDown(m) {
+		// The mailbox holds a genuine in-flight announcement; the forgery
+		// loses the race (see the ring InjectSpurious).
+		tp.b.statDrops.Add(1)
+	}
+}
+
+// step applies every enabled DT action to quiescence: D.j/B.j (or R.0 at
+// the root), U.j, and the ⊤ restart wave T3/T4/T5.
+func (tp *treeProc) step() {
+	for {
+		changed := false
+		if tp.parentID < 0 {
+			changed = tp.stepRoot() || changed
+		} else {
+			changed = tp.stepDown() || changed
+			changed = tp.stepBottomUp() || changed
+		}
+		changed = tp.stepAck() || changed
+		changed = tp.stepRestart() || changed
+		if !changed {
+			return
+		}
+	}
+}
+
+// stepRoot is action R.0: the root advances the wave when its whole tree
+// has acknowledged; a detectably corrupted root resynchronizes from the
+// live state of a non-corrupted child (never from an acknowledgment
+// summary, which may describe an older wave), the recovery wave marked
+// repeat so the current phase is re-executed.
+func (tp *treeProc) stepRoot() bool {
+	if tp.sn.Ordinary() {
+		if tp.ackSN != tp.sn {
+			return false
+		}
+		cpN, phN := tp.foldKidAcks()
+		if tp.cp == core.Error || tp.cp == core.Repeat {
+			// The root lost its own phase: recover it from a live child's
+			// announced state rather than a possibly stale summary.
+			for i := range tp.kids {
+				if tp.kidSN[i].Ordinary() {
+					phN = tp.kidPH[i]
+					break
+				}
+			}
+		}
+		newCP, newPH, out := core.LeaderUpdate(tp.cp, tp.ph, cpN, phN, tp.b.nPhases)
+		// The work gate: the completion transition waits for the root's
+		// participant to arrive at the barrier.
+		if out == core.OutComplete && tp.completionBlocked() {
+			return false
+		}
+		oldPH := tp.ph
+		tp.sn = tokenring.SN((int(tp.sn) + 1) % tp.b.l)
+		tp.cp = newCP
+		tp.ph = newPH
+		tp.applyOutcome(out, oldPH, newPH)
+		return true
+	}
+	if tp.sn == tokenring.Bot {
+		for i := range tp.kids {
+			if tp.kidSN[i].Ordinary() {
+				tp.sn = tokenring.SN((int(tp.kidSN[i]) + 1) % tp.b.l)
+				tp.cp = core.Repeat
+				tp.ph = tp.kidPH[i]
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stepDown is action D.j: adopt the parent's wave.
+func (tp *treeProc) stepDown() bool {
+	if !tp.pSN.Ordinary() || tp.sn == tp.pSN {
+		return false
+	}
+	newCP, newPH, out := core.FollowerUpdate(tp.cp, tp.ph, tp.pCP, tp.pPH)
+	// The work gate, as in D.j's guard: the completing wave waits for this
+	// node's participant.
+	if out == core.OutComplete && tp.completionBlocked() {
+		return false
+	}
+	oldPH := tp.ph
+	tp.sn = tp.pSN
+	tp.cp = newCP
+	tp.ph = newPH
+	tp.applyOutcome(out, oldPH, newPH)
+	return true
+}
+
+// stepBottomUp is action B.j: an internal node whose sequence number was
+// corrupted while its parent's is too (so the down wave cannot repair it)
+// adopts a live child's wave and phase, marked repeat. Without it a
+// simultaneous corruption of a whole root-path would deadlock.
+func (tp *treeProc) stepBottomUp() bool {
+	if tp.sn.Ordinary() || tp.pSN.Ordinary() {
+		return false
+	}
+	for i := range tp.kids {
+		if tp.kidSN[i].Ordinary() {
+			tp.sn = tp.kidSN[i]
+			tp.cp = core.Repeat
+			tp.ph = tp.kidPH[i]
+			return true
+		}
+	}
+	return false
+}
+
+// stepAck is action U.j: acknowledge the current wave once every child
+// has, folding the children's summaries with this node's own state —
+// disagreement reads as repeat, forcing the root to re-execute.
+func (tp *treeProc) stepAck() bool {
+	if !tp.sn.Ordinary() || tp.ackSN == tp.sn {
+		return false
+	}
+	for i := range tp.kids {
+		if tp.kidAckSN[i] != tp.sn {
+			return false
+		}
+	}
+	cp, ph := tp.cp, tp.ph
+	for i := range tp.kids {
+		if tp.kidAckCP[i] != cp || tp.kidAckPH[i] != ph {
+			cp = core.Repeat
+		}
+	}
+	tp.ackSN, tp.ackCP, tp.ackPH = tp.sn, cp, ph
+	return true
+}
+
+// stepRestart is the whole-tree-corruption restart wave: T3 (a leaf turns
+// ⊥ into ⊤), T4 (an inner node whose children all reached ⊤ follows), T5
+// (the root turns ⊤ into wave 0, restarting the tree).
+func (tp *treeProc) stepRestart() bool {
+	if tp.sn == tokenring.Bot {
+		if len(tp.kids) == 0 {
+			tp.sn = tokenring.Top // T3
+			return true
+		}
+		for i := range tp.kids {
+			if tp.kidSN[i] != tokenring.Top {
+				return false
+			}
+		}
+		tp.sn = tokenring.Top // T4
+		return true
+	}
+	if tp.parentID < 0 && tp.sn == tokenring.Top {
+		tp.sn = 0 // T5
+		return true
+	}
+	return false
+}
+
+// foldKidAcks merges the children's summaries (what R.0 passes to the
+// leader update: the state of all non-root processes).
+func (tp *treeProc) foldKidAcks() (core.CP, int) {
+	cp, ph := tp.kidAckCP[0], tp.kidAckPH[0]
+	for i := 1; i < len(tp.kids); i++ {
+		if tp.kidAckCP[i] != cp || tp.kidAckPH[i] != ph {
+			cp = core.Repeat
+		}
+	}
+	return cp, ph
+}
+
+// announce sends the node's current state down every child edge and its
+// state+acknowledgment up the parent edge, if they changed since the last
+// send, subject to the configured loss and corruption rates (injected
+// above the transport, as in the ring).
+func (tp *treeProc) announce(lossRate, corruptRate float64) {
+	if len(tp.kids) > 0 {
+		m := Message{SN: tp.sn, CP: tp.cp, PH: tp.ph}
+		m.Sum = m.Checksum()
+		if !tp.haveSentDown || m != tp.lastDown {
+			tp.lastDown = m
+			tp.haveSentDown = true
+			tp.sentSinceTick = true
+			for _, c := range tp.kids {
+				tp.b.statSends.Add(1)
+				if lossRate > 0 && tp.rng.Float64() < lossRate {
+					tp.b.statDrops.Add(1)
+					continue
+				}
+				mm := m
+				if corruptRate > 0 && tp.rng.Float64() < corruptRate {
+					mm.Sum ^= 0xdeadbeef
+				}
+				tp.link.SendDown(c, mm)
+			}
+		}
+	}
+	if tp.parentID >= 0 {
+		u := UpMessage{
+			Child: tp.id,
+			SN:    tp.sn, CP: tp.cp, PH: tp.ph,
+			AckSN: tp.ackSN, AckCP: tp.ackCP, AckPH: tp.ackPH,
+		}
+		u.Sum = u.Checksum()
+		if !tp.haveSentUp || tp.upUrgent(u) {
+			tp.lastUp = u
+			tp.haveSentUp = true
+			tp.sentSinceTick = true
+			tp.b.statSends.Add(1)
+			if lossRate > 0 && tp.rng.Float64() < lossRate {
+				tp.b.statDrops.Add(1)
+				return
+			}
+			if corruptRate > 0 && tp.rng.Float64() < corruptRate {
+				u.Sum ^= 0xdeadbeef
+			}
+			tp.link.SendUp(u)
+		}
+	}
+}
+
+// upUrgent decides whether a changed up announcement is sent eagerly or
+// left to the periodic retransmission. The parent acts immediately only on
+// the acknowledgment summary (its convergecast, action U.j) and on a
+// non-ordinary live sequence number (the ⊤ restart wave, T4); the ordinary
+// live state is read only by the tick-paced recovery actions, so an
+// internal node that just adopted a wave need not wake its parent — the
+// acknowledgment it sends moments later carries the same live state. This
+// halves an internal node's up traffic per wave.
+func (tp *treeProc) upUrgent(u UpMessage) bool {
+	if u == tp.lastUp {
+		return false
+	}
+	return u.AckSN != tp.lastUp.AckSN || u.AckCP != tp.lastUp.AckCP ||
+		u.AckPH != tp.lastUp.AckPH || !u.SN.Ordinary()
+}

@@ -47,13 +47,27 @@ const (
 	// FrameTop carries the ⊤ restart marker backward (acceptor → dialer);
 	// empty payload.
 	FrameTop byte = 3
+	// FrameUp carries a tree convergecast announcement (child → parent):
+	// payload = child int32 BE | sn int32 BE | cp(1) | ph int32 BE |
+	// ackSN int32 BE | ackCP(1) | ackPH int32 BE | sum uint32 BE.
+	FrameUp byte = 4
 )
 
 // ErrCodec is wrapped by every framing and payload decode error; a codec
 // error is permanent for its connection.
 var ErrCodec = errors.New("transport: codec error")
 
-const statePayloadLen = 13
+// errOversizedPayload rejects an advertised length beyond MaxPayload. It
+// is a static error so the rejection allocates nothing: the length field
+// is attacker-controlled, and the reject path must not pay for it — not
+// with the body allocation (checked before any is made) and not with an
+// error allocation either.
+var errOversizedPayload = fmt.Errorf("%w: payload length exceeds MaxPayload", ErrCodec)
+
+const (
+	statePayloadLen = 13
+	upPayloadLen    = 26
+)
 
 // AppendFrame appends one encoded frame to dst and returns the extended
 // slice. The payload must fit MaxPayload (internal callers only ever
@@ -74,17 +88,26 @@ func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
 // frame, CRC mismatch — is a codec error wrapping ErrCodec; the caller
 // must drop the connection, mapping the failure onto message loss.
 func ReadFrame(br *bufio.Reader) (typ byte, payload []byte, err error) {
-	var hdr [headerLen]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	// Peek instead of reading into a local array: the peeked slice is
+	// bufio's own buffer, so the header costs no allocation (a local array
+	// would escape through the io.Reader interface call).
+	hdr, err := br.Peek(headerLen)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
 		return 0, nil, err // connection-level error (EOF, reset, timeout)
 	}
 	if hdr[0] != magicByte {
 		return 0, nil, fmt.Errorf("%w: bad magic 0x%02x", ErrCodec, hdr[0])
 	}
+	typ = hdr[1]
 	n := int(hdr[2])<<8 | int(hdr[3])
 	if n > MaxPayload {
-		return 0, nil, fmt.Errorf("%w: oversized payload length %d", ErrCodec, n)
+		return 0, nil, errOversizedPayload
 	}
+	crc := crc32.ChecksumIEEE(hdr)
+	br.Discard(headerLen)
 	body := make([]byte, n+trailerLen)
 	if _, err := io.ReadFull(br, body); err != nil {
 		if err == io.EOF {
@@ -92,12 +115,83 @@ func ReadFrame(br *bufio.Reader) (typ byte, payload []byte, err error) {
 		}
 		return 0, nil, fmt.Errorf("%w: truncated frame: %v", ErrCodec, err)
 	}
-	crc := crc32.ChecksumIEEE(hdr[:])
 	crc = crc32.Update(crc, crc32.IEEETable, body[:n])
 	if got := binary.BigEndian.Uint32(body[n:]); got != crc {
 		return 0, nil, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrCodec, got, crc)
 	}
-	return hdr[1], body[:n:n], nil
+	return typ, body[:n:n], nil
+}
+
+// FrameReader is the hot-path frame reader: it owns its buffered reader
+// and a single inline payload buffer that every frame is decoded into, so
+// a connection's read loop allocates nothing per frame (ReadFrame's fresh
+// payload slice is the convenience path; a per-reader buffer beats a
+// sync.Pool here — no contention, no interface boxing, and the payload is
+// consumed before the next read anyway).
+type FrameReader struct {
+	br  *bufio.Reader
+	buf [MaxPayload + trailerLen]byte
+}
+
+// NewFrameReader returns a FrameReader over r with an internal buffer of
+// the given size.
+func NewFrameReader(r io.Reader, size int) *FrameReader {
+	return &FrameReader{br: bufio.NewReaderSize(r, size)}
+}
+
+// Read reads one frame. The returned payload aliases the reader's internal
+// buffer and is valid only until the next Read; the error contract is
+// ReadFrame's.
+func (fr *FrameReader) Read() (typ byte, payload []byte, err error) {
+	hdr, err := fr.br.Peek(headerLen)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err // connection-level error (EOF, reset, timeout)
+	}
+	if hdr[0] != magicByte {
+		return 0, nil, fmt.Errorf("%w: bad magic 0x%02x", ErrCodec, hdr[0])
+	}
+	typ = hdr[1]
+	n := int(hdr[2])<<8 | int(hdr[3])
+	if n > MaxPayload {
+		return 0, nil, errOversizedPayload
+	}
+	crc := crc32.ChecksumIEEE(hdr)
+	fr.br.Discard(headerLen)
+	body := fr.buf[:n+trailerLen]
+	if _, err := io.ReadFull(fr.br, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("%w: truncated frame: %v", ErrCodec, err)
+	}
+	crc = crc32.Update(crc, crc32.IEEETable, body[:n])
+	if got := binary.BigEndian.Uint32(body[n:]); got != crc {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch (got %08x, want %08x)", ErrCodec, got, crc)
+	}
+	return typ, body[:n:n], nil
+}
+
+// FrameBuffered reports whether a complete frame is already buffered, so a
+// read loop can drain a burst — keeping only the newest state, which is
+// all the protocol wants — without risking a block. A buffered frame whose
+// advertised length is invalid also reports true: the next Read will
+// surface the violation.
+func (fr *FrameReader) FrameBuffered() bool {
+	if fr.br.Buffered() < headerLen {
+		return false
+	}
+	hdr, err := fr.br.Peek(headerLen)
+	if err != nil {
+		return false
+	}
+	n := int(hdr[2])<<8 | int(hdr[3])
+	if n > MaxPayload {
+		return true
+	}
+	return fr.br.Buffered() >= headerLen+n+trailerLen
 }
 
 // AppendState appends a FrameState carrying m.
@@ -126,6 +220,45 @@ func DecodeState(payload []byte) (runtime.Message, error) {
 	}
 	if int(m.CP) >= core.NumCP {
 		return runtime.Message{}, fmt.Errorf("%w: control position %d out of range", ErrCodec, m.CP)
+	}
+	return m, nil
+}
+
+// AppendUp appends a FrameUp carrying m.
+func AppendUp(dst []byte, m runtime.UpMessage) []byte {
+	var p [upPayloadLen]byte
+	binary.BigEndian.PutUint32(p[0:4], uint32(int32(m.Child)))
+	binary.BigEndian.PutUint32(p[4:8], uint32(int32(m.SN)))
+	p[8] = byte(m.CP)
+	binary.BigEndian.PutUint32(p[9:13], uint32(int32(m.PH)))
+	binary.BigEndian.PutUint32(p[13:17], uint32(int32(m.AckSN)))
+	p[17] = byte(m.AckCP)
+	binary.BigEndian.PutUint32(p[18:22], uint32(int32(m.AckPH)))
+	binary.BigEndian.PutUint32(p[22:26], m.Sum)
+	return AppendFrame(dst, FrameUp, p[:])
+}
+
+// DecodeUp decodes a FrameUp payload. Like DecodeState it range-checks the
+// control positions but leaves the end-to-end Sum to the protocol layer.
+func DecodeUp(payload []byte) (runtime.UpMessage, error) {
+	if len(payload) != upPayloadLen {
+		return runtime.UpMessage{}, fmt.Errorf("%w: up payload length %d, want %d", ErrCodec, len(payload), upPayloadLen)
+	}
+	m := runtime.UpMessage{
+		Child: int(int32(binary.BigEndian.Uint32(payload[0:4]))),
+		SN:    tokenring.SN(int32(binary.BigEndian.Uint32(payload[4:8]))),
+		CP:    core.CP(payload[8]),
+		PH:    int(int32(binary.BigEndian.Uint32(payload[9:13]))),
+		AckSN: tokenring.SN(int32(binary.BigEndian.Uint32(payload[13:17]))),
+		AckCP: core.CP(payload[17]),
+		AckPH: int(int32(binary.BigEndian.Uint32(payload[18:22]))),
+		Sum:   binary.BigEndian.Uint32(payload[22:26]),
+	}
+	if int(m.CP) >= core.NumCP {
+		return runtime.UpMessage{}, fmt.Errorf("%w: control position %d out of range", ErrCodec, m.CP)
+	}
+	if int(m.AckCP) >= core.NumCP {
+		return runtime.UpMessage{}, fmt.Errorf("%w: ack control position %d out of range", ErrCodec, m.AckCP)
 	}
 	return m, nil
 }

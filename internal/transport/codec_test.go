@@ -3,7 +3,9 @@ package transport
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"testing"
 
@@ -49,6 +51,138 @@ func TestStateRoundTrip(t *testing.T) {
 		if got != m {
 			t.Errorf("round trip: got %+v, want %+v", got, m)
 		}
+	}
+}
+
+func TestUpRoundTrip(t *testing.T) {
+	msgs := []runtime.UpMessage{
+		{Child: 3, SN: 0, CP: core.Execute, PH: 0, AckSN: 0, AckCP: core.Ready, AckPH: 0},
+		{Child: 1, SN: 7, CP: core.Error, PH: 2, AckSN: 6, AckCP: core.Success, AckPH: 1},
+		{Child: 5, SN: tokenring.Bot, CP: core.Error, PH: 1, AckSN: tokenring.Top, AckCP: core.Repeat, AckPH: 3},
+	}
+	for i := range msgs {
+		msgs[i].Sum = msgs[i].Checksum()
+	}
+	// A corrupted Sum must travel verbatim — the protocol layer verifies it.
+	bad := runtime.UpMessage{Child: 2, SN: 3, CP: core.Execute, PH: 1}
+	bad.Sum = bad.Checksum() ^ 0xdeadbeef
+	msgs = append(msgs, bad)
+
+	for _, m := range msgs {
+		frame := AppendUp(nil, m)
+		typ, payload, err := readOne(t, frame)
+		if err != nil {
+			t.Fatalf("ReadFrame(%+v): %v", m, err)
+		}
+		if typ != FrameUp {
+			t.Fatalf("frame type = %d, want FrameUp", typ)
+		}
+		got, err := DecodeUp(payload)
+		if err != nil {
+			t.Fatalf("DecodeUp(%+v): %v", m, err)
+		}
+		if got != m {
+			t.Errorf("round trip: got %+v, want %+v", got, m)
+		}
+	}
+
+	// Payload-level violations.
+	if _, err := DecodeUp(make([]byte, upPayloadLen-1)); !errors.Is(err, ErrCodec) {
+		t.Errorf("short up payload: %v, want ErrCodec", err)
+	}
+	badCP := make([]byte, upPayloadLen)
+	badCP[8] = byte(core.NumCP)
+	if _, err := DecodeUp(badCP); !errors.Is(err, ErrCodec) {
+		t.Errorf("out-of-range cp: %v, want ErrCodec", err)
+	}
+	badAck := make([]byte, upPayloadLen)
+	badAck[17] = byte(core.NumCP)
+	if _, err := DecodeUp(badAck); !errors.Is(err, ErrCodec) {
+		t.Errorf("out-of-range ack cp: %v, want ErrCodec", err)
+	}
+}
+
+// oversizeFrame builds a frame whose advertised length exceeds MaxPayload
+// but whose CRC is internally consistent — AppendFrame refuses to encode
+// one, so it is crafted by hand. Only the length check can reject it.
+func oversizeFrame() []byte {
+	n := MaxPayload + 1
+	b := []byte{magicByte, FrameState, byte(n >> 8), byte(n)}
+	b = append(b, make([]byte, n)...)
+	crc := crc32.ChecksumIEEE(b)
+	return binary.BigEndian.AppendUint32(b, crc)
+}
+
+// The oversize reject path must not allocate: the advertised length is
+// attacker-controlled, and rejection happens before any buffer is sized by
+// it — with a static error, so the hot loop pays nothing for abuse.
+func TestOversizeRejectionDoesNotAllocate(t *testing.T) {
+	frame := oversizeFrame()
+	src := bytes.NewReader(frame)
+	br := bufio.NewReader(src)
+	if n := testing.AllocsPerRun(200, func() {
+		src.Reset(frame)
+		br.Reset(src)
+		_, _, err := ReadFrame(br)
+		if err != errOversizedPayload {
+			t.Fatalf("err = %v, want errOversizedPayload", err)
+		}
+	}); n != 0 {
+		t.Errorf("oversize rejection allocates %.1f objects per frame, want 0", n)
+	}
+}
+
+// The FrameReader hot path must not allocate per accepted frame either —
+// the payload is decoded into the reader's own buffer.
+func TestFrameReaderDoesNotAllocate(t *testing.T) {
+	m := runtime.Message{SN: 5, CP: core.Execute, PH: 2}
+	m.Sum = m.Checksum()
+	frame := AppendState(nil, m)
+	src := bytes.NewReader(frame)
+	fr := NewFrameReader(src, 256)
+	if n := testing.AllocsPerRun(200, func() {
+		src.Reset(frame)
+		fr.br.Reset(src)
+		typ, payload, err := fr.Read()
+		if err != nil || typ != FrameState {
+			t.Fatalf("Read: type %d err %v", typ, err)
+		}
+		got, err := DecodeState(payload)
+		if err != nil || got != m {
+			t.Fatalf("DecodeState: %+v err %v", got, err)
+		}
+	}); n != 0 {
+		t.Errorf("FrameReader.Read allocates %.1f objects per frame, want 0", n)
+	}
+}
+
+// FrameBuffered lets a reader drain a burst without blocking: it is true
+// exactly while complete frames remain buffered.
+func TestFrameBuffered(t *testing.T) {
+	m := runtime.Message{SN: 1, CP: core.Execute, PH: 0}
+	m.Sum = m.Checksum()
+	var stream []byte
+	for i := 0; i < 3; i++ {
+		stream = AppendState(stream, m)
+	}
+	fr := NewFrameReader(bytes.NewReader(stream), 256)
+	for i := 0; i < 3; i++ {
+		if _, _, err := fr.Read(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if want := i < 2; fr.FrameBuffered() != want {
+			t.Errorf("after frame %d: FrameBuffered = %v, want %v", i, !want, want)
+		}
+	}
+	// An oversized buffered header also reports true so the next Read can
+	// surface the violation.
+	fr = NewFrameReader(bytes.NewReader(oversizeFrame()), 256)
+	fr.br.Peek(headerLen + 1) // force the header into the buffer
+	if !fr.FrameBuffered() {
+		t.Error("oversized buffered frame: FrameBuffered = false, want true")
+	}
+	if _, _, err := fr.Read(); err != errOversizedPayload {
+		t.Errorf("err = %v, want errOversizedPayload", err)
 	}
 }
 
@@ -191,26 +325,41 @@ func FuzzTransport(f *testing.F) {
 	m.Sum = m.Checksum()
 	good := AppendState(nil, m)
 
+	um := runtime.UpMessage{Child: 2, SN: 5, CP: core.Success, PH: 0, AckSN: 5, AckCP: core.Success, AckPH: 0}
+	um.Sum = um.Checksum()
+
 	f.Add([]byte{})
 	f.Add(good)
 	f.Add(AppendHello(nil, 2))
 	f.Add(AppendFrame(nil, FrameTop, nil))
-	f.Add(good[:3])                    // truncated header
-	f.Add(good[:len(good)-2])          // truncated trailer
+	f.Add(AppendUp(nil, um))
+	f.Add(good[:3])                      // truncated header
+	f.Add(good[:len(good)-2])            // truncated trailer
 	f.Add(append([]byte{0x00}, good...)) // garbage before a frame
 	corrupt := append([]byte(nil), good...)
 	corrupt[5] ^= 0x40
 	f.Add(corrupt) // checksum mismatch
 	oversize := append([]byte(nil), good...)
 	oversize[2], oversize[3] = 0x7f, 0xff
-	f.Add(oversize) // advertised length beyond MaxPayload
-	f.Add(bytes.Repeat(good, 3))
+	f.Add(oversize)        // advertised length beyond MaxPayload, stale CRC
+	f.Add(oversizeFrame()) // advertised length beyond MaxPayload, valid CRC
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		br := bufio.NewReader(bytes.NewReader(data))
+		fr := NewFrameReader(bytes.NewReader(data), 256)
 		consumed := 0
 		for {
 			typ, payload, err := ReadFrame(br)
+			// The zero-alloc FrameReader must agree with ReadFrame exactly:
+			// same frames accepted, same payload bytes, rejection at the
+			// same point in the stream.
+			ftyp, fpayload, ferr := fr.Read()
+			if (err == nil) != (ferr == nil) {
+				t.Fatalf("readers disagree: ReadFrame err %v, FrameReader err %v", err, ferr)
+			}
+			if err == nil && (ftyp != typ || !bytes.Equal(fpayload, payload)) {
+				t.Fatalf("readers disagree: ReadFrame (%d, %x), FrameReader (%d, %x)", typ, payload, ftyp, fpayload)
+			}
 			if err != nil {
 				return // rejection is always a safe outcome
 			}
@@ -235,6 +384,10 @@ func FuzzTransport(f *testing.F) {
 			case FrameHello:
 				if id, err := DecodeHello(payload); err == nil {
 					AppendHello(nil, id)
+				}
+			case FrameUp:
+				if um, err := DecodeUp(payload); err == nil {
+					AppendUp(nil, um)
 				}
 			}
 		}

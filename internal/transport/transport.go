@@ -28,7 +28,6 @@
 package transport
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -76,6 +75,26 @@ type TCPStats struct {
 	FramesRecv       int64
 }
 
+// tcpStats holds the counters shared by the ring and tree TCP transports.
+type tcpStats struct {
+	dials, failedDials, accepts, handshakeRejects atomic.Int64
+	connDrops, decodeErrors                       atomic.Int64
+	framesSent, framesRecv                        atomic.Int64
+}
+
+func (s *tcpStats) snapshot() TCPStats {
+	return TCPStats{
+		Dials:            s.dials.Load(),
+		FailedDials:      s.failedDials.Load(),
+		Accepts:          s.accepts.Load(),
+		HandshakeRejects: s.handshakeRejects.Load(),
+		ConnDrops:        s.connDrops.Load(),
+		DecodeErrors:     s.decodeErrors.Load(),
+		FramesSent:       s.framesSent.Load(),
+		FramesRecv:       s.framesRecv.Load(),
+	}
+}
+
 // TCP implements runtime.Transport over TCP ring links.
 type TCP struct {
 	cfg TCPConfig
@@ -85,11 +104,7 @@ type TCP struct {
 	listeners []net.Listener // pre-bound by NewLoopbackRing, else nil
 	closed    bool
 
-	stats struct {
-		dials, failedDials, accepts, handshakeRejects atomic.Int64
-		connDrops, decodeErrors                       atomic.Int64
-		framesSent, framesRecv                        atomic.Int64
-	}
+	stats tcpStats
 }
 
 // NewTCP creates a TCP transport for the given ring. Nothing is bound or
@@ -129,18 +144,9 @@ func NewLoopbackRing(n int, opts ...Option) (*TCP, error) {
 	if n < 2 {
 		return nil, errors.New("transport: need at least 2 members")
 	}
-	listeners := make([]net.Listener, n)
-	peers := make([]string, n)
-	for j := 0; j < n; j++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			for _, l := range listeners[:j] {
-				l.Close()
-			}
-			return nil, fmt.Errorf("transport: bind loopback member %d: %w", j, err)
-		}
-		listeners[j] = ln
-		peers[j] = ln.Addr().String()
+	listeners, peers, err := bindLoopback(n)
+	if err != nil {
+		return nil, err
 	}
 	cfg := TCPConfig{Peers: peers, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 100 * time.Millisecond}
 	for _, opt := range opts {
@@ -155,6 +161,25 @@ func NewLoopbackRing(n int, opts ...Option) (*TCP, error) {
 	}
 	t.listeners = listeners
 	return t, nil
+}
+
+// bindLoopback binds n ephemeral loopback listeners and returns them with
+// their addresses (shared by NewLoopbackRing and NewLoopbackTree).
+func bindLoopback(n int) ([]net.Listener, []string, error) {
+	listeners := make([]net.Listener, n)
+	peers := make([]string, n)
+	for j := 0; j < n; j++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:j] {
+				l.Close()
+			}
+			return nil, nil, fmt.Errorf("transport: bind loopback member %d: %w", j, err)
+		}
+		listeners[j] = ln
+		peers[j] = ln.Addr().String()
+	}
+	return listeners, peers, nil
 }
 
 // Open binds member id's listener (unless pre-bound), starts its accept
@@ -225,18 +250,7 @@ func (t *TCP) Close() error {
 }
 
 // Stats returns a snapshot of the transport's counters.
-func (t *TCP) Stats() TCPStats {
-	return TCPStats{
-		Dials:            t.stats.dials.Load(),
-		FailedDials:      t.stats.failedDials.Load(),
-		Accepts:          t.stats.accepts.Load(),
-		HandshakeRejects: t.stats.handshakeRejects.Load(),
-		ConnDrops:        t.stats.connDrops.Load(),
-		DecodeErrors:     t.stats.decodeErrors.Load(),
-		FramesSent:       t.stats.framesSent.Load(),
-		FramesRecv:       t.stats.framesRecv.Load(),
-	}
-}
+func (t *TCP) Stats() TCPStats { return t.stats.snapshot() }
 
 // BreakLinks force-closes member id's current connections (incoming and
 // outgoing), simulating a network blip. The dialer redials with backoff;
@@ -379,9 +393,9 @@ func (l *tcpLink) acceptLoop() {
 func (l *tcpLink) handleIn(c net.Conn) {
 	defer l.wg.Done()
 	expectPred := (l.id - 1 + l.ringSize()) % l.ringSize()
-	br := bufio.NewReaderSize(c, 256)
+	fr := NewFrameReader(c, 256)
 	c.SetReadDeadline(time.Now().Add(l.t.cfg.HandshakeTimeout))
-	typ, payload, err := ReadFrame(br)
+	typ, payload, err := fr.Read()
 	var from int
 	if err == nil && typ == FrameHello {
 		from, err = DecodeHello(payload)
@@ -404,51 +418,78 @@ func (l *tcpLink) handleIn(c net.Conn) {
 	dead := make(chan struct{})
 	l.wg.Add(1)
 	go l.inWriter(c, dead)
-	l.serveIn(c, br, dead) // returns when the connection dies
+	l.serveIn(c, fr, dead) // returns when the connection dies
 }
 
 func (l *tcpLink) setInConn(c net.Conn) {
 	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closedNow() {
+		// Close already swept the registered connections; registering now
+		// would leave this connection open and serveIn blocked forever
+		// (Close's sweep runs under this mutex after done is closed, so
+		// the check cannot be stale).
+		c.Close()
+		return
+	}
 	if l.inConn != nil {
 		l.inConn.Close() // replaced by the newer connection
 	}
 	l.inConn = c
-	l.mu.Unlock()
 }
 
 // serveIn reads state frames from the predecessor until the connection
-// errors, then closes it (dead tells the ⊤ writer to stop).
-func (l *tcpLink) serveIn(c net.Conn, br *bufio.Reader, dead chan struct{}) {
+// errors, then closes it (dead tells the ⊤ writer to stop). Frames that
+// arrived back-to-back (a retransmission burst, or the peer outpacing us)
+// are decoded in one pass and only the newest state is delivered — the
+// protocol mailbox is latest-state-wins anyway, so the superseded frames
+// would be discarded there at the cost of extra channel operations.
+func (l *tcpLink) serveIn(c net.Conn, fr *FrameReader, dead chan struct{}) {
 	defer close(dead)
 	defer c.Close()
 	for {
-		typ, payload, err := ReadFrame(br)
+		typ, payload, err := fr.Read()
 		if err != nil {
 			l.connFailed("read from predecessor", err)
 			return
 		}
-		switch typ {
-		case FrameState:
-			m, err := DecodeState(payload)
-			if err != nil {
-				l.connFailed("decode state", err)
+		var m runtime.Message
+		have := false
+		for {
+			switch typ {
+			case FrameState:
+				mm, err := DecodeState(payload)
+				if err != nil {
+					l.connFailed("decode state", err)
+					return
+				}
+				l.t.stats.framesRecv.Add(1)
+				m, have = mm, true
+			case FrameHello:
+				// Redundant hello: harmless, ignore.
+			default:
+				l.connFailed("unexpected frame", fmt.Errorf("%w: type %d from predecessor", ErrCodec, typ))
 				return
 			}
-			l.t.stats.framesRecv.Add(1)
-			// Latest-state-wins delivery into the protocol mailbox.
-			select {
-			case <-l.state:
-			default:
+			if !fr.FrameBuffered() {
+				break
 			}
-			select {
-			case l.state <- m:
-			default:
+			if typ, payload, err = fr.Read(); err != nil {
+				l.connFailed("read from predecessor", err)
+				return
 			}
-		case FrameHello:
-			// Redundant hello: harmless, ignore.
+		}
+		if !have {
+			continue
+		}
+		// Latest-state-wins delivery into the protocol mailbox.
+		select {
+		case <-l.state:
 		default:
-			l.connFailed("unexpected frame", fmt.Errorf("%w: type %d from predecessor", ErrCodec, typ))
-			return
+		}
+		select {
+		case l.state <- m:
+		default:
 		}
 	}
 }
@@ -531,7 +572,10 @@ func (l *tcpLink) dialLoop() {
 	}
 }
 
-// outWriter streams the latest pending state to the successor.
+// outWriter streams the latest pending state to the successor, encoding
+// into one reused buffer. If a newer state was mailed while this goroutine
+// was between receives, it supersedes the one just taken — coalescing the
+// pair into a single encode and a single Write.
 func (l *tcpLink) outWriter(c net.Conn, dead chan struct{}) {
 	var buf []byte
 	for {
@@ -541,6 +585,10 @@ func (l *tcpLink) outWriter(c net.Conn, dead chan struct{}) {
 		case <-dead:
 			return
 		case m := <-l.outState:
+			select {
+			case m = <-l.outState:
+			default:
+			}
 			buf = AppendState(buf[:0], m)
 			if _, err := c.Write(buf); err != nil {
 				l.connFailed("write state to successor", err)
@@ -556,9 +604,9 @@ func (l *tcpLink) outWriter(c net.Conn, dead chan struct{}) {
 func (l *tcpLink) outReader(c net.Conn, dead chan struct{}) {
 	defer l.wg.Done()
 	defer close(dead)
-	br := bufio.NewReaderSize(c, 64)
+	fr := NewFrameReader(c, 64)
 	for {
-		typ, _, err := ReadFrame(br)
+		typ, _, err := fr.Read()
 		if err != nil {
 			l.connFailed("read from successor", err)
 			return

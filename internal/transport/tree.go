@@ -1,0 +1,635 @@
+// TCP tree transport: runtime.TreeTransport over TCP, the network
+// counterpart of the in-process channel tree transport.
+//
+// Topology: tree edge (child, parent) is one TCP connection, dialed by the
+// child to its parent's listener and opened with a hello frame naming the
+// child. On that connection the child writes FrameUp (its state plus
+// subtree acknowledgment) and the parent writes FrameState (the downward
+// broadcast) back — the two flows of the double-tree program on one
+// socket. An internal node therefore accepts one connection per child
+// (demultiplexed by the hello, with replacement semantics so a restarted
+// child reattaches) and maintains one outgoing connection to its parent;
+// the root only accepts, leaves only dial.
+//
+// The fault mapping is the ring transport's, unchanged: every socket or
+// codec failure becomes loss, masked by the barrier's per-edge
+// retransmission.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/topo"
+)
+
+// TCPTree implements runtime.TreeTransport over TCP. It also satisfies the
+// ring runtime.Transport interface so it can be placed in Config.Transport,
+// but its Open always fails: a tree transport serves only TopologyTree.
+type TCPTree struct {
+	cfg  TCPConfig
+	tree *topo.Tree
+
+	mu        sync.Mutex
+	links     []*tcpTreeLink
+	listeners []net.Listener // pre-bound by NewLoopbackTree, else nil
+	closed    bool
+
+	stats tcpStats
+}
+
+// NewTCPTree creates a TCP tree transport for the tree described by the
+// parent vector (parent[i] is member i's parent; exactly one root has -1).
+// cfg.Peers[i] is member i's listen address; leaves never bind theirs.
+// Nothing is bound or dialed until OpenTree.
+func NewTCPTree(cfg TCPConfig, parent []int) (*TCPTree, error) {
+	if len(cfg.Peers) != len(parent) {
+		return nil, fmt.Errorf("transport: %d peers for a %d-member tree", len(cfg.Peers), len(parent))
+	}
+	tr, err := topo.NewTree(parent)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	base, err := NewTCP(cfg) // reuse the ring constructor's defaulting
+	if err != nil {
+		return nil, err
+	}
+	return &TCPTree{
+		cfg:       base.cfg,
+		tree:      tr,
+		links:     make([]*tcpTreeLink, len(parent)),
+		listeners: make([]net.Listener, len(parent)),
+	}, nil
+}
+
+// NewLoopbackTree binds ephemeral loopback listeners and returns a TCP tree
+// transport for an all-local binary-heap tree of n members — the same shape
+// a TopologyTree barrier builds by default (topo.NewKAryTree(n, 2)). Like
+// NewLoopbackRing it lowers the backoff defaults (2ms base, 100ms cap) so
+// in-process reconnect tests converge quickly; opts may override any field.
+func NewLoopbackTree(n int, opts ...Option) (*TCPTree, error) {
+	if n < 2 {
+		return nil, errors.New("transport: need at least 2 members")
+	}
+	shape, err := topo.NewKAryTree(n, 2)
+	if err != nil {
+		return nil, err
+	}
+	listeners, peers, err := bindLoopback(n)
+	if err != nil {
+		return nil, err
+	}
+	cfg := TCPConfig{Peers: peers, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 100 * time.Millisecond}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	t, err := NewTCPTree(cfg, shape.Parent)
+	if err != nil {
+		for _, l := range listeners {
+			l.Close()
+		}
+		return nil, err
+	}
+	t.listeners = listeners
+	return t, nil
+}
+
+// Open rejects ring use; a TCPTree serves Config.Topology == TopologyTree.
+func (t *TCPTree) Open(id int) (runtime.Link, error) {
+	return nil, errors.New("transport: TCPTree requires Config.Topology == TopologyTree")
+}
+
+// OpenTree binds member id's listener if it has children (unless
+// pre-bound), starts its accept loop and — unless id is the root — its
+// dialer to the parent, and returns the link.
+func (t *TCPTree) OpenTree(id int) (runtime.TreeLink, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, errors.New("transport: closed")
+	}
+	if id < 0 || id >= len(t.cfg.Peers) {
+		return nil, fmt.Errorf("transport: member %d out of range [0,%d)", id, len(t.cfg.Peers))
+	}
+	if t.links[id] != nil {
+		return nil, fmt.Errorf("transport: member %d already open", id)
+	}
+	kids := t.tree.Children[id]
+	var ln net.Listener
+	if len(kids) > 0 {
+		ln = t.listeners[id]
+		if ln == nil {
+			var err error
+			ln, err = net.Listen("tcp", t.cfg.Peers[id])
+			if err != nil {
+				return nil, fmt.Errorf("transport: listen %s: %w", t.cfg.Peers[id], err)
+			}
+			t.listeners[id] = ln
+		}
+	}
+	dialCtx, dialCancel := context.WithCancel(context.Background())
+	l := &tcpTreeLink{
+		t:      t,
+		id:     id,
+		parent: t.tree.Parent[id],
+		ln:     ln,
+		kidIdx: make(map[int]int, len(kids)),
+		down:   make(chan runtime.Message, 1),
+		// Shared across children, sized like the channel transport's up
+		// mailbox: two slots per child absorb a full round of announcements.
+		up:         make(chan runtime.UpMessage, 2*len(kids)+2),
+		outUp:      make(chan runtime.UpMessage, 1),
+		outDown:    make([]chan runtime.Message, len(kids)),
+		inConns:    make(map[int]net.Conn, len(kids)),
+		done:       make(chan struct{}),
+		dialCtx:    dialCtx,
+		dialCancel: dialCancel,
+	}
+	for i, kid := range kids {
+		l.kidIdx[kid] = i
+		l.outDown[i] = make(chan runtime.Message, 1)
+	}
+	t.links[id] = l
+	if ln != nil {
+		l.wg.Add(1)
+		go l.acceptLoop()
+	}
+	if l.parent >= 0 {
+		l.wg.Add(1)
+		go l.dialLoop()
+	}
+	return l, nil
+}
+
+// Close tears down every link, listener and connection.
+func (t *TCPTree) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	links := append([]*tcpTreeLink(nil), t.links...)
+	listeners := append([]net.Listener(nil), t.listeners...)
+	t.mu.Unlock()
+	for _, l := range links {
+		if l != nil {
+			l.Close()
+		}
+	}
+	for _, ln := range listeners {
+		if ln != nil {
+			ln.Close() // pre-bound listeners of leaves / never-opened members
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the transport's counters.
+func (t *TCPTree) Stats() TCPStats { return t.stats.snapshot() }
+
+// BreakLinks force-closes member id's current connections (to its parent
+// and from all its children), simulating a network blip. Test hook.
+func (t *TCPTree) BreakLinks(id int) {
+	t.mu.Lock()
+	var l *tcpTreeLink
+	if id >= 0 && id < len(t.links) {
+		l = t.links[id]
+	}
+	t.mu.Unlock()
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	for _, c := range l.inConns {
+		c.Close()
+	}
+	if l.outConn != nil {
+		l.outConn.Close()
+	}
+	l.mu.Unlock()
+}
+
+// tcpTreeLink is one member's attachment to its tree edges over sockets.
+type tcpTreeLink struct {
+	t      *TCPTree
+	id     int
+	parent int          // -1 at the root
+	ln     net.Listener // nil at leaves
+	kidIdx map[int]int  // child id → index into outDown
+
+	down chan runtime.Message   // from parent, latest wins
+	up   chan runtime.UpMessage // from children, shared mailbox
+
+	outUp   chan runtime.UpMessage // to parent, latest wins
+	outDown []chan runtime.Message // to each child, latest wins
+
+	mu      sync.Mutex
+	inConns map[int]net.Conn // accepted, one per child
+	outConn net.Conn         // dialed, to parent
+
+	done       chan struct{}
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+	closeOnce  sync.Once
+	wg         sync.WaitGroup
+}
+
+func (l *tcpTreeLink) SendDown(child int, m runtime.Message) {
+	i, ok := l.kidIdx[child]
+	if !ok {
+		return
+	}
+	dst := l.outDown[i]
+	select {
+	case <-dst:
+	default:
+	}
+	select {
+	case dst <- m:
+	default:
+	}
+}
+
+func (l *tcpTreeLink) SendUp(m runtime.UpMessage) {
+	if l.parent < 0 {
+		return
+	}
+	select {
+	case <-l.outUp:
+	default:
+	}
+	select {
+	case l.outUp <- m:
+	default:
+	}
+}
+
+func (l *tcpTreeLink) Down() <-chan runtime.Message { return l.down }
+func (l *tcpTreeLink) Up() <-chan runtime.UpMessage { return l.up }
+
+func (l *tcpTreeLink) InjectDown(m runtime.Message) bool {
+	select {
+	case l.down <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *tcpTreeLink) InjectUp(m runtime.UpMessage) bool {
+	select {
+	case l.up <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *tcpTreeLink) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.dialCancel()
+		if l.ln != nil {
+			l.ln.Close()
+		}
+		l.mu.Lock()
+		for _, c := range l.inConns {
+			c.Close()
+		}
+		if l.outConn != nil {
+			l.outConn.Close()
+		}
+		l.mu.Unlock()
+	})
+	l.wg.Wait()
+	return nil
+}
+
+func (l *tcpTreeLink) closedNow() bool {
+	select {
+	case <-l.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// --- incoming side: the children's connections ---
+
+func (l *tcpTreeLink) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		c, err := l.ln.Accept()
+		if err != nil {
+			if l.closedNow() {
+				return
+			}
+			select {
+			case <-l.done:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		l.wg.Add(1)
+		go l.handleIn(c)
+	}
+}
+
+// handleIn verifies the hello handshake — the dialer must be one of this
+// member's children — then serves up-frames from it until the connection
+// dies. A verified connection replaces that child's previous one, which is
+// how a restarted child reattaches.
+func (l *tcpTreeLink) handleIn(c net.Conn) {
+	defer l.wg.Done()
+	fr := NewFrameReader(c, 256)
+	c.SetReadDeadline(time.Now().Add(l.t.cfg.HandshakeTimeout))
+	typ, payload, err := fr.Read()
+	var from int
+	if err == nil && typ == FrameHello {
+		from, err = DecodeHello(payload)
+	} else if err == nil {
+		err = fmt.Errorf("%w: first frame type %d, want hello", ErrCodec, typ)
+	}
+	var kid int
+	known := false
+	if err == nil {
+		kid, known = l.kidIdx[from]
+	}
+	if err != nil || !known {
+		l.t.stats.handshakeRejects.Add(1)
+		l.t.cfg.Logf("transport: member %d rejected connection from %v: from=%d err=%v", l.id, c.RemoteAddr(), from, err)
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(15 * time.Second)
+	}
+	l.t.stats.accepts.Add(1)
+	l.setInConn(from, c)
+	dead := make(chan struct{})
+	l.wg.Add(1)
+	go l.downWriter(c, l.outDown[kid], dead)
+	l.serveUp(c, fr, from, dead) // returns when the connection dies
+}
+
+func (l *tcpTreeLink) setInConn(from int, c net.Conn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closedNow() {
+		// Close already swept the registered connections; a connection
+		// registered now would never be closed and would pin serveUp (and
+		// the link's WaitGroup) forever. Close's sweep runs under this
+		// mutex after done is closed, so the check cannot be stale.
+		c.Close()
+		return
+	}
+	if old := l.inConns[from]; old != nil {
+		old.Close() // replaced by the newer connection
+	}
+	l.inConns[from] = c
+}
+
+// serveUp reads FrameUp frames from child `from` until the connection
+// errors, then closes it. Bursts are drained keeping only the newest frame,
+// like the ring's serveIn. The in-band Child field is cross-checked against
+// the hello identity: a mismatch is a codec error (detected corruption),
+// not a protocol message.
+func (l *tcpTreeLink) serveUp(c net.Conn, fr *FrameReader, from int, dead chan struct{}) {
+	defer close(dead)
+	defer c.Close()
+	for {
+		typ, payload, err := fr.Read()
+		if err != nil {
+			l.connFailed("read from child", err)
+			return
+		}
+		var m runtime.UpMessage
+		have := false
+		for {
+			switch typ {
+			case FrameUp:
+				mm, err := DecodeUp(payload)
+				if err != nil {
+					l.connFailed("decode up", err)
+					return
+				}
+				if mm.Child != from {
+					l.connFailed("decode up", fmt.Errorf("%w: in-band child %d on connection from %d", ErrCodec, mm.Child, from))
+					return
+				}
+				l.t.stats.framesRecv.Add(1)
+				m, have = mm, true
+			case FrameHello:
+				// Redundant hello: harmless, ignore.
+			default:
+				l.connFailed("unexpected frame", fmt.Errorf("%w: type %d from child", ErrCodec, typ))
+				return
+			}
+			if !fr.FrameBuffered() {
+				break
+			}
+			if typ, payload, err = fr.Read(); err != nil {
+				l.connFailed("read from child", err)
+				return
+			}
+		}
+		if !have {
+			continue
+		}
+		// Shared-mailbox delivery, the channel transport's discipline:
+		// send; if full, displace the oldest (a stale sibling announcement)
+		// and retry; losing that race drops the message as loss.
+		select {
+		case l.up <- m:
+			continue
+		default:
+		}
+		select {
+		case <-l.up:
+		default:
+		}
+		select {
+		case l.up <- m:
+		default:
+		}
+	}
+}
+
+// downWriter streams the latest pending downward state to one child, with
+// the same supersede-coalescing as the ring's outWriter.
+func (l *tcpTreeLink) downWriter(c net.Conn, mailbox chan runtime.Message, dead chan struct{}) {
+	defer l.wg.Done()
+	var buf []byte
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-dead:
+			return
+		case m := <-mailbox:
+			select {
+			case m = <-mailbox:
+			default:
+			}
+			buf = AppendState(buf[:0], m)
+			if _, err := c.Write(buf); err != nil {
+				l.connFailed("write state to child", err)
+				c.Close()
+				return
+			}
+			l.t.stats.framesSent.Add(1)
+		}
+	}
+}
+
+// --- outgoing side: the connection to the parent ---
+
+// dialLoop maintains the connection to the parent: dial, hello, serve until
+// it dies, then redial with capped exponential backoff plus jitter.
+func (l *tcpTreeLink) dialLoop() {
+	defer l.wg.Done()
+	paddr := l.t.cfg.Peers[l.parent]
+	rng := rand.New(rand.NewSource(int64(l.id)*1315423911 + 29))
+	backoff := l.t.cfg.BaseBackoff
+	for {
+		if l.closedNow() {
+			return
+		}
+		d := net.Dialer{Timeout: l.t.cfg.DialTimeout}
+		c, err := d.DialContext(l.dialCtx, "tcp", paddr)
+		if err != nil {
+			if l.closedNow() {
+				return
+			}
+			l.t.stats.failedDials.Add(1)
+			sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+			select {
+			case <-l.done:
+				return
+			case <-time.After(sleep):
+			}
+			if backoff *= 2; backoff > l.t.cfg.MaxBackoff {
+				backoff = l.t.cfg.MaxBackoff
+			}
+			continue
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetKeepAlive(true)
+			tc.SetKeepAlivePeriod(15 * time.Second)
+		}
+		if _, err := c.Write(AppendHello(nil, l.id)); err != nil {
+			l.connFailed("write hello", err)
+			c.Close()
+			continue
+		}
+		l.t.stats.dials.Add(1)
+		backoff = l.t.cfg.BaseBackoff
+		l.mu.Lock()
+		l.outConn = c
+		l.mu.Unlock()
+		dead := make(chan struct{})
+		l.wg.Add(1)
+		go l.downReader(c, dead)
+		l.upWriter(c, dead) // returns when the connection dies or the link closes
+		c.Close()
+	}
+}
+
+// upWriter streams the latest pending up-announcement to the parent, with
+// supersede-coalescing into one reused buffer.
+func (l *tcpTreeLink) upWriter(c net.Conn, dead chan struct{}) {
+	var buf []byte
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-dead:
+			return
+		case m := <-l.outUp:
+			select {
+			case m = <-l.outUp:
+			default:
+			}
+			buf = AppendUp(buf[:0], m)
+			if _, err := c.Write(buf); err != nil {
+				l.connFailed("write up to parent", err)
+				return
+			}
+			l.t.stats.framesSent.Add(1)
+		}
+	}
+}
+
+// downReader receives the parent's FrameState broadcasts; its exit (on any
+// read error) marks the connection dead. Bursts drain keeping the newest.
+func (l *tcpTreeLink) downReader(c net.Conn, dead chan struct{}) {
+	defer l.wg.Done()
+	defer close(dead)
+	fr := NewFrameReader(c, 256)
+	for {
+		typ, payload, err := fr.Read()
+		if err != nil {
+			l.connFailed("read from parent", err)
+			return
+		}
+		var m runtime.Message
+		have := false
+		for {
+			switch typ {
+			case FrameState:
+				mm, err := DecodeState(payload)
+				if err != nil {
+					l.connFailed("decode state", err)
+					return
+				}
+				l.t.stats.framesRecv.Add(1)
+				m, have = mm, true
+			case FrameHello:
+				// Harmless, ignore.
+			default:
+				l.connFailed("unexpected frame", fmt.Errorf("%w: type %d from parent", ErrCodec, typ))
+				return
+			}
+			if !fr.FrameBuffered() {
+				break
+			}
+			if typ, payload, err = fr.Read(); err != nil {
+				l.connFailed("read from parent", err)
+				return
+			}
+		}
+		if !have {
+			continue
+		}
+		select {
+		case <-l.down:
+		default:
+		}
+		select {
+		case l.down <- m:
+		default:
+		}
+	}
+}
+
+// connFailed accounts one connection failure (see tcpLink.connFailed).
+func (l *tcpTreeLink) connFailed(what string, err error) {
+	if l.closedNow() {
+		return
+	}
+	if errors.Is(err, ErrCodec) {
+		l.t.stats.decodeErrors.Add(1)
+	}
+	l.t.stats.connDrops.Add(1)
+	l.t.cfg.Logf("transport: member %d: %s: %v", l.id, what, err)
+}

@@ -1,0 +1,299 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/tokenring"
+)
+
+// openTree opens every member of a loopback binary-heap tree and returns
+// the links.
+func openTree(t *testing.T, n int, opts ...Option) (*TCPTree, []runtime.TreeLink) {
+	t.Helper()
+	tr, err := NewLoopbackTree(n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	links := make([]runtime.TreeLink, n)
+	for j := 0; j < n; j++ {
+		links[j], err = tr.OpenTree(j)
+		if err != nil {
+			t.Fatalf("OpenTree(%d): %v", j, err)
+		}
+	}
+	return tr, links
+}
+
+// Down-frames flow parent→child and up-frames child→parent on the same
+// dialed connection, for every edge of a 7-member binary tree.
+func TestTreeDelivery(t *testing.T) {
+	const n = 7
+	tr, links := openTree(t, n)
+
+	for child := 1; child < n; child++ {
+		parent := tr.tree.Parent[child]
+
+		// Parent → child: resend until the child's dialed connection is up.
+		dm := runtime.Message{SN: tokenring.SN(child), CP: core.Execute, PH: child % 3}
+		dm.Sum = dm.Checksum()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			links[parent].SendDown(child, dm)
+			select {
+			case got := <-links[child].Down():
+				if got != dm {
+					t.Fatalf("child %d received %+v, want %+v", child, got, dm)
+				}
+			case <-time.After(2 * time.Millisecond):
+				if time.Now().Before(deadline) {
+					continue
+				}
+				t.Fatalf("down state never reached child %d", child)
+			}
+			break
+		}
+
+		// Child → parent on the same connection.
+		um := runtime.UpMessage{Child: child, SN: tokenring.SN(child), CP: core.Success, PH: 1, AckSN: tokenring.SN(child), AckCP: core.Success, AckPH: 1}
+		um.Sum = um.Checksum()
+		deadline = time.Now().Add(5 * time.Second)
+		for {
+			links[child].SendUp(um)
+			select {
+			case got := <-links[parent].Up():
+				if got.Child != child {
+					continue // a sibling's retransmission; keep waiting
+				}
+				if got != um {
+					t.Fatalf("parent %d received %+v, want %+v", parent, got, um)
+				}
+			case <-time.After(2 * time.Millisecond):
+				if time.Now().Before(deadline) {
+					continue
+				}
+				t.Fatalf("up state never reached parent of %d", child)
+			}
+			break
+		}
+	}
+}
+
+// A stranger (or a non-child member) connecting to an internal node is
+// rejected at the handshake.
+func TestTreeHandshakeRejectsNonChild(t *testing.T) {
+	tr, _ := openTree(t, 7)
+
+	addr0 := tr.cfg.Peers[0] // root accepts only children 1 and 2
+	for _, intruder := range [][]byte{
+		AppendHello(nil, 5),                  // not a child of the root
+		AppendFrame(nil, FrameTop, nil),      // not a hello at all
+		{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}, // garbage bytes
+	} {
+		c, err := net.Dial("tcp", addr0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Write(intruder)
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == nil {
+			t.Error("acceptor kept an unauthenticated connection open")
+		}
+		c.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Stats().HandshakeRejects < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("handshake rejects = %d, want 3", tr.Stats().HandshakeRejects)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// An up-frame whose in-band Child disagrees with the hello identity is
+// detected corruption: the connection is dropped, the frame discarded.
+func TestTreeChildIDCrossCheck(t *testing.T) {
+	tr, links := openTree(t, 3)
+
+	// Pose as child 1 dialing the root, then claim to be child 2 in-band.
+	c, err := net.Dial("tcp", tr.cfg.Peers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	forged := runtime.UpMessage{Child: 2, SN: 1, CP: core.Success, PH: 0}
+	forged.Sum = forged.Checksum()
+	c.Write(AppendHello(nil, 1))
+	c.Write(AppendUp(nil, forged))
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Error("acceptor survived a cross-check violation")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Stats().DecodeErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cross-check violation not accounted as a decode error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The forged frame must not have surfaced.
+	select {
+	case m := <-links[0].Up():
+		t.Errorf("forged up-message delivered: %+v", m)
+	default:
+	}
+}
+
+// A forcibly broken tree edge redials and delivery resumes.
+func TestTreeReconnectAfterBreak(t *testing.T) {
+	tr, links := openTree(t, 3)
+
+	send := func(sn tokenring.SN) runtime.UpMessage {
+		um := runtime.UpMessage{Child: 1, SN: sn, CP: core.Execute, PH: 0}
+		um.Sum = um.Checksum()
+		links[1].SendUp(um)
+		return um
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		send(1)
+		select {
+		case <-links[0].Up():
+		case <-time.After(2 * time.Millisecond):
+			if time.Now().Before(deadline) {
+				continue
+			}
+			t.Fatal("initial connection never delivered")
+		}
+		break
+	}
+	dialsBefore := tr.Stats().Dials
+
+	tr.BreakLinks(1) // closes child 1's dialed connection to the root
+
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		want := send(7)
+		select {
+		case got := <-links[0].Up():
+			if got == want {
+				if redials := tr.Stats().Dials - dialsBefore; redials == 0 {
+					t.Error("delivery resumed without a redial being counted")
+				}
+				return
+			}
+		case <-time.After(2 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("delivery did not resume after the link was broken")
+		}
+	}
+}
+
+// Constructor and Open validation.
+func TestTreeOpenValidation(t *testing.T) {
+	tr, _ := openTree(t, 3)
+	if _, err := tr.OpenTree(0); err == nil {
+		t.Error("double OpenTree(0) succeeded")
+	}
+	if _, err := tr.OpenTree(-1); err == nil {
+		t.Error("OpenTree(-1) succeeded")
+	}
+	if _, err := tr.OpenTree(3); err == nil {
+		t.Error("OpenTree(3) succeeded")
+	}
+	if _, err := tr.Open(0); err == nil {
+		t.Error("ring Open succeeded on a tree transport")
+	}
+	if _, err := NewTCPTree(TCPConfig{Peers: []string{"a", "b"}}, []int{-1}); err == nil {
+		t.Error("NewTCPTree with mismatched peers/parent succeeded")
+	}
+	if _, err := NewTCPTree(TCPConfig{Peers: []string{"a", "b"}}, []int{-1, 5}); err == nil {
+		t.Error("NewTCPTree with an invalid parent vector succeeded")
+	}
+	if _, err := NewLoopbackTree(1); err == nil {
+		t.Error("NewLoopbackTree(1) succeeded")
+	}
+}
+
+// An end-to-end tree barrier over TCP: the real protocol engine drives
+// loopback sockets through the double-tree refinement, completing barriers
+// under injected corruption and a mid-run connection break.
+func TestBarrierOverTCPTree(t *testing.T) {
+	const (
+		n       = 7
+		nPhases = 2
+		passes  = 30
+	)
+	tr, err := NewLoopbackTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runtime.New(runtime.Config{
+		Participants: n,
+		NPhases:      nPhases,
+		Topology:     runtime.TopologyTree,
+		Transport:    tr,
+		Resend:       200 * time.Microsecond,
+		CorruptRate:  0.01,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		b.Stop()
+		tr.Close()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < passes; k++ {
+				if k == passes/2 && id == 0 {
+					tr.BreakLinks(3) // mid-run network blip on a leaf edge
+				}
+				ph, err := b.Await(ctx, id)
+				if errors.Is(err, runtime.ErrReset) {
+					k--
+					continue
+				}
+				if err != nil {
+					errs <- fmt.Errorf("member %d pass %d: %w", id, k, err)
+					return
+				}
+				if want := (k + 1) % nPhases; ph != want {
+					errs <- fmt.Errorf("member %d pass %d: phase %d, want %d", id, k, ph, want)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tr.Stats()
+	if st.FramesRecv == 0 {
+		t.Error("barrier completed without any TCP frames — transport not exercised")
+	}
+	t.Logf("transport stats: %+v", st)
+}
