@@ -6,7 +6,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -32,8 +34,10 @@ type member struct {
 	logPath string
 }
 
-// start launches one barrierd member writing to its own log file. extra
-// flags (e.g. -topology tree) are appended to the common argument set.
+// start launches one barrierd member writing to its own log file. Every
+// member serves /metrics and /healthz on an ephemeral loopback port (the
+// tests probe readiness instead of sleeping). extra flags (e.g.
+// -topology tree) are appended to the common argument set.
 func start(t *testing.T, bin, peers string, id, quota int, dir string, rejoin bool, extra ...string) *member {
 	t.Helper()
 	logPath := filepath.Join(dir, fmt.Sprintf("member%d.run%d.log", id, time.Now().UnixNano()))
@@ -47,6 +51,7 @@ func start(t *testing.T, bin, peers string, id, quota int, dir string, rejoin bo
 		"-passes", strconv.Itoa(quota),
 		"-corrupt", corruptionRate,
 		"-resend", "500us",
+		"-metrics", "127.0.0.1:0",
 	}
 	if rejoin {
 		args = append(args, "-rejoin")
@@ -91,6 +96,92 @@ func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool)
 			t.Fatalf("timed out waiting for %s", what)
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+var metricsAddrLine = regexp.MustCompile(`(?m)^metrics listening on (\S+)$`)
+
+// metricsAddr returns the member's bound observability address, parsed
+// from its "metrics listening on ADDR" log line ("" until it appears).
+func metricsAddr(m *member) string {
+	data, err := os.ReadFile(m.logPath)
+	if err != nil {
+		return ""
+	}
+	match := metricsAddrLine.FindStringSubmatch(string(data))
+	if match == nil {
+		return ""
+	}
+	return match[1]
+}
+
+var probeClient = &http.Client{Timeout: 500 * time.Millisecond}
+
+// httpBody performs one GET and returns (body, status, ok).
+func httpBody(url string) (string, int, bool) {
+	resp, err := probeClient.Get(url)
+	if err != nil {
+		return "", 0, false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", resp.StatusCode, false
+	}
+	return string(body), resp.StatusCode, true
+}
+
+// waitHealthy blocks until the member's /healthz answers 200 — the
+// readiness probe that replaces sleep-based waits around startup and the
+// SIGKILL/rejoin restart.
+func waitHealthy(t *testing.T, m *member, timeout time.Duration) {
+	t.Helper()
+	waitFor(t, fmt.Sprintf("member %d /healthz ready", m.id), timeout, func() bool {
+		addr := metricsAddr(m)
+		if addr == "" {
+			return false
+		}
+		_, code, ok := httpBody("http://" + addr + "/healthz")
+		return ok && code == http.StatusOK
+	})
+}
+
+// scrapeMetrics fetches the member's /metrics page and asserts the
+// exported accounting reflects a barrier that really ran: passes were
+// counted, and the transport moved frames over real dials.
+func scrapeMetrics(t *testing.T, m *member) {
+	t.Helper()
+	addr := metricsAddr(m)
+	if addr == "" {
+		t.Errorf("member %d never logged its metrics address", m.id)
+		return
+	}
+	body, code, ok := httpBody("http://" + addr + "/metrics")
+	if !ok || code != http.StatusOK {
+		t.Errorf("member %d /metrics scrape failed (ok=%v code=%d)", m.id, ok, code)
+		return
+	}
+	sample := regexp.MustCompile(`(?m)^(\w+)(?:\{[^}]*\})? (\d+(?:\.\d+)?(?:e\+?\d+)?)$`)
+	values := map[string]float64{}
+	for _, match := range sample.FindAllStringSubmatch(body, -1) {
+		v, err := strconv.ParseFloat(match[2], 64)
+		if err != nil {
+			continue
+		}
+		values[match[1]] += v // labeled series (e.g. frames by dir) sum per family
+	}
+	for _, name := range []string{"barrier_passes_total", "transport_frames_total"} {
+		if values[name] <= 0 {
+			t.Errorf("member %d: %s = %v, want > 0\nscrape:\n%s", m.id, name, values[name], tailLines(body, 40))
+		}
+	}
+	// Every member either dials or accepts (the tree root only accepts:
+	// children dial their parents).
+	if values["transport_dials_total"]+values["transport_accepts_total"] <= 0 {
+		t.Errorf("member %d: no dials and no accepts in scrape\n%s", m.id, tailLines(body, 40))
+	}
+	if _, present := values["barrier_recovery_seconds_count"]; !present {
+		t.Errorf("member %d: barrier_recovery_seconds_count missing from scrape", m.id)
 	}
 }
 
@@ -141,6 +232,12 @@ func TestLoopbackRingKillRestart(t *testing.T) {
 		}
 	})
 
+	// All members up and serving before the clock starts: readiness comes
+	// from /healthz, not from guessing startup latency.
+	for _, m := range members {
+		waitHealthy(t, m, time.Minute)
+	}
+
 	// Let the ring make real progress, then fail-stop member 2 mid-run.
 	waitFor(t, "initial ring progress", time.Minute, func() bool {
 		return passCount(members[0]) >= killAfterPass
@@ -154,9 +251,10 @@ func TestLoopbackRingKillRestart(t *testing.T) {
 
 	// A full barrier cannot complete without it; restart it into the live
 	// ring in the reset state (Section 7: rejoin is masked like a
-	// detectable fault).
-	time.Sleep(50 * time.Millisecond)
+	// detectable fault). /healthz confirms the restarted process is up
+	// and un-halted before the test waits on its quota.
 	members[2] = start(t, bin, peers, 2, restartQuota, dir, true)
+	waitHealthy(t, members[2], time.Minute)
 
 	// Every member — survivors and the rejoined process — must reach its
 	// quota of spec-clean passes.
@@ -170,6 +268,12 @@ func TestLoopbackRingKillRestart(t *testing.T) {
 			}
 			return logged(m, "DONE ")
 		})
+	}
+
+	// With every quota met and the ring still live, the exported metrics
+	// must show the run: passes counted, transport frames moved.
+	for _, m := range members {
+		scrapeMetrics(t, m)
 	}
 
 	// Graceful shutdown: SIGTERM each member; all must exit 0 with a clean
@@ -227,6 +331,12 @@ func TestLoopbackTreeKillRestart(t *testing.T) {
 		}
 	})
 
+	// All members up and serving before the clock starts: readiness comes
+	// from /healthz, not from guessing startup latency.
+	for _, m := range members {
+		waitHealthy(t, m, time.Minute)
+	}
+
 	// Let the tree make real progress, then fail-stop a leaf mid-run.
 	waitFor(t, "initial tree progress", time.Minute, func() bool {
 		return passCount(members[0]) >= killAfterPass
@@ -239,9 +349,10 @@ func TestLoopbackTreeKillRestart(t *testing.T) {
 	t.Logf("killed member %d at root pass %d", treeVictim, passCount(members[0]))
 
 	// The root's convergecast cannot complete without the leaf's subtree
-	// acknowledgment; restart it into the live tree in the reset state.
-	time.Sleep(50 * time.Millisecond)
+	// acknowledgment; restart it into the live tree in the reset state,
+	// probing /healthz for the restarted process's readiness.
 	members[treeVictim] = start(t, bin, peers, treeVictim, restartQuota, dir, true, "-topology", "tree")
+	waitHealthy(t, members[treeVictim], time.Minute)
 
 	for _, m := range members {
 		m := m
@@ -254,6 +365,11 @@ func TestLoopbackTreeKillRestart(t *testing.T) {
 			return logged(m, "DONE ")
 		})
 	}
+
+	// The tree transport's metrics must show the run too — on the root
+	// (the broadcast/convergecast hub) and the rejoined leaf alike.
+	scrapeMetrics(t, members[0])
+	scrapeMetrics(t, members[treeVictim])
 
 	// Graceful shutdown: SIGTERM each member; all must exit 0 with a clean
 	// summary and no violations anywhere in their logs.

@@ -29,6 +29,14 @@
 // A member restarted into a live ring should be given -rejoin, which
 // starts the protocol in the reset state (sn ⊥), so rejoining is masked
 // exactly like a detectable fault (Section 7 of the paper).
+//
+// -metrics addr serves the live Section 6 measurements: /metrics exposes
+// the barrier's and transport's series in the Prometheus text format
+// (passes, re-executed instances per pass, pass latency, recovery time,
+// reconnects, CRC drops), and /healthz answers 200 while the member is
+// live — 503 after a fail-safe halt — so supervisors and tests can probe
+// readiness instead of sleeping. -pprof adds /debug/pprof on the same
+// address.
 package main
 
 import (
@@ -36,12 +44,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/runtime"
 	"repro/internal/topo"
 	"repro/internal/transport"
@@ -59,6 +72,8 @@ var (
 	seedFlag     = flag.Int64("seed", 1, "random seed for fault injection draws")
 	rejoinFlag   = flag.Bool("rejoin", false, "start in the reset protocol state (restarting into a live ring)")
 	quietFlag    = flag.Bool("quiet", false, "suppress per-pass output")
+	metricsFlag  = flag.String("metrics", "", `serve /metrics and /healthz on this address (e.g. ":9100"; empty: disabled)`)
+	pprofFlag    = flag.Bool("pprof", false, "also serve /debug/pprof on the -metrics address")
 )
 
 func main() {
@@ -79,6 +94,13 @@ func run() error {
 		return fmt.Errorf("-id %d out of range for %d peers", id, len(peers))
 	}
 
+	// One registry serves the barrier's and the transport's series; nil
+	// (metrics disabled) makes every registration a no-op downstream.
+	var reg *obsv.Registry
+	if *metricsFlag != "" {
+		reg = obsv.NewRegistry()
+	}
+
 	// The transport must realize the same topology the protocol runs: ring
 	// links for MB, tree edges (matching the runtime's default binary-heap
 	// shape) for the double-tree refinement.
@@ -89,7 +111,7 @@ func run() error {
 	switch *topologyFlag {
 	case "ring":
 		topology = runtime.TopologyRing
-		t, err := transport.NewTCP(transport.TCPConfig{Peers: peers})
+		t, err := transport.NewTCP(transport.TCPConfig{Peers: peers, Registry: reg})
 		if err != nil {
 			return err
 		}
@@ -100,7 +122,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		t, err := transport.NewTCPTree(transport.TCPConfig{Peers: peers}, shape.Parent)
+		t, err := transport.NewTCPTree(transport.TCPConfig{Peers: peers, Registry: reg}, shape.Parent)
 		if err != nil {
 			return err
 		}
@@ -120,11 +142,21 @@ func run() error {
 		LossRate:     *lossFlag,
 		CorruptRate:  *corruptFlag,
 		Seed:         *seedFlag + int64(id), // decorrelate the members' fault draws
+		Metrics:      reg,
 	})
 	if err != nil {
 		return err
 	}
 	defer b.Stop()
+
+	var passCounter atomic.Int64
+	if *metricsFlag != "" {
+		srv, err := serveMetrics(*metricsFlag, reg, b, id, &passCounter)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	sigs := make(chan os.Signal, 1)
@@ -152,6 +184,7 @@ func run() error {
 			}
 			expected = (ph + 1) % *nPhasesFlag
 			passes++
+			passCounter.Store(int64(passes))
 			if !*quietFlag {
 				fmt.Printf("pass %d phase %d\n", passes, ph)
 			}
@@ -173,4 +206,47 @@ func run() error {
 			return fmt.Errorf("await: %w", err)
 		}
 	}
+}
+
+// serveMetrics binds addr and serves the observability endpoints:
+//
+//	/metrics — the registry in Prometheus text format
+//	/healthz — 200 with a small JSON body while the member is live,
+//	           503 once the barrier is fail-safe halted
+//
+// The bound address is printed ("metrics listening on ADDR") so that a
+// supervisor — or the e2e test — can probe readiness even with ":0".
+func serveMetrics(addr string, reg *obsv.Registry, b *runtime.Barrier, id int, passes *atomic.Int64) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		status, code := "ok", http.StatusOK
+		if b.Halted() {
+			// Fail-safe halt: the member will never pass a barrier again;
+			// report unhealthy so a supervisor can restart it with -rejoin.
+			status, code = "halted", http.StatusServiceUnavailable
+		}
+		w.WriteHeader(code)
+		fmt.Fprintf(w, `{"status":%q,"member":%d,"topology":%q,"passes":%d}`+"\n",
+			status, id, *topologyFlag, passes.Load())
+	})
+	if *pprofFlag {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	fmt.Printf("metrics listening on %s\n", ln.Addr())
+	return srv, nil
 }

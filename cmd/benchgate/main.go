@@ -1,0 +1,239 @@
+// Command benchgate fails CI when the barrier hot path regresses.
+//
+// It reads `go test -bench` output (stdin, or -input), compares each
+// BenchmarkAwait* result against the committed baseline
+// (BENCH_runtime.json), and exits non-zero if
+//
+//   - any measured Await benchmark reports allocs/op > 0 (the hot path
+//     is allocation-free by design — see DESIGN.md — and must stay so), or
+//   - a gated benchmark family (BenchmarkAwaitTree, BenchmarkAwaitChannel)
+//     is more than -tolerance slower than baseline after normalization.
+//
+// CI runners are not the host the baseline was measured on, so raw
+// ns/op comparison would gate on machine speed, not on the code. The
+// gate therefore normalizes by the median current/baseline ratio across
+// every matched benchmark: a uniformly slower machine moves all ratios
+// together and cancels out, while a regression confined to the Await
+// path moves its ratio away from the median and trips the gate.
+//
+// The verdict is per family, on the geometric mean of the normalized
+// ratios over the family's sizes (n=2..32): single-size microbenchmarks
+// swing several percent run to run even after min-of-N folding, but a
+// real hot-path regression moves every size of the family together,
+// so the family mean separates signal from scheduler noise.
+//
+// Run the benchmarks with -count=3 or more: repeated result lines for
+// one benchmark are folded to their minimum (ns/op and allocs/op), the
+// standard way to strip scheduler noise and one-time amortized costs
+// from short runs.
+//
+//	go test -run '^$' -bench Await -benchtime 2000x -count 3 -benchmem . | benchgate
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	baselineFlag  = flag.String("baseline", "BENCH_runtime.json", "baseline results file")
+	inputFlag     = flag.String("input", "-", `bench output to check ("-": stdin)`)
+	toleranceFlag = flag.Float64("tolerance", 0.02, "allowed fractional slowdown on gated benchmarks after normalization")
+)
+
+// gatedPrefixes are the benchmark families whose normalized ns/op is
+// gated; the rest (TCP loopback) only contribute to the median and to
+// the allocs check — socket benches are too kernel-noisy to gate at 2%.
+var gatedPrefixes = []string{"BenchmarkAwaitTree/", "BenchmarkAwaitChannel/"}
+
+type baselineFile struct {
+	Results []struct {
+		Bench       string  `json:"bench"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp *int64  `json:"allocs_per_op"`
+	} `json:"results"`
+}
+
+type measurement struct {
+	nsPerOp   float64
+	allocsSet bool
+	allocs    int64
+}
+
+// benchLine matches one result line of `go test -bench -benchmem`
+// output; the -N GOMAXPROCS suffix is stripped from the name so it
+// matches the baseline keys regardless of the runner's CPU count.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
+var allocsField = regexp.MustCompile(`([\d.]+) allocs/op`)
+
+func parseBench(r io.Reader) (map[string]measurement, error) {
+	out := map[string]measurement{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		match := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if match == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(match[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+		}
+		m := measurement{nsPerOp: ns}
+		if a := allocsField.FindStringSubmatch(match[3]); a != nil {
+			v, err := strconv.ParseFloat(a[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			m.allocsSet, m.allocs = true, int64(v)
+		}
+		// -count repeats fold to the minimum: the best run is the one
+		// least disturbed by the machine.
+		if prev, ok := out[match[1]]; ok {
+			if prev.nsPerOp < m.nsPerOp {
+				m.nsPerOp = prev.nsPerOp
+			}
+			if prev.allocsSet && (!m.allocsSet || prev.allocs < m.allocs) {
+				m.allocsSet, m.allocs = true, prev.allocs
+			}
+		}
+		out[match[1]] = m
+	}
+	return out, sc.Err()
+}
+
+func gated(name string) bool {
+	for _, p := range gatedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	raw, err := os.ReadFile(*baselineFlag)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", *baselineFlag, err)
+	}
+	baseline := map[string]float64{}
+	for _, r := range base.Results {
+		baseline[r.Bench] = r.NsPerOp
+	}
+
+	in := os.Stdin
+	if *inputFlag != "-" {
+		f, err := os.Open(*inputFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("no benchmark result lines in input")
+	}
+
+	// Allocation gate: strict zero on every Await benchmark measured.
+	failed := false
+	for name, m := range measured {
+		if !strings.HasPrefix(name, "BenchmarkAwait") {
+			continue
+		}
+		if !m.allocsSet {
+			fmt.Fprintf(os.Stderr, "FAIL %s: no allocs/op field (run with -benchmem)\n", name)
+			failed = true
+		} else if m.allocs != 0 {
+			fmt.Fprintf(os.Stderr, "FAIL %s: %d allocs/op, hot path must be allocation-free\n", name, m.allocs)
+			failed = true
+		}
+	}
+
+	// Speed gate: normalize by the median ratio over every benchmark
+	// present in both the run and the baseline.
+	type row struct {
+		name  string
+		ratio float64
+	}
+	var rows []row
+	for name, m := range measured {
+		if b, ok := baseline[name]; ok && b > 0 {
+			rows = append(rows, row{name, m.nsPerOp / b})
+		}
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no measured benchmark matches the baseline set")
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	ratios := make([]float64, len(rows))
+	for i, r := range rows {
+		ratios[i] = r.ratio
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	if median <= 0 {
+		return fmt.Errorf("degenerate median ratio %v", median)
+	}
+
+	fmt.Printf("benchgate: %d benchmarks matched, median host ratio %.3f, tolerance %.1f%%\n",
+		len(rows), median, 100**toleranceFlag)
+	famLog, famCount := map[string]float64{}, map[string]int{}
+	for _, r := range rows {
+		norm := r.ratio / median
+		kind := " info "
+		if gated(r.name) {
+			kind = " gate "
+			fam := r.name[:strings.Index(r.name, "/")]
+			famLog[fam] += math.Log(norm)
+			famCount[fam]++
+		}
+		fmt.Printf("%s %-34s ns/op %9.0f  vs base x%.3f  normalized x%.3f\n",
+			kind, r.name, measured[r.name].nsPerOp, r.ratio, norm)
+	}
+	fams := make([]string, 0, len(famLog))
+	for fam := range famLog {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		geomean := math.Exp(famLog[fam] / float64(famCount[fam]))
+		verdict := "ok"
+		if geomean > 1+*toleranceFlag {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-6s %-34s family geomean x%.3f over %d sizes\n", verdict, fam, geomean, famCount[fam])
+	}
+
+	if failed {
+		return fmt.Errorf("gate failed")
+	}
+	return nil
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/dtree"
 	"repro/internal/faults"
 	"repro/internal/mb"
+	"repro/internal/obsv"
 	"repro/internal/rb"
 	"repro/internal/rbtree"
 	"repro/internal/runtime"
@@ -71,6 +72,20 @@ const (
 	TopologyRing = runtime.TopologyRing
 	TopologyTree = runtime.TopologyTree
 )
+
+// --- Layer 1, observability ---
+
+// MetricsRegistry collects the barrier's (and transports') live
+// measurements — pass counts, re-executed instances per pass, phase
+// latency, recovery time, traffic and fault counters — and renders them
+// in the Prometheus text exposition format via WriteText. Pass one
+// registry in Config.Metrics and/or TCPConfig.Registry; nil disables
+// collection. See DESIGN.md §9 for the metric → paper-quantity mapping.
+type MetricsRegistry = obsv.Registry
+
+// NewMetricsRegistry returns an empty registry for Config.Metrics /
+// TCPConfig.Registry.
+func NewMetricsRegistry() *MetricsRegistry { return obsv.NewRegistry() }
 
 // --- Layer 1, distributed: pluggable ring transports ---
 

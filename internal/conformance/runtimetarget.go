@@ -3,11 +3,15 @@ package conformance
 import (
 	"context"
 	"errors"
+	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obsv"
 	"repro/internal/runtime"
 	"repro/internal/transport"
 )
@@ -61,11 +65,17 @@ func runRuntime(s Schedule) Verdict {
 	v := Verdict{FailOpIndex: -1}
 	masking := !s.HasUndetectable()
 	col := &runtimeCollector{checker: core.NewSpecChecker(s.NProcs, s.NPhases)}
+	// Metrics ride along on every conformance run: after the replay, the
+	// exported fault counters must equal what the schedule injected (the
+	// metric-vs-schedule oracle), and scraping during the run keeps the
+	// exposition path under the race detector's eyes.
+	reg := obsv.NewRegistry()
 	// The tcp target runs the identical protocol over loopback sockets:
 	// the verdict must not depend on which transport carries the ring.
 	var tr runtime.Transport
 	if s.Target == TargetTCP {
-		tcp, err := transport.NewLoopbackRing(s.NProcs)
+		tcp, err := transport.NewLoopbackRing(s.NProcs,
+			func(c *transport.TCPConfig) { c.Registry = reg })
 		if err != nil {
 			v.Reason = "loopback transport: " + err.Error()
 			return v
@@ -90,6 +100,7 @@ func runRuntime(s Schedule) Verdict {
 		CorruptRate:  s.Corrupt,
 		Seed:         s.Seed,
 		EventSink:    col.sink,
+		Metrics:      reg,
 	})
 	if err != nil {
 		v.Reason = "invalid schedule: " + err.Error()
@@ -121,6 +132,24 @@ func runRuntime(s Schedule) Verdict {
 		}()
 	}
 
+	// Scraper: renders the registry while the protocol runs, so every
+	// conformance and fuzz execution doubles as a concurrency test of the
+	// recording/exposition pair.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var sb strings.Builder
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			sb.Reset()
+			reg.WriteText(&sb)
+		}
+	}()
+
 	clampProc := func(j int) int {
 		j %= s.NProcs
 		if j < 0 {
@@ -128,16 +157,22 @@ func runRuntime(s Schedule) Verdict {
 		}
 		return j
 	}
+	// Tally what the schedule actually injects, post-clamp, for the
+	// metric-vs-schedule cross-check after the run.
+	var nResets, nScrambles, nSpurious int64
 	for _, op := range s.Ops {
 		switch op.Kind {
 		case OpStep:
 			time.Sleep(runtimeStepPacing)
 		case OpReset:
 			b.Reset(clampProc(op.Proc))
+			nResets++
 		case OpScramble:
 			b.Scramble(clampProc(op.Proc), op.Arg)
+			nScrambles++
 		case OpSpurious:
 			b.InjectSpurious(clampProc(op.Proc), op.Arg)
+			nSpurious++
 		case OpCrash, OpRestart:
 			// The runtime has no crash gate (Halt is terminal fail-safe,
 			// which no liveness-checked schedule may contain).
@@ -193,6 +228,20 @@ func runRuntime(s Schedule) Verdict {
 	wg.Wait()
 	b.Stop()
 
+	// Metric-vs-schedule cross-check: with the protocol goroutines
+	// quiescent, the exported accounting must agree exactly with the
+	// schedule that was replayed. A mismatch is a verdict failure in its
+	// own right — the observability layer lying about faults is as much a
+	// conformance bug as a spec violation.
+	var observed int64
+	for id := range base {
+		observed += passes[id].Load()
+	}
+	if reason := crossCheckMetrics(b.Stats(), reg, nResets, nScrambles, nSpurious, observed); reason != "" {
+		v.Reason = "metrics mismatch: " + reason
+		return v
+	}
+
 	col.mu.Lock()
 	defer col.mu.Unlock()
 	v.Barriers = col.checker.SuccessfulBarriers()
@@ -215,4 +264,68 @@ func runRuntime(s Schedule) Verdict {
 	v.Stabilized = true
 	v.OK = true
 	return v
+}
+
+// crossCheckMetrics verifies the exported accounting against the replayed
+// schedule. Returns "" on agreement, else a description of the first
+// mismatch.
+//
+// The injection counters are exact by construction — Reset/Scramble/
+// InjectSpurious tally synchronously at call time, before returning to
+// the scheduler — so equality, not inequality, is demanded. The recovery
+// histogram is bounded by the faults that can have armed it, and the
+// exported pass counter must cover every pass a participant observed (it
+// may exceed it: a pass delivered in the instant the run was cancelled
+// is counted but uncollected).
+func crossCheckMetrics(st runtime.Stats, reg *obsv.Registry, nResets, nScrambles, nSpurious, observedPasses int64) string {
+	if got, want := st.ResetsInjected+st.ScramblesInjected+st.DroppedInjections, nResets+nScrambles; got != want {
+		return fmt.Sprintf("accepted(%d+%d)+dropped(%d) injections = %d, schedule injected %d",
+			st.ResetsInjected, st.ScramblesInjected, st.DroppedInjections, got, want)
+	}
+	if st.ResetsInjected > nResets {
+		return fmt.Sprintf("ResetsInjected = %d, schedule held only %d resets", st.ResetsInjected, nResets)
+	}
+	if st.ScramblesInjected > nScrambles {
+		return fmt.Sprintf("ScramblesInjected = %d, schedule held only %d scrambles", st.ScramblesInjected, nScrambles)
+	}
+	if st.Spurious != nSpurious {
+		return fmt.Sprintf("Spurious = %d, schedule injected %d", st.Spurious, nSpurious)
+	}
+	if st.Passes < observedPasses {
+		return fmt.Sprintf("Passes = %d < %d passes observed by participants", st.Passes, observedPasses)
+	}
+	if st.Drops > st.Sends+st.Spurious {
+		return fmt.Sprintf("Drops = %d exceeds Sends+Spurious = %d", st.Drops, st.Sends+st.Spurious)
+	}
+	// The exported series must agree with the Stats snapshot, and the
+	// recovery histogram can only have been armed by accepted state faults.
+	if got := scrapeValue(reg, "barrier_passes_total"); got != st.Passes {
+		return fmt.Sprintf("exported barrier_passes_total = %d, Stats.Passes = %d", got, st.Passes)
+	}
+	if got := scrapeValue(reg, "barrier_recovery_seconds_count"); got > st.ResetsInjected+st.ScramblesInjected {
+		return fmt.Sprintf("recovery histogram holds %d observations for %d accepted state faults",
+			got, st.ResetsInjected+st.ScramblesInjected)
+	}
+	return ""
+}
+
+// scrapeValue renders the registry and returns the integer value of the
+// named sample line (-1 if absent — which no cross-checked series is).
+func scrapeValue(reg *obsv.Registry, name string) int64 {
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		return -1
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	return -1
 }

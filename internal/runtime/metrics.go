@@ -1,0 +1,123 @@
+package runtime
+
+import (
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// This file is the barrier's observability surface: the live versions of
+// the paper's Section 6 measurements, recorded on the protocol goroutines
+// without allocating and exported through an obsv.Registry.
+//
+// The budget is set by the fused tree scheduler — 0 allocs/op at ~58µs
+// per 32-member pass — so recording is restricted to plain field updates
+// on state the protocol goroutine already owns, plus a histogram Observe
+// (a short bounded scan and two atomic adds) on sampled or rare events:
+//
+//   - barrier_instances_per_pass (Fig 3/5): re-executed instances are
+//     always recorded exactly (they only happen under faults, which are
+//     rare); the fault-free value 1 is sampled 1-in-8. The exact pass
+//     denominator is barrier_passes_total, not the histogram count.
+//   - barrier_phase_seconds (Fig 4/6): pass-to-pass latency of one pass
+//     in every 8, timed with two time.Now calls per sample.
+//   - barrier_recovery_seconds (Fig 7): injected reset/scramble to the
+//     next delivered pass, recorded on every fault (faults are cold).
+
+// newHistograms allocates the measurement histograms. They exist whether
+// or not a registry is configured, so the recording paths are branch-free.
+func (b *Barrier) newHistograms() {
+	b.mInstances = obsv.NewHistogram("barrier_instances_per_pass",
+		"Protocol instances consumed per delivered pass (Fig 3/5; 1 = fault-free, sampled 1-in-8; >1 = re-executions, recorded exactly).",
+		obsv.LinearBuckets(1, 1, 8))
+	b.mPhase = obsv.NewHistogram("barrier_phase_seconds",
+		"Pass-to-pass barrier latency in seconds, sampled 1-in-8 per member (live Fig 4/6 overhead).",
+		obsv.ExpBuckets(16e-6, 2, 16)) // 16µs .. ~0.5s
+	b.mRecovery = obsv.NewHistogram("barrier_recovery_seconds",
+		"Injected reset/scramble to next delivered pass, seconds (live Fig 7; paper bound ≤ 5hc).",
+		obsv.ExpBuckets(16e-6, 2, 16))
+}
+
+// registerMetrics installs the exported series. Counter values ride the
+// existing atomics via scrape-time funcs, so enabling metrics changes
+// nothing on the protocol paths.
+func (b *Barrier) registerMetrics(r *obsv.Registry, topology Topology) error {
+	topoName := "ring"
+	if topology == TopologyTree {
+		topoName = "tree"
+	}
+	metrics := []obsv.Metric{
+		obsv.NewCounterFunc("barrier_passes_total",
+			"Barrier passes delivered to participants.", b.statPasses.Load),
+		obsv.NewCounterFunc("barrier_resets_total",
+			"ErrReset results delivered to participants (phase work voided by a detectable fault).", b.statResets.Load),
+		obsv.NewCounterFunc("barrier_sends_total",
+			"Protocol messages sent.", b.statSends.Load),
+		obsv.NewCounterFunc("barrier_drops_total",
+			"Protocol messages lost or dropped as detected-corrupt.", b.statDrops.Load),
+		obsv.NewCounterFunc("barrier_spurious_total",
+			"Spurious (undetectably forged) messages injected.", b.statSpurious.Load),
+		obsv.NewCounterFunc("barrier_injected_resets_total",
+			"Reset fault injections accepted for delivery.", b.statInjResets.Load),
+		obsv.NewCounterFunc("barrier_injected_scrambles_total",
+			"Scramble fault injections accepted for delivery.", b.statInjScrambles.Load),
+		obsv.NewCounterFunc("barrier_injections_dropped_total",
+			"Fault injections discarded because the target's control buffer was full.", b.statInjDropped.Load),
+		obsv.NewGaugeFunc("barrier_participants",
+			"Configured participant count.", func() int64 { return int64(b.n) }),
+		obsv.NewGaugeFunc(`barrier_topology{topology="`+topoName+`"}`,
+			"Barrier topology in use (value is always 1; the label carries the name).", func() int64 { return 1 }),
+		obsv.NewGaugeFunc("barrier_halted",
+			"1 if the barrier is fail-safe halted, else 0.", func() int64 {
+				if b.Halted() {
+					return 1
+				}
+				return 0
+			}),
+		b.mInstances,
+		b.mPhase,
+		b.mRecovery,
+	}
+	for _, m := range metrics {
+		if err := r.Register(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observePass records the per-pass measurements. Called by the owning
+// protocol goroutine at the pass commit point, immediately before the
+// pass is counted and delivered.
+func (g *gate) observePass() {
+	n := g.beginsSince
+	g.beginsSince = 0
+	seq := g.passSeq
+	g.passSeq++
+	if n != 1 || seq&7 == 0 {
+		g.b.mInstances.Observe(float64(n))
+	}
+	if g.faultAtNs != 0 {
+		g.b.mRecovery.Observe(float64(time.Now().UnixNano()-g.faultAtNs) / 1e9)
+		g.faultAtNs = 0
+	}
+	// Pass-to-pass latency: arm at seq ≡ 7 (mod 8), observe the very next
+	// pass. Only sampled passes pay for time.Now.
+	switch seq & 7 {
+	case 7:
+		g.sampleStartNs = time.Now().UnixNano()
+	case 0:
+		if g.sampleStartNs != 0 {
+			g.b.mPhase.Observe(float64(time.Now().UnixNano()-g.sampleStartNs) / 1e9)
+			g.sampleStartNs = 0
+		}
+	}
+}
+
+// noteFault timestamps an injected reset/scramble for the recovery
+// histogram. Called by the owning protocol goroutine from its control
+// handler (cold path: faults are rare by assumption — the paper's
+// Section 4 failure model).
+func (g *gate) noteFault() {
+	g.faultAtNs = time.Now().UnixNano()
+}

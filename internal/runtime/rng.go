@@ -1,0 +1,44 @@
+package runtime
+
+// prng is a tiny splitmix64 generator owned by exactly one goroutine.
+//
+// The protocol goroutines draw randomness on hot paths (loss/corruption
+// decisions in announce, reset/scramble state re-randomization), and the
+// draws must be deterministic per seed so conformance schedules replay
+// bit-identically. math/rand.Rand would do, but it is easy to misuse: an
+// *alias* shared across per-proc or per-link goroutines races (Rand is
+// not concurrency-safe), and the global functions serialize on a lock.
+// Owning a 8-byte generator per goroutine makes the single-owner
+// discipline structural — there is no lock to contend and nothing to
+// share. Each owner seeds its prng with a distinct function of the
+// Config seed and its id, so members' draws are decorrelated.
+//
+// splitmix64 (Steele, Lea & Flood, "Fast splittable pseudorandom number
+// generators", OOPSLA 2014) passes BigCrush and recovers from any seed,
+// including 0, in one step.
+type prng struct {
+	s uint64
+}
+
+func newPRNG(seed int64) prng { return prng{s: uint64(seed)} }
+
+func (r *prng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *prng) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (r *prng) Intn(n int) int {
+	if n <= 0 {
+		panic("prng.Intn: n <= 0")
+	}
+	return int(r.next() % uint64(n))
+}

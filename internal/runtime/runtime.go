@@ -32,12 +32,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obsv"
 	"repro/internal/tokenring"
 )
 
@@ -121,6 +121,13 @@ type Config struct {
 	// EventSink, if non-nil, receives the barrier-specification events of
 	// the run (serialized). Intended for tests.
 	EventSink core.EventSink
+	// Metrics, if non-nil, receives the barrier's metric series
+	// (passes, re-executed instances per pass, per-phase latency,
+	// recovery time after a fault — the live Section 6 quantities).
+	// The internal recording runs either way and is allocation-free;
+	// the registry only adds scrape-time visibility. Two barriers must
+	// not share one registry (their series names would collide).
+	Metrics *obsv.Registry
 }
 
 type ctrlKind uint8
@@ -173,13 +180,26 @@ type Barrier struct {
 	sinkMu sync.Mutex
 	sink   core.EventSink
 
-	// Statistics (atomic).
-	statPasses     atomic.Int64 // barrier passes delivered to participants
-	statResets     atomic.Int64 // ErrReset results delivered
-	statSends      atomic.Int64 // protocol messages sent
-	statDrops      atomic.Int64 // messages lost or detected-corrupt-dropped
-	statSpurious   atomic.Int64 // injected spurious messages
-	statInjDropped atomic.Int64 // fault injections discarded (ctrl buffer full)
+	// Statistics (atomic). statPasses and statResets double as the
+	// snapshot version for Stats(): they are bumped exactly at the
+	// participant-visible commit points (pass delivered, reset
+	// delivered), so a Stats() read that observes them unchanged
+	// across the whole snapshot saw no commit mid-read.
+	statPasses       atomic.Int64 // barrier passes delivered to participants
+	statResets       atomic.Int64 // ErrReset results delivered
+	statSends        atomic.Int64 // protocol messages sent
+	statDrops        atomic.Int64 // messages lost or detected-corrupt-dropped
+	statSpurious     atomic.Int64 // injected spurious messages
+	statInjDropped   atomic.Int64 // fault injections discarded (ctrl buffer full)
+	statInjResets    atomic.Int64 // Reset injections accepted for delivery
+	statInjScrambles atomic.Int64 // Scramble injections accepted for delivery
+
+	// Live-measurement histograms (the Section 6 quantities). Always
+	// allocated — Observe is lock- and allocation-free — and exported
+	// when Config.Metrics is set.
+	mInstances *obsv.Histogram // protocol instances consumed per pass (Fig 3/5)
+	mPhase     *obsv.Histogram // pass-to-pass latency, sampled 1-in-8 (Fig 4/6 overhead)
+	mRecovery  *obsv.Histogram // fault-injection to next-pass latency (Fig 7)
 }
 
 // gate is the participant-facing half of a protocol process, shared by the
@@ -197,10 +217,27 @@ type gate struct {
 	lastDonePh int    // phase of the last completion that consumed an arrival
 	pendingErr error  // delivered on the next Await (e.g. ErrReset)
 
+	// Live-measurement bookkeeping, owned by the protocol goroutine
+	// like the fields above. beginsSince counts protocol instance
+	// begins since the last delivered pass — fault-free it is exactly 1
+	// at delivery time, and every extra count is a re-executed instance
+	// (Fig 3/5). passSeq drives 1-in-8 sampling of the pass-to-pass
+	// latency so the hot path pays for time.Now only on sampled passes.
+	// faultAtNs is the wall-clock of the last injected reset/scramble,
+	// cleared when the next pass observes the recovery time (Fig 7).
+	beginsSince   int64
+	passSeq       uint64
+	sampleStartNs int64
+	faultAtNs     int64
+
 	ctrl chan ctrlMsg
 	// signal to a waiting Await: the phase that just began, or an error.
-	wake    chan awaitResult
-	tickets uint64 // Await ticket source (accessed only by the participant)
+	wake chan awaitResult
+	// Await ticket source and the entered flag (is an arrival
+	// registered whose pass has not been collected yet?) — accessed
+	// only by the participant goroutine.
+	tickets uint64
+	entered bool
 }
 
 func newGate(b *Barrier, id int) *gate {
@@ -230,7 +267,9 @@ type proc struct {
 	haveSent      bool
 	sentSinceTick bool // a send happened since the last resend tick
 
-	rng *rand.Rand
+	// rng is owned by the protocol goroutine (seeded before it starts;
+	// the goroutine-start happens-before edge publishes it).
+	rng prng
 }
 
 type awaitResult struct {
@@ -295,6 +334,14 @@ func New(cfg Config) (*Barrier, error) {
 		stopped: make(chan struct{}),
 		sink:    cfg.EventSink,
 	}
+	b.newHistograms()
+	if cfg.Metrics != nil {
+		// Register before the protocol goroutines start, so a name
+		// collision (two barriers on one registry) fails cleanly.
+		if err := b.registerMetrics(cfg.Metrics, cfg.Topology); err != nil {
+			return nil, err
+		}
+	}
 	b.procs = make([]*proc, b.n)
 	b.tprocs = make([]*treeProc, b.n)
 	b.gates = make([]*gate, b.n)
@@ -337,7 +384,7 @@ func (b *Barrier) startRing(cfg Config, members []int) error {
 			link:  link,
 			state: link.State(),
 			top:   link.Top(),
-			rng:   rand.New(rand.NewSource(cfg.Seed + int64(j)*7919)),
+			rng:   newPRNG(cfg.Seed + int64(j)*7919),
 		}
 		if cfg.Rejoin {
 			// The Section 7 restart state: identical to the aftermath of a
@@ -384,18 +431,47 @@ type Stats struct {
 	// the fault not occurring; the caller observes the count here instead
 	// of blocking.
 	DroppedInjections int64
+	// ResetsInjected and ScramblesInjected count the Reset/Scramble calls
+	// that were accepted for delivery (so ResetsInjected +
+	// ScramblesInjected + DroppedInjections equals the calls made — the
+	// conformance harness cross-checks exactly this against its replayed
+	// schedule).
+	ResetsInjected    int64
+	ScramblesInjected int64
 }
 
-// Stats returns a snapshot of the barrier's counters.
+// Stats returns a consistent snapshot of the barrier's counters.
+//
+// The counters are independent atomics, so reading them one Load at a
+// time can tear: a snapshot taken mid-pass could show the pass without
+// the sends that produced it. Instead of a lock on the hot path, Stats
+// uses the two commit-point counters (statPasses, statResets — bumped
+// exactly when a pass or reset is delivered to a participant) as a
+// seqlock version: read them, read everything else, read them again,
+// and retry if a commit slipped in between. Cross-counter invariants
+// (e.g. Sends ≥ Passes in a ring: a pass needs a full token circulation)
+// hold on every returned snapshot; monotone read order (Passes before
+// Sends, with Go's sequentially consistent atomics) preserves them even
+// on the rare bailout after maxStatsRetries mid-commit snapshots.
 func (b *Barrier) Stats() Stats {
-	return Stats{
-		Passes:            b.statPasses.Load(),
-		Resets:            b.statResets.Load(),
-		Sends:             b.statSends.Load(),
-		Drops:             b.statDrops.Load(),
-		Spurious:          b.statSpurious.Load(),
-		DroppedInjections: b.statInjDropped.Load(),
+	const maxStatsRetries = 16
+	var s Stats
+	for i := 0; i < maxStatsRetries; i++ {
+		s = Stats{
+			Passes:            b.statPasses.Load(),
+			Resets:            b.statResets.Load(),
+			Drops:             b.statDrops.Load(),
+			Sends:             b.statSends.Load(),
+			Spurious:          b.statSpurious.Load(),
+			DroppedInjections: b.statInjDropped.Load(),
+			ResetsInjected:    b.statInjResets.Load(),
+			ScramblesInjected: b.statInjScrambles.Load(),
+		}
+		if b.statPasses.Load() == s.Passes && b.statResets.Load() == s.Resets {
+			break
+		}
 	}
+	return s
 }
 
 // InjectSpurious delivers an arbitrary, well-formed protocol message to
@@ -416,7 +492,7 @@ func (b *Barrier) InjectSpurious(id int, seed int64) {
 	if b.procs[id] == nil {
 		return
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := newPRNG(seed)
 	m := Message{
 		SN: tokenring.SN(rng.Intn(b.l)),
 		CP: core.CP(rng.Intn(core.NumCP)),
@@ -474,6 +550,12 @@ func (b *Barrier) Await(ctx context.Context, id int) (int, error) {
 // transition — and returns without waiting. The participant may then
 // perform work that needs no ordering, and must call Leave before starting
 // the next ordered phase.
+//
+// While an entered barrier is outstanding (Enter returned nil and no
+// Leave has collected the result yet — including a Leave that returned
+// ctx.Err), Enter is a no-op: the arrival already registered stands. A
+// canceled Enter registers nothing, so Enter/Leave pairs compose with
+// context cancellation without losing or double-counting a pass.
 func (b *Barrier) Enter(ctx context.Context, id int) error {
 	if id < 0 || id >= b.n {
 		return fmt.Errorf("ftbarrier: participant %d out of range [0,%d)", id, b.n)
@@ -482,9 +564,17 @@ func (b *Barrier) Enter(ctx context.Context, id int) error {
 	if g == nil {
 		return fmt.Errorf("ftbarrier: member %d is not hosted by this process", id)
 	}
-	g.tickets++
+	if g.entered {
+		return nil
+	}
+	// The ticket is committed only when the arrival is actually handed to
+	// the protocol: a canceled Enter must leave no trace, or the next
+	// Leave would wait on a ticket whose arrival never happened.
+	t := g.tickets + 1
 	select {
-	case g.ctrl <- ctrlMsg{id: g.id, kind: ctrlArrive, ticket: g.tickets}:
+	case g.ctrl <- ctrlMsg{id: g.id, kind: ctrlArrive, ticket: t}:
+		g.tickets = t
+		g.entered = true
 		return nil
 	case <-b.halted:
 		return ErrHalted
@@ -500,6 +590,13 @@ func (b *Barrier) Enter(ctx context.Context, id int) error {
 // returns the phase now beginning. Leave without a prior Enter blocks
 // until the participant's next barrier pass or error; the Await
 // documentation describes the error contract.
+//
+// If ctx ends in the same instant the pass completes, the pass wins: Leave
+// returns the phase, not ctx.Err(). If ctx ends first, the entered
+// barrier remains outstanding — the pass, when it arrives, is counted
+// once and held for the participant, and the next Leave (or Await, whose
+// Enter is then a no-op) collects it. A pass is never lost or delivered
+// twice around a cancellation.
 func (b *Barrier) Leave(ctx context.Context, id int) (int, error) {
 	if id < 0 || id >= b.n {
 		return 0, fmt.Errorf("ftbarrier: participant %d out of range [0,%d)", id, b.n)
@@ -513,14 +610,28 @@ func (b *Barrier) Leave(ctx context.Context, id int) (int, error) {
 		select {
 		case r := <-g.wake:
 			if r.ticket != ticket {
-				continue // stale wake from an abandoned Await/Leave
+				continue // stale wake from a superseded Await/Leave
 			}
+			g.entered = false
 			return r.phase, r.err
 		case <-b.halted:
 			return 0, ErrHalted
 		case <-b.stopped:
 			return 0, ErrStopped
 		case <-ctx.Done():
+			// Last-chance poll: if the result raced the cancellation into
+			// the wake buffer, deliver it — otherwise the caller would see
+			// ctx.Err() for a pass that was already counted, and a later
+			// Leave would see it again.
+			select {
+			case r := <-g.wake:
+				if r.ticket == ticket {
+					g.entered = false
+					return r.phase, r.err
+				}
+				// Stale wake; drop it and report the cancellation.
+			default:
+			}
 			return 0, ctx.Err()
 		}
 	}
@@ -556,6 +667,16 @@ func (b *Barrier) inject(id int, m ctrlMsg) {
 	m.id = id
 	select {
 	case b.gates[id].ctrl <- m:
+		// Count at acceptance, synchronously with the caller: the
+		// conformance harness checks accepted + dropped against the
+		// number of calls its schedule made, so the tally must be
+		// stable the moment the injection call returns.
+		switch m.kind {
+		case ctrlReset:
+			b.statInjResets.Add(1)
+		case ctrlScramble:
+			b.statInjScrambles.Add(1)
+		}
 	default:
 		b.statInjDropped.Add(1)
 	}
@@ -644,6 +765,7 @@ func (g *gate) completionBlocked() bool {
 func (g *gate) applyOutcome(out core.Outcome, oldPH, newPH int) {
 	switch out {
 	case core.OutBegin:
+		g.beginsSince++
 		g.b.emit(core.Event{Kind: core.EvBegin, Proc: g.id, Phase: newPH})
 		if g.appWaiting {
 			switch {
@@ -660,6 +782,7 @@ func (g *gate) applyOutcome(out core.Outcome, oldPH, newPH int) {
 				// A genuinely new phase begins: the barrier is passed; wake
 				// the waiting participant.
 				g.appWaiting = false
+				g.observePass()
 				g.b.statPasses.Add(1)
 				g.deliver(awaitResult{phase: newPH, ticket: g.curTicket})
 			}
@@ -839,8 +962,9 @@ func (p *proc) onCtrl(c ctrlMsg) {
 		if workVoided {
 			p.failPending(ErrReset)
 		}
+		p.noteFault()
 	case ctrlScramble:
-		rng := rand.New(rand.NewSource(c.seed))
+		rng := newPRNG(c.seed)
 		randomSN := func() tokenring.SN {
 			v := rng.Intn(p.b.l + 2)
 			switch v {
@@ -859,6 +983,7 @@ func (p *proc) onCtrl(c ctrlMsg) {
 		p.cpL = core.CP(rng.Intn(core.NumCP))
 		p.ph = rng.Intn(p.b.nPhases)
 		p.phL = rng.Intn(p.b.nPhases)
+		p.noteFault()
 	}
 }
 

@@ -23,7 +23,6 @@ package runtime
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"repro/internal/core"
@@ -121,7 +120,10 @@ type treeProc struct {
 	haveSentUp    bool
 	sentSinceTick bool
 
-	rng *rand.Rand
+	// rng is owned by the protocol goroutine (the fused scheduler counts
+	// as one owner for all its members); seeded before the goroutine
+	// starts, published by the goroutine-start happens-before edge.
+	rng prng
 }
 
 func newTreeProc(b *Barrier, id, parentID int, kids []int, link TreeLink, cfg Config) *treeProc {
@@ -138,7 +140,7 @@ func newTreeProc(b *Barrier, id, parentID int, kids []int, link TreeLink, cfg Co
 		link:     link,
 		down:     link.Down(),
 		up:       link.Up(),
-		rng:      rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+		rng:      newPRNG(cfg.Seed + int64(id)*7919),
 	}
 	// DT's start state: wave 0 disseminated and acknowledged, everyone
 	// ready in phase 0 — the root's first increment begins phase 0.
@@ -291,8 +293,9 @@ func (tp *treeProc) onCtrl(c ctrlMsg) {
 		if workVoided {
 			tp.failPending(ErrReset)
 		}
+		tp.noteFault()
 	case ctrlScramble:
-		rng := rand.New(rand.NewSource(c.seed))
+		rng := newPRNG(c.seed)
 		randomSN := func() tokenring.SN {
 			v := rng.Intn(tp.b.l + 2)
 			switch v {
@@ -313,13 +316,14 @@ func (tp *treeProc) onCtrl(c ctrlMsg) {
 			tp.kidSN[i], tp.kidCP[i], tp.kidPH[i] = randomSN(), randomCP(), randomPH()
 			tp.kidAckSN[i], tp.kidAckCP[i], tp.kidAckPH[i] = randomSN(), randomCP(), randomPH()
 		}
+		tp.noteFault()
 	}
 }
 
 // injectSpurious delivers a forged, well-formed announcement to this node:
 // a parent announcement for non-roots, a child announcement at the root.
 func (tp *treeProc) injectSpurious(seed int64) {
-	rng := rand.New(rand.NewSource(seed))
+	rng := newPRNG(seed)
 	randomSN := func() tokenring.SN {
 		v := rng.Intn(tp.b.l + 2)
 		switch v {

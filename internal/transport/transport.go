@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/runtime"
 )
 
@@ -58,6 +59,11 @@ type TCPConfig struct {
 	HandshakeTimeout time.Duration
 	// Logf, if non-nil, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
+	// Registry, if non-nil, receives the transport's metric series
+	// (dials, reconnect backoff state, CRC drops, frames). The counters
+	// are read at scrape time from the atomics the transport maintains
+	// anyway, so exporting costs the data path nothing.
+	Registry *obsv.Registry
 }
 
 // Option mutates a TCPConfig (used by NewLoopbackRing).
@@ -73,6 +79,8 @@ type TCPStats struct {
 	DecodeErrors     int64 // frames rejected by the codec
 	FramesSent       int64
 	FramesRecv       int64
+	ConnectedOut     int64 // outgoing connections currently established (gauge)
+	BackingOff       int64 // dialers currently sleeping in reconnect backoff (gauge)
 }
 
 // tcpStats holds the counters shared by the ring and tree TCP transports.
@@ -80,6 +88,7 @@ type tcpStats struct {
 	dials, failedDials, accepts, handshakeRejects atomic.Int64
 	connDrops, decodeErrors                       atomic.Int64
 	framesSent, framesRecv                        atomic.Int64
+	connectedOut, backingOff                      atomic.Int64 // gauges
 }
 
 func (s *tcpStats) snapshot() TCPStats {
@@ -92,7 +101,42 @@ func (s *tcpStats) snapshot() TCPStats {
 		DecodeErrors:     s.decodeErrors.Load(),
 		FramesSent:       s.framesSent.Load(),
 		FramesRecv:       s.framesRecv.Load(),
+		ConnectedOut:     s.connectedOut.Load(),
+		BackingOff:       s.backingOff.Load(),
 	}
+}
+
+// register installs the transport's metric series on r. Every series is a
+// scrape-time read of a counter the data path maintains regardless.
+func (s *tcpStats) register(r *obsv.Registry) error {
+	metrics := []obsv.Metric{
+		obsv.NewCounterFunc("transport_dials_total",
+			"Successful outgoing connections (reconnects included).", s.dials.Load),
+		obsv.NewCounterFunc("transport_failed_dials_total",
+			"Dial attempts that ended in reconnect backoff.", s.failedDials.Load),
+		obsv.NewCounterFunc("transport_accepts_total",
+			"Accepted incoming connections.", s.accepts.Load),
+		obsv.NewCounterFunc("transport_handshake_rejects_total",
+			"Incoming connections rejected at the hello handshake.", s.handshakeRejects.Load),
+		obsv.NewCounterFunc("transport_conn_drops_total",
+			"Established connections dropped after an error.", s.connDrops.Load),
+		obsv.NewCounterFunc("transport_decode_errors_total",
+			"Frames rejected by the codec (CRC mismatch, truncation, oversize).", s.decodeErrors.Load),
+		obsv.NewCounterFunc(`transport_frames_total{dir="sent"}`,
+			"Frames by direction.", s.framesSent.Load),
+		obsv.NewCounterFunc(`transport_frames_total{dir="recv"}`,
+			"Frames by direction.", s.framesRecv.Load),
+		obsv.NewGaugeFunc("transport_connected_links",
+			"Outgoing connections currently established.", s.connectedOut.Load),
+		obsv.NewGaugeFunc("transport_backing_off_links",
+			"Dialers currently sleeping in reconnect backoff.", s.backingOff.Load),
+	}
+	for _, m := range metrics {
+		if err := r.Register(m); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TCP implements runtime.Transport over TCP ring links.
@@ -128,11 +172,17 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &TCP{
+	t := &TCP{
 		cfg:       cfg,
 		links:     make([]*tcpLink, len(cfg.Peers)),
 		listeners: make([]net.Listener, len(cfg.Peers)),
-	}, nil
+	}
+	if cfg.Registry != nil {
+		if err := t.stats.register(cfg.Registry); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
 }
 
 // NewLoopbackRing binds n ephemeral loopback listeners and returns a TCP
@@ -521,6 +571,10 @@ func (l *tcpLink) inWriter(c net.Conn, dead chan struct{}) {
 // dialLoop maintains the connection to the ring successor: dial, hello,
 // serve until it dies, then redial with capped exponential backoff plus
 // jitter. The backoff resets after every successful dial.
+//
+// rng is created here and never escapes: the jitter source is owned by
+// this goroutine alone (math/rand.Rand is not concurrency-safe, and the
+// per-link seed keeps restarting members from reconnecting in lockstep).
 func (l *tcpLink) dialLoop() {
 	defer l.wg.Done()
 	succ := l.t.cfg.Peers[(l.id+1)%l.ringSize()]
@@ -540,11 +594,14 @@ func (l *tcpLink) dialLoop() {
 			// Full jitter on the upper half of the window: sleep in
 			// [backoff/2, backoff), then double up to the cap.
 			sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+			l.t.stats.backingOff.Add(1)
 			select {
 			case <-l.done:
+				l.t.stats.backingOff.Add(-1)
 				return
 			case <-time.After(sleep):
 			}
+			l.t.stats.backingOff.Add(-1)
 			if backoff *= 2; backoff > l.t.cfg.MaxBackoff {
 				backoff = l.t.cfg.MaxBackoff
 			}
@@ -560,6 +617,7 @@ func (l *tcpLink) dialLoop() {
 			continue
 		}
 		l.t.stats.dials.Add(1)
+		l.t.stats.connectedOut.Add(1)
 		backoff = l.t.cfg.BaseBackoff
 		l.mu.Lock()
 		l.outConn = c
@@ -569,6 +627,7 @@ func (l *tcpLink) dialLoop() {
 		go l.outReader(c, dead)
 		l.outWriter(c, dead) // returns when the connection dies or the link closes
 		c.Close()
+		l.t.stats.connectedOut.Add(-1)
 	}
 }
 

@@ -56,16 +56,24 @@ func NewTCPTree(cfg TCPConfig, parent []int) (*TCPTree, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
+	reg := cfg.Registry
+	cfg.Registry = nil       // the base TCP's stats are unused; register ours below
 	base, err := NewTCP(cfg) // reuse the ring constructor's defaulting
 	if err != nil {
 		return nil, err
 	}
-	return &TCPTree{
+	t := &TCPTree{
 		cfg:       base.cfg,
 		tree:      tr,
 		links:     make([]*tcpTreeLink, len(parent)),
 		listeners: make([]net.Listener, len(parent)),
-	}, nil
+	}
+	if reg != nil {
+		if err := t.stats.register(reg); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
 }
 
 // NewLoopbackTree binds ephemeral loopback listeners and returns a TCP tree
@@ -495,7 +503,9 @@ func (l *tcpTreeLink) downWriter(c net.Conn, mailbox chan runtime.Message, dead 
 // --- outgoing side: the connection to the parent ---
 
 // dialLoop maintains the connection to the parent: dial, hello, serve until
-// it dies, then redial with capped exponential backoff plus jitter.
+// it dies, then redial with capped exponential backoff plus jitter. The
+// jitter rng never escapes this goroutine (math/rand.Rand is not
+// concurrency-safe; single ownership is the synchronization).
 func (l *tcpTreeLink) dialLoop() {
 	defer l.wg.Done()
 	paddr := l.t.cfg.Peers[l.parent]
@@ -513,11 +523,14 @@ func (l *tcpTreeLink) dialLoop() {
 			}
 			l.t.stats.failedDials.Add(1)
 			sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+			l.t.stats.backingOff.Add(1)
 			select {
 			case <-l.done:
+				l.t.stats.backingOff.Add(-1)
 				return
 			case <-time.After(sleep):
 			}
+			l.t.stats.backingOff.Add(-1)
 			if backoff *= 2; backoff > l.t.cfg.MaxBackoff {
 				backoff = l.t.cfg.MaxBackoff
 			}
@@ -533,6 +546,7 @@ func (l *tcpTreeLink) dialLoop() {
 			continue
 		}
 		l.t.stats.dials.Add(1)
+		l.t.stats.connectedOut.Add(1)
 		backoff = l.t.cfg.BaseBackoff
 		l.mu.Lock()
 		l.outConn = c
@@ -542,6 +556,7 @@ func (l *tcpTreeLink) dialLoop() {
 		go l.downReader(c, dead)
 		l.upWriter(c, dead) // returns when the connection dies or the link closes
 		c.Close()
+		l.t.stats.connectedOut.Add(-1)
 	}
 }
 
