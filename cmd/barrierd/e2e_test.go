@@ -411,3 +411,188 @@ func tailLines(s string, n int) string {
 	}
 	return strings.Join(lines, "\n")
 }
+
+// Multi-tenant deployment: 4 processes host 64 barrier groups (rings and
+// trees) over one shared TCP connection per process pair, with 1%
+// injected corruption throughout. One process is SIGKILLed mid-run and
+// restarted with -rejoin; every group in every process must still reach
+// its quota, and /metrics must carry per-group labelled series.
+func TestLoopbackMultiGroupKillRestart(t *testing.T) {
+	const (
+		procs      = 4
+		nGroups    = 64
+		groupQuota = 25
+		killAfter  = 8 // kill once member 0's g00 logged this many passes
+	)
+	dir := t.TempDir()
+	bin := buildBarrierd(t, dir)
+	peers := reservePeers(t, procs)
+
+	// The tenant roster: mostly rings, a handful of trees, exercising the
+	// comment/default syntax of the config file.
+	var sb strings.Builder
+	sb.WriteString("# barrierd multi-tenant e2e roster\n\n")
+	for i := 0; i < nGroups; i++ {
+		switch {
+		case i%16 == 15:
+			fmt.Fprintf(&sb, "t%02d tree 4\n", i)
+		case i%2 == 0:
+			fmt.Fprintf(&sb, "g%02d ring 4\n", i)
+		default:
+			fmt.Fprintf(&sb, "g%02d # ring, -nphases\n", i)
+		}
+	}
+	groupsFile := filepath.Join(dir, "groups.conf")
+	if err := os.WriteFile(groupsFile, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	extra := []string{"-groups", groupsFile, "-resend", "1ms"}
+
+	members := make([]*member, procs)
+	for id := 0; id < procs; id++ {
+		members[id] = start(t, bin, peers, id, groupQuota, dir, false, extra...)
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			if m.cmd.ProcessState == nil {
+				m.cmd.Process.Kill()
+				m.cmd.Wait()
+			}
+		}
+	})
+	for _, m := range members {
+		waitHealthy(t, m, time.Minute)
+	}
+
+	// Real progress on a ring group and a tree group, then fail-stop one
+	// process — taking its member of all 64 groups down at once.
+	g00Line := regexp.MustCompile(`(?m)^\[g00\] pass (\d+) `)
+	waitFor(t, "initial multi-group progress", time.Minute, func() bool {
+		data, err := os.ReadFile(members[0].logPath)
+		if err != nil {
+			return false
+		}
+		matches := g00Line.FindAllStringSubmatch(string(data), -1)
+		if len(matches) == 0 {
+			return false
+		}
+		n, _ := strconv.Atoi(matches[len(matches)-1][1])
+		return n >= killAfter && strings.Contains(string(data), "[t15] pass ")
+	})
+	victim := members[2]
+	if err := victim.cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup, no goodbye
+		t.Fatal(err)
+	}
+	victim.cmd.Wait()
+	t.Log("killed member 2")
+
+	// No group can pass without it; the restarted process rejoins every
+	// group in the reset state over fresh shared connections.
+	members[2] = start(t, bin, peers, 2, groupQuota, dir, true, extra...)
+	waitHealthy(t, members[2], time.Minute)
+
+	// Every process must bring every one of its 64 groups to quota.
+	for _, m := range members {
+		m := m
+		waitFor(t, fmt.Sprintf("member %d ALL-GROUPS DONE", m.id), 3*time.Minute, func() bool {
+			if logged(m, "VIOLATION") {
+				data, _ := os.ReadFile(m.logPath)
+				lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+				t.Fatalf("member %d spec violation: %s", m.id, lines[len(lines)-1])
+			}
+			return logged(m, fmt.Sprintf("ALL-GROUPS DONE %d", nGroups))
+		})
+	}
+
+	// The scrape must carry per-group labelled series — the tenant view of
+	// the paper's Section 6 counters — plus the shared transport's.
+	for _, m := range []*member{members[0], members[2]} {
+		addr := metricsAddr(m)
+		if addr == "" {
+			t.Fatalf("member %d never logged its metrics address", m.id)
+		}
+		body, code, ok := httpBody("http://" + addr + "/metrics")
+		if !ok || code != http.StatusOK {
+			t.Fatalf("member %d /metrics scrape failed (ok=%v code=%d)", m.id, ok, code)
+		}
+		for _, series := range []string{
+			`barrier_passes_total{group="g00"}`,
+			`barrier_passes_total{group="g62"}`,
+			`barrier_passes_total{group="t63"}`,
+			`barrier_passes_total{group="t15"}`,
+			`barrier_topology{topology="tree",group="t15"}`,
+			`transport_group_frames_total{group="g00",dir="sent"}`,
+			"transport_frames_total",
+		} {
+			if !strings.Contains(body, series) {
+				t.Errorf("member %d scrape missing %s\n%s", m.id, series, tailLines(body, 30))
+			}
+		}
+		passSeries := regexp.MustCompile(`(?m)^barrier_passes_total\{group="(g00|t15)"\} (\d+)$`)
+		for _, match := range passSeries.FindAllStringSubmatch(body, -1) {
+			if n, _ := strconv.Atoi(match[2]); n < groupQuota {
+				t.Errorf("member %d: %s passes = %d, want ≥ %d", m.id, match[1], n, groupQuota)
+			}
+		}
+	}
+
+	// Graceful shutdown, spec-clean everywhere.
+	for _, m := range members {
+		if err := m.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Errorf("signalling member %d: %v", m.id, err)
+		}
+	}
+	for _, m := range members {
+		if err := m.cmd.Wait(); err != nil {
+			data, _ := os.ReadFile(m.logPath)
+			t.Errorf("member %d exited uncleanly: %v\n%s", m.id, err, tailLines(string(data), 5))
+		}
+		if logged(m, "VIOLATION") {
+			t.Errorf("member %d logged a spec violation", m.id)
+		}
+		if !logged(m, "EXIT ") {
+			t.Errorf("member %d exited without a clean summary", m.id)
+		}
+	}
+}
+
+// Startup validation: bad membership or group rosters must be rejected
+// with a clear error before any socket work.
+func TestStartupValidation(t *testing.T) {
+	dir := t.TempDir()
+	bin := buildBarrierd(t, dir)
+
+	badRoster := filepath.Join(dir, "bad.conf")
+	if err := os.WriteFile(badRoster, []byte("a ring 4\na ring 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badPhases := filepath.Join(dir, "phases.conf")
+	if err := os.WriteFile(badPhases, []byte("a ring one\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"duplicate peers", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7001"}, "duplicates"},
+		{"empty peer", []string{"-id", "0", "-peers", "127.0.0.1:7001,,127.0.0.1:7002"}, "empty"},
+		{"id out of range", []string{"-id", "2", "-peers", "127.0.0.1:7001,127.0.0.1:7002"}, "out of range"},
+		{"negative id", []string{"-id", "-1", "-peers", "127.0.0.1:7001,127.0.0.1:7002"}, "out of range"},
+		{"too few peers", []string{"-id", "0", "-peers", "127.0.0.1:7001"}, "at least 2"},
+		{"duplicate group", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-groups", badRoster}, "duplicate group"},
+		{"bad nphases", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-groups", badPhases}, "nphases"},
+		{"missing groups file", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-groups", filepath.Join(dir, "nope.conf")}, "no such file"},
+	}
+	for _, tc := range cases {
+		out, err := exec.Command(bin, tc.args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("%s: barrierd accepted the configuration\n%s", tc.name, out)
+			continue
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, out, tc.want)
+		}
+	}
+}

@@ -37,6 +37,21 @@
 // live — 503 after a fail-safe halt — so supervisors and tests can probe
 // readiness instead of sleeping. -pprof adds /debug/pprof on the same
 // address.
+//
+// -groups FILE switches the daemon to multi-tenant mode: instead of one
+// barrier it hosts one member of every group declared in FILE, all
+// multiplexed over a single shared TCP connection per peer pair
+// (internal/groups). Each line of FILE declares one group:
+//
+//	name [topology [nphases]]     # e.g. "g00 ring 4", "batch tree"
+//
+// '#' starts a comment; topology defaults to ring and nphases to
+// -nphases. Every process of the deployment must be started with an
+// identical file (the handshake digest enforces it). Per-pass output is
+// prefixed with the group name ("[g00] pass 3 phase 2"); after every
+// group reaches -passes the daemon prints "ALL-GROUPS DONE n" and keeps
+// participating until signalled. /metrics carries each group's series
+// labelled {group="name"}.
 package main
 
 import (
@@ -49,11 +64,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/groups"
 	"repro/internal/obsv"
 	"repro/internal/runtime"
 	"repro/internal/topo"
@@ -74,6 +91,7 @@ var (
 	quietFlag    = flag.Bool("quiet", false, "suppress per-pass output")
 	metricsFlag  = flag.String("metrics", "", `serve /metrics and /healthz on this address (e.g. ":9100"; empty: disabled)`)
 	pprofFlag    = flag.Bool("pprof", false, "also serve /debug/pprof on the -metrics address")
+	groupsFlag   = flag.String("groups", "", "host every barrier group declared in this file over shared connections (multi-tenant mode)")
 )
 
 func main() {
@@ -85,13 +103,9 @@ func main() {
 }
 
 func run() error {
-	peers := strings.Split(*peersFlag, ",")
-	if len(peers) < 2 || (len(peers) == 1 && peers[0] == "") {
-		return errors.New("-peers must list at least 2 members")
-	}
-	id := *idFlag
-	if id < 0 || id >= len(peers) {
-		return fmt.Errorf("-id %d out of range for %d peers", id, len(peers))
+	peers, id, err := parseMembership(*peersFlag, *idFlag)
+	if err != nil {
+		return err
 	}
 
 	// One registry serves the barrier's and the transport's series; nil
@@ -99,6 +113,10 @@ func run() error {
 	var reg *obsv.Registry
 	if *metricsFlag != "" {
 		reg = obsv.NewRegistry()
+	}
+
+	if *groupsFlag != "" {
+		return runGroups(*groupsFlag, peers, id, reg)
 	}
 
 	// The transport must realize the same topology the protocol runs: ring
@@ -151,7 +169,18 @@ func run() error {
 
 	var passCounter atomic.Int64
 	if *metricsFlag != "" {
-		srv, err := serveMetrics(*metricsFlag, reg, b, id, &passCounter)
+		srv, err := serveMetrics(*metricsFlag, reg, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			status, code := "ok", http.StatusOK
+			if b.Halted() {
+				// Fail-safe halt: the member will never pass a barrier again;
+				// report unhealthy so a supervisor can restart it with -rejoin.
+				status, code = "halted", http.StatusServiceUnavailable
+			}
+			w.WriteHeader(code)
+			fmt.Fprintf(w, `{"status":%q,"member":%d,"topology":%q,"passes":%d}`+"\n",
+				status, id, *topologyFlag, passCounter.Load())
+		})
 		if err != nil {
 			return err
 		}
@@ -208,15 +237,198 @@ func run() error {
 	}
 }
 
+// parseMembership validates the deployment shape shared by both modes:
+// at least two members, every peer address non-empty and unique, and the
+// member id in range.
+func parseMembership(peersCSV string, id int) ([]string, int, error) {
+	peers := strings.Split(peersCSV, ",")
+	if peersCSV == "" || len(peers) < 2 {
+		return nil, 0, errors.New("-peers must list at least 2 members")
+	}
+	seen := make(map[string]int, len(peers))
+	for j, p := range peers {
+		if strings.TrimSpace(p) == "" {
+			return nil, 0, fmt.Errorf("-peers entry %d is empty", j)
+		}
+		if prev, ok := seen[p]; ok {
+			return nil, 0, fmt.Errorf("-peers entry %d duplicates entry %d (%s): every member needs its own address", j, prev, p)
+		}
+		seen[p] = j
+	}
+	if id < 0 || id >= len(peers) {
+		return nil, 0, fmt.Errorf("-id %d out of range: want 0..%d for %d peers", id, len(peers)-1, len(peers))
+	}
+	return peers, id, nil
+}
+
+// parseGroupsFile reads the multi-tenant group declarations: one group
+// per line, "name [topology [nphases]]", '#' comments. The fault-injection
+// flags apply to every group; seeds are decorrelated per group.
+func parseGroupsFile(path string) ([]groups.Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfgs []groups.Config
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		c := groups.Config{
+			Name:        fields[0],
+			Topology:    transport.GroupRing,
+			NPhases:     *nPhasesFlag,
+			Resend:      *resendFlag,
+			LossRate:    *lossFlag,
+			CorruptRate: *corruptFlag,
+			Seed:        *seedFlag + int64(len(cfgs))<<8,
+		}
+		if len(fields) > 1 {
+			c.Topology = fields[1]
+		}
+		if len(fields) > 2 {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 2 {
+				return nil, fmt.Errorf("%s:%d: nphases %q: want an integer ≥ 2", path, lineNo+1, fields[2])
+			}
+			c.NPhases = n
+		}
+		if len(fields) > 3 {
+			return nil, fmt.Errorf("%s:%d: too many fields (want: name [topology [nphases]])", path, lineNo+1)
+		}
+		cfgs = append(cfgs, c)
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("%s: no groups declared", path)
+	}
+	return cfgs, nil
+}
+
+// runGroups is the multi-tenant daemon: one member of every declared
+// group, all sharing one connection per peer pair.
+func runGroups(file string, peers []string, id int, reg *obsv.Registry) error {
+	cfgs, err := parseGroupsFile(file)
+	if err != nil {
+		return err
+	}
+	r, err := groups.New(groups.Options{
+		Self:    id,
+		Peers:   peers,
+		Rejoin:  *rejoinFlag,
+		Metrics: reg,
+	}, cfgs)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	var totalPasses atomic.Int64
+	if *metricsFlag != "" {
+		srv, err := serveMetrics(*metricsFlag, reg, func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			status, code := "ok", http.StatusOK
+			for _, g := range r.Groups() {
+				if b := g.Barrier(); b != nil && b.Halted() {
+					status, code = "halted", http.StatusServiceUnavailable
+					break
+				}
+			}
+			w.WriteHeader(code)
+			fmt.Fprintf(w, `{"status":%q,"member":%d,"groups":%d,"passes":%d}`+"\n",
+				status, id, len(r.Groups()), totalPasses.Load())
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigs
+		cancel()
+	}()
+
+	// One await loop per group. Every group must reach the -passes quota;
+	// "ALL-GROUPS DONE n" marks the rendezvous. Like the single-group
+	// daemon, the loops keep participating after their quota until
+	// signalled — a member that exits breaks its groups for the peers.
+	var doneCount atomic.Int64
+	errs := make(chan error, len(cfgs))
+	for i, g := range r.Groups() {
+		g, nPhases := g, cfgs[i].NPhases
+		go func() {
+			errs <- groupLoop(ctx, g, id, nPhases, &totalPasses, func() {
+				if int(doneCount.Add(1)) == len(cfgs) {
+					fmt.Printf("ALL-GROUPS DONE %d\n", len(cfgs))
+				}
+			})
+		}()
+	}
+	for range cfgs {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	fmt.Printf("EXIT member %d: %d passes across %d groups, clean\n", id, totalPasses.Load(), len(cfgs))
+	return nil
+}
+
+// groupLoop is the per-group projection of the single-group daemon loop:
+// Await, check the per-member phase cycle, print "[name] pass N phase P"
+// lines (prefixed, so single-group log scrapers never confuse tenants),
+// announce "[name] DONE n" at the quota and keep going until cancelled.
+func groupLoop(ctx context.Context, g *groups.Group, id, nPhases int, total *atomic.Int64, onDone func()) error {
+	var (
+		passes   int
+		expected = -1
+		doneSaid bool
+	)
+	for {
+		ph, err := g.Await(ctx)
+		switch {
+		case err == nil:
+			if expected != -1 && ph != expected {
+				fmt.Printf("VIOLATION group %s member %d: pass %d phase %d, expected %d\n", g.Name(), id, passes, ph, expected)
+				return fmt.Errorf("group %s: phase order violated: got %d, expected %d", g.Name(), ph, expected)
+			}
+			expected = (ph + 1) % nPhases
+			passes++
+			total.Add(1)
+			if !*quietFlag {
+				fmt.Printf("[%s] pass %d phase %d\n", g.Name(), passes, ph)
+			}
+			if *passesFlag > 0 && passes == *passesFlag && !doneSaid {
+				fmt.Printf("[%s] DONE %d\n", g.Name(), passes)
+				doneSaid = true
+				onDone()
+			}
+		case errors.Is(err, runtime.ErrReset):
+			// Redo the phase; the expectation survives.
+		case errors.Is(err, context.Canceled):
+			return nil
+		default:
+			return fmt.Errorf("group %s await: %w", g.Name(), err)
+		}
+	}
+}
+
 // serveMetrics binds addr and serves the observability endpoints:
 //
 //	/metrics — the registry in Prometheus text format
-//	/healthz — 200 with a small JSON body while the member is live,
-//	           503 once the barrier is fail-safe halted
+//	/healthz — the mode-specific health handler (200 while live, 503
+//	           once fail-safe halted)
 //
 // The bound address is printed ("metrics listening on ADDR") so that a
 // supervisor — or the e2e test — can probe readiness even with ":0".
-func serveMetrics(addr string, reg *obsv.Registry, b *runtime.Barrier, id int, passes *atomic.Int64) (*http.Server, error) {
+func serveMetrics(addr string, reg *obsv.Registry, healthz http.HandlerFunc) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics listen %s: %w", addr, err)
@@ -226,18 +438,7 @@ func serveMetrics(addr string, reg *obsv.Registry, b *runtime.Barrier, id int, p
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WriteText(w)
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		status, code := "ok", http.StatusOK
-		if b.Halted() {
-			// Fail-safe halt: the member will never pass a barrier again;
-			// report unhealthy so a supervisor can restart it with -rejoin.
-			status, code = "halted", http.StatusServiceUnavailable
-		}
-		w.WriteHeader(code)
-		fmt.Fprintf(w, `{"status":%q,"member":%d,"topology":%q,"passes":%d}`+"\n",
-			status, id, *topologyFlag, passes.Load())
-	})
+	mux.HandleFunc("/healthz", healthz)
 	if *pprofFlag {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -343,3 +343,40 @@ func TestFromBytesTotal(t *testing.T) {
 		}
 	}
 }
+
+// The mux target multiplexes the scheduled barrier with background tenant
+// groups on shared connections: a schedule ported between the channel
+// transport and the mux must produce the same verdict — multi-tenancy is
+// a transport refinement, not an observable.
+func TestMuxTargetMatchesChannelTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock paced")
+	}
+	schedules := []Schedule{
+		// Masking mix: resets over lossy, corrupting links.
+		Generate(GenConfig{Target: TargetRuntime, NProcs: 4, NPhases: 3, Ops: 40,
+			FaultRate: 0.15, Loss: 0.05, Corrupt: 0.05}, 21),
+		// Stabilizing mix: scrambles and spurious messages on top.
+		Generate(GenConfig{Target: TargetRuntime, NProcs: 3, NPhases: 2, Ops: 40,
+			FaultRate: 0.15, Scrambles: true, Spurious: true, Loss: 0.05, Corrupt: 0.05}, 22),
+		// A byte-derived schedule, as the fuzzers construct them.
+		FromBytes(TargetRuntime, 23, []byte{1, 1, 2, 3, 10, 20, 0xB2, 1, 5, 40}),
+	}
+	for i, s := range schedules {
+		s.Target = TargetRuntime
+		vChan := Run(s)
+		s.Target = TargetMux
+		vMux := Run(s)
+		if vChan.OK != vMux.OK || vChan.Reason != vMux.Reason {
+			t.Errorf("schedule %d: verdicts diverge across transports:\n  channel: %v\n  mux:     %v\n  replay: %s",
+				i, vChan, vMux, s.String())
+		}
+		if !vChan.OK {
+			t.Errorf("schedule %d: expected OK on both transports, got %v", i, vChan)
+		}
+		if s.HasUndetectable() && (vChan.Stabilized != vMux.Stabilized) {
+			t.Errorf("schedule %d: stabilization verdicts diverge: channel=%v mux=%v",
+				i, vChan.Stabilized, vMux.Stabilized)
+		}
+	}
+}

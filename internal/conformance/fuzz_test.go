@@ -70,6 +70,12 @@ func FuzzRuntimeTCP(f *testing.F) { fuzzLiveBarrier(f, TargetTCP) }
 // broadcast/convergecast engine under the same fault mix.
 func FuzzRuntimeTree(f *testing.F) { fuzzLiveBarrier(f, TargetTree) }
 
+// FuzzRuntimeMux runs the identical schedule space with the scheduled
+// barrier multiplexed as one tenant group among several on shared TCP
+// connections: the verdict must not depend on the cross-traffic, and
+// every case exercises group tagging and per-group demultiplexing.
+func FuzzRuntimeMux(f *testing.F) { fuzzLiveBarrier(f, TargetMux) }
+
 // FuzzScheduleParse checks that Parse never panics and that accepted inputs
 // are fixed points of the String/Parse round trip.
 func FuzzScheduleParse(f *testing.F) {

@@ -83,6 +83,37 @@ func runRuntime(s Schedule) Verdict {
 		defer tcp.Close()
 		tr = tcp
 	}
+	// The mux target runs the scheduled barrier as group 0 of a
+	// multiplexed loopback deployment, with background tenant groups —
+	// a second ring and a tree — passing their own barriers over the very
+	// same connections throughout the schedule. The verdict must not
+	// depend on the cross-traffic: group tags isolate the tenants.
+	if s.Target == TargetMux {
+		specs := []transport.GroupSpec{
+			{ID: 0, Name: "sched"},
+			{ID: 1, Name: "bg_ring"},
+			{ID: 2, Name: "bg_tree", Topology: transport.GroupTree},
+		}
+		set, err := transport.NewLoopbackMuxes(s.NProcs, specs, func(c *transport.MuxConfig) {
+			if c.Self == 0 {
+				// One process exports the shared transport counters; the
+				// set's muxes would otherwise collide on the series names.
+				c.Registry = reg
+			}
+		})
+		if err != nil {
+			v.Reason = "loopback mux: " + err.Error()
+			return v
+		}
+		defer set.Close()
+		tr = set.Ring(0)
+		stopBG, err := startBackgroundGroups(set, specs[1:], s, reg)
+		if err != nil {
+			v.Reason = "background groups: " + err.Error()
+			return v
+		}
+		defer stopBG()
+	}
 	// The tree target swaps the ring refinement for the double-tree one;
 	// everything else — pacing, fault rates, verdict — is unchanged, which
 	// is the conformance statement: the topology must not be observable.
@@ -264,6 +295,62 @@ func runRuntime(s Schedule) Verdict {
 	v.Stabilized = true
 	v.OK = true
 	return v
+}
+
+// startBackgroundGroups brings up one barrier per background tenant group
+// over the shared mux connections and keeps every member looping Await
+// with mild self-injected corruption — cross-traffic for the scheduled
+// group's run. Their metric series carry {group="..."} labels, so the
+// scheduled barrier's unlabelled series (which the cross-check reads)
+// stay unambiguous. The returned stop function tears the tenants down.
+func startBackgroundGroups(set *transport.MuxSet, specs []transport.GroupSpec, s Schedule, reg *obsv.Registry) (func(), error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var stops []func()
+	stopAll := func() {
+		cancel()
+		for _, stop := range stops {
+			stop()
+		}
+		wg.Wait()
+	}
+	for _, spec := range specs {
+		topology := runtime.TopologyRing
+		var tr runtime.Transport = set.Ring(spec.ID)
+		if spec.Topology == transport.GroupTree {
+			topology = runtime.TopologyTree
+			tr = set.Tree(spec.ID)
+		}
+		b, err := runtime.New(runtime.Config{
+			Participants: s.NProcs,
+			NPhases:      s.NPhases,
+			Topology:     topology,
+			Transport:    tr,
+			Resend:       runtimeResend,
+			CorruptRate:  0.01,
+			Seed:         s.Seed + int64(spec.ID)<<20,
+			Metrics:      reg,
+			MetricLabel:  `group="` + spec.Name + `"`,
+		})
+		if err != nil {
+			stopAll()
+			return nil, err
+		}
+		stops = append(stops, b.Stop)
+		for id := 0; id < s.NProcs; id++ {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, err := b.Await(ctx, id); err != nil && !errors.Is(err, runtime.ErrReset) {
+						return
+					}
+				}
+			}()
+		}
+	}
+	return stopAll, nil
 }
 
 // crossCheckMetrics verifies the exported accounting against the replayed

@@ -33,11 +33,19 @@ const TargetTCP = "tcp"
 // and must produce the same verdict on both.
 const TargetTree = "tree"
 
+// TargetMux names the runtime barrier over the multiplexed loopback TCP
+// transport: the scheduled barrier is one tenant group among several
+// sharing one connection per process pair, so every case additionally
+// exercises group tagging, per-group demultiplexing, and tenant isolation
+// — the background groups run their own barriers on the same sockets
+// while the schedule injects faults into the scheduled group only.
+const TargetMux = "mux"
+
 // IsRuntimeTarget reports whether the named target runs the live goroutine
 // barrier (wall-clock pacing, message-rate faults, spurious injection)
 // rather than a guarded-engine refinement.
 func IsRuntimeTarget(name string) bool {
-	return name == TargetRuntime || name == TargetTCP || name == TargetTree
+	return name == TargetRuntime || name == TargetTCP || name == TargetTree || name == TargetMux
 }
 
 // Target is the conformance harness's view of a guarded-engine barrier
@@ -136,7 +144,7 @@ func Targets() []string {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	return append(names, TargetRuntime, TargetTCP, TargetTree)
+	return append(names, TargetRuntime, TargetTCP, TargetTree, TargetMux)
 }
 
 // NewTarget builds the named target with its randomness rooted at rng.

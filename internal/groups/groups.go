@@ -1,0 +1,313 @@
+// Package groups hosts many independent barrier groups in one process
+// over a single shared transport mux: one TCP connection per peer-process
+// pair carries every group's frames, demultiplexed by the group id each
+// v2 frame is tagged with. Each group is its own runtime.Barrier — its
+// own token ring or double tree, its own fault policy, its own labelled
+// metric series — so a fault, teardown, or restart in one group never
+// perturbs another beyond sharing the socket.
+//
+// The deployment model matches cmd/barrierd: every group spans all
+// processes and member ids are process indices, so group g's member i
+// lives in process i. A Registry is one process's slice of that
+// deployment: it owns the process's mux and a per-group Barrier hosting
+// member Self.
+package groups
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// Config declares one barrier group. The zero value of each knob defers
+// to the runtime default.
+type Config struct {
+	// Name identifies the group: it keys StopGroup/StartGroup, labels the
+	// group's metric series ({group="..."}) and strengthens the handshake
+	// digest. Letters, digits, '_', '.', '-'; unique per registry.
+	Name string
+	// Topology is transport.GroupRing (default) or transport.GroupTree.
+	Topology string
+	// TreeArity is the heap arity for tree groups (default 2).
+	TreeArity int
+	// NPhases is the group's phase-counter modulus (default 8).
+	NPhases int
+	// Resend is the group's retransmission period (default 200µs).
+	Resend time.Duration
+	// LossRate / CorruptRate inject detectable communication faults into
+	// this group only (tests, demos, soak runs).
+	LossRate    float64
+	CorruptRate float64
+	// Seed drives the group's internal randomness.
+	Seed int64
+}
+
+// Options configures the process-wide side of a Registry.
+type Options struct {
+	// Self is this process's index into Peers — and its member id in
+	// every group.
+	Self int
+	// Peers[j] is process j's listen address.
+	Peers []string
+	// Rejoin starts every group's local member in the detectably-reset
+	// state instead of the phase-0 start state. Use it when this process
+	// is restarted into a deployment that is already running.
+	Rejoin bool
+	// Metrics, if non-nil, receives the shared transport counters plus
+	// every group's labelled barrier series.
+	Metrics *obsv.Registry
+	// Logf, if non-nil, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Group is one barrier group's process-local handle.
+type Group struct {
+	id   uint32
+	cfg  Config
+	opts *Options
+	mux  *transport.Mux
+
+	mu sync.Mutex
+	b  *runtime.Barrier // nil while stopped
+}
+
+// Registry is one process's attachment to a multi-group deployment.
+type Registry struct {
+	opts   Options
+	mux    *transport.Mux
+	ownMux bool
+	groups []*Group
+	byName map[string]*Group
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Specs translates the group declarations into the mux's wire-level group
+// table, assigning ids by declaration order. Exposed so tests can build a
+// loopback mux set for the same declarations.
+func Specs(cfgs []Config) ([]transport.GroupSpec, error) {
+	specs := make([]transport.GroupSpec, len(cfgs))
+	seen := make(map[string]bool, len(cfgs))
+	for i, c := range cfgs {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("groups: duplicate group name %q", c.Name)
+		}
+		seen[c.Name] = true
+		topo := c.Topology
+		if topo == "" {
+			topo = transport.GroupRing
+		}
+		if topo != transport.GroupRing && topo != transport.GroupTree {
+			return nil, fmt.Errorf("groups: group %q: unknown topology %q", c.Name, c.Topology)
+		}
+		specs[i] = transport.GroupSpec{
+			ID:        uint32(i),
+			Name:      c.Name,
+			Topology:  topo,
+			TreeArity: c.TreeArity,
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("groups: no groups declared")
+	}
+	return specs, nil
+}
+
+// New builds the registry: it validates the declarations, brings up the
+// shared mux, and starts every group's local barrier member.
+func New(opts Options, cfgs []Config) (*Registry, error) {
+	specs, err := Specs(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	mux, err := transport.NewMux(transport.MuxConfig{
+		Self:     opts.Self,
+		Peers:    opts.Peers,
+		Groups:   specs,
+		Logf:     opts.Logf,
+		Registry: opts.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewWithMux(opts, cfgs, mux)
+	if err != nil {
+		mux.Close()
+		return nil, err
+	}
+	r.ownMux = true
+	return r, nil
+}
+
+// NewWithMux is New over an existing mux (a loopback test set). The mux
+// must have been created from Specs(cfgs); it stays the caller's to close.
+// Only len(opts.Peers) matters here (the member count); nil defers to the
+// mux's peer count.
+func NewWithMux(opts Options, cfgs []Config, mux *transport.Mux) (*Registry, error) {
+	if _, err := Specs(cfgs); err != nil {
+		return nil, err
+	}
+	if opts.Peers == nil {
+		opts.Peers = make([]string, mux.PeerCount())
+	}
+	r := &Registry{
+		opts:   opts,
+		mux:    mux,
+		byName: make(map[string]*Group, len(cfgs)),
+	}
+	for i, c := range cfgs {
+		g := &Group{id: uint32(i), cfg: c, opts: &r.opts, mux: mux}
+		r.groups = append(r.groups, g)
+		r.byName[c.Name] = g
+	}
+	for _, g := range r.groups {
+		if err := g.start(opts.Rejoin); err != nil {
+			r.Close()
+			return nil, fmt.Errorf("groups: start %q: %w", g.cfg.Name, err)
+		}
+	}
+	return r, nil
+}
+
+// Groups returns the group handles in declaration order.
+func (r *Registry) Groups() []*Group { return r.groups }
+
+// Group returns the named group's handle, or nil.
+func (r *Registry) Group(name string) *Group { return r.byName[name] }
+
+// Mux exposes the shared transport (stats, fault injection in tests).
+func (r *Registry) Mux() *transport.Mux { return r.mux }
+
+// StopGroup tears down one group's local member without touching the
+// shared connections or any other group. Frames still arriving for the
+// group are dropped silently. Returns false if the name is unknown.
+func (r *Registry) StopGroup(name string) bool {
+	g := r.byName[name]
+	if g == nil {
+		return false
+	}
+	g.Stop()
+	return true
+}
+
+// StartGroup restarts a stopped group's local member over the same shared
+// connections. rejoin selects the Section 7 restart state, masking the
+// restart as a detectable fault in a deployment that kept running.
+func (r *Registry) StartGroup(name string, rejoin bool) error {
+	g := r.byName[name]
+	if g == nil {
+		return fmt.Errorf("groups: unknown group %q", name)
+	}
+	return g.Start(rejoin)
+}
+
+// Close stops every group and, when the registry created the mux, closes
+// the shared connections. Idempotent.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	for _, g := range r.groups {
+		g.Stop()
+	}
+	if r.ownMux {
+		return r.mux.Close()
+	}
+	return nil
+}
+
+// Name returns the group's declared name.
+func (g *Group) Name() string { return g.cfg.Name }
+
+// ID returns the group's wire id.
+func (g *Group) ID() uint32 { return g.id }
+
+// Barrier returns the running barrier, or nil while the group is stopped.
+func (g *Group) Barrier() *runtime.Barrier {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.b
+}
+
+// Await synchronizes this process's member of the group; see
+// runtime.Barrier.Await. Returns runtime.ErrStopped while the group is
+// stopped.
+func (g *Group) Await(ctx context.Context) (int, error) {
+	b := g.Barrier()
+	if b == nil {
+		return 0, runtime.ErrStopped
+	}
+	return b.Await(ctx, g.opts.Self)
+}
+
+// Stop tears down the local member: the barrier stops, its mux links
+// close (frames for the group now drop silently at the demux), and its
+// metric series unregister so a successor can claim the names. Idempotent.
+func (g *Group) Stop() {
+	g.mu.Lock()
+	b := g.b
+	g.b = nil
+	g.mu.Unlock()
+	if b != nil {
+		b.Stop()
+		b.UnregisterMetrics()
+	}
+}
+
+// Start brings the local member (back) up over the shared connections.
+// No-op if already running.
+func (g *Group) Start(rejoin bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.b != nil {
+		return nil
+	}
+	return g.startLocked(rejoin)
+}
+
+func (g *Group) start(rejoin bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.startLocked(rejoin)
+}
+
+func (g *Group) startLocked(rejoin bool) error {
+	topology := runtime.TopologyRing
+	var tr runtime.Transport
+	if g.cfg.Topology == transport.GroupTree {
+		topology = runtime.TopologyTree
+		tr = g.mux.Tree(g.id)
+	} else {
+		tr = g.mux.Ring(g.id)
+	}
+	b, err := runtime.New(runtime.Config{
+		Participants: len(g.opts.Peers),
+		Topology:     topology,
+		TreeArity:    g.cfg.TreeArity,
+		Transport:    tr,
+		Members:      []int{g.opts.Self},
+		Rejoin:       rejoin,
+		NPhases:      g.cfg.NPhases,
+		Resend:       g.cfg.Resend,
+		LossRate:     g.cfg.LossRate,
+		CorruptRate:  g.cfg.CorruptRate,
+		Seed:         g.cfg.Seed,
+		Metrics:      g.opts.Metrics,
+		MetricLabel:  `group="` + g.cfg.Name + `"`,
+	})
+	if err != nil {
+		return err
+	}
+	g.b = b
+	return nil
+}

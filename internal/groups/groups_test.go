@@ -1,0 +1,178 @@
+package groups
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+func TestSpecsValidation(t *testing.T) {
+	if _, err := Specs(nil); err == nil {
+		t.Error("empty declaration succeeded")
+	}
+	if _, err := Specs([]Config{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Error("duplicate name succeeded")
+	}
+	if _, err := Specs([]Config{{Name: "a", Topology: "star"}}); err == nil {
+		t.Error("unknown topology succeeded")
+	}
+	specs, err := Specs([]Config{{Name: "a"}, {Name: "b", Topology: transport.GroupTree, TreeArity: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs[0].ID != 0 || specs[1].ID != 1 {
+		t.Errorf("ids not assigned by declaration order: %+v", specs)
+	}
+	if specs[0].Topology != transport.GroupRing {
+		t.Errorf("default topology = %q, want ring", specs[0].Topology)
+	}
+}
+
+// A two-process deployment hosting several groups over one shared mux per
+// process: all groups pass concurrently, per-group labelled metrics are
+// scraped, one group is torn down and rejoined without disturbing the
+// rest.
+func TestRegistryLifecycle(t *testing.T) {
+	const n = 2
+	cfgs := []Config{
+		{Name: "alpha", Resend: 200 * time.Microsecond},
+		{Name: "beta", Resend: 200 * time.Microsecond, CorruptRate: 0.01, Seed: 3},
+		{Name: "gamma", Topology: transport.GroupTree, Resend: 200 * time.Microsecond},
+	}
+	specs, err := Specs(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := make([]*obsv.Registry, n)
+	for j := range metrics {
+		metrics[j] = obsv.NewRegistry()
+	}
+	set, err := transport.NewLoopbackMuxes(n, specs, func(c *transport.MuxConfig) {
+		c.Registry = metrics[c.Self]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	regs := make([]*Registry, n)
+	for j := 0; j < n; j++ {
+		regs[j], err = NewWithMux(Options{Self: j, Metrics: metrics[j]}, cfgs, set.Muxes[j])
+		if err != nil {
+			t.Fatalf("process %d: %v", j, err)
+		}
+		defer regs[j].Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	pass := func(name string, passes int) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, n)
+		for j := 0; j < n; j++ {
+			g := regs[j].Group(name)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < passes; k++ {
+					if _, err := g.Await(ctx); err != nil {
+						if errors.Is(err, runtime.ErrReset) {
+							k--
+							continue
+						}
+						errs <- fmt.Errorf("%s member %d pass %d: %w", name, g.opts.Self, k, err)
+						return
+					}
+				}
+				errs <- nil
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(cfgs))
+	for _, c := range cfgs {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- pass(c.Name, 5)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every group's passes show up as its own labelled series.
+	var sb strings.Builder
+	if err := metrics[0].WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, c := range cfgs {
+		if !strings.Contains(text, `barrier_passes_total{group="`+c.Name+`"}`) {
+			t.Errorf("no labelled passes series for group %s in scrape", c.Name)
+		}
+	}
+	if !strings.Contains(text, "transport_frames_total") {
+		t.Error("shared transport counters missing from scrape")
+	}
+
+	// Teardown isolation: stop beta on process 0 only; alpha still passes.
+	if !regs[0].StopGroup("beta") {
+		t.Fatal("StopGroup(beta) found no group")
+	}
+	if _, err := regs[0].Group("beta").Await(ctx); !errors.Is(err, runtime.ErrStopped) {
+		t.Errorf("Await on a stopped group: %v, want ErrStopped", err)
+	}
+	if err := pass("alpha", 5); err != nil {
+		t.Fatalf("alpha stalled after beta teardown: %v", err)
+	}
+
+	// The stopped group's labelled series are gone; the others remain.
+	sb.Reset()
+	if err := metrics[0].WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text = sb.String()
+	if strings.Contains(text, `{group="beta"}`) {
+		t.Error("stopped group's series still registered")
+	}
+	if !strings.Contains(text, `barrier_passes_total{group="alpha"}`) {
+		t.Error("surviving group's series disappeared")
+	}
+
+	// Rejoin: beta restarts in the reset state and is masked back in.
+	if err := regs[0].StartGroup("beta", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := pass("beta", 5); err != nil {
+		t.Fatalf("beta did not recover after rejoin: %v", err)
+	}
+	if err := regs[0].StartGroup("nope", false); err == nil {
+		t.Error("StartGroup on an unknown name succeeded")
+	}
+	if st := set.Muxes[0].Stats(); st.DecodeErrors != 0 {
+		t.Errorf("decode errors on process 0: %d", st.DecodeErrors)
+	}
+}

@@ -148,6 +148,43 @@ func familyName(full string) string {
 	return full
 }
 
+// WithLabel merges a literal label pair (`key="value"`) into a metric
+// name: a bare name gains a brace group, a name that already carries one
+// gets the label appended. An empty label returns the name unchanged, so
+// callers can thread an optional label without branching.
+func WithLabel(name, label string) string {
+	if label == "" {
+		return name
+	}
+	if strings.IndexByte(name, '{') >= 0 {
+		return strings.TrimSuffix(name, "}") + "," + label + "}"
+	}
+	return name + "{" + label + "}"
+}
+
+// Unregister removes the metric registered under the given full name
+// (including any label set) and reports whether one was removed.
+// Subsystems with a bounded lifetime — a torn-down barrier group, say —
+// use this so a successor can re-register the same series names.
+func (r *Registry) Unregister(name string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; !ok {
+		return false
+	}
+	delete(r.byName, name)
+	for i, m := range r.metrics {
+		if m.Name() == name {
+			r.metrics = append(r.metrics[:i], r.metrics[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
 // ---- Counter ----
 
 // Counter is a monotonically increasing int64. Add is one atomic add.

@@ -26,48 +26,51 @@ import (
 
 // newHistograms allocates the measurement histograms. They exist whether
 // or not a registry is configured, so the recording paths are branch-free.
-func (b *Barrier) newHistograms() {
-	b.mInstances = obsv.NewHistogram("barrier_instances_per_pass",
+// label is Config.MetricLabel ("" keeps the unlabelled names).
+func (b *Barrier) newHistograms(label string) {
+	b.mInstances = obsv.NewHistogram(obsv.WithLabel("barrier_instances_per_pass", label),
 		"Protocol instances consumed per delivered pass (Fig 3/5; 1 = fault-free, sampled 1-in-8; >1 = re-executions, recorded exactly).",
 		obsv.LinearBuckets(1, 1, 8))
-	b.mPhase = obsv.NewHistogram("barrier_phase_seconds",
+	b.mPhase = obsv.NewHistogram(obsv.WithLabel("barrier_phase_seconds", label),
 		"Pass-to-pass barrier latency in seconds, sampled 1-in-8 per member (live Fig 4/6 overhead).",
 		obsv.ExpBuckets(16e-6, 2, 16)) // 16µs .. ~0.5s
-	b.mRecovery = obsv.NewHistogram("barrier_recovery_seconds",
+	b.mRecovery = obsv.NewHistogram(obsv.WithLabel("barrier_recovery_seconds", label),
 		"Injected reset/scramble to next delivered pass, seconds (live Fig 7; paper bound ≤ 5hc).",
 		obsv.ExpBuckets(16e-6, 2, 16))
 }
 
 // registerMetrics installs the exported series. Counter values ride the
 // existing atomics via scrape-time funcs, so enabling metrics changes
-// nothing on the protocol paths.
-func (b *Barrier) registerMetrics(r *obsv.Registry, topology Topology) error {
+// nothing on the protocol paths. label, when non-empty, is merged into
+// every series name so per-group barriers can share one registry.
+func (b *Barrier) registerMetrics(r *obsv.Registry, topology Topology, label string) error {
 	topoName := "ring"
 	if topology == TopologyTree {
 		topoName = "tree"
 	}
+	name := func(base string) string { return obsv.WithLabel(base, label) }
 	metrics := []obsv.Metric{
-		obsv.NewCounterFunc("barrier_passes_total",
+		obsv.NewCounterFunc(name("barrier_passes_total"),
 			"Barrier passes delivered to participants.", b.statPasses.Load),
-		obsv.NewCounterFunc("barrier_resets_total",
+		obsv.NewCounterFunc(name("barrier_resets_total"),
 			"ErrReset results delivered to participants (phase work voided by a detectable fault).", b.statResets.Load),
-		obsv.NewCounterFunc("barrier_sends_total",
+		obsv.NewCounterFunc(name("barrier_sends_total"),
 			"Protocol messages sent.", b.statSends.Load),
-		obsv.NewCounterFunc("barrier_drops_total",
+		obsv.NewCounterFunc(name("barrier_drops_total"),
 			"Protocol messages lost or dropped as detected-corrupt.", b.statDrops.Load),
-		obsv.NewCounterFunc("barrier_spurious_total",
+		obsv.NewCounterFunc(name("barrier_spurious_total"),
 			"Spurious (undetectably forged) messages injected.", b.statSpurious.Load),
-		obsv.NewCounterFunc("barrier_injected_resets_total",
+		obsv.NewCounterFunc(name("barrier_injected_resets_total"),
 			"Reset fault injections accepted for delivery.", b.statInjResets.Load),
-		obsv.NewCounterFunc("barrier_injected_scrambles_total",
+		obsv.NewCounterFunc(name("barrier_injected_scrambles_total"),
 			"Scramble fault injections accepted for delivery.", b.statInjScrambles.Load),
-		obsv.NewCounterFunc("barrier_injections_dropped_total",
+		obsv.NewCounterFunc(name("barrier_injections_dropped_total"),
 			"Fault injections discarded because the target's control buffer was full.", b.statInjDropped.Load),
-		obsv.NewGaugeFunc("barrier_participants",
+		obsv.NewGaugeFunc(name("barrier_participants"),
 			"Configured participant count.", func() int64 { return int64(b.n) }),
-		obsv.NewGaugeFunc(`barrier_topology{topology="`+topoName+`"}`,
+		obsv.NewGaugeFunc(name(`barrier_topology{topology="`+topoName+`"}`),
 			"Barrier topology in use (value is always 1; the label carries the name).", func() int64 { return 1 }),
-		obsv.NewGaugeFunc("barrier_halted",
+		obsv.NewGaugeFunc(name("barrier_halted"),
 			"1 if the barrier is fail-safe halted, else 0.", func() int64 {
 				if b.Halted() {
 					return 1
@@ -78,12 +81,35 @@ func (b *Barrier) registerMetrics(r *obsv.Registry, topology Topology) error {
 		b.mPhase,
 		b.mRecovery,
 	}
+	registered := make([]string, 0, len(metrics))
 	for _, m := range metrics {
 		if err := r.Register(m); err != nil {
+			for _, n := range registered {
+				r.Unregister(n)
+			}
 			return err
 		}
+		registered = append(registered, m.Name())
 	}
+	b.metricsReg = r
+	b.metricNames = registered
 	return nil
+}
+
+// UnregisterMetrics removes the barrier's series from the registry it was
+// created with. Call it after Stop when the registry outlives the barrier
+// — a torn-down tenant group whose successor (a rejoin) will register the
+// same labelled names. Safe to call on a barrier without a registry, and
+// idempotent.
+func (b *Barrier) UnregisterMetrics() {
+	if b.metricsReg == nil {
+		return
+	}
+	for _, n := range b.metricNames {
+		b.metricsReg.Unregister(n)
+	}
+	b.metricsReg = nil
+	b.metricNames = nil
 }
 
 // observePass records the per-pass measurements. Called by the owning

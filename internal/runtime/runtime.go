@@ -126,8 +126,14 @@ type Config struct {
 	// recovery time after a fault — the live Section 6 quantities).
 	// The internal recording runs either way and is allocation-free;
 	// the registry only adds scrape-time visibility. Two barriers must
-	// not share one registry (their series names would collide).
+	// not share one registry (their series names would collide),
+	// unless MetricLabel disambiguates them.
 	Metrics *obsv.Registry
+	// MetricLabel, if non-empty, is a literal label pair (`group="g00"`)
+	// merged into every metric series name this barrier exports. It lets
+	// many barriers — one per tenant group — share a single registry with
+	// per-group series. Empty keeps the historical unlabelled names.
+	MetricLabel string
 }
 
 type ctrlKind uint8
@@ -200,6 +206,11 @@ type Barrier struct {
 	mInstances *obsv.Histogram // protocol instances consumed per pass (Fig 3/5)
 	mPhase     *obsv.Histogram // pass-to-pass latency, sampled 1-in-8 (Fig 4/6 overhead)
 	mRecovery  *obsv.Histogram // fault-injection to next-pass latency (Fig 7)
+
+	// Registry bookkeeping so a bounded-lifetime barrier (a tenant group
+	// that may be torn down and recreated) can remove its series again.
+	metricsReg  *obsv.Registry
+	metricNames []string
 }
 
 // gate is the participant-facing half of a protocol process, shared by the
@@ -334,11 +345,11 @@ func New(cfg Config) (*Barrier, error) {
 		stopped: make(chan struct{}),
 		sink:    cfg.EventSink,
 	}
-	b.newHistograms()
+	b.newHistograms(cfg.MetricLabel)
 	if cfg.Metrics != nil {
 		// Register before the protocol goroutines start, so a name
 		// collision (two barriers on one registry) fails cleanly.
-		if err := b.registerMetrics(cfg.Metrics, cfg.Topology); err != nil {
+		if err := b.registerMetrics(cfg.Metrics, cfg.Topology, cfg.MetricLabel); err != nil {
 			return nil, err
 		}
 	}

@@ -35,8 +35,10 @@ func TestStateRoundTrip(t *testing.T) {
 	bad.Sum = bad.Checksum() ^ 0xdeadbeef
 	msgs = append(msgs, bad)
 
-	for _, m := range msgs {
-		frame := AppendState(nil, m)
+	groups := []uint32{0, 1, 63, 1<<32 - 1}
+	for i, m := range msgs {
+		group := groups[i%len(groups)]
+		frame := AppendState(nil, group, m)
 		typ, payload, err := readOne(t, frame)
 		if err != nil {
 			t.Fatalf("ReadFrame(%+v): %v", m, err)
@@ -44,12 +46,12 @@ func TestStateRoundTrip(t *testing.T) {
 		if typ != FrameState {
 			t.Fatalf("frame type = %d, want FrameState", typ)
 		}
-		got, err := DecodeState(payload)
+		g, got, err := DecodeState(payload)
 		if err != nil {
 			t.Fatalf("DecodeState(%+v): %v", m, err)
 		}
-		if got != m {
-			t.Errorf("round trip: got %+v, want %+v", got, m)
+		if got != m || g != group {
+			t.Errorf("round trip: got (%d, %+v), want (%d, %+v)", g, got, group, m)
 		}
 	}
 }
@@ -68,8 +70,10 @@ func TestUpRoundTrip(t *testing.T) {
 	bad.Sum = bad.Checksum() ^ 0xdeadbeef
 	msgs = append(msgs, bad)
 
-	for _, m := range msgs {
-		frame := AppendUp(nil, m)
+	groups := []uint32{0, 9, 4095}
+	for i, m := range msgs {
+		group := groups[i%len(groups)]
+		frame := AppendUp(nil, group, m)
 		typ, payload, err := readOne(t, frame)
 		if err != nil {
 			t.Fatalf("ReadFrame(%+v): %v", m, err)
@@ -77,27 +81,27 @@ func TestUpRoundTrip(t *testing.T) {
 		if typ != FrameUp {
 			t.Fatalf("frame type = %d, want FrameUp", typ)
 		}
-		got, err := DecodeUp(payload)
+		g, got, err := DecodeUp(payload)
 		if err != nil {
 			t.Fatalf("DecodeUp(%+v): %v", m, err)
 		}
-		if got != m {
-			t.Errorf("round trip: got %+v, want %+v", got, m)
+		if got != m || g != group {
+			t.Errorf("round trip: got (%d, %+v), want (%d, %+v)", g, got, group, m)
 		}
 	}
 
 	// Payload-level violations.
-	if _, err := DecodeUp(make([]byte, upPayloadLen-1)); !errors.Is(err, ErrCodec) {
+	if _, _, err := DecodeUp(make([]byte, upPayloadLen-1)); !errors.Is(err, ErrCodec) {
 		t.Errorf("short up payload: %v, want ErrCodec", err)
 	}
 	badCP := make([]byte, upPayloadLen)
-	badCP[8] = byte(core.NumCP)
-	if _, err := DecodeUp(badCP); !errors.Is(err, ErrCodec) {
+	badCP[12] = byte(core.NumCP)
+	if _, _, err := DecodeUp(badCP); !errors.Is(err, ErrCodec) {
 		t.Errorf("out-of-range cp: %v, want ErrCodec", err)
 	}
 	badAck := make([]byte, upPayloadLen)
-	badAck[17] = byte(core.NumCP)
-	if _, err := DecodeUp(badAck); !errors.Is(err, ErrCodec) {
+	badAck[21] = byte(core.NumCP)
+	if _, _, err := DecodeUp(badAck); !errors.Is(err, ErrCodec) {
 		t.Errorf("out-of-range ack cp: %v, want ErrCodec", err)
 	}
 }
@@ -133,11 +137,12 @@ func TestOversizeRejectionDoesNotAllocate(t *testing.T) {
 }
 
 // The FrameReader hot path must not allocate per accepted frame either —
-// the payload is decoded into the reader's own buffer.
+// the payload is decoded into the reader's own buffer. The v2 group tag
+// must not change that.
 func TestFrameReaderDoesNotAllocate(t *testing.T) {
 	m := runtime.Message{SN: 5, CP: core.Execute, PH: 2}
 	m.Sum = m.Checksum()
-	frame := AppendState(nil, m)
+	frame := AppendState(nil, 17, m)
 	src := bytes.NewReader(frame)
 	fr := NewFrameReader(src, 256)
 	if n := testing.AllocsPerRun(200, func() {
@@ -147,9 +152,9 @@ func TestFrameReaderDoesNotAllocate(t *testing.T) {
 		if err != nil || typ != FrameState {
 			t.Fatalf("Read: type %d err %v", typ, err)
 		}
-		got, err := DecodeState(payload)
-		if err != nil || got != m {
-			t.Fatalf("DecodeState: %+v err %v", got, err)
+		g, got, err := DecodeState(payload)
+		if err != nil || got != m || g != 17 {
+			t.Fatalf("DecodeState: (%d, %+v) err %v", g, got, err)
 		}
 	}); n != 0 {
 		t.Errorf("FrameReader.Read allocates %.1f objects per frame, want 0", n)
@@ -163,7 +168,7 @@ func TestFrameBuffered(t *testing.T) {
 	m.Sum = m.Checksum()
 	var stream []byte
 	for i := 0; i < 3; i++ {
-		stream = AppendState(stream, m)
+		stream = AppendState(stream, 0, m)
 	}
 	fr := NewFrameReader(bytes.NewReader(stream), 256)
 	for i := 0; i < 3; i++ {
@@ -187,8 +192,10 @@ func TestFrameBuffered(t *testing.T) {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	for _, id := range []int{0, 1, 3, 1 << 20} {
-		frame := AppendHello(nil, id)
+	digests := []uint64{0, 1, 0xdeadbeefcafef00d, 1<<64 - 1}
+	for i, id := range []int{0, 1, 3, 1 << 20} {
+		digest := digests[i]
+		frame := AppendHello(nil, id, digest)
 		typ, payload, err := readOne(t, frame)
 		if err != nil {
 			t.Fatal(err)
@@ -196,24 +203,63 @@ func TestHelloRoundTrip(t *testing.T) {
 		if typ != FrameHello {
 			t.Fatalf("frame type = %d, want FrameHello", typ)
 		}
-		got, err := DecodeHello(payload)
+		got, gotDigest, err := DecodeHello(payload)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != id {
-			t.Errorf("hello round trip: got %d, want %d", got, id)
+		if got != id || gotDigest != digest {
+			t.Errorf("hello round trip: got (%d, %016x), want (%d, %016x)", got, gotDigest, id, digest)
 		}
 	}
 }
 
 func TestTopRoundTrip(t *testing.T) {
-	frame := AppendFrame(nil, FrameTop, nil)
-	typ, payload, err := readOne(t, frame)
-	if err != nil {
-		t.Fatal(err)
+	for _, group := range []uint32{0, 7, 1<<32 - 1} {
+		frame := AppendTop(nil, group)
+		typ, payload, err := readOne(t, frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != FrameTop {
+			t.Fatalf("got type %d, want FrameTop", typ)
+		}
+		g, err := DecodeTop(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != group {
+			t.Errorf("top round trip: got group %d, want %d", g, group)
+		}
 	}
-	if typ != FrameTop || len(payload) != 0 {
-		t.Errorf("got type %d payload %v, want empty FrameTop", typ, payload)
+	if _, err := DecodeTop(nil); !errors.Is(err, ErrCodec) {
+		t.Errorf("v1-style empty top payload: %v, want ErrCodec", err)
+	}
+}
+
+// ConfigDigest must separate parts (["ab","c"] vs ["a","bc"]) and react to
+// every component.
+func TestConfigDigest(t *testing.T) {
+	if ConfigDigest("ab", "c") == ConfigDigest("a", "bc") {
+		t.Error("digest does not separate parts")
+	}
+	if ConfigDigest("ring", "4") == ConfigDigest("ring", "5") {
+		t.Error("digest ignores ring size")
+	}
+	if ConfigDigest() != ConfigDigest() {
+		t.Error("digest not deterministic")
+	}
+	base := TCPConfig{Peers: []string{"a:1", "b:2", "c:3"}}
+	other := base
+	other.Group = 1
+	if ringDigest(base) == ringDigest(other) {
+		t.Error("ring digest ignores the group id")
+	}
+	reordered := TCPConfig{Peers: []string{"b:2", "a:1", "c:3"}}
+	if ringDigest(base) == ringDigest(reordered) {
+		t.Error("ring digest ignores peer order")
+	}
+	if ringDigest(base) == treeDigest(base, []int{-1, 0, 0}) {
+		t.Error("ring and tree digests collide")
 	}
 }
 
@@ -223,9 +269,9 @@ func TestFrameStream(t *testing.T) {
 	m := runtime.Message{SN: 5, CP: core.Execute, PH: 2}
 	m.Sum = m.Checksum()
 	var buf []byte
-	buf = AppendHello(buf, 3)
-	buf = AppendState(buf, m)
-	buf = AppendFrame(buf, FrameTop, nil)
+	buf = AppendHello(buf, 3, 0xfeed)
+	buf = AppendState(buf, 1, m)
+	buf = AppendTop(buf, 2)
 	br := bufio.NewReader(bytes.NewReader(buf))
 	wantTypes := []byte{FrameHello, FrameState, FrameTop}
 	for i, want := range wantTypes {
@@ -245,7 +291,7 @@ func TestFrameStream(t *testing.T) {
 // Every framing violation is a codec error: the caller must drop the
 // connection rather than resynchronize.
 func TestFrameViolations(t *testing.T) {
-	good := AppendState(nil, runtime.Message{SN: 1, CP: core.Execute, PH: 0})
+	good := AppendState(nil, 3, runtime.Message{SN: 1, CP: core.Execute, PH: 0})
 
 	cases := []struct {
 		name string
@@ -259,9 +305,17 @@ func TestFrameViolations(t *testing.T) {
 		}()},
 		{"truncated payload", good[:len(good)-6]},
 		{"truncated crc", good[:len(good)-1]},
+		{"truncated group tag", good[:headerLen+2]},
 		{"flipped payload bit", func() []byte {
 			b := append([]byte(nil), good...)
 			b[headerLen] ^= 0x01
+			return b
+		}()},
+		{"flipped group bit", func() []byte {
+			// Corrupting the group id must fail the frame CRC, not reroute
+			// the frame to another group.
+			b := append([]byte(nil), good...)
+			b[headerLen+3] ^= 0x01
 			return b
 		}()},
 		{"flipped crc bit", func() []byte {
@@ -270,13 +324,14 @@ func TestFrameViolations(t *testing.T) {
 			return b
 		}()},
 	}
+	truncated := map[string]bool{"truncated payload": true, "truncated crc": true, "truncated group tag": true}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			_, _, err := readOne(t, tc.b)
 			if err == nil {
 				t.Fatal("malformed frame accepted")
 			}
-			if tc.name != "truncated payload" && tc.name != "truncated crc" && !errors.Is(err, ErrCodec) {
+			if !truncated[tc.name] && !errors.Is(err, ErrCodec) {
 				t.Errorf("err = %v, does not wrap ErrCodec", err)
 			}
 		})
@@ -290,18 +345,27 @@ func TestFrameViolations(t *testing.T) {
 
 // Payload-level violations.
 func TestPayloadViolations(t *testing.T) {
-	if _, err := DecodeState(make([]byte, statePayloadLen-1)); !errors.Is(err, ErrCodec) {
+	if _, _, err := DecodeState(make([]byte, statePayloadLen-1)); !errors.Is(err, ErrCodec) {
 		t.Errorf("short state payload: %v, want ErrCodec", err)
 	}
+	// A v1-length state payload (13 bytes, no group tag) must be rejected.
+	if _, _, err := DecodeState(make([]byte, 13)); !errors.Is(err, ErrCodec) {
+		t.Errorf("v1 state payload: %v, want ErrCodec", err)
+	}
 	badCP := make([]byte, statePayloadLen)
-	badCP[4] = byte(core.NumCP)
-	if _, err := DecodeState(badCP); !errors.Is(err, ErrCodec) {
+	badCP[8] = byte(core.NumCP)
+	if _, _, err := DecodeState(badCP); !errors.Is(err, ErrCodec) {
 		t.Errorf("out-of-range cp: %v, want ErrCodec", err)
 	}
-	if _, err := DecodeHello([]byte{99, 0, 0, 0, 1}); !errors.Is(err, ErrCodec) {
-		t.Errorf("bad hello version: %v, want ErrCodec", err)
+	if _, _, err := DecodeHello([]byte{99, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0}); !errors.Is(err, errHelloVersion) {
+		t.Errorf("bad hello version: %v, want errHelloVersion", err)
 	}
-	if _, err := DecodeHello([]byte{helloVersion}); !errors.Is(err, ErrCodec) {
+	// A v1 hello (5-byte payload) must be rejected with the distinct
+	// version-mismatch reason, not a generic length error.
+	if _, _, err := DecodeHello([]byte{1, 0, 0, 0, 2}); !errors.Is(err, errHelloVersion) {
+		t.Errorf("v1 hello: %v, want errHelloVersion", err)
+	}
+	if _, _, err := DecodeHello([]byte{helloVersion}); !errors.Is(err, ErrCodec) {
 		t.Errorf("short hello: %v, want ErrCodec", err)
 	}
 }
@@ -323,26 +387,39 @@ func TestAppendFramePanicsOnOversizedPayload(t *testing.T) {
 func FuzzTransport(f *testing.F) {
 	m := runtime.Message{SN: 4, CP: core.Execute, PH: 1}
 	m.Sum = m.Checksum()
-	good := AppendState(nil, m)
+	good := AppendState(nil, 0, m)
+	tagged := AppendState(nil, 4242, m)
 
 	um := runtime.UpMessage{Child: 2, SN: 5, CP: core.Success, PH: 0, AckSN: 5, AckCP: core.Success, AckPH: 0}
 	um.Sum = um.Checksum()
 
 	f.Add([]byte{})
 	f.Add(good)
-	f.Add(AppendHello(nil, 2))
-	f.Add(AppendFrame(nil, FrameTop, nil))
-	f.Add(AppendUp(nil, um))
+	f.Add(tagged)
+	f.Add(AppendHello(nil, 2, 0x1122334455667788))
+	f.Add(AppendTop(nil, 0))
+	f.Add(AppendTop(nil, 99))
+	f.Add(AppendUp(nil, 0, um))
+	f.Add(AppendUp(nil, 7, um))
 	f.Add(good[:3])                      // truncated header
 	f.Add(good[:len(good)-2])            // truncated trailer
+	f.Add(tagged[:headerLen+2])          // truncated inside the group tag
 	f.Add(append([]byte{0x00}, good...)) // garbage before a frame
 	corrupt := append([]byte(nil), good...)
 	corrupt[5] ^= 0x40
 	f.Add(corrupt) // checksum mismatch
+	groupFlip := append([]byte(nil), tagged...)
+	groupFlip[headerLen+1] ^= 0x80
+	f.Add(groupFlip) // corrupted group id, stale CRC
 	oversize := append([]byte(nil), good...)
 	oversize[2], oversize[3] = 0x7f, 0xff
 	f.Add(oversize)        // advertised length beyond MaxPayload, stale CRC
 	f.Add(oversizeFrame()) // advertised length beyond MaxPayload, valid CRC
+	// v1-format frames: 5-byte hello, 13-byte state, empty top — all must
+	// reject at the payload decoders, never panic.
+	f.Add(AppendFrame(nil, FrameHello, []byte{1, 0, 0, 0, 2}))
+	f.Add(AppendFrame(nil, FrameState, make([]byte, 13)))
+	f.Add(AppendFrame(nil, FrameTop, nil))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		br := bufio.NewReader(bytes.NewReader(data))
@@ -375,19 +452,33 @@ func FuzzTransport(f *testing.F) {
 				t.Fatalf("accepted frame does not round-trip: type %d payload %x", typ, payload)
 			}
 			consumed = end
-			// Typed payloads must decode or reject cleanly, never panic.
+			// Typed payloads must decode or reject cleanly, never panic, and
+			// typed re-encoding must reproduce the payload including the
+			// group tag.
 			switch typ {
 			case FrameState:
-				if sm, err := DecodeState(payload); err == nil {
-					AppendState(nil, sm)
+				if g, sm, err := DecodeState(payload); err == nil {
+					if !bytes.Equal(AppendState(nil, g, sm), reenc) {
+						t.Fatalf("state re-encode diverges: group %d %+v", g, sm)
+					}
+				}
+			case FrameTop:
+				if g, err := DecodeTop(payload); err == nil {
+					if !bytes.Equal(AppendTop(nil, g), reenc) {
+						t.Fatalf("top re-encode diverges: group %d", g)
+					}
 				}
 			case FrameHello:
-				if id, err := DecodeHello(payload); err == nil {
-					AppendHello(nil, id)
+				if id, digest, err := DecodeHello(payload); err == nil {
+					if !bytes.Equal(AppendHello(nil, id, digest), reenc) {
+						t.Fatalf("hello re-encode diverges: id %d digest %016x", id, digest)
+					}
 				}
 			case FrameUp:
-				if um, err := DecodeUp(payload); err == nil {
-					AppendUp(nil, um)
+				if g, um, err := DecodeUp(payload); err == nil {
+					if !bytes.Equal(AppendUp(nil, g, um), reenc) {
+						t.Fatalf("up re-encode diverges: group %d %+v", g, um)
+					}
 				}
 			}
 		}

@@ -1,0 +1,1141 @@
+// Multi-group connection multiplexer: one TCP connection per peer-process
+// pair carries every barrier group crossing that edge. The single-group
+// transports (TCP, TCPTree) open one connection per protocol edge, which
+// is the right shape for one group — and the wrong one for a daemon
+// hosting thousands: the connection count would scale with groups, and a
+// reconnect storm would multiply by the group count. The Mux collapses
+// that to O(peers) connections, with wire-format v2's per-frame group id
+// providing the demultiplexing key.
+//
+// Model: len(Peers) OS processes, each hosting member j of every group
+// (a group's member ids are process indices). Each group is a ring over
+// all processes or a k-ary heap tree over all processes; the set of
+// groups is declared up front and fingerprinted into the hello digest, so
+// both ends of every connection provably agree on the multiplexing map.
+//
+// Connections are symmetric (both ends read and write protocol frames),
+// so one connection per unordered pair suffices; the lower process index
+// dials, the higher accepts. Outgoing frames go through per-(group, kind,
+// edge) latest-state-wins slots — exactly the mailbox discipline of the
+// single-group transports, so a slow connection never blocks a protocol
+// goroutine and superseded states coalesce. One writer per connection
+// drains every dirty slot bound for that peer into a single Write,
+// batching frames of many groups into one syscall.
+//
+// Lifecycle isolation: a group's link can be closed (its barrier halted,
+// stopped, or restarted for rejoin) without touching the shared
+// connections; its slots just stop being marked and its incoming frames
+// are dropped as loss. No group can stall another: every delivery is
+// non-blocking, every send is a slot overwrite.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/runtime"
+	"repro/internal/topo"
+)
+
+// Group topologies understood by the Mux (and the groups registry).
+const (
+	GroupRing = "ring"
+	GroupTree = "tree"
+)
+
+// GroupSpec declares one barrier group hosted over the mux. The group
+// spans all processes; member ids are process indices.
+type GroupSpec struct {
+	// ID tags the group's frames on the wire. Unique per mux.
+	ID uint32
+	// Name labels the group's metric series ({group="..."}) and
+	// strengthens the config digest. Letters, digits, '_', '.', '-'.
+	Name string
+	// Topology is GroupRing (default) or GroupTree.
+	Topology string
+	// TreeArity is the heap arity for GroupTree (default 2), matching the
+	// shape a TopologyTree barrier builds for the same member count.
+	TreeArity int
+}
+
+// MuxConfig parameterizes a Mux.
+type MuxConfig struct {
+	// Self is this process's index into Peers.
+	Self int
+	// Peers[j] is process j's listen address (host:port).
+	Peers []string
+	// Groups declares every group multiplexed over the shared
+	// connections. All muxes of a deployment must declare identical
+	// groups (the hello digest enforces it).
+	Groups []GroupSpec
+
+	// Backoff/timeout knobs, defaulted as in TCPConfig.
+	BaseBackoff      time.Duration
+	MaxBackoff       time.Duration
+	DialTimeout      time.Duration
+	HandshakeTimeout time.Duration
+	// MaxPending bounds concurrent un-handshaken incoming connections
+	// (default 64), as in TCPConfig.
+	MaxPending int
+	// Logf, if non-nil, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+	// Registry, if non-nil, receives the transport counters plus one
+	// per-group frame counter pair labelled {group="..."}.
+	Registry *obsv.Registry
+}
+
+// MuxOption mutates a MuxConfig (used by NewLoopbackMuxes).
+type MuxOption func(*MuxConfig)
+
+// muxDigest fingerprints a mux configuration: peer list plus the full
+// group set (ids, names, topologies, tree shapes).
+func muxDigest(cfg MuxConfig) uint64 {
+	parts := make([]string, 0, len(cfg.Peers)+4*len(cfg.Groups)+2)
+	parts = append(parts, "mux", strconv.Itoa(len(cfg.Peers)))
+	parts = append(parts, cfg.Peers...)
+	for _, g := range cfg.Groups {
+		arity := g.TreeArity
+		if arity == 0 {
+			arity = 2
+		}
+		parts = append(parts,
+			strconv.FormatUint(uint64(g.ID), 10),
+			g.Name,
+			g.Topology,
+			strconv.Itoa(arity))
+	}
+	return ConfigDigest(parts...)
+}
+
+func validGroupName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '_', c == '.', c == '-':
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Mux is one process's multiplexed attachment to every group. Create it
+// with NewMux, obtain per-group transports with Ring/Tree, and Close it
+// after the barriers are stopped (barriers close only the links they
+// open; the shared connections belong to the mux).
+type Mux struct {
+	cfg    MuxConfig
+	digest uint64
+
+	groups map[uint32]*muxGroup
+	order  []*muxGroup // declaration order
+	peers  []*muxPeer  // indexed by process id; nil where no shared edge
+	routes map[routeKey]route
+
+	ln         net.Listener
+	done       chan struct{}
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+	closeOnce  sync.Once
+	wg         sync.WaitGroup
+	mu         sync.Mutex // guards peer conn registration against Close
+
+	stats tcpStats
+}
+
+// muxGroup is one group's demux endpoint: exactly one of ring/tree is
+// non-nil, matching the declared topology.
+type muxGroup struct {
+	spec muxGroupShape
+	ring *muxRingLink
+	tree *muxTreeLink
+
+	sent, recv atomic.Int64 // per-group frame counters
+}
+
+type muxGroupShape struct {
+	GroupSpec
+	parent   []int // tree parent vector (nil for ring)
+	children []int // this process's children (tree)
+}
+
+type routeKey struct {
+	group uint32
+	typ   byte
+	from  int
+}
+
+// route delivery kinds.
+const (
+	rState byte = iota // ring: state from the predecessor
+	rTop               // ring: ⊤ from the successor
+	rDown              // tree: broadcast state from the parent
+	rUp                // tree: convergecast from a child
+)
+
+type route struct {
+	kind byte
+	g    *muxGroup
+}
+
+// NewMux validates the configuration, binds this process's listener (when
+// any peer dials it) and starts the dialers for the peers it is
+// responsible for. Per-group transports are obtained with Ring/Tree.
+func NewMux(cfg MuxConfig) (*Mux, error) {
+	m, err := newMux(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.start(); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// newMux builds the mux without touching the network; ln pre-binds the
+// listener (loopback tests) or is nil.
+func newMux(cfg MuxConfig, ln net.Listener) (*Mux, error) {
+	n := len(cfg.Peers)
+	if n < 2 {
+		return nil, errors.New("transport: need at least 2 peers")
+	}
+	if cfg.Self < 0 || cfg.Self >= n {
+		return nil, fmt.Errorf("transport: self %d out of range [0,%d)", cfg.Self, n)
+	}
+	if len(cfg.Groups) == 0 {
+		return nil, errors.New("transport: mux needs at least one group")
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 10 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 64
+	}
+	dialCtx, dialCancel := context.WithCancel(context.Background())
+	m := &Mux{
+		cfg:        cfg,
+		digest:     muxDigest(cfg),
+		groups:     make(map[uint32]*muxGroup, len(cfg.Groups)),
+		peers:      make([]*muxPeer, n),
+		routes:     make(map[routeKey]route),
+		ln:         ln,
+		done:       make(chan struct{}),
+		dialCtx:    dialCtx,
+		dialCancel: dialCancel,
+	}
+	peerOf := func(j int) *muxPeer {
+		if p := m.peers[j]; p != nil {
+			return p
+		}
+		p := &muxPeer{m: m, id: j, addr: cfg.Peers[j], kick: make(chan struct{}, 1)}
+		m.peers[j] = p
+		return p
+	}
+	slot := func(dst int, g *muxGroup, typ byte) *muxSlot {
+		p := peerOf(dst)
+		s := &muxSlot{p: p, g: g, typ: typ}
+		p.slots = append(p.slots, s)
+		return s
+	}
+	self := cfg.Self
+	for _, spec := range cfg.Groups {
+		if _, dup := m.groups[spec.ID]; dup {
+			dialCancel()
+			return nil, fmt.Errorf("transport: duplicate group id %d", spec.ID)
+		}
+		if spec.Name != "" && !validGroupName(spec.Name) {
+			dialCancel()
+			return nil, fmt.Errorf("transport: invalid group name %q", spec.Name)
+		}
+		g := &muxGroup{spec: muxGroupShape{GroupSpec: spec}}
+		switch spec.Topology {
+		case GroupRing, "":
+			pred, succ := (self-1+n)%n, (self+1)%n
+			g.ring = &muxRingLink{
+				g:     g,
+				state: make(chan runtime.Message, 1),
+				top:   make(chan struct{}, 1),
+			}
+			g.ring.stateSlot = slot(succ, g, FrameState)
+			g.ring.topSlot = slot(pred, g, FrameTop)
+			m.routes[routeKey{spec.ID, FrameState, pred}] = route{rState, g}
+			m.routes[routeKey{spec.ID, FrameTop, succ}] = route{rTop, g}
+		case GroupTree:
+			arity := spec.TreeArity
+			if arity == 0 {
+				arity = 2
+			}
+			shape, err := topo.NewKAryTree(n, arity)
+			if err != nil {
+				dialCancel()
+				return nil, fmt.Errorf("transport: group %d: %w", spec.ID, err)
+			}
+			g.spec.parent = shape.Parent
+			g.spec.children = shape.Children[self]
+			tl := &muxTreeLink{
+				g:      g,
+				parent: shape.Parent[self],
+				kidIdx: make(map[int]int, len(g.spec.children)),
+				down:   make(chan runtime.Message, 1),
+				up:     make(chan runtime.UpMessage, 2*len(g.spec.children)+2),
+			}
+			if tl.parent >= 0 {
+				tl.upSlot = slot(tl.parent, g, FrameUp)
+				m.routes[routeKey{spec.ID, FrameState, tl.parent}] = route{rDown, g}
+			}
+			tl.downSlots = make([]*muxSlot, len(g.spec.children))
+			for i, kid := range g.spec.children {
+				tl.kidIdx[kid] = i
+				tl.downSlots[i] = slot(kid, g, FrameState)
+				m.routes[routeKey{spec.ID, FrameUp, kid}] = route{rUp, g}
+			}
+			g.tree = tl
+		default:
+			dialCancel()
+			return nil, fmt.Errorf("transport: group %d: unknown topology %q", spec.ID, spec.Topology)
+		}
+		m.groups[spec.ID] = g
+		m.order = append(m.order, g)
+	}
+	if cfg.Registry != nil {
+		if err := m.stats.register(cfg.Registry); err != nil {
+			dialCancel()
+			return nil, err
+		}
+		for _, g := range m.order {
+			if g.spec.Name == "" {
+				continue
+			}
+			g := g
+			metrics := []obsv.Metric{
+				obsv.NewCounterFunc(`transport_group_frames_total{group="`+g.spec.Name+`",dir="sent"}`,
+					"Frames by group and direction.", g.sent.Load),
+				obsv.NewCounterFunc(`transport_group_frames_total{group="`+g.spec.Name+`",dir="recv"}`,
+					"Frames by group and direction.", g.recv.Load),
+			}
+			for _, mm := range metrics {
+				if err := cfg.Registry.Register(mm); err != nil {
+					dialCancel()
+					return nil, err
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// start binds the listener (if any peer dials this process) and launches
+// the accept loop and the dial loops.
+func (m *Mux) start() error {
+	accepts := false
+	for j, p := range m.peers {
+		if p != nil && j < m.cfg.Self {
+			accepts = true
+		}
+	}
+	if accepts && m.ln == nil {
+		ln, err := net.Listen("tcp", m.cfg.Peers[m.cfg.Self])
+		if err != nil {
+			return fmt.Errorf("transport: listen %s: %w", m.cfg.Peers[m.cfg.Self], err)
+		}
+		m.ln = ln
+	}
+	if m.ln != nil {
+		m.wg.Add(1)
+		go m.acceptLoop()
+	}
+	for j, p := range m.peers {
+		if p != nil && j > m.cfg.Self {
+			m.wg.Add(1)
+			go p.dialLoop()
+		}
+	}
+	return nil
+}
+
+// Close tears down the listener, every connection and every goroutine.
+// Group links opened through Ring/Tree views become inert (their channels
+// fall silent); close the barriers first.
+func (m *Mux) Close() error {
+	m.closeOnce.Do(func() {
+		close(m.done)
+		m.dialCancel()
+		if m.ln != nil {
+			m.ln.Close()
+		}
+		m.mu.Lock()
+		for _, p := range m.peers {
+			if p != nil && p.conn != nil {
+				p.conn.Close()
+			}
+		}
+		m.mu.Unlock()
+	})
+	m.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of the mux's counters.
+func (m *Mux) Stats() TCPStats { return m.stats.snapshot() }
+
+// Digest returns the configuration digest this mux sends (and expects) in
+// hello frames.
+func (m *Mux) Digest() uint64 { return m.digest }
+
+// PeerCount returns the number of processes in the deployment — the
+// member count of every hosted group.
+func (m *Mux) PeerCount() int { return len(m.cfg.Peers) }
+
+// GroupStats returns the (sent, recv) frame counts of one group.
+func (m *Mux) GroupStats(id uint32) (sent, recv int64) {
+	g := m.groups[id]
+	if g == nil {
+		return 0, 0
+	}
+	return g.sent.Load(), g.recv.Load()
+}
+
+// BreakConns force-closes every live connection, simulating a network
+// blip across all groups at once. Dialers redial with backoff; in-flight
+// frames of every group are lost and masked by retransmission. Test hook.
+func (m *Mux) BreakConns() {
+	m.mu.Lock()
+	for _, p := range m.peers {
+		if p != nil && p.conn != nil {
+			p.conn.Close()
+		}
+	}
+	m.mu.Unlock()
+}
+
+func (m *Mux) closedNow() bool {
+	select {
+	case <-m.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Ring returns the runtime.Transport view of one ring group. Open accepts
+// only this process's index and at most one open link at a time; closing
+// the link (Barrier.Stop does) detaches the group so it can be reopened —
+// the rejoin path. The view's Close is a no-op: connections are shared,
+// the mux owns them.
+func (m *Mux) Ring(id uint32) runtime.Transport { return &muxRingView{m: m, id: id} }
+
+// Tree returns the runtime.TreeTransport view of one tree group (see
+// Ring for the lifecycle contract).
+func (m *Mux) Tree(id uint32) runtime.Transport { return &muxTreeView{m: m, id: id} }
+
+type muxRingView struct {
+	m  *Mux
+	id uint32
+}
+
+func (v *muxRingView) Open(j int) (runtime.Link, error) {
+	g := v.m.groups[v.id]
+	if g == nil {
+		return nil, fmt.Errorf("transport: unknown group %d", v.id)
+	}
+	if g.ring == nil {
+		return nil, fmt.Errorf("transport: group %d is not a ring group", v.id)
+	}
+	if j != v.m.cfg.Self {
+		return nil, fmt.Errorf("transport: member %d is not this process (%d)", j, v.m.cfg.Self)
+	}
+	if !g.ring.open.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("transport: group %d already open", v.id)
+	}
+	return g.ring, nil
+}
+
+func (v *muxRingView) Close() error { return nil }
+
+type muxTreeView struct {
+	m  *Mux
+	id uint32
+}
+
+func (v *muxTreeView) Open(j int) (runtime.Link, error) {
+	return nil, errors.New("transport: tree group requires Config.Topology == TopologyTree")
+}
+
+func (v *muxTreeView) OpenTree(j int) (runtime.TreeLink, error) {
+	g := v.m.groups[v.id]
+	if g == nil {
+		return nil, fmt.Errorf("transport: unknown group %d", v.id)
+	}
+	if g.tree == nil {
+		return nil, fmt.Errorf("transport: group %d is not a tree group", v.id)
+	}
+	if j != v.m.cfg.Self {
+		return nil, fmt.Errorf("transport: member %d is not this process (%d)", j, v.m.cfg.Self)
+	}
+	if !g.tree.open.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("transport: group %d already open", v.id)
+	}
+	return g.tree, nil
+}
+
+func (v *muxTreeView) Close() error { return nil }
+
+// --- outgoing: per-peer slots and writers ---
+
+// muxSlot is one latest-state-wins outgoing mailbox: a protocol send
+// overwrites the slot and kicks the peer's writer; the writer takes the
+// newest value. Superseded states coalesce exactly as in the single-group
+// transports' channel mailboxes.
+type muxSlot struct {
+	p   *muxPeer
+	g   *muxGroup
+	typ byte
+
+	mu      sync.Mutex
+	pending bool
+	state   runtime.Message
+	up      runtime.UpMessage
+}
+
+func (s *muxSlot) postState(m runtime.Message) {
+	s.mu.Lock()
+	s.state = m
+	s.pending = true
+	s.mu.Unlock()
+	s.p.kickWriter()
+}
+
+func (s *muxSlot) postUp(m runtime.UpMessage) {
+	s.mu.Lock()
+	s.up = m
+	s.pending = true
+	s.mu.Unlock()
+	s.p.kickWriter()
+}
+
+func (s *muxSlot) postTop() {
+	s.mu.Lock()
+	s.pending = true
+	s.mu.Unlock()
+	s.p.kickWriter()
+}
+
+func (s *muxSlot) clear() {
+	s.mu.Lock()
+	s.pending = false
+	s.mu.Unlock()
+}
+
+// takeInto appends the slot's frame to buf if one is pending, clearing
+// the slot, and reports whether it did.
+func (s *muxSlot) takeInto(buf []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.pending {
+		return buf, false
+	}
+	s.pending = false
+	switch s.typ {
+	case FrameState:
+		buf = AppendState(buf, s.g.spec.ID, s.state)
+	case FrameTop:
+		buf = AppendTop(buf, s.g.spec.ID)
+	case FrameUp:
+		buf = AppendUp(buf, s.g.spec.ID, s.up)
+	}
+	s.g.sent.Add(1)
+	return buf, true
+}
+
+// muxPeer is the shared edge to one peer process: the single connection
+// (dialed or accepted per the lower-index-dials rule) plus every outgoing
+// slot bound for that peer.
+type muxPeer struct {
+	m     *Mux
+	id    int
+	addr  string
+	slots []*muxSlot
+	kick  chan struct{} // cap 1: writer wake-up
+
+	conn net.Conn // guarded by m.mu
+}
+
+func (p *muxPeer) kickWriter() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// setConn registers a new live connection, replacing (closing) the
+// previous one. It reports false when the mux is already closed.
+func (p *muxPeer) setConn(c net.Conn) bool {
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	if p.m.closedNow() {
+		// Close already swept registered connections; registering now would
+		// leak the connection past the sweep.
+		c.Close()
+		return false
+	}
+	if p.conn != nil {
+		p.conn.Close() // replaced by the newer connection
+	}
+	p.conn = c
+	return true
+}
+
+// writeLoop drains dirty slots into single batched writes until the
+// connection dies or the mux closes. Frames of many groups that went
+// pending together leave in one Write.
+func (p *muxPeer) writeLoop(c net.Conn, dead chan struct{}) {
+	p.kickWriter() // flush anything posted while no connection existed
+	var buf []byte
+	for {
+		select {
+		case <-p.m.done:
+			return
+		case <-dead:
+			return
+		case <-p.kick:
+		}
+		buf = buf[:0]
+		took := 0
+		for _, s := range p.slots {
+			var ok bool
+			if buf, ok = s.takeInto(buf); ok {
+				took++
+			}
+		}
+		if took == 0 {
+			continue
+		}
+		if _, err := c.Write(buf); err != nil {
+			p.m.connFailed(p, "write", err)
+			c.Close()
+			return
+		}
+		p.m.stats.framesSent.Add(int64(took))
+	}
+}
+
+// dialLoop maintains the connection to a higher-indexed peer: dial,
+// hello, serve until it dies, redial with capped exponential backoff plus
+// jitter (the single-group transports' discipline; the jitter rng is
+// owned by this goroutine alone).
+func (p *muxPeer) dialLoop() {
+	defer p.m.wg.Done()
+	rng := rand.New(rand.NewSource(int64(p.m.cfg.Self)*1315423911 + int64(p.id)*2654435761 + 41))
+	backoff := p.m.cfg.BaseBackoff
+	for {
+		if p.m.closedNow() {
+			return
+		}
+		d := net.Dialer{Timeout: p.m.cfg.DialTimeout}
+		c, err := d.DialContext(p.m.dialCtx, "tcp", p.addr)
+		if err != nil {
+			if p.m.closedNow() {
+				return
+			}
+			p.m.stats.failedDials.Add(1)
+			sleep := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+			p.m.stats.backingOff.Add(1)
+			select {
+			case <-p.m.done:
+				p.m.stats.backingOff.Add(-1)
+				return
+			case <-time.After(sleep):
+			}
+			p.m.stats.backingOff.Add(-1)
+			if backoff *= 2; backoff > p.m.cfg.MaxBackoff {
+				backoff = p.m.cfg.MaxBackoff
+			}
+			continue
+		}
+		keepAlive(c)
+		if _, err := c.Write(AppendHello(nil, p.m.cfg.Self, p.m.digest)); err != nil {
+			p.m.connFailed(p, "write hello", err)
+			c.Close()
+			continue
+		}
+		p.m.stats.dials.Add(1)
+		p.m.stats.connectedOut.Add(1)
+		backoff = p.m.cfg.BaseBackoff
+		if !p.setConn(c) {
+			p.m.stats.connectedOut.Add(-1)
+			return
+		}
+		dead := make(chan struct{})
+		p.m.wg.Add(1)
+		go func() {
+			defer p.m.wg.Done()
+			defer close(dead)
+			p.m.serveConn(p, c, NewFrameReader(c, 4096))
+		}()
+		p.writeLoop(c, dead) // returns when the connection dies or the mux closes
+		c.Close()
+		p.m.stats.connectedOut.Add(-1)
+	}
+}
+
+// --- incoming: accept, handshake, demux ---
+
+func (m *Mux) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			if m.closedNow() {
+				return
+			}
+			select {
+			case <-m.done:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		}
+		if !m.stats.admitPending(m.cfg.MaxPending) {
+			c.Close()
+			continue
+		}
+		m.wg.Add(1)
+		go m.handleIn(c)
+	}
+}
+
+// handleIn verifies the hello handshake — the dialer must be a
+// lower-indexed peer sharing an edge with this process, with a matching
+// config digest — then serves frames until the connection dies.
+func (m *Mux) handleIn(c net.Conn) {
+	defer m.wg.Done()
+	fr := NewFrameReader(c, 4096)
+	from, err := readHello(fr, c, m.cfg.HandshakeTimeout, m.digest, &m.stats)
+	m.stats.releasePending()
+	var p *muxPeer
+	if err == nil {
+		if from >= 0 && from < len(m.peers) && from < m.cfg.Self {
+			p = m.peers[from]
+		}
+		if p == nil {
+			err = fmt.Errorf("transport: process %d does not dial %d", from, m.cfg.Self)
+		}
+	}
+	if err != nil {
+		m.stats.handshakeRejects.Add(1)
+		m.cfg.Logf("transport: mux %d rejected connection from %v: from=%d err=%v", m.cfg.Self, c.RemoteAddr(), from, err)
+		c.Close()
+		return
+	}
+	keepAlive(c)
+	m.stats.accepts.Add(1)
+	if !p.setConn(c) {
+		return
+	}
+	dead := make(chan struct{})
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		p.writeLoop(c, dead)
+	}()
+	m.serveConn(p, c, fr) // returns when the connection dies
+	close(dead)
+	c.Close()
+}
+
+// serveConn reads and demultiplexes frames from one peer until the
+// connection errors. A codec violation — including a frame for a group or
+// direction the route table does not expect from this peer — drops the
+// connection; every group's retransmission masks the loss.
+func (m *Mux) serveConn(p *muxPeer, c net.Conn, fr *FrameReader) {
+	for {
+		typ, payload, err := fr.Read()
+		if err != nil {
+			m.connFailed(p, "read", err)
+			c.Close()
+			return
+		}
+		switch typ {
+		case FrameHello:
+			// Redundant hello: harmless, ignore.
+			continue
+		case FrameState:
+			g, msg, err := DecodeState(payload)
+			if err == nil {
+				err = m.deliverState(p, g, msg)
+			}
+			if err != nil {
+				m.connFailed(p, "decode state", err)
+				c.Close()
+				return
+			}
+		case FrameTop:
+			g, err := DecodeTop(payload)
+			if err == nil {
+				err = m.deliverTop(p, g)
+			}
+			if err != nil {
+				m.connFailed(p, "decode ⊤", err)
+				c.Close()
+				return
+			}
+		case FrameUp:
+			g, msg, err := DecodeUp(payload)
+			if err == nil {
+				err = m.deliverUp(p, g, msg)
+			}
+			if err != nil {
+				m.connFailed(p, "decode up", err)
+				c.Close()
+				return
+			}
+		default:
+			m.connFailed(p, "unexpected frame", fmt.Errorf("%w: type %d from peer %d", ErrCodec, typ, p.id))
+			c.Close()
+			return
+		}
+	}
+}
+
+func (m *Mux) routeMiss(typ byte, id uint32, from int) error {
+	return fmt.Errorf("%w: no route for frame type %d group %d from peer %d", ErrCodec, typ, id, from)
+}
+
+// deliverState routes a FrameState: a ring predecessor's announcement or
+// a tree parent's broadcast. Delivery is latest-wins and drops silently
+// when the group's link is closed (teardown isolation: a stopped group
+// must not affect the shared connection).
+func (m *Mux) deliverState(p *muxPeer, id uint32, msg runtime.Message) error {
+	r, ok := m.routes[routeKey{id, FrameState, p.id}]
+	if !ok {
+		return m.routeMiss(FrameState, id, p.id)
+	}
+	m.stats.framesRecv.Add(1)
+	r.g.recv.Add(1)
+	var dst chan runtime.Message
+	var openFlag *atomic.Bool
+	switch r.kind {
+	case rState:
+		dst, openFlag = r.g.ring.state, &r.g.ring.open
+	case rDown:
+		dst, openFlag = r.g.tree.down, &r.g.tree.open
+	}
+	if !openFlag.Load() {
+		return nil // group torn down: the frame is loss, not an error
+	}
+	select {
+	case <-dst:
+	default:
+	}
+	select {
+	case dst <- msg:
+	default:
+	}
+	return nil
+}
+
+func (m *Mux) deliverTop(p *muxPeer, id uint32) error {
+	r, ok := m.routes[routeKey{id, FrameTop, p.id}]
+	if !ok {
+		return m.routeMiss(FrameTop, id, p.id)
+	}
+	m.stats.framesRecv.Add(1)
+	r.g.recv.Add(1)
+	if !r.g.ring.open.Load() {
+		return nil
+	}
+	select {
+	case r.g.ring.top <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (m *Mux) deliverUp(p *muxPeer, id uint32, msg runtime.UpMessage) error {
+	r, ok := m.routes[routeKey{id, FrameUp, p.id}]
+	if !ok {
+		return m.routeMiss(FrameUp, id, p.id)
+	}
+	if msg.Child != p.id {
+		// The in-band child id must match the connection's verified peer —
+		// a mismatch is detected corruption, as in the tree transport.
+		return fmt.Errorf("%w: in-band child %d on connection from %d", ErrCodec, msg.Child, p.id)
+	}
+	m.stats.framesRecv.Add(1)
+	r.g.recv.Add(1)
+	tl := r.g.tree
+	if !tl.open.Load() {
+		return nil
+	}
+	// Shared-mailbox delivery, the channel transport's discipline: send;
+	// if full, displace the oldest and retry; losing that race is loss.
+	select {
+	case tl.up <- msg:
+		return nil
+	default:
+	}
+	select {
+	case <-tl.up:
+	default:
+	}
+	select {
+	case tl.up <- msg:
+	default:
+	}
+	return nil
+}
+
+// connFailed accounts one connection failure (see tcpLink.connFailed).
+func (m *Mux) connFailed(p *muxPeer, what string, err error) {
+	if m.closedNow() {
+		return
+	}
+	if errors.Is(err, ErrCodec) {
+		m.stats.decodeErrors.Add(1)
+	}
+	m.stats.connDrops.Add(1)
+	m.cfg.Logf("transport: mux %d: peer %d: %s: %v", m.cfg.Self, p.id, what, err)
+}
+
+// --- per-group links ---
+
+// muxRingLink is one group's ring attachment for this process. Closing it
+// detaches the group from the shared connections without touching them;
+// reopening (via the Ring view) reattaches — the teardown/rejoin path.
+type muxRingLink struct {
+	g     *muxGroup
+	state chan runtime.Message
+	top   chan struct{}
+
+	stateSlot *muxSlot // to the ring successor
+	topSlot   *muxSlot // to the ring predecessor
+	open      atomic.Bool
+}
+
+func (l *muxRingLink) SendState(m runtime.Message) {
+	if l.open.Load() {
+		l.stateSlot.postState(m)
+	}
+}
+
+func (l *muxRingLink) SendTop() {
+	if l.open.Load() {
+		l.topSlot.postTop()
+	}
+}
+
+func (l *muxRingLink) State() <-chan runtime.Message { return l.state }
+func (l *muxRingLink) Top() <-chan struct{}          { return l.top }
+
+func (l *muxRingLink) InjectState(m runtime.Message) bool {
+	select {
+	case l.state <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *muxRingLink) Close() error {
+	l.open.Store(false)
+	l.stateSlot.clear()
+	l.topSlot.clear()
+	return nil
+}
+
+// muxTreeLink is one group's tree attachment for this process (see
+// muxRingLink for the lifecycle contract).
+type muxTreeLink struct {
+	g      *muxGroup
+	parent int         // -1 at the root
+	kidIdx map[int]int // child id → index into downSlots
+
+	down chan runtime.Message
+	up   chan runtime.UpMessage
+
+	upSlot    *muxSlot // nil at the root
+	downSlots []*muxSlot
+	open      atomic.Bool
+}
+
+func (l *muxTreeLink) SendDown(child int, m runtime.Message) {
+	if !l.open.Load() {
+		return
+	}
+	if i, ok := l.kidIdx[child]; ok {
+		l.downSlots[i].postState(m)
+	}
+}
+
+func (l *muxTreeLink) SendUp(m runtime.UpMessage) {
+	if l.upSlot != nil && l.open.Load() {
+		l.upSlot.postUp(m)
+	}
+}
+
+func (l *muxTreeLink) Down() <-chan runtime.Message { return l.down }
+func (l *muxTreeLink) Up() <-chan runtime.UpMessage { return l.up }
+
+func (l *muxTreeLink) InjectDown(m runtime.Message) bool {
+	select {
+	case l.down <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *muxTreeLink) InjectUp(m runtime.UpMessage) bool {
+	select {
+	case l.up <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *muxTreeLink) Close() error {
+	l.open.Store(false)
+	if l.upSlot != nil {
+		l.upSlot.clear()
+	}
+	for _, s := range l.downSlots {
+		s.clear()
+	}
+	return nil
+}
+
+// --- loopback set: every process in one test binary ---
+
+// MuxSet is an all-local collection of muxes, one per process, sharing a
+// loopback peer list — the test and conformance configuration. Its
+// Ring/Tree views accept any process index and route Open to that
+// process's mux.
+type MuxSet struct {
+	Muxes []*Mux
+}
+
+// NewLoopbackMuxes binds n ephemeral loopback listeners and returns n
+// started muxes declaring the given groups. Backoff defaults are lowered
+// (2ms base, 100ms cap) as in NewLoopbackRing; opts may override any
+// field except Self and Peers.
+func NewLoopbackMuxes(n int, groups []GroupSpec, opts ...MuxOption) (*MuxSet, error) {
+	if n < 2 {
+		return nil, errors.New("transport: need at least 2 members")
+	}
+	listeners, peers, err := bindLoopback(n)
+	if err != nil {
+		return nil, err
+	}
+	closeAll := func(ms []*Mux) {
+		for _, m := range ms {
+			if m != nil {
+				m.Close()
+			}
+		}
+		for _, ln := range listeners {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+	}
+	set := &MuxSet{Muxes: make([]*Mux, n)}
+	for j := 0; j < n; j++ {
+		cfg := MuxConfig{
+			Self:        j,
+			Peers:       peers,
+			Groups:      groups,
+			BaseBackoff: 2 * time.Millisecond,
+			MaxBackoff:  100 * time.Millisecond,
+		}
+		for _, opt := range opts {
+			opt(&cfg)
+		}
+		cfg.Self, cfg.Peers = j, peers
+		m, err := newMux(cfg, listeners[j])
+		if err != nil {
+			closeAll(set.Muxes)
+			return nil, err
+		}
+		listeners[j] = nil // owned by the mux now
+		set.Muxes[j] = m
+		if err := m.start(); err != nil {
+			closeAll(set.Muxes)
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+// Close closes every mux in the set.
+func (s *MuxSet) Close() error {
+	for _, m := range s.Muxes {
+		if m != nil {
+			m.Close()
+		}
+	}
+	return nil
+}
+
+// Ring returns a runtime.Transport for one ring group whose Open accepts
+// any process index, routing to that process's mux.
+func (s *MuxSet) Ring(id uint32) runtime.Transport { return &muxSetRing{s: s, id: id} }
+
+// Tree returns a runtime transport for one tree group (implements
+// runtime.TreeTransport).
+func (s *MuxSet) Tree(id uint32) runtime.Transport { return &muxSetTree{s: s, id: id} }
+
+type muxSetRing struct {
+	s  *MuxSet
+	id uint32
+}
+
+func (v *muxSetRing) Open(j int) (runtime.Link, error) {
+	if j < 0 || j >= len(v.s.Muxes) {
+		return nil, fmt.Errorf("transport: member %d out of range [0,%d)", j, len(v.s.Muxes))
+	}
+	return v.s.Muxes[j].Ring(v.id).Open(j)
+}
+
+func (v *muxSetRing) Close() error { return nil }
+
+type muxSetTree struct {
+	s  *MuxSet
+	id uint32
+}
+
+func (v *muxSetTree) Open(j int) (runtime.Link, error) {
+	return nil, errors.New("transport: tree group requires Config.Topology == TopologyTree")
+}
+
+func (v *muxSetTree) OpenTree(j int) (runtime.TreeLink, error) {
+	if j < 0 || j >= len(v.s.Muxes) {
+		return nil, fmt.Errorf("transport: member %d out of range [0,%d)", j, len(v.s.Muxes))
+	}
+	t := v.s.Muxes[j].Tree(v.id).(*muxTreeView)
+	return t.OpenTree(j)
+}
+
+func (v *muxSetTree) Close() error { return nil }

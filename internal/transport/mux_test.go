@@ -1,0 +1,282 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// runGroupBarrier drives every member of one group's barrier through the
+// given number of passes, tolerating ErrReset re-executions.
+func runGroupBarrier(ctx context.Context, b *runtime.Barrier, n, nPhases, passes int) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < passes; k++ {
+				ph, err := b.Await(ctx, id)
+				if errors.Is(err, runtime.ErrReset) {
+					k--
+					continue
+				}
+				if err != nil {
+					errs <- fmt.Errorf("member %d pass %d: %w", id, k, err)
+					return
+				}
+				if want := (k + 1) % nPhases; ph != want {
+					errs <- fmt.Errorf("member %d pass %d: phase %d, want %d", id, k, ph, want)
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Many groups — rings and trees — run complete barriers concurrently over
+// one shared connection per process pair, under injected corruption and a
+// mid-run break of every connection.
+func TestMuxMultiGroupBarriers(t *testing.T) {
+	const (
+		n       = 3
+		nGroups = 6
+		passes  = 20
+		nPhases = 4
+	)
+	specs := make([]GroupSpec, nGroups)
+	for i := range specs {
+		topo := GroupRing
+		if i%3 == 2 {
+			topo = GroupTree
+		}
+		specs[i] = GroupSpec{ID: uint32(i), Name: fmt.Sprintf("g%02d", i), Topology: topo}
+	}
+	set, err := NewLoopbackMuxes(n, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nGroups)
+	for i, spec := range specs {
+		i, spec := i, spec
+		topology := runtime.TopologyRing
+		var tr runtime.Transport = set.Ring(spec.ID)
+		if spec.Topology == GroupTree {
+			topology = runtime.TopologyTree
+			tr = set.Tree(spec.ID)
+		}
+		b, err := runtime.New(runtime.Config{
+			Participants: n,
+			NPhases:      nPhases,
+			Topology:     topology,
+			Transport:    tr,
+			Resend:       200 * time.Microsecond,
+			CorruptRate:  0.01,
+			Seed:         int64(100 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Stop()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- runGroupBarrier(ctx, b, n, nPhases, passes)
+		}()
+	}
+	// A network blip mid-run: every shared connection of process 1 drops,
+	// taking frames of every group with it. All groups must recover.
+	time.Sleep(5 * time.Millisecond)
+	set.Muxes[1].BreakConns()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, spec := range specs {
+		sent, recv := set.Muxes[0].GroupStats(spec.ID)
+		if sent == 0 && recv == 0 {
+			t.Errorf("group %s moved no frames through process 0", spec.Name)
+		}
+	}
+	if st := set.Muxes[0].Stats(); st.DecodeErrors != 0 {
+		t.Errorf("decode errors on process 0: %d", st.DecodeErrors)
+	}
+}
+
+// Tearing one group down leaves the others untouched: the stopped group's
+// frames (peers keep resending) are dropped silently, not treated as
+// protocol errors, and the group can rejoin over the same connections.
+func TestMuxGroupTeardownIsolation(t *testing.T) {
+	const (
+		n       = 2
+		nPhases = 2
+	)
+	specs := []GroupSpec{
+		{ID: 0, Name: "alpha"},
+		{ID: 1, Name: "beta"},
+	}
+	set, err := NewLoopbackMuxes(n, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	// One barrier per (group, process): the distributed deployment shape.
+	newMember := func(group uint32, self int, rejoin bool) *runtime.Barrier {
+		b, err := runtime.New(runtime.Config{
+			Participants: n,
+			NPhases:      nPhases,
+			Transport:    set.Muxes[self].Ring(group),
+			Members:      []int{self},
+			Rejoin:       rejoin,
+			Resend:       200 * time.Microsecond,
+			Seed:         int64(group)*10 + int64(self),
+		})
+		if err != nil {
+			t.Fatalf("group %d member %d: %v", group, self, err)
+		}
+		return b
+	}
+	alpha := []*runtime.Barrier{newMember(0, 0, false), newMember(0, 1, false)}
+	beta := []*runtime.Barrier{newMember(1, 0, false), newMember(1, 1, false)}
+	defer func() {
+		for _, b := range append(alpha, beta...) {
+			b.Stop()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	pass := func(bs []*runtime.Barrier, passes int) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, n)
+		for self, b := range bs {
+			self, b := self, b
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < passes; k++ {
+					if _, err := b.Await(ctx, self); err != nil {
+						if errors.Is(err, runtime.ErrReset) {
+							k--
+							continue
+						}
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := pass(alpha, 3); err != nil {
+		t.Fatalf("alpha warm-up: %v", err)
+	}
+	if err := pass(beta, 3); err != nil {
+		t.Fatalf("beta warm-up: %v", err)
+	}
+
+	// Kill alpha's member on process 0. Its peer on process 1 keeps
+	// resending alpha frames into process 0, where the closed link must
+	// swallow them.
+	alpha[0].Stop()
+
+	if err := pass(beta, 10); err != nil {
+		t.Fatalf("beta stalled after alpha teardown: %v", err)
+	}
+	if st := set.Muxes[0].Stats(); st.DecodeErrors != 0 {
+		t.Errorf("frames of the stopped group were counted as decode errors: %d", st.DecodeErrors)
+	}
+
+	// Rejoin: a fresh barrier reopens the same group link in the reset
+	// state; the surviving peer masks the restart and alpha passes again.
+	alpha[0] = newMember(0, 0, true)
+	if err := pass(alpha, 5); err != nil {
+		t.Fatalf("alpha did not recover after rejoin: %v", err)
+	}
+}
+
+// Constructor and view validation.
+func TestMuxValidation(t *testing.T) {
+	if _, err := NewLoopbackMuxes(1, []GroupSpec{{ID: 0, Name: "a"}}); err == nil {
+		t.Error("NewLoopbackMuxes(1) succeeded")
+	}
+	if _, err := NewLoopbackMuxes(2, nil); err == nil {
+		t.Error("mux with no groups succeeded")
+	}
+	if _, err := NewLoopbackMuxes(2, []GroupSpec{{ID: 0, Name: "a"}, {ID: 0, Name: "b"}}); err == nil {
+		t.Error("duplicate group id succeeded")
+	}
+	if _, err := NewLoopbackMuxes(2, []GroupSpec{{ID: 0, Name: "bad name"}}); err == nil {
+		t.Error("invalid group name succeeded")
+	}
+	if _, err := NewLoopbackMuxes(2, []GroupSpec{{ID: 0, Name: "a", Topology: "star"}}); err == nil {
+		t.Error("unknown topology succeeded")
+	}
+
+	set, err := NewLoopbackMuxes(2, []GroupSpec{
+		{ID: 0, Name: "ring0"},
+		{ID: 1, Name: "tree0", Topology: GroupTree},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	m := set.Muxes[0]
+	if _, err := m.Ring(1).Open(0); err == nil {
+		t.Error("ring view opened a tree group")
+	}
+	if _, err := m.Tree(0).(*muxTreeView).OpenTree(0); err == nil {
+		t.Error("tree view opened a ring group")
+	}
+	if _, err := m.Ring(0).Open(1); err == nil {
+		t.Error("opened a member this process does not host")
+	}
+	if _, err := m.Ring(7).Open(0); err == nil {
+		t.Error("opened an undeclared group")
+	}
+	l, err := m.Ring(0).Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Ring(0).Open(0); err == nil {
+		t.Error("double open succeeded")
+	}
+	l.Close()
+	if _, err := m.Ring(0).Open(0); err != nil {
+		t.Errorf("reopen after close failed: %v", err)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -57,6 +58,16 @@ type TCPConfig struct {
 	// HandshakeTimeout bounds the wait for a dialer's hello frame
 	// (default 5s).
 	HandshakeTimeout time.Duration
+	// Group tags every frame this transport sends and is verified on every
+	// frame it receives. A single-group deployment leaves it 0; the Mux
+	// speaks for many groups on one connection and bypasses this field.
+	Group uint32
+	// MaxPending bounds concurrent un-handshaken incoming connections
+	// (default 64). Each pre-handshake connection holds a goroutine and a
+	// frame buffer for up to HandshakeTimeout; beyond the bound new
+	// connections are closed immediately and counted as accept overflows,
+	// so a dial flood or reconnect storm cannot pile up unbounded state.
+	MaxPending int
 	// Logf, if non-nil, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
 	// Registry, if non-nil, receives the transport's metric series
@@ -71,38 +82,46 @@ type Option func(*TCPConfig)
 
 // TCPStats is a snapshot of a transport's counters.
 type TCPStats struct {
-	Dials            int64 // successful outgoing connections
-	FailedDials      int64 // dial attempts that ended in backoff
-	Accepts          int64 // accepted incoming connections
-	HandshakeRejects int64 // incoming connections rejected at hello
-	ConnDrops        int64 // established connections dropped after an error
-	DecodeErrors     int64 // frames rejected by the codec
-	FramesSent       int64
-	FramesRecv       int64
-	ConnectedOut     int64 // outgoing connections currently established (gauge)
-	BackingOff       int64 // dialers currently sleeping in reconnect backoff (gauge)
+	Dials             int64 // successful outgoing connections
+	FailedDials       int64 // dial attempts that ended in backoff
+	Accepts           int64 // accepted incoming connections
+	HandshakeRejects  int64 // incoming connections rejected at hello
+	DigestRejects     int64 // hello rejects caused by a config digest mismatch
+	AcceptOverflows   int64 // connections closed at accept: too many un-handshaken
+	ConnDrops         int64 // established connections dropped after an error
+	DecodeErrors      int64 // frames rejected by the codec
+	FramesSent        int64
+	FramesRecv        int64
+	ConnectedOut      int64 // outgoing connections currently established (gauge)
+	BackingOff        int64 // dialers currently sleeping in reconnect backoff (gauge)
+	PendingHandshakes int64 // accepted connections awaiting their hello (gauge)
 }
 
-// tcpStats holds the counters shared by the ring and tree TCP transports.
+// tcpStats holds the counters shared by the ring, tree and mux TCP
+// transports.
 type tcpStats struct {
 	dials, failedDials, accepts, handshakeRejects atomic.Int64
+	digestRejects, acceptOverflows                atomic.Int64
 	connDrops, decodeErrors                       atomic.Int64
 	framesSent, framesRecv                        atomic.Int64
-	connectedOut, backingOff                      atomic.Int64 // gauges
+	connectedOut, backingOff, pendingHandshakes   atomic.Int64 // gauges
 }
 
 func (s *tcpStats) snapshot() TCPStats {
 	return TCPStats{
-		Dials:            s.dials.Load(),
-		FailedDials:      s.failedDials.Load(),
-		Accepts:          s.accepts.Load(),
-		HandshakeRejects: s.handshakeRejects.Load(),
-		ConnDrops:        s.connDrops.Load(),
-		DecodeErrors:     s.decodeErrors.Load(),
-		FramesSent:       s.framesSent.Load(),
-		FramesRecv:       s.framesRecv.Load(),
-		ConnectedOut:     s.connectedOut.Load(),
-		BackingOff:       s.backingOff.Load(),
+		Dials:             s.dials.Load(),
+		FailedDials:       s.failedDials.Load(),
+		Accepts:           s.accepts.Load(),
+		HandshakeRejects:  s.handshakeRejects.Load(),
+		DigestRejects:     s.digestRejects.Load(),
+		AcceptOverflows:   s.acceptOverflows.Load(),
+		ConnDrops:         s.connDrops.Load(),
+		DecodeErrors:      s.decodeErrors.Load(),
+		FramesSent:        s.framesSent.Load(),
+		FramesRecv:        s.framesRecv.Load(),
+		ConnectedOut:      s.connectedOut.Load(),
+		BackingOff:        s.backingOff.Load(),
+		PendingHandshakes: s.pendingHandshakes.Load(),
 	}
 }
 
@@ -118,6 +137,10 @@ func (s *tcpStats) register(r *obsv.Registry) error {
 			"Accepted incoming connections.", s.accepts.Load),
 		obsv.NewCounterFunc("transport_handshake_rejects_total",
 			"Incoming connections rejected at the hello handshake.", s.handshakeRejects.Load),
+		obsv.NewCounterFunc("transport_digest_rejects_total",
+			"Hello rejects caused by a config digest mismatch (cluster cross-connect).", s.digestRejects.Load),
+		obsv.NewCounterFunc("transport_accept_overflows_total",
+			"Connections closed at accept because too many were awaiting their hello.", s.acceptOverflows.Load),
 		obsv.NewCounterFunc("transport_conn_drops_total",
 			"Established connections dropped after an error.", s.connDrops.Load),
 		obsv.NewCounterFunc("transport_decode_errors_total",
@@ -130,6 +153,8 @@ func (s *tcpStats) register(r *obsv.Registry) error {
 			"Outgoing connections currently established.", s.connectedOut.Load),
 		obsv.NewGaugeFunc("transport_backing_off_links",
 			"Dialers currently sleeping in reconnect backoff.", s.backingOff.Load),
+		obsv.NewGaugeFunc("transport_pending_handshakes",
+			"Accepted connections currently awaiting their hello frame.", s.pendingHandshakes.Load),
 	}
 	for _, m := range metrics {
 		if err := r.Register(m); err != nil {
@@ -141,7 +166,8 @@ func (s *tcpStats) register(r *obsv.Registry) error {
 
 // TCP implements runtime.Transport over TCP ring links.
 type TCP struct {
-	cfg TCPConfig
+	cfg    TCPConfig
+	digest uint64
 
 	mu        sync.Mutex
 	links     []*tcpLink
@@ -149,6 +175,17 @@ type TCP struct {
 	closed    bool
 
 	stats tcpStats
+}
+
+// ringDigest fingerprints a ring configuration: topology kind, ring size,
+// peer addresses and the group id. Members with any difference — a missing
+// peer, a reordered list, a different group — reject each other at hello.
+func ringDigest(cfg TCPConfig) uint64 {
+	parts := make([]string, 0, len(cfg.Peers)+3)
+	parts = append(parts, "ring", strconv.Itoa(len(cfg.Peers)))
+	parts = append(parts, cfg.Peers...)
+	parts = append(parts, strconv.FormatUint(uint64(cfg.Group), 10))
+	return ConfigDigest(parts...)
 }
 
 // NewTCP creates a TCP transport for the given ring. Nothing is bound or
@@ -172,8 +209,12 @@ func NewTCP(cfg TCPConfig) (*TCP, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 64
+	}
 	t := &TCP{
 		cfg:       cfg,
+		digest:    ringDigest(cfg),
 		links:     make([]*tcpLink, len(cfg.Peers)),
 		listeners: make([]net.Listener, len(cfg.Peers)),
 	}
@@ -302,6 +343,10 @@ func (t *TCP) Close() error {
 // Stats returns a snapshot of the transport's counters.
 func (t *TCP) Stats() TCPStats { return t.stats.snapshot() }
 
+// Digest returns the configuration digest this transport sends (and
+// expects) in hello frames.
+func (t *TCP) Digest() uint64 { return t.digest }
+
 // BreakLinks force-closes member id's current connections (incoming and
 // outgoing), simulating a network blip. The dialer redials with backoff;
 // in-flight frames are lost and masked by retransmission. Test hook.
@@ -409,12 +454,66 @@ func (l *tcpLink) closedNow() bool {
 
 func (l *tcpLink) ringSize() int { return len(l.t.cfg.Peers) }
 
+// --- shared handshake machinery (ring, tree and mux accept sides) ---
+
+// admitPending reserves a pre-handshake slot; it reports false (counting
+// an accept overflow) when max un-handshaken connections already exist, in
+// which case the caller must close the connection without spawning
+// anything — the bound is what keeps a dial flood or a reconnect storm
+// from piling up goroutines and frame buffers.
+func (s *tcpStats) admitPending(max int) bool {
+	if s.pendingHandshakes.Add(1) > int64(max) {
+		s.pendingHandshakes.Add(-1)
+		s.acceptOverflows.Add(1)
+		return false
+	}
+	return true
+}
+
+func (s *tcpStats) releasePending() { s.pendingHandshakes.Add(-1) }
+
+// readHello reads and verifies the hello frame on an accepted connection:
+// frame type, wire version, and the config digest (a mismatch means
+// another cluster — different peers, topology or group set — dialed us,
+// and is counted separately from plain identity rejects). The returned id
+// is the dialer's claim; whether that id belongs on this edge is the
+// caller's check. The read deadline is cleared only on success.
+func readHello(fr *FrameReader, c net.Conn, timeout time.Duration, digest uint64, s *tcpStats) (from int, err error) {
+	c.SetReadDeadline(time.Now().Add(timeout))
+	typ, payload, err := fr.Read()
+	if err != nil {
+		return 0, err
+	}
+	if typ != FrameHello {
+		return 0, fmt.Errorf("%w: first frame type %d, want hello", ErrCodec, typ)
+	}
+	from, peerDigest, err := DecodeHello(payload)
+	if err != nil {
+		return 0, err
+	}
+	if peerDigest != digest {
+		s.digestRejects.Add(1)
+		return from, fmt.Errorf("%w: config digest mismatch (peer %016x, ours %016x)", ErrCodec, peerDigest, digest)
+	}
+	c.SetReadDeadline(time.Time{})
+	return from, nil
+}
+
+// keepAlive enables TCP keep-alive on verified connections.
+func keepAlive(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(15 * time.Second)
+	}
+}
+
 // --- incoming side: the predecessor's connection ---
 
 // acceptLoop owns the listener: every accepted connection is handled in
 // its own goroutine so the hello handshake can reject strangers (and admit
 // a restarted predecessor's replacement connection) even while an older
-// connection still looks alive.
+// connection still looks alive. Un-handshaken connections are bounded by
+// MaxPending.
 func (l *tcpLink) acceptLoop() {
 	defer l.wg.Done()
 	for {
@@ -431,6 +530,10 @@ func (l *tcpLink) acceptLoop() {
 			}
 			continue
 		}
+		if !l.t.stats.admitPending(l.t.cfg.MaxPending) {
+			c.Close()
+			continue
+		}
 		l.wg.Add(1)
 		go l.handleIn(c)
 	}
@@ -444,25 +547,15 @@ func (l *tcpLink) handleIn(c net.Conn) {
 	defer l.wg.Done()
 	expectPred := (l.id - 1 + l.ringSize()) % l.ringSize()
 	fr := NewFrameReader(c, 256)
-	c.SetReadDeadline(time.Now().Add(l.t.cfg.HandshakeTimeout))
-	typ, payload, err := fr.Read()
-	var from int
-	if err == nil && typ == FrameHello {
-		from, err = DecodeHello(payload)
-	} else if err == nil {
-		err = fmt.Errorf("%w: first frame type %d, want hello", ErrCodec, typ)
-	}
+	from, err := readHello(fr, c, l.t.cfg.HandshakeTimeout, l.t.digest, &l.t.stats)
+	l.t.stats.releasePending()
 	if err != nil || from != expectPred {
 		l.t.stats.handshakeRejects.Add(1)
 		l.t.cfg.Logf("transport: member %d rejected connection from %v: from=%d err=%v", l.id, c.RemoteAddr(), from, err)
 		c.Close()
 		return
 	}
-	c.SetReadDeadline(time.Time{})
-	if tc, ok := c.(*net.TCPConn); ok {
-		tc.SetKeepAlive(true)
-		tc.SetKeepAlivePeriod(15 * time.Second)
-	}
+	keepAlive(c)
 	l.t.stats.accepts.Add(1)
 	l.setInConn(c)
 	dead := make(chan struct{})
@@ -508,7 +601,10 @@ func (l *tcpLink) serveIn(c net.Conn, fr *FrameReader, dead chan struct{}) {
 		for {
 			switch typ {
 			case FrameState:
-				mm, err := DecodeState(payload)
+				g, mm, err := DecodeState(payload)
+				if err == nil && g != l.t.cfg.Group {
+					err = fmt.Errorf("%w: state frame for group %d on a group-%d link", ErrCodec, g, l.t.cfg.Group)
+				}
 				if err != nil {
 					l.connFailed("decode state", err)
 					return
@@ -555,7 +651,7 @@ func (l *tcpLink) inWriter(c net.Conn, dead chan struct{}) {
 		case <-dead:
 			return
 		case <-l.outTop:
-			buf = AppendFrame(buf[:0], FrameTop, nil)
+			buf = AppendTop(buf[:0], l.t.cfg.Group)
 			if _, err := c.Write(buf); err != nil {
 				l.connFailed("write ⊤ to predecessor", err)
 				c.Close()
@@ -611,7 +707,7 @@ func (l *tcpLink) dialLoop() {
 			tc.SetKeepAlive(true)
 			tc.SetKeepAlivePeriod(15 * time.Second)
 		}
-		if _, err := c.Write(AppendHello(nil, l.id)); err != nil {
+		if _, err := c.Write(AppendHello(nil, l.id, l.t.digest)); err != nil {
 			l.connFailed("write hello", err)
 			c.Close()
 			continue
@@ -648,7 +744,7 @@ func (l *tcpLink) outWriter(c net.Conn, dead chan struct{}) {
 			case m = <-l.outState:
 			default:
 			}
-			buf = AppendState(buf[:0], m)
+			buf = AppendState(buf[:0], l.t.cfg.Group, m)
 			if _, err := c.Write(buf); err != nil {
 				l.connFailed("write state to successor", err)
 				return
@@ -665,13 +761,21 @@ func (l *tcpLink) outReader(c net.Conn, dead chan struct{}) {
 	defer close(dead)
 	fr := NewFrameReader(c, 64)
 	for {
-		typ, _, err := fr.Read()
+		typ, payload, err := fr.Read()
 		if err != nil {
 			l.connFailed("read from successor", err)
 			return
 		}
 		switch typ {
 		case FrameTop:
+			g, err := DecodeTop(payload)
+			if err == nil && g != l.t.cfg.Group {
+				err = fmt.Errorf("%w: ⊤ frame for group %d on a group-%d link", ErrCodec, g, l.t.cfg.Group)
+			}
+			if err != nil {
+				l.connFailed("decode ⊤", err)
+				return
+			}
 			l.t.stats.framesRecv.Add(1)
 			select {
 			case l.top <- struct{}{}:

@@ -175,11 +175,14 @@ func TestHandshakeRejectsStrangers(t *testing.T) {
 	tr, links := openRing(t, 3)
 
 	addr1 := tr.cfg.Peers[1] // member 1 expects its predecessor, member 0
-	for _, intruder := range [][]byte{
-		AppendHello(nil, 2),                  // wrong ring position
-		AppendFrame(nil, FrameTop, nil),      // not a hello at all
-		{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}, // garbage bytes
-	} {
+	intruders := [][]byte{
+		AppendHello(nil, 2, tr.Digest()),                    // right digest, wrong ring position
+		AppendHello(nil, 0, tr.Digest()^0xbad),              // right position, wrong config digest
+		AppendFrame(nil, FrameHello, []byte{1, 0, 0, 0, 0}), // v1 hello: wire version mismatch
+		AppendTop(nil, 0),                                   // not a hello at all
+		{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02},                // garbage bytes
+	}
+	for _, intruder := range intruders {
 		c, err := net.Dial("tcp", addr1)
 		if err != nil {
 			t.Fatal(err)
@@ -194,11 +197,16 @@ func TestHandshakeRejectsStrangers(t *testing.T) {
 		c.Close()
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for tr.Stats().HandshakeRejects < 3 {
+	want := int64(len(intruders))
+	for tr.Stats().HandshakeRejects < want {
 		if time.Now().After(deadline) {
-			t.Fatalf("handshake rejects = %d, want 3", tr.Stats().HandshakeRejects)
+			t.Fatalf("handshake rejects = %d, want %d", tr.Stats().HandshakeRejects, want)
 		}
 		time.Sleep(time.Millisecond)
+	}
+	// The digest mismatch must be distinguishable from identity rejects.
+	if got := tr.Stats().DigestRejects; got != 1 {
+		t.Errorf("digest rejects = %d, want 1", got)
 	}
 
 	// The legitimate edge still works.
@@ -232,7 +240,7 @@ func TestDecodeErrorDropsConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.Write(AppendHello(nil, 0))
+	c.Write(AppendHello(nil, 0, tr.Digest()))
 	c.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	c.SetReadDeadline(time.Now().Add(5 * time.Second))
 	if _, err := c.Read(make([]byte, 1)); err == nil {
@@ -416,4 +424,61 @@ func TestBarrierOverTCP(t *testing.T) {
 		t.Error("barrier completed without any TCP frames — transport not exercised")
 	}
 	t.Logf("transport stats: %+v", st)
+}
+
+// The acceptor bounds how many connections may sit in the handshake at
+// once: overflow connections are closed on arrival and counted, and the
+// legitimate edge still comes up once the flood drains.
+func TestAcceptCapBoundsPendingHandshakes(t *testing.T) {
+	tr, links := openRing(t, 2, func(c *TCPConfig) {
+		c.MaxPending = 2
+		c.HandshakeTimeout = 250 * time.Millisecond
+	})
+
+	// Flood member 1's listener with connections that never send a hello.
+	addr1 := tr.cfg.Peers[1]
+	var conns []net.Conn
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		c, err := net.Dial("tcp", addr1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, c)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for tr.Stats().AcceptOverflows == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no accept overflows counted; stats %+v", tr.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if p := tr.Stats().PendingHandshakes; p > 2 {
+		t.Errorf("pending handshakes = %d, exceeds cap 2", p)
+	}
+
+	// The ring edge 0→1 must still deliver after the silent connections
+	// time out and free their slots.
+	m := runtime.Message{SN: 9, CP: core.Execute, PH: 1}
+	m.Sum = m.Checksum()
+	recvDeadline := time.Now().Add(10 * time.Second)
+	for {
+		links[0].SendState(m)
+		select {
+		case got := <-links[1].State():
+			if got != m {
+				t.Fatalf("received %+v, want %+v", got, m)
+			}
+			return
+		case <-time.After(2 * time.Millisecond):
+			if time.Now().After(recvDeadline) {
+				t.Fatal("legitimate edge never recovered from the flood")
+			}
+		}
+	}
 }

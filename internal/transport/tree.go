@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -33,8 +34,9 @@ import (
 // ring runtime.Transport interface so it can be placed in Config.Transport,
 // but its Open always fails: a tree transport serves only TopologyTree.
 type TCPTree struct {
-	cfg  TCPConfig
-	tree *topo.Tree
+	cfg    TCPConfig
+	tree   *topo.Tree
+	digest uint64
 
 	mu        sync.Mutex
 	links     []*tcpTreeLink
@@ -42,6 +44,19 @@ type TCPTree struct {
 	closed    bool
 
 	stats tcpStats
+}
+
+// treeDigest fingerprints a tree configuration: topology kind, size, the
+// parent vector, peer addresses and the group id.
+func treeDigest(cfg TCPConfig, parent []int) uint64 {
+	parts := make([]string, 0, len(cfg.Peers)+len(parent)+3)
+	parts = append(parts, "tree", strconv.Itoa(len(parent)))
+	for _, p := range parent {
+		parts = append(parts, strconv.Itoa(p))
+	}
+	parts = append(parts, cfg.Peers...)
+	parts = append(parts, strconv.FormatUint(uint64(cfg.Group), 10))
+	return ConfigDigest(parts...)
 }
 
 // NewTCPTree creates a TCP tree transport for the tree described by the
@@ -65,6 +80,7 @@ func NewTCPTree(cfg TCPConfig, parent []int) (*TCPTree, error) {
 	t := &TCPTree{
 		cfg:       base.cfg,
 		tree:      tr,
+		digest:    treeDigest(base.cfg, parent),
 		links:     make([]*tcpTreeLink, len(parent)),
 		listeners: make([]net.Listener, len(parent)),
 	}
@@ -201,6 +217,10 @@ func (t *TCPTree) Close() error {
 
 // Stats returns a snapshot of the transport's counters.
 func (t *TCPTree) Stats() TCPStats { return t.stats.snapshot() }
+
+// Digest returns the configuration digest this transport sends (and
+// expects) in hello frames.
+func (t *TCPTree) Digest() uint64 { return t.digest }
 
 // BreakLinks force-closes member id's current connections (to its parent
 // and from all its children), simulating a network blip. Test hook.
@@ -346,6 +366,10 @@ func (l *tcpTreeLink) acceptLoop() {
 			}
 			continue
 		}
+		if !l.t.stats.admitPending(l.t.cfg.MaxPending) {
+			c.Close()
+			continue
+		}
 		l.wg.Add(1)
 		go l.handleIn(c)
 	}
@@ -358,14 +382,8 @@ func (l *tcpTreeLink) acceptLoop() {
 func (l *tcpTreeLink) handleIn(c net.Conn) {
 	defer l.wg.Done()
 	fr := NewFrameReader(c, 256)
-	c.SetReadDeadline(time.Now().Add(l.t.cfg.HandshakeTimeout))
-	typ, payload, err := fr.Read()
-	var from int
-	if err == nil && typ == FrameHello {
-		from, err = DecodeHello(payload)
-	} else if err == nil {
-		err = fmt.Errorf("%w: first frame type %d, want hello", ErrCodec, typ)
-	}
+	from, err := readHello(fr, c, l.t.cfg.HandshakeTimeout, l.t.digest, &l.t.stats)
+	l.t.stats.releasePending()
 	var kid int
 	known := false
 	if err == nil {
@@ -377,11 +395,7 @@ func (l *tcpTreeLink) handleIn(c net.Conn) {
 		c.Close()
 		return
 	}
-	c.SetReadDeadline(time.Time{})
-	if tc, ok := c.(*net.TCPConn); ok {
-		tc.SetKeepAlive(true)
-		tc.SetKeepAlivePeriod(15 * time.Second)
-	}
+	keepAlive(c)
 	l.t.stats.accepts.Add(1)
 	l.setInConn(from, c)
 	dead := make(chan struct{})
@@ -426,7 +440,10 @@ func (l *tcpTreeLink) serveUp(c net.Conn, fr *FrameReader, from int, dead chan s
 		for {
 			switch typ {
 			case FrameUp:
-				mm, err := DecodeUp(payload)
+				g, mm, err := DecodeUp(payload)
+				if err == nil && g != l.t.cfg.Group {
+					err = fmt.Errorf("%w: up frame for group %d on a group-%d link", ErrCodec, g, l.t.cfg.Group)
+				}
 				if err != nil {
 					l.connFailed("decode up", err)
 					return
@@ -489,7 +506,7 @@ func (l *tcpTreeLink) downWriter(c net.Conn, mailbox chan runtime.Message, dead 
 			case m = <-mailbox:
 			default:
 			}
-			buf = AppendState(buf[:0], m)
+			buf = AppendState(buf[:0], l.t.cfg.Group, m)
 			if _, err := c.Write(buf); err != nil {
 				l.connFailed("write state to child", err)
 				c.Close()
@@ -540,7 +557,7 @@ func (l *tcpTreeLink) dialLoop() {
 			tc.SetKeepAlive(true)
 			tc.SetKeepAlivePeriod(15 * time.Second)
 		}
-		if _, err := c.Write(AppendHello(nil, l.id)); err != nil {
+		if _, err := c.Write(AppendHello(nil, l.id, l.t.digest)); err != nil {
 			l.connFailed("write hello", err)
 			c.Close()
 			continue
@@ -575,7 +592,7 @@ func (l *tcpTreeLink) upWriter(c net.Conn, dead chan struct{}) {
 			case m = <-l.outUp:
 			default:
 			}
-			buf = AppendUp(buf[:0], m)
+			buf = AppendUp(buf[:0], l.t.cfg.Group, m)
 			if _, err := c.Write(buf); err != nil {
 				l.connFailed("write up to parent", err)
 				return
@@ -602,7 +619,10 @@ func (l *tcpTreeLink) downReader(c net.Conn, dead chan struct{}) {
 		for {
 			switch typ {
 			case FrameState:
-				mm, err := DecodeState(payload)
+				g, mm, err := DecodeState(payload)
+				if err == nil && g != l.t.cfg.Group {
+					err = fmt.Errorf("%w: state frame for group %d on a group-%d link", ErrCodec, g, l.t.cfg.Group)
+				}
 				if err != nil {
 					l.connFailed("decode state", err)
 					return

@@ -94,9 +94,10 @@ func TestTreeHandshakeRejectsNonChild(t *testing.T) {
 
 	addr0 := tr.cfg.Peers[0] // root accepts only children 1 and 2
 	for _, intruder := range [][]byte{
-		AppendHello(nil, 5),                  // not a child of the root
-		AppendFrame(nil, FrameTop, nil),      // not a hello at all
-		{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}, // garbage bytes
+		AppendHello(nil, 5, tr.Digest()),       // not a child of the root
+		AppendHello(nil, 1, tr.Digest()^0xbad), // right child, wrong config digest
+		AppendFrame(nil, FrameTop, nil),        // not a hello at all
+		{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02},   // garbage bytes
 	} {
 		c, err := net.Dial("tcp", addr0)
 		if err != nil {
@@ -110,11 +111,14 @@ func TestTreeHandshakeRejectsNonChild(t *testing.T) {
 		c.Close()
 	}
 	deadline := time.Now().Add(5 * time.Second)
-	for tr.Stats().HandshakeRejects < 3 {
+	for tr.Stats().HandshakeRejects < 4 {
 		if time.Now().After(deadline) {
-			t.Fatalf("handshake rejects = %d, want 3", tr.Stats().HandshakeRejects)
+			t.Fatalf("handshake rejects = %d, want 4", tr.Stats().HandshakeRejects)
 		}
 		time.Sleep(time.Millisecond)
+	}
+	if got := tr.Stats().DigestRejects; got != 1 {
+		t.Errorf("digest rejects = %d, want 1", got)
 	}
 }
 
@@ -131,8 +135,8 @@ func TestTreeChildIDCrossCheck(t *testing.T) {
 	defer c.Close()
 	forged := runtime.UpMessage{Child: 2, SN: 1, CP: core.Success, PH: 0}
 	forged.Sum = forged.Checksum()
-	c.Write(AppendHello(nil, 1))
-	c.Write(AppendUp(nil, forged))
+	c.Write(AppendHello(nil, 1, tr.Digest()))
+	c.Write(AppendUp(nil, tr.cfg.Group, forged))
 	c.SetReadDeadline(time.Now().Add(5 * time.Second))
 	if _, err := c.Read(make([]byte, 1)); err == nil {
 		t.Error("acceptor survived a cross-check violation")
