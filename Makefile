@@ -1,0 +1,26 @@
+# Developer entry points. CI runs the same commands; keep them in sync
+# with .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build test race vet barriervet fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# vet is the full static gate: the stock toolchain vet plus barriervet,
+# the repo's own invariant analyzers (see internal/analyzers).
+vet:
+	$(GO) vet ./... && $(GO) run ./cmd/barriervet ./...
+
+barriervet:
+	$(GO) run ./cmd/barriervet ./...
+
+fuzz-smoke:
+	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzTransport$$' -fuzztime 10s

@@ -1,0 +1,86 @@
+// Command barriervet runs the repo's invariant analyzers (package
+// repro/internal/analyzers) over Go package patterns, go vet style:
+//
+//	go run ./cmd/barriervet ./...
+//	go run ./cmd/barriervet -run 'atomicmix|lockorder' ./internal/runtime
+//	go run ./cmd/barriervet -list
+//
+// It exits 1 if any diagnostic survives the //barriervet:ignore
+// directives, and prints the suppression count to stderr so silenced
+// findings stay visible in CI logs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "only run analyzers whose name matches this regexp")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: barriervet [-list] [-run regexp] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := analyzers.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *run != "" {
+		re, err := regexp.Compile(*run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "barriervet: bad -run regexp: %v\n", err)
+			os.Exit(2)
+		}
+		selected = nil
+		for _, a := range all {
+			if re.MatchString(a.Name) {
+				selected = append(selected, a)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "barriervet: -run %q matches no analyzers\n", *run)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "barriervet: %v\n", err)
+		os.Exit(2)
+	}
+	load, err := analyzers.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "barriervet: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := analyzers.RunAnalyzers(load, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "barriervet: %v\n", err)
+		os.Exit(2)
+	}
+	if res.Suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "barriervet: %d finding(s) suppressed by //barriervet:ignore\n", res.Suppressed)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Println(d.String())
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+package analyzers
+
+// All returns every barriervet analyzer, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicMix,
+		AllocBound,
+		CtxCommit,
+		MetricPair,
+		StepPure,
+		LockOrder,
+	}
+}

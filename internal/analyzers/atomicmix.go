@@ -1,0 +1,146 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix flags plain (non-atomic) reads or writes of any variable
+// that is elsewhere passed by address to a sync/atomic operation.
+//
+// Bug class: the PR 4 Stats() tearing — counters written with
+// atomic.AddUint64 from protocol goroutines were read with plain loads
+// in the stats snapshot, producing torn values under -race and, worse,
+// silently stale values without it. The fix was a seqlock; this analyzer
+// keeps the mixed-access pattern from coming back anywhere. A variable
+// is either fully atomic or fully plain.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a variable accessed via sync/atomic must never also be accessed " +
+		"plainly (historical: PR 4 stats counter tearing, fixed by seqlock)",
+	Run: runAtomicMix,
+}
+
+// atomicFuncs are the sync/atomic package functions whose first argument
+// is the address of the guarded variable.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicMix(p *Pass) error {
+	// Pass 1: find every variable whose address reaches a sync/atomic
+	// call, and remember the exact AST expressions used in those calls
+	// so pass 2 does not flag the sanctioned uses themselves.
+	atomicVars := make(map[*types.Var]bool)
+	sanctioned := make(map[ast.Node]bool)
+
+	p.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicFuncs[fn.Name()] {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok || addr.Op.String() != "&" {
+			return true
+		}
+		target := ast.Unparen(addr.X)
+		if v := exprVar(p.TypesInfo, target); v != nil {
+			atomicVars[v] = true
+			markSanctioned(sanctioned, target)
+		}
+		return true
+	})
+
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other appearance of those variables is a plain
+	// access — report it. Taking the address for a non-atomic purpose
+	// (aliasing) is just as unsafe as a direct load, so &x.f outside an
+	// atomic call is flagged too via the selector underneath it.
+	p.Inspect(func(n ast.Node) bool {
+		if sanctioned[n] {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.Ident:
+			if v, ok := p.TypesInfo.Uses[e].(*types.Var); ok && atomicVars[v] && !v.IsField() {
+				p.Reportf(e.Pos(), "plain access of %s, which is accessed with sync/atomic elsewhere", e.Name)
+			}
+		case *ast.SelectorExpr:
+			if v := fieldVar(p.TypesInfo, e); v != nil && atomicVars[v] {
+				p.Reportf(e.Pos(), "plain access of %s, which is accessed with sync/atomic elsewhere", exprString(e))
+				return false // don't double-report the embedded idents
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// exprVar resolves an lvalue expression to the variable it denotes: a
+// plain identifier to its *types.Var, a field selector to the field's
+// *types.Var. Index and dereference expressions return nil — element
+// aliasing is beyond this analyzer.
+func exprVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Defs[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		return fieldVar(info, e)
+	}
+	return nil
+}
+
+// fieldVar returns the struct-field variable a selector denotes, or nil
+// for method selections and package-qualified identifiers.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// markSanctioned marks the expression and its children as a permitted
+// appearance of an atomic variable (inside the atomic call itself).
+func markSanctioned(m map[ast.Node]bool, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n != nil {
+			m[n] = true
+		}
+		return true
+	})
+}
+
+// exprString renders a selector chain for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return "<expr>"
+}

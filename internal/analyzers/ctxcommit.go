@@ -1,0 +1,168 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCommit flags state-committing operations — channel sends, mutating
+// sync/atomic calls, struct-field writes — inside the ctx.Done() arm of
+// a select statement.
+//
+// Bug class: the PR 4 cancel races — an Await that lost the race to a
+// concurrent release would take the ctx.Done() arm and still increment
+// the entered-count (or send its ticket), leaving the barrier's
+// accounting permanently off by one. The rule the fix established:
+// winning ctx.Done() means the operation did NOT happen; the only state
+// change allowed there is via a nested non-blocking re-poll of the
+// result channel (Leave's last-chance receive), whose receive arm is
+// exempt because at that point the result genuinely arrived.
+var CtxCommit = &Analyzer{
+	Name: "ctxcommit",
+	Doc: "no channel send, atomic mutation, or field write may be " +
+		"reachable in a select arm that won on ctx.Done() — except under " +
+		"a nested receive re-poll (historical: PR 4 cancel accounting races)",
+	Run: runCtxCommit,
+}
+
+func runCtxCommit(p *Pass) error {
+	p.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, s := range sel.Body.List {
+			cc := s.(*ast.CommClause)
+			if !isCtxDoneRecv(p, cc.Comm) {
+				continue
+			}
+			for _, stmt := range cc.Body {
+				checkCancelArm(p, stmt)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isCtxDoneRecv reports whether a select comm is a receive from
+// context.Context.Done() (directly, or from a variable of type
+// <-chan struct{} named like a done channel).
+func isCtxDoneRecv(p *Pass, comm ast.Stmt) bool {
+	var recvExpr ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		if ue, ok := s.X.(*ast.UnaryExpr); ok && ue.Op.String() == "<-" {
+			recvExpr = ue.X
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ue, ok := s.Rhs[0].(*ast.UnaryExpr); ok && ue.Op.String() == "<-" {
+				recvExpr = ue.X
+			}
+		}
+	}
+	if recvExpr == nil {
+		return false
+	}
+	call, ok := ast.Unparen(recvExpr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := p.CalleeFunc(call)
+	if fn == nil || fn.Name() != "Done" {
+		return false
+	}
+	// Method Done() on context.Context, or on anything context-shaped.
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	if named := namedOf(recv.Type()); named != nil {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "context" {
+			return true
+		}
+	}
+	// Interface method set (context.Context is an interface; the
+	// receiver of its methods is the interface type itself).
+	if fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+		return true
+	}
+	return false
+}
+
+// checkCancelArm walks one statement of a ctx.Done() arm, reporting
+// commits. Nested select receive arms are exempt: they model the
+// "last-chance poll" idiom where the canceled waiter re-checks whether
+// its result arrived after all, and commits only if it actually did.
+func checkCancelArm(p *Pass, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SelectStmt:
+			// Scan each arm ourselves so receive arms can be skipped.
+			for _, c := range s.Body.List {
+				cc := c.(*ast.CommClause)
+				if isRecvComm(cc.Comm) {
+					continue // the result really arrived; commits are legitimate
+				}
+				for _, inner := range cc.Body {
+					checkCancelArm(p, inner)
+				}
+			}
+			return false
+		case *ast.FuncLit:
+			return false // runs later, not on the cancel path
+		case *ast.SendStmt:
+			p.Reportf(s.Pos(), "channel send on the ctx.Done() cancel path; the operation must not commit after cancellation won")
+		case *ast.CallExpr:
+			if fn := p.CalleeFunc(s); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && isAtomicMutator(fn.Name()) {
+				p.Reportf(s.Pos(), "atomic %s on the ctx.Done() cancel path; the operation must not commit after cancellation won", fn.Name())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if v := fieldVar(p.TypesInfo, sel); v != nil {
+						p.Reportf(s.Pos(), "write to field %s on the ctx.Done() cancel path; the operation must not commit after cancellation won", exprString(sel))
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := ast.Unparen(s.X).(*ast.SelectorExpr); ok {
+				if v := fieldVar(p.TypesInfo, sel); v != nil {
+					p.Reportf(s.Pos(), "write to field %s on the ctx.Done() cancel path; the operation must not commit after cancellation won", exprString(sel))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isRecvComm reports whether a select comm is a receive operation.
+func isRecvComm(comm ast.Stmt) bool {
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		ue, ok := s.X.(*ast.UnaryExpr)
+		return ok && ue.Op.String() == "<-"
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			ue, ok := s.Rhs[0].(*ast.UnaryExpr)
+			return ok && ue.Op.String() == "<-"
+		}
+	}
+	return false
+}
+
+// isAtomicMutator reports whether a sync/atomic function (or method on
+// the atomic wrapper types) mutates its target.
+func isAtomicMutator(name string) bool {
+	switch name {
+	case "AddInt32", "AddInt64", "AddUint32", "AddUint64", "AddUintptr",
+		"StoreInt32", "StoreInt64", "StoreUint32", "StoreUint64", "StoreUintptr", "StorePointer",
+		"SwapInt32", "SwapInt64", "SwapUint32", "SwapUint64", "SwapUintptr", "SwapPointer",
+		"CompareAndSwapInt32", "CompareAndSwapInt64", "CompareAndSwapUint32",
+		"CompareAndSwapUint64", "CompareAndSwapUintptr", "CompareAndSwapPointer",
+		"Add", "Store", "Swap", "CompareAndSwap":
+		return true
+	}
+	return false
+}

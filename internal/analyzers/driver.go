@@ -1,0 +1,172 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ignorePrefix is the suppression directive. It must carry a reason:
+//
+//	//barriervet:ignore jitter rng is owner-confined to this goroutine
+//
+// and applies to findings on its own line, or — when the comment stands
+// alone — to findings on the line below it.
+const ignorePrefix = "//barriervet:ignore"
+
+// A Directive is one //barriervet:ignore occurrence in a loaded file.
+type Directive struct {
+	Pos    token.Position // of the comment
+	Line   int            // line the directive suppresses
+	Reason string
+	Alone  bool // comment is alone on its line (suppresses the next line)
+	used   bool
+}
+
+// scanDirectives collects every barriervet directive in f. A directive
+// that shares its line with code suppresses that line; a directive alone
+// on a line suppresses the following line.
+func scanDirectives(fset *token.FileSet, f *ast.File) []*Directive {
+	// Record which lines contain any non-comment tokens, so "alone on
+	// its line" is decidable.
+	codeLines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup, *ast.File:
+			return true
+		}
+		codeLines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+
+	var ds []*Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := &Directive{
+				Pos:    pos,
+				Reason: strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix)),
+				Alone:  !codeLines[pos.Line],
+				Line:   pos.Line,
+			}
+			if d.Alone {
+				d.Line = pos.Line + 1
+			}
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// Result is the outcome of running a set of analyzers over a load:
+// surviving diagnostics (position-sorted, deduplicated) and the number
+// of findings suppressed by directives.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  int
+}
+
+// RunAnalyzers runs each analyzer over the loaded packages, applies the
+// //barriervet:ignore directives, and reports directive misuse (missing
+// reason, suppressing nothing) as findings of a synthetic "barriervet"
+// analyzer.
+func RunAnalyzers(load *LoadResult, analyzers []*Analyzer) (*Result, error) {
+	var raw []Diagnostic
+	sink := func(d Diagnostic) { raw = append(raw, d) }
+
+	var passes []*Pass
+	for _, lp := range load.Pkgs {
+		passes = append(passes, &Pass{
+			Fset:      load.Fset,
+			Files:     lp.Files,
+			Pkg:       lp.Pkg,
+			TypesInfo: lp.TypesInfo,
+			report:    sink,
+		})
+	}
+
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			prog := &Program{Fset: load.Fset}
+			for _, p := range passes {
+				q := *p
+				q.Analyzer = a
+				prog.Packages = append(prog.Packages, &q)
+			}
+			if err := a.RunProgram(prog); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		for _, p := range passes {
+			q := *p
+			q.Analyzer = a
+			if err := a.Run(&q); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := &Result{}
+	byLine := make(map[string][]*Directive, len(load.Directives))
+	for _, d := range load.Directives {
+		key := lineKey(d.Pos.Filename, d.Line)
+		byLine[key] = append(byLine[key], d)
+	}
+	seen := make(map[string]bool)
+	for _, d := range raw {
+		key := d.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if ds := byLine[lineKey(d.Pos.Filename, d.Pos.Line)]; len(ds) > 0 {
+			for _, dir := range ds {
+				dir.used = true
+			}
+			res.Suppressed++
+			continue
+		}
+		res.Diagnostics = append(res.Diagnostics, d)
+	}
+
+	for _, dir := range load.Directives {
+		if dir.Reason == "" {
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Analyzer: "barriervet",
+				Pos:      dir.Pos,
+				Message:  "barriervet:ignore directive needs a reason",
+			})
+		} else if !dir.used {
+			res.Diagnostics = append(res.Diagnostics, Diagnostic{
+				Analyzer: "barriervet",
+				Pos:      dir.Pos,
+				Message:  "barriervet:ignore directive suppresses nothing; remove it",
+			})
+		}
+	}
+
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i].Pos, res.Diagnostics[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return res.Diagnostics[i].Analyzer < res.Diagnostics[j].Analyzer
+	})
+	return res, nil
+}
+
+func lineKey(file string, line int) string {
+	return file + "\x00" + strconv.Itoa(line)
+}

@@ -1,0 +1,225 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadedPackage is one parsed and type-checked package.
+type LoadedPackage struct {
+	Path      string // import path
+	Dir       string
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// LoadResult is what Load produces: the packages matched by the
+// patterns, their shared FileSet, and every barriervet directive found
+// in their sources.
+type LoadResult struct {
+	Fset       *token.FileSet
+	Pkgs       []*LoadedPackage
+	Directives []*Directive
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir, which
+// must be inside a module), parses their non-test sources, and
+// type-checks them against the toolchain's export data. It shells out to
+// `go list -deps -export -json`, so it needs no network and no module
+// downloads: dependencies — standard library included — are imported
+// from the compiled export data the go command produces locally.
+//
+// Test files are not loaded: the invariants barriervet encodes guard
+// production protocol code, and fixtures for the analyzers themselves
+// live under testdata where go list never looks.
+func Load(dir string, patterns ...string) (*LoadResult, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var roots []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analyzers: decode go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analyzers: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			roots = append(roots, &q)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+
+	res := &LoadResult{Fset: fset}
+	for _, lp := range roots {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, conf, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		res.Pkgs = append(res.Pkgs, pkg)
+		for _, f := range pkg.Files {
+			res.Directives = append(res.Directives, scanDirectives(fset, f)...)
+		}
+	}
+	return res, nil
+}
+
+// LoadDir parses and type-checks the single package rooted at dir
+// (every non-test .go file in it), importing dependencies through the
+// same export-data importer as Load — run from moduleDir so in-module
+// import paths resolve. This is the fixture loader used by the
+// analysistest harness: fixture directories live under testdata, outside
+// any go list pattern, but may import both the standard library and this
+// module's packages.
+func LoadDir(moduleDir, dir, importPath string) (*LoadResult, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analyzers: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	exp := &lazyExports{dir: moduleDir, exports: make(map[string]string)}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", exp.lookup)}
+	pkg, err := checkPackage(fset, conf, importPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	res := &LoadResult{Fset: fset, Pkgs: []*LoadedPackage{pkg}}
+	for _, f := range pkg.Files {
+		res.Directives = append(res.Directives, scanDirectives(fset, f)...)
+	}
+	return res, nil
+}
+
+// checkPackage parses files (relative to dir) and type-checks them.
+func checkPackage(fset *token.FileSet, conf types.Config, importPath, dir string, files []string) (*LoadedPackage, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %v", err)
+		}
+		parsed = append(parsed, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(importPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("analyzers: type-check %s: %v", importPath, err)
+	}
+	return &LoadedPackage{
+		Path:      importPath,
+		Dir:       dir,
+		Files:     parsed,
+		Pkg:       tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// lazyExports resolves export data one import path at a time via
+// `go list -export`, caching results. Used by LoadDir, where the needed
+// dependency set is not known up front.
+type lazyExports struct {
+	dir     string
+	exports map[string]string
+}
+
+func (l *lazyExports) lookup(path string) (io.ReadCloser, error) {
+	e, ok := l.exports[path]
+	if !ok {
+		cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", "--", path)
+		cmd.Dir = l.dir
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v", path, err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPackage
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+		if e, ok = l.exports[path]; !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(e)
+}

@@ -1,0 +1,284 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder detects inconsistent mutex acquisition order across the
+// whole program: if one code path locks A then B while another locks B
+// then A (directly or through calls), the two can deadlock.
+//
+// Mutexes are identified structurally — by (owning named type, field
+// name) for field mutexes and by package-qualified name for variable
+// mutexes — so two instances of the same struct count as the same lock
+// class, which is exactly the granularity at which ordering rules are
+// stated in this codebase (mux before group, runtime before transport).
+// The analysis is syntactic and intra-statement-ordered: each function
+// body is walked in source order tracking the held set (deferred
+// unlocks hold to function end), per-function acquire summaries are
+// propagated over the call graph to a fixpoint, and an edge h -> k is
+// recorded whenever k is acquired (locally or via a call) with h held.
+// A cycle among edges is a potential deadlock.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "mutex acquisition order must be globally consistent: taking " +
+		"lock class A while holding B in one path and B while holding A " +
+		"in another is a deadlock waiting for the right interleaving",
+	RunProgram: runLockOrder,
+}
+
+// lockKey names a lock class.
+type lockKey string
+
+// lockEdge is "to acquired while from held".
+type lockEdge struct{ from, to lockKey }
+
+func runLockOrder(prog *Program) error {
+	// Collect every function body in the program, keyed by object, so
+	// acquire summaries can flow across package boundaries.
+	type funcInfo struct {
+		pass *Pass
+		decl *ast.FuncDecl
+	}
+	funcs := make(map[*types.Func]*funcInfo)
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					funcs[fn] = &funcInfo{pass: p, decl: fd}
+				}
+			}
+		}
+	}
+
+	// Fixpoint: acquires(f) = locks taken directly in f, plus
+	// acquires(g) for every g statically called from f.
+	acquires := make(map[*types.Func]map[lockKey]bool)
+	for fn := range funcs {
+		acquires[fn] = make(map[lockKey]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fi := range funcs {
+			ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if k, locking := lockCallKey(fi.pass, call); k != "" && locking {
+					if !acquires[fn][k] {
+						acquires[fn][k] = true
+						changed = true
+					}
+				} else if callee := fi.pass.CalleeFunc(call); callee != nil {
+					for k := range acquires[callee] {
+						if !acquires[fn][k] {
+							acquires[fn][k] = true
+							changed = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Edge collection: simulate each body in source order.
+	edges := make(map[lockEdge]token.Pos)
+	for fn, fi := range funcs {
+		_ = fn
+		held := make(map[lockKey]int)
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.FuncLit:
+				return false // separate goroutine or deferred context; not this path
+			case *ast.DeferStmt:
+				// defer mu.Unlock() keeps mu held to function end: do
+				// not process the unlock. Other deferred calls are
+				// skipped too (they run after the body's lock pattern).
+				return false
+			case *ast.CallExpr:
+				if k, locking := lockCallKey(fi.pass, s); k != "" {
+					if locking {
+						for h := range held {
+							if h != k {
+								addEdge(edges, lockEdge{from: h, to: k}, s.Pos())
+							}
+						}
+						held[k]++
+					} else if held[k] > 0 {
+						held[k]--
+						if held[k] == 0 {
+							delete(held, k)
+						}
+					}
+					return true
+				}
+				if callee := fi.pass.CalleeFunc(s); callee != nil {
+					for k := range acquires[callee] {
+						for h := range held {
+							if h != k {
+								addEdge(edges, lockEdge{from: h, to: k}, s.Pos())
+							}
+						}
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(fi.decl.Body, walk)
+	}
+
+	// Cycle detection over the edge graph: report every ordered pair of
+	// lock classes reachable from each other.
+	adj := make(map[lockKey][]lockKey)
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	reach := func(from, to lockKey) bool {
+		seen := map[lockKey]bool{}
+		var dfs func(k lockKey) bool
+		dfs = func(k lockKey) bool {
+			if k == to {
+				return true
+			}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			for _, next := range adj[k] {
+				if dfs(next) {
+					return true
+				}
+			}
+			return false
+		}
+		return dfs(from)
+	}
+
+	// Report each inverted pair once, at the earliest position among its
+	// edges, so the diagnostic site is deterministic.
+	type inversion struct {
+		pos token.Pos
+		e   lockEdge
+	}
+	byPair := make(map[string]inversion)
+	for e, pos := range edges {
+		if !reach(e.to, e.from) {
+			continue
+		}
+		a, b := string(e.from), string(e.to)
+		pairKey := a + "|" + b
+		if a > b {
+			pairKey = b + "|" + a
+		}
+		if prev, ok := byPair[pairKey]; !ok || pos < prev.pos {
+			byPair[pairKey] = inversion{pos: pos, e: e}
+		}
+	}
+	var diags []Diagnostic
+	for _, inv := range byPair {
+		diags = append(diags, Diagnostic{
+			Analyzer: "lockorder",
+			Pos:      prog.Fset.Position(inv.pos),
+			Message: fmt.Sprintf("lock order inversion: %s acquired while holding %s here, but the opposite order exists elsewhere; pick one global order",
+				inv.e.to, inv.e.from),
+		})
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		return diags[i].Pos.Filename < diags[j].Pos.Filename ||
+			diags[i].Pos.Filename == diags[j].Pos.Filename && diags[i].Pos.Line < diags[j].Pos.Line
+	})
+	if len(prog.Packages) > 0 {
+		for _, d := range diags {
+			prog.Packages[0].report(d)
+		}
+	}
+	return nil
+}
+
+// lockCallKey classifies a call as a mutex Lock/RLock (locking=true) or
+// Unlock/RUnlock (locking=false) and returns the lock-class key, or ""
+// if the call is not a mutex operation.
+func lockCallKey(p *Pass, call *ast.CallExpr) (key lockKey, locking bool) {
+	fn := p.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+		locking = false
+	default:
+		return "", false
+	}
+	recv := ReceiverNamed(fn)
+	if recv == nil {
+		return "", false
+	}
+	switch recv.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", false
+	}
+
+	// The expression the method is invoked on: call.Fun is a selector
+	// mu.Lock / x.mu.Lock / pkgvar.Lock.
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	target := ast.Unparen(sel.X)
+	switch t := target.(type) {
+	case *ast.SelectorExpr:
+		// x.mu: key on (type of x, field name).
+		if v := fieldVar(p.TypesInfo, t); v != nil {
+			if owner := namedOf(p.TypesInfo.Types[t.X].Type); owner != nil {
+				return lockKey(qualifiedName(owner) + "." + v.Name()), locking
+			}
+			return lockKey(p.Pkg.Path() + ".<anon>." + v.Name()), locking
+		}
+	case *ast.Ident:
+		obj := p.TypesInfo.Uses[t]
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() {
+				// Package-level mutex variable.
+				return lockKey(v.Pkg().Path() + "." + v.Name()), locking
+			}
+			// Local variable or parameter: usually a *sync.Mutex handed
+			// in, or a local guard. Key on the declared type if it is a
+			// named wrapper; otherwise skip — a purely local mutex
+			// cannot participate in cross-path inversions we can name.
+			if owner := namedOf(v.Type()); owner != nil && owner.Obj().Pkg() != nil &&
+				owner.Obj().Pkg().Path() != "sync" {
+				return lockKey(qualifiedName(owner) + ".(self)"), locking
+			}
+		}
+	}
+	return "", false
+}
+
+// addEdge records the earliest position at which an edge is observed,
+// so diagnostics are stable regardless of traversal order.
+func addEdge(edges map[lockEdge]token.Pos, e lockEdge, pos token.Pos) {
+	if prev, ok := edges[e]; !ok || pos < prev {
+		edges[e] = pos
+	}
+}
+
+func qualifiedName(n *types.Named) string {
+	if pkg := n.Obj().Pkg(); pkg != nil {
+		return pkg.Path() + "." + n.Obj().Name()
+	}
+	return n.Obj().Name()
+}

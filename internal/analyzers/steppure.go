@@ -1,0 +1,181 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// StepPure requires that the Guard and Body of every guarded.Action —
+// and everything they call inside their package — be deterministic and
+// non-blocking: no wall-clock reads or sleeps, no draws from the global
+// math/rand generator, no channel operations, no goroutine launches.
+//
+// Why: the guarded engine's whole value is that a program is a pure
+// state machine the scheduler can step, replay, and (in the simulator)
+// explore exhaustively. A time.Now inside a Guard makes replays diverge;
+// a blocking receive inside a Body deadlocks the scheduler loop, which
+// assumes steps complete. Randomness is allowed, but only through an
+// owned generator threaded in explicitly (*rand.Rand parameter or the
+// internal/prng PRNG), never the global one that other goroutines share.
+var StepPure = &Analyzer{
+	Name: "steppure",
+	Doc: "guarded.Action Guard/Body functions must be deterministic and " +
+		"non-blocking: no time reads/sleeps, global math/rand, channel " +
+		"ops, selects, or go statements (replayability of engine steps)",
+	Run: runStepPure,
+}
+
+func runStepPure(p *Pass) error {
+	// Find the roots: function literals or same-package functions bound
+	// to the Guard/Body fields of guarded.Action composite literals.
+	var rootLits []*ast.FuncLit
+	rootFuncs := make(map[*types.Func]bool)
+
+	p.Inspect(func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok || !isGuardedAction(p, cl) {
+			return true
+		}
+		for _, elt := range cl.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok || (key.Name != "Guard" && key.Name != "Body") {
+				continue
+			}
+			switch v := ast.Unparen(kv.Value).(type) {
+			case *ast.FuncLit:
+				rootLits = append(rootLits, v)
+			case *ast.Ident:
+				if fn, ok := p.TypesInfo.Uses[v].(*types.Func); ok && fn.Pkg() == p.Pkg {
+					rootFuncs[fn] = true
+				}
+			case *ast.SelectorExpr:
+				// Method value m.step — only same-package methods are in
+				// reach of the source walk.
+				if fn, ok := p.TypesInfo.Uses[v.Sel].(*types.Func); ok && fn.Pkg() == p.Pkg {
+					rootFuncs[fn] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(rootLits) == 0 && len(rootFuncs) == 0 {
+		return nil
+	}
+
+	// Map same-package function objects to their declarations so the
+	// reachability walk can descend into callees.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	visited := make(map[*types.Func]bool)
+	var checkBody func(body ast.Node, where string)
+	var checkFunc func(fn *types.Func, where string)
+
+	checkFunc = func(fn *types.Func, where string) {
+		if visited[fn] {
+			return
+		}
+		visited[fn] = true
+		if fd := decls[fn]; fd != nil {
+			checkBody(fd.Body, where)
+		}
+	}
+
+	checkBody = func(body ast.Node, where string) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.SendStmt:
+				p.Reportf(s.Pos(), "channel send in %s; engine steps must not block", where)
+			case *ast.UnaryExpr:
+				if s.Op.String() == "<-" {
+					p.Reportf(s.Pos(), "channel receive in %s; engine steps must not block", where)
+				}
+			case *ast.SelectStmt:
+				p.Reportf(s.Pos(), "select in %s; engine steps must not block", where)
+			case *ast.GoStmt:
+				p.Reportf(s.Pos(), "go statement in %s; engine steps must not launch goroutines", where)
+			case *ast.RangeStmt:
+				if t := p.TypesInfo.Types[s.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						p.Reportf(s.Pos(), "range over channel in %s; engine steps must not block", where)
+					}
+				}
+			case *ast.CallExpr:
+				checkCallPurity(p, s, where)
+				if fn := p.CalleeFunc(s); fn != nil && fn.Pkg() == p.Pkg {
+					checkFunc(fn, where)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, lit := range rootLits {
+		checkBody(lit.Body, "a guarded.Action Guard/Body")
+	}
+	for fn := range rootFuncs {
+		checkFunc(fn, "a guarded.Action Guard/Body ("+fn.Name()+")")
+	}
+	return nil
+}
+
+// checkCallPurity reports calls that break step determinism: wall-clock
+// and timer functions, and draws from the shared global math/rand state.
+func checkCallPurity(p *Pass, call *ast.CallExpr, where string) {
+	fn := p.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	switch path {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Sleep", "Since", "Until", "After", "Tick", "NewTimer", "NewTicker", "AfterFunc":
+			p.Reportf(call.Pos(), "time.%s in %s; engine steps must be deterministic and non-blocking", fn.Name(), where)
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level draws share global state across goroutines;
+		// methods on an owned *rand.Rand (or constructors) are fine.
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return
+		}
+		if fn.Name() == "New" || strings.HasPrefix(fn.Name(), "NewSource") {
+			return
+		}
+		p.Reportf(call.Pos(), "global %s.%s in %s; thread an owned generator through the program state instead", lastPathElem(path), fn.Name(), where)
+	}
+}
+
+// isGuardedAction reports whether a composite literal constructs the
+// guarded.Action type (from a package path ending in internal/guarded).
+func isGuardedAction(p *Pass, cl *ast.CompositeLit) bool {
+	t := p.TypesInfo.Types[cl].Type
+	named := namedOf(t)
+	if named == nil || named.Obj().Name() != "Action" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && strings.HasSuffix(pkg.Path(), "internal/guarded")
+}
+
+func lastPathElem(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

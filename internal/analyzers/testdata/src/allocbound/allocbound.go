@@ -1,0 +1,60 @@
+// Fixture: the PR 3 oversize-allocation pattern. A length word decoded
+// off the wire reaches make([]byte, n) without being compared against a
+// limit first, so one hostile frame header can demand gigabytes. The
+// analyzer only fires in packages named "transport" — this fixture is
+// one.
+package transport
+
+import "encoding/binary"
+
+const maxPayload = 64
+
+// readFrame is the historical bug verbatim: wire length straight into
+// the allocation.
+func readFrame(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	return make([]byte, n) // want "make\(\[\]byte, \.\.\.\) sized by n without a preceding bounds check"
+}
+
+// readFrameChecked is the fixed form: bail out before allocating.
+func readFrameChecked(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	if n > maxPayload {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// readFrameTrailer mirrors the real codec: a checked length plus a
+// constant trailer is fine, because the guard dominates the use of n.
+func readFrameTrailer(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	if n > maxPayload {
+		panic("oversized")
+	}
+	return make([]byte, int(n)+4)
+}
+
+// checkAfterAlloc guards too late — the damage is done by the time the
+// comparison runs.
+func checkAfterAlloc(hdr []byte) []byte {
+	n := binary.BigEndian.Uint32(hdr)
+	buf := make([]byte, n) // want "sized by n without a preceding bounds check"
+	if n > maxPayload {
+		return nil
+	}
+	return buf
+}
+
+// copySized allocations bounded by len() of resident data are
+// intrinsically safe and exempt.
+func copySized(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// fixedSize constant-size allocations are exempt.
+func fixedSize() []byte {
+	return make([]byte, maxPayload)
+}

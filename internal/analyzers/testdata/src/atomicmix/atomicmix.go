@@ -1,0 +1,54 @@
+// Fixture: the PR 4 stats-tearing pattern. Counters written with
+// sync/atomic from protocol goroutines, then read plainly in a snapshot
+// method — the exact mixed-access bug the seqlock fix removed.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	frames uint64
+	drops  uint64
+	label  string
+}
+
+func (s *stats) onFrame() {
+	atomic.AddUint64(&s.frames, 1)
+}
+
+func (s *stats) onDrop() {
+	atomic.AddUint64(&s.drops, 1)
+}
+
+// Snapshot is the historical bug: plain loads of atomically-written
+// counters tear on 32-bit platforms and are racy everywhere.
+func (s *stats) Snapshot() (uint64, uint64) {
+	return s.frames, s.drops // want "plain access of s\.frames" "plain access of s\.drops"
+}
+
+// Reset is the write-side variant of the same mistake.
+func (s *stats) Reset() {
+	s.frames = 0 // want "plain access of s\.frames"
+	atomic.StoreUint64(&s.drops, 0)
+}
+
+// Label is untouched by sync/atomic and stays unrestricted.
+func (s *stats) Label() string {
+	return s.label
+}
+
+// AtomicSnapshot is the correct form: atomic on both sides.
+func (s *stats) AtomicSnapshot() (uint64, uint64) {
+	return atomic.LoadUint64(&s.frames), atomic.LoadUint64(&s.drops)
+}
+
+// Local variables are covered too, not just struct fields.
+func localCounter() uint64 {
+	var n uint64
+	done := make(chan struct{})
+	go func() {
+		atomic.AddUint64(&n, 1)
+		close(done)
+	}()
+	<-done
+	return n // want "plain access of n"
+}

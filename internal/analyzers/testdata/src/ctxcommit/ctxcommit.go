@@ -1,0 +1,71 @@
+// Fixture: the PR 4 cancel-race pattern. A waiter that loses to
+// cancellation must not commit state — no sends, no atomic adds, no
+// field writes — in the ctx.Done() arm. The one exemption is the
+// last-chance re-poll: a nested select whose receive arm fires only if
+// the result genuinely arrived after all.
+package ctxcommit
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+type gate struct {
+	tickets int
+	entered bool
+	wake    chan int
+}
+
+// waitLeaky is the historical bug: cancellation wins, yet the waiter
+// still zeroes shared accounting and pushes a ticket.
+func (g *gate) waitLeaky(ctx context.Context, send chan<- int) error {
+	select {
+	case send <- 1:
+		g.entered = true
+	case <-ctx.Done():
+		g.tickets = 0 // want "write to field g\.tickets on the ctx\.Done\(\) cancel path"
+		send <- 0     // want "channel send on the ctx\.Done\(\) cancel path"
+		return ctx.Err()
+	}
+	return nil
+}
+
+// waitAtomicLeaky commits through sync/atomic instead — same bug.
+func waitAtomicLeaky(ctx context.Context, n *uint64, ch chan int) error {
+	select {
+	case ch <- 1:
+	case <-ctx.Done():
+		atomic.AddUint64(n, 1) // want "atomic AddUint64 on the ctx\.Done\(\) cancel path"
+		return ctx.Err()
+	}
+	return nil
+}
+
+// waitLastChance is the sanctioned idiom: on cancellation, re-poll the
+// wake channel non-blockingly; if the result arrived, committing is
+// correct — the operation did happen.
+func (g *gate) waitLastChance(ctx context.Context) (int, error) {
+	select {
+	case r := <-g.wake:
+		g.entered = true
+		return r, nil
+	case <-ctx.Done():
+		select {
+		case r := <-g.wake:
+			g.entered = true
+			return r, nil
+		default:
+		}
+		return 0, ctx.Err()
+	}
+}
+
+// waitClean only reads and returns on the cancel path — fine.
+func (g *gate) waitClean(ctx context.Context) (int, error) {
+	select {
+	case r := <-g.wake:
+		return r, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}

@@ -1,0 +1,29 @@
+// Fixture for the //barriervet:ignore directive contract, exercised via
+// atomicmix: reasoned directives suppress (inline or standalone above),
+// a bare directive is a finding, an unused directive is a finding.
+package ignores
+
+import "sync/atomic"
+
+type s struct {
+	n uint64
+}
+
+func (x *s) inc() {
+	atomic.AddUint64(&x.n, 1)
+}
+
+func (x *s) readInlineSuppressed() uint64 {
+	return x.n //barriervet:ignore test-only reader, no concurrent writer at this point
+}
+
+func (x *s) readAboveSuppressed() uint64 {
+	//barriervet:ignore snapshot is taken after all writers have joined
+	return x.n
+}
+
+//barriervet:ignore
+func (x *s) bare() {}
+
+//barriervet:ignore this directive suppresses nothing and must be flagged
+func (x *s) unused() {}

@@ -1,0 +1,57 @@
+// Fixture: a classic AB/BA lock inversion across two lock classes,
+// including one acquisition hidden behind a call, plus consistent-order
+// paths that must stay quiet.
+package lockorder
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+type conn struct {
+	mu    sync.Mutex
+	inUse bool
+}
+
+// attach locks registry then conn — this establishes one order.
+func attach(r *registry, c *conn) {
+	r.mu.Lock()
+	c.mu.Lock() // want "lock order inversion"
+	c.inUse = true
+	r.items["c"]++
+	c.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// detach locks conn then registry — the opposite order: deadlock bait.
+func detach(r *registry, c *conn) {
+	c.mu.Lock()
+	r.mu.Lock()
+	delete(r.items, "c")
+	c.inUse = false
+	r.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// audit repeats the attach order through a call — consistent, no new
+// finding, but exercises the call-graph propagation.
+func audit(r *registry, c *conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	touch(c)
+}
+
+func touch(c *conn) {
+	c.mu.Lock()
+	c.inUse = true
+	c.mu.Unlock()
+}
+
+// solo takes one lock at a time — never part of any edge.
+func solo(r *registry) {
+	r.mu.Lock()
+	r.items["x"] = 1
+	r.mu.Unlock()
+}

@@ -1,0 +1,32 @@
+// Fixture: the PR 5 metrics-leak pattern. A component with a Close
+// lifecycle registers series on the obsv registry and never removes
+// them, so scrapes after Close read dead state and a rebuilt component
+// collides on the series names.
+package metricpair
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obsv"
+)
+
+type pump struct {
+	frames atomic.Int64
+	closed atomic.Bool
+}
+
+func newPump(r *obsv.Registry) (*pump, error) {
+	p := &pump{}
+	err := r.Register(obsv.NewCounterFunc("pump_frames_total", "Frames pumped.", p.frames.Load)) // want "Register with no Unregister anywhere"
+	if err != nil {
+		return nil, err
+	}
+	r.MustRegister(obsv.NewGaugeFunc("pump_up", "Whether the pump is running.", func() int64 { return 1 })) // want "MustRegister with no Unregister anywhere"
+	return p, nil
+}
+
+// Close tears the pump down but forgets the registry — the bug.
+func (p *pump) Close() error {
+	p.closed.Store(true)
+	return nil
+}

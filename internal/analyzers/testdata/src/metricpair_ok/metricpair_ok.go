@@ -1,0 +1,28 @@
+// Fixture: the corrected form of the metricpair leak — same lifecycle,
+// same registrations, but Close unregisters what was registered, so the
+// analyzer stays quiet.
+package metricpairok
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obsv"
+)
+
+type pump struct {
+	frames atomic.Int64
+	reg    *obsv.Registry
+}
+
+func newPump(r *obsv.Registry) (*pump, error) {
+	p := &pump{reg: r}
+	if err := r.Register(obsv.NewCounterFunc("pump_frames_total", "Frames pumped.", p.frames.Load)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *pump) Close() error {
+	p.reg.Unregister("pump_frames_total")
+	return nil
+}

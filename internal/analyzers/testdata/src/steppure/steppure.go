@@ -1,0 +1,68 @@
+// Fixture: impurity inside guarded.Action steps. The engine schedules
+// Guard/Body atomically and replays runs from a seed; wall-clock reads,
+// global math/rand draws, and channel operations inside a step all break
+// that contract.
+package steppure
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/guarded"
+)
+
+type state struct {
+	x       int
+	pending chan int
+}
+
+func build(s *state, rng *rand.Rand) *guarded.Program {
+	p := guarded.NewProgram()
+	p.Add(guarded.Action{
+		Name: "leaky-guard",
+		Proc: 0,
+		Guard: func() bool {
+			return time.Now().Unix()%2 == 0 // want "time\.Now in a guarded\.Action Guard/Body"
+		},
+		Body: func() func() {
+			return func() { s.x++ }
+		},
+	})
+	p.Add(guarded.Action{
+		Name:  "leaky-body",
+		Proc:  0,
+		Guard: func() bool { return s.x > 0 },
+		Body: func() func() {
+			if rand.Intn(2) == 0 { // want "global rand\.Intn in a guarded\.Action Guard/Body"
+				return nil
+			}
+			v := <-s.pending // want "channel receive in a guarded\.Action Guard/Body"
+			return func() { s.x = v }
+		},
+	})
+	p.Add(guarded.Action{
+		Name:  "named-step",
+		Proc:  1,
+		Guard: func() bool { return true },
+		Body: func() func() {
+			return blockingStep(s) // impurity one call deep is still caught
+		},
+	})
+	p.Add(guarded.Action{
+		Name:  "clean",
+		Proc:  1,
+		Guard: func() bool { return s.x < 10 },
+		Body: func() func() {
+			// Owned generators threaded in explicitly are fine.
+			n := rng.Intn(4)
+			return func() { s.x += n }
+		},
+	})
+	return p
+}
+
+// blockingStep is reachable from a Body, so its sleep is a finding.
+func blockingStep(s *state) func() {
+	time.Sleep(time.Millisecond) // want "time\.Sleep in a guarded\.Action Guard/Body"
+	return func() { s.x++ }
+}

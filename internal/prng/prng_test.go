@@ -1,0 +1,78 @@
+package prng
+
+import "testing"
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("draw %d diverged for identical seeds", i)
+		}
+	}
+	c, d := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/1000 draws collided across distinct seeds", same)
+	}
+}
+
+func TestZeroSeedRecovers(t *testing.T) {
+	// splitmix64 must not get stuck on the all-zero state.
+	r := New(0)
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 0 {
+		t.Errorf("%d zero draws from the zero seed", zeros)
+	}
+}
+
+func TestRanges(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v, want [0,1)", f)
+		}
+		if n := r.Intn(13); n < 0 || n >= 13 {
+			t.Fatalf("Intn(13) = %d, want [0,13)", n)
+		}
+		if n := r.Int63n(1_000_003); n < 0 || n >= 1_000_003 {
+			t.Fatalf("Int63n = %d, want [0,1000003)", n)
+		}
+	}
+}
+
+func TestIntnCoversDomain(t *testing.T) {
+	r := New(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[r.Intn(8)] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("Intn(8) hit %d/8 values in 1000 draws", len(seen))
+	}
+}
+
+func TestPanicsOnNonPositive(t *testing.T) {
+	for _, f := range []func(){
+		func() { r := New(1); r.Intn(0) },
+		func() { r := New(1); r.Int63n(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for non-positive bound")
+				}
+			}()
+			f()
+		}()
+	}
+}

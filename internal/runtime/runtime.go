@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obsv"
+	"repro/internal/prng"
 	"repro/internal/tokenring"
 )
 
@@ -280,7 +281,7 @@ type proc struct {
 
 	// rng is owned by the protocol goroutine (seeded before it starts;
 	// the goroutine-start happens-before edge publishes it).
-	rng prng
+	rng prng.PRNG
 }
 
 type awaitResult struct {
@@ -395,7 +396,7 @@ func (b *Barrier) startRing(cfg Config, members []int) error {
 			link:  link,
 			state: link.State(),
 			top:   link.Top(),
-			rng:   newPRNG(cfg.Seed + int64(j)*7919),
+			rng:   prng.New(cfg.Seed + int64(j)*7919),
 		}
 		if cfg.Rejoin {
 			// The Section 7 restart state: identical to the aftermath of a
@@ -503,7 +504,7 @@ func (b *Barrier) InjectSpurious(id int, seed int64) {
 	if b.procs[id] == nil {
 		return
 	}
-	rng := newPRNG(seed)
+	rng := prng.New(seed)
 	m := Message{
 		SN: tokenring.SN(rng.Intn(b.l)),
 		CP: core.CP(rng.Intn(core.NumCP)),
@@ -975,7 +976,7 @@ func (p *proc) onCtrl(c ctrlMsg) {
 		}
 		p.noteFault()
 	case ctrlScramble:
-		rng := newPRNG(c.seed)
+		rng := prng.New(c.seed)
 		randomSN := func() tokenring.SN {
 			v := rng.Intn(p.b.l + 2)
 			switch v {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/prng"
 	"repro/internal/tokenring"
 	"repro/internal/topo"
 )
@@ -123,7 +124,7 @@ type treeProc struct {
 	// rng is owned by the protocol goroutine (the fused scheduler counts
 	// as one owner for all its members); seeded before the goroutine
 	// starts, published by the goroutine-start happens-before edge.
-	rng prng
+	rng prng.PRNG
 }
 
 func newTreeProc(b *Barrier, id, parentID int, kids []int, link TreeLink, cfg Config) *treeProc {
@@ -140,7 +141,7 @@ func newTreeProc(b *Barrier, id, parentID int, kids []int, link TreeLink, cfg Co
 		link:     link,
 		down:     link.Down(),
 		up:       link.Up(),
-		rng:      newPRNG(cfg.Seed + int64(id)*7919),
+		rng:      prng.New(cfg.Seed + int64(id)*7919),
 	}
 	// DT's start state: wave 0 disseminated and acknowledged, everyone
 	// ready in phase 0 — the root's first increment begins phase 0.
@@ -295,7 +296,7 @@ func (tp *treeProc) onCtrl(c ctrlMsg) {
 		}
 		tp.noteFault()
 	case ctrlScramble:
-		rng := newPRNG(c.seed)
+		rng := prng.New(c.seed)
 		randomSN := func() tokenring.SN {
 			v := rng.Intn(tp.b.l + 2)
 			switch v {
@@ -323,7 +324,7 @@ func (tp *treeProc) onCtrl(c ctrlMsg) {
 // injectSpurious delivers a forged, well-formed announcement to this node:
 // a parent announcement for non-roots, a child announcement at the root.
 func (tp *treeProc) injectSpurious(seed int64) {
-	rng := newPRNG(seed)
+	rng := prng.New(seed)
 	randomSN := func() tokenring.SN {
 		v := rng.Intn(tp.b.l + 2)
 		switch v {

@@ -33,7 +33,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"strconv"
 	"sync"
@@ -41,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/obsv"
+	"repro/internal/prng"
 	"repro/internal/runtime"
 	"repro/internal/topo"
 )
@@ -329,17 +329,16 @@ func newMux(cfg MuxConfig, ln net.Listener) (*Mux, error) {
 				continue
 			}
 			g := g
-			metrics := []obsv.Metric{
+			err := m.stats.registerAll(cfg.Registry,
 				obsv.NewCounterFunc(`transport_group_frames_total{group="`+g.spec.Name+`",dir="sent"}`,
 					"Frames by group and direction.", g.sent.Load),
 				obsv.NewCounterFunc(`transport_group_frames_total{group="`+g.spec.Name+`",dir="recv"}`,
-					"Frames by group and direction.", g.recv.Load),
-			}
-			for _, mm := range metrics {
-				if err := cfg.Registry.Register(mm); err != nil {
-					dialCancel()
-					return nil, err
-				}
+					"Frames by group and direction.", g.recv.Load))
+			if err != nil {
+				// registerAll already rolled back every series the mux had
+				// registered so far.
+				dialCancel()
+				return nil, err
 			}
 		}
 	}
@@ -392,6 +391,7 @@ func (m *Mux) Close() error {
 			}
 		}
 		m.mu.Unlock()
+		m.stats.unregister()
 	})
 	m.wg.Wait()
 	return nil
@@ -643,11 +643,11 @@ func (p *muxPeer) writeLoop(c net.Conn, dead chan struct{}) {
 
 // dialLoop maintains the connection to a higher-indexed peer: dial,
 // hello, serve until it dies, redial with capped exponential backoff plus
-// jitter (the single-group transports' discipline; the jitter rng is
-// owned by this goroutine alone).
+// jitter (the single-group transports' discipline; the jitter source is
+// a goroutine-owned splitmix64 PRNG, so single ownership is structural).
 func (p *muxPeer) dialLoop() {
 	defer p.m.wg.Done()
-	rng := rand.New(rand.NewSource(int64(p.m.cfg.Self)*1315423911 + int64(p.id)*2654435761 + 41))
+	rng := prng.New(int64(p.m.cfg.Self)*1315423911 + int64(p.id)*2654435761 + 41)
 	backoff := p.m.cfg.BaseBackoff
 	for {
 		if p.m.closedNow() {

@@ -31,7 +31,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"strconv"
 	"sync"
@@ -39,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/obsv"
+	"repro/internal/prng"
 	"repro/internal/runtime"
 )
 
@@ -105,6 +105,13 @@ type tcpStats struct {
 	connDrops, decodeErrors                       atomic.Int64
 	framesSent, framesRecv                        atomic.Int64
 	connectedOut, backingOff, pendingHandshakes   atomic.Int64 // gauges
+
+	// Registry bookkeeping: the series registered on behalf of this
+	// transport, so Close can unregister them and a successor transport
+	// can register the same names on the same registry. Written at
+	// construction and Close only.
+	reg      *obsv.Registry
+	regNames []string
 }
 
 func (s *tcpStats) snapshot() TCPStats {
@@ -128,7 +135,42 @@ func (s *tcpStats) snapshot() TCPStats {
 // register installs the transport's metric series on r. Every series is a
 // scrape-time read of a counter the data path maintains regardless.
 func (s *tcpStats) register(r *obsv.Registry) error {
-	metrics := []obsv.Metric{
+	return s.registerAll(r, s.standardMetrics()...)
+}
+
+// registerAll registers ms on r, recording every accepted name so
+// unregister can remove them at Close. On a name collision it rolls back
+// everything this transport has registered so far (this call and earlier
+// ones), leaving the registry as if the transport never existed.
+func (s *tcpStats) registerAll(r *obsv.Registry, ms ...obsv.Metric) error {
+	for _, m := range ms {
+		if err := r.Register(m); err != nil {
+			s.unregister()
+			return err
+		}
+		s.reg = r
+		s.regNames = append(s.regNames, m.Name())
+	}
+	return nil
+}
+
+// unregister removes every series this transport registered. Idempotent;
+// called from the transport's Close so a bounded-lifetime transport (one
+// tenant deployment among many sharing a registry) leaves no series
+// behind — the leak class the barriervet metricpair analyzer rejects.
+func (s *tcpStats) unregister() {
+	if s.reg == nil {
+		return
+	}
+	for _, n := range s.regNames {
+		s.reg.Unregister(n)
+	}
+	s.reg = nil
+	s.regNames = nil
+}
+
+func (s *tcpStats) standardMetrics() []obsv.Metric {
+	return []obsv.Metric{
 		obsv.NewCounterFunc("transport_dials_total",
 			"Successful outgoing connections (reconnects included).", s.dials.Load),
 		obsv.NewCounterFunc("transport_failed_dials_total",
@@ -156,12 +198,6 @@ func (s *tcpStats) register(r *obsv.Registry) error {
 		obsv.NewGaugeFunc("transport_pending_handshakes",
 			"Accepted connections currently awaiting their hello frame.", s.pendingHandshakes.Load),
 	}
-	for _, m := range metrics {
-		if err := r.Register(m); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // TCP implements runtime.Transport over TCP ring links.
@@ -337,6 +373,7 @@ func (t *TCP) Close() error {
 			ln.Close() // pre-bound listeners of never-opened members
 		}
 	}
+	t.stats.unregister()
 	return nil
 }
 
@@ -668,13 +705,14 @@ func (l *tcpLink) inWriter(c net.Conn, dead chan struct{}) {
 // serve until it dies, then redial with capped exponential backoff plus
 // jitter. The backoff resets after every successful dial.
 //
-// rng is created here and never escapes: the jitter source is owned by
-// this goroutine alone (math/rand.Rand is not concurrency-safe, and the
-// per-link seed keeps restarting members from reconnecting in lockstep).
+// The jitter source is a goroutine-owned splitmix64 PRNG (internal/prng):
+// single ownership is structural, not a comment — there is no shared
+// generator to race on — and the per-link seed keeps restarting members
+// from reconnecting in lockstep.
 func (l *tcpLink) dialLoop() {
 	defer l.wg.Done()
 	succ := l.t.cfg.Peers[(l.id+1)%l.ringSize()]
-	rng := rand.New(rand.NewSource(int64(l.id)*1315423911 + 17))
+	rng := prng.New(int64(l.id)*1315423911 + 17)
 	backoff := l.t.cfg.BaseBackoff
 	for {
 		if l.closedNow() {

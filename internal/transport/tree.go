@@ -20,12 +20,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/prng"
 	"repro/internal/runtime"
 	"repro/internal/topo"
 )
@@ -212,6 +212,7 @@ func (t *TCPTree) Close() error {
 			ln.Close() // pre-bound listeners of leaves / never-opened members
 		}
 	}
+	t.stats.unregister()
 	return nil
 }
 
@@ -521,12 +522,12 @@ func (l *tcpTreeLink) downWriter(c net.Conn, mailbox chan runtime.Message, dead 
 
 // dialLoop maintains the connection to the parent: dial, hello, serve until
 // it dies, then redial with capped exponential backoff plus jitter. The
-// jitter rng never escapes this goroutine (math/rand.Rand is not
-// concurrency-safe; single ownership is the synchronization).
+// jitter source is a goroutine-owned splitmix64 PRNG (internal/prng):
+// single ownership is structural, with no shared generator to race on.
 func (l *tcpTreeLink) dialLoop() {
 	defer l.wg.Done()
 	paddr := l.t.cfg.Peers[l.parent]
-	rng := rand.New(rand.NewSource(int64(l.id)*1315423911 + 29))
+	rng := prng.New(int64(l.id)*1315423911 + 29)
 	backoff := l.t.cfg.BaseBackoff
 	for {
 		if l.closedNow() {
