@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet barriervet fuzz-smoke
+.PHONY: build test race vet barriervet fuzz-smoke barrierbench-smoke
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,9 @@ barriervet:
 
 fuzz-smoke:
 	$(GO) test ./internal/transport -run '^$$' -fuzz '^FuzzTransport$$' -fuzztime 10s
+
+# The CI cluster-load gate: loopback TCP, 16 groups x 8 procs, 30s of
+# open-loop traffic under a seed-deterministic chaos schedule; exits
+# non-zero unless the SLO verdict is PASS.
+barrierbench-smoke:
+	$(GO) run ./cmd/barrierbench -profile smoke

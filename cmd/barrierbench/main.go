@@ -1,0 +1,153 @@
+// Command barrierbench drives cluster-scale barrier traffic — hundreds of
+// multiplexed groups × thousands of simulated clients — against one of
+// three deployments, injects a deterministic chaos schedule, and judges
+// the run with pass/fail SLO verdicts computed from /metrics scrapes: the
+// live counterparts of the paper's Fig 3/5 (instances per pass), Fig 4/6
+// (synchronization overhead), and Fig 7 (recovery time) measurements.
+//
+// Modes:
+//
+//   - inproc:   every group a plain runtime barrier (channel transport) —
+//     the protocol under load with the network subtracted.
+//   - loopback: one transport mux per simulated process over loopback TCP,
+//     every group a tenant in every process — the smoke deployment.
+//   - daemon:   spawned cmd/barrierd -groups processes, SIGKILLed and
+//     SIGSTOPped for real — the deployment the smoke results predict.
+//
+// The chaos schedule is expressed in the conformance schedule language
+// (target "bench") and is a pure function of the seed: the printed
+// schedule line is a complete reproduction of the run's fault sequence.
+//
+// Examples:
+//
+//	barrierbench -profile smoke
+//	barrierbench -profile scale -mode daemon
+//	barrierbench -groups 32 -procs 8 -duration 1m -rate 50 -seed 7
+//	barrierbench -chaos-schedule 'bench:n=8:ph=4:seed=1:sched=random:ops=20s,k3,3s,R3,20s'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+)
+
+var (
+	profileFlag  = flag.String("profile", "", `named profile: "smoke" (16 groups × 8 procs, 30s, chaos on — the CI gate) or "scale" (192 groups × 8 procs, 2m — the nightly envelope)`)
+	modeFlag     = flag.String("mode", "", "deployment: inproc, loopback, or daemon (default loopback)")
+	groupsFlag   = flag.Int("groups", 0, "number of multiplexed barrier groups (every fifth a tree)")
+	procsFlag    = flag.Int("procs", 0, "number of simulated processes (every group spans all of them)")
+	durationFlag = flag.Duration("duration", 0, "load window length (default 30s)")
+	rateFlag     = flag.Float64("rate", 0, "per-client open-loop arrival rate, passes/second (default 20)")
+	seedFlag     = flag.Int64("seed", 1, "seed for the chaos schedule, arrival jitter, and group draws")
+	resendFlag   = flag.Duration("resend", 0, "group retransmission period (default 5ms)")
+	corruptFlag  = flag.Float64("corrupt", 0, "per-message corruption rate injected into every group")
+	chaosFlag    = flag.Bool("chaos", true, "inject the seed-derived chaos schedule")
+	schedFlag    = flag.String("chaos-schedule", "", "explicit chaos schedule text (overrides the generated one; implies -chaos)")
+	barrierdFlag = flag.String("barrierd", "", "prebuilt barrierd binary for daemon mode (default: go build)")
+	quietFlag    = flag.Bool("quiet", false, "suppress progress output (the verdict still prints)")
+)
+
+func main() {
+	flag.Parse()
+	p := bench.Profile{
+		Mode:         *modeFlag,
+		Groups:       *groupsFlag,
+		Procs:        *procsFlag,
+		Duration:     *durationFlag,
+		Rate:         *rateFlag,
+		Seed:         *seedFlag,
+		Resend:       *resendFlag,
+		Corrupt:      *corruptFlag,
+		Chaos:        *chaosFlag || *schedFlag != "",
+		Schedule:     *schedFlag,
+		BarrierdPath: *barrierdFlag,
+	}
+	switch *profileFlag {
+	case "":
+		if p.Groups == 0 {
+			p.Groups = 16
+		}
+		if p.Procs == 0 {
+			p.Procs = 8
+		}
+	case "smoke":
+		// The CI gate: loopback TCP, 16 groups × 8 processes, 30 seconds of
+		// open-loop traffic with at least one SIGKILL+rejoin window. Flags
+		// still override individual fields.
+		applyDefaults(&p, bench.Profile{Mode: "loopback", Groups: 16, Procs: 8,
+			Duration: 30 * time.Second, Rate: 20})
+	case "scale":
+		// The nightly envelope: an order of magnitude more tenants, a longer
+		// window, the same verdict machinery.
+		applyDefaults(&p, bench.Profile{Mode: "loopback", Groups: 192, Procs: 8,
+			Duration: 2 * time.Minute, Rate: 20})
+	default:
+		fmt.Fprintf(os.Stderr, "barrierbench: unknown profile %q (want smoke or scale)\n", *profileFlag)
+		os.Exit(2)
+	}
+	if !*quietFlag {
+		p.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	r, err := bench.Run(ctx, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "barrierbench:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("\nseed %d", *seedFlag)
+	if p.Chaos {
+		fmt.Printf("  chaos schedule: %s", r.Schedule.String())
+	}
+	fmt.Println()
+	fmt.Printf("chaos applied: kills=%d restarts=%d partitions=%d churns=%d resets=%d skipped=%d\n",
+		r.Chaos.Kills, r.Chaos.Restarts, r.Chaos.Partitions, r.Chaos.Churns, r.Chaos.Resets, r.Chaos.Skipped)
+	if cs := r.Client; cs != (bench.ClientStats{}) {
+		fmt.Printf("clients: passes=%d resets=%d stopped-retries=%d timeouts=%d\n",
+			cs.Passes, cs.Resets, cs.StoppedRetries, cs.Timeouts)
+	}
+	fmt.Printf("cluster: passes=%.0f wasted-instances=%.0f elapsed=%s\n\n", r.Passes, r.Wasted, r.Elapsed.Round(time.Millisecond))
+	for _, c := range r.Verdict.Checks {
+		status := "ok  "
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Printf("  %s %-17s %s\n", status, c.Name, c.Detail)
+	}
+	fmt.Printf("\nSLO verdict: %s\n", r.Verdict.String())
+	if !r.Verdict.Pass {
+		os.Exit(1)
+	}
+}
+
+// applyDefaults fills p's zero fields from the named profile's shape, so
+// explicit flags always win over the profile.
+func applyDefaults(p *bench.Profile, d bench.Profile) {
+	if p.Mode == "" {
+		p.Mode = d.Mode
+	}
+	if p.Groups == 0 {
+		p.Groups = d.Groups
+	}
+	if p.Procs == 0 {
+		p.Procs = d.Procs
+	}
+	if p.Duration == 0 {
+		p.Duration = d.Duration
+	}
+	if p.Rate == 0 {
+		p.Rate = d.Rate
+	}
+}

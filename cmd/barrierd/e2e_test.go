@@ -88,12 +88,20 @@ func logged(m *member, marker string) bool {
 	return err == nil && strings.Contains(string(data), marker)
 }
 
-func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+// waitFor polls cond until it holds or the deadline passes. An optional
+// detail func contributes its last observed state to the timeout message,
+// so a hung wait reports what it was looking at rather than just its
+// name.
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool, detail ...func() string) {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for !cond() {
 		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
+			msg := fmt.Sprintf("timed out waiting for %s", what)
+			for _, d := range detail {
+				msg += "\nlast state: " + d()
+			}
+			t.Fatal(msg)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -133,17 +141,48 @@ func httpBody(url string) (string, int, bool) {
 
 // waitHealthy blocks until the member's /healthz answers 200 — the
 // readiness probe that replaces sleep-based waits around startup and the
-// SIGKILL/rejoin restart.
+// SIGKILL/rejoin restart. On timeout it reports the last probe outcome
+// and the tail of the member's log, the two things a hang diagnosis
+// needs.
 func waitHealthy(t *testing.T, m *member, timeout time.Duration) {
 	t.Helper()
+	var lastProbe string
 	waitFor(t, fmt.Sprintf("member %d /healthz ready", m.id), timeout, func() bool {
 		addr := metricsAddr(m)
 		if addr == "" {
+			lastProbe = "no metrics address logged yet"
 			return false
 		}
-		_, code, ok := httpBody("http://" + addr + "/healthz")
+		body, code, ok := httpBody("http://" + addr + "/healthz")
+		lastProbe = fmt.Sprintf("addr=%s ok=%v code=%d body=%q", addr, ok, code, body)
 		return ok && code == http.StatusOK
+	}, func() string {
+		data, _ := os.ReadFile(m.logPath)
+		return lastProbe + "\nlog tail:\n" + tailLines(string(data), 10)
 	})
+}
+
+// scrapeBody fetches the member's /metrics page, retrying transient
+// failures (a member mid-rejoin can refuse a connection) until the
+// deadline. The error carries the last body and status observed, so a
+// failing scrape surfaces what the member actually served.
+func scrapeBody(m *member, timeout time.Duration) (string, error) {
+	addr := metricsAddr(m)
+	if addr == "" {
+		return "", fmt.Errorf("member %d never logged its metrics address", m.id)
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		body, code, ok := httpBody("http://" + addr + "/metrics")
+		if ok && code == http.StatusOK {
+			return body, nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("member %d /metrics scrape failed after %s (ok=%v code=%d)\nlast body:\n%s",
+				m.id, timeout, ok, code, tailLines(body, 40))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // scrapeMetrics fetches the member's /metrics page and asserts the
@@ -151,14 +190,9 @@ func waitHealthy(t *testing.T, m *member, timeout time.Duration) {
 // counted, and the transport moved frames over real dials.
 func scrapeMetrics(t *testing.T, m *member) {
 	t.Helper()
-	addr := metricsAddr(m)
-	if addr == "" {
-		t.Errorf("member %d never logged its metrics address", m.id)
-		return
-	}
-	body, code, ok := httpBody("http://" + addr + "/metrics")
-	if !ok || code != http.StatusOK {
-		t.Errorf("member %d /metrics scrape failed (ok=%v code=%d)", m.id, ok, code)
+	body, err := scrapeBody(m, 5*time.Second)
+	if err != nil {
+		t.Error(err)
 		return
 	}
 	sample := regexp.MustCompile(`(?m)^(\w+)(?:\{[^}]*\})? (\d+(?:\.\d+)?(?:e\+?\d+)?)$`)
@@ -507,13 +541,9 @@ func TestLoopbackMultiGroupKillRestart(t *testing.T) {
 	// The scrape must carry per-group labelled series — the tenant view of
 	// the paper's Section 6 counters — plus the shared transport's.
 	for _, m := range []*member{members[0], members[2]} {
-		addr := metricsAddr(m)
-		if addr == "" {
-			t.Fatalf("member %d never logged its metrics address", m.id)
-		}
-		body, code, ok := httpBody("http://" + addr + "/metrics")
-		if !ok || code != http.StatusOK {
-			t.Fatalf("member %d /metrics scrape failed (ok=%v code=%d)", m.id, ok, code)
+		body, err := scrapeBody(m, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
 		}
 		for _, series := range []string{
 			`barrier_passes_total{group="g00"}`,

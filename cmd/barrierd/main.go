@@ -89,6 +89,7 @@ var (
 	seedFlag     = flag.Int64("seed", 1, "random seed for fault injection draws")
 	rejoinFlag   = flag.Bool("rejoin", false, "start in the reset protocol state (restarting into a live ring)")
 	quietFlag    = flag.Bool("quiet", false, "suppress per-pass output")
+	thinkFlag    = flag.Duration("think", 0, "sleep between successive passes (open-loop pacing for load tests)")
 	metricsFlag  = flag.String("metrics", "", `serve /metrics and /healthz on this address (e.g. ":9100"; empty: disabled)`)
 	pprofFlag    = flag.Bool("pprof", false, "also serve /debug/pprof on the -metrics address")
 	groupsFlag   = flag.String("groups", "", "host every barrier group declared in this file over shared connections (multi-tenant mode)")
@@ -224,6 +225,7 @@ func run() error {
 				fmt.Printf("DONE %d\n", passes)
 				doneSaid = true
 			}
+			thinkPause(ctx)
 		case errors.Is(err, runtime.ErrReset):
 			// Detectable fault consumed the phase work: redo. The phase
 			// expectation survives — a reset must not skip or repeat a
@@ -234,6 +236,19 @@ func run() error {
 		default:
 			return fmt.Errorf("await: %w", err)
 		}
+	}
+}
+
+// thinkPause paces successive passes when -think is set, so a load
+// harness can run the daemon open-loop instead of barrier-speed
+// closed-loop. Interruptible by shutdown.
+func thinkPause(ctx context.Context) {
+	if *thinkFlag <= 0 {
+		return
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(*thinkFlag):
 	}
 }
 
@@ -410,6 +425,7 @@ func groupLoop(ctx context.Context, g *groups.Group, id, nPhases int, total *ato
 				doneSaid = true
 				onDone()
 			}
+			thinkPause(ctx)
 		case errors.Is(err, runtime.ErrReset):
 			// Redo the phase; the expectation survives.
 		case errors.Is(err, context.Canceled):

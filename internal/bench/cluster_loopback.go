@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/groups"
+	"repro/internal/obsv"
+	"repro/internal/transport"
+)
+
+// loopbackCluster is the smoke-profile deployment: one mux per simulated
+// process, loopback TCP between them, every group a tenant in every
+// process's groups.Registry. A kill tears down one process's members and
+// connections (the in-binary rendition of SIGKILL), a partition gates its
+// sockets, churn cycles one tenant everywhere — all against real wire
+// traffic.
+type loopbackCluster struct {
+	p    *Profile
+	cfgs []groups.Config
+	mets []*obsv.Registry
+	set  *transport.MuxSet
+	regs []*groups.Registry
+	pool *clientPool
+
+	mu      sync.Mutex
+	killed  []bool
+	healers map[*time.Timer]struct{}
+	healWG  sync.WaitGroup
+	closed  bool
+}
+
+// groupConfigs declares the tenant mix shared by the loopback and daemon
+// modes: every fifth group a tree, the rest rings.
+func groupConfigs(p *Profile) []groups.Config {
+	cfgs := make([]groups.Config, p.Groups)
+	for i := range cfgs {
+		topo := transport.GroupRing
+		if i%5 == 4 {
+			topo = transport.GroupTree
+		}
+		cfgs[i] = groups.Config{
+			Name:        fmt.Sprintf("g%03d", i),
+			Topology:    topo,
+			NPhases:     p.NPhases,
+			Resend:      p.Resend,
+			CorruptRate: p.Corrupt,
+			Seed:        p.Seed + int64(i),
+		}
+	}
+	return cfgs
+}
+
+func newLoopbackCluster(p *Profile) (cluster, error) {
+	return &loopbackCluster{
+		p:       p,
+		cfgs:    groupConfigs(p),
+		killed:  make([]bool, p.Procs),
+		healers: make(map[*time.Timer]struct{}),
+	}, nil
+}
+
+func (c *loopbackCluster) Start(ctx context.Context) error {
+	specs, err := groups.Specs(c.cfgs)
+	if err != nil {
+		return err
+	}
+	c.mets = make([]*obsv.Registry, c.p.Procs)
+	for j := range c.mets {
+		c.mets[j] = obsv.NewRegistry()
+	}
+	// One registry per simulated process, or the per-group labelled series
+	// of the processes would collide on names.
+	c.set, err = transport.NewLoopbackMuxes(c.p.Procs, specs, func(mc *transport.MuxConfig) {
+		mc.Registry = c.mets[mc.Self]
+	})
+	if err != nil {
+		return err
+	}
+	c.regs = make([]*groups.Registry, c.p.Procs)
+	for j := range c.regs {
+		r, err := groups.NewWithMux(groups.Options{Self: j, Metrics: c.mets[j]}, c.cfgs, c.set.Muxes[j])
+		if err != nil {
+			return fmt.Errorf("bench: process %d registry: %w", j, err)
+		}
+		c.regs[j] = r
+	}
+	c.pool = newClientPool(ctx)
+	for j := 0; j < c.p.Procs; j++ {
+		for gi := range c.cfgs {
+			g := c.regs[j].Groups()[gi]
+			c.pool.spawn(g.Await, clientSeed(c.p.Seed, j, gi), c.p.Rate)
+		}
+	}
+	return nil
+}
+
+func (c *loopbackCluster) Kill(j int) error {
+	c.mu.Lock()
+	c.killed[j] = true
+	c.mu.Unlock()
+	for _, cfg := range c.cfgs {
+		c.regs[j].StopGroup(cfg.Name)
+	}
+	// The dead process's sockets die with it.
+	c.set.Muxes[j].BreakConns()
+	return nil
+}
+
+func (c *loopbackCluster) Restart(j int) error {
+	for _, cfg := range c.cfgs {
+		if err := c.regs[j].StartGroup(cfg.Name, true); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	c.killed[j] = false
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *loopbackCluster) Partition(j int, d time.Duration) error {
+	c.set.PartitionProc(j, true)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.set.PartitionProc(j, false)
+		return nil
+	}
+	c.healWG.Add(1)
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		defer c.healWG.Done()
+		c.set.PartitionProc(j, false)
+		c.mu.Lock()
+		delete(c.healers, t)
+		c.mu.Unlock()
+	})
+	c.healers[t] = struct{}{}
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *loopbackCluster) Churn(gi int) error {
+	name := c.cfgs[gi].Name
+	for j := 0; j < c.p.Procs; j++ {
+		c.regs[j].StopGroup(name)
+	}
+	c.mu.Lock()
+	killed := append([]bool(nil), c.killed...)
+	c.mu.Unlock()
+	for j := 0; j < c.p.Procs; j++ {
+		if killed[j] {
+			continue // its Restart will bring this member back too
+		}
+		if err := c.regs[j].StartGroup(name, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *loopbackCluster) Reset(j, gi int) error {
+	b := c.regs[j].Groups()[gi].Barrier()
+	if b == nil {
+		return skipError{"reset on a stopped member"}
+	}
+	b.Reset(j)
+	return nil
+}
+
+// healAll fires every outstanding partition heal now.
+func (c *loopbackCluster) healAll() {
+	c.mu.Lock()
+	timers := make([]*time.Timer, 0, len(c.healers))
+	for t := range c.healers {
+		timers = append(timers, t)
+	}
+	c.mu.Unlock()
+	for _, t := range timers {
+		t.Reset(0)
+	}
+	c.healWG.Wait()
+}
+
+func (c *loopbackCluster) Quiesce(ctx context.Context) error {
+	err := c.pool.drain()
+	c.healAll()
+	if err != nil {
+		return err
+	}
+	return waitStable(ctx, 100*time.Millisecond, 10*time.Second, func() (float64, error) {
+		snap, err := c.Scrape()
+		if err != nil {
+			return 0, err
+		}
+		return snap.Sum("barrier_passes_total"), nil
+	})
+}
+
+func (c *loopbackCluster) Scrape() (*Snapshot, error) {
+	snap := NewSnapshot()
+	for j, reg := range c.mets {
+		var sb strings.Builder
+		if err := reg.WriteText(&sb); err != nil {
+			return nil, fmt.Errorf("process %d: %w", j, err)
+		}
+		if err := snap.Merge(sb.String()); err != nil {
+			return nil, fmt.Errorf("process %d: %w", j, err)
+		}
+	}
+	return snap, nil
+}
+
+func (c *loopbackCluster) ClientStats() ClientStats { return c.pool.stats() }
+
+func (c *loopbackCluster) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	if c.pool != nil {
+		c.pool.stop()
+		c.pool.wg.Wait()
+	}
+	c.healAll()
+	for _, r := range c.regs {
+		if r != nil {
+			r.Close()
+		}
+	}
+	if c.set != nil {
+		return c.set.Close()
+	}
+	return nil
+}

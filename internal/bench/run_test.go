@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func reportVerdict(t *testing.T, r *Report) {
+	t.Helper()
+	for _, c := range r.Verdict.Checks {
+		t.Logf("%-18s %-4s %s", c.Name, map[bool]string{true: "ok", false: "FAIL"}[c.OK], c.Detail)
+	}
+	t.Logf("schedule: %s", r.Schedule.String())
+	t.Logf("chaos: %+v  clients: %+v  passes: %.0f  wasted: %.0f  elapsed: %s",
+		r.Chaos, r.Client, r.Passes, r.Wasted, r.Elapsed)
+}
+
+// The in-process mode end to end: a chaos run over plain runtime barriers
+// must earn a PASS verdict, and every injected fault must leave its trace
+// in the wasted-instances counter.
+func TestRunInprocChaos(t *testing.T) {
+	r, err := Run(context.Background(), Profile{
+		Mode:     "inproc",
+		Groups:   5,
+		Procs:    3,
+		Duration: 2 * time.Second,
+		Rate:     50,
+		Seed:     42,
+		Chaos:    true,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportVerdict(t, r)
+	if !r.Verdict.Pass {
+		t.Error("verdict FAIL, want PASS")
+	}
+	if r.Chaos.Faults() == 0 {
+		t.Error("chaos applied no faults")
+	}
+	if r.Wasted == 0 {
+		t.Error("no wasted instances recorded despite injected faults")
+	}
+}
+
+// The loopback mode — the smoke profile's deployment, scaled down for the
+// unit suite: real mux transport between simulated processes, a generated
+// chaos schedule with a guaranteed kill+rejoin window, judged PASS.
+func TestRunLoopbackChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback load run in -short mode")
+	}
+	r, err := Run(context.Background(), Profile{
+		Mode:     "loopback",
+		Groups:   6,
+		Procs:    4,
+		Duration: 4 * time.Second,
+		Rate:     20,
+		Seed:     7,
+		Chaos:    true,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportVerdict(t, r)
+	if !r.Verdict.Pass {
+		t.Error("verdict FAIL, want PASS")
+	}
+	if r.Chaos.Kills == 0 {
+		t.Error("generated schedule applied no kill (the window is guaranteed)")
+	}
+	if r.Wasted == 0 {
+		t.Error("no wasted instances recorded despite injected faults")
+	}
+	if r.Client.Passes == 0 {
+		t.Error("clients recorded no successful Awaits")
+	}
+}
+
+// Determinism: two runs from the same profile must inject the same
+// schedule (the printed seed is a full repro of the chaos sequence).
+func TestRunScheduleReproducible(t *testing.T) {
+	p := Profile{
+		Mode:     "inproc",
+		Groups:   2,
+		Procs:    2,
+		Duration: 300 * time.Millisecond,
+		Rate:     40,
+		Seed:     99,
+		Chaos:    true,
+	}
+	a, err := Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schedule.String() != b.Schedule.String() {
+		t.Errorf("same profile, different schedules:\n%s\n%s", a.Schedule.String(), b.Schedule.String())
+	}
+}
+
+// An explicit schedule overrides the generated one.
+func TestRunExplicitSchedule(t *testing.T) {
+	r, err := Run(context.Background(), Profile{
+		Mode:     "inproc",
+		Groups:   2,
+		Procs:    2,
+		Duration: 500 * time.Millisecond,
+		Rate:     40,
+		Seed:     3,
+		Chaos:    true,
+		Schedule: "bench:n=2:ph=4:seed=3:sched=random:ops=2s,r0:1,2s,r1:0,2s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportVerdict(t, r)
+	if r.Chaos.Resets != 2 {
+		t.Errorf("applied %d resets, want 2", r.Chaos.Resets)
+	}
+}
+
+func TestRunRejectsBadProfiles(t *testing.T) {
+	for _, p := range []Profile{
+		{Mode: "teleport", Groups: 2, Procs: 2},
+		{Mode: "inproc", Groups: 0, Procs: 2},
+		{Mode: "inproc", Groups: 1, Procs: 1},
+		{Mode: "inproc", Groups: 1, Procs: 2, Chaos: true, Schedule: "not a schedule"},
+	} {
+		if _, err := Run(context.Background(), p); err == nil {
+			t.Errorf("profile %+v accepted, want error", p)
+		}
+	}
+}
+
+// The daemon mode spawns real barrierd processes; one SIGKILL+rejoin and
+// one SIGSTOP partition window must still end in a live, violation-free
+// cluster. (The SLO's waste check is evaluated over the merged scrapes
+// exactly as in the other modes.)
+func TestRunDaemonChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon spawn run in -short mode")
+	}
+	r, err := Run(context.Background(), Profile{
+		Mode:     "daemon",
+		Groups:   4,
+		Procs:    3,
+		Duration: 4 * time.Second,
+		Rate:     50,
+		Seed:     11,
+		Chaos:    true,
+		Schedule: "bench:n=3:ph=4:seed=11:sched=random:ops=10s,k1,3s,R1,5s,P2:150,10s",
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportVerdict(t, r)
+	if !r.Verdict.Pass {
+		t.Error("verdict FAIL, want PASS")
+	}
+	if r.Chaos.Kills != 1 || r.Chaos.Partitions != 1 {
+		t.Errorf("chaos %+v, want 1 kill and 1 partition applied", r.Chaos)
+	}
+}

@@ -1,0 +1,165 @@
+// Package bench is the cluster-scale load harness behind cmd/barrierbench:
+// it drives hundreds of multiplexed barrier groups × thousands of
+// simulated clients against a deployment (in-process barriers, a loopback
+// TCP mux cluster, or spawned barrierd daemons), injects a deterministic
+// chaos schedule expressed in the conformance schedule language, and
+// judges the run with pass/fail SLO verdicts computed from /metrics
+// scrapes — the live counterparts of the paper's Fig 3/5/7 quantities.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is an aggregate of Prometheus-text exposition bodies. Merging
+// several scrapes (one per process of a cluster) sums same-named series,
+// which is exactly the cluster-wide view the SLO checks need: counters
+// add, histogram buckets of identical bounds add, and the per-group
+// {group="..."} label fan-out collapses into per-family totals.
+type Snapshot struct {
+	// fam sums every non-bucket sample by family name (the series name
+	// with its label set stripped), so barrier_passes_total{group="a"} and
+	// {group="b"} from two processes all land in "barrier_passes_total".
+	fam map[string]float64
+	// bucket sums cumulative histogram bucket counts: family (without the
+	// _bucket suffix) → le label text → count. Cumulative counts of
+	// identically-bounded histograms stay cumulative under addition.
+	bucket map[string]map[string]float64
+}
+
+// NewSnapshot returns an empty aggregate.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		fam:    make(map[string]float64),
+		bucket: make(map[string]map[string]float64),
+	}
+}
+
+// Merge parses one exposition body and adds its samples in.
+func (s *Snapshot) Merge(text string) error {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return fmt.Errorf("bench: malformed sample line %q", line)
+		}
+		series, valText := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			return fmt.Errorf("bench: bad sample value in %q: %v", line, err)
+		}
+		name := series
+		labels := ""
+		if br := strings.IndexByte(series, '{'); br >= 0 {
+			name = series[:br]
+			labels = strings.TrimSuffix(series[br+1:], "}")
+		}
+		if fam, ok := strings.CutSuffix(name, "_bucket"); ok {
+			le := leLabel(labels)
+			if le == "" {
+				return fmt.Errorf("bench: bucket sample without le label: %q", line)
+			}
+			m := s.bucket[fam]
+			if m == nil {
+				m = make(map[string]float64)
+				s.bucket[fam] = m
+			}
+			m[le] += val
+			continue
+		}
+		s.fam[name] += val
+	}
+	return sc.Err()
+}
+
+// leLabel extracts the le="..." value from a rendered label set.
+func leLabel(labels string) string {
+	for _, part := range strings.Split(labels, ",") {
+		if v, ok := strings.CutPrefix(strings.TrimSpace(part), `le="`); ok {
+			return strings.TrimSuffix(v, `"`)
+		}
+	}
+	return ""
+}
+
+// Sum returns the summed value of every sample of the family (counters
+// and gauges; for histograms use the _sum/_count families or Quantile).
+func (s *Snapshot) Sum(family string) float64 { return s.fam[family] }
+
+// HistCount returns a histogram family's total observation count.
+func (s *Snapshot) HistCount(family string) float64 { return s.fam[family+"_count"] }
+
+// HistMean returns a histogram family's exact mean (sum/count) and
+// whether it has any observations. Unlike Quantile it is not clipped by
+// the bucket bounds, so it sees stalls past the largest finite bucket.
+func (s *Snapshot) HistMean(family string) (float64, bool) {
+	count := s.fam[family+"_count"]
+	if count == 0 {
+		return 0, false
+	}
+	return s.fam[family+"_sum"] / count, true
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of a histogram family
+// from its merged cumulative buckets, interpolating linearly inside the
+// bucket the rank falls in — the histogram_quantile estimate. The second
+// result is false when the family has no observations. A rank landing in
+// the +Inf bucket reports the largest finite bound (a lower bound on the
+// true quantile; the SLO checks treat it as "at least this bad").
+func (s *Snapshot) Quantile(family string, q float64) (float64, bool) {
+	buckets := s.bucket[family]
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	type bkt struct {
+		le    float64
+		count float64
+	}
+	var bs []bkt
+	total := 0.0
+	for leText, c := range buckets {
+		le := math.Inf(1)
+		if leText != "+Inf" {
+			v, err := strconv.ParseFloat(leText, 64)
+			if err != nil {
+				return 0, false
+			}
+			le = v
+		} else {
+			total = c
+		}
+		bs = append(bs, bkt{le, c})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * total
+	lower, lowerCount := 0.0, 0.0
+	for _, b := range bs {
+		if b.count >= rank {
+			if math.IsInf(b.le, 1) {
+				return lower, true // rank beyond the largest finite bound
+			}
+			span := b.count - lowerCount
+			if span <= 0 {
+				return b.le, true
+			}
+			return lower + (b.le-lower)*(rank-lowerCount)/span, true
+		}
+		if !math.IsInf(b.le, 1) {
+			lower, lowerCount = b.le, b.count
+		}
+	}
+	return lower, true
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const expoA = `# HELP barrier_passes_total Barrier passes delivered.
+# TYPE barrier_passes_total counter
+barrier_passes_total{group="g000"} 10
+barrier_passes_total{group="g001"} 5
+barrier_halted 0
+barrier_phase_seconds_bucket{le="0.001"} 5
+barrier_phase_seconds_bucket{le="0.01"} 9
+barrier_phase_seconds_bucket{le="+Inf"} 10
+barrier_phase_seconds_sum 0.05
+barrier_phase_seconds_count 10
+`
+
+const expoB = `barrier_passes_total{group="g000"} 7
+barrier_wasted_instances_total 3
+barrier_phase_seconds_bucket{group="x",le="0.001"} 1
+barrier_phase_seconds_bucket{group="x",le="0.01"} 1
+barrier_phase_seconds_bucket{group="x",le="+Inf"} 2
+barrier_phase_seconds_sum 1.0
+barrier_phase_seconds_count 2
+`
+
+func mergedSnap(t *testing.T, bodies ...string) *Snapshot {
+	t.Helper()
+	s := NewSnapshot()
+	for _, b := range bodies {
+		if err := s.Merge(b); err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+	}
+	return s
+}
+
+// Merging scrapes must collapse the label fan-out into per-family sums
+// and add histogram buckets bound-by-bound — the cluster-wide view.
+func TestSnapshotMergeSums(t *testing.T) {
+	s := mergedSnap(t, expoA, expoB)
+	if got := s.Sum("barrier_passes_total"); got != 22 {
+		t.Errorf("passes sum = %v, want 22", got)
+	}
+	if got := s.Sum("barrier_wasted_instances_total"); got != 3 {
+		t.Errorf("wasted sum = %v, want 3", got)
+	}
+	if got := s.Sum("barrier_halted"); got != 0 {
+		t.Errorf("halted sum = %v, want 0", got)
+	}
+	if got := s.HistCount("barrier_phase_seconds"); got != 12 {
+		t.Errorf("phase count = %v, want 12", got)
+	}
+	mean, ok := s.HistMean("barrier_phase_seconds")
+	if !ok || math.Abs(mean-1.05/12) > 1e-12 {
+		t.Errorf("phase mean = %v ok=%v, want %v", mean, ok, 1.05/12)
+	}
+	if _, ok := s.HistMean("barrier_recovery_seconds"); ok {
+		t.Error("HistMean reported ok for a family with no samples")
+	}
+}
+
+func TestSnapshotQuantile(t *testing.T) {
+	s := mergedSnap(t, expoA)
+	// rank(0.5) = 5 falls exactly at the first bucket's cumulative count:
+	// linear interpolation lands on its upper bound.
+	if q, ok := s.Quantile("barrier_phase_seconds", 0.5); !ok || math.Abs(q-0.001) > 1e-9 {
+		t.Errorf("p50 = %v ok=%v, want 0.001", q, ok)
+	}
+	// rank(0.99) = 9.9 lands in the +Inf bucket: the estimate clips to the
+	// largest finite bound — a lower bound on the true quantile.
+	if q, ok := s.Quantile("barrier_phase_seconds", 0.99); !ok || math.Abs(q-0.01) > 1e-9 {
+		t.Errorf("p99 = %v ok=%v, want 0.01 (clip)", q, ok)
+	}
+	if _, ok := s.Quantile("barrier_recovery_seconds", 0.5); ok {
+		t.Error("Quantile reported ok for a family with no buckets")
+	}
+}
+
+func TestSnapshotMergeRejectsMalformed(t *testing.T) {
+	for _, body := range []string{
+		"barrier_passes_total ten\n",
+		"naked_line_without_value\n",
+		`barrier_phase_seconds_bucket{group="x"} 3` + "\n", // bucket, no le
+	} {
+		if err := NewSnapshot().Merge(body); err == nil {
+			t.Errorf("Merge(%q) accepted a malformed body", strings.TrimSpace(body))
+		}
+	}
+	// Comments and blank lines are fine.
+	if err := NewSnapshot().Merge("\n# HELP x y\n\n"); err != nil {
+		t.Errorf("Merge rejected comments/blanks: %v", err)
+	}
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// SLO is the service-level objective a load run is judged against. Every
+// threshold maps to a measured quantity of the paper:
+//
+//   - PassP99 bounds the p99 of barrier_phase_seconds — the Fig 4/6
+//     synchronization overhead under sustained traffic and faults.
+//   - RecoveryFactor bounds the p99 of barrier_recovery_seconds by a
+//     multiple of the live median pass latency, the deployed analogue of
+//     the paper's "recovery completes within 5hc" bound (Fig 7): the
+//     median fault-free pass is the live stand-in for the hop-time h·c.
+//     RecoveryFloor keeps the bound meaningful when the median pass is
+//     microseconds (scheduler noise would otherwise dominate).
+//   - MaxWastedPerFault and MaxMeanInstances bound the wasted work: the
+//     Dwork/Halpern/Waarts per-fault waste and the Fig 3/5 mean
+//     instances-per-pass envelope (≈1 under rare faults).
+type SLO struct {
+	// MinPasses is the least acceptable cluster-wide delivered-pass total
+	// (per-member deliveries): a throughput floor, and the guard that a
+	// PASS verdict can never come from a run that did no work.
+	MinPasses float64
+	// PassP99 bounds the 99th percentile of barrier_phase_seconds.
+	PassP99 time.Duration
+	// RecoveryFactor bounds p99(barrier_recovery_seconds) by
+	// RecoveryFactor × p50(barrier_phase_seconds); 5 is the paper's bound
+	// with h·c read as one median pass. 0 disables the check.
+	RecoveryFactor float64
+	// RecoveryFloor is the least recovery bound ever enforced.
+	RecoveryFloor time.Duration
+	// MaxWastedPerFault bounds barrier_wasted_instances_total divided by
+	// the number of injected faults. 0 disables the upper bound; the
+	// lower bound (waste must be observed at all when faults were
+	// injected) is always enforced.
+	MaxWastedPerFault float64
+	// MaxMeanInstances bounds 1 + wasted/passes, the exact mean of the
+	// barrier_instances_per_pass histogram. 0 disables.
+	MaxMeanInstances float64
+}
+
+// Check is one named SLO check with its outcome.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Verdict is the judged outcome of a load run.
+type Verdict struct {
+	Pass   bool
+	Checks []Check
+}
+
+func (v *Verdict) String() string {
+	if v.Pass {
+		return "PASS"
+	}
+	return "FAIL"
+}
+
+func (v *Verdict) add(name string, ok bool, format string, args ...any) {
+	v.Checks = append(v.Checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+	if !ok {
+		v.Pass = false
+	}
+}
+
+// Evaluate judges a final cluster snapshot against the SLO. faults is the
+// number of chaos operations actually applied (kills, partitions, churns,
+// resets); stateFaults counts the subset that arms the recovery histogram
+// (injected resets/scrambles — a kill tears the victim down instead of
+// corrupting it, so it starts no recovery sample).
+func (s SLO) Evaluate(snap *Snapshot, faults, stateFaults int) Verdict {
+	v := Verdict{Pass: true}
+
+	passes := snap.Sum("barrier_passes_total")
+	v.add("passes", passes >= s.MinPasses,
+		"%d passes delivered (floor %d)", int64(passes), int64(s.MinPasses))
+
+	if halted := snap.Sum("barrier_halted"); true {
+		v.add("halted", halted == 0, "%d members fail-safe halted", int64(halted))
+	}
+
+	if p99, ok := snap.Quantile("barrier_phase_seconds", 0.99); !ok {
+		v.add("pass-p99", false, "no pass-latency samples recorded")
+	} else {
+		v.add("pass-p99", p99 <= s.PassP99.Seconds(),
+			"p99 pass latency %.1fms (bound %.1fms)", p99*1e3, float64(s.PassP99)/1e6)
+	}
+
+	if s.RecoveryFactor > 0 {
+		// Means, not quantiles: the histogram's _sum is exact while its
+		// buckets clip at the largest finite bound, so a wedged recovery
+		// that outlasts every bucket still moves this check.
+		switch rec, ok := snap.HistMean("barrier_recovery_seconds"); {
+		case !ok && stateFaults > 0:
+			v.add("recovery", false,
+				"%d state faults injected but no recovery samples recorded", stateFaults)
+		case !ok:
+			v.add("recovery", true, "no state faults injected; nothing to recover from")
+		default:
+			pass, _ := snap.HistMean("barrier_phase_seconds")
+			bound := s.RecoveryFactor * pass
+			if floor := s.RecoveryFloor.Seconds(); bound < floor {
+				bound = floor
+			}
+			v.add("recovery", rec <= bound,
+				"mean recovery %.1fms over %d samples (bound %.1fms = max(%g × mean pass %.1fms, floor))",
+				rec*1e3, int64(snap.HistCount("barrier_recovery_seconds")), bound*1e3, s.RecoveryFactor, pass*1e3)
+		}
+	}
+
+	wasted := snap.Sum("barrier_wasted_instances_total")
+	if faults > 0 {
+		perFault := wasted / float64(faults)
+		ok := wasted > 0
+		if s.MaxWastedPerFault > 0 && perFault > s.MaxWastedPerFault {
+			ok = false
+		}
+		v.add("wasted-per-fault", ok,
+			"%d wasted instances / %d faults = %.2f per fault (> 0, bound %.1f)",
+			int64(wasted), faults, perFault, s.MaxWastedPerFault)
+	} else {
+		// No injected faults: transient re-executions (startup races, lost
+		// first messages) are legitimate, so the check is informational and
+		// the mean-instances envelope below bounds any runaway.
+		v.add("wasted-per-fault", true,
+			"%d wasted instances with no injected faults (bounded by the mean-instances envelope)", int64(wasted))
+	}
+
+	if s.MaxMeanInstances > 0 && passes > 0 {
+		mean := 1 + wasted/passes
+		v.add("mean-instances", mean <= s.MaxMeanInstances,
+			"%.4f mean instances per pass (Fig 3/5 envelope %.2f)", mean, s.MaxMeanInstances)
+	}
+
+	return v
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// testSLO is a fixed bound set the synthetic snapshots below are judged
+// against, independent of DefaultSLO's shape-derived numbers.
+var testSLO = SLO{
+	MinPasses:         100,
+	PassP99:           10 * time.Millisecond,
+	RecoveryFactor:    5,
+	RecoveryFloor:     300 * time.Millisecond,
+	MaxWastedPerFault: 10,
+	MaxMeanInstances:  1.5,
+}
+
+// healthyBody models a run that should pass every check: plenty of
+// passes, sub-bound latency, quick recoveries, modest waste.
+const healthyBody = `barrier_passes_total 1000
+barrier_halted 0
+barrier_wasted_instances_total 6
+barrier_phase_seconds_bucket{le="0.001"} 900
+barrier_phase_seconds_bucket{le="0.004"} 1000
+barrier_phase_seconds_bucket{le="+Inf"} 1000
+barrier_phase_seconds_sum 1.2
+barrier_phase_seconds_count 1000
+barrier_recovery_seconds_bucket{le="0.004"} 4
+barrier_recovery_seconds_bucket{le="+Inf"} 4
+barrier_recovery_seconds_sum 0.012
+barrier_recovery_seconds_count 4
+`
+
+func failedChecks(v Verdict) []string {
+	var names []string
+	for _, c := range v.Checks {
+		if !c.OK {
+			names = append(names, c.Name+" ("+c.Detail+")")
+		}
+	}
+	return names
+}
+
+func wantOnlyFailure(t *testing.T, v Verdict, name string) {
+	t.Helper()
+	if v.Pass {
+		t.Fatalf("verdict PASS, want FAIL on %s", name)
+	}
+	failed := failedChecks(v)
+	if len(failed) != 1 || !strings.HasPrefix(failed[0], name) {
+		t.Fatalf("failed checks = %v, want exactly [%s ...]", failed, name)
+	}
+}
+
+func TestEvaluateHealthyRunPasses(t *testing.T) {
+	v := testSLO.Evaluate(mergedSnap(t, healthyBody), 3, 2)
+	if !v.Pass {
+		t.Fatalf("verdict FAIL, failed checks: %v", failedChecks(v))
+	}
+	if v.String() != "PASS" {
+		t.Errorf("String() = %q, want PASS", v.String())
+	}
+	if len(v.Checks) != 6 {
+		t.Errorf("got %d checks, want 6: %+v", len(v.Checks), v.Checks)
+	}
+}
+
+func TestEvaluateFailureBranches(t *testing.T) {
+	cases := []struct {
+		name        string
+		mutate      func(string) string
+		faults      int
+		stateFaults int
+		check       string
+	}{
+		{"throughput floor", func(b string) string {
+			return strings.Replace(b, "barrier_passes_total 1000", "barrier_passes_total 99", 1)
+		}, 3, 2, "passes"},
+		{"fail-safe halt", func(b string) string {
+			return strings.Replace(b, "barrier_halted 0", "barrier_halted 1", 1)
+		}, 3, 2, "halted"},
+		{"no latency samples", func(b string) string {
+			for _, cut := range []string{
+				`barrier_phase_seconds_bucket{le="0.001"} 900` + "\n",
+				`barrier_phase_seconds_bucket{le="0.004"} 1000` + "\n",
+				`barrier_phase_seconds_bucket{le="+Inf"} 1000` + "\n",
+			} {
+				b = strings.Replace(b, cut, "", 1)
+			}
+			return b
+		}, 3, 2, "pass-p99"},
+		{"state faults but no recovery samples", func(b string) string {
+			b = strings.Replace(b, "barrier_recovery_seconds_count 4", "barrier_recovery_seconds_count 0", 1)
+			return strings.Replace(b, "barrier_recovery_seconds_sum 0.012", "barrier_recovery_seconds_sum 0", 1)
+		}, 3, 2, "recovery"},
+		{"slow recovery", func(b string) string {
+			// Mean recovery 2s against bound max(5 × 1.2ms, 300ms) = 300ms.
+			return strings.Replace(b, "barrier_recovery_seconds_sum 0.012", "barrier_recovery_seconds_sum 8", 1)
+		}, 3, 2, "recovery"},
+		{"faults without waste", func(b string) string {
+			return strings.Replace(b, "barrier_wasted_instances_total 6", "barrier_wasted_instances_total 0", 1)
+		}, 3, 2, "wasted-per-fault"},
+		{"per-fault bound", func(b string) string {
+			return strings.Replace(b, "barrier_wasted_instances_total 6", "barrier_wasted_instances_total 40", 1)
+		}, 3, 2, "wasted-per-fault"},
+		{"mean instances envelope", func(b string) string {
+			return strings.Replace(b, "barrier_wasted_instances_total 6", "barrier_wasted_instances_total 600", 1)
+		}, 100, 2, "mean-instances"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := testSLO.Evaluate(mergedSnap(t, tc.mutate(healthyBody)), tc.faults, tc.stateFaults)
+			wantOnlyFailure(t, v, tc.check)
+		})
+	}
+}
+
+// A fault-free quiet run: no recovery samples is "nothing to recover
+// from", and a few transient re-executions (startup races) are not a
+// failure — the mean-instances envelope bounds them instead.
+func TestEvaluateFaultFreeRun(t *testing.T) {
+	body := strings.Replace(healthyBody, "barrier_recovery_seconds_count 4", "barrier_recovery_seconds_count 0", 1)
+	body = strings.Replace(body, "barrier_recovery_seconds_sum 0.012", "barrier_recovery_seconds_sum 0", 1)
+	v := testSLO.Evaluate(mergedSnap(t, body), 0, 0)
+	if !v.Pass {
+		t.Fatalf("fault-free verdict FAIL, failed checks: %v", failedChecks(v))
+	}
+}

@@ -1,0 +1,158 @@
+package conformance
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false,
+	"regenerate testdata/corpus-v1.txt from the schedules in corpusEntries")
+
+// corpusPath is the versioned seed corpus: one replayable schedule per
+// line with its recorded verdict. The version number is part of the
+// schedule-language contract — any change that re-letters ops, renumbers
+// kinds, or perturbs Generate's draws for existing seeds will fail the
+// replay test against this file, which is exactly the point: historical
+// seeds must keep reproducing their historical runs. Regenerate (bumping
+// the version) only when the language itself deliberately changes:
+//
+//	go test ./internal/conformance -run TestSeedCorpusReplay -update-corpus
+const corpusPath = "testdata/corpus-v1.txt"
+
+type corpusEntry struct {
+	sched Schedule
+	// parseOnly entries pin the text form without executing (the "bench"
+	// pseudo-target is run by the barrierbench harness, not by Run).
+	parseOnly bool
+}
+
+// corpusEntries defines the corpus deterministically, so -update-corpus
+// writes the same file on every machine.
+func corpusEntries() []corpusEntry {
+	var entries []corpusEntry
+	// Every guarded engine, masking and stabilizing mixes. These verdicts
+	// are pure functions of the schedule: barrier counts are recorded and
+	// must replay exactly.
+	for _, tgt := range engineTargets {
+		for seed := int64(1); seed <= 3; seed++ {
+			entries = append(entries, corpusEntry{sched: Generate(GenConfig{
+				Target: tgt, NProcs: 4, NPhases: 3, Sched: SchedRandom,
+				Ops: 120, FaultRate: 0.12, Crashes: true}, seed)})
+			entries = append(entries, corpusEntry{sched: Generate(GenConfig{
+				Target: tgt, NProcs: 4, NPhases: 3, Sched: SchedRoundRobin,
+				Ops: 120, FaultRate: 0.15, Scrambles: true, Crashes: true}, seed)})
+		}
+	}
+	// Hand-written regression shapes: the minimal historical
+	// counterexample patterns (adjacent resets, reset storms across the
+	// ring) that shrinking used to produce.
+	for _, text := range []string{
+		"tb:n=4:ph=3:seed=2:sched=random:ops=12s,r2,r0,20s",
+		"mb:n=3:ph=4:seed=9:sched=roundrobin:ops=8s,r0,r1,r2,30s",
+		"dt:n=7:ph=3:seed=5:sched=maxparallel:ops=10s,u3,25s",
+	} {
+		s, err := Parse(text)
+		if err != nil {
+			panic(fmt.Sprintf("corpus regression entry %q: %v", text, err))
+		}
+		entries = append(entries, corpusEntry{sched: s})
+	}
+	// The cluster-harness dialect: kill windows, timed partitions and
+	// group churn (barrierbench's chaos ops). Parse-pinned only — Run has
+	// no "bench" target — so the op letters k/P/g stay stable.
+	for _, text := range []string{
+		"bench:n=8:ph=4:seed=1:sched=random:ops=5s,k3,3s,R3,4s,P1:150,2s,g6,s,r0:11,3s",
+		"bench:n=4:ph=4:seed=7:sched=random:ops=k0,3s,R0,P2:75,g1,g1,r3:2",
+	} {
+		s, err := Parse(text)
+		if err != nil {
+			panic(fmt.Sprintf("corpus bench entry %q: %v", text, err))
+		}
+		entries = append(entries, corpusEntry{sched: s, parseOnly: true})
+	}
+	return entries
+}
+
+// verdictKey is the stable portion of a verdict recorded in the corpus.
+func verdictKey(v Verdict) string {
+	if !v.OK {
+		return "FAIL " + v.Reason
+	}
+	return fmt.Sprintf("ok barriers=%d skipped=%d", v.Barriers, v.SkippedFaults)
+}
+
+// TestSeedCorpusReplay replays every corpus schedule and compares its
+// verdict with the recorded one: the regression gate for the schedule
+// language (parse → text → parse must be lossless) and for engine
+// determinism (same schedule, same verdict, forever).
+func TestSeedCorpusReplay(t *testing.T) {
+	if *updateCorpus {
+		var sb strings.Builder
+		sb.WriteString("# Versioned conformance seed corpus (v1).\n")
+		sb.WriteString("# One entry per line: <verdict> <TAB> <schedule>.\n")
+		sb.WriteString("# parse-only entries pin the text form of dialects Run does not execute.\n")
+		sb.WriteString("# Regenerate: go test ./internal/conformance -run TestSeedCorpusReplay -update-corpus\n")
+		for _, e := range corpusEntries() {
+			key := "parse-only"
+			if !e.parseOnly {
+				key = verdictKey(Run(e.sched))
+			}
+			fmt.Fprintf(&sb, "%s\t%s\n", key, e.sched.String())
+		}
+		if err := os.MkdirAll(filepath.Dir(corpusPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(corpusPath, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d entries", corpusPath, len(corpusEntries()))
+		return
+	}
+
+	data, err := os.ReadFile(corpusPath)
+	if err != nil {
+		t.Fatalf("seed corpus missing (run with -update-corpus to create it): %v", err)
+	}
+	entries := 0
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		want, text, found := strings.Cut(line, "\t")
+		if !found {
+			t.Fatalf("%s:%d: malformed corpus line %q", corpusPath, lineNo+1, line)
+		}
+		entries++
+		s, err := Parse(text)
+		if err != nil {
+			t.Errorf("%s:%d: recorded schedule no longer parses: %v", corpusPath, lineNo+1, err)
+			continue
+		}
+		if rt := s.String(); rt != text {
+			t.Errorf("%s:%d: round trip changed the schedule:\nrecorded %s\nreprint  %s",
+				corpusPath, lineNo+1, text, rt)
+			continue
+		}
+		if want == "parse-only" {
+			continue
+		}
+		if got := verdictKey(Run(s)); got != want {
+			t.Errorf("%s:%d: verdict drifted\nschedule %s\nrecorded %s\nnow      %s",
+				corpusPath, lineNo+1, text, want, got)
+		}
+	}
+	if entries == 0 {
+		t.Fatalf("%s holds no entries", corpusPath)
+	}
+
+	// The corpus must stay in sync with its generator: a changed Generate
+	// draw sequence shows up here even before verdicts drift.
+	if want := len(corpusEntries()); entries != want {
+		t.Errorf("corpus has %d entries but the generator defines %d (rerun -update-corpus deliberately, bumping the version if the language changed)", entries, want)
+	}
+}

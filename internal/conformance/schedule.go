@@ -70,11 +70,24 @@ const (
 	// the ring and transiently complete a barrier at the wrong phase before
 	// the genuine retransmission overrides it.
 	OpSpurious
+	// OpKill tears down process Proc's entire stack — every group member
+	// it hosts plus its shared connections (SIGKILL in daemon mode). The
+	// matching OpRestart brings it back with rejoin semantics. Cluster
+	// harness (barrierbench) only; engine and runtime targets ignore it.
+	OpKill
+	// OpPartition isolates process Proc from every peer for Arg
+	// milliseconds (0 = harness default), healing automatically — the
+	// transport-level injected partition. Cluster harness only.
+	OpPartition
+	// OpChurn stops tenant group (Proc mod hosted groups) on every process
+	// and immediately recreates it with rejoin semantics — group lifecycle
+	// churn. Cluster harness only.
+	OpChurn
 
 	numOpKinds
 )
 
-var opLetters = [numOpKinds]byte{'s', 'r', 'u', 'c', 'R', 'p'}
+var opLetters = [numOpKinds]byte{'s', 'r', 'u', 'c', 'R', 'p', 'k', 'P', 'g'}
 
 // Op is one operation of a fault schedule.
 type Op struct {
@@ -342,6 +355,12 @@ type GenConfig struct {
 	Crashes bool
 	// Spurious permits spurious-message injection (runtime target).
 	Spurious bool
+	// Kills permits whole-process kill+rejoin windows (cluster harness).
+	Kills bool
+	// Partitions permits timed process partitions (cluster harness).
+	Partitions bool
+	// Churns permits group stop/recreate churn (cluster harness).
+	Churns bool
 	// Loss and Corrupt set the runtime target's per-message fault rates.
 	Loss    float64
 	Corrupt float64
@@ -376,6 +395,19 @@ func Generate(cfg GenConfig, seed int64) Schedule {
 		j := rng.Intn(cfg.NProcs)
 		roll := rng.Intn(100)
 		switch {
+		case cfg.Kills && roll < 12:
+			// A kill window: kill, a bounded outage (three pacing steps),
+			// then the rejoin. Pairing immediately keeps every outage short
+			// and deterministic, so generated schedules stay inside a
+			// bounded wall-clock budget on a live cluster.
+			s.Ops = append(s.Ops,
+				Op{Kind: OpKill, Proc: j},
+				Op{Kind: OpStep}, Op{Kind: OpStep}, Op{Kind: OpStep},
+				Op{Kind: OpRestart, Proc: j})
+		case cfg.Partitions && roll < 26:
+			s.Ops = append(s.Ops, Op{Kind: OpPartition, Proc: j, Arg: int64(50 + rng.Intn(151))})
+		case cfg.Churns && roll < 38:
+			s.Ops = append(s.Ops, Op{Kind: OpChurn, Proc: j})
 		case cfg.Crashes && !runtimeTarget && roll < 15:
 			if crashed[j] {
 				s.Ops = append(s.Ops, Op{Kind: OpRestart, Proc: j})

@@ -1,0 +1,184 @@
+package groups
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// Lifecycle churn under load: one tenant is stop/started in a tight loop
+// on one process while its members elsewhere keep calling Await and the
+// sibling tenants keep passing. The siblings must never stall or see the
+// victim's faults, the victim must recover to full passes after the last
+// rejoin, and the churned group's labelled metrics must unregister and
+// re-register cleanly every cycle. Run with -race this doubles as the
+// concurrency check on the registry's stop/start paths.
+func TestGroupChurnHammer(t *testing.T) {
+	const (
+		n      = 3
+		cycles = 25
+		quota  = 40 // sibling passes that must land *during* the churn
+	)
+	cfgs := []Config{
+		{Name: "victim", Resend: time.Millisecond, Seed: 11},
+		{Name: "sib0", Resend: time.Millisecond, Seed: 12},
+		{Name: "sib1", Topology: transport.GroupTree, Resend: time.Millisecond, Seed: 13},
+	}
+	specs, err := Specs(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := make([]*obsv.Registry, n)
+	for j := range metrics {
+		metrics[j] = obsv.NewRegistry()
+	}
+	set, err := transport.NewLoopbackMuxes(n, specs, func(c *transport.MuxConfig) {
+		c.Registry = metrics[c.Self]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	regs := make([]*Registry, n)
+	for j := 0; j < n; j++ {
+		regs[j], err = NewWithMux(Options{Self: j, Metrics: metrics[j]}, cfgs, set.Muxes[j])
+		if err != nil {
+			t.Fatalf("process %d: %v", j, err)
+		}
+		defer regs[j].Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// The victim's members on every process spin Await through the churn,
+	// tolerating the lifecycle errors (ErrStopped while down, ErrReset
+	// around rejoins) but nothing else.
+	churnDone := make(chan struct{})
+	var victimPasses atomic.Int64
+	var wg sync.WaitGroup
+	victimErrs := make(chan error, n)
+	for j := 0; j < n; j++ {
+		g := regs[j].Group("victim")
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-churnDone:
+					return
+				default:
+				}
+				switch _, err := g.Await(ctx); {
+				case err == nil:
+					victimPasses.Add(1)
+				case errors.Is(err, runtime.ErrReset):
+				case errors.Is(err, runtime.ErrStopped):
+					time.Sleep(200 * time.Microsecond)
+				default:
+					victimErrs <- fmt.Errorf("victim member %d: %v", j, err)
+					return
+				}
+			}
+		}(j)
+	}
+
+	// Sibling tenants must reach their quota while the churn is running —
+	// the no-cross-tenant-stall assertion. Their members may never see
+	// ErrStopped: nobody stops them.
+	sibErrs := make(chan error, 2*n)
+	for _, name := range []string{"sib0", "sib1"} {
+		for j := 0; j < n; j++ {
+			g := regs[j].Group(name)
+			wg.Add(1)
+			go func(name string, j int) {
+				defer wg.Done()
+				for k := 0; k < quota; k++ {
+					if _, err := g.Await(ctx); err != nil {
+						if errors.Is(err, runtime.ErrReset) {
+							k--
+							continue
+						}
+						sibErrs <- fmt.Errorf("%s member %d pass %d: %w", name, j, k, err)
+						return
+					}
+				}
+				sibErrs <- nil
+			}(name, j)
+		}
+	}
+
+	// The hammer: stop/start the victim on process 0, back to back. Every
+	// StartGroup re-registers the same labelled series the StopGroup
+	// unregistered — a leak on either side fails the restart.
+	for i := 0; i < cycles; i++ {
+		if !regs[0].StopGroup("victim") {
+			t.Fatal("StopGroup(victim) found no group")
+		}
+		time.Sleep(2 * time.Millisecond)
+		if err := regs[0].StartGroup("victim", true); err != nil {
+			t.Fatalf("cycle %d: StartGroup(victim): %v", i, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Siblings drain first: their quota must be reachable with the churn
+	// still fresh in the pipes.
+	for i := 0; i < 2*n; i++ {
+		if err := <-sibErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The victim must come all the way back: fresh passes after the final
+	// rejoin, on every process.
+	before := victimPasses.Load()
+	deadline := time.Now().Add(30 * time.Second)
+	for victimPasses.Load() < before+int64(3*n) {
+		select {
+		case err := <-victimErrs:
+			t.Fatal(err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim stuck at %d passes after final rejoin", victimPasses.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(churnDone)
+	cancel() // release any Await still parked
+	wg.Wait()
+
+	// Clean metric lifecycle: stopped ⇒ the labelled series are gone;
+	// restarted ⇒ back, alongside the siblings' untouched series.
+	if !regs[0].StopGroup("victim") {
+		t.Fatal("final StopGroup(victim) found no group")
+	}
+	scrape := func() string {
+		var sb strings.Builder
+		if err := metrics[0].WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if text := scrape(); strings.Contains(text, `{group="victim"}`) {
+		t.Error("stopped victim's series still registered")
+	} else if !strings.Contains(text, `barrier_passes_total{group="sib0"}`) {
+		t.Error("sibling series disappeared with the victim's")
+	}
+	if err := regs[0].StartGroup("victim", true); err != nil {
+		t.Fatalf("final StartGroup(victim): %v", err)
+	}
+	if text := scrape(); !strings.Contains(text, `barrier_passes_total{group="victim"}`) {
+		t.Error("restarted victim's series not re-registered")
+	}
+}

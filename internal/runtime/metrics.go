@@ -66,6 +66,8 @@ func (b *Barrier) registerMetrics(r *obsv.Registry, topology Topology, label str
 			"Scramble fault injections accepted for delivery.", b.statInjScrambles.Load),
 		obsv.NewCounterFunc(name("barrier_injections_dropped_total"),
 			"Fault injections discarded because the target's control buffer was full.", b.statInjDropped.Load),
+		obsv.NewCounterFunc(name("barrier_wasted_instances_total"),
+			"Protocol instances consumed beyond one per delivered pass (re-executions forced by faults; the wasted-work-per-fault numerator).", b.statWasted.Load),
 		obsv.NewGaugeFunc(name("barrier_participants"),
 			"Configured participant count.", func() int64 { return int64(b.n) }),
 		obsv.NewGaugeFunc(name(`barrier_topology{topology="`+topoName+`"}`),
@@ -120,6 +122,9 @@ func (g *gate) observePass() {
 	g.beginsSince = 0
 	seq := g.passSeq
 	g.passSeq++
+	if n > 1 {
+		g.b.statWasted.Add(n - 1)
+	}
 	if n != 1 || seq&7 == 0 {
 		g.b.mInstances.Observe(float64(n))
 	}

@@ -335,6 +335,7 @@ func TestBarrierMetricsExposition(t *testing.T) {
 		"barrier_injected_resets_total 1",
 		"barrier_injected_scrambles_total 0",
 		"barrier_injections_dropped_total 0",
+		"barrier_wasted_instances_total ",
 		"barrier_participants 2",
 		`barrier_topology{topology="ring"} 1`,
 		"barrier_halted 0",
@@ -350,5 +351,37 @@ func TestBarrierMetricsExposition(t *testing.T) {
 	// Two registries may not share one barrier's names.
 	if _, err := New(Config{Participants: 2, Metrics: reg}); err == nil {
 		t.Error("second barrier on the same registry should fail registration")
+	}
+}
+
+// WastedInstances counts exactly the re-executions: zero on a fault-free
+// run, and strictly positive once an injected reset forces the current
+// instance to re-execute. (The barrierbench SLO "wasted work per fault"
+// is built on this counter.)
+func TestWastedInstancesCounter(t *testing.T) {
+	b, err := New(Config{Participants: 2, Seed: 21, Resend: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+
+	runWorkers(t, b, 20, nil)
+	if w := b.Stats().WastedInstances; w != 0 {
+		t.Fatalf("fault-free run recorded %d wasted instances", w)
+	}
+
+	// A reset lands asynchronously; keep injecting between short bursts of
+	// passes until a re-execution is observed.
+	deadline := time.Now().Add(15 * time.Second)
+	for b.Stats().WastedInstances == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no wasted instance recorded after repeated resets: %+v", b.Stats())
+		}
+		b.Reset(0)
+		runWorkers(t, b, 3, nil)
+	}
+	s := b.Stats()
+	if s.WastedInstances <= 0 || s.ResetsInjected == 0 {
+		t.Fatalf("inconsistent accounting after faults: %+v", s)
 	}
 }

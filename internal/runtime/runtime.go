@@ -200,6 +200,7 @@ type Barrier struct {
 	statInjDropped   atomic.Int64 // fault injections discarded (ctrl buffer full)
 	statInjResets    atomic.Int64 // Reset injections accepted for delivery
 	statInjScrambles atomic.Int64 // Scramble injections accepted for delivery
+	statWasted       atomic.Int64 // re-executed (wasted) protocol instances
 
 	// Live-measurement histograms (the Section 6 quantities). Always
 	// allocated — Observe is lock- and allocation-free — and exported
@@ -450,6 +451,12 @@ type Stats struct {
 	// schedule).
 	ResetsInjected    int64
 	ScramblesInjected int64
+	// WastedInstances counts protocol instances consumed beyond one per
+	// delivered pass — the re-executions that faults force. It is the
+	// numerator of the wasted-work-per-fault metric (Dwork/Halpern/Waarts)
+	// and the exact-sum counterpart of the barrier_instances_per_pass
+	// histogram: WastedInstances/Passes + 1 is the live Fig 3/5 mean.
+	WastedInstances int64
 }
 
 // Stats returns a consistent snapshot of the barrier's counters.
@@ -478,6 +485,7 @@ func (b *Barrier) Stats() Stats {
 			DroppedInjections: b.statInjDropped.Load(),
 			ResetsInjected:    b.statInjResets.Load(),
 			ScramblesInjected: b.statInjScrambles.Load(),
+			WastedInstances:   b.statWasted.Load(),
 		}
 		if b.statPasses.Load() == s.Passes && b.statResets.Load() == s.Resets {
 			break

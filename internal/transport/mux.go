@@ -430,6 +430,30 @@ func (m *Mux) BreakConns() {
 	m.mu.Unlock()
 }
 
+// SetPartition injects (or heals) a network partition between this
+// process and peer j: the live connection is closed, the dialer parks
+// instead of redialing, and incoming connections from j are rejected at
+// handshake until the partition heals. Frames posted meanwhile coalesce
+// in their latest-wins slots and flow on the next connection, so to the
+// protocol a partition is indistinguishable from a long network blip —
+// retransmission masks the gap for every hosted group at once. A no-op
+// when j is out of range or shares no edge with this process. Chaos/test
+// hook (barrierbench's partition op).
+func (m *Mux) SetPartition(j int, partitioned bool) {
+	if j < 0 || j >= len(m.peers) || m.peers[j] == nil {
+		return
+	}
+	p := m.peers[j]
+	p.partitioned.Store(partitioned)
+	if partitioned {
+		m.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		m.mu.Unlock()
+	}
+}
+
 func (m *Mux) closedNow() bool {
 	select {
 	case <-m.done:
@@ -579,6 +603,10 @@ type muxPeer struct {
 	slots []*muxSlot
 	kick  chan struct{} // cap 1: writer wake-up
 
+	// partitioned is the chaos-injection gate (SetPartition): while set,
+	// no connection to this peer is kept, dialed, or accepted.
+	partitioned atomic.Bool
+
 	conn net.Conn // guarded by m.mu
 }
 
@@ -597,6 +625,12 @@ func (p *muxPeer) setConn(c net.Conn) bool {
 	if p.m.closedNow() {
 		// Close already swept registered connections; registering now would
 		// leak the connection past the sweep.
+		c.Close()
+		return false
+	}
+	if p.partitioned.Load() {
+		// A partition landed while this connection was being established;
+		// registering it would tunnel through the injected fault.
 		c.Close()
 		return false
 	}
@@ -653,6 +687,16 @@ func (p *muxPeer) dialLoop() {
 		if p.m.closedNow() {
 			return
 		}
+		if p.partitioned.Load() {
+			// Injected partition: park instead of redialing; heal is polled
+			// so the dialer needs no extra wake-up channel.
+			select {
+			case <-p.m.done:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			continue
+		}
 		d := net.Dialer{Timeout: p.m.cfg.DialTimeout}
 		c, err := d.DialContext(p.m.dialCtx, "tcp", p.addr)
 		if err != nil {
@@ -685,7 +729,10 @@ func (p *muxPeer) dialLoop() {
 		backoff = p.m.cfg.BaseBackoff
 		if !p.setConn(c) {
 			p.m.stats.connectedOut.Add(-1)
-			return
+			if p.m.closedNow() {
+				return
+			}
+			continue // partition raced the dial; park above until it heals
 		}
 		dead := make(chan struct{})
 		p.m.wg.Add(1)
@@ -741,6 +788,9 @@ func (m *Mux) handleIn(c net.Conn) {
 		}
 		if p == nil {
 			err = fmt.Errorf("transport: process %d does not dial %d", from, m.cfg.Self)
+		} else if p.partitioned.Load() {
+			err = fmt.Errorf("transport: peer %d is partitioned (injected)", from)
+			p = nil
 		}
 	}
 	if err != nil {
@@ -1087,6 +1137,23 @@ func NewLoopbackMuxes(n int, groups []GroupSpec, opts ...MuxOption) (*MuxSet, er
 		}
 	}
 	return set, nil
+}
+
+// PartitionProc isolates (or heals) process j from every other process
+// in the set — the loopback analogue of unplugging one machine's network
+// cable. Both sides of every edge are gated, so neither dial direction
+// can tunnel through.
+func (s *MuxSet) PartitionProc(j int, partitioned bool) {
+	if j < 0 || j >= len(s.Muxes) {
+		return
+	}
+	for k, m := range s.Muxes {
+		if k == j {
+			continue
+		}
+		m.SetPartition(j, partitioned)
+		s.Muxes[j].SetPartition(k, partitioned)
+	}
 }
 
 // Close closes every mux in the set.

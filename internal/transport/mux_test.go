@@ -280,3 +280,103 @@ func TestMuxValidation(t *testing.T) {
 		t.Errorf("reopen after close failed: %v", err)
 	}
 }
+
+// An injected partition isolates one process completely — no pass can
+// complete while it holds, because the ring token cannot circulate — and
+// healing it restores progress without restarting anything: the dialers
+// reconnect and retransmission masks the gap, exactly like a long
+// network blip.
+func TestMuxPartitionInjection(t *testing.T) {
+	const (
+		n       = 3
+		nPhases = 3
+	)
+	set, err := NewLoopbackMuxes(n, []GroupSpec{{ID: 0, Name: "g00"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	b, err := runtime.New(runtime.Config{
+		Participants: n,
+		NPhases:      nPhases,
+		Transport:    set.Ring(0),
+		Resend:       200 * time.Microsecond,
+		Seed:         31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	// Pass counts per member drift across the partition (abandoned Awaits
+	// leave tickets outstanding), so drive passes without phase asserts.
+	pass := func(passes int) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, n)
+		for id := 0; id < n; id++ {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < passes; {
+					_, err := b.Await(ctx, id)
+					switch {
+					case err == nil:
+						k++
+					case errors.Is(err, runtime.ErrReset):
+					default:
+						errs <- fmt.Errorf("member %d: %w", id, err)
+						return
+					}
+				}
+				errs <- nil
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := pass(10); err != nil {
+		t.Fatalf("fault-free warmup: %v", err)
+	}
+
+	// Partition process 1. No barrier pass may complete while it holds:
+	// every Await must time out rather than deliver.
+	set.PartitionProc(1, true)
+	time.Sleep(10 * time.Millisecond) // let in-flight frames drain or die
+	short, scancel := context.WithTimeout(ctx, 250*time.Millisecond)
+	var wg sync.WaitGroup
+	leaked := make(chan int, n)
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Await(short, id); err == nil {
+				leaked <- id
+			}
+		}()
+	}
+	wg.Wait()
+	scancel()
+	select {
+	case id := <-leaked:
+		t.Fatalf("member %d passed the barrier through a partition", id)
+	default:
+	}
+
+	// Heal. The same barrier (and the Awaits the timeout abandoned — their
+	// tickets stay outstanding) must make progress again.
+	set.PartitionProc(1, false)
+	if err := pass(10); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
