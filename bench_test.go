@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rbtree"
 	"repro/internal/topo"
+	"repro/internal/transport"
 )
 
 // The benchmarks below regenerate every figure and table of the paper's
@@ -265,6 +266,152 @@ func BenchmarkAwaitTCPLoopbackTree(b *testing.B) {
 			defer tr.Close()
 			benchRuntimePassesCfg(b, Config{
 				Participants: n, Seed: 1, Topology: TopologyTree, Transport: tr,
+			}, nil)
+		})
+	}
+}
+
+// --- Hybrid topology: members fused two per host, hosts joined in a
+// binary tree. In-process the whole cluster fuses onto one scheduler (the
+// pure fusion win); over loopback TCP only host roots touch the wire, so
+// an n-member barrier pays O(log(n/2)) socket hops instead of the ring's
+// O(n) — the deployment shape for multicore hosts in a cluster. ---
+
+// benchPairHosts groups n members two per host ({0,1},{2,3},...).
+func benchPairHosts(n int) [][]int {
+	var hosts [][]int
+	for i := 0; i < n; i += 2 {
+		roster := []int{i}
+		if i+1 < n {
+			roster = append(roster, i+1)
+		}
+		hosts = append(hosts, roster)
+	}
+	return hosts
+}
+
+func BenchmarkAwaitHybrid(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			benchRuntimePassesCfg(b, Config{
+				Participants: n, Seed: 1, Topology: TopologyHybrid, Hosts: benchPairHosts(n),
+			}, nil)
+		})
+	}
+}
+
+// benchHybridCluster is benchRuntimePassesCfg for the distributed hybrid
+// shape: one Barrier per host sharing the host-tree transport, every
+// member of every host looping Await until all have b.N passes.
+func benchHybridCluster(b *testing.B, hosts [][]int, tr Transport) {
+	n := 0
+	for _, roster := range hosts {
+		n += len(roster)
+	}
+	bars := make([]*Barrier, len(hosts))
+	for h := range hosts {
+		bar, err := New(Config{
+			Participants: n, Seed: 1, Topology: TopologyHybrid,
+			Hosts: hosts, Transport: tr, Members: hosts[h],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer bar.Stop()
+		bars[h] = bar
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	passes := make([]atomic.Int64, n)
+	allDone := func() bool {
+		for i := range passes {
+			if passes[i].Load() < int64(b.N) {
+				return false
+			}
+		}
+		return true
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for h, roster := range hosts {
+		for _, id := range roster {
+			h, id := h, id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					_, err := bars[h].Await(ctx, id)
+					switch {
+					case err == nil:
+						passes[id].Add(1)
+						if allDone() {
+							cancel()
+							return
+						}
+					case errors.Is(err, ErrReset):
+					default:
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+func BenchmarkAwaitTCPLoopbackHybrid(b *testing.B) {
+	// n=2 would fuse onto a single host — no wire at all — so the TCP
+	// comparison starts at two hosts.
+	for _, n := range []int{4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			hosts := benchPairHosts(n)
+			hy, err := NewHybridTopology(hosts, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := NewLoopbackTreeParent(hy.HostTree.Parent)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tr.Close()
+			benchHybridCluster(b, hosts, tr)
+		})
+	}
+}
+
+// --- Wave pipelining: Depth outstanding barrier instances per group over
+// the multiplexed loopback TCP transport. The lanes share one connection
+// per process pair, so overlapped waves batch their frames into single
+// writes; one op is still one delivered pass by every participant, and
+// ns/op falls as the window hides the per-pass round-trip latency. ---
+
+func BenchmarkAwaitPipelined(b *testing.B) {
+	const n = 4
+	for _, depth := range []int{1, 2, 4} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			specs := make([]transport.GroupSpec, depth)
+			for li := range specs {
+				specs[li] = transport.GroupSpec{ID: uint32(li), Name: fmt.Sprintf("lane%d", li)}
+			}
+			set, err := transport.NewLoopbackMuxes(n, specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer set.Close()
+			lanes := make([]Transport, depth)
+			for li := range lanes {
+				lanes[li] = set.Ring(uint32(li))
+			}
+			benchRuntimePassesCfg(b, Config{
+				Participants: n, Seed: 1, Depth: depth, LaneTransports: lanes,
 			}, nil)
 		})
 	}

@@ -47,6 +47,7 @@ var (
 	rateFlag     = flag.Float64("rate", 0, "per-client open-loop arrival rate, passes/second (default 20)")
 	seedFlag     = flag.Int64("seed", 1, "seed for the chaos schedule, arrival jitter, and group draws")
 	resendFlag   = flag.Duration("resend", 0, "group retransmission period (default 5ms)")
+	depthFlag    = flag.Int("depth", 0, "wave-pipelining window per group (default 1; depth>1 overlaps barrier instances)")
 	corruptFlag  = flag.Float64("corrupt", 0, "per-message corruption rate injected into every group")
 	chaosFlag    = flag.Bool("chaos", true, "inject the seed-derived chaos schedule")
 	schedFlag    = flag.String("chaos-schedule", "", "explicit chaos schedule text (overrides the generated one; implies -chaos)")
@@ -65,6 +66,7 @@ func main() {
 		Seed:         *seedFlag,
 		Resend:       *resendFlag,
 		Corrupt:      *corruptFlag,
+		Depth:        *depthFlag,
 		Chaos:        *chaosFlag || *schedFlag != "",
 		Schedule:     *schedFlag,
 		BarrierdPath: *barrierdFlag,
@@ -119,6 +121,26 @@ func main() {
 			cs.Passes, cs.Resets, cs.StoppedRetries, cs.Timeouts)
 	}
 	fmt.Printf("cluster: passes=%.0f wasted-instances=%.0f elapsed=%s\n\n", r.Passes, r.Wasted, r.Elapsed.Round(time.Millisecond))
+
+	// The smoke verdict carries the wasted-work-vs-depth curve: the same
+	// seeded chaos schedule replayed inproc at window depths 1, 2, and 4,
+	// the opening of the Dwork-style scaling curve (see bench.DepthSweep).
+	if *profileFlag == "smoke" {
+		sweep := bench.Profile{Groups: 8, Procs: p.Procs, Duration: 5 * time.Second,
+			Rate: p.Rate, Seed: p.Seed}
+		pts, err := bench.DepthSweep(ctx, sweep, []int{1, 2, 4})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "barrierbench:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wasted work per fault vs pipeline window (inproc, %d groups × %d procs, %s each):\n",
+			sweep.Groups, sweep.Procs, sweep.Duration)
+		for _, pt := range pts {
+			fmt.Printf("  %s\n", pt)
+		}
+		fmt.Println()
+	}
+
 	for _, c := range r.Verdict.Checks {
 		status := "ok  "
 		if !c.OK {

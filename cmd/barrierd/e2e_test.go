@@ -586,6 +586,199 @@ func TestLoopbackMultiGroupKillRestart(t *testing.T) {
 	}
 }
 
+// The hybrid deployment: 2 processes each fuse a 2-member host roster
+// onto one local scheduler and bridge the hosts over a single TCP tree
+// edge. All 4 members must complete their quota spec-clean with 1%
+// injected corruption, with one whole host SIGKILLed mid-run and
+// restarted with -rejoin (taking both of its fused members down and back
+// at once).
+func TestLoopbackHybridKillRestart(t *testing.T) {
+	const hybridHosts = 2
+	dir := t.TempDir()
+	bin := buildBarrierd(t, dir)
+	peers := reservePeers(t, hybridHosts)
+	extra := []string{"-topology", "hybrid", "-hosts", "0,1|2,3"}
+
+	members := make([]*member, hybridHosts)
+	for id := 0; id < hybridHosts; id++ {
+		members[id] = start(t, bin, peers, id, survivorQuota, dir, false, extra...)
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			if m.cmd.ProcessState == nil {
+				m.cmd.Process.Kill()
+				m.cmd.Wait()
+			}
+		}
+	})
+	for _, m := range members {
+		waitHealthy(t, m, time.Minute)
+	}
+
+	// Real progress on a fused member of the root host, then fail-stop the
+	// other host — losing both of its members at once.
+	m0Line := regexp.MustCompile(`(?m)^\[m0\] pass (\d+) `)
+	waitFor(t, "initial hybrid progress", time.Minute, func() bool {
+		data, err := os.ReadFile(members[0].logPath)
+		if err != nil {
+			return false
+		}
+		matches := m0Line.FindAllStringSubmatch(string(data), -1)
+		if len(matches) == 0 {
+			return false
+		}
+		n, _ := strconv.Atoi(matches[len(matches)-1][1])
+		return n >= killAfterPass
+	})
+	victim := members[1]
+	if err := victim.cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup, no goodbye
+		t.Fatal(err)
+	}
+	victim.cmd.Wait()
+	t.Log("killed host 1 (members 2,3)")
+
+	// No barrier can complete without the host's subtree contribution;
+	// restart it into the live tree in the reset state.
+	members[1] = start(t, bin, peers, 1, restartQuota, dir, true, extra...)
+	waitHealthy(t, members[1], time.Minute)
+
+	// Both hosts must bring both of their fused members to quota.
+	for _, m := range members {
+		m := m
+		waitFor(t, fmt.Sprintf("host %d DONE", m.id), 2*time.Minute, func() bool {
+			if logged(m, "VIOLATION") {
+				data, _ := os.ReadFile(m.logPath)
+				lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+				t.Fatalf("host %d spec violation: %s", m.id, lines[len(lines)-1])
+			}
+			return logged(m, "DONE ")
+		})
+	}
+	for _, m := range members {
+		scrapeMetrics(t, m)
+	}
+
+	// Graceful shutdown, spec-clean everywhere, every member loop counted.
+	for _, m := range members {
+		if err := m.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Errorf("signalling host %d: %v", m.id, err)
+		}
+	}
+	for _, m := range members {
+		if err := m.cmd.Wait(); err != nil {
+			data, _ := os.ReadFile(m.logPath)
+			t.Errorf("host %d exited uncleanly: %v\n%s", m.id, err, tailLines(string(data), 5))
+		}
+		if logged(m, "VIOLATION") {
+			t.Errorf("host %d logged a spec violation", m.id)
+		}
+		if !logged(m, "EXIT ") {
+			t.Errorf("host %d exited without a clean summary", m.id)
+		}
+	}
+	// Both fused members of the surviving root host logged passes of their
+	// own — the per-member labels keep the interleaved log attributable.
+	for _, label := range []string{"[m0] pass ", "[m1] pass "} {
+		if !logged(members[0], label) {
+			t.Errorf("host 0 log missing %q lines", label)
+		}
+	}
+}
+
+// Multi-tenant hybrid + pipelined groups: 2 processes host a hybrid
+// group (fused 2-member rosters per host), a depth-4 pipelined ring and
+// a plain ring over one shared connection, exercising the hosts=/depth=
+// groups-file options end to end with 1% injected corruption.
+func TestLoopbackGroupsHybridDepth(t *testing.T) {
+	const (
+		procs      = 2
+		groupQuota = 50
+	)
+	dir := t.TempDir()
+	bin := buildBarrierd(t, dir)
+	peers := reservePeers(t, procs)
+
+	roster := "# hybrid + pipelined tenants\n" +
+		"hy hybrid 3 hosts=0,1|2,3\n" +
+		"deep ring 4 depth=4\n" +
+		"plain\n"
+	groupsFile := filepath.Join(dir, "groups.conf")
+	if err := os.WriteFile(groupsFile, []byte(roster), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	extra := []string{"-groups", groupsFile, "-resend", "1ms"}
+
+	members := make([]*member, procs)
+	for id := 0; id < procs; id++ {
+		members[id] = start(t, bin, peers, id, groupQuota, dir, false, extra...)
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			if m.cmd.ProcessState == nil {
+				m.cmd.Process.Kill()
+				m.cmd.Wait()
+			}
+		}
+	})
+	for _, m := range members {
+		waitHealthy(t, m, time.Minute)
+	}
+
+	for _, m := range members {
+		m := m
+		waitFor(t, fmt.Sprintf("member %d ALL-GROUPS DONE", m.id), 2*time.Minute, func() bool {
+			if logged(m, "VIOLATION") {
+				data, _ := os.ReadFile(m.logPath)
+				lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+				t.Fatalf("member %d spec violation: %s", m.id, lines[len(lines)-1])
+			}
+			return logged(m, "ALL-GROUPS DONE 3")
+		})
+	}
+
+	// The hybrid group's log lines carry per-member labels; the scrape
+	// carries the hybrid topology gauge and per-group counters.
+	for id, want := range [][]string{{"[hy m0] pass ", "[hy m1] pass "}, {"[hy m2] pass ", "[hy m3] pass "}} {
+		for _, label := range want {
+			if !logged(members[id], label) {
+				t.Errorf("member %d log missing %q lines", id, label)
+			}
+		}
+	}
+	for _, m := range members {
+		body, err := scrapeBody(m, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, series := range []string{
+			`barrier_topology{topology="hybrid",group="hy"}`,
+			`barrier_passes_total{group="hy"}`,
+			`barrier_passes_total{group="deep"}`,
+			`barrier_passes_total{group="plain"}`,
+		} {
+			if !strings.Contains(body, series) {
+				t.Errorf("member %d scrape missing %s\n%s", m.id, series, tailLines(body, 30))
+			}
+		}
+	}
+
+	// Graceful shutdown, spec-clean everywhere.
+	for _, m := range members {
+		if err := m.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Errorf("signalling member %d: %v", m.id, err)
+		}
+	}
+	for _, m := range members {
+		if err := m.cmd.Wait(); err != nil {
+			data, _ := os.ReadFile(m.logPath)
+			t.Errorf("member %d exited uncleanly: %v\n%s", m.id, err, tailLines(string(data), 5))
+		}
+		if logged(m, "VIOLATION") {
+			t.Errorf("member %d logged a spec violation", m.id)
+		}
+	}
+}
+
 // Startup validation: bad membership or group rosters must be rejected
 // with a clear error before any socket work.
 func TestStartupValidation(t *testing.T) {
@@ -598,6 +791,18 @@ func TestStartupValidation(t *testing.T) {
 	}
 	badPhases := filepath.Join(dir, "phases.conf")
 	if err := os.WriteFile(badPhases, []byte("a ring one\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badDepth := filepath.Join(dir, "depth.conf")
+	if err := os.WriteFile(badDepth, []byte("a ring depth=0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badHosts := filepath.Join(dir, "hosts.conf")
+	if err := os.WriteFile(badHosts, []byte("a hybrid hosts=0,x|1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ringHosts := filepath.Join(dir, "ringhosts.conf")
+	if err := os.WriteFile(ringHosts, []byte("a ring hosts=0|1\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -614,6 +819,13 @@ func TestStartupValidation(t *testing.T) {
 		{"duplicate group", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-groups", badRoster}, "duplicate group"},
 		{"bad nphases", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-groups", badPhases}, "nphases"},
 		{"missing groups file", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-groups", filepath.Join(dir, "nope.conf")}, "no such file"},
+		{"bad group depth", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-groups", badDepth}, "depth"},
+		{"bad group hosts", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-groups", badHosts}, "hosts"},
+		{"hosts on ring group", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-groups", ringHosts}, "only for hybrid"},
+		{"hybrid without hosts", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-topology", "hybrid"}, "host grouping"},
+		{"hosts without hybrid", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-hosts", "0|1"}, "hybrid"},
+		{"hosts/peers mismatch", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-topology", "hybrid", "-hosts", "0|1|2"}, "host"},
+		{"bad hosts member", []string{"-id", "0", "-peers", "127.0.0.1:7001,127.0.0.1:7002", "-topology", "hybrid", "-hosts", "0,x|1"}, "member"},
 	}
 	for _, tc := range cases {
 		out, err := exec.Command(bin, tc.args...).CombinedOutput()

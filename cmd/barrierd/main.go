@@ -6,8 +6,12 @@
 // -topology selects the refinement: "ring" (default) is the MB token ring,
 // "tree" the double-tree broadcast/convergecast over a binary heap of the
 // member indices — O(log N) barrier latency instead of O(N), at the price
-// of the root being a hub. Every member of one barrier must agree on the
-// topology.
+// of the root being a hub. "hybrid" is the two-level shape for members
+// co-located on hosts: -hosts "0,1|2,3" groups the barrier members by
+// host, each process fuses its whole roster onto one local scheduler, and
+// -peers lists one address per HOST — only host roots exchange network
+// messages, over a binary heap of the host indices. Every member of one
+// barrier must agree on the topology.
 //
 // A four-member loopback ring:
 //
@@ -43,15 +47,21 @@
 // multiplexed over a single shared TCP connection per peer pair
 // (internal/groups). Each line of FILE declares one group:
 //
-//	name [topology [nphases]]     # e.g. "g00 ring 4", "batch tree"
+//	name [topology [nphases]] [key=value...]
+//	# e.g. "g00 ring 4", "batch tree", "ml hybrid hosts=0,1|2,3",
+//	#      "fast ring depth=4"
 //
 // '#' starts a comment; topology defaults to ring and nphases to
-// -nphases. Every process of the deployment must be started with an
-// identical file (the handshake digest enforces it). Per-pass output is
-// prefixed with the group name ("[g00] pass 3 phase 2"); after every
-// group reaches -passes the daemon prints "ALL-GROUPS DONE n" and keeps
-// participating until signalled. /metrics carries each group's series
-// labelled {group="name"}.
+// -nphases. "hosts=0,1|2,3" declares a hybrid group's member rosters
+// (one per process, '|'-separated); "depth=K" pipelines up to K barrier
+// instances of the group over the shared connections (K wire groups,
+// one per in-flight wave). Every process of the deployment must be
+// started with an identical file (the handshake digest enforces it).
+// Per-pass output is prefixed with the group name ("[g00] pass 3 phase
+// 2"; hybrid groups hosting several members add the member, "[ml m3]");
+// after every group reaches -passes the daemon prints "ALL-GROUPS DONE
+// n" and keeps participating until signalled. /metrics carries each
+// group's series labelled {group="name"}.
 package main
 
 import (
@@ -80,7 +90,8 @@ import (
 var (
 	idFlag       = flag.Int("id", -1, "this member's position (0-based)")
 	peersFlag    = flag.String("peers", "", "comma-separated host:port of every member, in member order")
-	topologyFlag = flag.String("topology", "ring", `barrier topology: "ring" or "tree" (binary heap by member index)`)
+	topologyFlag = flag.String("topology", "ring", `barrier topology: "ring", "tree" (binary heap by member index) or "hybrid" (-hosts groups members by host)`)
+	hostsFlag    = flag.String("hosts", "", `hybrid member grouping: '|'-separated per-host rosters, e.g. "0,1|2,3" (host i's members; -peers then lists one address per host and -id is the host index)`)
 	passesFlag   = flag.Int("passes", 100, "print DONE after this many successful passes (0: unlimited)")
 	nPhasesFlag  = flag.Int("nphases", 4, "phase-counter modulus")
 	resendFlag   = flag.Duration("resend", 500*time.Microsecond, "state retransmission period")
@@ -122,10 +133,13 @@ func run() error {
 
 	// The transport must realize the same topology the protocol runs: ring
 	// links for MB, tree edges (matching the runtime's default binary-heap
-	// shape) for the double-tree refinement.
+	// shape) for the double-tree refinement, host-tree edges for hybrid.
 	var (
 		tr       runtime.Transport
 		topology runtime.Topology
+		hosts    [][]int      // hybrid only
+		members  = []int{id}  // the barrier members this process drives
+		total    = len(peers) // Participants
 	)
 	switch *topologyFlag {
 	case "ring":
@@ -146,16 +160,40 @@ func run() error {
 			return err
 		}
 		tr = t
+	case "hybrid":
+		topology = runtime.TopologyHybrid
+		hosts, err = parseHosts(*hostsFlag)
+		if err != nil {
+			return err
+		}
+		if len(hosts) != len(peers) {
+			return fmt.Errorf("-hosts declares %d hosts, -peers %d addresses: want one address per host", len(hosts), len(peers))
+		}
+		hy, err := topo.NewHybridTree(hosts, 2)
+		if err != nil {
+			return err
+		}
+		t, err := transport.NewTCPTree(transport.TCPConfig{Peers: peers, Registry: reg}, hy.HostTree.Parent)
+		if err != nil {
+			return err
+		}
+		tr = t
+		members = hosts[id]
+		total = len(hy.HostOf)
 	default:
-		return fmt.Errorf("-topology %q: want ring or tree", *topologyFlag)
+		return fmt.Errorf("-topology %q: want ring, tree or hybrid", *topologyFlag)
+	}
+	if *hostsFlag != "" && topology != runtime.TopologyHybrid {
+		return errors.New("-hosts requires -topology hybrid")
 	}
 	defer tr.Close()
 	b, err := runtime.New(runtime.Config{
-		Participants: len(peers),
+		Participants: total,
 		NPhases:      *nPhasesFlag,
 		Topology:     topology,
+		Hosts:        hosts,
 		Transport:    tr,
-		Members:      []int{id},
+		Members:      members,
 		Rejoin:       *rejoinFlag,
 		Resend:       *resendFlag,
 		LossRate:     *lossFlag,
@@ -196,34 +234,62 @@ func run() error {
 		cancel()
 	}()
 
-	// Per-member spec projection: successive passes must cycle through the
-	// phases in order. The first pass synchronizes the expectation (a
-	// -rejoin member comes up mid-cycle).
+	// One spec-projection loop per locally-hosted member: one for ring and
+	// tree, the whole host roster for hybrid. "DONE n" announces the quota
+	// once EVERY local member has reached it; the loops keep participating
+	// until signalled — exiting would break the barrier for members still
+	// short of their quota.
+	var doneCount atomic.Int64
+	errs := make(chan error, len(members))
+	for _, m := range members {
+		m := m
+		label := ""
+		if len(members) > 1 {
+			label = fmt.Sprintf("[m%d] ", m)
+		}
+		go func() {
+			errs <- memberLoop(ctx, b, m, label, *nPhasesFlag, &passCounter, func() {
+				if int(doneCount.Add(1)) == len(members) {
+					fmt.Printf("DONE %d\n", *passesFlag)
+				}
+			})
+		}()
+	}
+	for range members {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	fmt.Printf("EXIT member %d: %d passes, clean\n", id, passCounter.Load())
+	return nil
+}
+
+// memberLoop is one member's projection of the specification: successive
+// passes must cycle through the phases in order. The first pass
+// synchronizes the expectation (a -rejoin member comes up mid-cycle).
+func memberLoop(ctx context.Context, b *runtime.Barrier, member int, label string, nPhases int, counter *atomic.Int64, onQuota func()) error {
 	var (
-		passes   int
-		expected = -1
-		doneSaid bool
+		passes    int
+		expected  = -1
+		quotaSaid bool
 	)
 	for {
-		ph, err := b.Await(ctx, id)
+		ph, err := b.Await(ctx, member)
 		switch {
 		case err == nil:
 			if expected != -1 && ph != expected {
-				fmt.Printf("VIOLATION member %d: pass %d phase %d, expected %d\n", id, passes, ph, expected)
+				fmt.Printf("VIOLATION member %d: pass %d phase %d, expected %d\n", member, passes, ph, expected)
 				return fmt.Errorf("phase order violated: got %d, expected %d", ph, expected)
 			}
-			expected = (ph + 1) % *nPhasesFlag
+			expected = (ph + 1) % nPhases
 			passes++
-			passCounter.Store(int64(passes))
+			counter.Add(1)
 			if !*quietFlag {
-				fmt.Printf("pass %d phase %d\n", passes, ph)
+				fmt.Printf("%spass %d phase %d\n", label, passes, ph)
 			}
-			if *passesFlag > 0 && passes == *passesFlag && !doneSaid {
-				// Quota reached: announce it, then keep participating until
-				// signalled — exiting here would break the ring for members
-				// still short of their quota.
-				fmt.Printf("DONE %d\n", passes)
-				doneSaid = true
+			if *passesFlag > 0 && passes == *passesFlag && !quotaSaid {
+				quotaSaid = true
+				onQuota()
 			}
 			thinkPause(ctx)
 		case errors.Is(err, runtime.ErrReset):
@@ -231,7 +297,6 @@ func run() error {
 			// expectation survives — a reset must not skip or repeat a
 			// barrier this member already observed.
 		case errors.Is(err, context.Canceled):
-			fmt.Printf("EXIT member %d: %d passes, clean\n", id, passes)
 			return nil
 		default:
 			return fmt.Errorf("await: %w", err)
@@ -276,9 +341,31 @@ func parseMembership(peersCSV string, id int) ([]string, int, error) {
 	return peers, id, nil
 }
 
+// parseHosts reads a hybrid member grouping: '|'-separated per-host
+// rosters of ','-separated member ids, e.g. "0,1|2,3".
+func parseHosts(s string) ([][]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("hybrid needs a host grouping (e.g. \"0,1|2,3\")")
+	}
+	rosters := strings.Split(s, "|")
+	hosts := make([][]int, len(rosters))
+	for h, roster := range rosters {
+		for _, f := range strings.Split(roster, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("host %d: member %q: %w", h, f, err)
+			}
+			hosts[h] = append(hosts[h], id)
+		}
+	}
+	return hosts, nil
+}
+
 // parseGroupsFile reads the multi-tenant group declarations: one group
-// per line, "name [topology [nphases]]", '#' comments. The fault-injection
-// flags apply to every group; seeds are decorrelated per group.
+// per line, "name [topology [nphases]] [key=value...]", '#' comments.
+// Options: "hosts=0,1|2,3" (hybrid rosters), "depth=K" (wave-pipelining
+// window). The fault-injection flags apply to every group; seeds are
+// decorrelated per group.
 func parseGroupsFile(path string) ([]groups.Config, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -302,18 +389,40 @@ func parseGroupsFile(path string) ([]groups.Config, error) {
 			CorruptRate: *corruptFlag,
 			Seed:        *seedFlag + int64(len(cfgs))<<8,
 		}
-		if len(fields) > 1 {
-			c.Topology = fields[1]
-		}
-		if len(fields) > 2 {
-			n, err := strconv.Atoi(fields[2])
-			if err != nil || n < 2 {
-				return nil, fmt.Errorf("%s:%d: nphases %q: want an integer ≥ 2", path, lineNo+1, fields[2])
+		positional := 0
+		for _, f := range fields[1:] {
+			if key, val, isOpt := strings.Cut(f, "="); isOpt {
+				switch key {
+				case "hosts":
+					hosts, err := parseHosts(val)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: hosts: %w", path, lineNo+1, err)
+					}
+					c.Hosts = hosts
+				case "depth":
+					d, err := strconv.Atoi(val)
+					if err != nil || d < 1 {
+						return nil, fmt.Errorf("%s:%d: depth %q: want an integer ≥ 1", path, lineNo+1, val)
+					}
+					c.Depth = d
+				default:
+					return nil, fmt.Errorf("%s:%d: unknown option %q (want hosts= or depth=)", path, lineNo+1, key)
+				}
+				continue
 			}
-			c.NPhases = n
-		}
-		if len(fields) > 3 {
-			return nil, fmt.Errorf("%s:%d: too many fields (want: name [topology [nphases]])", path, lineNo+1)
+			switch positional {
+			case 0:
+				c.Topology = f
+			case 1:
+				n, err := strconv.Atoi(f)
+				if err != nil || n < 2 {
+					return nil, fmt.Errorf("%s:%d: nphases %q: want an integer ≥ 2", path, lineNo+1, f)
+				}
+				c.NPhases = n
+			default:
+				return nil, fmt.Errorf("%s:%d: too many fields (want: name [topology [nphases]] [key=value...])", path, lineNo+1)
+			}
+			positional++
 		}
 		cfgs = append(cfgs, c)
 	}
@@ -371,23 +480,36 @@ func runGroups(file string, peers []string, id int, reg *obsv.Registry) error {
 		cancel()
 	}()
 
-	// One await loop per group. Every group must reach the -passes quota;
-	// "ALL-GROUPS DONE n" marks the rendezvous. Like the single-group
-	// daemon, the loops keep participating after their quota until
-	// signalled — a member that exits breaks its groups for the peers.
-	var doneCount atomic.Int64
-	errs := make(chan error, len(cfgs))
+	// One await loop per locally-hosted member of every group (one for
+	// ring/tree groups, the whole roster for hybrid). Every group must
+	// bring every local member to the -passes quota; "ALL-GROUPS DONE n"
+	// marks the rendezvous. Like the single-group daemon, the loops keep
+	// participating after their quota until signalled — a member that
+	// exits breaks its groups for the peers.
+	var doneGroups atomic.Int64
+	var loops int
+	errs := make(chan error, 64)
 	for i, g := range r.Groups() {
 		g, nPhases := g, cfgs[i].NPhases
-		go func() {
-			errs <- groupLoop(ctx, g, id, nPhases, &totalPasses, func() {
-				if int(doneCount.Add(1)) == len(cfgs) {
-					fmt.Printf("ALL-GROUPS DONE %d\n", len(cfgs))
-				}
-			})
-		}()
+		members := g.Members()
+		doneMembers := new(atomic.Int64)
+		for _, m := range members {
+			m := m
+			loops++
+			go func() {
+				errs <- groupLoop(ctx, g, m, len(members) > 1, nPhases, &totalPasses, func() {
+					if int(doneMembers.Add(1)) != len(members) {
+						return
+					}
+					fmt.Printf("[%s] DONE %d\n", g.Name(), *passesFlag)
+					if int(doneGroups.Add(1)) == len(cfgs) {
+						fmt.Printf("ALL-GROUPS DONE %d\n", len(cfgs))
+					}
+				})
+			}()
+		}
 	}
-	for range cfgs {
+	for i := 0; i < loops; i++ {
 		if err := <-errs; err != nil {
 			return err
 		}
@@ -396,34 +518,38 @@ func runGroups(file string, peers []string, id int, reg *obsv.Registry) error {
 	return nil
 }
 
-// groupLoop is the per-group projection of the single-group daemon loop:
-// Await, check the per-member phase cycle, print "[name] pass N phase P"
-// lines (prefixed, so single-group log scrapers never confuse tenants),
-// announce "[name] DONE n" at the quota and keep going until cancelled.
-func groupLoop(ctx context.Context, g *groups.Group, id, nPhases int, total *atomic.Int64, onDone func()) error {
+// groupLoop is one group member's projection of the single-group daemon
+// loop: Await, check the per-member phase cycle, print "[name] pass N
+// phase P" lines (prefixed, so single-group log scrapers never confuse
+// tenants; multi-member hybrid groups add the member id, "[name m3]"),
+// report the quota and keep going until cancelled.
+func groupLoop(ctx context.Context, g *groups.Group, member int, labelMember bool, nPhases int, total *atomic.Int64, onQuota func()) error {
+	label := g.Name()
+	if labelMember {
+		label = fmt.Sprintf("%s m%d", g.Name(), member)
+	}
 	var (
-		passes   int
-		expected = -1
-		doneSaid bool
+		passes    int
+		expected  = -1
+		quotaSaid bool
 	)
 	for {
-		ph, err := g.Await(ctx)
+		ph, err := g.AwaitMember(ctx, member)
 		switch {
 		case err == nil:
 			if expected != -1 && ph != expected {
-				fmt.Printf("VIOLATION group %s member %d: pass %d phase %d, expected %d\n", g.Name(), id, passes, ph, expected)
+				fmt.Printf("VIOLATION group %s member %d: pass %d phase %d, expected %d\n", g.Name(), member, passes, ph, expected)
 				return fmt.Errorf("group %s: phase order violated: got %d, expected %d", g.Name(), ph, expected)
 			}
 			expected = (ph + 1) % nPhases
 			passes++
 			total.Add(1)
 			if !*quietFlag {
-				fmt.Printf("[%s] pass %d phase %d\n", g.Name(), passes, ph)
+				fmt.Printf("[%s] pass %d phase %d\n", label, passes, ph)
 			}
-			if *passesFlag > 0 && passes == *passesFlag && !doneSaid {
-				fmt.Printf("[%s] DONE %d\n", g.Name(), passes)
-				doneSaid = true
-				onDone()
+			if *passesFlag > 0 && passes == *passesFlag && !quotaSaid {
+				quotaSaid = true
+				onQuota()
 			}
 			thinkPause(ctx)
 		case errors.Is(err, runtime.ErrReset):

@@ -6,8 +6,16 @@
 //
 //   - any measured Await benchmark reports allocs/op > 0 (the hot path
 //     is allocation-free by design — see DESIGN.md — and must stay so), or
-//   - a gated benchmark family (BenchmarkAwaitTree, BenchmarkAwaitChannel)
-//     is more than -tolerance slower than baseline after normalization.
+//   - a gated benchmark family (BenchmarkAwaitTree, BenchmarkAwaitChannel,
+//     BenchmarkAwaitHybrid) is more than -tolerance slower than baseline
+//     after normalization, or
+//   - a same-run structural ratio fails: the hybrid topology must beat the
+//     flat ring over loopback TCP at n=8 (the crossover the topology
+//     exists for), and a depth-4 pipeline window must sustain at least
+//     1.5x the depth=1 pass rate over the shared mux connection. Both
+//     ratios compare two measurements from the same run on the same
+//     machine, so no baseline normalization is involved; each gate is
+//     active only when both of its rows are present in the input.
 //
 // CI runners are not the host the baseline was measured on, so raw
 // ns/op comparison would gate on machine speed, not on the code. The
@@ -53,7 +61,7 @@ var (
 // gatedPrefixes are the benchmark families whose normalized ns/op is
 // gated; the rest (TCP loopback) only contribute to the median and to
 // the allocs check — socket benches are too kernel-noisy to gate at 2%.
-var gatedPrefixes = []string{"BenchmarkAwaitTree/", "BenchmarkAwaitChannel/"}
+var gatedPrefixes = []string{"BenchmarkAwaitTree/", "BenchmarkAwaitChannel/", "BenchmarkAwaitHybrid/"}
 
 type baselineFile struct {
 	Results []struct {
@@ -232,8 +240,42 @@ func run() error {
 		fmt.Printf("%-6s %-34s family geomean x%.3f over %d sizes\n", verdict, fam, geomean, famCount[fam])
 	}
 
+	if !ratioGates(measured) {
+		failed = true
+	}
+
 	if failed {
 		return fmt.Errorf("gate failed")
 	}
 	return nil
+}
+
+// ratioGates checks the same-run structural ratios. Both sides of each
+// ratio come from one run on one machine, so machine speed cancels and
+// no baseline normalization is needed; a gate whose rows are absent from
+// the input is skipped, so partial bench runs still pass.
+func ratioGates(measured map[string]measurement) bool {
+	ok := true
+	check := func(name, num, den string, maxRatio float64, why string) {
+		n, haveNum := measured[num]
+		d, haveDen := measured[den]
+		if !haveNum || !haveDen {
+			return
+		}
+		ratio := n.nsPerOp / d.nsPerOp
+		verdict := "ok"
+		if ratio > maxRatio {
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Printf("%-6s %-34s %s/%s x%.3f (max x%.3f): %s\n",
+			verdict, name, num, den, ratio, maxRatio, why)
+	}
+	check("hybrid-crossover",
+		"BenchmarkAwaitTCPLoopbackHybrid/n=8", "BenchmarkAwaitTCPLoopback/n=8",
+		1.0, "host fusion must beat the flat ring over the wire")
+	check("pipeline-depth",
+		"BenchmarkAwaitPipelined/depth=4", "BenchmarkAwaitPipelined/depth=1",
+		1.0/1.5, "a depth-4 window must sustain >=1.5x the depth=1 pass rate")
+	return ok
 }

@@ -62,16 +62,37 @@ var (
 func New(cfg Config) (*Barrier, error) { return runtime.New(cfg) }
 
 // Topology selects the runtime barrier's refinement (Config.Topology): the
-// MB token ring (O(N) latency, the default) or the double-tree
+// MB token ring (O(N) latency, the default), the double-tree
 // broadcast/convergecast of Fig 2(d) (O(log N) latency over a k-ary heap,
-// arity Config.TreeArity).
+// arity Config.TreeArity), or the two-level hybrid (Config.Hosts groups
+// members by host; each host's members fuse onto one local scheduler and
+// only host roots exchange network messages, so the network diameter is
+// O(log #hosts) regardless of members per host).
 type Topology = runtime.Topology
 
 // The available topologies.
 const (
-	TopologyRing = runtime.TopologyRing
-	TopologyTree = runtime.TopologyTree
+	TopologyRing   = runtime.TopologyRing
+	TopologyTree   = runtime.TopologyTree
+	TopologyHybrid = runtime.TopologyHybrid
 )
+
+// HybridTopology is the derived shape of a hybrid deployment: the fused
+// member tree, the normalized host rosters, and the cross-host tree
+// whose node space (host indices) is what a hybrid deployment's network
+// transport runs over.
+type HybridTopology = topo.Hybrid
+
+// NewHybridTopology derives the hybrid shape for a host grouping
+// (Config.Hosts) and host-tree arity (0 defaults to 2). Use
+// HostTree.Parent with NewTCPTreeTransport to build the cross-host
+// transport each host process passes in Config.Transport.
+func NewHybridTopology(hosts [][]int, arity int) (*HybridTopology, error) {
+	if arity == 0 {
+		arity = 2
+	}
+	return topo.NewHybridTree(hosts, arity)
+}
 
 // --- Layer 1, observability ---
 
@@ -154,6 +175,15 @@ func NewTCPTreeTransport(cfg TCPConfig, parent []int) (*TCPTreeTransport, error)
 // transport for an all-local binary-heap tree — the test and benchmark
 // configuration for TopologyTree.
 func NewLoopbackTree(n int) (*TCPTreeTransport, error) { return transport.NewLoopbackTree(n) }
+
+// NewLoopbackTreeParent is NewLoopbackTree for an arbitrary tree shape
+// given by the parent vector. With Config.Topology == TopologyHybrid the
+// tree nodes are HOST indices (topo: the hybrid host tree), one OS
+// process per host; each process passes the same transport and its own
+// host's member roster in Config.Members.
+func NewLoopbackTreeParent(parent []int) (*TCPTreeTransport, error) {
+	return transport.NewLoopbackTreeParent(parent)
+}
 
 // --- Layer 2: the protocol stack ---
 

@@ -115,6 +115,7 @@ func TestMetricPair(t *testing.T)   { runFixture(t, analyzers.MetricPair, "metri
 func TestMetricPairOK(t *testing.T) { runFixture(t, analyzers.MetricPair, "metricpair_ok") }
 func TestStepPure(t *testing.T)     { runFixture(t, analyzers.StepPure, "steppure") }
 func TestLockOrder(t *testing.T)    { runFixture(t, analyzers.LockOrder, "lockorder") }
+func TestTicketWindow(t *testing.T) { runFixture(t, analyzers.TicketWindow, "ticketwindow") }
 
 // TestIgnoreDirectives pins the suppression contract: a directive with a
 // reason silences the finding on its line (or the line below when it

@@ -9,5 +9,6 @@ func All() []*Analyzer {
 		MetricPair,
 		StepPure,
 		LockOrder,
+		TicketWindow,
 	}
 }

@@ -1,0 +1,53 @@
+// Fixture: the pipeline-window commit pairing (DESIGN.md §12). A gate
+// couples a ticket counter with an entered flag: committing a ticket
+// without marking the slot lets the window double-enter a lane or
+// orphan a wave, so any function that writes tickets must also write
+// entered. Clearing entered alone (the release side) is legal.
+package ticketwindow
+
+type gate struct {
+	tickets uint64
+	entered bool
+}
+
+type window struct {
+	g gate
+}
+
+// enterPaired is the correct commit: ticket and slot move together.
+func enterPaired(g *gate) {
+	g.tickets++
+	g.entered = true
+}
+
+// reapRelease is the legal release side: the flag clears, the counter
+// (the monotone ticket source) stands.
+func reapRelease(g *gate) {
+	g.entered = false
+}
+
+// enterOrphaned commits a ticket and forgets the slot — the bug class.
+func enterOrphaned(g *gate) {
+	g.tickets++ // want "ticket committed \(write to g\.tickets\) with no write to the entered flag in enterOrphaned"
+}
+
+// enterAssigned is the same bug through a plain assignment.
+func enterAssigned(g *gate) {
+	g.tickets = g.tickets + 1 // want "ticket committed \(write to g\.tickets\) with no write to the entered flag in enterAssigned"
+}
+
+// enterNested reaches the gate through another struct; the shape check
+// follows the selector, not the variable name.
+func enterNested(w *window) {
+	w.g.tickets += 1 // want "ticket committed \(write to w\.g\.tickets\) with no write to the entered flag in enterNested"
+}
+
+// loneCounter has a tickets field but no entered flag: not a gate, not
+// our business.
+type loneCounter struct {
+	tickets uint64
+}
+
+func sellTickets(c *loneCounter) {
+	c.tickets++
+}

@@ -1,0 +1,119 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TicketWindow enforces the pipeline-window commit pairing of the
+// runtime barrier's windowed Await (DESIGN.md §12): in any struct that
+// carries both a `tickets` counter and an `entered` flag — the gate
+// shape — a function that commits a ticket (writes, increments, or
+// compound-assigns the tickets field) must also write the entered flag
+// in the same function. The ticket is the protocol-side promise that an
+// arrival was handed over; the flag is the window's record that the
+// lane slot is occupied. Committing one without the other lets Enter
+// hand a second arrival to a lane that already owes a completion
+// (double-enter) or leaves Leave waiting on a ticket whose slot
+// bookkeeping never happened (an orphaned wave). Clearing `entered`
+// alone is the release side of the pairing and is legal — reap does
+// exactly that.
+var TicketWindow = &Analyzer{
+	Name: "ticketwindow",
+	Doc: "a function that commits an Await ticket (writes the tickets " +
+		"field of a gate-shaped struct) must also mark the window slot " +
+		"(write the entered flag) in the same function, or the pipeline " +
+		"window can double-enter a lane or orphan a wave",
+	Run: runTicketWindow,
+}
+
+func runTicketWindow(p *Pass) error {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var ticketWrites []*ast.SelectorExpr
+			wroteEntered := false
+			note := func(sel *ast.SelectorExpr) {
+				if !gateShaped(p, sel) {
+					return
+				}
+				switch sel.Sel.Name {
+				case "tickets":
+					ticketWrites = append(ticketWrites, sel)
+				case "entered":
+					wroteEntered = true
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if sel, ok := lhs.(*ast.SelectorExpr); ok {
+							note(sel)
+						}
+					}
+				case *ast.IncDecStmt:
+					if sel, ok := n.X.(*ast.SelectorExpr); ok {
+						note(sel)
+					}
+				}
+				return true
+			})
+			if wroteEntered {
+				continue
+			}
+			for _, sel := range ticketWrites {
+				p.Reportf(sel.Pos(), "ticket committed (write to %s.tickets) with no write to the entered flag in %s; the window slot bookkeeping is missing",
+					exprText(sel.X), fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// gateShaped reports whether sel selects a field of a struct that has
+// both the tickets counter and the entered flag — the window-gate shape
+// the pairing rule applies to. Unrelated tickets fields elsewhere are
+// left alone.
+func gateShaped(p *Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := p.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	hasTickets, hasEntered := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "tickets":
+			hasTickets = true
+		case "entered":
+			hasEntered = true
+		}
+	}
+	return hasTickets && hasEntered
+}
+
+// exprText renders a selector base for a diagnostic ("g", "w.gate").
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	case *ast.StarExpr:
+		return exprText(e.X)
+	}
+	return "gate"
+}

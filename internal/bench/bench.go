@@ -46,6 +46,11 @@ type Profile struct {
 	Resend time.Duration
 	// Corrupt is a per-message corruption rate injected into every group.
 	Corrupt float64
+	// Depth is every group's wave-pipelining window (default 1): up to
+	// Depth barrier instances overlap per group, and a fault landing in
+	// the window can force up to Depth re-executed waves per member —
+	// the wasted-work axis DepthSweep measures.
+	Depth int
 
 	// Chaos enables the fault schedule; Schedule overrides the generated
 	// one with an explicit conformance schedule text (target "bench").
@@ -83,11 +88,14 @@ func (p *Profile) DefaultSLO() SLO {
 		// or restarted member's counters restart from zero with it, so the
 		// retained cluster total sits well below the offered load even on a
 		// healthy run.
-		MinPasses:         ideal * 0.15,
-		PassP99:           500 * time.Millisecond,
-		RecoveryFactor:    5,
-		RecoveryFloor:     300 * time.Millisecond,
-		MaxWastedPerFault: 4 * float64(p.Groups*p.Procs),
+		MinPasses:      ideal * 0.15,
+		PassP99:        500 * time.Millisecond,
+		RecoveryFactor: 5,
+		RecoveryFloor:  300 * time.Millisecond,
+		// A fault landing in a Depth-deep window can waste up to Depth
+		// waves per member, so the per-fault envelope scales with the
+		// window.
+		MaxWastedPerFault: 4 * float64(p.Groups*p.Procs) * float64(max(p.Depth, 1)),
 		MaxMeanInstances:  1.5,
 	}
 }
@@ -115,6 +123,12 @@ func (p *Profile) normalize() error {
 	}
 	if p.Resend == 0 {
 		p.Resend = 5 * time.Millisecond
+	}
+	if p.Depth == 0 {
+		p.Depth = 1
+	}
+	if p.Depth < 1 {
+		return fmt.Errorf("bench: need depth ≥ 1, got %d", p.Depth)
 	}
 	if p.ChaosPacing <= 0 {
 		p.ChaosPacing = 100 * time.Millisecond

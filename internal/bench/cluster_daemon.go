@@ -84,7 +84,11 @@ func (c *daemonCluster) Start(ctx context.Context) error {
 		if i%5 == 4 {
 			topo = "tree"
 		}
-		fmt.Fprintf(&sb, "g%03d %s %d\n", i, topo, c.p.NPhases)
+		fmt.Fprintf(&sb, "g%03d %s %d", i, topo, c.p.NPhases)
+		if c.p.Depth > 1 {
+			fmt.Fprintf(&sb, " depth=%d", c.p.Depth)
+		}
+		sb.WriteByte('\n')
 	}
 	c.roster = filepath.Join(dir, "groups.conf")
 	if err := os.WriteFile(c.roster, []byte(sb.String()), 0o644); err != nil {

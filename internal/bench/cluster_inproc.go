@@ -62,6 +62,7 @@ func (c *inprocCluster) Start(ctx context.Context) error {
 		g := &inprocGroup{cfg: runtime.Config{
 			Participants: c.p.Procs,
 			Topology:     topo,
+			Depth:        c.p.Depth,
 			NPhases:      c.p.NPhases,
 			Resend:       c.p.Resend,
 			CorruptRate:  c.p.Corrupt,

@@ -45,6 +45,7 @@ func groupConfigs(p *Profile) []groups.Config {
 		cfgs[i] = groups.Config{
 			Name:        fmt.Sprintf("g%03d", i),
 			Topology:    topo,
+			Depth:       p.Depth,
 			NPhases:     p.NPhases,
 			Resend:      p.Resend,
 			CorruptRate: p.Corrupt,

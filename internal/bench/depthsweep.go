@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+)
+
+// DepthPoint is one sample of the wasted-work-vs-window curve: the
+// outcome of replaying one seeded chaos run at one pipeline depth.
+type DepthPoint struct {
+	Depth    int
+	Faults   int     // chaos injections applied during the run
+	Passes   float64 // cluster-wide barrier_passes_total at quiescence
+	Wasted   float64 // cluster-wide barrier_wasted_instances_total
+	PerFault float64 // Wasted / Faults (0 when no fault applied)
+}
+
+func (pt DepthPoint) String() string {
+	return fmt.Sprintf("depth=%d  passes=%.0f wasted=%.0f faults=%d  %.2f wasted instances per fault",
+		pt.Depth, pt.Passes, pt.Wasted, pt.Faults, pt.PerFault)
+}
+
+// DepthSweep measures wasted work per injected fault as a function of
+// the pipeline window — the opening of the Dwork/Halpern/Waarts-style
+// wasted-work scaling curve. Every point replays the same profile (same
+// seed, so the same chaos schedule) with only Depth varied, against the
+// inproc deployment: with the network subtracted, the injected faults —
+// not socket noise — set the re-execution count, and the points are
+// comparable. A fault landing in a Depth-deep window may force up to
+// Depth waves to re-execute, so PerFault is expected to grow with Depth;
+// the smoke profile records the measured curve in its verdict output.
+func DepthSweep(ctx context.Context, base Profile, depths []int) ([]DepthPoint, error) {
+	pts := make([]DepthPoint, 0, len(depths))
+	for _, d := range depths {
+		p := base
+		p.Mode = "inproc"
+		p.Depth = d
+		p.Chaos = true
+		p.SLO = SLO{} // the sweep measures; the main run gates
+		r, err := Run(ctx, p)
+		if err != nil {
+			return nil, fmt.Errorf("bench: depth sweep at depth %d: %w", d, err)
+		}
+		pt := DepthPoint{Depth: d, Faults: r.Chaos.Faults(), Passes: r.Passes, Wasted: r.Wasted}
+		if pt.Faults > 0 {
+			pt.PerFault = pt.Wasted / float64(pt.Faults)
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}

@@ -169,3 +169,62 @@ func TestRunDaemonChaos(t *testing.T) {
 		t.Errorf("chaos %+v, want 1 kill and 1 partition applied", r.Chaos)
 	}
 }
+
+// The depth sweep replays one seeded chaos schedule at several pipeline
+// depths; every point must apply the same faults and record wasted work,
+// and a depth-4 group roster must come up in every deployment mode the
+// sweep's numbers are extrapolated to (here: loopback, the smoke mode).
+func TestDepthSweep(t *testing.T) {
+	pts, err := DepthSweep(context.Background(), Profile{
+		Groups:   3,
+		Procs:    3,
+		Duration: 1500 * time.Millisecond,
+		Rate:     50,
+		Seed:     21,
+	}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Depth != 1 || pts[1].Depth != 4 {
+		t.Fatalf("sweep points %v, want depths [1 4]", pts)
+	}
+	for _, pt := range pts {
+		t.Log(pt)
+		if pt.Faults == 0 {
+			t.Errorf("depth %d: no faults applied", pt.Depth)
+		}
+		if pt.Faults != pts[0].Faults {
+			t.Errorf("depth %d applied %d faults, depth %d applied %d: the schedule is not replaying",
+				pt.Depth, pt.Faults, pts[0].Depth, pts[0].Faults)
+		}
+		if pt.Wasted == 0 {
+			t.Errorf("depth %d: faults left no trace in wasted instances", pt.Depth)
+		}
+	}
+}
+
+// A pipelined group roster over the real mux transport: the loopback
+// deployment at Depth 2 must survive its chaos schedule and pass.
+func TestRunLoopbackDepth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback load run in -short mode")
+	}
+	r, err := Run(context.Background(), Profile{
+		Mode:     "loopback",
+		Groups:   4,
+		Procs:    3,
+		Depth:    2,
+		Duration: 3 * time.Second,
+		Rate:     30,
+		Seed:     9,
+		Chaos:    true,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportVerdict(t, r)
+	if !r.Verdict.Pass {
+		t.Error("verdict FAIL, want PASS")
+	}
+}

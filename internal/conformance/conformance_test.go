@@ -213,6 +213,46 @@ func TestTreeTargetMatchesChannelTarget(t *testing.T) {
 	}
 }
 
+// A schedule ported between the ring and the hybrid topology must produce
+// the same verdict: fusing members pairwise onto per-host schedulers is a
+// deployment choice, not an observable. Fault-free schedules check pure
+// barrier equivalence; the masking and byte-derived mixes check that the
+// hybrid shape masks the same fault classes — including resets landing on
+// fused (non-root) members whose faults never touch a cross-host edge.
+func TestHybridTargetMatchesChannelTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock paced")
+	}
+	schedules := []Schedule{
+		// Fault-free: both topologies must run spec-clean barriers. The odd
+		// roster leaves one host with a single member.
+		Generate(GenConfig{Target: TargetRuntime, NProcs: 4, NPhases: 3, Ops: 40}, 10),
+		Generate(GenConfig{Target: TargetRuntime, NProcs: 7, NPhases: 2, Ops: 40}, 11),
+		// Masking mix: resets over lossy, corrupting links.
+		Generate(GenConfig{Target: TargetRuntime, NProcs: 4, NPhases: 3, Ops: 40,
+			FaultRate: 0.15, Loss: 0.05, Corrupt: 0.05}, 12),
+		// A byte-derived schedule, as the fuzzers construct them.
+		FromBytes(TargetRuntime, 13, []byte{1, 1, 2, 3, 10, 20, 0xB2, 1, 5, 40}),
+	}
+	for i, s := range schedules {
+		s.Target = TargetRuntime
+		vRing := Run(s)
+		s.Target = TargetHybrid
+		vHybrid := Run(s)
+		if vRing.OK != vHybrid.OK || vRing.Reason != vHybrid.Reason {
+			t.Errorf("schedule %d: verdicts diverge across topologies:\n  ring:   %v\n  hybrid: %v\n  replay: %s",
+				i, vRing, vHybrid, s.String())
+		}
+		if !vRing.OK {
+			t.Errorf("schedule %d: expected OK on both topologies, got %v", i, vRing)
+		}
+		if s.HasUndetectable() && (vRing.Stabilized != vHybrid.Stabilized) {
+			t.Errorf("schedule %d: stabilization verdicts diverge: ring=%v hybrid=%v",
+				i, vRing.Stabilized, vHybrid.Stabilized)
+		}
+	}
+}
+
 // All five refinements are observationally equivalent on fault-free
 // computations: the same sequence of successful barrier phases.
 func TestRefinementTraceEquivalence(t *testing.T) {

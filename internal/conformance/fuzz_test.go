@@ -76,6 +76,13 @@ func FuzzRuntimeTree(f *testing.F) { fuzzLiveBarrier(f, TargetTree) }
 // every case exercises group tagging and per-group demultiplexing.
 func FuzzRuntimeMux(f *testing.F) { fuzzLiveBarrier(f, TargetMux) }
 
+// FuzzRuntimeHybrid runs the identical schedule space through the hybrid
+// topology — members fused two per host, hosts joined in a tree: the
+// verdict must not depend on the fusion, and every case exercises the
+// fused scheduler plus the host-root edge remapping under the same fault
+// mix.
+func FuzzRuntimeHybrid(f *testing.F) { fuzzLiveBarrier(f, TargetHybrid) }
+
 // FuzzScheduleParse checks that Parse never panics and that accepted inputs
 // are fixed points of the String/Parse round trip.
 func FuzzScheduleParse(f *testing.F) {

@@ -117,14 +117,22 @@ func runRuntime(s Schedule) Verdict {
 	// The tree target swaps the ring refinement for the double-tree one;
 	// everything else — pacing, fault rates, verdict — is unchanged, which
 	// is the conformance statement: the topology must not be observable.
+	// The hybrid target additionally fuses members pairwise onto per-host
+	// schedulers (all hosts in-process, like the tree target's links).
 	topology := runtime.TopologyRing
-	if s.Target == TargetTree {
+	var hosts [][]int
+	switch s.Target {
+	case TargetTree:
 		topology = runtime.TopologyTree
+	case TargetHybrid:
+		topology = runtime.TopologyHybrid
+		hosts = pairHosts(s.NProcs)
 	}
 	b, err := runtime.New(runtime.Config{
 		Participants: s.NProcs,
 		NPhases:      s.NPhases,
 		Topology:     topology,
+		Hosts:        hosts,
 		Transport:    tr,
 		Resend:       runtimeResend,
 		LossRate:     s.Loss,
@@ -295,6 +303,20 @@ func runRuntime(s Schedule) Verdict {
 	v.Stabilized = true
 	v.OK = true
 	return v
+}
+
+// pairHosts groups n members two per host ({0,1},{2,3},... with a
+// trailing singleton when n is odd) — the hybrid target's roster shape.
+func pairHosts(n int) [][]int {
+	var hosts [][]int
+	for i := 0; i < n; i += 2 {
+		roster := []int{i}
+		if i+1 < n {
+			roster = append(roster, i+1)
+		}
+		hosts = append(hosts, roster)
+	}
+	return hosts
 }
 
 // startBackgroundGroups brings up one barrier per background tenant group

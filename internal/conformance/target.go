@@ -41,11 +41,23 @@ const TargetTree = "tree"
 // while the schedule injects faults into the scheduled group only.
 const TargetMux = "mux"
 
+// TargetHybrid names the runtime barrier in its hybrid topology: members
+// are grouped two per host, each host's members fuse onto one local
+// scheduler, and only host roots exchange messages in the cross-host
+// tree. A schedule is portable between the ring and the hybrid shape and
+// must produce the same verdict on both — the fusion must not be
+// observable.
+const TargetHybrid = "hybrid"
+
 // IsRuntimeTarget reports whether the named target runs the live goroutine
 // barrier (wall-clock pacing, message-rate faults, spurious injection)
 // rather than a guarded-engine refinement.
 func IsRuntimeTarget(name string) bool {
-	return name == TargetRuntime || name == TargetTCP || name == TargetTree || name == TargetMux
+	switch name {
+	case TargetRuntime, TargetTCP, TargetTree, TargetMux, TargetHybrid:
+		return true
+	}
+	return false
 }
 
 // Target is the conformance harness's view of a guarded-engine barrier
@@ -139,12 +151,12 @@ func Register(name string, b Builder) { builders[name] = b }
 // Targets returns the registered guarded-engine target names, sorted,
 // with the runtime targets appended last.
 func Targets() []string {
-	names := make([]string, 0, len(builders)+3)
+	names := make([]string, 0, len(builders)+5)
 	for name := range builders {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	return append(names, TargetRuntime, TargetTCP, TargetTree, TargetMux)
+	return append(names, TargetRuntime, TargetTCP, TargetTree, TargetMux, TargetHybrid)
 }
 
 // NewTarget builds the named target with its randomness rooted at rng.

@@ -29,12 +29,26 @@ import (
 type Config struct {
 	// Name identifies the group: it keys StopGroup/StartGroup, labels the
 	// group's metric series ({group="..."}) and strengthens the handshake
-	// digest. Letters, digits, '_', '.', '-'; unique per registry.
+	// digest. Letters, digits, '_', '.', '-'; unique per registry
+	// (including the ".l<k>" lane names a Depth > 1 group expands into).
 	Name string
-	// Topology is transport.GroupRing (default) or transport.GroupTree.
+	// Topology is transport.GroupRing (default), transport.GroupTree or
+	// transport.GroupHybrid.
 	Topology string
-	// TreeArity is the heap arity for tree groups (default 2).
+	// TreeArity is the heap arity for tree groups and for a hybrid
+	// group's host tree (default 2).
 	TreeArity int
+	// Hosts is the hybrid member grouping: Hosts[j] lists the barrier
+	// members process j fuses locally (runtime Config.Hosts). Required
+	// for hybrid groups — with exactly one roster per process — and
+	// forbidden otherwise.
+	Hosts [][]int
+	// Depth is the wave-pipelining window (default 1). A Depth > 1 group
+	// claims Depth consecutive wire group ids — lanes, named
+	// "<Name>.l1".."<Name>.l<Depth-1>" after the first — so frames of all
+	// in-flight barrier instances batch onto the same shared connections,
+	// and the group's Await overlaps up to Depth instances.
+	Depth int
 	// NPhases is the group's phase-counter modulus (default 8).
 	NPhases int
 	// Resend is the group's retransmission period (default 200µs).
@@ -89,28 +103,52 @@ type Registry struct {
 }
 
 // Specs translates the group declarations into the mux's wire-level group
-// table, assigning ids by declaration order. Exposed so tests can build a
+// table, assigning ids by declaration order; a Depth > 1 group expands
+// into Depth consecutive lane specs. Exposed so tests can build a
 // loopback mux set for the same declarations.
 func Specs(cfgs []Config) ([]transport.GroupSpec, error) {
-	specs := make([]transport.GroupSpec, len(cfgs))
+	specs := make([]transport.GroupSpec, 0, len(cfgs))
 	seen := make(map[string]bool, len(cfgs))
-	for i, c := range cfgs {
-		if seen[c.Name] {
-			return nil, fmt.Errorf("groups: duplicate group name %q", c.Name)
-		}
-		seen[c.Name] = true
+	for _, c := range cfgs {
 		topo := c.Topology
 		if topo == "" {
 			topo = transport.GroupRing
 		}
-		if topo != transport.GroupRing && topo != transport.GroupTree {
+		switch topo {
+		case transport.GroupRing, transport.GroupTree:
+			if c.Hosts != nil {
+				return nil, fmt.Errorf("groups: group %q: Hosts is only for hybrid groups", c.Name)
+			}
+		case transport.GroupHybrid:
+			if c.Hosts == nil {
+				return nil, fmt.Errorf("groups: group %q: hybrid needs a Hosts grouping", c.Name)
+			}
+		default:
 			return nil, fmt.Errorf("groups: group %q: unknown topology %q", c.Name, c.Topology)
 		}
-		specs[i] = transport.GroupSpec{
-			ID:        uint32(i),
-			Name:      c.Name,
-			Topology:  topo,
-			TreeArity: c.TreeArity,
+		if c.Depth < 0 {
+			return nil, fmt.Errorf("groups: group %q: negative Depth", c.Name)
+		}
+		depth := c.Depth
+		if depth == 0 {
+			depth = 1
+		}
+		for li := 0; li < depth; li++ {
+			name := c.Name
+			if li > 0 {
+				name = fmt.Sprintf("%s.l%d", c.Name, li)
+			}
+			if seen[name] {
+				return nil, fmt.Errorf("groups: duplicate group name %q", name)
+			}
+			seen[name] = true
+			specs = append(specs, transport.GroupSpec{
+				ID:        uint32(len(specs)),
+				Name:      name,
+				Topology:  topo,
+				TreeArity: c.TreeArity,
+				Hosts:     c.Hosts,
+			})
 		}
 	}
 	if len(specs) == 0 {
@@ -161,8 +199,10 @@ func NewWithMux(opts Options, cfgs []Config, mux *transport.Mux) (*Registry, err
 		mux:    mux,
 		byName: make(map[string]*Group, len(cfgs)),
 	}
-	for i, c := range cfgs {
-		g := &Group{id: uint32(i), cfg: c, opts: &r.opts, mux: mux}
+	var nextID uint32 // lane-0 wire id; Depth > 1 groups claim Depth ids
+	for _, c := range cfgs {
+		g := &Group{id: nextID, cfg: c, opts: &r.opts, mux: mux}
+		nextID += uint32(max(c.Depth, 1))
 		r.groups = append(r.groups, g)
 		r.byName[c.Name] = g
 	}
@@ -229,7 +269,7 @@ func (r *Registry) Close() error {
 // Name returns the group's declared name.
 func (g *Group) Name() string { return g.cfg.Name }
 
-// ID returns the group's wire id.
+// ID returns the group's wire id (its first lane's, when Depth > 1).
 func (g *Group) ID() uint32 { return g.id }
 
 // Barrier returns the running barrier, or nil while the group is stopped.
@@ -239,15 +279,35 @@ func (g *Group) Barrier() *runtime.Barrier {
 	return g.b
 }
 
-// Await synchronizes this process's member of the group; see
+// Members returns the barrier member ids this process hosts for the
+// group: []{Self} for ring and tree groups, the process's whole host
+// roster for hybrid groups.
+func (g *Group) Members() []int {
+	if g.cfg.Topology == transport.GroupHybrid {
+		return g.cfg.Hosts[g.opts.Self]
+	}
+	return []int{g.opts.Self}
+}
+
+// Await synchronizes this process's sole member of the group; see
 // runtime.Barrier.Await. Returns runtime.ErrStopped while the group is
-// stopped.
+// stopped. For a hybrid group hosting more than one member, use
+// AwaitMember.
 func (g *Group) Await(ctx context.Context) (int, error) {
+	m := g.Members()
+	if len(m) != 1 {
+		return 0, fmt.Errorf("groups: group %q hosts members %v; use AwaitMember", g.cfg.Name, m)
+	}
+	return g.AwaitMember(ctx, m[0])
+}
+
+// AwaitMember synchronizes one locally-hosted member of the group.
+func (g *Group) AwaitMember(ctx context.Context, id int) (int, error) {
 	b := g.Barrier()
 	if b == nil {
 		return 0, runtime.ErrStopped
 	}
-	return b.Await(ctx, g.opts.Self)
+	return b.Await(ctx, id)
 }
 
 // Stop tears down the local member: the barrier stops, its mux links
@@ -283,19 +343,31 @@ func (g *Group) start(rejoin bool) error {
 
 func (g *Group) startLocked(rejoin bool) error {
 	topology := runtime.TopologyRing
-	var tr runtime.Transport
-	if g.cfg.Topology == transport.GroupTree {
+	laneView := g.mux.Ring
+	participants := len(g.opts.Peers)
+	members := []int{g.opts.Self}
+	switch g.cfg.Topology {
+	case transport.GroupTree:
 		topology = runtime.TopologyTree
-		tr = g.mux.Tree(g.id)
-	} else {
-		tr = g.mux.Ring(g.id)
+		laneView = g.mux.Tree
+	case transport.GroupHybrid:
+		// This process fuses a whole host's members; the mux carries the
+		// host tree, so the lane views' node space is process indices.
+		topology = runtime.TopologyHybrid
+		laneView = g.mux.Tree
+		participants = 0
+		for _, roster := range g.cfg.Hosts {
+			participants += len(roster)
+		}
+		members = g.cfg.Hosts[g.opts.Self]
 	}
-	b, err := runtime.New(runtime.Config{
-		Participants: len(g.opts.Peers),
+	cfg := runtime.Config{
+		Participants: participants,
 		Topology:     topology,
 		TreeArity:    g.cfg.TreeArity,
-		Transport:    tr,
-		Members:      []int{g.opts.Self},
+		Hosts:        g.cfg.Hosts,
+		Depth:        g.cfg.Depth,
+		Members:      members,
 		Rejoin:       rejoin,
 		NPhases:      g.cfg.NPhases,
 		Resend:       g.cfg.Resend,
@@ -304,7 +376,20 @@ func (g *Group) startLocked(rejoin bool) error {
 		Seed:         g.cfg.Seed,
 		Metrics:      g.opts.Metrics,
 		MetricLabel:  `group="` + g.cfg.Name + `"`,
-	})
+	}
+	if g.cfg.Depth > 1 {
+		// One mux group per in-flight wave: lane li's frames are tagged
+		// with wire id g.id+li, and all lanes batch into the same
+		// per-peer writes.
+		lanes := make([]runtime.Transport, g.cfg.Depth)
+		for li := range lanes {
+			lanes[li] = laneView(g.id + uint32(li))
+		}
+		cfg.LaneTransports = lanes
+	} else {
+		cfg.Transport = laneView(g.id)
+	}
+	b, err := runtime.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -176,3 +176,133 @@ func TestRegistryLifecycle(t *testing.T) {
 		t.Errorf("decode errors on process 0: %d", st.DecodeErrors)
 	}
 }
+
+// Lane expansion: a Depth > 1 group claims consecutive wire ids with
+// ".l<k>" names; Hosts is required for hybrid and rejected elsewhere.
+func TestSpecsLanesAndHybrid(t *testing.T) {
+	if _, err := Specs([]Config{{Name: "a", Hosts: [][]int{{0}, {1}}}}); err == nil {
+		t.Error("Hosts on a ring group succeeded")
+	}
+	if _, err := Specs([]Config{{Name: "a", Topology: transport.GroupHybrid}}); err == nil {
+		t.Error("hybrid without Hosts succeeded")
+	}
+	if _, err := Specs([]Config{{Name: "a", Depth: -1}}); err == nil {
+		t.Error("negative Depth succeeded")
+	}
+	if _, err := Specs([]Config{{Name: "a", Depth: 2}, {Name: "a.l1"}}); err == nil {
+		t.Error("lane-name collision succeeded")
+	}
+	specs, err := Specs([]Config{
+		{Name: "deep", Depth: 3},
+		{Name: "hy", Topology: transport.GroupHybrid, Hosts: [][]int{{0, 1}, {2, 3}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"deep", "deep.l1", "deep.l2", "hy"}
+	if len(specs) != len(wantNames) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(wantNames))
+	}
+	for i, want := range wantNames {
+		if specs[i].Name != want || specs[i].ID != uint32(i) {
+			t.Errorf("spec %d = {ID:%d Name:%q}, want {ID:%d Name:%q}",
+				i, specs[i].ID, specs[i].Name, i, want)
+		}
+	}
+	if specs[3].Topology != transport.GroupHybrid || specs[3].Hosts == nil {
+		t.Errorf("hybrid spec lost its grouping: %+v", specs[3])
+	}
+}
+
+// A hybrid group and a Depth-3 pipelined ring group side by side over
+// the same shared connections: the hybrid group's processes each drive a
+// whole host roster, the pipelined group's Await overlaps waves, and
+// both keep their passes.
+func TestRegistryHybridAndPipelined(t *testing.T) {
+	const n = 2
+	hosts := [][]int{{0, 1, 2}, {3, 4}}
+	cfgs := []Config{
+		{Name: "hy", Topology: transport.GroupHybrid, Hosts: hosts, Resend: 200 * time.Microsecond},
+		{Name: "deep", Depth: 3, Resend: 200 * time.Microsecond},
+	}
+	specs, err := Specs(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := transport.NewLoopbackMuxes(n, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	regs := make([]*Registry, n)
+	for j := 0; j < n; j++ {
+		regs[j], err = NewWithMux(Options{Self: j}, cfgs, set.Muxes[j])
+		if err != nil {
+			t.Fatalf("process %d: %v", j, err)
+		}
+		defer regs[j].Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	const passes = 10
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+
+	// The hybrid group: every process drives its whole roster.
+	for j := 0; j < n; j++ {
+		g := regs[j].Group("hy")
+		if _, err := g.Await(ctx); err == nil {
+			t.Error("Await on a multi-member hybrid group succeeded; want an error directing to AwaitMember")
+		}
+		for _, id := range g.Members() {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < passes; k++ {
+					if _, err := g.AwaitMember(ctx, id); err != nil {
+						if errors.Is(err, runtime.ErrReset) {
+							k--
+							continue
+						}
+						errs <- fmt.Errorf("hy member %d pass %d: %w", id, k, err)
+						return
+					}
+				}
+			}()
+		}
+	}
+	// The pipelined group: plain Await, the window overlaps waves below.
+	for j := 0; j < n; j++ {
+		g := regs[j].Group("deep")
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < passes; k++ {
+				if _, err := g.Await(ctx); err != nil {
+					if errors.Is(err, runtime.ErrReset) {
+						k--
+						continue
+					}
+					errs <- fmt.Errorf("deep pass %d: %w", k, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Depth-3 lanes all moved frames over the wire.
+	for id := uint32(1); id <= 3; id++ {
+		sent, recv := set.Muxes[0].GroupStats(id)
+		if sent == 0 && recv == 0 {
+			t.Errorf("wire group %d moved no frames", id)
+		}
+	}
+}

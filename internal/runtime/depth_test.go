@@ -1,0 +1,351 @@
+package runtime
+
+// Tests for wave pipelining (Config.Depth): the windowed Await must
+// overlap up to Depth barrier instances without losing, doubling, or
+// reordering passes — under cancellation and under faults.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/topo"
+)
+
+func TestDepthValidation(t *testing.T) {
+	if _, err := New(Config{Participants: 2, Depth: -1}); err == nil {
+		t.Error("negative Depth should be rejected")
+	}
+	tr := NewChanTransport(2)
+	if _, err := New(Config{Participants: 2, Depth: 2, Transport: tr}); err == nil {
+		t.Error("Depth > 1 over a single Transport should be rejected")
+	}
+	if _, err := New(Config{Participants: 2, Depth: 2,
+		LaneTransports: []Transport{tr}}); err == nil {
+		t.Error("len(LaneTransports) != Depth should be rejected")
+	}
+	if _, err := New(Config{Participants: 2, Depth: 1, Transport: tr,
+		LaneTransports: []Transport{tr}}); err == nil {
+		t.Error("Transport and LaneTransports together should be rejected")
+	}
+}
+
+// depthTopologies enumerates the scheduler shapes under a Depth-4 window.
+func depthTopologies(t *testing.T, n int) map[string]Config {
+	t.Helper()
+	return map[string]Config{
+		"ring":  {Participants: n, Depth: 4, Seed: 11},
+		"fused": {Participants: n, Depth: 4, Topology: TopologyTree, Seed: 11},
+		"hybrid": {Participants: n, Depth: 4, Topology: TopologyHybrid, Seed: 11,
+			Hosts: [][]int{{0, 1}, {2, 3}}},
+	}
+}
+
+// Fault-free pipelined rounds: every worker sees the synthesized phase
+// counter advance by exactly one per pass, in every topology.
+func TestPipelinedFaultFree(t *testing.T) {
+	const n, rounds = 4, 100
+	for name, cfg := range depthTopologies(t, n) {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			b, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Stop()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			var wg sync.WaitGroup
+			errs := make(chan error, n)
+			for id := 0; id < n; id++ {
+				id := id
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					last := -1
+					for r := 0; r < rounds; r++ {
+						ph, err := b.Await(ctx, id)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if last != -1 && ph != (last+1)%b.NumPhases() {
+							errs <- errors.New("pipelined phase order violated")
+							return
+						}
+						last = ph
+					}
+				}()
+			}
+			wg.Wait()
+			select {
+			case err := <-errs:
+				t.Fatal(err)
+			default:
+			}
+			// Every reaped wave was counted; the tail of the window (waves
+			// entered by the final Awaits but never reaped) may add up to
+			// Depth-1 more per participant.
+			got := b.Stats().Passes
+			if got < int64(n*rounds) || got > int64(n*(rounds+b.Depth()-1)) {
+				t.Errorf("Stats.Passes = %d, want in [%d, %d]", got, n*rounds, n*(rounds+b.Depth()-1))
+			}
+		})
+	}
+}
+
+// The window actually pipelines: with Depth = 4 a fast worker may run
+// ahead of a slow one by more than one round (impossible at Depth 1),
+// but never by more than Depth rounds.
+func TestPipelinedSkewBound(t *testing.T) {
+	const n, rounds, depth = 3, 200, 4
+	b, err := New(Config{Participants: n, Depth: depth, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var round [n]atomic.Int64
+	var maxSkew atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if id == n-1 {
+					time.Sleep(50 * time.Microsecond) // the deliberately slow worker
+				}
+				if _, err := b.Await(ctx, id); err != nil {
+					errs <- err
+					return
+				}
+				mine := round[id].Add(1)
+				for other := range round {
+					if skew := mine - round[other].Load(); skew > maxSkew.Load() {
+						maxSkew.Store(skew)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if got := maxSkew.Load(); got > depth {
+		t.Errorf("round skew %d exceeds the window depth %d", got, depth)
+	}
+	if got := maxSkew.Load(); got < 2 {
+		t.Errorf("round skew never exceeded 1 (max %d): the window is not pipelining", got)
+	}
+}
+
+// Resets under a Depth-4 window: ErrReset waves are redone on the same
+// lane, the synthesized phase counter never skips or repeats, and the
+// forced re-executions show up in WastedInstances. Workers are
+// free-running — a reset racing a completion may legally leave the
+// victim one delivered pass behind its peers, so fixed-round loops
+// would wedge once the peers finish.
+func TestPipelinedResetRedo(t *testing.T) {
+	const n = 4
+	reg := obsv.NewRegistry()
+	b, err := New(Config{Participants: n, Depth: 4, Seed: 13, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var passes [n]atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for id := 0; id < n; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1
+			for {
+				ph, err := b.Await(ctx, id)
+				switch {
+				case err == nil:
+					if last != -1 && ph != (last+1)%b.NumPhases() {
+						errs <- errors.New("phase order violated across reset redo")
+						return
+					}
+					last = ph
+					passes[id].Add(1)
+				case errors.Is(err, ErrReset):
+					// redo the phase work; the wave stays at the window head
+				default:
+					return // ctx canceled: done
+				}
+			}
+		}()
+	}
+
+	// A bounded round-robin burst of resets across all members.
+	for i := 0; i < 40; i++ {
+		time.Sleep(300 * time.Microsecond)
+		b.Reset(i % n)
+	}
+
+	// Liveness: every worker gains 5 fresh passes after the faults stop.
+	var base [n]int64
+	for id := range base {
+		base[id] = passes[id].Load()
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for id := 0; id < n; id++ {
+		for passes[id].Load() < base[id]+5 {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d made no progress after resets stopped", id)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	s := b.Stats()
+	if s.ResetsInjected == 0 {
+		t.Error("no resets were accepted; the fault path was not exercised")
+	}
+	if s.WastedInstances == 0 {
+		t.Error("resets at depth forced no re-executed instances; WastedInstances not counting")
+	}
+	// The exported wasted-work numerator must agree with the snapshot now
+	// that the protocol goroutines are quiescent.
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("barrier_wasted_instances_total %d\n", s.WastedInstances)
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("scrape does not carry %q", strings.TrimSpace(want))
+	}
+}
+
+// The cancel-mid-phase sweep of PR 4, under a Depth-4 window and across
+// all four topologies: a context canceled in the instant a wave
+// completes must not lose the wave, deliver it twice, or reorder the
+// window.
+func TestAwaitCancelMidWindow(t *testing.T) {
+	const n, rounds, depth = 4, 150, 4
+	shape, err := topo.NewKAryTree(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := make([]Transport, depth)
+	for i := range lanes {
+		lanes[i] = NewChanTreeTransport(shape.Parent)
+	}
+	configs := map[string]Config{
+		"ring":  {Participants: n, Depth: depth, Seed: 11},
+		"fused": {Participants: n, Depth: depth, Topology: TopologyTree, Seed: 11},
+		"tree": {Participants: n, Depth: depth, Topology: TopologyTree, Seed: 11,
+			LaneTransports: lanes,
+			Members:        []int{0, 1, 2, 3}},
+		"hybrid": {Participants: n, Depth: depth, Topology: TopologyHybrid, Seed: 11,
+			Hosts: [][]int{{0, 1}, {2, 3}}},
+	}
+	for _, name := range []string{"ring", "fused", "tree", "hybrid"} {
+		cfg := configs[name]
+		t.Run(name, func(t *testing.T) {
+			b, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Stop()
+
+			ctx, cancelAll := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancelAll()
+			var wg sync.WaitGroup
+			errs := make(chan error, n)
+
+			// Participants 1..n-1: Await loops with a small stagger.
+			for id := 1; id < n; id++ {
+				id := id
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						time.Sleep(time.Duration(20+10*(r%5)) * time.Microsecond)
+						if _, err := b.Await(ctx, id); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+
+			// Participant 0: cancels mid-window, then retries. The sweep
+			// covers cancellations landing inside Enter's top-up loop (some
+			// lanes entered, some not) as well as inside Leave.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				lastPh, canceled, attempt := -1, 0, 0
+				for passes := 0; passes < rounds; {
+					attempt++
+					timeout := time.Duration(1+attempt%120) * time.Microsecond
+					cctx, cancel := context.WithTimeout(ctx, timeout)
+					ph, err := b.Await(cctx, 0)
+					cancel()
+					switch {
+					case err == nil:
+						if lastPh != -1 {
+							if want := (lastPh + 1) % b.NumPhases(); ph != want {
+								errs <- errors.New("victim phase order violated: a wave was lost, doubled, or reordered")
+								return
+							}
+						}
+						lastPh = ph
+						passes++
+					case errors.Is(err, context.DeadlineExceeded):
+						canceled++
+					default:
+						errs <- err
+						return
+					}
+				}
+				if canceled == 0 {
+					t.Error("no cancellation fired mid-window; the race window was not exercised")
+				}
+			}()
+
+			wg.Wait()
+			select {
+			case err := <-errs:
+				t.Fatal(err)
+			default:
+			}
+			// Every reaped wave is counted exactly once. The window tail —
+			// waves the final Awaits entered but never reaped — may complete
+			// and add up to Depth-1 counted passes per participant.
+			got := b.Stats().Passes
+			if got < int64(n*rounds) || got > int64(n*(rounds+depth-1)) {
+				t.Errorf("Stats.Passes = %d, want in [%d, %d] (a cancel double-counted or lost a wave)",
+					got, n*rounds, n*(rounds+depth-1))
+			}
+		})
+	}
+}

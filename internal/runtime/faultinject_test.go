@@ -64,7 +64,7 @@ func TestSpuriousDoesNotDisplaceGenuine(t *testing.T) {
 	b.Halt()
 	waitQuiesced(t, b)
 
-	p := b.procs[1]
+	p := b.lanes[0].procs[1]
 	for {
 		select {
 		case <-p.state:

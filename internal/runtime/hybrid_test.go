@@ -1,0 +1,241 @@
+package runtime
+
+// Tests for the two-level hybrid topology: members grouped by host fuse
+// onto one scheduler per host, and only host-root edges carry traffic in
+// the cross-host tree.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/topo"
+)
+
+func TestHybridValidation(t *testing.T) {
+	hosts := [][]int{{0, 1}, {2, 3}}
+	if _, err := New(Config{Participants: 4, Topology: TopologyHybrid}); err == nil {
+		t.Error("hybrid without Hosts should be rejected")
+	}
+	if _, err := New(Config{Participants: 4, Hosts: hosts}); err == nil {
+		t.Error("Hosts without TopologyHybrid should be rejected")
+	}
+	if _, err := New(Config{Participants: 6, Topology: TopologyHybrid, Hosts: hosts}); err == nil {
+		t.Error("Hosts covering fewer members than Participants should be rejected")
+	}
+	if _, err := New(Config{Participants: 4, Topology: TopologyHybrid,
+		Hosts: [][]int{{0, 1}, {1, 2, 3}}}); err == nil {
+		t.Error("duplicate member across hosts should be rejected")
+	}
+	// Distributed: Members must be exactly one host's roster.
+	hy, err := topo.NewHybridTree(hosts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewChanTreeTransport(hy.HostTree.Parent)
+	if _, err := New(Config{Participants: 4, Topology: TopologyHybrid, Hosts: hosts,
+		Transport: tr, Members: []int{0, 1, 2}}); err == nil {
+		t.Error("Members spanning two hosts should be rejected")
+	}
+	if _, err := New(Config{Participants: 4, Topology: TopologyHybrid, Hosts: hosts,
+		Transport: tr, Members: []int{2}}); err == nil {
+		t.Error("Members = a partial host roster should be rejected")
+	}
+}
+
+// All hosts local (no transport): the hybrid member tree runs fully
+// fused and behaves like any barrier.
+func TestHybridFusedFaultFree(t *testing.T) {
+	const n, rounds = 8, 40
+	col := newCollector(n, 8)
+	b, err := New(Config{
+		Participants: n,
+		Topology:     TopologyHybrid,
+		Hosts:        [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}},
+		EventSink:    col.sink,
+		Seed:         21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	passes := runWorkers(t, b, rounds, nil)
+	for id, c := range passes {
+		if c != rounds {
+			t.Errorf("worker %d passed %d barriers, want %d", id, c, rounds)
+		}
+	}
+	if err := col.violation(); err != nil {
+		t.Fatal(err)
+	}
+	if col.successes() < rounds {
+		t.Errorf("checker saw %d successful barriers, want ≥ %d", col.successes(), rounds)
+	}
+}
+
+// hybridCluster builds one Barrier per host over a shared host-tree
+// transport — the distributed deployment shape, in-process.
+func hybridCluster(t *testing.T, hosts [][]int, cfg Config) []*Barrier {
+	t.Helper()
+	hy, err := topo.NewHybridTree(hosts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewChanTreeTransport(hy.HostTree.Parent)
+	bs := make([]*Barrier, len(hosts))
+	for h := range hosts {
+		c := cfg
+		c.Topology = TopologyHybrid
+		c.Hosts = hosts
+		c.Transport = tr
+		c.Members = hosts[h]
+		b, err := New(c)
+		if err != nil {
+			for _, prev := range bs[:h] {
+				prev.Stop()
+			}
+			t.Fatal(err)
+		}
+		bs[h] = b
+	}
+	return bs
+}
+
+// hostOfMember finds the barrier hosting a member.
+func hostOfMember(hosts [][]int, id int) int {
+	for h, roster := range hosts {
+		for _, j := range roster {
+			if j == id {
+				return h
+			}
+		}
+	}
+	return -1
+}
+
+// Distributed hybrid over a shared host-tree transport: every member
+// passes every barrier, and cross-host messages flow only on host-root
+// edges (there are no other links).
+func TestHybridDistributedFaultFree(t *testing.T) {
+	hosts := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7}}
+	const n, rounds = 8, 40
+	bs := hybridCluster(t, hosts, Config{Participants: n, Seed: 7})
+	defer func() {
+		for _, b := range bs {
+			b.Stop()
+		}
+	}()
+	runHybridWorkers(t, bs, hosts, n, rounds)
+	var total int64
+	for _, b := range bs {
+		total += b.Stats().Passes
+	}
+	if total != int64(n*rounds) {
+		t.Errorf("total passes = %d, want %d", total, n*rounds)
+	}
+}
+
+// runHybridWorkers drives all members of a hybrid cluster through
+// `rounds` passes, redoing on ErrReset.
+func runHybridWorkers(t *testing.T, bs []*Barrier, hosts [][]int, n, rounds int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for id := 0; id < n; id++ {
+		id := id
+		b := bs[hostOfMember(hosts, id)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; {
+				_, err := b.Await(ctx, id)
+				switch {
+				case err == nil:
+					r++
+				case errors.Is(err, ErrReset):
+					// redo the phase
+				default:
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// Detectable faults at a host root — the member whose edges cross the
+// network — are masked like any other reset: after the faults stop,
+// every member keeps passing. Workers are free-running (a reset racing
+// a completion may leave the victim one delivered pass behind its
+// peers permanently — legal masking — so fixed-round loops would wedge
+// when the peers finish first).
+func TestHybridDistributedResetMasked(t *testing.T) {
+	hosts := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	const n = 8
+	bs := hybridCluster(t, hosts, Config{Participants: n, Seed: 9})
+	defer func() {
+		for _, b := range bs {
+			b.Stop()
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var passes [n]atomic.Int64
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		id := id
+		b := bs[hostOfMember(hosts, id)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				_, err := b.Await(ctx, id)
+				if err == nil {
+					passes[id].Add(1)
+				} else if !errors.Is(err, ErrReset) {
+					return
+				}
+			}
+		}()
+	}
+
+	// A bounded burst of resets at host 1's root (member 2) — the member
+	// whose edges cross the network — and a leaf (member 5).
+	for i := 0; i < 40; i++ {
+		time.Sleep(200 * time.Microsecond)
+		bs[1].Reset(2)
+		bs[2].Reset(5)
+	}
+
+	// Liveness: every member gains 5 fresh passes after the faults stop.
+	var base [n]int64
+	for id := range base {
+		base[id] = passes[id].Load()
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for id := 0; id < n; id++ {
+		for passes[id].Load() < base[id]+5 {
+			if time.Now().After(deadline) {
+				t.Fatalf("member %d made no progress after resets stopped", id)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	wg.Wait()
+	if got := bs[1].Stats().ResetsInjected; got == 0 {
+		t.Error("no resets were accepted at the host root")
+	}
+}

@@ -45,8 +45,11 @@ func (b *Barrier) newHistograms(label string) {
 // every series name so per-group barriers can share one registry.
 func (b *Barrier) registerMetrics(r *obsv.Registry, topology Topology, label string) error {
 	topoName := "ring"
-	if topology == TopologyTree {
+	switch topology {
+	case TopologyTree:
 		topoName = "tree"
+	case TopologyHybrid:
+		topoName = "hybrid"
 	}
 	name := func(base string) string { return obsv.WithLabel(base, label) }
 	metrics := []obsv.Metric{

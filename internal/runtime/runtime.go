@@ -66,6 +66,15 @@ const (
 	// disseminate down a tree and a convergecast detects completion back
 	// up it, so a pass costs O(h) = O(log N) sequential hops.
 	TopologyTree
+	// TopologyHybrid is the two-level hierarchy: members co-located on
+	// one host (Config.Hosts) fuse onto a single local scheduler that
+	// presents as one node in a cross-host tree, so network hops cost
+	// O(log #hosts) and local siblings exchange no network traffic at
+	// all. With a nil Transport every host is local and the whole
+	// member tree runs fused in-process; with a TreeTransport over the
+	// host indices, each OS process runs one host's members fused and
+	// only host-root edges cross the network.
+	TopologyHybrid
 )
 
 // Config parameterizes a Barrier.
@@ -80,8 +89,33 @@ type Config struct {
 	Topology Topology
 	// TreeArity is the branching factor of the TopologyTree tree
 	// (default 2; heap-shaped, node i's parent is (i-1)/TreeArity).
-	// Ignored for TopologyRing.
+	// For TopologyHybrid it is the branching factor of the cross-host
+	// tree. Ignored for TopologyRing.
 	TreeArity int
+	// Hosts groups the participants by host for TopologyHybrid: Hosts[h]
+	// lists the member ids co-located on host h. Every participant must
+	// appear in exactly one host. Required for (and only used by)
+	// TopologyHybrid.
+	Hosts [][]int
+	// Depth is the wave-pipelining window: up to Depth barrier instances
+	// may be outstanding per participant (default 1 — no pipelining).
+	// The sequence-number superposition already legalizes K > N
+	// coexisting instances, so the lanes of the window are Depth
+	// independent protocol instances and Await becomes a windowed ticket
+	// pipeline: Enter tops the window up to Depth outstanding arrivals,
+	// Leave reaps the oldest. With Depth > 1 the phase returned by
+	// Await/Leave is the wave index modulo NPhases (a synthesized
+	// counter — the per-lane protocol phases interleave). Depth > 1
+	// with an explicit Transport requires LaneTransports instead.
+	Depth int
+	// LaneTransports supplies one Transport per pipeline lane when
+	// Depth > 1 spans processes (e.g. one mux group view per lane, so
+	// frames of all in-flight instances coalesce into single writes on
+	// the shared connections). len(LaneTransports) must equal Depth and
+	// Transport must be nil. Like Transport, the links each lane opens
+	// are closed on Stop but the transports themselves belong to the
+	// caller.
+	LaneTransports []Transport
 	// Transport supplies the ring links (nil: the in-process channel
 	// transport). A network transport (internal/transport) lets the ring
 	// span OS processes; the Barrier closes the links it opens on Stop,
@@ -143,6 +177,9 @@ const (
 	ctrlArrive ctrlKind = iota
 	ctrlReset
 	ctrlScramble
+	// ctrlTick is the resend sweeper poking a ring proc whose edge was
+	// quiet for a full resend period: retransmit the current state.
+	ctrlTick
 )
 
 type ctrlMsg struct {
@@ -155,13 +192,12 @@ type ctrlMsg struct {
 // closer is the teardown half shared by ring and tree links/transports.
 type closer interface{ Close() error }
 
-// Barrier is a fault-tolerant barrier over a ring or tree of protocol
-// goroutines.
-type Barrier struct {
-	n       int
-	nPhases int
-	l       int
-
+// lane is one full protocol instance of the barrier. A Depth=1 barrier
+// has exactly one; wave pipelining runs Depth independent lanes and wave
+// k executes on lane k%Depth, so up to Depth instances are in flight —
+// legal because the sequence-number superposition already tolerates
+// K > N coexisting instances (the lanes are disjoint instances of it).
+type lane struct {
 	// procs is indexed by member id; entries for members hosted by other
 	// processes (distributed deployments) — or running the tree protocol —
 	// are nil.
@@ -171,11 +207,36 @@ type Barrier struct {
 	// gates is the topology-independent participant interface, indexed by
 	// member id (nil for members hosted elsewhere).
 	gates []*gate
-	// links are the transport links this barrier opened, closed on Stop.
+	// links are the transport links this lane opened, closed on Stop.
 	links []closer
 	// ownTransport is the internally created default transport, if any;
 	// Stop closes it too.
 	ownTransport closer
+}
+
+// window is one participant's pipeline window: waves [rcur, pcur) are
+// outstanding (entered, not yet reaped), with pcur-rcur ≤ Depth. rcur
+// and pcur are owned by the participant goroutine; rmirror mirrors rcur
+// for the fault-injection paths, which run on other goroutines and need
+// the participant's current (primary) lane.
+type window struct {
+	rcur, pcur uint64
+	rmirror    atomic.Uint64
+}
+
+// Barrier is a fault-tolerant barrier over a ring or tree of protocol
+// goroutines.
+type Barrier struct {
+	n       int
+	nPhases int
+	l       int
+	depth   int
+
+	// lanes holds the Depth protocol instances (one for Depth=1).
+	lanes []*lane
+	// windows is the per-participant pipeline window, indexed by member
+	// id (meaningful only for locally hosted members).
+	windows []window
 
 	haltOnce  sync.Once
 	halted    chan struct{}
@@ -276,9 +337,14 @@ type proc struct {
 	state <-chan Message // predecessor's state announcements, via the link
 	top   <-chan struct{}
 
-	lastSent      Message
-	haveSent      bool
-	sentSinceTick bool // a send happened since the last resend tick
+	lastSent Message
+	haveSent bool
+	// sentSinceTick records that a send happened since the last resend
+	// sweep. The proc stores true on every send; the barrier's sweeper
+	// goroutine clears it (CAS true→false) each period and pokes only
+	// procs whose flag was already false — a quiet edge that may be
+	// masking a lost message. Hot procs are never woken by the timer.
+	sentSinceTick atomic.Bool
 
 	// rng is owned by the protocol goroutine (seeded before it starts;
 	// the goroutine-start happens-before edge publishes it).
@@ -318,8 +384,31 @@ func New(cfg Config) (*Barrier, error) {
 	if cfg.CorruptRate < 0 || cfg.CorruptRate >= 1 {
 		return nil, errors.New("ftbarrier: corrupt rate must be in [0, 1)")
 	}
-	if cfg.Members != nil && cfg.Transport == nil {
+	if cfg.Depth == 0 {
+		cfg.Depth = 1
+	}
+	if cfg.Depth < 1 {
+		return nil, errors.New("ftbarrier: Depth must be >= 1")
+	}
+	if cfg.LaneTransports != nil {
+		if cfg.Transport != nil {
+			return nil, errors.New("ftbarrier: Transport and LaneTransports are mutually exclusive")
+		}
+		if len(cfg.LaneTransports) != cfg.Depth {
+			return nil, fmt.Errorf("ftbarrier: need one lane transport per pipeline lane: len(LaneTransports)=%d, Depth=%d",
+				len(cfg.LaneTransports), cfg.Depth)
+		}
+	} else if cfg.Transport != nil && cfg.Depth > 1 {
+		return nil, errors.New("ftbarrier: Depth > 1 over an explicit Transport requires LaneTransports (one per lane)")
+	}
+	if cfg.Members != nil && cfg.Transport == nil && cfg.LaneTransports == nil {
 		return nil, errors.New("ftbarrier: Members requires an explicit Transport")
+	}
+	if cfg.Topology == TopologyHybrid && cfg.Hosts == nil {
+		return nil, errors.New("ftbarrier: Topology == TopologyHybrid requires Hosts (the host grouping)")
+	}
+	if cfg.Topology != TopologyHybrid && cfg.Hosts != nil {
+		return nil, errors.New("ftbarrier: Hosts is only meaningful with Topology == TopologyHybrid")
 	}
 	members := cfg.Members
 	if members == nil {
@@ -343,6 +432,7 @@ func New(cfg Config) (*Barrier, error) {
 		n:       cfg.Participants,
 		nPhases: cfg.NPhases,
 		l:       cfg.L,
+		depth:   cfg.Depth,
 		halted:  make(chan struct{}),
 		stopped: make(chan struct{}),
 		sink:    cfg.EventSink,
@@ -355,41 +445,124 @@ func New(cfg Config) (*Barrier, error) {
 			return nil, err
 		}
 	}
-	b.procs = make([]*proc, b.n)
-	b.tprocs = make([]*treeProc, b.n)
-	b.gates = make([]*gate, b.n)
+	b.windows = make([]window, b.n)
+	b.lanes = make([]*lane, b.depth)
+	for li := range b.lanes {
+		b.lanes[li] = &lane{
+			procs:  make([]*proc, b.n),
+			tprocs: make([]*treeProc, b.n),
+			gates:  make([]*gate, b.n),
+		}
+	}
 	var err error
-	if cfg.Topology == TopologyTree {
-		err = b.startTree(cfg, members)
-	} else {
-		err = b.startRing(cfg, members)
+	for li, ln := range b.lanes {
+		laneCfg := cfg
+		if li > 0 {
+			// Decorrelate the lanes' loss/corruption/reset draws; lane 0
+			// keeps the configured seed exactly, so a Depth=1 barrier is
+			// bit-for-bit the pre-pipelining one (the conformance harness
+			// replays recorded schedules against that).
+			laneCfg.Seed = cfg.Seed + int64(li)*104729
+		}
+		if cfg.LaneTransports != nil {
+			laneCfg.Transport = cfg.LaneTransports[li]
+		}
+		switch cfg.Topology {
+		case TopologyTree:
+			err = b.startTree(laneCfg, members, ln)
+		case TopologyHybrid:
+			err = b.startHybrid(laneCfg, members, ln)
+		default:
+			err = b.startRing(laneCfg, members, ln)
+		}
+		if err != nil {
+			break
+		}
 	}
 	if err != nil {
-		for _, l := range b.links {
-			l.Close()
+		// Earlier lanes may already be running: quiesce them before
+		// closing the links out from under their goroutines.
+		b.stopOnce.Do(func() { close(b.stopped) })
+		b.wg.Wait()
+		for _, ln := range b.lanes {
+			for _, l := range ln.links {
+				l.Close()
+			}
+			if ln.ownTransport != nil {
+				ln.ownTransport.Close()
+			}
 		}
-		if b.ownTransport != nil {
-			b.ownTransport.Close()
-		}
+		b.UnregisterMetrics()
 		return nil, err
+	}
+	// One retransmission sweeper serves every ring proc in every lane:
+	// a single timer wakes once per resend period and pokes only the
+	// procs whose edge went quiet, instead of one ticker per proc waking
+	// it unconditionally. On the fault-free hot path no proc takes a
+	// timer wakeup at all — at Depth > 1 (Depth×N procs in one process)
+	// the per-proc tickers this replaces were the dominant scheduler
+	// load. Tree and hybrid lanes pace their own schedulers.
+	ringProcs := false
+	for _, ln := range b.lanes {
+		for _, p := range ln.procs {
+			if p != nil {
+				ringProcs = true
+			}
+		}
+	}
+	if ringProcs {
+		b.wg.Add(1)
+		go b.sweepRingTicks(cfg.Resend)
 	}
 	return b, nil
 }
 
+// sweepRingTicks is the barrier's shared retransmission pacer (see New).
+// A proc that announced since the previous sweep has its flag cleared and
+// is left alone; a quiet proc is poked with ctrlTick so it retransmits
+// its state, masking a potentially lost message on its edge.
+func (b *Barrier) sweepRingTicks(resend time.Duration) {
+	defer b.wg.Done()
+	ticker := time.NewTicker(resend)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stopped:
+			return
+		case <-b.halted:
+			return
+		case <-ticker.C:
+		}
+		for _, ln := range b.lanes {
+			for j, p := range ln.procs {
+				if p == nil || p.sentSinceTick.CompareAndSwap(true, false) {
+					continue // absent, or hot: the recent send stands in for the retransmission
+				}
+				select {
+				case ln.gates[j].ctrl <- ctrlMsg{id: j, kind: ctrlTick}:
+				default:
+					// Control buffer full: the proc is busy draining work
+					// and will announce on its own; the next sweep retries.
+				}
+			}
+		}
+	}
+}
+
 // startRing wires the MB ring: one proc per hosted member, links from the
 // ring transport.
-func (b *Barrier) startRing(cfg Config, members []int) error {
+func (b *Barrier) startRing(cfg Config, members []int, ln *lane) error {
 	tr := cfg.Transport
 	if tr == nil {
 		tr = NewChanTransport(b.n)
-		b.ownTransport = tr
+		ln.ownTransport = tr
 	}
 	for _, j := range members {
 		link, err := tr.Open(j)
 		if err != nil {
 			return fmt.Errorf("ftbarrier: open link for member %d: %w", j, err)
 		}
-		b.links = append(b.links, link)
+		ln.links = append(ln.links, link)
 		p := &proc{
 			gate:  newGate(b, j),
 			cp:    core.Execute, // everyone starts executing phase 0
@@ -406,8 +579,8 @@ func (b *Barrier) startRing(cfg Config, members []int) error {
 			p.snL, p.cpL, p.phL = tokenring.Bot, core.Error, p.rng.Intn(b.nPhases)
 			p.snR = tokenring.Bot
 		}
-		b.procs[j] = p
-		b.gates[j] = p.gate
+		ln.procs[j] = p
+		ln.gates[j] = p.gate
 	}
 	if !cfg.Rejoin {
 		// Every local process starts out executing phase 0: record the
@@ -417,7 +590,7 @@ func (b *Barrier) startRing(cfg Config, members []int) error {
 		}
 	}
 	lossRate, corruptRate := cfg.LossRate, cfg.CorruptRate
-	for _, p := range b.procs {
+	for _, p := range ln.procs {
 		if p == nil {
 			continue
 		}
@@ -425,7 +598,7 @@ func (b *Barrier) startRing(cfg Config, members []int) error {
 		b.wg.Add(1)
 		go func() {
 			defer b.wg.Done()
-			p.run(cfg.Resend, lossRate, corruptRate)
+			p.run(lossRate, corruptRate)
 		}()
 	}
 	return nil
@@ -505,11 +678,15 @@ func (b *Barrier) InjectSpurious(id int, seed int64) {
 	if id < 0 || id >= b.n {
 		return
 	}
-	if tp := b.tprocs[id]; tp != nil {
+	// With a pipeline window the forgery lands in the participant's
+	// current (primary) lane — the instance whose outcome it can actually
+	// perturb — so Depth=1 behavior is exactly the historical one.
+	ln := b.lanes[b.primaryLane(id)]
+	if tp := ln.tprocs[id]; tp != nil {
 		tp.injectSpurious(seed)
 		return
 	}
-	if b.procs[id] == nil {
+	if ln.procs[id] == nil {
 		return
 	}
 	rng := prng.New(seed)
@@ -520,7 +697,7 @@ func (b *Barrier) InjectSpurious(id int, seed int64) {
 	}
 	m.Sum = m.Checksum()
 	b.statSpurious.Add(1)
-	if !b.procs[id].link.InjectState(m) {
+	if !ln.procs[id].link.InjectState(m) {
 		// The mailbox holds a genuine in-flight announcement. Displacing
 		// it would silently void a message already counted as sent; the
 		// spurious message loses the race instead, and the discard is
@@ -529,11 +706,28 @@ func (b *Barrier) InjectSpurious(id int, seed int64) {
 	}
 }
 
+// primaryLane is the lane of participant id's oldest outstanding wave —
+// the instance a fault injection is attributed to.
+func (b *Barrier) primaryLane(id int) int {
+	if b.depth == 1 {
+		return 0
+	}
+	return int(b.windows[id].rmirror.Load() % uint64(b.depth))
+}
+
+// laneGate returns participant id's gate in the lane executing wave.
+func (b *Barrier) laneGate(wave uint64, id int) *gate {
+	return b.lanes[wave%uint64(b.depth)].gates[id]
+}
+
 // N returns the number of participants.
 func (b *Barrier) N() int { return b.n }
 
 // NumPhases returns the phase-counter modulus.
 func (b *Barrier) NumPhases() int { return b.nPhases }
+
+// Depth returns the pipeline window size (1 = no pipelining).
+func (b *Barrier) Depth() int { return b.depth }
 
 func (b *Barrier) emit(e core.Event) {
 	b.sinkMu.Lock()
@@ -576,20 +770,49 @@ func (b *Barrier) Await(ctx context.Context, id int) (int, error) {
 // ctx.Err), Enter is a no-op: the arrival already registered stands. A
 // canceled Enter registers nothing, so Enter/Leave pairs compose with
 // context cancellation without losing or double-counting a pass.
+//
+// With Depth > 1, Enter tops the pipeline window up to Depth
+// outstanding waves: wave k+1's instance launches before wave k
+// completes, so a plain Await loop pipelines transparently. A wave
+// whose Leave returned an error stays at the head of the window and is
+// re-entered first (on the same lane — its instance still owes the
+// participant a completion).
 func (b *Barrier) Enter(ctx context.Context, id int) error {
 	if id < 0 || id >= b.n {
 		return fmt.Errorf("ftbarrier: participant %d out of range [0,%d)", id, b.n)
 	}
-	g := b.gates[id]
-	if g == nil {
+	if b.lanes[0].gates[id] == nil {
 		return fmt.Errorf("ftbarrier: member %d is not hosted by this process", id)
 	}
-	if g.entered {
-		return nil
+	w := &b.windows[id]
+	for {
+		if w.rcur < w.pcur {
+			// An errored head wave (Leave returned ErrReset and kept rcur):
+			// its redone work re-arrives on the same lane before the window
+			// grows, or the lane's instance would deadlock on the work gate.
+			if g := b.laneGate(w.rcur, id); !g.entered {
+				if err := b.enterGate(ctx, g); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		if w.pcur-w.rcur >= uint64(b.depth) {
+			return nil // window full: Depth waves outstanding
+		}
+		g := b.laneGate(w.pcur, id)
+		if err := b.enterGate(ctx, g); err != nil {
+			return err
+		}
+		w.pcur++
 	}
-	// The ticket is committed only when the arrival is actually handed to
-	// the protocol: a canceled Enter must leave no trace, or the next
-	// Leave would wait on a ticket whose arrival never happened.
+}
+
+// enterGate registers one arrival with gate g's protocol instance. The
+// ticket is committed only when the arrival is actually handed to the
+// protocol: a canceled Enter must leave no trace, or the next Leave
+// would wait on a ticket whose arrival never happened.
+func (b *Barrier) enterGate(ctx context.Context, g *gate) error {
 	t := g.tickets + 1
 	select {
 	case g.ctrl <- ctrlMsg{id: g.id, kind: ctrlArrive, ticket: t}:
@@ -617,14 +840,21 @@ func (b *Barrier) Enter(ctx context.Context, id int) error {
 // once and held for the participant, and the next Leave (or Await, whose
 // Enter is then a no-op) collects it. A pass is never lost or delivered
 // twice around a cancellation.
+//
+// With Depth > 1, Leave reaps the oldest outstanding wave. On success
+// the window slides (the next Enter launches a new wave at its far
+// edge) and the returned phase is the wave index modulo NumPhases; on
+// ErrReset the wave stays at the head of the window, to be redone on
+// the same lane, so waves are never reordered or skipped.
 func (b *Barrier) Leave(ctx context.Context, id int) (int, error) {
 	if id < 0 || id >= b.n {
 		return 0, fmt.Errorf("ftbarrier: participant %d out of range [0,%d)", id, b.n)
 	}
-	g := b.gates[id]
-	if g == nil {
+	if b.lanes[0].gates[id] == nil {
 		return 0, fmt.Errorf("ftbarrier: member %d is not hosted by this process", id)
 	}
+	w := &b.windows[id]
+	g := b.laneGate(w.rcur, id)
 	ticket := g.tickets
 	for {
 		select {
@@ -632,8 +862,7 @@ func (b *Barrier) Leave(ctx context.Context, id int) (int, error) {
 			if r.ticket != ticket {
 				continue // stale wake from a superseded Await/Leave
 			}
-			g.entered = false
-			return r.phase, r.err
+			return b.reap(w, g, r)
 		case <-b.halted:
 			return 0, ErrHalted
 		case <-b.stopped:
@@ -646,8 +875,7 @@ func (b *Barrier) Leave(ctx context.Context, id int) (int, error) {
 			select {
 			case r := <-g.wake:
 				if r.ticket == ticket {
-					g.entered = false
-					return r.phase, r.err
+					return b.reap(w, g, r)
 				}
 				// Stale wake; drop it and report the cancellation.
 			default:
@@ -655,6 +883,28 @@ func (b *Barrier) Leave(ctx context.Context, id int) (int, error) {
 			return 0, ctx.Err()
 		}
 	}
+}
+
+// reap consumes the head wave's result and slides the window. An error
+// keeps rcur in place: the wave's instance still owes a completion and
+// the redone arrival must return to the same lane.
+func (b *Barrier) reap(w *window, g *gate, r awaitResult) (int, error) {
+	g.entered = false
+	if r.err != nil {
+		return 0, r.err
+	}
+	wave := w.rcur
+	w.rcur++
+	w.rmirror.Store(w.rcur)
+	if b.depth == 1 {
+		// No pipelining: surface the protocol's own phase counter (the
+		// Rejoin path joins mid-sequence, so it is not synthesizable).
+		return r.phase, nil
+	}
+	// Pipelined: the lanes' internal phase counters interleave
+	// (lane k%Depth delivers its (k/Depth)-th pass), so the
+	// participant-visible phase is the synthesized wave counter.
+	return int(wave % uint64(b.nPhases)), nil
 }
 
 // Reset injects a detectable fault at participant id's process: its state
@@ -680,25 +930,43 @@ func (b *Barrier) Scramble(id int, seed int64) {
 // must not deadlock with it. If the control buffer is full the injection
 // is discarded (the fault simply does not occur) and counted in
 // Stats.DroppedInjections.
+//
+// With a pipeline window a process reset/scramble hits every lane — the
+// faulted process hosts all Depth instances, so a masked fault in wave k
+// voids the in-flight waves k..k+Depth-1 too (their re-executions are
+// what barrier_wasted_instances_total counts at depth). The injection is
+// tallied once, from the primary lane's acceptance, so accepted+dropped
+// still equals the calls made.
 func (b *Barrier) inject(id int, m ctrlMsg) {
-	if id < 0 || id >= b.n || b.gates[id] == nil {
+	if id < 0 || id >= b.n || b.lanes[0].gates[id] == nil {
 		return
 	}
 	m.id = id
-	select {
-	case b.gates[id].ctrl <- m:
-		// Count at acceptance, synchronously with the caller: the
-		// conformance harness checks accepted + dropped against the
-		// number of calls its schedule made, so the tally must be
-		// stable the moment the injection call returns.
-		switch m.kind {
-		case ctrlReset:
-			b.statInjResets.Add(1)
-		case ctrlScramble:
-			b.statInjScrambles.Add(1)
+	pri := b.primaryLane(id)
+	for li, ln := range b.lanes {
+		accepted := false
+		select {
+		case ln.gates[id].ctrl <- m:
+			accepted = true
+		default:
 		}
-	default:
-		b.statInjDropped.Add(1)
+		if li != pri {
+			continue
+		}
+		if accepted {
+			// Count at acceptance, synchronously with the caller: the
+			// conformance harness checks accepted + dropped against the
+			// number of calls its schedule made, so the tally must be
+			// stable the moment the injection call returns.
+			switch m.kind {
+			case ctrlReset:
+				b.statInjResets.Add(1)
+			case ctrlScramble:
+				b.statInjScrambles.Add(1)
+			}
+		} else {
+			b.statInjDropped.Add(1)
+		}
 	}
 }
 
@@ -734,11 +1002,13 @@ func (b *Barrier) Stop() {
 	b.stopOnce.Do(func() { close(b.stopped) })
 	b.wg.Wait()
 	b.closeOnce.Do(func() {
-		for _, l := range b.links {
-			l.Close()
-		}
-		if b.ownTransport != nil {
-			b.ownTransport.Close()
+		for _, ln := range b.lanes {
+			for _, l := range ln.links {
+				l.Close()
+			}
+			if ln.ownTransport != nil {
+				ln.ownTransport.Close()
+			}
 		}
 	})
 }
@@ -848,10 +1118,7 @@ func (g *gate) deliver(r awaitResult) {
 
 // --- protocol goroutine (ring) ---
 
-func (p *proc) run(resend time.Duration, lossRate, corruptRate float64) {
-	ticker := time.NewTicker(resend)
-	defer ticker.Stop()
-
+func (p *proc) run(lossRate, corruptRate float64) {
 	p.announce(lossRate, corruptRate) // prime the ring
 	for {
 		// Fast path: drain everything already queued with non-blocking
@@ -898,7 +1165,10 @@ func (p *proc) run(resend time.Duration, lossRate, corruptRate float64) {
 			continue
 		}
 
-		// Idle: park until something arrives or the resend period elapses.
+		// Idle: park until something arrives. Retransmission pacing comes
+		// from the barrier's sweeper goroutine, which pokes the proc with
+		// ctrlTick only when its edge was quiet for a resend period —
+		// hot procs never take timer wakeups.
 		select {
 		case <-p.b.stopped:
 			return
@@ -914,19 +1184,6 @@ func (p *proc) run(resend time.Duration, lossRate, corruptRate float64) {
 			p.snR = tokenring.Top
 		case c := <-p.ctrl:
 			p.onCtrl(c)
-		case <-ticker.C:
-			// Retransmit the current state — it masks lost, dropped and
-			// detectably corrupted messages — but only on a quiet edge: if
-			// an announcement already went out since the previous tick, the
-			// successor has fresh state and the retransmission would be
-			// redundant traffic on the hot path. A message lost right after
-			// a tick is still retransmitted by the tick after it, so the
-			// masking delay is at most doubled.
-			if p.sentSinceTick {
-				p.sentSinceTick = false
-			} else {
-				p.haveSent = false
-			}
 		}
 		p.step()
 		p.announce(lossRate, corruptRate)
@@ -955,6 +1212,14 @@ func (p *proc) onCtrl(c ctrlMsg) {
 	switch c.kind {
 	case ctrlArrive:
 		p.onArrive(c)
+	case ctrlTick:
+		// Quiet edge at the resend sweep: retransmit the current state —
+		// it masks lost, dropped and detectably corrupted messages.
+		// Forgetting the last announcement makes the post-ctrl announce
+		// resend it. A message lost right after a sweep is retransmitted
+		// by the sweep after the next, so the masking delay is at most
+		// doubled — the same bound the per-proc tickers gave.
+		p.haveSent = false
 	case ctrlReset:
 		// MB's detectable fault action. The participant is told to redo
 		// its phase (ErrReset) only if the reset voids work the current
@@ -1086,7 +1351,7 @@ func (p *proc) announce(lossRate, corruptRate float64) {
 	}
 	p.lastSent = m
 	p.haveSent = true
-	p.sentSinceTick = true
+	p.sentSinceTick.Store(true)
 
 	p.b.statSends.Add(1)
 	if lossRate > 0 && p.rng.Float64() < lossRate {

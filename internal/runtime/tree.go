@@ -33,7 +33,7 @@ import (
 
 // startTree wires the double-tree topology: one treeProc per hosted
 // member, links from the tree transport.
-func (b *Barrier) startTree(cfg Config, members []int) error {
+func (b *Barrier) startTree(cfg Config, members []int, ln *lane) error {
 	arity := cfg.TreeArity
 	if arity == 0 {
 		arity = 2
@@ -46,7 +46,7 @@ func (b *Barrier) startTree(cfg Config, members []int) error {
 		// Every member is local (Members requires an explicit Transport):
 		// run the whole collective fused on one scheduler goroutine, with
 		// direct in-memory delivery instead of channel hops per edge.
-		return b.startFusedTree(cfg, tree)
+		return b.startFusedTree(cfg, tree, ln)
 	}
 	tt, ok := cfg.Transport.(TreeTransport)
 	if !ok {
@@ -57,17 +57,17 @@ func (b *Barrier) startTree(cfg Config, members []int) error {
 		if err != nil {
 			return fmt.Errorf("ftbarrier: open tree link for member %d: %w", j, err)
 		}
-		b.links = append(b.links, link)
+		ln.links = append(ln.links, link)
 		tp := newTreeProc(b, j, tree.Parent[j], tree.Children[j], link, cfg)
-		b.tprocs[j] = tp
-		b.gates[j] = tp.gate
+		ln.tprocs[j] = tp
+		ln.gates[j] = tp.gate
 	}
 	// Unlike the ring procs (which start mid-phase, in execute), tree procs
 	// start in DT's start state — wave 0 fully acknowledged, everyone ready
 	// in phase 0 — so the begins of phase 0 are emitted by the protocol
 	// itself when the first wave rolls; no implicit events are needed here.
 	lossRate, corruptRate := cfg.LossRate, cfg.CorruptRate
-	for _, tp := range b.tprocs {
+	for _, tp := range ln.tprocs {
 		if tp == nil {
 			continue
 		}

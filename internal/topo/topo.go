@@ -8,6 +8,7 @@ package topo
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Ring is the Fig 2(a) topology: processes 0..N organized in a ring, the
@@ -132,6 +133,104 @@ func (t *Tree) Leaves() []int {
 // BFSOrder returns the nodes in breadth-first order from the root. The
 // returned slice is shared; callers must not modify it.
 func (t *Tree) BFSOrder() []int { return t.order }
+
+// Hybrid is the two-level hierarchical topology: members co-located on
+// one host form a star under that host's root member (zero network hops
+// among local siblings — they fuse onto one scheduler), and the host
+// roots form a k-ary tree among themselves (O(log #hosts) network hops).
+// The member-level Tree runs the unmodified double-tree protocol; the
+// Hosts/HostTree views tell a deployment which edges cross hosts.
+type Hybrid struct {
+	// Tree is the member-level tree the protocol runs over: within each
+	// host a star rooted at the host root, host roots wired by HostTree.
+	Tree *Tree
+	// Hosts is the normalized host partition: hosts ordered by their
+	// minimum member, members within a host in increasing order.
+	Hosts [][]int
+	// HostOf maps a member id to its host index (into Hosts).
+	HostOf []int
+	// HostRoot maps a host index to its root member (the host's minimum
+	// member id — the one node of the host that has cross-host edges).
+	HostRoot []int
+	// HostTree is the k-ary tree over host indices that the cross-host
+	// transport realizes (heap-shaped, like NewKAryTree over hosts).
+	HostTree *Tree
+}
+
+// NewHybridTree builds the two-level hybrid topology for a partition of
+// members 0..n-1 into hosts. hosts must be a partition (every member in
+// exactly one non-empty host); arity is the host tree's branching factor
+// (≥ 2). The host holding member 0 becomes the root host.
+func NewHybridTree(hosts [][]int, arity int) (*Hybrid, error) {
+	if len(hosts) == 0 {
+		return nil, errors.New("topo: hybrid needs at least one host")
+	}
+	if arity < 2 {
+		return nil, errors.New("topo: tree arity must be at least 2")
+	}
+	// Normalize: members within a host ascending, hosts by minimum member.
+	norm := make([][]int, len(hosts))
+	n := 0
+	for i, h := range hosts {
+		if len(h) == 0 {
+			return nil, fmt.Errorf("topo: host %d is empty", i)
+		}
+		norm[i] = append([]int(nil), h...)
+		sort.Ints(norm[i])
+		n += len(h)
+	}
+	sort.Slice(norm, func(a, b int) bool { return norm[a][0] < norm[b][0] })
+	hostOf := make([]int, n)
+	for i := range hostOf {
+		hostOf[i] = -1
+	}
+	hostRoot := make([]int, len(norm))
+	for hi, h := range norm {
+		hostRoot[hi] = h[0]
+		for _, m := range h {
+			if m < 0 || m >= n {
+				return nil, fmt.Errorf("topo: member %d out of range [0,%d)", m, n)
+			}
+			if hostOf[m] != -1 {
+				return nil, fmt.Errorf("topo: member %d appears in two hosts", m)
+			}
+			hostOf[m] = hi
+		}
+	}
+	// Partition check: every member assigned (range+dup checks above make
+	// the count argument sufficient, but a hole is still possible).
+	for m, hi := range hostOf {
+		if hi == -1 {
+			return nil, fmt.Errorf("topo: member %d missing from the host partition", m)
+		}
+	}
+	// Host-level k-ary heap. Host roots ascend with host index (hosts are
+	// sorted by minimum member), so every member-tree edge below points to
+	// a smaller id and NewTree's parent[i] < i invariant holds.
+	var hostTree *Tree
+	var err error
+	if len(norm) == 1 {
+		hostTree = &Tree{Parent: []int{-1}, Children: [][]int{nil}, Depth: []int{0}, order: []int{0}}
+	} else if hostTree, err = NewKAryTree(len(norm), arity); err != nil {
+		return nil, err
+	}
+	parent := make([]int, n)
+	parent[0] = -1
+	for hi, h := range norm {
+		root := hostRoot[hi]
+		if hi > 0 {
+			parent[root] = hostRoot[hostTree.Parent[hi]]
+		}
+		for _, m := range h[1:] {
+			parent[m] = root
+		}
+	}
+	tree, err := NewTree(parent)
+	if err != nil {
+		return nil, err
+	}
+	return &Hybrid{Tree: tree, Hosts: norm, HostOf: hostOf, HostRoot: hostRoot, HostTree: hostTree}, nil
+}
 
 // TwoRings is the Fig 2(b) topology: two rings that intersect in the
 // segment 0..J. Ring 1 continues J → A1 → … → N1 → 0 and ring 2 continues

@@ -280,3 +280,77 @@ func TestNewDoubleTree(t *testing.T) {
 		t.Error("NewDoubleTree should pair the tree with itself")
 	}
 }
+
+func TestNewHybridTreeShape(t *testing.T) {
+	// 4 hosts × 2 members, declared out of order and unsorted: the
+	// constructor normalizes to min-member order.
+	h, err := NewHybridTree([][]int{{3, 2}, {1, 0}, {7, 6}, {4, 5}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHosts := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	for i, hs := range wantHosts {
+		if len(h.Hosts[i]) != len(hs) {
+			t.Fatalf("host %d = %v, want %v", i, h.Hosts[i], hs)
+		}
+		for j, m := range hs {
+			if h.Hosts[i][j] != m {
+				t.Fatalf("host %d = %v, want %v", i, h.Hosts[i], hs)
+			}
+		}
+	}
+	// Host roots are the minima; host tree is the binary heap over hosts.
+	wantRoots := []int{0, 2, 4, 6}
+	for i, r := range wantRoots {
+		if h.HostRoot[i] != r {
+			t.Fatalf("HostRoot[%d] = %d, want %d", i, h.HostRoot[i], r)
+		}
+	}
+	if got := h.HostTree.Parent; got[0] != -1 || got[1] != 0 || got[2] != 0 || got[3] != 1 {
+		t.Fatalf("host tree parents = %v", got)
+	}
+	// Member tree: local members star under their host root; host roots
+	// follow the host tree.
+	wantParent := []int{-1, 0, 0, 2, 0, 4, 2, 6}
+	for i, p := range wantParent {
+		if h.Tree.Parent[i] != p {
+			t.Fatalf("Parent = %v, want %v", h.Tree.Parent, wantParent)
+		}
+	}
+	for m := 0; m < 8; m++ {
+		if h.HostOf[m] != m/2 {
+			t.Fatalf("HostOf[%d] = %d, want %d", m, h.HostOf[m], m/2)
+		}
+	}
+}
+
+func TestNewHybridTreeSingleHost(t *testing.T) {
+	h, err := NewHybridTree([][]int{{0, 1, 2}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.HostTree.Size() != 1 || h.HostTree.Parent[0] != -1 {
+		t.Fatalf("single-host host tree = %+v", h.HostTree)
+	}
+	if h.Tree.Parent[1] != 0 || h.Tree.Parent[2] != 0 {
+		t.Fatalf("single-host member tree = %v", h.Tree.Parent)
+	}
+}
+
+func TestNewHybridTreeValidation(t *testing.T) {
+	cases := [][][]int{
+		{},                // no hosts
+		{{0, 1}, {}},      // empty host
+		{{0, 1}, {1, 2}},  // duplicate member
+		{{0, 1}, {3, 4}},  // hole (member 2 missing)
+		{{0, 1}, {2, 17}}, // out of range
+	}
+	for i, hosts := range cases {
+		if _, err := NewHybridTree(hosts, 2); err == nil {
+			t.Errorf("case %d (%v): expected error", i, hosts)
+		}
+	}
+	if _, err := NewHybridTree([][]int{{0}, {1}}, 1); err == nil {
+		t.Error("arity 1 should be rejected")
+	}
+}

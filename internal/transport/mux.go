@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	goruntime "runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -47,23 +48,34 @@ import (
 
 // Group topologies understood by the Mux (and the groups registry).
 const (
-	GroupRing = "ring"
-	GroupTree = "tree"
+	GroupRing   = "ring"
+	GroupTree   = "tree"
+	GroupHybrid = "hybrid"
 )
 
-// GroupSpec declares one barrier group hosted over the mux. The group
-// spans all processes; member ids are process indices.
+// GroupSpec declares one barrier group hosted over the mux. For ring and
+// tree groups the group spans all processes and member ids are process
+// indices. For hybrid groups each process fuses a whole host's members
+// locally and the mux carries only the cross-HOST tree: node ids on the
+// wire are process (= host) indices.
 type GroupSpec struct {
 	// ID tags the group's frames on the wire. Unique per mux.
 	ID uint32
 	// Name labels the group's metric series ({group="..."}) and
 	// strengthens the config digest. Letters, digits, '_', '.', '-'.
 	Name string
-	// Topology is GroupRing (default) or GroupTree.
+	// Topology is GroupRing (default), GroupTree or GroupHybrid.
 	Topology string
-	// TreeArity is the heap arity for GroupTree (default 2), matching the
-	// shape a TopologyTree barrier builds for the same member count.
+	// TreeArity is the heap arity for GroupTree and for GroupHybrid's
+	// host tree (default 2), matching the shape a TopologyTree barrier
+	// builds for the same member count.
 	TreeArity int
+	// Hosts is GroupHybrid's member grouping: Hosts[j] lists the barrier
+	// members fused on process j, exactly as in the runtime's
+	// Config.Hosts. Required for hybrid (one roster per process),
+	// forbidden otherwise. Folded into the config digest so every
+	// process must declare the identical grouping.
+	Hosts [][]int
 }
 
 // MuxConfig parameterizes a Mux.
@@ -111,6 +123,12 @@ func muxDigest(cfg MuxConfig) uint64 {
 			g.Name,
 			g.Topology,
 			strconv.Itoa(arity))
+		for _, roster := range g.Hosts {
+			parts = append(parts, "h"+strconv.Itoa(len(roster)))
+			for _, member := range roster {
+				parts = append(parts, strconv.Itoa(member))
+			}
+		}
 	}
 	return ConfigDigest(parts...)
 }
@@ -270,6 +288,10 @@ func newMux(cfg MuxConfig, ln net.Listener) (*Mux, error) {
 			return nil, fmt.Errorf("transport: invalid group name %q", spec.Name)
 		}
 		g := &muxGroup{spec: muxGroupShape{GroupSpec: spec}}
+		if spec.Topology != GroupHybrid && spec.Hosts != nil {
+			dialCancel()
+			return nil, fmt.Errorf("transport: group %d: Hosts is only for hybrid groups", spec.ID)
+		}
 		switch spec.Topology {
 		case GroupRing, "":
 			pred, succ := (self-1+n)%n, (self+1)%n
@@ -282,15 +304,31 @@ func newMux(cfg MuxConfig, ln net.Listener) (*Mux, error) {
 			g.ring.topSlot = slot(pred, g, FrameTop)
 			m.routes[routeKey{spec.ID, FrameState, pred}] = route{rState, g}
 			m.routes[routeKey{spec.ID, FrameTop, succ}] = route{rTop, g}
-		case GroupTree:
+		case GroupTree, GroupHybrid:
 			arity := spec.TreeArity
 			if arity == 0 {
 				arity = 2
 			}
-			shape, err := topo.NewKAryTree(n, arity)
-			if err != nil {
-				dialCancel()
-				return nil, fmt.Errorf("transport: group %d: %w", spec.ID, err)
+			var shape *topo.Tree
+			if spec.Topology == GroupHybrid {
+				// One process per host; the mux carries the host tree.
+				hy, err := topo.NewHybridTree(spec.Hosts, arity)
+				if err != nil {
+					dialCancel()
+					return nil, fmt.Errorf("transport: group %d: %w", spec.ID, err)
+				}
+				if len(hy.Hosts) != n {
+					dialCancel()
+					return nil, fmt.Errorf("transport: group %d: %d hosts for %d processes", spec.ID, len(hy.Hosts), n)
+				}
+				shape = hy.HostTree
+			} else {
+				s, err := topo.NewKAryTree(n, arity)
+				if err != nil {
+					dialCancel()
+					return nil, fmt.Errorf("transport: group %d: %w", spec.ID, err)
+				}
+				shape = s
 			}
 			g.spec.parent = shape.Parent
 			g.spec.children = shape.Children[self]
@@ -470,8 +508,10 @@ func (m *Mux) closedNow() bool {
 // the mux owns them.
 func (m *Mux) Ring(id uint32) runtime.Transport { return &muxRingView{m: m, id: id} }
 
-// Tree returns the runtime.TreeTransport view of one tree group (see
-// Ring for the lifecycle contract).
+// Tree returns the runtime.TreeTransport view of one tree or hybrid
+// group (see Ring for the lifecycle contract). For hybrid groups the
+// view's node space is host (= process) indices: OpenTree(Self) yields
+// the edge set a TopologyHybrid barrier plugs in as its Transport.
 func (m *Mux) Tree(id uint32) runtime.Transport { return &muxTreeView{m: m, id: id} }
 
 type muxRingView struct {
@@ -647,6 +687,7 @@ func (p *muxPeer) setConn(c net.Conn) bool {
 func (p *muxPeer) writeLoop(c net.Conn, dead chan struct{}) {
 	p.kickWriter() // flush anything posted while no connection existed
 	var buf []byte
+	batching := 0
 	for {
 		select {
 		case <-p.m.done:
@@ -655,6 +696,18 @@ func (p *muxPeer) writeLoop(c net.Conn, dead chan struct{}) {
 			return
 		case <-p.kick:
 		}
+		// While this edge has recently carried multi-frame drains, yield
+		// once between the kick and the drain: other protocol goroutines
+		// runnable right now (concurrent groups, pipelined lanes) post
+		// into their slots first — superseded states coalesce in the
+		// slots and the survivors leave in this Write instead of the next
+		// one. The regime is sticky for a few drains because batches
+		// alternate with single-frame drains even under sustained
+		// multi-lane load; a workload that never batches stops yielding
+		// and keeps the minimum-latency single-frame path.
+		if batching > 0 {
+			goruntime.Gosched()
+		}
 		buf = buf[:0]
 		took := 0
 		for _, s := range p.slots {
@@ -662,6 +715,11 @@ func (p *muxPeer) writeLoop(c net.Conn, dead chan struct{}) {
 			if buf, ok = s.takeInto(buf); ok {
 				took++
 			}
+		}
+		if took > 1 {
+			batching = 8
+		} else if batching > 0 {
+			batching--
 		}
 		if took == 0 {
 			continue

@@ -380,3 +380,105 @@ func TestMuxPartitionInjection(t *testing.T) {
 		t.Fatalf("after heal: %v", err)
 	}
 }
+
+// A hybrid group over the mux: each process fuses one host's members and
+// the shared connections carry only the host tree. All members pass; a
+// mid-run connection break is masked.
+func TestMuxHybridGroupBarrier(t *testing.T) {
+	const (
+		nProcs  = 3
+		passes  = 20
+		nPhases = 4
+	)
+	hosts := [][]int{{0, 1, 2}, {3, 4}, {5}}
+	const nMembers = 6
+	specs := []GroupSpec{
+		{ID: 0, Name: "hy0", Topology: GroupHybrid, Hosts: hosts},
+		{ID: 1, Name: "ring0"}, // a ring group sharing the same connections
+	}
+	set, err := NewLoopbackMuxes(nProcs, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	bs := make([]*runtime.Barrier, nProcs)
+	for h := range hosts {
+		b, err := runtime.New(runtime.Config{
+			Participants: nMembers,
+			NPhases:      nPhases,
+			Topology:     runtime.TopologyHybrid,
+			Hosts:        hosts,
+			Members:      hosts[h],
+			Transport:    set.Muxes[h].Tree(0),
+			Resend:       200 * time.Microsecond,
+			Seed:         int64(300 + h),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Stop()
+		bs[h] = b
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nMembers)
+	for h, roster := range hosts {
+		for _, id := range roster {
+			h, id := h, id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < passes; k++ {
+					ph, err := bs[h].Await(ctx, id)
+					if errors.Is(err, runtime.ErrReset) {
+						k--
+						continue
+					}
+					if err != nil {
+						errs <- fmt.Errorf("member %d pass %d: %w", id, k, err)
+						return
+					}
+					if want := (k + 1) % nPhases; ph != want {
+						errs <- fmt.Errorf("member %d pass %d: phase %d, want %d", id, k, ph, want)
+						return
+					}
+				}
+				errs <- nil
+			}()
+		}
+	}
+	// A network blip mid-run.
+	time.Sleep(5 * time.Millisecond)
+	set.Muxes[1].BreakConns()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sent, recv := set.Muxes[0].GroupStats(0)
+	if sent == 0 && recv == 0 {
+		t.Error("hybrid group moved no frames through process 0")
+	}
+}
+
+// Hybrid group spec validation.
+func TestMuxHybridValidation(t *testing.T) {
+	if _, err := NewLoopbackMuxes(2, []GroupSpec{
+		{ID: 0, Name: "a", Hosts: [][]int{{0}, {1}}}}); err == nil {
+		t.Error("Hosts on a ring group succeeded")
+	}
+	if _, err := NewLoopbackMuxes(2, []GroupSpec{
+		{ID: 0, Name: "a", Topology: GroupHybrid}}); err == nil {
+		t.Error("hybrid group without Hosts succeeded")
+	}
+	if _, err := NewLoopbackMuxes(3, []GroupSpec{
+		{ID: 0, Name: "a", Topology: GroupHybrid, Hosts: [][]int{{0, 1}, {2, 3}}}}); err == nil {
+		t.Error("hybrid group with fewer hosts than processes succeeded")
+	}
+}

@@ -105,7 +105,19 @@ func NewLoopbackTree(n int, opts ...Option) (*TCPTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	listeners, peers, err := bindLoopback(n)
+	return NewLoopbackTreeParent(shape.Parent, opts...)
+}
+
+// NewLoopbackTreeParent is NewLoopbackTree for an arbitrary tree shape:
+// parent[i] is node i's parent, exactly one root has -1. The hybrid
+// topology uses it to run a cross-HOST tree on loopback — the transport's
+// node space there is host indices (topo.Hybrid.HostTree.Parent), not
+// member ids.
+func NewLoopbackTreeParent(parent []int, opts ...Option) (*TCPTree, error) {
+	if len(parent) < 2 {
+		return nil, errors.New("transport: need at least 2 nodes")
+	}
+	listeners, peers, err := bindLoopback(len(parent))
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +125,7 @@ func NewLoopbackTree(n int, opts ...Option) (*TCPTree, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	t, err := NewTCPTree(cfg, shape.Parent)
+	t, err := NewTCPTree(cfg, parent)
 	if err != nil {
 		for _, l := range listeners {
 			l.Close()
