@@ -779,6 +779,98 @@ func TestLoopbackGroupsHybridDepth(t *testing.T) {
 	}
 }
 
+// A fail-safe halt of one tenant group must flip the aggregate /healthz
+// to 503 while the process stays up and its other groups keep passing.
+// The haltafter= roster option injects the halt deterministically; the
+// daemon used to exit on the first ErrHalted, so the aggregate probe
+// could only ever observe whole-process death, never a single halted
+// group.
+func TestLoopbackGroupHaltHealthz(t *testing.T) {
+	const (
+		procs      = 2
+		groupQuota = 40
+		haltAfter  = 5
+	)
+	dir := t.TempDir()
+	bin := buildBarrierd(t, dir)
+	peers := reservePeers(t, procs)
+
+	// Only process 0 injects the halt: a halted member goes silent, so its
+	// peer's copy of the group stalls in reset-redo and would never reach
+	// its own haltafter count. haltafter= is daemon-local (not part of
+	// the group fingerprint), so the rosters still match on the wire.
+	members := make([]*member, procs)
+	for id := 0; id < procs; id++ {
+		roster := "live ring 3\ndoomed ring 3"
+		if id == 0 {
+			roster += fmt.Sprintf(" haltafter=%d", haltAfter)
+		}
+		roster += "\n"
+		groupsFile := filepath.Join(dir, fmt.Sprintf("groups.%d.conf", id))
+		if err := os.WriteFile(groupsFile, []byte(roster), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		extra := []string{"-groups", groupsFile, "-resend", "1ms"}
+		members[id] = start(t, bin, peers, id, groupQuota, dir, false, extra...)
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			if m.cmd.ProcessState == nil {
+				m.cmd.Process.Kill()
+				m.cmd.Wait()
+			}
+		}
+	})
+	for _, m := range members {
+		waitHealthy(t, m, time.Minute)
+	}
+
+	// The doomed group halts itself on process 0 after a few passes; the
+	// process must park that group's loop, log the halt, and turn its
+	// aggregate /healthz unhealthy — without exiting.
+	var lastProbe string
+	waitFor(t, "member 0 /healthz 503 after group halt", time.Minute, func() bool {
+		body, code, ok := httpBody("http://" + metricsAddr(members[0]) + "/healthz")
+		lastProbe = fmt.Sprintf("ok=%v code=%d body=%q", ok, code, body)
+		return ok && code == http.StatusServiceUnavailable && strings.Contains(body, `"status":"halted"`)
+	}, func() string { return lastProbe })
+	if !logged(members[0], "HALTED group doomed") {
+		t.Error("member 0 log missing the HALTED line")
+	}
+	// Process 1 hosts no halted member — only a stalled peer — so its own
+	// aggregate probe must stay healthy.
+	if body, code, ok := httpBody("http://" + metricsAddr(members[1]) + "/healthz"); !ok || code != http.StatusOK {
+		t.Errorf("member 1 /healthz = code %d body %q (ok=%v), want 200", code, body, ok)
+	}
+
+	// The sibling group is untouched by the halt: it must still reach its
+	// quota on every process.
+	for _, m := range members {
+		m := m
+		waitFor(t, fmt.Sprintf("member %d live-group quota", m.id), 2*time.Minute, func() bool {
+			if logged(m, "VIOLATION") {
+				data, _ := os.ReadFile(m.logPath)
+				lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+				t.Fatalf("member %d spec violation: %s", m.id, lines[len(lines)-1])
+			}
+			return logged(m, fmt.Sprintf("[live] DONE %d", groupQuota))
+		})
+	}
+
+	// Graceful shutdown: the parked loop must not wedge SIGTERM handling.
+	for _, m := range members {
+		if err := m.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Errorf("signalling member %d: %v", m.id, err)
+		}
+	}
+	for _, m := range members {
+		if err := m.cmd.Wait(); err != nil {
+			data, _ := os.ReadFile(m.logPath)
+			t.Errorf("member %d exited uncleanly: %v\n%s", m.id, err, tailLines(string(data), 5))
+		}
+	}
+}
+
 // Startup validation: bad membership or group rosters must be rejected
 // with a clear error before any socket work.
 func TestStartupValidation(t *testing.T) {

@@ -364,14 +364,15 @@ func parseHosts(s string) ([][]int, error) {
 // parseGroupsFile reads the multi-tenant group declarations: one group
 // per line, "name [topology [nphases]] [key=value...]", '#' comments.
 // Options: "hosts=0,1|2,3" (hybrid rosters), "depth=K" (wave-pipelining
-// window). The fault-injection flags apply to every group; seeds are
-// decorrelated per group.
-func parseGroupsFile(path string) ([]groups.Config, error) {
+// window), "haltafter=N" (fault injection: force the group fail-safe
+// after N local passes, for supervisor drills). The fault-injection
+// flags apply to every group; seeds are decorrelated per group.
+// haltAfter is aligned with the returned configs; 0 means never.
+func parseGroupsFile(path string) (cfgs []groups.Config, haltAfter []int, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var cfgs []groups.Config
 	for lineNo, line := range strings.Split(string(data), "\n") {
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
@@ -389,6 +390,7 @@ func parseGroupsFile(path string) ([]groups.Config, error) {
 			CorruptRate: *corruptFlag,
 			Seed:        *seedFlag + int64(len(cfgs))<<8,
 		}
+		halt := 0
 		positional := 0
 		for _, f := range fields[1:] {
 			if key, val, isOpt := strings.Cut(f, "="); isOpt {
@@ -396,17 +398,23 @@ func parseGroupsFile(path string) ([]groups.Config, error) {
 				case "hosts":
 					hosts, err := parseHosts(val)
 					if err != nil {
-						return nil, fmt.Errorf("%s:%d: hosts: %w", path, lineNo+1, err)
+						return nil, nil, fmt.Errorf("%s:%d: hosts: %w", path, lineNo+1, err)
 					}
 					c.Hosts = hosts
 				case "depth":
 					d, err := strconv.Atoi(val)
 					if err != nil || d < 1 {
-						return nil, fmt.Errorf("%s:%d: depth %q: want an integer ≥ 1", path, lineNo+1, val)
+						return nil, nil, fmt.Errorf("%s:%d: depth %q: want an integer ≥ 1", path, lineNo+1, val)
 					}
 					c.Depth = d
+				case "haltafter":
+					h, err := strconv.Atoi(val)
+					if err != nil || h < 1 {
+						return nil, nil, fmt.Errorf("%s:%d: haltafter %q: want an integer ≥ 1", path, lineNo+1, val)
+					}
+					halt = h
 				default:
-					return nil, fmt.Errorf("%s:%d: unknown option %q (want hosts= or depth=)", path, lineNo+1, key)
+					return nil, nil, fmt.Errorf("%s:%d: unknown option %q (want hosts=, depth= or haltafter=)", path, lineNo+1, key)
 				}
 				continue
 			}
@@ -416,26 +424,27 @@ func parseGroupsFile(path string) ([]groups.Config, error) {
 			case 1:
 				n, err := strconv.Atoi(f)
 				if err != nil || n < 2 {
-					return nil, fmt.Errorf("%s:%d: nphases %q: want an integer ≥ 2", path, lineNo+1, f)
+					return nil, nil, fmt.Errorf("%s:%d: nphases %q: want an integer ≥ 2", path, lineNo+1, f)
 				}
 				c.NPhases = n
 			default:
-				return nil, fmt.Errorf("%s:%d: too many fields (want: name [topology [nphases]] [key=value...])", path, lineNo+1)
+				return nil, nil, fmt.Errorf("%s:%d: too many fields (want: name [topology [nphases]] [key=value...])", path, lineNo+1)
 			}
 			positional++
 		}
 		cfgs = append(cfgs, c)
+		haltAfter = append(haltAfter, halt)
 	}
 	if len(cfgs) == 0 {
-		return nil, fmt.Errorf("%s: no groups declared", path)
+		return nil, nil, fmt.Errorf("%s: no groups declared", path)
 	}
-	return cfgs, nil
+	return cfgs, haltAfter, nil
 }
 
 // runGroups is the multi-tenant daemon: one member of every declared
 // group, all sharing one connection per peer pair.
 func runGroups(file string, peers []string, id int, reg *obsv.Registry) error {
-	cfgs, err := parseGroupsFile(file)
+	cfgs, haltAfter, err := parseGroupsFile(file)
 	if err != nil {
 		return err
 	}
@@ -490,14 +499,14 @@ func runGroups(file string, peers []string, id int, reg *obsv.Registry) error {
 	var loops int
 	errs := make(chan error, 64)
 	for i, g := range r.Groups() {
-		g, nPhases := g, cfgs[i].NPhases
+		g, nPhases, halt := g, cfgs[i].NPhases, haltAfter[i]
 		members := g.Members()
 		doneMembers := new(atomic.Int64)
 		for _, m := range members {
 			m := m
 			loops++
 			go func() {
-				errs <- groupLoop(ctx, g, m, len(members) > 1, nPhases, &totalPasses, func() {
+				errs <- groupLoop(ctx, g, m, len(members) > 1, nPhases, halt, &totalPasses, func() {
 					if int(doneMembers.Add(1)) != len(members) {
 						return
 					}
@@ -523,7 +532,7 @@ func runGroups(file string, peers []string, id int, reg *obsv.Registry) error {
 // phase P" lines (prefixed, so single-group log scrapers never confuse
 // tenants; multi-member hybrid groups add the member id, "[name m3]"),
 // report the quota and keep going until cancelled.
-func groupLoop(ctx context.Context, g *groups.Group, member int, labelMember bool, nPhases int, total *atomic.Int64, onQuota func()) error {
+func groupLoop(ctx context.Context, g *groups.Group, member int, labelMember bool, nPhases, haltAfter int, total *atomic.Int64, onQuota func()) error {
 	label := g.Name()
 	if labelMember {
 		label = fmt.Sprintf("%s m%d", g.Name(), member)
@@ -551,10 +560,24 @@ func groupLoop(ctx context.Context, g *groups.Group, member int, labelMember boo
 				quotaSaid = true
 				onQuota()
 			}
+			if haltAfter > 0 && passes == haltAfter {
+				// Injected fail-safe (haltafter=N): exercise the halt
+				// machinery end to end — the next Await returns ErrHalted
+				// and this loop parks below.
+				g.Barrier().Halt()
+			}
 			thinkPause(ctx)
 		case errors.Is(err, runtime.ErrReset):
 			// Redo the phase; the expectation survives.
 		case errors.Is(err, context.Canceled):
+			return nil
+		case errors.Is(err, runtime.ErrHalted):
+			// Fail-safe halt is a verdict on this group, not on the
+			// daemon: park instead of exiting so the sibling groups keep
+			// passing and the aggregate /healthz turns 503 while the
+			// halted group is inspected.
+			fmt.Printf("HALTED group %s member %d after %d passes\n", g.Name(), member, passes)
+			<-ctx.Done()
 			return nil
 		default:
 			return fmt.Errorf("group %s await: %w", g.Name(), err)

@@ -116,6 +116,7 @@ func TestMetricPairOK(t *testing.T) { runFixture(t, analyzers.MetricPair, "metri
 func TestStepPure(t *testing.T)     { runFixture(t, analyzers.StepPure, "steppure") }
 func TestLockOrder(t *testing.T)    { runFixture(t, analyzers.LockOrder, "lockorder") }
 func TestTicketWindow(t *testing.T) { runFixture(t, analyzers.TicketWindow, "ticketwindow") }
+func TestSeqWindow(t *testing.T)    { runFixture(t, analyzers.SeqWindow, "seqwindow") }
 
 // TestIgnoreDirectives pins the suppression contract: a directive with a
 // reason silences the finding on its line (or the line below when it

@@ -10,5 +10,6 @@ func All() []*Analyzer {
 		StepPure,
 		LockOrder,
 		TicketWindow,
+		SeqWindow,
 	}
 }

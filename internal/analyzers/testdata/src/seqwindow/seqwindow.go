@@ -1,0 +1,78 @@
+// Fixture: the frame-validation discipline (DESIGN.md §13). A receive
+// path — a function handed a wire frame (Message/UpMessage) — that
+// adopts the frame into a neighbor-copy cell of a window-guarded struct
+// (one carrying a pending-sighting slot) must run its sequence-window
+// check (a check*/admit* call) in the same function. Adoption without
+// the check is the forged-frame hole: one well-formed lie steering a
+// correct member's phase.
+package seqwindow
+
+// Message is a wire frame (name-matched, like the runtime's).
+type Message struct {
+	SN, CP, PH int
+}
+
+// UpMessage is the convergecast frame.
+type UpMessage struct {
+	SN, PH int
+}
+
+// node is window-guarded receive state: neighbor copies plus the
+// pending-sighting slot.
+type node struct {
+	snL, cpL, phL        int
+	pending              Message
+	havePending          bool
+	kidSN, kidPH, kidAck int
+}
+
+func (n *node) checkWindow(m Message) bool { return m.SN == n.snL || m.SN == n.snL+1 }
+
+func (n *node) admitFrame(m Message) bool { return n.checkWindow(m) }
+
+// onStateChecked is the correct receive path: the window is consulted
+// before adoption.
+func onStateChecked(n *node, m Message) {
+	if !n.admitFrame(m) {
+		return
+	}
+	n.snL, n.cpL, n.phL = m.SN, m.CP, m.PH
+}
+
+// onStateUnchecked adopts the frame blind — the forged-frame hole.
+func onStateUnchecked(n *node, m Message) {
+	n.snL = m.SN // want "frame adopted \(write to n\.snL\) with no sequence-window check in onStateUnchecked"
+	n.phL = m.PH // want "frame adopted \(write to n\.phL\) with no sequence-window check in onStateUnchecked"
+}
+
+// onUpUnchecked is the same bug on the convergecast side.
+func onUpUnchecked(n *node, m UpMessage) {
+	n.kidSN = m.SN // want "frame adopted \(write to n\.kidSN\) with no sequence-window check in onUpUnchecked"
+}
+
+// onUpChecked consults the per-kid window first.
+func (n *node) onUpChecked(m UpMessage) {
+	if !n.checkUpWindow(m) {
+		return
+	}
+	n.kidSN, n.kidPH = m.SN, m.PH
+}
+
+func (n *node) checkUpWindow(m UpMessage) bool { return m.SN >= n.kidSN }
+
+// plain has the copy-field names but no pending slot: not a
+// window-guarded receive state, not our business.
+type plain struct {
+	snL, phL int
+}
+
+func mirror(s *plain, m Message) {
+	s.snL, s.phL = m.SN, m.PH
+}
+
+// craft builds a frame without adopting one; writes to the frame itself
+// are not copy-cell adoptions.
+func craft(n *node, m Message) Message {
+	m.SN = n.snL
+	return m
+}

@@ -1,0 +1,231 @@
+// Package counting instantiates the live barrier as a synchronous
+// counting protocol in the style of Lenzen & Rybicki's "Towards Optimal
+// Synchronous Counting": every correct member outputs a bounded counter,
+// all correct members agree on its value, and the value increments by one
+// each round — while a subset of members behaves Byzantine.
+//
+// The mapping mirrors the unison app's: the barrier's phase counter is
+// the bounded counter (round i outputs i mod the modulus), so agreement
+// and increment reduce to the barrier's phase-ordering guarantee. A
+// Byzantine member here participates in the protocol (a silent member is
+// a crash fault, a different class) but additionally fires one crafted
+// forgery — wrong-phase replay, stale-sequence echo or premature ⊤ —
+// into its neighborhood every round. The run survives if no correct
+// member ever observes an out-of-order counter and every correct member
+// keeps counting; the frame-validation layer makes that concrete by
+// rejecting each forgery exactly once (Injected vs Rejected below).
+package counting
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Config describes one counting run.
+type Config struct {
+	// Topology is "ring", "tree" or "hybrid" (hybrid fuses members
+	// pairwise onto hosts).
+	Topology string
+	// N is the member count; Modulus the counter domain (the barrier's
+	// phase modulus), at least 3.
+	N, Modulus int
+	// Byz lists the Byzantine members. Correct members are the rest.
+	Byz []int
+	// Rounds is how many counter increments every correct member must
+	// complete.
+	Rounds int
+	// Seed drives the forgery-shape draws.
+	Seed int64
+}
+
+// Result reports what a counting run observed.
+type Result struct {
+	// Rounds is the smallest number of rounds any correct member
+	// completed (≥ Config.Rounds when the run survived).
+	Rounds int
+	// OrderViolations counts out-of-order counter observations by
+	// correct members: any nonzero value means counting failed.
+	OrderViolations int
+	// Injected is the number of forgeries delivered on behalf of the
+	// Byzantine members; Rejected is how many frames the validation
+	// windows refused. In a byz-only run they match exactly.
+	Injected, Rejected int64
+	// Survived reports the counting verdict: every correct member
+	// reached Config.Rounds with zero order violations.
+	Survived bool
+}
+
+// Run executes one counting experiment and reports its verdict.
+func Run(cfg Config) (Result, error) {
+	if cfg.Modulus < 3 {
+		return Result{}, errors.New("counting: modulus must be at least 3")
+	}
+	if cfg.Rounds < 1 || cfg.N < 2 {
+		return Result{}, errors.New("counting: need at least 2 members and 1 round")
+	}
+	byz := make([]bool, cfg.N)
+	for _, j := range cfg.Byz {
+		if j < 0 || j >= cfg.N {
+			return Result{}, fmt.Errorf("counting: Byzantine member %d out of range", j)
+		}
+		byz[j] = true
+	}
+	rcfg := runtime.Config{
+		Participants: cfg.N,
+		NPhases:      cfg.Modulus,
+		Seed:         cfg.Seed,
+		Resend:       50 * time.Microsecond,
+	}
+	switch cfg.Topology {
+	case "ring":
+	case "tree":
+		rcfg.Topology = runtime.TopologyTree
+	case "hybrid":
+		rcfg.Topology = runtime.TopologyHybrid
+		for h := 0; h < cfg.N; h += 2 {
+			top := h + 2
+			if top > cfg.N {
+				top = cfg.N
+			}
+			host := make([]int, 0, 2)
+			for j := h; j < top; j++ {
+				host = append(host, j)
+			}
+			rcfg.Hosts = append(rcfg.Hosts, host)
+		}
+	default:
+		return Result{}, fmt.Errorf("counting: unknown topology %q", cfg.Topology)
+	}
+	b, err := runtime.New(rcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer b.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var (
+		wg         sync.WaitGroup
+		violations atomic.Int64
+		quota      atomic.Int64 // correct members that reached cfg.Rounds
+		minRounds  atomic.Int64
+		correct    int64
+	)
+	minRounds.Store(int64(cfg.Rounds))
+	for j := 0; j < cfg.N; j++ {
+		if !byz[j] {
+			correct++
+		}
+	}
+	for j := 0; j < cfg.N; j++ {
+		j := j
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(1+j)<<17))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rounds, expected := 0, -1
+			for {
+				ph, err := b.Await(ctx, j)
+				switch {
+				case err == nil:
+					if !byz[j] {
+						// The counter output: round i must read i mod M on
+						// every correct member — the barrier hands it to us
+						// as the phase, so agreement and increment are one
+						// ordering check per member.
+						if expected != -1 && ph != expected {
+							violations.Add(1)
+						}
+						expected = (ph + 1) % cfg.Modulus
+						rounds++
+						if rounds == cfg.Rounds {
+							if quota.Add(1) == correct {
+								cancel() // every correct member counted to quota
+							}
+						}
+					} else {
+						// One forgery per round: the adversary acts at every
+						// scheduling opportunity (Section 2's fault model).
+						b.Byz(j, rng.Int63())
+					}
+				case errors.Is(err, runtime.ErrReset):
+					// The round is redone; the counter expectation survives.
+				default:
+					if !byz[j] {
+						for {
+							cur := minRounds.Load()
+							if int64(rounds) >= cur || minRounds.CompareAndSwap(cur, int64(rounds)) {
+								break
+							}
+						}
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A forgery fired just before the quota cancel can still sit in its
+	// victim's control queue: accepted (counted) but not yet validated.
+	// The protocol goroutines run until Stop, so wait for the injection
+	// accounting to quiesce before reading the verdict counters.
+	tally := func(st runtime.Stats) [3]int64 {
+		return [3]int64{st.ByzInjected, st.DroppedInjections,
+			st.RejectedSeq + st.RejectedPhase + st.RejectedTop + st.RejectedSender}
+	}
+	st := b.Stats()
+	for deadline := time.Now().Add(time.Second); ; {
+		time.Sleep(2 * time.Millisecond)
+		next := b.Stats()
+		if tally(next) == tally(st) || time.Now().After(deadline) {
+			st = next
+			break
+		}
+		st = next
+	}
+	res := Result{
+		Rounds:          int(minRounds.Load()),
+		OrderViolations: int(violations.Load()),
+		Injected:        st.ByzInjected,
+		Rejected:        st.RejectedSeq + st.RejectedPhase + st.RejectedTop + st.RejectedSender,
+	}
+	res.Survived = res.OrderViolations == 0 && int(quota.Load()) == int(correct)
+	return res, nil
+}
+
+// SurvivalFraction probes how much Byzantine behavior the topology
+// actually absorbs: it runs counting with f = 1, 2, … adversaries (up to
+// maxByz) and returns the largest f/n whose run survived, along with the
+// per-f results. Adversaries are spread across the member range so that
+// hybrid runs do not concentrate them on one host.
+func SurvivalFraction(topology string, n, modulus, rounds, maxByz int, seed int64) (float64, []Result, error) {
+	frac := 0.0
+	var results []Result
+	for f := 1; f <= maxByz; f++ {
+		adversaries := make([]int, 0, f)
+		for k := 0; k < f; k++ {
+			adversaries = append(adversaries, (k*n/f+1)%n)
+		}
+		res, err := Run(Config{
+			Topology: topology, N: n, Modulus: modulus,
+			Byz: adversaries, Rounds: rounds, Seed: seed + int64(f),
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		results = append(results, res)
+		if !res.Survived {
+			break
+		}
+		frac = float64(f) / float64(n)
+	}
+	return frac, results, nil
+}

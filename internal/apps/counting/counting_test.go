@@ -1,0 +1,81 @@
+package counting
+
+import "testing"
+
+// One Byzantine member against every topology: counting must survive —
+// correct members agree on the counter and keep incrementing — and the
+// validation layer must account for the adversary exactly (every
+// delivered forgery rejected once, none adopted).
+func TestCountingSurvivesOneByzantine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock paced")
+	}
+	for _, topology := range []string{"ring", "tree", "hybrid"} {
+		topology := topology
+		t.Run(topology, func(t *testing.T) {
+			res, err := Run(Config{
+				Topology: topology, N: 4, Modulus: 3,
+				Byz: []int{2}, Rounds: 30, Seed: 101,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Survived {
+				t.Fatalf("counting failed: %+v", res)
+			}
+			if res.OrderViolations != 0 {
+				t.Errorf("correct members observed %d out-of-order counters", res.OrderViolations)
+			}
+			if res.Rounds < 30 {
+				t.Errorf("slowest correct member counted %d rounds, want ≥ 30", res.Rounds)
+			}
+			if res.Injected == 0 {
+				t.Error("the adversary delivered no forgery; the Byzantine path was not exercised")
+			}
+			if res.Rejected != res.Injected {
+				t.Errorf("rejected %d of %d delivered forgeries, want exact match", res.Rejected, res.Injected)
+			}
+		})
+	}
+}
+
+// The survival probe: with 4 members each topology must absorb at least
+// one adversary (f/n ≥ 1/4) — the validation windows keep a lone forger
+// from steering any correct member — and the probe must report the
+// per-f evidence it gathered.
+func TestSurvivalFraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock paced")
+	}
+	for _, topology := range []string{"ring", "tree", "hybrid"} {
+		topology := topology
+		t.Run(topology, func(t *testing.T) {
+			frac, results, err := SurvivalFraction(topology, 4, 3, 20, 2, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if frac < 0.25 {
+				t.Errorf("survival fraction = %.2f, want ≥ 0.25 (one adversary in four)", frac)
+			}
+			if len(results) == 0 {
+				t.Fatal("no per-f results reported")
+			}
+			for i, res := range results {
+				t.Logf("f=%d: %+v", i+1, res)
+			}
+		})
+	}
+}
+
+// Config validation.
+func TestCountingValidation(t *testing.T) {
+	if _, err := Run(Config{Topology: "ring", N: 4, Modulus: 2, Rounds: 1}); err == nil {
+		t.Error("modulus 2 accepted")
+	}
+	if _, err := Run(Config{Topology: "star", N: 4, Modulus: 3, Rounds: 1}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := Run(Config{Topology: "ring", N: 4, Modulus: 3, Rounds: 1, Byz: []int{9}}); err == nil {
+		t.Error("out-of-range adversary accepted")
+	}
+}

@@ -83,6 +83,31 @@ func FuzzRuntimeMux(f *testing.F) { fuzzLiveBarrier(f, TargetMux) }
 // mix.
 func FuzzRuntimeHybrid(f *testing.F) { fuzzLiveBarrier(f, TargetHybrid) }
 
+// FuzzRuntimeByz skews the byte-derived schedule space toward the
+// Byzantine adversary: every spurious injection becomes a crafted forgery
+// and the per-message fault rates drop to zero, so a large fraction of
+// cases are byz-only — which arms the runner's exactness oracle
+// (barrier_rejected_frames_total must equal the accepted injections) on
+// top of the usual tolerance verdict.
+func FuzzRuntimeByz(f *testing.F) {
+	f.Add(int64(1), []byte{})
+	f.Add(int64(2), []byte{1, 1, 2, 3, 10, 20, 0xB2, 1, 5, 40})
+	f.Add(int64(3), []byte{2, 2, 0, 1, 2, 3, 0xB3, 1, 6, 9, 9, 9, 0xB3, 2, 8})
+	f.Fuzz(func(t *testing.T, seed int64, data []byte) {
+		s := FromBytes(TargetRuntime, seed, data)
+		s.Loss, s.Corrupt = 0, 0
+		for i := range s.Ops {
+			if s.Ops[i].Kind == OpSpurious {
+				s.Ops[i].Kind = OpByz
+			}
+		}
+		if v := Run(s); !v.OK {
+			t.Fatalf("%v\n  schedule: %s\n  replay: go run ./cmd/conformance -replay '%s'",
+				v, s.String(), s.String())
+		}
+	})
+}
+
 // FuzzScheduleParse checks that Parse never panics and that accepted inputs
 // are fixed points of the String/Parse round trip.
 func FuzzScheduleParse(f *testing.F) {

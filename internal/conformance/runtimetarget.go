@@ -198,23 +198,43 @@ func runRuntime(s Schedule) Verdict {
 	}
 	// Tally what the schedule actually injects, post-clamp, for the
 	// metric-vs-schedule cross-check after the run.
-	var nResets, nScrambles, nSpurious int64
+	var inj injected
+	down := make([]bool, s.NProcs)
 	for _, op := range s.Ops {
 		switch op.Kind {
 		case OpStep:
 			time.Sleep(runtimeStepPacing)
 		case OpReset:
 			b.Reset(clampProc(op.Proc))
-			nResets++
+			inj.resets++
 		case OpScramble:
 			b.Scramble(clampProc(op.Proc), op.Arg)
-			nScrambles++
+			inj.scrambles++
 		case OpSpurious:
 			b.InjectSpurious(clampProc(op.Proc), op.Arg)
-			nSpurious++
-		case OpCrash, OpRestart:
-			// The runtime has no crash gate (Halt is terminal fail-safe,
-			// which no liveness-checked schedule may contain).
+			inj.spurious++
+		case OpCrash:
+			j := clampProc(op.Proc)
+			b.Crash(j)
+			inj.crashes++
+			down[j] = true
+		case OpRestart:
+			j := clampProc(op.Proc)
+			b.Restart(j)
+			inj.restarts++
+			down[j] = false
+		case OpByz:
+			b.Byz(clampProc(op.Proc), op.Arg)
+			inj.byz++
+		}
+	}
+	// Restart anything the schedule left crashed: the verification tail
+	// requires every member to make progress (the engine runner does the
+	// same for unbalanced crash gates).
+	for j, d := range down {
+		if d {
+			b.Restart(j)
+			inj.restarts++
 		}
 	}
 
@@ -276,7 +296,7 @@ func runRuntime(s Schedule) Verdict {
 	for id := range base {
 		observed += passes[id].Load()
 	}
-	if reason := crossCheckMetrics(b.Stats(), reg, nResets, nScrambles, nSpurious, observed); reason != "" {
+	if reason := crossCheckMetrics(b.Stats(), reg, s, inj, observed); reason != "" {
 		v.Reason = "metrics mismatch: " + reason
 		return v
 	}
@@ -375,30 +395,60 @@ func startBackgroundGroups(set *transport.MuxSet, specs []transport.GroupSpec, s
 	return stopAll, nil
 }
 
+// injected tallies what the schedule actually delivered to the barrier's
+// injection API, post-clamp, per fault class.
+type injected struct {
+	resets, scrambles, spurious, crashes, restarts, byz int64
+}
+
 // crossCheckMetrics verifies the exported accounting against the replayed
 // schedule. Returns "" on agreement, else a description of the first
 // mismatch.
 //
-// The injection counters are exact by construction — Reset/Scramble/
-// InjectSpurious tally synchronously at call time, before returning to
-// the scheduler — so equality, not inequality, is demanded. The recovery
+// The injection counters are exact by construction — every injection call
+// tallies synchronously as accepted or dropped — so equality, not
+// inequality, is demanded for the total. Per class only an upper bound
+// holds from the schedule side (a full control buffer drops the call, and
+// a Byzantine injection whose victim was mid-recovery is reclassified as
+// dropped). In a byz-ONLY schedule the accepted Byzantine injections must
+// reappear in the rejected-frames counters exactly: genuine frames are
+// never rejected in steady state, every delivered forgery is rejected
+// once, and the crafts never confirm a pending sighting. The recovery
 // histogram is bounded by the faults that can have armed it, and the
 // exported pass counter must cover every pass a participant observed (it
 // may exceed it: a pass delivered in the instant the run was cancelled
 // is counted but uncollected).
-func crossCheckMetrics(st runtime.Stats, reg *obsv.Registry, nResets, nScrambles, nSpurious, observedPasses int64) string {
-	if got, want := st.ResetsInjected+st.ScramblesInjected+st.DroppedInjections, nResets+nScrambles; got != want {
-		return fmt.Sprintf("accepted(%d+%d)+dropped(%d) injections = %d, schedule injected %d",
-			st.ResetsInjected, st.ScramblesInjected, st.DroppedInjections, got, want)
+func crossCheckMetrics(st runtime.Stats, reg *obsv.Registry, s Schedule, inj injected, observedPasses int64) string {
+	accepted := st.ResetsInjected + st.ScramblesInjected + st.CrashesInjected + st.RestartsInjected + st.ByzInjected
+	calls := inj.resets + inj.scrambles + inj.crashes + inj.restarts + inj.byz
+	if got := accepted + st.DroppedInjections; got != calls {
+		return fmt.Sprintf("accepted(%d)+dropped(%d) injections = %d, schedule injected %d",
+			accepted, st.DroppedInjections, got, calls)
 	}
-	if st.ResetsInjected > nResets {
-		return fmt.Sprintf("ResetsInjected = %d, schedule held only %d resets", st.ResetsInjected, nResets)
+	if st.ResetsInjected > inj.resets {
+		return fmt.Sprintf("ResetsInjected = %d, schedule held only %d resets", st.ResetsInjected, inj.resets)
 	}
-	if st.ScramblesInjected > nScrambles {
-		return fmt.Sprintf("ScramblesInjected = %d, schedule held only %d scrambles", st.ScramblesInjected, nScrambles)
+	if st.ScramblesInjected > inj.scrambles {
+		return fmt.Sprintf("ScramblesInjected = %d, schedule held only %d scrambles", st.ScramblesInjected, inj.scrambles)
 	}
-	if st.Spurious != nSpurious {
-		return fmt.Sprintf("Spurious = %d, schedule injected %d", st.Spurious, nSpurious)
+	if st.CrashesInjected > inj.crashes {
+		return fmt.Sprintf("CrashesInjected = %d, schedule held only %d crashes", st.CrashesInjected, inj.crashes)
+	}
+	if st.RestartsInjected > inj.restarts {
+		return fmt.Sprintf("RestartsInjected = %d, schedule held only %d restarts", st.RestartsInjected, inj.restarts)
+	}
+	if st.ByzInjected > inj.byz {
+		return fmt.Sprintf("ByzInjected = %d, schedule held only %d forgeries", st.ByzInjected, inj.byz)
+	}
+	if st.Spurious != inj.spurious {
+		return fmt.Sprintf("Spurious = %d, schedule injected %d", st.Spurious, inj.spurious)
+	}
+	rejected := st.RejectedSeq + st.RejectedPhase + st.RejectedTop + st.RejectedSender
+	byzOnly := inj.byz > 0 && inj.resets+inj.scrambles+inj.spurious+inj.crashes+inj.restarts == 0 &&
+		s.Loss == 0 && s.Corrupt == 0
+	if byzOnly && rejected != st.ByzInjected {
+		return fmt.Sprintf("byz-only schedule: %d frames rejected for %d accepted forgeries (seq=%d phase=%d top=%d sender=%d)",
+			rejected, st.ByzInjected, st.RejectedSeq, st.RejectedPhase, st.RejectedTop, st.RejectedSender)
 	}
 	if st.Passes < observedPasses {
 		return fmt.Sprintf("Passes = %d < %d passes observed by participants", st.Passes, observedPasses)
@@ -407,13 +457,34 @@ func crossCheckMetrics(st runtime.Stats, reg *obsv.Registry, nResets, nScrambles
 		return fmt.Sprintf("Drops = %d exceeds Sends+Spurious = %d", st.Drops, st.Sends+st.Spurious)
 	}
 	// The exported series must agree with the Stats snapshot, and the
-	// recovery histogram can only have been armed by accepted state faults.
+	// recovery histogram can only have been armed by accepted state faults
+	// (a restart revives into the detectably-reset state, so it arms the
+	// histogram like a reset).
 	if got := scrapeValue(reg, "barrier_passes_total"); got != st.Passes {
 		return fmt.Sprintf("exported barrier_passes_total = %d, Stats.Passes = %d", got, st.Passes)
 	}
-	if got := scrapeValue(reg, "barrier_recovery_seconds_count"); got > st.ResetsInjected+st.ScramblesInjected {
+	var scrapedRej int64
+	for _, rc := range []struct {
+		reason string
+		want   int64
+	}{
+		{"seqwindow", st.RejectedSeq},
+		{"phasewindow", st.RejectedPhase},
+		{"topwindow", st.RejectedTop},
+		{"sender", st.RejectedSender},
+	} {
+		got := scrapeValue(reg, `barrier_rejected_frames_total{reason="`+rc.reason+`"}`)
+		if got != rc.want {
+			return fmt.Sprintf("exported barrier_rejected_frames_total{reason=%q} = %d, Stats = %d", rc.reason, got, rc.want)
+		}
+		scrapedRej += got
+	}
+	if scrapedRej != rejected {
+		return fmt.Sprintf("exported rejected-frame series sum to %d, Stats sum to %d", scrapedRej, rejected)
+	}
+	if got := scrapeValue(reg, "barrier_recovery_seconds_count"); got > st.ResetsInjected+st.ScramblesInjected+st.RestartsInjected {
 		return fmt.Sprintf("recovery histogram holds %d observations for %d accepted state faults",
-			got, st.ResetsInjected+st.ScramblesInjected)
+			got, st.ResetsInjected+st.ScramblesInjected+st.RestartsInjected)
 	}
 	return ""
 }

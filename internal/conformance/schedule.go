@@ -83,11 +83,21 @@ const (
 	// and immediately recreates it with rejoin semantics — group lifecycle
 	// churn. Cluster harness only.
 	OpChurn
+	// OpByz makes process Proc act Byzantine for one frame: a well-formed,
+	// valid-checksum forgery (wrong-phase replay, stale-sequence echo or
+	// premature ⊤) crafted from the victim neighbor's current view and fed
+	// through the genuine receive path. Runtime target only; Arg seeds the
+	// forgery. Unlike OpSpurious the forgery is maximally adversarial —
+	// it always passes the integrity check and sits exactly at the receive
+	// window's edge — so it pins the sequence-and-sender validation layer:
+	// in a byz-only schedule every accepted injection must show up in
+	// barrier_rejected_frames_total, exactly once.
+	OpByz
 
 	numOpKinds
 )
 
-var opLetters = [numOpKinds]byte{'s', 'r', 'u', 'c', 'R', 'p', 'k', 'P', 'g'}
+var opLetters = [numOpKinds]byte{'s', 'r', 'u', 'c', 'R', 'p', 'k', 'P', 'g', 'b'}
 
 // Op is one operation of a fault schedule.
 type Op struct {
@@ -154,10 +164,13 @@ type Schedule struct {
 // faults, which lowers the promised tolerance from masking to stabilizing
 // (Table 1). Scrambled state is undetectable by definition; a spurious
 // message counts too, because a well-formed forgery is indistinguishable
-// from a genuine announcement at the receiver.
+// from a genuine announcement at the receiver. A Byzantine frame is the
+// strongest such forgery — the validation layer is expected to reject it,
+// but the promised tolerance stays stabilizing (a persistent adversary
+// replaying one forgery can still force a second sighting).
 func (s *Schedule) HasUndetectable() bool {
 	for _, op := range s.Ops {
-		if op.Kind == OpScramble || op.Kind == OpSpurious {
+		if op.Kind == OpScramble || op.Kind == OpSpurious || op.Kind == OpByz {
 			return true
 		}
 	}
@@ -351,10 +364,14 @@ type GenConfig struct {
 	// Scrambles permits undetectable faults (lowering the checked
 	// tolerance from masking to stabilizing).
 	Scrambles bool
-	// Crashes permits crash/restart gate faults (engine targets).
+	// Crashes permits crash/restart faults: the engine's crash gate, or —
+	// on the runtime target — bounded live crash windows (crash, outage,
+	// restart-with-reset).
 	Crashes bool
 	// Spurious permits spurious-message injection (runtime target).
 	Spurious bool
+	// Byz permits Byzantine frame forgeries (runtime target).
+	Byz bool
 	// Kills permits whole-process kill+rejoin windows (cluster harness).
 	Kills bool
 	// Partitions permits timed process partitions (cluster harness).
@@ -419,10 +436,22 @@ func Generate(cfg GenConfig, seed int64) Schedule {
 				crashed[j] = true
 				nCrashed++
 			}
+		case cfg.Crashes && runtimeTarget && roll < 15:
+			// A live crash window: the member goes down, the ring runs
+			// without it for a bounded outage, then the restart revives it
+			// in the detectably-reset state. Self-contained pairing (like
+			// the cluster kill window) keeps outages short and guarantees
+			// the verification tail starts with everyone up.
+			s.Ops = append(s.Ops,
+				Op{Kind: OpCrash, Proc: j},
+				Op{Kind: OpStep}, Op{Kind: OpStep}, Op{Kind: OpStep},
+				Op{Kind: OpRestart, Proc: j})
 		case cfg.Scrambles && roll < 30:
 			s.Ops = append(s.Ops, Op{Kind: OpScramble, Proc: j, Arg: rng.Int63()})
 		case cfg.Spurious && runtimeTarget && roll < 55:
 			s.Ops = append(s.Ops, Op{Kind: OpSpurious, Proc: j, Arg: rng.Int63()})
+		case cfg.Byz && runtimeTarget && roll < 75:
+			s.Ops = append(s.Ops, Op{Kind: OpByz, Proc: j, Arg: rng.Int63()})
 		default:
 			s.Ops = append(s.Ops, Op{Kind: OpReset, Proc: j})
 			if runtimeTarget {
@@ -507,7 +536,18 @@ func FromBytes(target string, seed int64, data []byte) Schedule {
 			}
 		case 4:
 			if runtimeTarget {
-				s.Ops = append(s.Ops, Op{Kind: OpReset, Proc: j})
+				// Split the arm on the argument's parity: a Byzantine
+				// forgery, or a bounded live crash window (mirroring the
+				// Generate pairing, so every byte-derived schedule ends
+				// with all members up).
+				if arg%2 == 0 {
+					s.Ops = append(s.Ops, Op{Kind: OpByz, Proc: j, Arg: arg})
+				} else {
+					s.Ops = append(s.Ops,
+						Op{Kind: OpCrash, Proc: j},
+						Op{Kind: OpStep}, Op{Kind: OpStep}, Op{Kind: OpStep},
+						Op{Kind: OpRestart, Proc: j})
+				}
 			} else {
 				s.Ops = append(s.Ops, Op{Kind: OpRestart, Proc: j})
 			}

@@ -40,6 +40,9 @@ func (c *Crasher) Restart(j int) { c.up[j] = true }
 // Up reports whether process j is up.
 func (c *Crasher) Up(j int) bool { return c.up[j] }
 
+// N returns the number of processes under the model.
+func (c *Crasher) N() int { return len(c.up) }
+
 // AnyDown reports whether some process is crashed.
 func (c *Crasher) AnyDown() bool {
 	for _, u := range c.up {

@@ -1,0 +1,101 @@
+package faults
+
+import "math/rand"
+
+// LiveBarrier is the fault-injection surface of the live runtime barrier
+// (runtime.Barrier satisfies it). The indirection keeps this package a
+// leaf: the abstract engines and the live runtime both plug into the same
+// Section 7 aux-variable model without a dependency on either.
+type LiveBarrier interface {
+	// Crash fail-stops a member; Restart revives it through the
+	// detectable-reset machinery (the paper's "restart all fail-stopped
+	// processes … albeit with different states").
+	Crash(id int)
+	Restart(id int)
+	// Byz fires one crafted undetectable fault attributed to member id;
+	// seed selects the forgery shape deterministically.
+	Byz(id int, seed int64)
+}
+
+// Live projects the Section 7 auxiliary-variable fault model onto a
+// running barrier. The aux variables keep their paper meaning — up.j
+// false means member j executes no actions (Table 1's fail-stop row),
+// good.j false means member j "executes actions whose behavior is
+// nondeterministic" — and every transition is mirrored onto the live
+// runtime: up.j := false becomes Barrier.Crash(j), up.j := true becomes
+// Barrier.Restart(j) (the mandatory paired detectable fault is built into
+// Restart), and each Step of a bad-but-up member becomes one crafted
+// forgery via Barrier.Byz. A member that is both bad and down injects
+// nothing: per Section 7, "each action of that process is to be executed
+// only if up is true", and the crash gate dominates the Byzantine one.
+type Live struct {
+	up   *Crasher
+	good *Byzantiner
+	b    LiveBarrier
+	rng  *rand.Rand
+}
+
+// NewLive returns the model for n members of barrier b, all up and good.
+// rng drives the forgery-shape draws of Byzantine steps.
+func NewLive(b LiveBarrier, n int, rng *rand.Rand) *Live {
+	return &Live{
+		up:   NewCrasher(n),
+		good: NewByzantiner(n, rng),
+		b:    b,
+		rng:  rng,
+	}
+}
+
+// Crash sets up.j := false and fail-stops the live member. Crashing a
+// member that is already down is a no-op (the aux variable is already
+// corrupted).
+func (l *Live) Crash(j int) {
+	if !l.up.Up(j) {
+		return
+	}
+	l.up.Crash(j)
+	l.b.Crash(j)
+}
+
+// Restart sets up.j := true and revives the live member with a reset
+// state. Restarting a member that is up is a no-op.
+func (l *Live) Restart(j int) {
+	if l.up.Up(j) {
+		return
+	}
+	l.up.Restart(j)
+	l.b.Restart(j)
+}
+
+// Corrupt sets good.j := false: from now on each Step makes member j
+// fire one forgery.
+func (l *Live) Corrupt(j int) { l.good.Corrupt(j) }
+
+// Repair sets good.j := true (the eventually-correctable case).
+func (l *Live) Repair(j int) { l.good.Repair(j) }
+
+// Step fires the nondeterministic behavior of every bad member once:
+// one crafted forgery per bad, up member. It returns how many forgeries
+// were handed to the barrier, so a caller pacing an experiment can
+// cross-check Stats.ByzInjected + Stats.DroppedInjections against the
+// running total.
+func (l *Live) Step() int {
+	fired := 0
+	for j := 0; j < l.up.N(); j++ {
+		if l.good.Good(j) || !l.up.Up(j) {
+			continue
+		}
+		l.b.Byz(j, l.rng.Int63())
+		fired++
+	}
+	return fired
+}
+
+// Up reports aux variable up.j.
+func (l *Live) Up(j int) bool { return l.up.Up(j) }
+
+// Good reports aux variable good.j.
+func (l *Live) Good(j int) bool { return l.good.Good(j) }
+
+// AnyDown reports whether some member is crashed.
+func (l *Live) AnyDown() bool { return l.up.AnyDown() }

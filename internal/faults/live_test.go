@@ -1,0 +1,169 @@
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/runtime"
+)
+
+// recorder checks the adapter's transition discipline without a live
+// barrier: dedup of redundant crashes, the mandatory Restart pairing,
+// and the crash gate dominating the Byzantine one.
+type recorder struct {
+	crashes, restarts, byz []int
+}
+
+func (r *recorder) Crash(id int)        { r.crashes = append(r.crashes, id) }
+func (r *recorder) Restart(id int)      { r.restarts = append(r.restarts, id) }
+func (r *recorder) Byz(id int, _ int64) { r.byz = append(r.byz, id) }
+
+func TestLiveAuxTransitions(t *testing.T) {
+	rec := &recorder{}
+	l := faults.NewLive(rec, 3, rand.New(rand.NewSource(1)))
+
+	l.Crash(1)
+	l.Crash(1) // up.1 already false: no second live action
+	if len(rec.crashes) != 1 || rec.crashes[0] != 1 {
+		t.Errorf("crashes = %v, want [1]", rec.crashes)
+	}
+	if l.Up(1) || !l.Up(0) {
+		t.Errorf("up = [%v %v %v], want [true false true]", l.Up(0), l.Up(1), l.Up(2))
+	}
+	if !l.AnyDown() {
+		t.Error("AnyDown false with a crashed member")
+	}
+
+	// A bad member that is down injects nothing: up gates every action.
+	l.Corrupt(1)
+	l.Corrupt(2)
+	if n := l.Step(); n != 1 {
+		t.Errorf("Step fired %d forgeries, want 1 (member 1 is down)", n)
+	}
+	if len(rec.byz) != 1 || rec.byz[0] != 2 {
+		t.Errorf("byz = %v, want [2]", rec.byz)
+	}
+
+	l.Restart(0) // up.0 already true: no live action
+	l.Restart(1)
+	if len(rec.restarts) != 1 || rec.restarts[0] != 1 {
+		t.Errorf("restarts = %v, want [1]", rec.restarts)
+	}
+	if n := l.Step(); n != 2 { // 1 is back up and still bad
+		t.Errorf("Step after restart fired %d forgeries, want 2", n)
+	}
+
+	l.Repair(1)
+	l.Repair(2)
+	if n := l.Step(); n != 0 {
+		t.Errorf("Step after repair fired %d forgeries, want 0", n)
+	}
+	if l.AnyDown() {
+		t.Error("AnyDown true with every member up")
+	}
+}
+
+// The model against the real runtime: a crash stalls the ring and a
+// restart revives it; a Byzantine member's per-step forgeries are all
+// rejected (ByzInjected + DroppedInjections accounts for every Step).
+func TestLiveAgainstRuntime(t *testing.T) {
+	const (
+		n       = 3
+		nPhases = 3
+	)
+	b, err := runtime.New(runtime.Config{
+		Participants: n,
+		NPhases:      nPhases,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+	l := faults.NewLive(b, n, rand.New(rand.NewSource(11)))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	pass := func(passes int) {
+		t.Helper()
+		var wg sync.WaitGroup
+		errs := make(chan error, n)
+		for id := 0; id < n; id++ {
+			id := id
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < passes; k++ {
+					if _, err := b.Await(ctx, id); err != nil {
+						if errors.Is(err, runtime.ErrReset) {
+							k--
+							continue
+						}
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	pass(2) // settle
+
+	// One Byzantine member, stepped like Byzantiner.Step between rounds.
+	l.Corrupt(2)
+	fired := 0
+	for k := 0; k < 10; k++ {
+		fired += l.Step()
+		time.Sleep(500 * time.Microsecond)
+	}
+	l.Repair(2)
+	pass(3) // the correct members still pass
+
+	// The last forgery can still be queued at its victim: wait for the
+	// injection accounting to quiesce before the exactness check.
+	tally := func(st runtime.Stats) [3]int64 {
+		return [3]int64{st.ByzInjected, st.DroppedInjections,
+			st.RejectedSeq + st.RejectedPhase + st.RejectedTop + st.RejectedSender}
+	}
+	st := b.Stats()
+	for deadline := time.Now().Add(time.Second); ; {
+		time.Sleep(2 * time.Millisecond)
+		next := b.Stats()
+		if tally(next) == tally(st) || time.Now().After(deadline) {
+			st = next
+			break
+		}
+		st = next
+	}
+	if got := st.ByzInjected + st.DroppedInjections; got != int64(fired) {
+		t.Errorf("ByzInjected+DroppedInjections = %d, want %d Steps", got, fired)
+	}
+	rejected := st.RejectedSeq + st.RejectedPhase + st.RejectedTop + st.RejectedSender
+	if rejected != st.ByzInjected {
+		t.Errorf("rejected frames = %d, want exactly ByzInjected = %d", rejected, st.ByzInjected)
+	}
+
+	// Crash through the model: the ring stalls, Restart revives it.
+	l.Crash(1)
+	if st := b.Stats(); st.CrashesInjected+st.DroppedInjections == 0 {
+		t.Error("model crash not delivered to the runtime")
+	}
+	l.Restart(1)
+	pass(3)
+	if !l.Up(1) {
+		t.Error("aux up.1 false after Restart")
+	}
+}

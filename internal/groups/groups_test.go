@@ -155,8 +155,14 @@ func TestRegistryLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	text = sb.String()
-	if strings.Contains(text, `{group="beta"}`) {
-		t.Error("stopped group's series still registered")
+	for _, line := range strings.Split(text, "\n") {
+		// The mux's transport_group_* series outlive the group by
+		// design (torn-down groups keep counting dropped frames; they
+		// unregister at mux Close) — only the group's own barrier
+		// series must be gone.
+		if strings.Contains(line, `{group="beta"}`) && !strings.HasPrefix(line, "transport_") {
+			t.Errorf("stopped group's series still registered: %s", line)
+		}
 	}
 	if !strings.Contains(text, `barrier_passes_total{group="alpha"}`) {
 		t.Error("surviving group's series disappeared")
@@ -300,7 +306,7 @@ func TestRegistryHybridAndPipelined(t *testing.T) {
 	}
 	// Depth-3 lanes all moved frames over the wire.
 	for id := uint32(1); id <= 3; id++ {
-		sent, recv := set.Muxes[0].GroupStats(id)
+		sent, recv, _ := set.Muxes[0].GroupStats(id)
 		if sent == 0 && recv == 0 {
 			t.Errorf("wire group %d moved no frames", id)
 		}

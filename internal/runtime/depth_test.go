@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obsv"
 	"repro/internal/topo"
 )
@@ -347,5 +348,154 @@ func TestAwaitCancelMidWindow(t *testing.T) {
 					got, n*rounds, n*(rounds+depth-1))
 			}
 		})
+	}
+}
+
+// A context canceled while the pipeline window drains during fault
+// recovery must not double-count barrier_wasted_instances_total. The
+// oracle is the begin/pass/wasted conservation law, counted from the
+// event trace: every delivered pass plus every wasted instance consumes a
+// recorded begin, up to the implicit phase-0 begins and the window's
+// outstanding waves. A cancel that books the same voided instance twice
+// inflates the wasted counter past what the begins can cover; a storm of
+// cancellations makes any systematic over-count blow through the bounded
+// slack. Swept across topologies and window depths.
+func TestCancelDuringRecoveryWastedAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock paced")
+	}
+	const n = 4
+	for _, depth := range []int{1, 2, 4} {
+		for _, name := range []string{"ring", "tree", "hybrid"} {
+			cfg := Config{Participants: n, Depth: depth, Seed: 17}
+			switch name {
+			case "tree":
+				cfg.Topology = TopologyTree
+			case "hybrid":
+				cfg.Topology = TopologyHybrid
+				cfg.Hosts = [][]int{{0, 1}, {2, 3}}
+			}
+			t.Run(fmt.Sprintf("%s/depth=%d", name, depth), func(t *testing.T) {
+				reg := obsv.NewRegistry()
+				var begins atomic.Int64
+				cfg.Metrics = reg
+				cfg.EventSink = func(e core.Event) {
+					if e.Kind == core.EvBegin {
+						begins.Add(1)
+					}
+				}
+				b, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer b.Stop()
+
+				ctx, cancelAll := context.WithCancel(context.Background())
+				defer cancelAll()
+				var passes [n]atomic.Int64
+				var wg sync.WaitGroup
+				errs := make(chan error, n)
+
+				// Participants 1..n-1: Await loops redoing reset phases.
+				for id := 1; id < n; id++ {
+					id := id
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							_, err := b.Await(ctx, id)
+							switch {
+							case err == nil:
+								passes[id].Add(1)
+							case errors.Is(err, ErrReset):
+							default:
+								return
+							}
+						}
+					}()
+				}
+				// Participant 0: a cancel storm — short deadlines landing
+				// inside the window drain — interleaved with the redo loop.
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					canceled, attempt := 0, 0
+					for {
+						attempt++
+						cctx, cancel := context.WithTimeout(ctx, time.Duration(1+attempt%150)*time.Microsecond)
+						_, err := b.Await(cctx, 0)
+						cancel()
+						switch {
+						case err == nil:
+							passes[0].Add(1)
+						case errors.Is(err, context.DeadlineExceeded):
+							canceled++
+						case errors.Is(err, ErrReset):
+						default:
+							if ctx.Err() == nil {
+								errs <- err
+							}
+							return
+						}
+					}
+				}()
+
+				// The recovery the cancels land in: a round-robin reset storm.
+				for i := 0; i < 40; i++ {
+					time.Sleep(300 * time.Microsecond)
+					b.Reset(i % n)
+				}
+
+				// Liveness tail: every member gains 3 fresh passes.
+				var base [n]int64
+				for id := range base {
+					base[id] = passes[id].Load()
+				}
+				deadline := time.Now().Add(30 * time.Second)
+				for id := 0; id < n; id++ {
+					for passes[id].Load() < base[id]+3 {
+						if time.Now().After(deadline) {
+							t.Fatalf("member %d made no progress after the storm", id)
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}
+				cancelAll()
+				wg.Wait()
+				b.Stop()
+				select {
+				case err := <-errs:
+					t.Fatal(err)
+				default:
+				}
+
+				st := b.Stats()
+				if st.ResetsInjected == 0 {
+					t.Fatal("no reset was accepted; the recovery path was not exercised")
+				}
+				residual := begins.Load() - st.Passes - st.WastedInstances
+				// Each lane gate's first pass may consume its member's
+				// implicit phase-0 begin, so the floor is n - n*depth; any
+				// systematic double-count drives the residual far below it.
+				low := int64(n) - int64(n*depth)
+				// Outstanding waves (begun, never reaped) plus reset redos
+				// bound the other side.
+				high := int64(n) + int64(n*depth) + st.ResetsInjected*int64(depth+1)
+				if residual < low || residual > high {
+					t.Errorf("begins(%d) - passes(%d) - wasted(%d) = %d, want in [%d, %d] (wasted instances double-counted or lost)",
+						begins.Load(), st.Passes, st.WastedInstances, residual, low, high)
+				}
+				// The exported series must agree with the snapshot exactly
+				// now that the protocol goroutines are quiescent.
+				var sb strings.Builder
+				if err := reg.WriteText(&sb); err != nil {
+					t.Fatal(err)
+				}
+				want := fmt.Sprintf("barrier_wasted_instances_total %d\n", st.WastedInstances)
+				if !strings.Contains(sb.String(), want) {
+					t.Errorf("scrape does not carry %q", strings.TrimSpace(want))
+				}
+			})
+		}
 	}
 }

@@ -243,11 +243,11 @@ func (f *fusedTree) onExtDown(m Message) {
 // root. On the wire Child is the sending HOST index (the TCP transport
 // cross-checks it against the hello identity); here it is translated to
 // that host's root member — the child the member-level tree lists under
-// our root. An out-of-range host index (forged or corrupted) cannot be
-// attributed and is dropped.
+// our root. An out-of-range host index cannot be attributed to any edge:
+// a sender violation, rejected and counted like onUp's unknown child.
 func (f *fusedTree) onExtUp(m UpMessage) {
 	if m.Child < 0 || m.Child >= len(f.hostRoot) {
-		f.b.statDrops.Add(1)
+		f.b.statRejSender.Add(1)
 		return
 	}
 	f.procs[f.extRoot].onUp(remapUpChild(m, f.hostRoot[m.Child]))

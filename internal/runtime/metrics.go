@@ -67,8 +67,22 @@ func (b *Barrier) registerMetrics(r *obsv.Registry, topology Topology, label str
 			"Reset fault injections accepted for delivery.", b.statInjResets.Load),
 		obsv.NewCounterFunc(name("barrier_injected_scrambles_total"),
 			"Scramble fault injections accepted for delivery.", b.statInjScrambles.Load),
+		obsv.NewCounterFunc(name("barrier_injected_crashes_total"),
+			"Crash fault injections accepted for delivery.", b.statInjCrashes.Load),
+		obsv.NewCounterFunc(name("barrier_injected_restarts_total"),
+			"Restart (crash-recovery) injections accepted for delivery.", b.statInjRestarts.Load),
+		obsv.NewCounterFunc(name("barrier_injected_byz_total"),
+			"Byzantine forgeries accepted for delivery.", b.statInjByz.Load),
 		obsv.NewCounterFunc(name("barrier_injections_dropped_total"),
 			"Fault injections discarded because the target's control buffer was full.", b.statInjDropped.Load),
+		obsv.NewCounterFunc(name(`barrier_rejected_frames_total{reason="seqwindow"}`),
+			"Frames rejected: sequence number outside the edge's legal receive window.", b.statRejSeq.Load),
+		obsv.NewCounterFunc(name(`barrier_rejected_frames_total{reason="phasewindow"}`),
+			"Frames rejected: phase outside the legal window, or a current-wave acknowledgment with a foreign phase.", b.statRejPhase.Load),
+		obsv.NewCounterFunc(name(`barrier_rejected_frames_total{reason="topwindow"}`),
+			"Frames rejected: ⊤ restart marker received by a settled process.", b.statRejTop.Load),
+		obsv.NewCounterFunc(name(`barrier_rejected_frames_total{reason="sender"}`),
+			"Frames rejected: claimed sender does not exist on the receiving edge.", b.statRejSender.Load),
 		obsv.NewCounterFunc(name("barrier_wasted_instances_total"),
 			"Protocol instances consumed beyond one per delivered pass (re-executions forced by faults; the wasted-work-per-fault numerator).", b.statWasted.Load),
 		obsv.NewGaugeFunc(name("barrier_participants"),

@@ -180,10 +180,25 @@ const (
 	// ctrlTick is the resend sweeper poking a ring proc whose edge was
 	// quiet for a full resend period: retransmit the current state.
 	ctrlTick
+	// ctrlCrash/ctrlRestart are the crash fault class: a crashed member
+	// stops participating (no sends, receives or steps) until Restart
+	// revives it in the Section 7 detectably-reset state.
+	ctrlCrash
+	ctrlRestart
+	// ctrlByz* deliver a Byzantine adversary's forgery to the victim's
+	// protocol goroutine, which crafts the frame from its own current
+	// view (the strongest forgery an adversary on that edge can build)
+	// and feeds it through the genuine receive path — so the validation
+	// windows see exactly what a wire-level forger could send.
+	ctrlByzState // forged ring state announcement
+	ctrlByzTop   // forged ring ⊤ marker
+	ctrlByzDown  // forged tree parent announcement
+	ctrlByzUp    // forged tree convergecast frame
 )
 
 type ctrlMsg struct {
 	id     int // target member (used by shared control channels)
+	from   int // claimed sender (Byzantine adversary injections)
 	kind   ctrlKind
 	seed   int64
 	ticket uint64
@@ -261,7 +276,17 @@ type Barrier struct {
 	statInjDropped   atomic.Int64 // fault injections discarded (ctrl buffer full)
 	statInjResets    atomic.Int64 // Reset injections accepted for delivery
 	statInjScrambles atomic.Int64 // Scramble injections accepted for delivery
+	statInjCrashes   atomic.Int64 // Crash injections accepted for delivery
+	statInjRestarts  atomic.Int64 // Restart injections accepted for delivery
+	statInjByz       atomic.Int64 // Byzantine forgeries accepted for delivery
 	statWasted       atomic.Int64 // re-executed (wasted) protocol instances
+
+	// Frame rejections by the sequence-and-sender validation windows
+	// (see validate.go), exported as barrier_rejected_frames_total{reason}.
+	statRejSeq    atomic.Int64 // sequence number outside the legal window
+	statRejPhase  atomic.Int64 // phase outside the legal window
+	statRejTop    atomic.Int64 // ⊤ marker at a settled receiver
+	statRejSender atomic.Int64 // frame from a sender that does not exist on the edge
 
 	// Live-measurement histograms (the Section 6 quantities). Always
 	// allocated — Observe is lock- and allocation-free — and exported
@@ -336,6 +361,17 @@ type proc struct {
 	link  Link
 	state <-chan Message // predecessor's state announcements, via the link
 	top   <-chan struct{}
+
+	// crashed marks the crash fault class: the process is down — it
+	// neither receives, steps nor announces — until ctrlRestart revives it.
+	crashed bool
+
+	// pending holds the last frame rejected by the validation window, for
+	// the two-sighting confirmation (validate.go): a bit-identical second
+	// sighting is adopted, so stabilization survives genuine out-of-window
+	// neighbor states while a single forgery never advances the phase.
+	pending     Message
+	havePending bool
 
 	lastSent Message
 	haveSent bool
@@ -624,6 +660,25 @@ type Stats struct {
 	// schedule).
 	ResetsInjected    int64
 	ScramblesInjected int64
+	// CrashesInjected, RestartsInjected and ByzInjected extend the same
+	// accounting to the crash and Byzantine fault classes: together with
+	// ResetsInjected, ScramblesInjected and DroppedInjections they equal
+	// the injection calls made.
+	CrashesInjected  int64
+	RestartsInjected int64
+	ByzInjected      int64
+	// RejectedSeq/RejectedPhase/RejectedTop/RejectedSender count frames
+	// refused by the sequence-and-sender validation windows (validate.go):
+	// sequence number outside the paper's legal window for the edge, phase
+	// outside the window (or a current-wave acknowledgment carrying a
+	// foreign phase), a ⊤ marker at a settled receiver, and a frame whose
+	// claimed sender does not exist on the edge. In a run whose only
+	// faults are Byzantine injections, their sum equals ByzInjected — the
+	// conformance harness cross-checks exactly that.
+	RejectedSeq    int64
+	RejectedPhase  int64
+	RejectedTop    int64
+	RejectedSender int64
 	// WastedInstances counts protocol instances consumed beyond one per
 	// delivered pass — the re-executions that faults force. It is the
 	// numerator of the wasted-work-per-fault metric (Dwork/Halpern/Waarts)
@@ -658,6 +713,13 @@ func (b *Barrier) Stats() Stats {
 			DroppedInjections: b.statInjDropped.Load(),
 			ResetsInjected:    b.statInjResets.Load(),
 			ScramblesInjected: b.statInjScrambles.Load(),
+			CrashesInjected:   b.statInjCrashes.Load(),
+			RestartsInjected:  b.statInjRestarts.Load(),
+			ByzInjected:       b.statInjByz.Load(),
+			RejectedSeq:       b.statRejSeq.Load(),
+			RejectedPhase:     b.statRejPhase.Load(),
+			RejectedTop:       b.statRejTop.Load(),
+			RejectedSender:    b.statRejSender.Load(),
 			WastedInstances:   b.statWasted.Load(),
 		}
 		if b.statPasses.Load() == s.Passes && b.statResets.Load() == s.Resets {
@@ -925,6 +987,74 @@ func (b *Barrier) Scramble(id int, seed int64) {
 	b.inject(id, ctrlMsg{kind: ctrlScramble, seed: seed})
 }
 
+// Crash injects a crash fault at participant id's process: it goes down
+// and stays down — no sends, receives or protocol steps — until Restart
+// revives it. The rest of the group stalls at the next barrier the
+// crashed member owes (the paper's fail-stop behavior); Restart flows the
+// revival through the already-masked detectable-reset machinery.
+func (b *Barrier) Crash(id int) {
+	b.inject(id, ctrlMsg{kind: ctrlCrash})
+}
+
+// Restart revives a crashed member in the Section 7 restart state
+// (identical to the aftermath of a detectable reset, so the group masks
+// the rejoin). Restarting a member that never crashed is equivalent to
+// Reset.
+func (b *Barrier) Restart(id int) {
+	b.inject(id, ctrlMsg{kind: ctrlRestart})
+}
+
+// Byz makes member id act as a Byzantine adversary for one frame: a
+// well-formed, valid-checksum lie (wrong-phase replay, stale-sequence
+// echo, or premature ⊤ marker, chosen by seed) delivered to one of the
+// neighbors the adversary can actually speak to on its topology edges.
+// The forgery is crafted from the victim's own view — the strongest
+// position a real adversary on the edge can reach, since it observes at
+// most what the victim announces — and runs through the genuine receive
+// path, where the validation windows (validate.go) reject it. The
+// injection lands in the adversary's primary lane; an adversary or
+// victim hosted by another process cannot be reached from here and the
+// injection is discarded into Stats.DroppedInjections.
+func (b *Barrier) Byz(id int, seed int64) {
+	if id < 0 || id >= b.n {
+		return
+	}
+	rng := prng.New(seed)
+	ln := b.lanes[b.primaryLane(id)]
+	victim, kind := b.byzRoute(ln, id, &rng)
+	if victim < 0 || victim >= b.n || ln.gates[victim] == nil {
+		b.statInjDropped.Add(1)
+		return
+	}
+	m := ctrlMsg{id: victim, from: id, kind: kind, seed: rng.Int63n(1 << 62)}
+	select {
+	case ln.gates[victim].ctrl <- m:
+		b.statInjByz.Add(1)
+	default:
+		b.statInjDropped.Add(1)
+	}
+}
+
+// byzRoute picks the victim of adversary id's forgery and the frame kind,
+// mirroring the edges the adversary can speak on: the ring successor for
+// state frames and the predecessor for ⊤ markers, or — on a tree — a
+// random child for down frames and the parent for convergecast frames.
+func (b *Barrier) byzRoute(ln *lane, id int, rng *prng.PRNG) (victim int, kind ctrlKind) {
+	if tp := ln.tprocs[id]; tp != nil {
+		if len(tp.kids) > 0 && (tp.parentID < 0 || rng.Intn(2) == 0) {
+			return tp.kids[rng.Intn(len(tp.kids))], ctrlByzDown
+		}
+		return tp.parentID, ctrlByzUp
+	}
+	if ln.procs[id] == nil {
+		return -1, ctrlByzState
+	}
+	if rng.Intn(3) == 2 {
+		return (id - 1 + b.n) % b.n, ctrlByzTop
+	}
+	return (id + 1) % b.n, ctrlByzState
+}
+
 // inject delivers a fault-injection control message without ever blocking
 // the caller: a fault injector racing ahead of the process's drain rate
 // must not deadlock with it. If the control buffer is full the injection
@@ -963,6 +1093,10 @@ func (b *Barrier) inject(id int, m ctrlMsg) {
 				b.statInjResets.Add(1)
 			case ctrlScramble:
 				b.statInjScrambles.Add(1)
+			case ctrlCrash:
+				b.statInjCrashes.Add(1)
+			case ctrlRestart:
+				b.statInjRestarts.Add(1)
 			}
 		} else {
 			b.statInjDropped.Add(1)
@@ -1137,7 +1271,7 @@ func (p *proc) run(lossRate, corruptRate float64) {
 			}
 			select {
 			case <-p.top:
-				p.snR = tokenring.Top
+				p.onTop()
 				progressed = true
 			default:
 			}
@@ -1181,7 +1315,7 @@ func (p *proc) run(lossRate, corruptRate float64) {
 		case msg := <-p.state:
 			p.onPredState(msg)
 		case <-p.top:
-			p.snR = tokenring.Top
+			p.onTop()
 		case c := <-p.ctrl:
 			p.onCtrl(c)
 		}
@@ -1194,6 +1328,9 @@ func (p *proc) run(lossRate, corruptRate float64) {
 // variables. The copy cell evolves by the same follower statement as a real
 // process (Section 5: "identical to the superposed action T2").
 func (p *proc) onPredState(m Message) {
+	if p.crashed {
+		return
+	}
 	if m.Sum != m.Checksum() {
 		// Detected corruption: drop; the retransmission masks it.
 		p.b.statDrops.Add(1)
@@ -1202,10 +1339,31 @@ func (p *proc) onPredState(m Message) {
 	if !m.SN.Ordinary() || p.snL == m.SN {
 		return
 	}
+	if !p.admitPredState(m) {
+		return // outside the legal receive window (validate.go)
+	}
 	newCP, newPH, _ := core.FollowerUpdate(p.cpL, p.phL, m.CP, m.PH)
 	p.snL = m.SN
 	p.cpL = newCP
 	p.phL = newPH
+}
+
+// onTop handles the successor's ⊤ marker — the whole-ring restart wave
+// propagating backward. A settled process is not in the restart wave, and
+// snR is only ever consumed by T4' with sn = ⊥ (every path into which
+// clears snR), so a ⊤ arriving while sn is ordinary is either a stale
+// marker or a forgery trying to trigger a spurious whole-ring restart:
+// reject it. A genuine sender retransmits, and the marker is accepted
+// once the receiver itself has entered the wave.
+func (p *proc) onTop() {
+	if p.crashed {
+		return
+	}
+	if p.sn.Ordinary() {
+		p.b.statRejTop.Add(1)
+		return
+	}
+	p.snR = tokenring.Top
 }
 
 func (p *proc) onCtrl(c ctrlMsg) {
@@ -1221,34 +1379,14 @@ func (p *proc) onCtrl(c ctrlMsg) {
 		// doubled — the same bound the per-proc tickers gave.
 		p.haveSent = false
 	case ctrlReset:
-		// MB's detectable fault action. The participant is told to redo
-		// its phase (ErrReset) only if the reset voids work the current
-		// instance still needed: cp = execute means the completion had not
-		// been consumed yet (the instance aborts before succeeding, so no
-		// participant passes and everyone stays aligned), and cp = error
-		// means a previous reset's redo is still outstanding. A reset that
-		// lands after the completion was consumed (success/repeat) or
-		// between instances (ready) loses only protocol state — the
-		// protocol re-executes the instance with the participant's work
-		// standing, and reporting ErrReset then would desynchronize the
-		// participant's round counter from the collective (it would redo a
-		// phase whose barrier already passed and fall one pass behind).
-		workVoided := p.cp == core.Execute || p.cp == core.Error
-		if p.cp != core.Error {
-			p.b.emit(core.Event{Kind: core.EvReset, Proc: p.id, Phase: p.ph})
+		if p.crashed {
+			return // a crashed process has no state left to lose
 		}
-		p.sn = tokenring.Bot
-		p.cp = core.Error
-		p.ph = p.rng.Intn(p.b.nPhases)
-		p.snL = tokenring.Bot
-		p.cpL = core.Error
-		p.phL = p.rng.Intn(p.b.nPhases)
-		p.snR = tokenring.Bot
-		if workVoided {
-			p.failPending(ErrReset)
-		}
-		p.noteFault()
+		p.resetMB()
 	case ctrlScramble:
+		if p.crashed {
+			return
+		}
 		rng := prng.New(c.seed)
 		randomSN := func() tokenring.SN {
 			v := rng.Intn(p.b.l + 2)
@@ -1268,14 +1406,67 @@ func (p *proc) onCtrl(c ctrlMsg) {
 		p.cpL = core.CP(rng.Intn(core.NumCP))
 		p.ph = rng.Intn(p.b.nPhases)
 		p.phL = rng.Intn(p.b.nPhases)
+		p.havePending = false
 		p.noteFault()
+	case ctrlCrash:
+		// The crash fault class: the process goes down and stays down —
+		// no receives, no steps, no announcements — until Restart.
+		p.crashed = true
+	case ctrlRestart:
+		// Section 7 restart semantics: the revived process re-enters in
+		// the detectably-reset state, so the ring masks the rejoin like
+		// any other detectable fault. Restarting a live process is just
+		// a reset.
+		p.crashed = false
+		p.resetMB()
+	case ctrlByzState:
+		p.onByzState(c.seed)
+	case ctrlByzTop:
+		// A forged ⊤ marker carries no payload; it exercises the same
+		// settled-receiver rejection the genuine marker path runs.
+		p.onByzTop()
 	}
+}
+
+// resetMB is MB's detectable fault action (shared by ctrlReset and the
+// restart half of the crash fault class). The participant is told to redo
+// its phase (ErrReset) only if the reset voids work the current instance
+// still needed: cp = execute means the completion had not been consumed
+// yet (the instance aborts before succeeding, so no participant passes
+// and everyone stays aligned), and cp = error means a previous reset's
+// redo is still outstanding. A reset that lands after the completion was
+// consumed (success/repeat) or between instances (ready) loses only
+// protocol state — the protocol re-executes the instance with the
+// participant's work standing, and reporting ErrReset then would
+// desynchronize the participant's round counter from the collective (it
+// would redo a phase whose barrier already passed and fall one pass
+// behind).
+func (p *proc) resetMB() {
+	workVoided := p.cp == core.Execute || p.cp == core.Error
+	if p.cp != core.Error {
+		p.b.emit(core.Event{Kind: core.EvReset, Proc: p.id, Phase: p.ph})
+	}
+	p.sn = tokenring.Bot
+	p.cp = core.Error
+	p.ph = p.rng.Intn(p.b.nPhases)
+	p.snL = tokenring.Bot
+	p.cpL = core.Error
+	p.phL = p.rng.Intn(p.b.nPhases)
+	p.snR = tokenring.Bot
+	p.havePending = false
+	if workVoided {
+		p.failPending(ErrReset)
+	}
+	p.noteFault()
 }
 
 // step applies every enabled local action to quiescence: T1'/T2' (token
 // receipt, gated on the participant's arrival for the completion
 // transition), T3, T4', T5.
 func (p *proc) step() {
+	if p.crashed {
+		return
+	}
 	for {
 		changed := false
 
@@ -1344,6 +1535,9 @@ func (p *proc) step() {
 // transport so that loss and detected corruption exercise identical
 // protocol paths over channels and over sockets.
 func (p *proc) announce(lossRate, corruptRate float64) {
+	if p.crashed {
+		return
+	}
 	m := Message{SN: p.sn, CP: p.cp, PH: p.ph}
 	m.Sum = m.Checksum()
 	if p.haveSent && m == p.lastSent {

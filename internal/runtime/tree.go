@@ -111,6 +111,19 @@ type treeProc struct {
 	kidAckCP []core.CP
 	kidAckPH []int
 
+	// crashed marks the crash fault class: the node is down — it neither
+	// receives, steps nor announces — until ctrlRestart revives it.
+	crashed bool
+
+	// Pending sightings for the validation windows (validate.go): the
+	// last rejected parent frame, and per child the last rejected up
+	// frame. Per-kid slots matter — two simultaneously out-of-window
+	// children sharing one slot would alternate and never confirm.
+	pendDown     Message
+	havePendDown bool
+	kidPend      []UpMessage
+	kidHavePend  []bool
+
 	link TreeLink
 	down <-chan Message
 	up   <-chan UpMessage
@@ -129,19 +142,21 @@ type treeProc struct {
 
 func newTreeProc(b *Barrier, id, parentID int, kids []int, link TreeLink, cfg Config) *treeProc {
 	tp := &treeProc{
-		gate:     newGate(b, id),
-		parentID: parentID,
-		kids:     append([]int(nil), kids...),
-		kidSN:    make([]tokenring.SN, len(kids)),
-		kidCP:    make([]core.CP, len(kids)),
-		kidPH:    make([]int, len(kids)),
-		kidAckSN: make([]tokenring.SN, len(kids)),
-		kidAckCP: make([]core.CP, len(kids)),
-		kidAckPH: make([]int, len(kids)),
-		link:     link,
-		down:     link.Down(),
-		up:       link.Up(),
-		rng:      prng.New(cfg.Seed + int64(id)*7919),
+		gate:        newGate(b, id),
+		parentID:    parentID,
+		kids:        append([]int(nil), kids...),
+		kidSN:       make([]tokenring.SN, len(kids)),
+		kidCP:       make([]core.CP, len(kids)),
+		kidPH:       make([]int, len(kids)),
+		kidAckSN:    make([]tokenring.SN, len(kids)),
+		kidAckCP:    make([]core.CP, len(kids)),
+		kidAckPH:    make([]int, len(kids)),
+		kidPend:     make([]UpMessage, len(kids)),
+		kidHavePend: make([]bool, len(kids)),
+		link:        link,
+		down:        link.Down(),
+		up:          link.Up(),
+		rng:         prng.New(cfg.Seed + int64(id)*7919),
 	}
 	// DT's start state: wave 0 disseminated and acknowledged, everyone
 	// ready in phase 0 — the root's first increment begins phase 0.
@@ -162,9 +177,11 @@ func (tp *treeProc) resetState() {
 	tp.sn, tp.cp, tp.ph = tokenring.Bot, core.Error, tp.rng.Intn(tp.b.nPhases)
 	tp.ackSN, tp.ackCP, tp.ackPH = tokenring.Bot, core.Error, tp.rng.Intn(tp.b.nPhases)
 	tp.pSN, tp.pCP, tp.pPH = tokenring.Bot, core.Error, tp.rng.Intn(tp.b.nPhases)
+	tp.havePendDown = false
 	for i := range tp.kids {
 		tp.kidSN[i], tp.kidCP[i], tp.kidPH[i] = tokenring.Bot, core.Error, tp.rng.Intn(tp.b.nPhases)
 		tp.kidAckSN[i], tp.kidAckCP[i], tp.kidAckPH[i] = tokenring.Bot, core.Error, tp.rng.Intn(tp.b.nPhases)
+		tp.kidHavePend[i] = false
 	}
 }
 
@@ -251,31 +268,86 @@ func (tp *treeProc) run(resend time.Duration, lossRate, corruptRate float64) {
 }
 
 // onDown refreshes the local copy of the parent's state — including ⊥/⊤,
-// which the bottom-up resynchronization must observe.
+// which the bottom-up resynchronization must observe (while the node is
+// itself in the restart wave; a settled node ignores the markers — its
+// own reset clears the copy before they matter).
 func (tp *treeProc) onDown(m Message) {
+	if tp.crashed {
+		return
+	}
 	if m.Sum != m.Checksum() {
 		tp.b.statDrops.Add(1) // detected corruption: drop; retransmission masks it
 		return
+	}
+	if tp.settled() {
+		if !m.SN.Ordinary() {
+			return
+		}
+		if r := tp.checkDown(m); r != rejNone {
+			if tp.havePendDown && m == tp.pendDown {
+				// Second sighting: a genuine parent's retransmission.
+				tp.havePendDown = false
+			} else {
+				tp.pendDown = m
+				tp.havePendDown = true
+				tp.b.countReject(r)
+				return
+			}
+		} else {
+			tp.havePendDown = false
+		}
 	}
 	tp.pSN, tp.pCP, tp.pPH = m.SN, m.CP, m.PH
 }
 
 // onUp refreshes the local copies of one child's live state and summary.
 func (tp *treeProc) onUp(m UpMessage) {
+	if tp.crashed {
+		return
+	}
 	if m.Sum != m.Checksum() {
 		tp.b.statDrops.Add(1)
 		return
 	}
 	for i, c := range tp.kids {
 		if c == m.Child {
-			tp.kidSN[i], tp.kidCP[i], tp.kidPH[i] = m.SN, m.CP, m.PH
-			tp.kidAckSN[i], tp.kidAckCP[i], tp.kidAckPH[i] = m.AckSN, m.AckCP, m.AckPH
+			tp.storeUp(i, m)
 			return
 		}
 	}
-	// A child id this node does not have: a forgery that survived the
-	// checksum cannot be attributed, so it is dropped.
-	tp.b.statDrops.Add(1)
+	// A child id this node does not have: a well-formed frame that cannot
+	// be attributed to any edge of this node — a sender violation.
+	tp.b.statRejSender.Add(1)
+}
+
+// storeUp validates one child's frame against the receive windows
+// (validate.go) and stores it. While settled, non-ordinary halves are
+// restart markers this node has no use for (T4 reads them only with its
+// own sn at ⊥, where validation stands aside) and are left unstored.
+func (tp *treeProc) storeUp(i int, m UpMessage) {
+	if !tp.settled() {
+		tp.kidSN[i], tp.kidCP[i], tp.kidPH[i] = m.SN, m.CP, m.PH
+		tp.kidAckSN[i], tp.kidAckCP[i], tp.kidAckPH[i] = m.AckSN, m.AckCP, m.AckPH
+		return
+	}
+	if r := tp.checkUp(i, m); r != rejNone {
+		if tp.kidHavePend[i] && m == tp.kidPend[i] {
+			tp.kidHavePend[i] = false
+		} else {
+			tp.kidPend[i] = m
+			tp.kidHavePend[i] = true
+			tp.b.countReject(r)
+			return
+		}
+	} else {
+		tp.kidHavePend[i] = false
+	}
+	if m.SN.Ordinary() {
+		tp.kidSN[i], tp.kidCP[i], tp.kidPH[i] = m.SN, m.CP, m.PH
+	}
+	if m.AckSN.Ordinary() {
+		tp.kidAckSN[i], tp.kidAckCP[i], tp.kidAckPH[i] = m.AckSN, m.AckCP, m.AckPH
+	}
 }
 
 func (tp *treeProc) onCtrl(c ctrlMsg) {
@@ -283,19 +355,14 @@ func (tp *treeProc) onCtrl(c ctrlMsg) {
 	case ctrlArrive:
 		tp.onArrive(c)
 	case ctrlReset:
-		// See the ring onCtrl for the workVoided rationale: only a reset
-		// that voids work the current instance still needs surfaces
-		// ErrReset.
-		workVoided := tp.cp == core.Execute || tp.cp == core.Error
-		if tp.cp != core.Error {
-			tp.b.emit(core.Event{Kind: core.EvReset, Proc: tp.id, Phase: tp.ph})
+		if tp.crashed {
+			return // a crashed node has no state left to lose
 		}
-		tp.resetState()
-		if workVoided {
-			tp.failPending(ErrReset)
-		}
-		tp.noteFault()
+		tp.resetDT()
 	case ctrlScramble:
+		if tp.crashed {
+			return
+		}
 		rng := prng.New(c.seed)
 		randomSN := func() tokenring.SN {
 			v := rng.Intn(tp.b.l + 2)
@@ -316,9 +383,39 @@ func (tp *treeProc) onCtrl(c ctrlMsg) {
 		for i := range tp.kids {
 			tp.kidSN[i], tp.kidCP[i], tp.kidPH[i] = randomSN(), randomCP(), randomPH()
 			tp.kidAckSN[i], tp.kidAckCP[i], tp.kidAckPH[i] = randomSN(), randomCP(), randomPH()
+			tp.kidHavePend[i] = false
 		}
+		tp.havePendDown = false
 		tp.noteFault()
+	case ctrlCrash:
+		// The crash fault class: the node goes down and stays down until
+		// Restart revives it.
+		tp.crashed = true
+	case ctrlRestart:
+		// Section 7 restart: revive in the detectably-reset state, so the
+		// tree masks the rejoin like any other detectable fault.
+		tp.crashed = false
+		tp.resetDT()
+	case ctrlByzDown:
+		tp.onByzDown(c.seed)
+	case ctrlByzUp:
+		tp.onByzUp(c.from, c.seed)
 	}
+}
+
+// resetDT is DT's detectable fault action (shared by ctrlReset and the
+// restart half of the crash fault class); see the ring resetMB for the
+// workVoided rationale.
+func (tp *treeProc) resetDT() {
+	workVoided := tp.cp == core.Execute || tp.cp == core.Error
+	if tp.cp != core.Error {
+		tp.b.emit(core.Event{Kind: core.EvReset, Proc: tp.id, Phase: tp.ph})
+	}
+	tp.resetState()
+	if workVoided {
+		tp.failPending(ErrReset)
+	}
+	tp.noteFault()
 }
 
 // injectSpurious delivers a forged, well-formed announcement to this node:
@@ -369,6 +466,9 @@ func (tp *treeProc) injectSpurious(seed int64) {
 // step applies every enabled DT action to quiescence: D.j/B.j (or R.0 at
 // the root), U.j, and the ⊤ restart wave T3/T4/T5.
 func (tp *treeProc) step() {
+	if tp.crashed {
+		return
+	}
 	for {
 		changed := false
 		if tp.parentID < 0 {
@@ -533,6 +633,9 @@ func (tp *treeProc) foldKidAcks() (core.CP, int) {
 // send, subject to the configured loss and corruption rates (injected
 // above the transport, as in the ring).
 func (tp *treeProc) announce(lossRate, corruptRate float64) {
+	if tp.crashed {
+		return
+	}
 	if len(tp.kids) > 0 {
 		m := Message{SN: tp.sn, CP: tp.cp, PH: tp.ph}
 		m.Sum = m.Checksum()

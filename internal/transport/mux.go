@@ -178,6 +178,12 @@ type muxGroup struct {
 	tree *muxTreeLink
 
 	sent, recv atomic.Int64 // per-group frame counters
+	// dropped counts frames that arrived for this group after its links
+	// were torn down (stop/churn). The drop is correct — a closed group's
+	// frames are loss, masked by retransmission on the sender — but it
+	// must not be silent: a rejoin that keeps receiving old-incarnation
+	// traffic, or a tenant wedged at teardown, shows up here first.
+	dropped atomic.Int64
 }
 
 type muxGroupShape struct {
@@ -371,7 +377,9 @@ func newMux(cfg MuxConfig, ln net.Listener) (*Mux, error) {
 				obsv.NewCounterFunc(`transport_group_frames_total{group="`+g.spec.Name+`",dir="sent"}`,
 					"Frames by group and direction.", g.sent.Load),
 				obsv.NewCounterFunc(`transport_group_frames_total{group="`+g.spec.Name+`",dir="recv"}`,
-					"Frames by group and direction.", g.recv.Load))
+					"Frames by group and direction.", g.recv.Load),
+				obsv.NewCounterFunc(`transport_group_frames_dropped_total{group="`+g.spec.Name+`"}`,
+					"Frames that arrived for this group after its links were torn down (dropped as loss).", g.dropped.Load))
 			if err != nil {
 				// registerAll already rolled back every series the mux had
 				// registered so far.
@@ -446,13 +454,15 @@ func (m *Mux) Digest() uint64 { return m.digest }
 // member count of every hosted group.
 func (m *Mux) PeerCount() int { return len(m.cfg.Peers) }
 
-// GroupStats returns the (sent, recv) frame counts of one group.
-func (m *Mux) GroupStats(id uint32) (sent, recv int64) {
+// GroupStats returns the (sent, recv, dropped) frame counts of one group:
+// frames sent on its behalf, frames received for it, and received frames
+// discarded because the group's links were already torn down.
+func (m *Mux) GroupStats(id uint32) (sent, recv, dropped int64) {
 	g := m.groups[id]
 	if g == nil {
-		return 0, 0
+		return 0, 0, 0
 	}
-	return g.sent.Load(), g.recv.Load()
+	return g.sent.Load(), g.recv.Load(), g.dropped.Load()
 }
 
 // BreakConns force-closes every live connection, simulating a network
@@ -951,7 +961,10 @@ func (m *Mux) deliverState(p *muxPeer, id uint32, msg runtime.Message) error {
 		dst, openFlag = r.g.tree.down, &r.g.tree.open
 	}
 	if !openFlag.Load() {
-		return nil // group torn down: the frame is loss, not an error
+		// Group torn down: the frame is loss, not an error — but counted,
+		// so late traffic into a closed group is visible.
+		r.g.dropped.Add(1)
+		return nil
 	}
 	select {
 	case <-dst:
@@ -972,6 +985,7 @@ func (m *Mux) deliverTop(p *muxPeer, id uint32) error {
 	m.stats.framesRecv.Add(1)
 	r.g.recv.Add(1)
 	if !r.g.ring.open.Load() {
+		r.g.dropped.Add(1)
 		return nil
 	}
 	select {
@@ -995,6 +1009,7 @@ func (m *Mux) deliverUp(p *muxPeer, id uint32, msg runtime.UpMessage) error {
 	r.g.recv.Add(1)
 	tl := r.g.tree
 	if !tl.open.Load() {
+		r.g.dropped.Add(1)
 		return nil
 	}
 	// Shared-mailbox delivery, the channel transport's discipline: send;

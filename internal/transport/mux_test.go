@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/runtime"
 )
 
@@ -117,7 +119,7 @@ func TestMuxMultiGroupBarriers(t *testing.T) {
 		}
 	}
 	for _, spec := range specs {
-		sent, recv := set.Muxes[0].GroupStats(spec.ID)
+		sent, recv, _ := set.Muxes[0].GroupStats(spec.ID)
 		if sent == 0 && recv == 0 {
 			t.Errorf("group %s moved no frames through process 0", spec.Name)
 		}
@@ -139,7 +141,12 @@ func TestMuxGroupTeardownIsolation(t *testing.T) {
 		{ID: 0, Name: "alpha"},
 		{ID: 1, Name: "beta"},
 	}
-	set, err := NewLoopbackMuxes(n, specs)
+	reg := obsv.NewRegistry()
+	set, err := NewLoopbackMuxes(n, specs, func(cfg *MuxConfig) {
+		if cfg.Self == 0 {
+			cfg.Registry = reg
+		}
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,6 +226,32 @@ func TestMuxGroupTeardownIsolation(t *testing.T) {
 	}
 	if st := set.Muxes[0].Stats(); st.DecodeErrors != 0 {
 		t.Errorf("frames of the stopped group were counted as decode errors: %d", st.DecodeErrors)
+	}
+	// The swallowed frames are correct behaviour (the peer's resends are
+	// loss), but they must be counted, not silent.
+	_, _, dropped := set.Muxes[0].GroupStats(0)
+	if dropped == 0 {
+		t.Error("closed group discarded frames without counting them")
+	}
+	if _, _, betaDropped := set.Muxes[0].GroupStats(1); betaDropped != 0 {
+		t.Errorf("live group beta counted %d dropped frames", betaDropped)
+	}
+	// The peer keeps resending, so the counter may advance between reads;
+	// assert the scrape carries the series at or past the snapshot.
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	scraped := int64(-1)
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if v, ok := strings.CutPrefix(line, `transport_group_frames_dropped_total{group="alpha"} `); ok {
+			if _, err := fmt.Sscan(v, &scraped); err != nil {
+				t.Fatalf("unparsable dropped-frames sample %q: %v", line, err)
+			}
+		}
+	}
+	if scraped < dropped {
+		t.Errorf("scraped dropped-frames %d, want >= %d\n%s", scraped, dropped, sb.String())
 	}
 
 	// Rejoin: a fresh barrier reopens the same group link in the reset
@@ -461,7 +494,7 @@ func TestMuxHybridGroupBarrier(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	sent, recv := set.Muxes[0].GroupStats(0)
+	sent, recv, _ := set.Muxes[0].GroupStats(0)
 	if sent == 0 && recv == 0 {
 		t.Error("hybrid group moved no frames through process 0")
 	}
